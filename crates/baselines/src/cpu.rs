@@ -1,0 +1,157 @@
+//! General-purpose processor baselines (Section 4.2).
+//!
+//! "Using our designs, a Xilinx Virtex-II Pro XC2VP125 device is able to
+//! achieve 19.6 GFLOPS for 32-bit matrix multiplication. This is a 6X
+//! improvement over the 2.54 GHz Pentium 4 processor, and a 3X
+//! improvement over the 1 GHz G4 processor \[3\]."
+//!
+//! Sustained matrix-multiply figures are used (vendor-published GEMM
+//! benchmarks of the era), not theoretical peaks — the paper's ratios
+//! only make sense against sustained numbers.
+
+/// A general-purpose processor model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Processor {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Core clock (GHz).
+    pub clock_ghz: f64,
+    /// Peak single-precision FLOPs per cycle (SIMD width × issue).
+    pub peak_flops_per_cycle_single: f64,
+    /// Peak double-precision FLOPs per cycle.
+    pub peak_flops_per_cycle_double: f64,
+    /// Sustained fraction of peak on blocked GEMM.
+    pub gemm_efficiency: f64,
+    /// Typical power under load (W).
+    pub power_w: f64,
+}
+
+impl Processor {
+    /// Intel Pentium 4 "Northwood", 2.54 GHz: SSE does 4 single (2
+    /// double) FLOPs per cycle; GEMM sustains about a third of that on
+    /// this microarchitecture.
+    pub const PENTIUM4_2_54GHZ: Processor = Processor {
+        name: "Pentium 4 (2.54 GHz)",
+        clock_ghz: 2.54,
+        peak_flops_per_cycle_single: 4.0,
+        peak_flops_per_cycle_double: 2.0,
+        gemm_efficiency: 0.32,
+        power_w: 59.8,
+    };
+
+    /// Motorola PowerPC G4 (7455), 1 GHz: AltiVec does 8 single FLOPs
+    /// per cycle (4-wide FMA); the scalar FPU gives 2 double FLOPs per
+    /// cycle (FMA). GEMM sustains well on its short pipeline.
+    pub const G4_1GHZ: Processor = Processor {
+        name: "PowerPC G4 (1 GHz)",
+        clock_ghz: 1.0,
+        peak_flops_per_cycle_single: 8.0,
+        peak_flops_per_cycle_double: 2.0,
+        gemm_efficiency: 0.80,
+        power_w: 15.0,
+    };
+
+    /// Peak single-precision GFLOPS.
+    pub fn peak_gflops_single(&self) -> f64 {
+        self.clock_ghz * self.peak_flops_per_cycle_single
+    }
+
+    /// Sustained single-precision GEMM GFLOPS.
+    pub fn sustained_gflops_single(&self) -> f64 {
+        self.peak_gflops_single() * self.gemm_efficiency
+    }
+
+    /// Peak double-precision GFLOPS.
+    pub fn peak_gflops_double(&self) -> f64 {
+        self.clock_ghz * self.peak_flops_per_cycle_double
+    }
+
+    /// Sustained double-precision GEMM GFLOPS.
+    pub fn sustained_gflops_double(&self) -> f64 {
+        self.peak_gflops_double() * self.gemm_efficiency
+    }
+
+    /// Sustained single-precision GFLOPS per watt.
+    pub fn gflops_per_watt_single(&self) -> f64 {
+        self.sustained_gflops_single() / self.power_w
+    }
+}
+
+/// A native Rust blocked GEMM, so the repository also carries a *runnable*
+/// CPU baseline (useful for sanity checks; absolute numbers depend on the
+/// host, which is why the comparisons use the era-correct models above).
+pub fn native_sgemm(n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n * n);
+    assert_eq!(c.len(), n * n);
+    const BS: usize = 32;
+    c.fill(0.0);
+    for ib in (0..n).step_by(BS) {
+        for kb in (0..n).step_by(BS) {
+            for jb in (0..n).step_by(BS) {
+                for i in ib..(ib + BS).min(n) {
+                    for k in kb..(kb + BS).min(n) {
+                        let aik = a[i * n + k];
+                        let (crow, brow) = (&mut c[i * n..i * n + n], &b[k * n..k * n + n]);
+                        for j in jb..(jb + BS).min(n) {
+                            crow[j] += aik * brow[j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p4_sustained_matches_paper_ratio() {
+        // 19.6 GFLOPS FPGA / 6 ≈ 3.3 GFLOPS on the P4.
+        let p4 = Processor::PENTIUM4_2_54GHZ;
+        let s = p4.sustained_gflops_single();
+        assert!((3.0..3.6).contains(&s), "P4 sustained = {s}");
+    }
+
+    #[test]
+    fn g4_sustained_matches_paper_ratio() {
+        // 19.6 / 3 ≈ 6.5 GFLOPS on the G4.
+        let g4 = Processor::G4_1GHZ;
+        let s = g4.sustained_gflops_single();
+        assert!((6.0..7.0).contains(&s), "G4 sustained = {s}");
+    }
+
+    #[test]
+    fn peaks_exceed_sustained() {
+        for p in [Processor::PENTIUM4_2_54GHZ, Processor::G4_1GHZ] {
+            assert!(p.peak_gflops_single() > p.sustained_gflops_single());
+            assert!(p.peak_gflops_double() >= p.sustained_gflops_double());
+        }
+    }
+
+    #[test]
+    fn native_sgemm_correct() {
+        let n = 17; // non-multiple of the block size
+        let a: Vec<f32> = (0..n * n).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..n * n).map(|i| (i as f32 * 0.11).cos()).collect();
+        let mut c = vec![0.0f32; n * n];
+        native_sgemm(n, &a, &b, &mut c);
+        for i in 0..n {
+            for j in 0..n {
+                let want: f32 = (0..n).map(|k| a[i * n + k] * b[k * n + j]).sum();
+                assert!((c[i * n + j] - want).abs() < 1e-3, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn gflops_per_watt_ordering() {
+        // The G4 was the efficiency king among 2003 GPPs.
+        assert!(
+            Processor::G4_1GHZ.gflops_per_watt_single()
+                > Processor::PENTIUM4_2_54GHZ.gflops_per_watt_single()
+        );
+    }
+}

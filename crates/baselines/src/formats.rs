@@ -1,0 +1,179 @@
+//! Custom-format interface conversion.
+//!
+//! "Some of the commercial floating-point cores use a custom format with
+//! conversion to and from the IEEE754 standard at interfaces to other
+//! resources in the system. … Hence, due to a lower area, their
+//! Frequency/Area metric is sometimes better than ours."
+//!
+//! This module models both halves of that trade:
+//!
+//! * the *hardware* cost of a pair of converters (IEEE→custom on each
+//!   input, custom→IEEE on the output), estimated with the fabric
+//!   primitives (shifters + small adders, like a degenerate FP datapath);
+//! * the *numerical* cost: operands squeezed through a narrower custom
+//!   mantissa are double-rounded.
+
+use fpfpga_fabric::area::AreaCost;
+use fpfpga_fabric::netlist::Netlist;
+use fpfpga_fabric::primitives::{log2_ceil, Primitive};
+use fpfpga_fabric::tech::Tech;
+use fpfpga_softfp::convert::convert;
+use fpfpga_softfp::{Flags, FpFormat, RoundMode};
+
+/// A vendor's internal custom format paired with the IEEE format it
+/// stands in for.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CustomFormat {
+    /// The IEEE interface format.
+    pub ieee: FpFormat,
+    /// The internal custom format (typically a wider exponent and a
+    /// slightly narrower stored mantissa, self-normalizing designs).
+    pub custom: FpFormat,
+}
+
+impl CustomFormat {
+    /// A representative commercial 32-bit custom format: 10-bit exponent,
+    /// 21-bit stored fraction (32 bits total including sign).
+    pub fn commercial32() -> CustomFormat {
+        CustomFormat { ieee: FpFormat::SINGLE, custom: FpFormat::new(10, 21) }
+    }
+
+    /// Convert an IEEE encoding into the custom format.
+    pub fn to_custom(&self, bits: u64, mode: RoundMode) -> (u64, Flags) {
+        convert(self.ieee, bits, self.custom, mode)
+    }
+
+    /// Convert a custom encoding back to IEEE.
+    pub fn to_ieee(&self, bits: u64, mode: RoundMode) -> (u64, Flags) {
+        convert(self.custom, bits, self.ieee, mode)
+    }
+
+    /// Run `op` in the custom domain: convert both operands in, apply,
+    /// convert back — the numerical behaviour of a custom-format core
+    /// embedded in an IEEE system.
+    pub fn through_custom(
+        &self,
+        a: u64,
+        b: u64,
+        mode: RoundMode,
+        op: impl Fn(FpFormat, u64, u64, RoundMode) -> (u64, Flags),
+    ) -> (u64, Flags) {
+        let (ca, f1) = self.to_custom(a, mode);
+        let (cb, f2) = self.to_custom(b, mode);
+        let (cr, f3) = op(self.custom, ca, cb, mode);
+        let (r, f4) = self.to_ieee(cr, mode);
+        (r, f1 | f2 | f3 | f4)
+    }
+
+    /// The netlist of one direction of conversion hardware: an exponent
+    /// re-bias adder and a mantissa shifter/rounder.
+    pub fn converter_netlist(&self, tech: &Tech) -> Netlist {
+        let wide = self.ieee.sig_bits().max(self.custom.sig_bits());
+        let exp = self.ieee.exp_bits().max(self.custom.exp_bits());
+        let mut n = Netlist::new("format converter", self.ieee.total_bits(), exp + 2);
+        n.push(
+            "mantissa shifter",
+            &Primitive::BarrelShifter { bits: wide, levels: log2_ceil(wide) },
+            tech,
+        );
+        n.push("round adder", &Primitive::ConstAdder { bits: wide }, tech);
+        n.push_parallel(
+            "exponent re-bias",
+            &Primitive::FixedAdder { bits: exp, carry_ns_per_bit: tech.t_carry_per_bit_ns },
+            tech,
+        );
+        n
+    }
+
+    /// Slice cost of the three converters a binary operator needs
+    /// (two inputs + one output).
+    pub fn integration_area(&self, tech: &Tech) -> AreaCost {
+        let one = self.converter_netlist(tech).base_area();
+        one * 3.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpfpga_softfp::{add_bits, mul_bits};
+
+    #[test]
+    fn roundtrip_is_lossy_for_narrower_mantissa() {
+        let cf = CustomFormat::commercial32();
+        let x = 1.000_000_6f32; // needs all 23 fraction bits
+        let (c, _) = cf.to_custom(x.to_bits() as u64, RoundMode::NearestEven);
+        let (back, flags) = cf.to_ieee(c, RoundMode::NearestEven);
+        assert_ne!(back as u32, x.to_bits(), "21-bit mantissa must lose bits");
+        assert!(flags.inexact || f32::from_bits(back as u32) != x);
+    }
+
+    #[test]
+    fn roundtrip_exact_for_representable() {
+        let cf = CustomFormat::commercial32();
+        for x in [1.0f32, 0.5, -3.25, 1024.0] {
+            let (c, f) = cf.to_custom(x.to_bits() as u64, RoundMode::NearestEven);
+            assert!(!f.any(), "{x}");
+            let (back, _) = cf.to_ieee(c, RoundMode::NearestEven);
+            assert_eq!(f32::from_bits(back as u32), x);
+        }
+    }
+
+    #[test]
+    fn through_custom_add_is_close_but_not_exact() {
+        let cf = CustomFormat::commercial32();
+        let (a, b) = (1.234_567_8f32, 9.876_543_2f32);
+        let (r, _) = cf.through_custom(
+            a.to_bits() as u64,
+            b.to_bits() as u64,
+            RoundMode::NearestEven,
+            add_bits,
+        );
+        let got = f32::from_bits(r as u32);
+        let want = a + b;
+        assert!((got - want).abs() < 1e-4 * want.abs(), "{got} vs {want}");
+    }
+
+    #[test]
+    fn through_custom_mul_loses_precision_vs_ieee() {
+        let cf = CustomFormat::commercial32();
+        let mut divergences = 0;
+        for i in 0..100 {
+            let a = 1.0f32 + i as f32 * 1.272_829e-3;
+            let b = 3.0f32 - i as f32 * 0.7e-3;
+            let (r, _) = cf.through_custom(
+                a.to_bits() as u64,
+                b.to_bits() as u64,
+                RoundMode::NearestEven,
+                mul_bits,
+            );
+            if r as u32 != (a * b).to_bits() {
+                divergences += 1;
+            }
+        }
+        assert!(divergences > 50, "custom-format pipeline should usually differ: {divergences}");
+    }
+
+    #[test]
+    fn conversion_hardware_is_not_free() {
+        let tech = Tech::virtex2pro();
+        let cf = CustomFormat::commercial32();
+        let a = cf.integration_area(&tech);
+        assert!(a.slices(&tech) > 100.0, "3 converters cost real slices: {}", a.slices(&tech));
+    }
+
+    #[test]
+    fn wider_exponent_extends_range() {
+        // The custom format's 10-bit exponent represents values single
+        // precision overflows on.
+        let cf = CustomFormat::commercial32();
+        let big = f32::MAX.to_bits() as u64;
+        let (c1, _) = cf.to_custom(big, RoundMode::NearestEven);
+        let (sq, f) = mul_bits(cf.custom, c1, c1, RoundMode::NearestEven);
+        assert!(!f.overflow, "custom exponent range should absorb the square");
+        // ... but converting back overflows to IEEE infinity.
+        let (back, f) = cf.to_ieee(sq, RoundMode::NearestEven);
+        assert!(f.overflow);
+        assert_eq!(back, FpFormat::SINGLE.pos_inf());
+    }
+}

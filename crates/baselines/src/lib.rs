@@ -1,0 +1,30 @@
+//! # fpfpga-baselines — the comparison targets of Section 4
+//!
+//! The paper compares its cores against commercial and academic FPGA
+//! floating-point cores (Tables 3 and 4) and its matmul kernel against
+//! general-purpose processors (Section 4.2). None of those artifacts are
+//! available as code, so this crate models them from their published
+//! characteristics:
+//!
+//! * [`vendor`] — Nallatech and Quixilica 32-bit cores and the
+//!   Northeastern University parameterized library (Belanović & Leeser,
+//!   FPL 2002) 64-bit cores, with datasheet-era pipeline depth, area and
+//!   clock figures. The commercial cores "use custom formats and require
+//!   additional modules to perform format conversions at interfaces" —
+//!   [`formats`] models both the conversion hardware and its numerical
+//!   cost (double rounding through the narrower custom format).
+//! * [`cpu`] — Pentium 4 (2.53 GHz) and PowerPC G4 (1 GHz) sustained
+//!   matrix-multiply performance and power, for the paper's "6×
+//!   improvement over the Pentium 4, 3× over the G4" and "up to 6×
+//!   GFLOPS/W" claims.
+//! * [`comparison`] — assembles Table 3, Table 4 and the Section 4.2
+//!   processor comparison from this crate plus the `fpfpga-fpu` sweeps.
+
+pub mod comparison;
+pub mod cpu;
+pub mod formats;
+pub mod vendor;
+
+pub use comparison::{ProcessorComparison, Table3, Table4};
+pub use cpu::Processor;
+pub use vendor::{VendorCore, VendorKind};

@@ -1,0 +1,195 @@
+//! Third-party floating-point core models.
+//!
+//! Figures are taken from the vendors' datasheet-era publications
+//! (c. 2003, Virtex-II/-II Pro parts) and the Belanović-Leeser FPL 2002
+//! paper for the NEU parameterized library. Exact numbers differ by
+//! device/speed grade; what the reproduction must preserve is the
+//! *relations* the paper reports:
+//!
+//! * the commercial cores are shallower and smaller, but slower in
+//!   absolute clock than the USC cores at their optimal depth;
+//! * "due to a lower area, their Frequency/Area metric is sometimes
+//!   better than ours" — at least one wins MHz/slice;
+//! * they use custom formats, so system integration adds conversion
+//!   modules at the interfaces (see [`crate::formats`]);
+//! * the NEU 64-bit library cores are much slower (the library predates
+//!   deep-pipelining methodology).
+
+use fpfpga_softfp::FpFormat;
+
+/// Which baseline family a core belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VendorKind {
+    /// Nallatech floating-point cores (custom format).
+    Nallatech,
+    /// Quixilica (QinetiQ) floating-point cores (custom format).
+    Quixilica,
+    /// Northeastern University parameterized library (IEEE format).
+    Neu,
+}
+
+impl VendorKind {
+    /// Display name as the paper's tables use it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            VendorKind::Nallatech => "Nallatech",
+            VendorKind::Quixilica => "Quixilica",
+            VendorKind::Neu => "NEU",
+        }
+    }
+
+    /// Whether the family's cores use a non-IEEE custom format needing
+    /// interface conversion.
+    pub fn uses_custom_format(&self) -> bool {
+        !matches!(self, VendorKind::Neu)
+    }
+}
+
+/// A published third-party core implementation point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VendorCore {
+    /// Family.
+    pub kind: VendorKind,
+    /// "32-bit adder" etc.
+    pub description: &'static str,
+    /// Nominal operand format (the IEEE-equivalent width).
+    pub format: FpFormat,
+    /// Pipeline stages.
+    pub stages: u32,
+    /// Occupied slices (core only, no conversion modules).
+    pub slices: u32,
+    /// Embedded multipliers.
+    pub bmults: u32,
+    /// Clock rate (MHz) on a Virtex-II Pro -7 class device.
+    pub clock_mhz: f64,
+    /// Dynamic power at 100 MHz (mW) where published (Table 4).
+    pub power_mw_100mhz: Option<f64>,
+}
+
+impl VendorCore {
+    /// The paper's frequency/area metric.
+    pub fn freq_per_area(&self) -> f64 {
+        self.clock_mhz / self.slices as f64
+    }
+
+    /// Nallatech 32-bit adder.
+    pub const NALLATECH_ADD32: VendorCore = VendorCore {
+        kind: VendorKind::Nallatech,
+        description: "32-bit adder",
+        format: FpFormat::SINGLE,
+        stages: 9,
+        slices: 312,
+        bmults: 0,
+        clock_mhz: 184.0,
+        power_mw_100mhz: None,
+    };
+
+    /// Nallatech 32-bit multiplier.
+    pub const NALLATECH_MUL32: VendorCore = VendorCore {
+        kind: VendorKind::Nallatech,
+        description: "32-bit multiplier",
+        format: FpFormat::SINGLE,
+        stages: 8,
+        slices: 134,
+        bmults: 4,
+        clock_mhz: 186.0,
+        power_mw_100mhz: None,
+    };
+
+    /// Quixilica 32-bit adder.
+    pub const QUIXILICA_ADD32: VendorCore = VendorCore {
+        kind: VendorKind::Quixilica,
+        description: "32-bit adder",
+        format: FpFormat::SINGLE,
+        stages: 6,
+        slices: 235,
+        bmults: 0,
+        clock_mhz: 164.0,
+        power_mw_100mhz: None,
+    };
+
+    /// Quixilica 32-bit multiplier.
+    pub const QUIXILICA_MUL32: VendorCore = VendorCore {
+        kind: VendorKind::Quixilica,
+        description: "32-bit multiplier",
+        format: FpFormat::SINGLE,
+        stages: 5,
+        slices: 118,
+        bmults: 4,
+        clock_mhz: 158.0,
+        power_mw_100mhz: None,
+    };
+
+    /// NEU parameterized-library 64-bit adder.
+    pub const NEU_ADD64: VendorCore = VendorCore {
+        kind: VendorKind::Neu,
+        description: "64-bit adder",
+        format: FpFormat::DOUBLE,
+        stages: 4,
+        slices: 770,
+        bmults: 0,
+        clock_mhz: 82.0,
+        power_mw_100mhz: Some(138.0),
+    };
+
+    /// NEU parameterized-library 64-bit multiplier.
+    pub const NEU_MUL64: VendorCore = VendorCore {
+        kind: VendorKind::Neu,
+        description: "64-bit multiplier",
+        format: FpFormat::DOUBLE,
+        stages: 3,
+        slices: 525,
+        bmults: 16,
+        clock_mhz: 74.0,
+        power_mw_100mhz: Some(112.0),
+    };
+
+    /// All modeled cores.
+    pub const ALL: [VendorCore; 6] = [
+        VendorCore::NALLATECH_ADD32,
+        VendorCore::NALLATECH_MUL32,
+        VendorCore::QUIXILICA_ADD32,
+        VendorCore::QUIXILICA_MUL32,
+        VendorCore::NEU_ADD64,
+        VendorCore::NEU_MUL64,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_properties() {
+        assert!(VendorKind::Nallatech.uses_custom_format());
+        assert!(VendorKind::Quixilica.uses_custom_format());
+        assert!(!VendorKind::Neu.uses_custom_format());
+        assert_eq!(VendorKind::Neu.name(), "NEU");
+    }
+
+    #[test]
+    fn commercial_cores_are_shallower_than_deep_usc() {
+        for c in [VendorCore::NALLATECH_ADD32, VendorCore::QUIXILICA_ADD32] {
+            assert!(c.stages < 12, "{:?}", c.kind);
+        }
+    }
+
+    #[test]
+    fn neu_cores_are_slow() {
+        // The library predates throughput-oriented pipelining.
+        assert!(VendorCore::NEU_ADD64.clock_mhz < 100.0);
+        assert!(VendorCore::NEU_MUL64.clock_mhz < 100.0);
+    }
+
+    #[test]
+    fn freq_per_area_computes() {
+        let c = VendorCore::QUIXILICA_MUL32;
+        assert!((c.freq_per_area() - 158.0 / 118.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn catalog_is_complete() {
+        assert_eq!(VendorCore::ALL.len(), 6);
+        assert!(VendorCore::ALL.iter().any(|c| c.kind == VendorKind::Neu));
+    }
+}

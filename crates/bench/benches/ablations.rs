@@ -1,0 +1,111 @@
+//! Ablations over the design decisions DESIGN.md calls out:
+//!
+//! 1. register-placement strategy (paper's iterative refinement vs the
+//!    optimal balanced partition vs a naive end-loaded placement);
+//! 2. synthesis/P&R optimization objectives (speed vs area);
+//! 3. forced vs inferred priority-encoder synthesis;
+//! 4. unit-selection metric (max frequency vs max freq/area vs min area
+//!    at a target clock) and its consequence for device-level GFLOPS.
+//!
+//! Each ablation prints its comparison table once, then criterion times
+//! the underlying computations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpfpga::fabric::timing;
+use fpfpga::prelude::*;
+use std::hint::black_box;
+
+fn print_ablations() {
+    let tech = Tech::virtex2pro();
+
+    println!("\nAblation 1: register placement strategy (fp64 adder)");
+    let netlist = AdderDesign::new(FpFormat::DOUBLE).netlist(&tech);
+    println!("{:>8} {:>22} {:>12} {:>10}", "stages", "strategy", "clock (MHz)", "FFs");
+    for k in [4u32, 8, 12, 16] {
+        for strat in [
+            PipelineStrategy::IterativeRefinement,
+            PipelineStrategy::Balanced,
+            PipelineStrategy::EndLoaded,
+        ] {
+            let r = timing::evaluate(&netlist, k, strat, SynthesisOptions::SPEED, &tech);
+            println!("{k:>8} {:>22} {:>12.1} {:>10}", format!("{strat:?}"), r.clock_mhz, r.ffs);
+        }
+    }
+
+    println!("\nAblation 2: tool objectives (fp32 adder, opt point)");
+    println!("{:>26} {:>8} {:>8} {:>12} {:>12}", "objectives", "stages", "slices", "clock (MHz)", "MHz/slice");
+    for (label, opts) in [
+        ("speed/speed", SynthesisOptions::SPEED),
+        ("area/area", SynthesisOptions::AREA),
+        ("speed/area", SynthesisOptions { synthesis: Objective::Speed, par: Objective::Area }),
+        ("area/speed", SynthesisOptions { synthesis: Objective::Area, par: Objective::Speed }),
+    ] {
+        let sweep = AdderDesign::new(FpFormat::SINGLE).sweep(&tech, opts);
+        let o = timing::optimal(&sweep);
+        println!(
+            "{label:>26} {:>8} {:>8} {:>12.1} {:>12.4}",
+            o.stages,
+            o.slices,
+            o.clock_mhz,
+            o.freq_per_area()
+        );
+    }
+
+    println!("\nAblation 3: priority-encoder synthesis (fp64 adder peak clock)");
+    for forced in [true, false] {
+        let d = AdderDesign { force_priority_encoder: forced, ..AdderDesign::new(FpFormat::DOUBLE) };
+        let best = d
+            .sweep(&tech, SynthesisOptions::SPEED)
+            .iter()
+            .map(|r| r.clock_mhz)
+            .fold(0.0, f64::max);
+        println!("  forced = {forced:<5} peak = {best:.1} MHz");
+    }
+
+    println!("\nAblation 4: unit-selection metric → device GFLOPS (fp32, XC2VP125)");
+    let add = CoreSweep::adder(FpFormat::SINGLE, &tech, SynthesisOptions::SPEED);
+    let mul = CoreSweep::multiplier(FpFormat::SINGLE, &tech, SynthesisOptions::SPEED);
+    let selections: Vec<(&str, u32, u32)> = vec![
+        ("max frequency", add.fastest().stages, mul.fastest().stages),
+        ("max freq/area", add.opt().stages, mul.opt().stages),
+        (
+            "min area @ 150 MHz",
+            add.cheapest_at(150.0).unwrap().stages,
+            mul.cheapest_at(150.0).unwrap().stages,
+        ),
+    ];
+    for (label, ka, km) in selections {
+        let units = UnitSet::with_stages(FpFormat::SINGLE, ka, km, &tech, SynthesisOptions::SPEED);
+        let fill = DeviceFill::new(Device::XC2VP125, &units, 64, &tech);
+        println!(
+            "  {label:<18}: add {ka:2} st, mul {km:2} st → {:3} PEs @ {:5.1} MHz = {:5.1} GFLOPS",
+            fill.pe_count,
+            fill.clock_mhz,
+            fill.gflops()
+        );
+    }
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    print_ablations();
+
+    let tech = Tech::virtex2pro();
+    let netlist = AdderDesign::new(FpFormat::DOUBLE).netlist(&tech);
+
+    let mut g = c.benchmark_group("ablations");
+    for strat in [
+        PipelineStrategy::IterativeRefinement,
+        PipelineStrategy::Balanced,
+        PipelineStrategy::EndLoaded,
+    ] {
+        g.bench_function(format!("pipeline_{strat:?}_12_stages"), |b| {
+            b.iter(|| {
+                black_box(timing::evaluate(&netlist, 12, strat, SynthesisOptions::SPEED, &tech).clock_mhz)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,173 @@
+//! Benches for the extension features: divider/sqrt cores, full-IEEE
+//! cost, dot-product and MVM kernels, and the Pareto explorer.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fpfpga::fpu::ieee_cost::ieee_cost_analysis;
+use fpfpga::matmul::dot::interleaved_reference;
+use fpfpga::prelude::*;
+use std::hint::black_box;
+
+fn print_extension_tables() {
+    let tech = Tech::virtex2pro();
+    let opts = SynthesisOptions::SPEED;
+
+    println!("\nDivider / sqrt design points (extension; not in the paper)");
+    println!("{:<14} {:>8} {:>8} {:>12} {:>12}", "core", "stages", "slices", "clock (MHz)", "MHz/slice");
+    for fmt in [FpFormat::SINGLE, FpFormat::DOUBLE] {
+        for (name, sweep) in [
+            ("divider", DividerDesign::new(fmt).sweep(&tech, opts)),
+            ("sqrt", SqrtDesign::new(fmt).sweep(&tech, opts)),
+        ] {
+            let opt = fpfpga::fabric::timing::optimal(&sweep);
+            println!(
+                "{:<14} {:>8} {:>8} {:>12.1} {:>12.4}",
+                format!("{fmt} {name}"),
+                opt.stages,
+                opt.slices,
+                opt.clock_mhz,
+                opt.freq_per_area()
+            );
+        }
+    }
+
+    println!("\nFull-IEEE (denormal + NaN) support cost at the freq/area optimum");
+    println!("{:<12} {:>8} {:>14} {:>16}", "core", "format", "slice overhead", "freq/area ratio");
+    for r in ieee_cost_analysis(&tech, opts) {
+        println!(
+            "{:<12} {:>8} {:>13.1}% {:>16.2}",
+            r.core,
+            r.format.to_string(),
+            r.slice_overhead() * 100.0,
+            r.freq_area_ratio()
+        );
+    }
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    print_extension_tables();
+
+    let fmt = FpFormat::SINGLE;
+    let rm = RoundMode::NearestEven;
+    let mut g = c.benchmark_group("extensions");
+
+    // Divider simulator throughput.
+    const OPS: u64 = 5_000;
+    g.throughput(Throughput::Elements(OPS));
+    g.bench_function("structural_divider_fp32_20_stages", |b| {
+        let design = DividerDesign::new(fmt);
+        b.iter_with_setup(
+            || design.simulator(20),
+            |mut unit| {
+                for i in 0..OPS {
+                    let x = f32::from_bits(0x3f80_0000 | (i as u32 & 0xffff));
+                    black_box(unit.clock(Some((x.to_bits() as u64, 0x4040_0000))));
+                }
+            },
+        )
+    });
+
+    // softfp div/sqrt.
+    g.bench_function("softfp_div_fp64", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..OPS {
+                let x = 1.0f64 + i as f64 * 1e-9;
+                let (r, _) = fpfpga::softfp::div_bits(
+                    FpFormat::DOUBLE,
+                    x.to_bits(),
+                    std::f64::consts::E.to_bits(),
+                    rm,
+                );
+                acc ^= r;
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("softfp_sqrt_fp64", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..OPS {
+                let x = 1.0f64 + i as f64 * 1e-6;
+                let (r, _) = fpfpga::softfp::sqrt_bits(FpFormat::DOUBLE, x.to_bits(), rm);
+                acc ^= r;
+            }
+            black_box(acc)
+        })
+    });
+
+    // Full-IEEE arithmetic (gradual underflow path included).
+    g.bench_function("ieee_mode_add_fp32", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..OPS {
+                let (r, _) = fpfpga::softfp::ieee::ieee_add(
+                    fmt,
+                    (0x0000_1000 + i) & fmt.enc_mask(),
+                    0x0080_0100,
+                    rm,
+                );
+                acc ^= r;
+            }
+            black_box(acc)
+        })
+    });
+
+    // Dot product kernel.
+    let n = 512usize;
+    let x: Vec<u64> = (0..n).map(|i| SoftFloat::from_f64(fmt, (i as f64 * 0.01).sin()).bits()).collect();
+    let y: Vec<u64> = (0..n).map(|i| SoftFloat::from_f64(fmt, (i as f64 * 0.03).cos()).bits()).collect();
+    g.bench_function("dot_product_sim_512", |b| {
+        b.iter(|| {
+            let mut unit = DotProductUnit::new(fmt, rm, 7, 9);
+            black_box(unit.dot(&x, &y).0)
+        })
+    });
+    g.bench_function("dot_product_reference_512", |b| {
+        b.iter(|| black_box(interleaved_reference(fmt, rm, &x, &y, 9)))
+    });
+
+    // FIR filter streaming.
+    g.bench_function("fir_8tap_512_samples", |b| {
+        use fpfpga::matmul::FirFilter;
+        let coeffs = [0.1f64; 8];
+        let xs: Vec<u64> =
+            (0..512).map(|i| SoftFloat::from_f64(fmt, (i as f64 * 0.02).sin()).bits()).collect();
+        b.iter(|| {
+            let mut fir = FirFilter::new(fmt, rm, &coeffs, 6);
+            black_box(fir.filter(&xs).len())
+        })
+    });
+
+    // FFT engine.
+    g.bench_function("fft_256_point", |b| {
+        use fpfpga::matmul::fft::{Cplx, FftEngine};
+        let x: Vec<Cplx> = (0..256)
+            .map(|i| Cplx::from_f64(fmt, (i as f64 * 0.04).sin(), 0.0))
+            .collect();
+        let eng = FftEngine::new(fmt, rm, 7, 9);
+        b.iter(|| black_box(eng.run(&x, false).1))
+    });
+
+    // LU engine.
+    g.bench_function("lu_24x24_4pe", |b| {
+        use fpfpga::matmul::LuEngine;
+        let n = 24;
+        let a = Matrix::from_fn(fmt, n, n, |i, j| {
+            if i == j { 10.0 + i as f64 } else { ((i * n + j) as f64 * 0.19).sin() }
+        });
+        let eng = LuEngine::new(fmt, rm, 16, 6, 4);
+        b.iter(|| black_box(eng.factor(&a).cycles))
+    });
+
+    // Pareto explorer end-to-end.
+    g.sample_size(10);
+    g.bench_function("pareto_explorer_n128", |b| {
+        let tech = Tech::virtex2pro();
+        let e = Explorer::new(fmt, 128);
+        b.iter(|| black_box(e.pareto(&Constraints::default(), &tech, SynthesisOptions::SPEED).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

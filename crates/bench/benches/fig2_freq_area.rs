@@ -1,0 +1,42 @@
+//! Figure 2 bench: regenerates the frequency/area-vs-stages curves for
+//! both cores at all three precisions, printing the series the paper
+//! plots, and times the full design-space sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpfpga::prelude::*;
+use fpfpga::repro;
+use std::hint::black_box;
+
+fn regenerate_and_print() {
+    // Print once per bench run so `cargo bench` is the regeneration
+    // harness for the figure.
+    println!("\n{}", fpfpga_bench::render_fig2(&repro::fig2()));
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    regenerate_and_print();
+
+    let tech = Tech::virtex2pro();
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(20);
+
+    g.bench_function("adder_sweep_32bit", |b| {
+        b.iter(|| {
+            let s = CoreSweep::adder(FpFormat::SINGLE, &tech, SynthesisOptions::SPEED);
+            black_box(s.opt().freq_per_area())
+        })
+    });
+    g.bench_function("multiplier_sweep_64bit", |b| {
+        b.iter(|| {
+            let s = CoreSweep::multiplier(FpFormat::DOUBLE, &tech, SynthesisOptions::SPEED);
+            black_box(s.opt().freq_per_area())
+        })
+    });
+    g.bench_function("full_precision_analysis", |b| {
+        b.iter(|| black_box(PrecisionAnalysis::run(&tech, SynthesisOptions::SPEED).adders.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 3 bench: regenerates the power-vs-stages curves at 100 MHz and
+//! times the power/energy models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpfpga::prelude::*;
+use fpfpga::repro;
+use std::hint::black_box;
+
+fn regenerate_and_print() {
+    println!("\n{}", fpfpga_bench::render_fig3(&repro::fig3()));
+    println!("\n{}", fpfpga_bench::render_fig4(&repro::fig4()));
+}
+
+fn bench_power(c: &mut Criterion) {
+    regenerate_and_print();
+
+    let model = PowerModel::virtex2pro();
+    let area = AreaCost { luts: 800.0, ffs: 1200.0, bmults: 4, brams: 2, routing_slices: 0.0 };
+
+    let mut g = c.benchmark_group("power_energy");
+    g.bench_function("xpower_eval", |b| {
+        b.iter(|| black_box(model.power_mw(&area, 100.0, 0.3).total_mw()))
+    });
+
+    let tech = Tech::virtex2pro();
+    let units =
+        UnitSet::for_level(FpFormat::SINGLE, PipeliningLevel::Moderate, &tech, SynthesisOptions::SPEED);
+    g.bench_function("flat_energy_report_n32", |b| {
+        let arch = ArchitectureEnergy::new(units.clone(), 32, 32, &tech);
+        b.iter(|| black_box(arch.charge_flat(32, &tech).total_nj()))
+    });
+    g.bench_function("blocked_energy_report_n160_b16", |b| {
+        let plan = BlockMatMul::new(160, 16, units.pl());
+        let arch = ArchitectureEnergy::new(units.clone(), 16, 16, &tech);
+        b.iter(|| black_box(arch.charge_blocked(&plan, &tech).total_nj()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_power);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Matmul kernel bench: regenerates the Section 4.2 GFLOPS result and
+//! the Figure 5/6 sweeps, and times the cycle-accurate array simulator
+//! and the native CPU baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fpfpga::baselines::cpu::native_sgemm;
+use fpfpga::prelude::*;
+use fpfpga::repro;
+use std::hint::black_box;
+
+fn regenerate_and_print() {
+    println!("\n{}", fpfpga_bench::render_gflops(&repro::gflops()));
+    println!(
+        "\n{}",
+        fpfpga_bench::render_arch_points(
+            "Figure 5. Flat designs vs problem size n (PL = 10/19/25)",
+            "n",
+            &repro::fig5(&repro::FIG5_PROBLEM_SIZES),
+        )
+    );
+    println!(
+        "\n{}",
+        fpfpga_bench::render_arch_points(
+            &format!(
+                "Figure 6. Blocked designs vs block size b at N = {} (PL = 10/19/25)",
+                repro::FIG6_PROBLEM_SIZE
+            ),
+            "b",
+            &repro::fig6(repro::FIG6_PROBLEM_SIZE, &repro::FIG6_BLOCK_SIZES),
+        )
+    );
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    regenerate_and_print();
+
+    let fmt = FpFormat::SINGLE;
+    let n = 16usize;
+    let a = Matrix::from_fn(fmt, n, n, |i, j| ((i * n + j) as f64 * 0.29).sin());
+    let b = Matrix::from_fn(fmt, n, n, |i, j| ((i + 3 * j) as f64 * 0.17).cos());
+
+    let mut g = c.benchmark_group("matmul_kernel");
+    g.throughput(Throughput::Elements((2 * n * n * n) as u64)); // FLOPs per run
+    g.sample_size(20);
+
+    g.bench_function("array_sim_fast_16x16", |bch| {
+        bch.iter(|| {
+            let (c, _) =
+                LinearArray::multiply(fmt, RoundMode::NearestEven, 7, 9, &a, &b, UnitBackend::Fast);
+            black_box(c.get(0, 0))
+        })
+    });
+
+    g.bench_function("array_sim_structural_8x8", |bch| {
+        let a8 = Matrix::from_fn(fmt, 8, 8, |i, j| ((i + j) as f64 * 0.3).sin());
+        let b8 = Matrix::from_fn(fmt, 8, 8, |i, j| ((i * j) as f64 * 0.2).cos());
+        bch.iter(|| {
+            let (c, _) = LinearArray::multiply(
+                fmt,
+                RoundMode::NearestEven,
+                5,
+                6,
+                &a8,
+                &b8,
+                UnitBackend::Structural,
+            );
+            black_box(c.get(0, 0))
+        })
+    });
+
+    g.bench_function("blocked_sim_32x32_b8", |bch| {
+        let n = 32usize;
+        let am = Matrix::from_fn(fmt, n, n, |i, j| ((i * n + j) as f64 * 0.07).sin());
+        let bm = Matrix::from_fn(fmt, n, n, |i, j| ((i ^ j) as f64 * 0.05).cos());
+        let plan = BlockMatMul::new(n as u32, 8, 16);
+        bch.iter(|| {
+            let (c, _) = plan.run(fmt, RoundMode::NearestEven, 7, 9, &am, &bm, UnitBackend::Fast);
+            black_box(c.get(0, 0))
+        })
+    });
+
+    g.bench_function("reference_softfp_16x16", |bch| {
+        bch.iter(|| {
+            black_box(fpfpga::matmul::reference::reference_matmul(
+                &a,
+                &b,
+                RoundMode::NearestEven,
+            ))
+        })
+    });
+
+    // Native CPU baseline on the host (not era-correct, but runnable).
+    g.bench_function("native_sgemm_256", |bch| {
+        let n = 256usize;
+        let av: Vec<f32> = (0..n * n).map(|i| (i as f32 * 0.001).sin()).collect();
+        let bv: Vec<f32> = (0..n * n).map(|i| (i as f32 * 0.002).cos()).collect();
+        let mut cv = vec![0.0f32; n * n];
+        bch.iter(|| {
+            native_sgemm(n, &av, &bv, &mut cv);
+            black_box(cv[0])
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_matmul);
+criterion_main!(benches);

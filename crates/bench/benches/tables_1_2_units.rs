@@ -1,0 +1,93 @@
+//! Tables 1-4 bench: regenerates the unit tables and the vendor
+//! comparisons, and times the cycle-accurate core simulators at
+//! their table configurations (the throughput the tables claim).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fpfpga::prelude::*;
+use fpfpga::repro;
+use std::hint::black_box;
+
+fn regenerate_and_print() {
+    println!(
+        "\n{}",
+        fpfpga_bench::render_unit_table(
+            "Table 1. Analysis of 32, 48, 64-bit Floating Point Adders",
+            &repro::table1()
+        )
+    );
+    println!(
+        "\n{}",
+        fpfpga_bench::render_unit_table(
+            "Table 2. Analysis of 32, 48, 64-bit Floating Point Multipliers",
+            &repro::table2()
+        )
+    );
+    println!("\n{}", fpfpga_bench::render_table3(&repro::table3()));
+    println!("\n{}", fpfpga_bench::render_table4(&repro::table4()));
+}
+
+fn bench_units(c: &mut Criterion) {
+    regenerate_and_print();
+
+    const OPS: u64 = 10_000;
+    let mut g = c.benchmark_group("unit_simulators");
+    g.throughput(Throughput::Elements(OPS));
+
+    // Structural stage-by-stage simulation at the Table 1 "opt" depth.
+    let tech = Tech::virtex2pro();
+    let opt_add = CoreSweep::adder(FpFormat::SINGLE, &tech, SynthesisOptions::SPEED).opt().stages;
+    g.bench_function("structural_adder_fp32_opt_depth", |b| {
+        let design = AdderDesign::new(FpFormat::SINGLE);
+        b.iter_with_setup(
+            || design.simulator(opt_add),
+            |mut unit| {
+                for i in 0..OPS {
+                    let x = f32::from_bits(0x3f80_0000 | (i as u32 & 0xffff));
+                    black_box(unit.clock(Some((x.to_bits() as u64, 0x4000_0000))));
+                }
+            },
+        )
+    });
+
+    // The fast functional twin at the same depth.
+    g.bench_function("delay_line_adder_fp32", |b| {
+        b.iter_with_setup(
+            || {
+                DelayLineUnit::new(
+                    FpFormat::SINGLE,
+                    RoundMode::NearestEven,
+                    fpfpga::fpu::sim::DelayOp::Add,
+                    opt_add,
+                )
+            },
+            |mut unit| {
+                for i in 0..OPS {
+                    let x = f32::from_bits(0x3f80_0000 | (i as u32 & 0xffff));
+                    black_box(unit.clock(Some((x.to_bits() as u64, 0x4000_0000))));
+                }
+            },
+        )
+    });
+
+    // Raw softfp arithmetic (the reference model's own speed).
+    g.bench_function("softfp_mul_fp64", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..OPS {
+                let x = 1.0f64 + i as f64 * 1e-9;
+                let (r, _) = fpfpga::softfp::mul_bits(
+                    FpFormat::DOUBLE,
+                    x.to_bits(),
+                    std::f64::consts::PI.to_bits(),
+                    RoundMode::NearestEven,
+                );
+                acc ^= r;
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_units);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! `fpugen` — generate a floating-point unit from constraints, in the
+//! spirit of the FPU generator the paper cites as reference \[6\].
+//!
+//! ```text
+//! cargo run --release -p fpfpga-bench --bin fpugen -- \
+//!     --op add --bits 32 --target-mhz 200 --metric freq-area
+//! ```
+//!
+//! ```text
+//! Options:
+//!   --op <add|mul|div|sqrt|mac>       operation (required)
+//!   --bits <32|48|64>                 precision (default 32)
+//!   --exp <n> --frac <n>              custom format (overrides --bits)
+//!   --target-mhz <f>                  required clock
+//!   --max-slices <n>                  slice budget
+//!   --metric <max-freq|freq-area|min-area>   selection rule (default freq-area)
+//!   --tech <v2pro|virtexe>            device family (default v2pro)
+//!   --objective <speed|area>          tool objective (default speed)
+//!   --verbose                         print the generated netlist table
+//! ```
+
+use fpfpga::fpu::generator::{generate, Metric, Request, UnitOp};
+use fpfpga::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |name: &str| -> Option<String> {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    };
+
+    let op = match get("--op").as_deref().and_then(UnitOp::parse) {
+        Some(op) => op,
+        None => {
+            eprintln!("--op <add|mul|div|sqrt|mac> is required");
+            std::process::exit(2);
+        }
+    };
+
+    let format = if let (Some(e), Some(f)) = (get("--exp"), get("--frac")) {
+        let (e, f) = (e.parse().expect("--exp"), f.parse().expect("--frac"));
+        FpFormat::try_new(e, f).unwrap_or_else(|| {
+            eprintln!("invalid custom format 1+{e}+{f}");
+            std::process::exit(2);
+        })
+    } else {
+        match get("--bits").as_deref().unwrap_or("32") {
+            "32" => FpFormat::SINGLE,
+            "48" => FpFormat::FP48,
+            "64" => FpFormat::DOUBLE,
+            other => {
+                eprintln!("--bits must be 32, 48 or 64 (got {other}); use --exp/--frac for custom");
+                std::process::exit(2);
+            }
+        }
+    };
+
+    let metric = match get("--metric").as_deref().unwrap_or("freq-area") {
+        "max-freq" => Metric::MaxFrequency,
+        "freq-area" => Metric::FreqPerArea,
+        "min-area" => Metric::MinArea,
+        other => {
+            eprintln!("unknown metric '{other}'");
+            std::process::exit(2);
+        }
+    };
+
+    let tech = match get("--tech").as_deref().unwrap_or("v2pro") {
+        "v2pro" => Tech::virtex2pro(),
+        "virtexe" => Tech::virtex_e(),
+        other => {
+            eprintln!("unknown tech '{other}'");
+            std::process::exit(2);
+        }
+    };
+
+    let opts = match get("--objective").as_deref().unwrap_or("speed") {
+        "speed" => SynthesisOptions::SPEED,
+        "area" => SynthesisOptions::AREA,
+        other => {
+            eprintln!("unknown objective '{other}'");
+            std::process::exit(2);
+        }
+    };
+
+    let req = Request {
+        format,
+        op,
+        target_mhz: get("--target-mhz").map(|v| v.parse().expect("--target-mhz")),
+        max_slices: get("--max-slices").map(|v| v.parse().expect("--max-slices")),
+        metric,
+    };
+
+    match generate(&req, &tech, opts) {
+        Ok(g) => {
+            println!("generated {:?} unit, {format}:", op);
+            println!("  {}", g.report);
+            println!("  latency: {} cycles = {:.1} ns", g.report.stages, g.report.latency_ns());
+            println!("  rationale: {}", g.rationale);
+            for w in &g.warnings {
+                println!("  warning: {w}");
+            }
+            if args.iter().any(|a| a == "--verbose") {
+                use fpfpga::fpu::generator::UnitOp;
+                let netlist = match op {
+                    UnitOp::Add => fpfpga::prelude::AdderDesign::new(format).netlist(&tech),
+                    UnitOp::Mul => fpfpga::prelude::MultiplierDesign::new(format).netlist(&tech),
+                    UnitOp::Div => fpfpga::prelude::DividerDesign::new(format).netlist(&tech),
+                    UnitOp::Sqrt => fpfpga::prelude::SqrtDesign::new(format).netlist(&tech),
+                    UnitOp::Mac => fpfpga::fpu::FusedMacDesign::new(format).netlist(&tech),
+                };
+                println!("\n{}", netlist.component_table());
+            }
+        }
+        Err(e) => {
+            eprintln!("infeasible: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p fpfpga-bench --bin repro            # everything
+//! cargo run --release -p fpfpga-bench --bin repro -- table1  # one artifact
+//! cargo run --release -p fpfpga-bench --bin repro -- fig5 --json   # machine-readable
+//! ```
+//!
+//! Artifacts: `fig2`, `table1`, `table2`, `table3`, `table4`, `fig3`,
+//! `gflops`, `fig4`, `fig5`, `fig6`, `all` (default).
+
+use fpfpga::repro;
+use fpfpga_bench as render;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    if json {
+        let doc = match what {
+            "fig2" => render::json::fig2_json(&repro::fig2()),
+            "table1" => render::json::unit_table_json("1", &repro::table1()),
+            "table2" => render::json::unit_table_json("2", &repro::table2()),
+            "table3" => {
+                let t = repro::table3();
+                render::json::comparison_json("3", &t.adders, &t.multipliers)
+            }
+            "table4" => {
+                let t = repro::table4();
+                render::json::comparison_json("4", &t.adders, &t.multipliers)
+            }
+            "fig3" => render::json::fig3_json(&repro::fig3()),
+            "gflops" => render::json::gflops_json(&repro::gflops()),
+            "fig4" => render::json::fig4_json(&repro::fig4()),
+            "fig5" => render::json::arch_points_json("5", "n", &repro::fig5(&repro::FIG5_PROBLEM_SIZES)),
+            "fig6" => render::json::arch_points_json(
+                "6",
+                "b",
+                &repro::fig6(repro::FIG6_PROBLEM_SIZE, &repro::FIG6_BLOCK_SIZES),
+            ),
+            "all" => render::json::all_json(),
+            other => {
+                eprintln!("unknown artifact '{other}'");
+                std::process::exit(2);
+            }
+        };
+        println!("{}", serde_json::to_string_pretty(&doc).expect("valid JSON"));
+        return;
+    }
+    let out = match what {
+        "fig2" => render::render_fig2(&repro::fig2()),
+        "table1" => render::render_unit_table(
+            "Table 1. Analysis of 32, 48, 64-bit Floating Point Adders",
+            &repro::table1(),
+        ),
+        "table2" => render::render_unit_table(
+            "Table 2. Analysis of 32, 48, 64-bit Floating Point Multipliers",
+            &repro::table2(),
+        ),
+        "table3" => render::render_table3(&repro::table3()),
+        "table4" => render::render_table4(&repro::table4()),
+        "fig3" => render::render_fig3(&repro::fig3()),
+        "gflops" => render::render_gflops(&repro::gflops()),
+        "fig4" => render::render_fig4(&repro::fig4()),
+        "fig5" => render::render_arch_points(
+            "Figure 5. Flat designs vs problem size n (PL = 10/19/25)",
+            "n",
+            &repro::fig5(&repro::FIG5_PROBLEM_SIZES),
+        ),
+        "fig6" => render::render_arch_points(
+            &format!(
+                "Figure 6. Blocked designs vs block size b at N = {} (PL = 10/19/25)",
+                repro::FIG6_PROBLEM_SIZE
+            ),
+            "b",
+            &repro::fig6(repro::FIG6_PROBLEM_SIZE, &repro::FIG6_BLOCK_SIZES),
+        ),
+        "all" => render::render_all(),
+        other => {
+            eprintln!(
+                "unknown artifact '{other}'; expected one of: fig2 table1 table2 table3 table4 \
+                 fig3 gflops fig4 fig5 fig6 all"
+            );
+            std::process::exit(2);
+        }
+    };
+    println!("{out}");
+}

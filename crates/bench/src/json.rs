@@ -1,0 +1,180 @@
+//! Machine-readable (JSON) export of every artifact, for downstream
+//! plotting (the figures are line/bar charts in the paper; the series
+//! here feed straight into any plotting tool).
+
+use fpfpga::prelude::*;
+use fpfpga::repro::{self, ArchPoint, Fig2, Fig3, Fig4Bar, GflopsReport, UnitTable};
+use serde_json::{json, Value};
+
+/// Figure 2 as JSON.
+pub fn fig2_json(f: &Fig2) -> Value {
+    let curves = |cs: &[repro::Fig2Curve]| -> Value {
+        Value::Array(
+            cs.iter()
+                .map(|c| {
+                    json!({
+                        "precision": c.precision,
+                        "stages": c.points.iter().map(|p| p.0).collect::<Vec<_>>(),
+                        "mhz_per_slice": c.points.iter().map(|p| p.1).collect::<Vec<_>>(),
+                    })
+                })
+                .collect(),
+        )
+    };
+    json!({ "figure": "2", "adders": curves(&f.adders), "multipliers": curves(&f.multipliers) })
+}
+
+/// Table 1 or 2 as JSON.
+pub fn unit_table_json(name: &str, t: &UnitTable) -> Value {
+    let block = |b: &repro::UnitTableBlock| {
+        let rep = |r: &fpfpga::fabric::ImplementationReport| {
+            json!({
+                "stages": r.stages, "slices": r.slices, "luts": r.luts, "ffs": r.ffs,
+                "bmults": r.bmults, "clock_mhz": r.clock_mhz,
+                "freq_per_area": r.freq_per_area(),
+            })
+        };
+        json!({
+            "precision": b.precision,
+            "min": rep(&b.min), "max": rep(&b.max), "opt": rep(&b.opt),
+        })
+    };
+    json!({ "table": name, "blocks": t.iter().map(block).collect::<Vec<_>>() })
+}
+
+/// Table 3 or 4 as JSON.
+pub fn comparison_json(name: &str, adders: &[fpfpga::baselines::comparison::ComparisonRow],
+                       multipliers: &[fpfpga::baselines::comparison::ComparisonRow]) -> Value {
+    let row = |r: &fpfpga::baselines::comparison::ComparisonRow| {
+        json!({
+            "who": r.who, "stages": r.stages, "slices": r.slices,
+            "clock_mhz": r.clock_mhz, "freq_per_area": r.freq_per_area,
+            "power_mw": r.power_mw,
+        })
+    };
+    json!({
+        "table": name,
+        "adders": adders.iter().map(row).collect::<Vec<_>>(),
+        "multipliers": multipliers.iter().map(row).collect::<Vec<_>>(),
+    })
+}
+
+/// Figure 3 as JSON.
+pub fn fig3_json(f: &Fig3) -> Value {
+    let curves = |cs: &[repro::Fig3Curve]| -> Value {
+        Value::Array(
+            cs.iter()
+                .map(|c| {
+                    json!({
+                        "precision": c.precision,
+                        "stages": c.points.iter().map(|p| p.0).collect::<Vec<_>>(),
+                        "power_mw": c.points.iter().map(|p| p.1).collect::<Vec<_>>(),
+                    })
+                })
+                .collect(),
+        )
+    };
+    json!({ "figure": "3", "adders": curves(&f.adders), "multipliers": curves(&f.multipliers) })
+}
+
+/// Section 4.2 as JSON.
+pub fn gflops_json(g: &GflopsReport) -> Value {
+    let fill = |f: &DeviceFill| {
+        json!({
+            "device": f.device.name, "pe_count": f.pe_count, "clock_mhz": f.clock_mhz,
+            "gflops": f.gflops(), "power_w": f.power_w(0.3),
+            "gflops_per_watt": f.gflops_per_watt(0.3),
+        })
+    };
+    json!({
+        "section": "4.2",
+        "single": fill(&g.single),
+        "double": fill(&g.double),
+        "processors": g.comparison.processors.iter().map(|p| json!({
+            "name": p.name,
+            "sustained_gflops": p.sustained_gflops_single(),
+            "speedup": g.comparison.speedup_over(p),
+            "gflops_per_watt_gain": g.comparison.efficiency_gain_over(p),
+        })).collect::<Vec<_>>(),
+    })
+}
+
+/// Figure 4 as JSON.
+pub fn fig4_json(bars: &[Fig4Bar]) -> Value {
+    json!({
+        "figure": "4",
+        "bars": bars.iter().map(|b| json!({
+            "n": b.n, "level": b.level, "total_nj": b.total_nj,
+            "by_class": b.by_class.iter()
+                .map(|(c, e)| (c.label().to_string(), *e))
+                .collect::<std::collections::BTreeMap<_, _>>(),
+        })).collect::<Vec<_>>(),
+    })
+}
+
+/// Figure 5 or 6 as JSON.
+pub fn arch_points_json(figure: &str, x_label: &str, pts: &[ArchPoint]) -> Value {
+    json!({
+        "figure": figure,
+        "x_label": x_label,
+        "points": pts.iter().map(|p| json!({
+            "x": p.x, "level": p.level, "energy_nj": p.energy_nj,
+            "slices": p.slices, "bmults": p.bmults, "brams": p.brams,
+            "latency_us": p.latency_us,
+        })).collect::<Vec<_>>(),
+    })
+}
+
+/// Every artifact as one JSON document.
+pub fn all_json() -> Value {
+    let t3 = repro::table3();
+    let t4 = repro::table4();
+    json!({
+        "paper": "Analysis of High-performance Floating-point Arithmetic on FPGAs (IPPS 2004)",
+        "fig2": fig2_json(&repro::fig2()),
+        "table1": unit_table_json("1", &repro::table1()),
+        "table2": unit_table_json("2", &repro::table2()),
+        "table3": comparison_json("3", &t3.adders, &t3.multipliers),
+        "table4": comparison_json("4", &t4.adders, &t4.multipliers),
+        "fig3": fig3_json(&repro::fig3()),
+        "gflops": gflops_json(&repro::gflops()),
+        "fig4": fig4_json(&repro::fig4()),
+        "fig5": arch_points_json("5", "n", &repro::fig5(&repro::FIG5_PROBLEM_SIZES)),
+        "fig6": arch_points_json("6", "b",
+            &repro::fig6(repro::FIG6_PROBLEM_SIZE, &repro::FIG6_BLOCK_SIZES)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_json_structure() {
+        let v = fig2_json(&repro::fig2());
+        assert_eq!(v["figure"], "2");
+        assert_eq!(v["adders"].as_array().unwrap().len(), 3);
+        let c = &v["adders"][0];
+        assert_eq!(
+            c["stages"].as_array().unwrap().len(),
+            c["mhz_per_slice"].as_array().unwrap().len()
+        );
+    }
+
+    #[test]
+    fn gflops_json_structure() {
+        let v = gflops_json(&repro::gflops());
+        assert!(v["single"]["gflops"].as_f64().unwrap() > 10.0);
+        assert_eq!(v["processors"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn table_json_has_min_max_opt() {
+        let v = unit_table_json("1", &repro::table1());
+        for b in v["blocks"].as_array().unwrap() {
+            for col in ["min", "max", "opt"] {
+                assert!(b[col]["slices"].as_u64().unwrap() > 0, "{col}");
+            }
+        }
+    }
+}

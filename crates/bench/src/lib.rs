@@ -1,0 +1,289 @@
+//! Rendering of the paper's tables and figures as text (and JSON).
+//!
+//! `fpfpga::repro` computes the data; this crate formats it the way the
+//! paper lays it out, for the `repro` binary and the integration tests.
+
+pub mod json;
+
+use fpfpga::repro::{self, ArchPoint, Fig2, Fig3, Fig4Bar, GflopsReport, UnitTable};
+use fpfpga::prelude::*;
+use std::fmt::Write as _;
+
+/// Render Figure 2 (frequency/area vs pipeline stages).
+pub fn render_fig2(f: &Fig2) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Figure 2. Frequency/Area (MHz/slice) vs. number of pipeline stages");
+    for (part, curves) in [("(a) Adder/Subtractor", &f.adders), ("(b) Multiplier", &f.multipliers)]
+    {
+        let _ = writeln!(s, "\n{part}");
+        let _ = writeln!(s, "{:>7} {:>10} {:>10} {:>10}", "stages", "32-bit", "48-bit", "64-bit");
+        let depth = curves.iter().map(|c| c.points.len()).max().unwrap_or(0);
+        for row in 0..depth {
+            let _ = write!(s, "{:>7}", row + 1);
+            for c in curves.iter() {
+                match c.points.get(row) {
+                    Some((_, v)) => {
+                        let _ = write!(s, " {v:>10.4}");
+                    }
+                    None => {
+                        let _ = write!(s, " {:>10}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(s);
+        }
+    }
+    s
+}
+
+/// Render Table 1 or Table 2 (min/max/opt per precision).
+pub fn render_unit_table(title: &str, t: &UnitTable) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{title}");
+    let _ = writeln!(
+        s,
+        "{:<22} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "", "32/min", "32/max", "32/opt", "48/min", "48/max", "48/opt", "64/min", "64/max", "64/opt"
+    );
+    let cols: Vec<&fpfpga::fabric::ImplementationReport> =
+        t.iter().flat_map(|b| [&b.min, &b.max, &b.opt]).collect();
+    let row = |s: &mut String, label: &str, f: &dyn Fn(&fpfpga::fabric::ImplementationReport) -> String| {
+        let _ = write!(s, "{label:<22}");
+        for c in &cols {
+            let _ = write!(s, " {:>9}", f(c));
+        }
+        let _ = writeln!(s);
+    };
+    row(&mut s, "No. of Pipeline Stages", &|r| r.stages.to_string());
+    row(&mut s, "Area (slices)", &|r| r.slices.to_string());
+    row(&mut s, "LUTs", &|r| r.luts.to_string());
+    row(&mut s, "Flip Flops", &|r| r.ffs.to_string());
+    row(&mut s, "Clock Rate (MHz)", &|r| format!("{:.1}", r.clock_mhz));
+    row(&mut s, "Freq/Area (MHz/slice)", &|r| format!("{:.4}", r.freq_per_area()));
+    s
+}
+
+/// Render Table 3 (32-bit comparison).
+pub fn render_table3(t: &Table3) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Table 3. Comparison of 32-bit Floating Point Units");
+    for (part, rows) in [("32-bit Adder", &t.adders), ("32-bit Multiplier", &t.multipliers)] {
+        let _ = writeln!(s, "\n{part}");
+        let _ = writeln!(
+            s,
+            "{:<12} {:>9} {:>9} {:>11} {:>12}",
+            "", "Pipelines", "Slices", "Clock (MHz)", "Freq/Area"
+        );
+        for r in rows.iter() {
+            let _ = writeln!(
+                s,
+                "{:<12} {:>9} {:>9} {:>11.1} {:>12.4}",
+                r.who, r.stages, r.slices, r.clock_mhz, r.freq_per_area
+            );
+        }
+    }
+    s
+}
+
+/// Render Table 4 (64-bit comparison with power).
+pub fn render_table4(t: &Table4) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Table 4. Comparison of 64-bit Floating Point Units");
+    for (part, rows) in [("64-bit Adder", &t.adders), ("64-bit Multiplier", &t.multipliers)] {
+        let _ = writeln!(s, "\n{part}");
+        let _ = writeln!(
+            s,
+            "{:<8} {:>7} {:>8} {:>11} {:>11} {:>14}",
+            "", "Stages", "Slices", "Clock (MHz)", "Freq/Area", "Power@100MHz"
+        );
+        for r in rows.iter() {
+            let power = r.power_mw.map_or("-".to_string(), |p| format!("{p:.0} mW"));
+            let _ = writeln!(
+                s,
+                "{:<8} {:>7} {:>8} {:>11.1} {:>11.4} {:>14}",
+                r.who, r.stages, r.slices, r.clock_mhz, r.freq_per_area, power
+            );
+        }
+    }
+    s
+}
+
+/// Render Figure 3 (power vs pipeline stages at 100 MHz).
+pub fn render_fig3(f: &Fig3) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Figure 3. Power (mW at 100 MHz) vs. number of pipeline stages");
+    for (part, curves) in [("(a) Adder/Subtractor", &f.adders), ("(b) Multiplier", &f.multipliers)]
+    {
+        let _ = writeln!(s, "\n{part}");
+        let _ = writeln!(s, "{:>7} {:>10} {:>10} {:>10}", "stages", "32-bit", "48-bit", "64-bit");
+        let depth = curves.iter().map(|c| c.points.len()).max().unwrap_or(0);
+        for row in 0..depth {
+            let _ = write!(s, "{:>7}", row + 1);
+            for c in curves.iter() {
+                match c.points.get(row) {
+                    Some((_, v)) => {
+                        let _ = write!(s, " {v:>10.1}");
+                    }
+                    None => {
+                        let _ = write!(s, " {:>10}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(s);
+        }
+    }
+    s
+}
+
+/// Render the Section 4.2 GFLOPS report.
+pub fn render_gflops(g: &GflopsReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Section 4.2. Floating-point matrix multiplication on {}", g.single.device.name);
+    for (label, fill) in [("single (32-bit)", &g.single), ("double (64-bit)", &g.double)] {
+        let _ = writeln!(
+            s,
+            "  {label:<16}: {:>3} PEs @ {:>5.1} MHz = {:>5.1} GFLOPS, {:>4.1} W, {:.2} GFLOPS/W",
+            fill.pe_count,
+            fill.clock_mhz,
+            fill.gflops(),
+            fill.power_w(0.3),
+            fill.gflops_per_watt(0.3)
+        );
+    }
+    let _ = writeln!(s, "\n  vs. general-purpose processors (single precision, sustained):");
+    for p in &g.comparison.processors {
+        let _ = writeln!(
+            s,
+            "  {:<24}: {:>4.1} GFLOPS → speedup {:>4.1}x, GFLOPS/W gain {:>4.1}x",
+            p.name,
+            p.sustained_gflops_single(),
+            g.comparison.speedup_over(p),
+            g.comparison.efficiency_gain_over(p)
+        );
+    }
+    s
+}
+
+/// Render Figure 4 (PE energy distribution).
+pub fn render_fig4(bars: &[Fig4Bar]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Figure 4. Energy distribution (nJ) per component class");
+    let _ = writeln!(
+        s,
+        "{:>5} {:>7} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "n", "level", "I/O", "Misc.", "Storage", "MAC", "total"
+    );
+    for b in bars {
+        let field = |class: ComponentClass| {
+            b.by_class.iter().find(|(c, _)| *c == class).map(|(_, e)| *e).unwrap_or(0.0)
+        };
+        let _ = writeln!(
+            s,
+            "{:>5} {:>7} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
+            b.n,
+            b.level,
+            field(ComponentClass::Io),
+            field(ComponentClass::Misc),
+            field(ComponentClass::Storage),
+            field(ComponentClass::Mac),
+            b.total_nj
+        );
+    }
+    s
+}
+
+/// Render Figure 5 or 6 (energy / resources / latency sweeps).
+pub fn render_arch_points(title: &str, x_label: &str, points: &[ArchPoint]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{title}");
+    let _ = writeln!(
+        s,
+        "{:>6} {:>7} {:>14} {:>9} {:>8} {:>7} {:>13}",
+        x_label, "level", "energy (nJ)", "slices", "BMults", "BRAMs", "latency (us)"
+    );
+    for p in points {
+        let _ = writeln!(
+            s,
+            "{:>6} {:>7} {:>14.1} {:>9} {:>8} {:>7} {:>13.2}",
+            p.x, p.level, p.energy_nj, p.slices, p.bmults, p.brams, p.latency_us
+        );
+    }
+    s
+}
+
+/// Render everything, in paper order.
+pub fn render_all() -> String {
+    let mut s = String::new();
+    s.push_str(&render_fig2(&repro::fig2()));
+    s.push('\n');
+    s.push_str(&render_unit_table(
+        "Table 1. Analysis of 32, 48, 64-bit Floating Point Adders",
+        &repro::table1(),
+    ));
+    s.push('\n');
+    s.push_str(&render_unit_table(
+        "Table 2. Analysis of 32, 48, 64-bit Floating Point Multipliers",
+        &repro::table2(),
+    ));
+    s.push('\n');
+    s.push_str(&render_table3(&repro::table3()));
+    s.push('\n');
+    s.push_str(&render_table4(&repro::table4()));
+    s.push('\n');
+    s.push_str(&render_fig3(&repro::fig3()));
+    s.push('\n');
+    s.push_str(&render_gflops(&repro::gflops()));
+    s.push('\n');
+    s.push_str(&render_fig4(&repro::fig4()));
+    s.push('\n');
+    s.push_str(&render_arch_points(
+        "Figure 5. Flat designs vs problem size n (PL = 10/19/25)",
+        "n",
+        &repro::fig5(&repro::FIG5_PROBLEM_SIZES),
+    ));
+    s.push('\n');
+    s.push_str(&render_arch_points(
+        &format!(
+            "Figure 6. Blocked designs vs block size b at N = {} (PL = 10/19/25)",
+            repro::FIG6_PROBLEM_SIZE
+        ),
+        "b",
+        &repro::fig6(repro::FIG6_PROBLEM_SIZE, &repro::FIG6_BLOCK_SIZES),
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_are_nonempty_and_labelled() {
+        let f2 = render_fig2(&repro::fig2());
+        assert!(f2.contains("Figure 2"));
+        assert!(f2.contains("32-bit"));
+        let t1 = render_unit_table("Table 1", &repro::table1());
+        assert!(t1.contains("Pipeline Stages"));
+        assert!(t1.contains("Freq/Area"));
+        let t3 = render_table3(&repro::table3());
+        assert!(t3.contains("Nallatech") && t3.contains("Quixilica") && t3.contains("USC"));
+        let t4 = render_table4(&repro::table4());
+        assert!(t4.contains("NEU") && t4.contains("mW"));
+    }
+
+    #[test]
+    fn gflops_render_mentions_processors() {
+        let s = render_gflops(&repro::gflops());
+        assert!(s.contains("Pentium 4"));
+        assert!(s.contains("G4"));
+        assert!(s.contains("GFLOPS/W"));
+    }
+
+    #[test]
+    fn arch_point_renders() {
+        let pts = repro::fig5(&[8, 16]);
+        let s = render_arch_points("Figure 5", "n", &pts);
+        assert!(s.contains("pl=10") && s.contains("pl=25"));
+        assert_eq!(s.lines().count(), 2 + pts.len());
+    }
+}

@@ -1,0 +1,77 @@
+//! # fpfpga — Analysis of High-Performance Floating-Point Arithmetic on FPGAs
+//!
+//! A full reproduction, in Rust, of Govindu, Zhuo, Choi and Prasanna,
+//! *"Analysis of High-performance Floating-point Arithmetic on FPGAs"*
+//! (IPPS/IPDPS-RAW 2004), built on a calibrated behavioral + analytical
+//! model of a Virtex-II Pro class FPGA (no HDL toolchain required).
+//!
+//! The workspace layers, re-exported here:
+//!
+//! * [`softfp`] — parameterized bit-exact floating point (32/48/64-bit,
+//!   round-to-nearest / truncate, flush-to-zero, no NaNs) — the
+//!   numerical reference;
+//! * [`fabric`] — the FPGA substrate model: primitives with delay atoms
+//!   and area bills, netlists, critical-path pipelining, synthesis/P&R
+//!   objectives, the Virtex-II Pro device catalogue;
+//! * [`fpu`] — the paper's cores: pipeline-parameterized adder/subtractor
+//!   and multiplier, simulated stage by stage and swept for
+//!   frequency/area analysis;
+//! * [`power`] — XPower-style power and domain-specific energy models;
+//! * [`matmul`] — the linear-array matrix-multiply kernel: cycle-accurate
+//!   simulation, block algorithm with zero padding, device-fill GFLOPS
+//!   and energy reports;
+//! * [`baselines`] — Nallatech/Quixilica/NEU cores and Pentium 4 / G4
+//!   processor models.
+//!
+//! [`repro`] computes every table and figure of the paper's evaluation as
+//! plain data structures; the `fpfpga-bench` crate renders them.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fpfpga::prelude::*;
+//!
+//! // Sweep a single-precision adder's pipeline depth and pick the
+//! // highest-throughput/area implementation (the paper's "opt"):
+//! let tech = Tech::virtex2pro();
+//! let sweep = CoreSweep::adder(FpFormat::SINGLE, &tech, SynthesisOptions::SPEED);
+//! let opt = sweep.opt();
+//! println!("opt: {} stages, {} slices, {:.0} MHz", opt.stages, opt.slices, opt.clock_mhz);
+//!
+//! // Multiply two matrices on a cycle-accurate linear array:
+//! let fmt = FpFormat::SINGLE;
+//! let a = Matrix::from_fn(fmt, 8, 8, |i, j| (i + j) as f64);
+//! let b = Matrix::identity(fmt, 8);
+//! let (c, stats) = LinearArray::multiply(
+//!     fmt, RoundMode::NearestEven, 7, 9, &a, &b, UnitBackend::Fast);
+//! assert_eq!(c, a);
+//! assert_eq!(stats.useful_macs, 8 * 8 * 8);
+//! ```
+
+pub use fpfpga_baselines as baselines;
+pub use fpfpga_fabric as fabric;
+pub use fpfpga_fpu as fpu;
+pub use fpfpga_matmul as matmul;
+pub use fpfpga_power as power;
+pub use fpfpga_softfp as softfp;
+
+pub mod repro;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use fpfpga_baselines::{Processor, ProcessorComparison, Table3, Table4, VendorCore};
+    pub use fpfpga_fabric::{
+        timing, AreaCost, Device, Netlist, Objective, PipelineStrategy, SynthesisOptions, Tech,
+    };
+    pub use fpfpga_fpu::{
+        analysis::CoreKind, AdderDesign, CoreSweep, DelayLineUnit, DividerDesign, FpPipe,
+        MultiplierDesign, PipelinedUnit, PrecisionAnalysis, SqrtDesign,
+    };
+    pub use fpfpga_matmul::pe::UnitBackend;
+    pub use fpfpga_matmul::{
+        ArchitectureEnergy, BlockMatMul, Candidate, Constraints, DeviceFill, DotProductUnit,
+        Explorer, LinearArray, Matrix, MvmEngine, PeResources, PipeliningLevel, Schedule, UnitSet,
+    };
+    pub use fpfpga_power::{ComponentClass, EnergyBill, PowerBreakdown, PowerModel};
+    pub use fpfpga_softfp::{Flags, FpFormat, RoundMode, SoftFloat};
+}

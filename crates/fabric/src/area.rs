@@ -1,0 +1,144 @@
+//! Resource accounting: slices, LUTs, flip-flops, embedded multipliers
+//! and block RAMs.
+//!
+//! Virtex-II Pro slices hold two 4-LUTs and two flip-flops each. The
+//! model keeps LUTs and FFs as the primary quantities (they are what the
+//! primitives generate) and derives slices with a packing model: logic
+//! claims `ceil(luts/2)` slices whose spare flip-flops partially absorb
+//! pipeline registers — the paper's observation that "pipelining can
+//! exploit the unused flipflops present in the slices … and cause only a
+//! moderate increase in area" — with the remainder spilling into
+//! FF-only slices.
+
+use crate::tech::Tech;
+use core::ops::{Add, AddAssign, Mul};
+
+/// A resource bill. LUT/FF counts are kept as `f64` internally because
+/// model formulas are continuous; reports round up.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AreaCost {
+    /// 4-input LUTs used for logic (including route-throughs).
+    pub luts: f64,
+    /// Flip-flops (pipeline registers, sync outputs, control).
+    pub ffs: f64,
+    /// Embedded 18×18 multiplier blocks.
+    pub bmults: u32,
+    /// 18 Kbit block RAMs.
+    pub brams: u32,
+    /// Extra slices used purely for routing (speed-objective P&R).
+    pub routing_slices: f64,
+}
+
+impl AreaCost {
+    /// A bill with only logic LUTs.
+    pub fn luts(luts: f64) -> AreaCost {
+        AreaCost { luts, ..Default::default() }
+    }
+
+    /// A bill with only flip-flops.
+    pub fn ffs(ffs: f64) -> AreaCost {
+        AreaCost { ffs, ..Default::default() }
+    }
+
+    /// Total slices under the packing model described at module level.
+    pub fn slices(&self, tech: &Tech) -> f64 {
+        let logic_slices = (self.luts / 2.0).ceil();
+        let free_ffs = 2.0 * logic_slices * tech.free_ff_utilization;
+        let spill_ffs = (self.ffs - free_ffs).max(0.0);
+        logic_slices + (spill_ffs / 2.0).ceil() + self.routing_slices.ceil()
+    }
+
+    /// Rounded LUT count for reports.
+    pub fn luts_rounded(&self) -> u32 {
+        self.luts.ceil() as u32
+    }
+
+    /// Rounded FF count for reports.
+    pub fn ffs_rounded(&self) -> u32 {
+        self.ffs.ceil() as u32
+    }
+}
+
+impl Add for AreaCost {
+    type Output = AreaCost;
+    fn add(self, rhs: AreaCost) -> AreaCost {
+        AreaCost {
+            luts: self.luts + rhs.luts,
+            ffs: self.ffs + rhs.ffs,
+            bmults: self.bmults + rhs.bmults,
+            brams: self.brams + rhs.brams,
+            routing_slices: self.routing_slices + rhs.routing_slices,
+        }
+    }
+}
+
+impl AddAssign for AreaCost {
+    fn add_assign(&mut self, rhs: AreaCost) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<f64> for AreaCost {
+    type Output = AreaCost;
+    /// Scale a bill by a replication count (for multi-unit architectures).
+    fn mul(self, k: f64) -> AreaCost {
+        AreaCost {
+            luts: self.luts * k,
+            ffs: self.ffs * k,
+            bmults: (self.bmults as f64 * k).round() as u32,
+            brams: (self.brams as f64 * k).round() as u32,
+            routing_slices: self.routing_slices * k,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Tech {
+        Tech::virtex2pro()
+    }
+
+    #[test]
+    fn logic_only_slices() {
+        let a = AreaCost::luts(100.0);
+        assert_eq!(a.slices(&tech()), 50.0);
+    }
+
+    #[test]
+    fn ffs_absorb_into_free_slots_first() {
+        // 100 LUTs → 50 slices → 100 FF slots, 60 usable at η=0.6.
+        let mut a = AreaCost::luts(100.0);
+        a.ffs = 60.0;
+        assert_eq!(a.slices(&tech()), 50.0);
+        a.ffs = 61.0;
+        assert_eq!(a.slices(&tech()), 51.0);
+        a.ffs = 100.0;
+        assert_eq!(a.slices(&tech()), 70.0);
+    }
+
+    #[test]
+    fn ff_only_design() {
+        let a = AreaCost::ffs(64.0);
+        assert_eq!(a.slices(&tech()), 32.0);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = AreaCost { luts: 10.0, ffs: 4.0, bmults: 1, brams: 2, routing_slices: 0.0 };
+        let b = a + a;
+        assert_eq!(b.luts, 20.0);
+        assert_eq!(b.bmults, 2);
+        let c = a * 3.0;
+        assert_eq!(c.brams, 6);
+        assert_eq!(c.ffs, 12.0);
+    }
+
+    #[test]
+    fn routing_slices_count() {
+        let mut a = AreaCost::luts(10.0);
+        a.routing_slices = 3.2;
+        assert_eq!(a.slices(&tech()), 5.0 + 4.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Virtex-II Pro device catalogue.
+//!
+//! Resource counts follow the Xilinx Virtex-II Pro data sheet (DS083).
+//! The paper targets the largest part, the XC2VP125, for its
+//! whole-device matrix-multiplication numbers.
+
+use crate::area::AreaCost;
+use crate::tech::Tech;
+
+/// An FPGA device: the resources available to fill with processing
+/// elements.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Device {
+    /// Part name, e.g. "XC2VP125".
+    pub name: &'static str,
+    /// Logic slices (each two 4-LUTs and two flip-flops).
+    pub slices: u32,
+    /// 18×18 embedded multiplier blocks.
+    pub mult18x18s: u32,
+    /// 18 Kbit block RAMs.
+    pub brams: u32,
+    /// Embedded PowerPC 405 cores (unused by the kernels, listed for
+    /// completeness of the platform-FPGA description in the paper's
+    /// introduction).
+    pub ppc_cores: u32,
+}
+
+impl Device {
+    /// The paper's target: XC2VP125, speed grade -7, FF1696 package.
+    pub const XC2VP125: Device =
+        Device { name: "XC2VP125", slices: 55_616, mult18x18s: 556, brams: 556, ppc_cores: 4 };
+    /// XC2VP100.
+    pub const XC2VP100: Device =
+        Device { name: "XC2VP100", slices: 44_096, mult18x18s: 444, brams: 444, ppc_cores: 2 };
+    /// XC2VP70.
+    pub const XC2VP70: Device =
+        Device { name: "XC2VP70", slices: 33_088, mult18x18s: 328, brams: 328, ppc_cores: 2 };
+    /// XC2VP50.
+    pub const XC2VP50: Device =
+        Device { name: "XC2VP50", slices: 23_616, mult18x18s: 232, brams: 232, ppc_cores: 2 };
+    /// XC2VP30.
+    pub const XC2VP30: Device =
+        Device { name: "XC2VP30", slices: 13_696, mult18x18s: 136, brams: 136, ppc_cores: 2 };
+    /// XC2VP20.
+    pub const XC2VP20: Device =
+        Device { name: "XC2VP20", slices: 9_280, mult18x18s: 88, brams: 88, ppc_cores: 2 };
+    /// XC2VP7.
+    pub const XC2VP7: Device =
+        Device { name: "XC2VP7", slices: 4_928, mult18x18s: 44, brams: 44, ppc_cores: 1 };
+    /// XC2VP4.
+    pub const XC2VP4: Device =
+        Device { name: "XC2VP4", slices: 3_008, mult18x18s: 28, brams: 28, ppc_cores: 1 };
+    /// XC2VP2 — smallest of the family.
+    pub const XC2VP2: Device =
+        Device { name: "XC2VP2", slices: 1_408, mult18x18s: 12, brams: 12, ppc_cores: 0 };
+
+    /// Whole catalogue, ascending by size.
+    pub const CATALOG: [Device; 9] = [
+        Device::XC2VP2,
+        Device::XC2VP4,
+        Device::XC2VP7,
+        Device::XC2VP20,
+        Device::XC2VP30,
+        Device::XC2VP50,
+        Device::XC2VP70,
+        Device::XC2VP100,
+        Device::XC2VP125,
+    ];
+
+    /// How many copies of a resource bill fit on the device, leaving
+    /// `reserve_fraction` of the slices for interconnect, I/O logic and
+    /// control (designs that "occupy the whole device" still route at
+    /// ~85-90% slice utilization).
+    pub fn fit(&self, unit: &AreaCost, tech: &Tech, reserve_fraction: f64) -> u32 {
+        let usable_slices = (self.slices as f64 * (1.0 - reserve_fraction)).floor();
+        let unit_slices = unit.slices(tech);
+        let by_slices = if unit_slices > 0.0 {
+            (usable_slices / unit_slices) as u32
+        } else {
+            u32::MAX
+        };
+        let by_mults = if unit.bmults > 0 { self.mult18x18s / unit.bmults } else { u32::MAX };
+        let by_brams = if unit.brams > 0 { self.brams / unit.brams } else { u32::MAX };
+        by_slices.min(by_mults).min(by_brams)
+    }
+
+    /// Utilization fractions for `count` copies of `unit`.
+    pub fn utilization(&self, unit: &AreaCost, count: u32, tech: &Tech) -> Utilization {
+        let total = *unit * count as f64;
+        Utilization {
+            slices: total.slices(tech) / self.slices as f64,
+            mult18x18s: total.bmults as f64 / self.mult18x18s as f64,
+            brams: total.brams as f64 / self.brams as f64,
+        }
+    }
+}
+
+/// Fractional utilization of each resource class.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Utilization {
+    /// Slice utilization in [0, 1+].
+    pub slices: f64,
+    /// Embedded-multiplier utilization.
+    pub mult18x18s: f64,
+    /// Block-RAM utilization.
+    pub brams: f64,
+}
+
+impl Utilization {
+    /// The binding (largest) utilization.
+    pub fn max(&self) -> f64 {
+        self.slices.max(self.mult18x18s).max(self.brams)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_sorted_by_slices() {
+        for w in Device::CATALOG.windows(2) {
+            assert!(w[0].slices < w[1].slices);
+        }
+    }
+
+    #[test]
+    fn xc2vp125_resources() {
+        let d = Device::XC2VP125;
+        assert_eq!(d.slices, 55_616);
+        assert_eq!(d.mult18x18s, 556);
+        assert_eq!(d.brams, 556);
+    }
+
+    #[test]
+    fn fit_by_binding_resource() {
+        let t = Tech::virtex2pro();
+        // A unit needing 1000 LUTs (≈500 slices) and 4 BMULTs:
+        let unit = AreaCost { luts: 1000.0, ffs: 0.0, bmults: 4, brams: 1, routing_slices: 0.0 };
+        let d = Device::XC2VP125;
+        let n = d.fit(&unit, &t, 0.10);
+        // slices bound: 0.9·55616/500 ≈ 100; mult bound: 556/4 = 139.
+        assert_eq!(n, 100);
+        // With huge BMULT demand the multiplier becomes binding.
+        let unit2 = AreaCost { luts: 100.0, ffs: 0.0, bmults: 16, brams: 0, routing_slices: 0.0 };
+        assert_eq!(d.fit(&unit2, &t, 0.10), 556 / 16);
+    }
+
+    #[test]
+    fn utilization_adds_up() {
+        let t = Tech::virtex2pro();
+        let unit = AreaCost { luts: 1112.32, ffs: 0.0, bmults: 2, brams: 2, routing_slices: 0.0 };
+        let u = Device::XC2VP125.utilization(&unit, 100, &t);
+        assert!((u.slices - 1.0).abs() < 0.01);
+        assert!((u.mult18x18s - 200.0 / 556.0).abs() < 1e-12);
+        assert!(u.max() >= u.brams);
+    }
+
+    #[test]
+    fn zero_resource_units_do_not_bind() {
+        let t = Tech::virtex2pro();
+        let unit = AreaCost::luts(2.0);
+        let n = Device::XC2VP2.fit(&unit, &t, 0.0);
+        assert_eq!(n, 1408);
+    }
+}

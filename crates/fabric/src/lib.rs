@@ -1,0 +1,59 @@
+//! # fpfpga-fabric — analytical model of an FPGA fabric (Virtex-II Pro class)
+//!
+//! The paper implements its floating-point cores in VHDL, synthesizes them
+//! with Xilinx ISE 5.2i and places-and-routes them on a Virtex-II Pro
+//! XC2VP125-7. That toolchain (and the silicon) is unavailable here, so
+//! this crate is the substitute substrate: a *calibrated analytical model*
+//! of the device family and of the synthesis / place-and-route process,
+//! detailed enough to reproduce every quantity the paper reports —
+//! slices, LUTs, flip-flops, achievable clock rate, and their variation
+//! with the number of pipeline stages and with tool optimization
+//! objectives.
+//!
+//! ## Model structure
+//!
+//! * [`tech`] — the calibration constants (primitive delays and area
+//!   formulas). Anchored on the figures the paper states in prose:
+//!   comparators of ≤ 11 bits reach 250 MHz and take n/2 slices; barrel
+//!   shifters take (n·log₂n)/2 slices and need ≤ 3 mux levels per stage
+//!   for 200 MHz; a 54-bit fixed-point adder reaches 200 MHz with 4
+//!   pipeline stages; a 54-bit multiplier needs 7 stages for 200 MHz.
+//! * [`primitives`] — each hardware subunit (comparator, adder, barrel
+//!   shifter, priority encoder, embedded-multiplier tree, …) described as
+//!   a sequence of **delay atoms**: indivisible combinational segments
+//!   between which a pipeline register may legally be inserted, each
+//!   annotated with the bus width a register at that point would have to
+//!   latch.
+//! * [`netlist`] — a datapath as an ordered chain of components (with
+//!   fast side-paths contributing area but not delay), the granularity at
+//!   which the FPU cores are assembled.
+//! * [`pipeline`] — register insertion: the paper's iterative
+//!   "synthesize, find critical path, break it" methodology plus an
+//!   optimal balanced partition for comparison.
+//! * [`synthesis`] — speed/area optimization objectives for the synthesis
+//!   and place-and-route steps, which the paper stresses give "vastly
+//!   different results".
+//! * [`timing`] / [`area`] — stage delay → clock rate, and the
+//!   slice/LUT/FF accounting including the paper's observation that
+//!   pipelining can exploit flip-flops already present in occupied slices.
+//! * [`device`] — the Virtex-II Pro catalog with resource counts, used to
+//!   fill a device with processing elements for the matmul kernel.
+
+pub mod area;
+pub mod device;
+pub mod netlist;
+pub mod pipeline;
+pub mod primitives;
+pub mod report;
+pub mod synthesis;
+pub mod tech;
+pub mod timing;
+
+pub use area::AreaCost;
+pub use device::Device;
+pub use netlist::{Component, Netlist};
+pub use pipeline::{PipelineStrategy, Pipelined};
+pub use primitives::Primitive;
+pub use report::ImplementationReport;
+pub use synthesis::{Objective, SynthesisOptions};
+pub use tech::Tech;

@@ -1,0 +1,196 @@
+//! Datapath netlists.
+//!
+//! A [`Netlist`] is an ordered chain of [`Component`]s, each built from
+//! one primitive (or custom atoms). The floating-point cores of the paper
+//! are, at this granularity, linear chains: the multiplier's exponent
+//! adder and the adder's sign/exception logic run *in parallel* with the
+//! mantissa path and finish earlier, so such components are marked
+//! off-critical-path — they contribute area and register width but not
+//! delay.
+
+use crate::area::AreaCost;
+use crate::primitives::{Atom, Primitive};
+use crate::tech::Tech;
+
+/// One subunit instance in a datapath.
+#[derive(Clone, Debug)]
+pub struct Component {
+    /// Human-readable subunit name ("mantissa swapper", "align shifter"…).
+    pub name: String,
+    /// Delay atoms in dataflow order.
+    pub atoms: Vec<Atom>,
+    /// Resource bill, excluding pipeline registers.
+    pub area: AreaCost,
+    /// Whether this component sits on the main (mantissa) path. Parallel
+    /// side-path components are faster than the segment of main path they
+    /// overlap, so they never set the critical path.
+    pub on_critical_path: bool,
+}
+
+impl Component {
+    /// Build a component from a primitive.
+    pub fn from_primitive(name: &str, p: &Primitive, tech: &Tech) -> Component {
+        Component {
+            name: name.to_string(),
+            atoms: p.atoms(tech),
+            area: p.area(tech),
+            on_critical_path: true,
+        }
+    }
+
+    /// Build an off-critical-path (parallel) component from a primitive.
+    pub fn parallel(name: &str, p: &Primitive, tech: &Tech) -> Component {
+        Component {
+            on_critical_path: false,
+            ..Component::from_primitive(name, p, tech)
+        }
+    }
+
+    /// Total combinational delay of this component.
+    pub fn delay_ns(&self) -> f64 {
+        self.atoms.iter().map(|a| a.delay_ns).sum()
+    }
+}
+
+/// A datapath: components in dataflow order plus interface widths.
+#[derive(Clone, Debug)]
+pub struct Netlist {
+    /// Descriptive name ("fp32 adder", "fp64 multiplier"…).
+    pub name: String,
+    /// Components in dataflow order.
+    pub components: Vec<Component>,
+    /// Width of the result bus (always registered at the output).
+    pub output_width: u32,
+    /// Side-band bits (sign, exponent-in-flight, exception flags, DONE)
+    /// that every pipeline register must additionally latch.
+    pub sideband_width: u32,
+}
+
+impl Netlist {
+    /// Create an empty netlist.
+    pub fn new(name: &str, output_width: u32, sideband_width: u32) -> Netlist {
+        Netlist {
+            name: name.to_string(),
+            components: Vec::new(),
+            output_width,
+            sideband_width,
+        }
+    }
+
+    /// Append a component on the main path.
+    pub fn push(&mut self, name: &str, p: &Primitive, tech: &Tech) -> &mut Self {
+        self.components.push(Component::from_primitive(name, p, tech));
+        self
+    }
+
+    /// Append a parallel (off-critical-path) component.
+    pub fn push_parallel(&mut self, name: &str, p: &Primitive, tech: &Tech) -> &mut Self {
+        self.components.push(Component::parallel(name, p, tech));
+        self
+    }
+
+    /// Base area: the sum over components, excluding pipeline registers.
+    pub fn base_area(&self) -> AreaCost {
+        self.components
+            .iter()
+            .fold(AreaCost::default(), |acc, c| acc + c.area)
+    }
+
+    /// Total unpipelined combinational delay of the critical path.
+    pub fn critical_delay_ns(&self) -> f64 {
+        self.components
+            .iter()
+            .filter(|c| c.on_critical_path)
+            .map(Component::delay_ns)
+            .sum()
+    }
+
+    /// Flatten the critical path into a single atom sequence for the
+    /// pipeliner. Every atom's cut width is widened by the side band.
+    pub fn flat_atoms(&self) -> Vec<Atom> {
+        self.components
+            .iter()
+            .filter(|c| c.on_critical_path)
+            .flat_map(|c| c.atoms.iter())
+            .map(|a| Atom::new(a.delay_ns, a.cut_width + self.sideband_width))
+            .collect()
+    }
+
+    /// Number of legal register positions (atom boundaries, excluding the
+    /// mandatory output register): the maximum pipeline depth is
+    /// `max_stages() = flat_atoms().len()`.
+    pub fn max_stages(&self) -> u32 {
+        self.flat_atoms().len() as u32
+    }
+
+    /// A human-readable component table: name, path role, delay, LUTs —
+    /// the "generated design report" of the netlist.
+    pub fn component_table(&self) -> String {
+        use core::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "{} ({} components, critical path {:.2} ns):",
+            self.name, self.components.len(), self.critical_delay_ns());
+        let _ = writeln!(s, "  {:<28} {:>9} {:>11} {:>8} {:>7}",
+            "component", "path", "delay (ns)", "LUTs", "BMULTs");
+        for c in &self.components {
+            let _ = writeln!(
+                s,
+                "  {:<28} {:>9} {:>11.2} {:>8} {:>7}",
+                c.name,
+                if c.on_critical_path { "critical" } else { "parallel" },
+                c.delay_ns(),
+                c.area.luts_rounded(),
+                c.area.bmults,
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Tech {
+        Tech::virtex2pro()
+    }
+
+    fn sample() -> Netlist {
+        let t = tech();
+        let mut n = Netlist::new("sample", 32, 6);
+        n.push("cmp", &Primitive::Comparator { bits: 8 }, &t);
+        n.push("shift", &Primitive::BarrelShifter { bits: 24, levels: 5 }, &t);
+        n.push_parallel("exp add", &Primitive::FixedAdder { bits: 8, carry_ns_per_bit: 0.215 }, &t);
+        n
+    }
+
+    #[test]
+    fn base_area_sums_components() {
+        let n = sample();
+        let a = n.base_area();
+        assert_eq!(a.luts, 8.0 + 24.0 * 5.0 + 8.0);
+    }
+
+    #[test]
+    fn critical_path_excludes_parallel() {
+        let n = sample();
+        let t = tech();
+        let expect = Primitive::Comparator { bits: 8 }.total_delay_ns(&t)
+            + Primitive::BarrelShifter { bits: 24, levels: 5 }.total_delay_ns(&t);
+        assert!((n.critical_delay_ns() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_atoms_carry_sideband() {
+        let n = sample();
+        let atoms = n.flat_atoms();
+        assert_eq!(atoms.len(), 1 + 5); // comparator + 5 mux levels
+        // first shifter atom: 24 data + 4 remaining shift bits + 6 sideband
+        assert_eq!(atoms[1].cut_width, 24 + 4 + 6);
+    }
+
+    #[test]
+    fn max_stages_counts_atom_boundaries() {
+        assert_eq!(sample().max_stages(), 6);
+    }
+}

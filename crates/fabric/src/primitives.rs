@@ -1,0 +1,407 @@
+//! Primitive subunit models.
+//!
+//! Each primitive describes itself as a sequence of **delay atoms** — the
+//! indivisible combinational segments between which the pipeliner may
+//! insert a register — plus a resource bill. The atom widths record how
+//! many bits a pipeline register cut at that point must latch (including
+//! any operand-skew registers a cut inside an arithmetic chain implies),
+//! which is what makes deep pipelining progressively area-hungry, exactly
+//! as the paper reports.
+//!
+//! Area formulas follow the paper's prose where it gives them:
+//! comparators and adders take about n/2 slices (≈ n LUTs) for n bits;
+//! barrel shifters take about (n·log₂ n)/2 slices.
+
+use crate::area::AreaCost;
+use crate::tech::Tech;
+
+/// An indivisible combinational segment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Atom {
+    /// Combinational delay through the segment (ns), local routing
+    /// included.
+    pub delay_ns: f64,
+    /// Bus width (bits) a pipeline register inserted *after* this atom
+    /// must latch — data bits plus any operand-skew registers.
+    pub cut_width: u32,
+}
+
+impl Atom {
+    /// Convenience constructor.
+    pub fn new(delay_ns: f64, cut_width: u32) -> Atom {
+        Atom { delay_ns, cut_width }
+    }
+}
+
+/// Bit-granularity at which carry chains may be cut. Finer granularity
+/// barely changes results but slows the partition search.
+const CARRY_CHUNK_BITS: u32 = 6;
+
+/// The catalogue of hardware subunits the floating-point cores are built
+/// from (Section 3 of the paper).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Primitive {
+    /// An n-bit unsigned comparator (MUXCY chain). Used for the
+    /// exponent-zero check in the denormalizer, the exponent comparator
+    /// and the mantissa comparator of the swapper.
+    Comparator { bits: u32 },
+    /// An n-bit 2:1 multiplexer (the swapper's mantissa mux, the
+    /// pre-normalizer's 1-bit shift mux).
+    Mux2 { bits: u32 },
+    /// An n-bit fixed-point adder/subtractor (Xilinx library-core style,
+    /// pipelineable in carry chunks). `carry_ns_per_bit` lets callers
+    /// distinguish the routing-heavy standalone mantissa adder (use
+    /// `tech.t_carry_per_bit_ns`) from the compact adders inside a
+    /// multiplier tree.
+    FixedAdder { bits: u32, carry_ns_per_bit: f64 },
+    /// An n-bit +constant adder (the rounding module's incrementers).
+    ConstAdder { bits: u32 },
+    /// A barrel shifter over `bits` data bits with `levels` mux levels
+    /// (usually ceil(log2(bits))). Alignment and normalization shifters.
+    BarrelShifter { bits: u32, levels: u32 },
+    /// A priority encoder over n bits (the normalizer's leading-one
+    /// detector). `forced` models the tool-forced structured synthesis
+    /// the paper describes for 54-bit operands (split into two smaller
+    /// encoders plus an adder and muxes).
+    PriorityEncoder { bits: u32, forced: bool },
+    /// An n×n-bit unsigned multiplier mapped to 18×18 embedded multiplier
+    /// blocks plus a fabric adder tree (Xilinx library-core style).
+    Mult18Tree { bits: u32 },
+    /// A digit-recurrence (SRT radix-2) divider/square-root array over
+    /// `bits`-wide operands producing `rows` result digits: one
+    /// carry-save subtract + digit-select row per digit. The natural
+    /// pipelining granularity is one row per stage.
+    DigitRecurrence { bits: u32, rows: u32 },
+    /// An XOR of two 1-bit signs plus small glue.
+    SignLogic,
+    /// Explicit registers (synchronous outputs, control staging).
+    Register { bits: u32 },
+    /// A block-RAM backed buffer (matmul PE storage), `words` entries of
+    /// `width` bits.
+    BramBuffer { words: u32, width: u32 },
+}
+
+impl Primitive {
+    /// The delay atoms of this primitive, in dataflow order.
+    pub fn atoms(&self, tech: &Tech) -> Vec<Atom> {
+        match *self {
+            Primitive::Comparator { bits } => {
+                vec![Atom::new(
+                    tech.t_lut_route_ns + bits as f64 * tech.t_cmp_per_bit_ns,
+                    // result is one bit, but a cut here usually also
+                    // latches the compared operands for the next stage:
+                    1 + 2 * bits,
+                )]
+            }
+            Primitive::Mux2 { bits } => vec![Atom::new(tech.t_mux_level_ns, bits)],
+            Primitive::FixedAdder { bits, carry_ns_per_bit } => {
+                carry_chain_atoms(tech, bits, carry_ns_per_bit, bits + 1)
+            }
+            Primitive::ConstAdder { bits } => {
+                // Constant adders have a shorter chain (half-adders).
+                carry_chain_atoms(tech, bits, 0.10, bits + 1)
+            }
+            Primitive::BarrelShifter { bits, levels } => {
+                // One atom per mux level; a cut after level i must latch
+                // the data bus plus the not-yet-consumed shift-amount bits.
+                (0..levels)
+                    .map(|i| Atom::new(tech.t_mux_level_ns, bits + (levels - 1 - i)))
+                    .collect()
+            }
+            Primitive::PriorityEncoder { bits, forced } => {
+                let sel_bits = log2_ceil(bits.max(2));
+                if forced {
+                    // Tool-forced split: two half-width encoders in
+                    // parallel, then a small adder + mux combine stage.
+                    let half = tech.t_lut_route_ns + sel_bits as f64 * 0.40;
+                    let combine = tech.t_lut_route_ns + 3.0 * 0.22;
+                    vec![
+                        Atom::new(half, bits + sel_bits),
+                        Atom::new(combine, sel_bits),
+                    ]
+                } else {
+                    // Monolithic cascade: the "critical subunit for large
+                    // bitwidths" the paper warns about.
+                    vec![Atom::new(
+                        tech.t_lut_route_ns + sel_bits as f64 * tech.t_prienc_level_ns,
+                        sel_bits,
+                    )]
+                }
+            }
+            Primitive::Mult18Tree { bits } => mult_tree_atoms(tech, bits),
+            Primitive::DigitRecurrence { bits, rows } => {
+                // Each row: carry-save subtract (no carry chain) + the
+                // digit-selection logic on the top bits, then routing to
+                // the next row. A register cut latches the carry-save
+                // partial remainder pair, the divisor/radicand and the
+                // digits produced so far.
+                (0..rows)
+                    .map(|r| Atom::new(tech.t_lut_route_ns + 1.25, 3 * bits + (rows - r)))
+                    .collect()
+            }
+            Primitive::SignLogic => vec![Atom::new(0.35, 1)],
+            Primitive::Register { bits } => vec![Atom::new(0.0, bits)],
+            Primitive::BramBuffer { width, .. } => vec![Atom::new(tech.t_bram_ns, width)],
+        }
+    }
+
+    /// Resource bill (LUTs/FFs/BMULTs/BRAMs) of this primitive,
+    /// excluding pipeline registers (those are charged by the pipeliner
+    /// from the cut widths).
+    pub fn area(&self, _tech: &Tech) -> AreaCost {
+        match *self {
+            // "Comparators take about n/2 slices for a bitwidth of n"
+            // → ≈ n LUTs at 2 LUTs/slice.
+            Primitive::Comparator { bits } => AreaCost::luts(bits as f64),
+            Primitive::Mux2 { bits } => AreaCost::luts(bits as f64),
+            // "It takes about n/2 slices for a bitwidth of n excluding
+            // pipelining."
+            Primitive::FixedAdder { bits, .. } => AreaCost::luts(bits as f64),
+            Primitive::ConstAdder { bits } => AreaCost::luts(bits as f64 * 0.75),
+            // "Takes up about n·log(n)/2 slices for a bitwidth of n."
+            Primitive::BarrelShifter { bits, levels } => {
+                AreaCost::luts(bits as f64 * levels as f64)
+            }
+            Primitive::PriorityEncoder { bits, forced } => {
+                AreaCost::luts(bits as f64 * if forced { 1.25 } else { 0.95 })
+            }
+            Primitive::Mult18Tree { bits } => {
+                let n = bits.div_ceil(17);
+                let pp = n * n;
+                // Tree adders: widths grow from ~2·17 toward 2·bits.
+                let tree_luts: f64 = (0..log2_ceil(pp.max(2)))
+                    .map(|lvl| (bits as f64 + 17.0 * (lvl + 1) as f64).min(2.0 * bits as f64))
+                    .sum();
+                AreaCost {
+                    luts: tree_luts,
+                    bmults: pp,
+                    ..Default::default()
+                }
+            }
+            Primitive::DigitRecurrence { bits, rows } => {
+                // CSA (2 LUTs per 2 bits ≈ bits) + digit select + divisor
+                // mux per row.
+                AreaCost::luts(bits as f64 * 1.5 * rows as f64)
+            }
+            Primitive::SignLogic => AreaCost::luts(2.0),
+            Primitive::Register { bits } => AreaCost::ffs(bits as f64),
+            Primitive::BramBuffer { words, width } => {
+                // 18Kbit blocks; usable capacity depends on aspect ratio,
+                // model 16Kbit usable.
+                let bits_total = words as u64 * width as u64;
+                AreaCost {
+                    brams: (bits_total as f64 / 16_384.0).ceil().max(1.0) as u32,
+                    luts: 4.0, // address counters handled by caller; glue only
+                    ..Default::default()
+                }
+            }
+        }
+    }
+
+    /// Total combinational delay (sum of atoms) — handy for tests.
+    pub fn total_delay_ns(&self, tech: &Tech) -> f64 {
+        self.atoms(tech).iter().map(|a| a.delay_ns).sum()
+    }
+}
+
+/// Atoms of a pipelineable n-bit carry chain. A cut after bit position p
+/// must latch the p finished low bits *and* the 2·(n−p) unconsumed
+/// operand bits (delay-balancing skew registers) plus the carry — this is
+/// what makes deeply pipelined wide adders area-expensive.
+fn carry_chain_atoms(tech: &Tech, bits: u32, carry_ns_per_bit: f64, _out_width: u32) -> Vec<Atom> {
+    let chunks = bits.div_ceil(CARRY_CHUNK_BITS);
+    let mut atoms = Vec::with_capacity(chunks as usize);
+    let mut done = 0u32;
+    for c in 0..chunks {
+        let chunk_bits = CARRY_CHUNK_BITS.min(bits - done);
+        done += chunk_bits;
+        let mut delay = chunk_bits as f64 * carry_ns_per_bit;
+        if c == 0 {
+            delay += tech.t_lut_route_ns; // chain entry LUT + route
+        }
+        let remaining = bits - done;
+        let cut_width = done + 2 * remaining + 1;
+        atoms.push(Atom::new(delay, cut_width));
+    }
+    atoms
+}
+
+/// Atoms of an n×n multiplier on 18×18 blocks: the block itself (split by
+/// its optional internal register) followed by the partial-product adder
+/// tree, each tree level a compact carry chain cuttable at chunk
+/// granularity.
+fn mult_tree_atoms(tech: &Tech, bits: u32) -> Vec<Atom> {
+    let n = bits.div_ceil(17);
+    let pp = n * n;
+    let mut atoms = vec![
+        Atom::new(tech.t_mult18_half_ns, 2 * bits),
+        Atom::new(tech.t_mult18_half_ns, 2 * bits),
+    ];
+    if pp > 1 {
+        let levels = log2_ceil(pp);
+        for lvl in 0..levels {
+            let width = (bits + 17 * (lvl + 1)).min(2 * bits);
+            // Entry LUT + compact in-tree carry (no chunk-interface
+            // routing, hence the low per-bit figure).
+            let chunks = width.div_ceil(CARRY_CHUNK_BITS * 2);
+            for c in 0..chunks {
+                let chunk_bits = (CARRY_CHUNK_BITS * 2).min(width - c * CARRY_CHUNK_BITS * 2);
+                let mut delay = chunk_bits as f64 * 0.05;
+                if c == 0 {
+                    delay += tech.t_lut_route_ns;
+                }
+                atoms.push(Atom::new(delay, 2 * bits));
+            }
+        }
+    }
+    atoms
+}
+
+/// ceil(log2(x)) for x >= 1.
+pub fn log2_ceil(x: u32) -> u32 {
+    assert!(x >= 1);
+    32 - (x - 1).leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Tech {
+        Tech::virtex2pro()
+    }
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(16), 4);
+        assert_eq!(log2_ceil(17), 5);
+        assert_eq!(log2_ceil(54), 6);
+    }
+
+    #[test]
+    fn comparator_single_atom() {
+        let p = Primitive::Comparator { bits: 11 };
+        let atoms = p.atoms(&tech());
+        assert_eq!(atoms.len(), 1);
+        assert!(atoms[0].delay_ns < 2.0);
+    }
+
+    #[test]
+    fn adder_atoms_cover_all_bits() {
+        let p = Primitive::FixedAdder { bits: 54, carry_ns_per_bit: tech().t_carry_per_bit_ns };
+        let atoms = p.atoms(&tech());
+        assert_eq!(atoms.len(), 9); // 54 / 6
+        let total: f64 = atoms.iter().map(|a| a.delay_ns).sum();
+        assert!((total - (tech().t_lut_route_ns + 54.0 * tech().t_carry_per_bit_ns)).abs() < 1e-9);
+        // Last cut (after all bits) latches just the sum + carry.
+        assert_eq!(atoms.last().unwrap().cut_width, 55);
+        // An early cut is much wider (skew registers).
+        assert!(atoms[0].cut_width > 100);
+    }
+
+    #[test]
+    fn anchor_54bit_adder_4_stages_200mhz() {
+        // The paper: "a 54bit adder/subtractor can achieve 200 MHz with 4
+        // pipelining stages".
+        let t = tech();
+        let p = Primitive::FixedAdder { bits: 54, carry_ns_per_bit: t.t_carry_per_bit_ns };
+        let total = p.total_delay_ns(&t);
+        let per_stage = total / 4.0; // ideal balanced split
+        assert!(
+            t.clock_mhz(per_stage) >= 200.0,
+            "4-stage 54-bit adder = {} MHz",
+            t.clock_mhz(per_stage)
+        );
+        // ... and not with 2 stages.
+        assert!(t.clock_mhz(total / 2.0) < 200.0);
+    }
+
+    #[test]
+    fn shifter_levels_and_area() {
+        let p = Primitive::BarrelShifter { bits: 54, levels: 6 };
+        let atoms = p.atoms(&tech());
+        assert_eq!(atoms.len(), 6);
+        // area ≈ n·log n LUTs (n·log n / 2 slices)
+        assert_eq!(p.area(&tech()).luts, 54.0 * 6.0);
+        // shift-amount bits retire level by level
+        assert_eq!(atoms[0].cut_width, 54 + 5);
+        assert_eq!(atoms[5].cut_width, 54);
+    }
+
+    #[test]
+    fn priority_encoder_forced_is_faster_per_atom() {
+        let t = tech();
+        let mono = Primitive::PriorityEncoder { bits: 54, forced: false };
+        let split = Primitive::PriorityEncoder { bits: 54, forced: true };
+        let worst_mono = mono.atoms(&t).iter().map(|a| a.delay_ns).fold(0.0, f64::max);
+        let worst_split = split.atoms(&t).iter().map(|a| a.delay_ns).fold(0.0, f64::max);
+        assert!(worst_split < worst_mono);
+        // Forced split of the 54-bit encoder sustains > 200 MHz per atom.
+        assert!(t.clock_mhz(worst_split) > 200.0, "{}", t.clock_mhz(worst_split));
+        // Monolithic does not.
+        assert!(t.clock_mhz(worst_mono) < 200.0);
+        // The structured version costs more area.
+        assert!(split.area(&t).luts > mono.area(&t).luts);
+    }
+
+    #[test]
+    fn mult_bmult_counts() {
+        let t = tech();
+        assert_eq!(Primitive::Mult18Tree { bits: 24 }.area(&t).bmults, 4);
+        assert_eq!(Primitive::Mult18Tree { bits: 37 }.area(&t).bmults, 9);
+        assert_eq!(Primitive::Mult18Tree { bits: 54 }.area(&t).bmults, 16);
+        assert_eq!(Primitive::Mult18Tree { bits: 17 }.area(&t).bmults, 1);
+    }
+
+    #[test]
+    fn anchor_54bit_multiplier_7_stages_200mhz() {
+        // The paper: "for the 54bit fixed-point multiplication, seven
+        // pipelining stages are required to achieve a frequency of 200MHz".
+        let t = tech();
+        let p = Primitive::Mult18Tree { bits: 54 };
+        let total = p.total_delay_ns(&t);
+        assert!(
+            t.clock_mhz(total / 7.0) >= 200.0,
+            "7-stage 54-bit mult = {} MHz (total {total} ns)",
+            t.clock_mhz(total / 7.0)
+        );
+        assert!(
+            t.clock_mhz(total / 5.0) < 200.0,
+            "5-stage 54-bit mult = {} MHz should be < 200",
+            t.clock_mhz(total / 5.0)
+        );
+    }
+
+    #[test]
+    fn single_bmult_has_no_tree() {
+        let t = tech();
+        let atoms = Primitive::Mult18Tree { bits: 17 }.atoms(&t);
+        assert_eq!(atoms.len(), 2); // just the two block halves
+    }
+
+    #[test]
+    fn digit_recurrence_rows() {
+        let t = tech();
+        let p = Primitive::DigitRecurrence { bits: 26, rows: 27 };
+        let atoms = p.atoms(&t);
+        assert_eq!(atoms.len(), 27);
+        // One row per stage sustains a high clock...
+        assert!(t.clock_mhz(atoms[0].delay_ns) > 250.0);
+        // ...but the unpipelined array is very slow.
+        assert!(t.clock_mhz(p.total_delay_ns(&t)) < 20.0);
+        // and each cut is wide (carry-save pair + divisor + digits).
+        assert!(atoms[0].cut_width > 3 * 26);
+    }
+
+    #[test]
+    fn bram_capacity() {
+        let t = tech();
+        let p = Primitive::BramBuffer { words: 512, width: 64 };
+        assert_eq!(p.area(&t).brams, 2);
+        let p = Primitive::BramBuffer { words: 16, width: 32 };
+        assert_eq!(p.area(&t).brams, 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Implementation reports — the row format of the paper's Tables 1-4.
+
+use core::fmt;
+
+/// One implementation point: what a synthesis + place-and-route run
+/// reports for a given netlist at a given pipeline depth.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ImplementationReport {
+    /// Netlist name.
+    pub name: String,
+    /// Number of pipeline stages (= latency in cycles at initiation
+    /// interval 1).
+    pub stages: u32,
+    /// Occupied slices.
+    pub slices: u32,
+    /// 4-input LUTs.
+    pub luts: u32,
+    /// Flip-flops.
+    pub ffs: u32,
+    /// Embedded 18×18 multipliers.
+    pub bmults: u32,
+    /// Block RAMs.
+    pub brams: u32,
+    /// Achievable clock rate (MHz).
+    pub clock_mhz: f64,
+    /// Worst-stage combinational delay (ns), after tool derating.
+    pub worst_stage_ns: f64,
+}
+
+impl ImplementationReport {
+    /// The paper's metric: clock rate per slice (MHz/slice).
+    pub fn freq_per_area(&self) -> f64 {
+        self.clock_mhz / self.slices as f64
+    }
+
+    /// Throughput in MFLOPS for a single unit (one result per cycle).
+    pub fn mflops(&self) -> f64 {
+        self.clock_mhz
+    }
+
+    /// Latency in nanoseconds.
+    pub fn latency_ns(&self) -> f64 {
+        self.stages as f64 * 1000.0 / self.clock_mhz
+    }
+}
+
+impl fmt::Display for ImplementationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} stages, {} slices ({} LUTs, {} FFs), {:.1} MHz, {:.4} MHz/slice",
+            self.name,
+            self.stages,
+            self.slices,
+            self.luts,
+            self.ffs,
+            self.clock_mhz,
+            self.freq_per_area()
+        )?;
+        if self.bmults > 0 {
+            write!(f, ", {} BMULTs", self.bmults)?;
+        }
+        if self.brams > 0 {
+            write!(f, ", {} BRAMs", self.brams)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ImplementationReport {
+        ImplementationReport {
+            name: "fp32 adder".into(),
+            stages: 10,
+            slices: 500,
+            luts: 800,
+            ffs: 600,
+            bmults: 0,
+            brams: 0,
+            clock_mhz: 250.0,
+            worst_stage_ns: 3.05,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = sample();
+        assert!((r.freq_per_area() - 0.5).abs() < 1e-12);
+        assert_eq!(r.mflops(), 250.0);
+        assert!((r.latency_ns() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let s = sample().to_string();
+        assert!(s.contains("10 stages"));
+        assert!(s.contains("500 slices"));
+        assert!(s.contains("250.0 MHz"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Synthesis and place-and-route optimization objectives.
+//!
+//! The paper repeatedly stresses that "using a different optimization
+//! objective (speed or area) for the synthesis and place and route tool
+//! gives vastly different results": a speed objective replicates logic to
+//! cut logic levels (more LUTs), and a speed-driven router burns slices
+//! purely on routing. This module models both knobs.
+
+use crate::tech::Tech;
+
+/// A tool optimization objective.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Optimize for clock rate at the cost of area.
+    Speed,
+    /// Optimize for area at the cost of clock rate.
+    Area,
+}
+
+/// The tool-flow configuration for one implementation run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SynthesisOptions {
+    /// Synthesis objective (logic replication vs sharing).
+    pub synthesis: Objective,
+    /// Place-and-route objective (routing effort vs packing).
+    pub par: Objective,
+}
+
+impl SynthesisOptions {
+    /// Speed everywhere — what the paper uses for its throughput numbers.
+    pub const SPEED: SynthesisOptions = SynthesisOptions {
+        synthesis: Objective::Speed,
+        par: Objective::Speed,
+    };
+
+    /// Area everywhere.
+    pub const AREA: SynthesisOptions = SynthesisOptions {
+        synthesis: Objective::Area,
+        par: Objective::Area,
+    };
+
+    /// Combinational-delay scale factor from both tool stages.
+    pub fn delay_factor(&self, tech: &Tech) -> f64 {
+        let synth = match self.synthesis {
+            Objective::Speed => tech.speed_obj_delay_factor,
+            Objective::Area => tech.area_obj_delay_factor,
+        };
+        let par = match self.par {
+            Objective::Speed => tech.speed_par_delay_factor,
+            Objective::Area => 1.0,
+        };
+        synth * par
+    }
+
+    /// LUT-count scale factor (synthesis-stage logic replication).
+    pub fn lut_factor(&self, tech: &Tech) -> f64 {
+        match self.synthesis {
+            Objective::Speed => tech.speed_obj_area_factor,
+            Objective::Area => 1.0,
+        }
+    }
+
+    /// Routing-only slice overhead as a fraction of logic slices
+    /// (P&R-stage effect: "more slices being used only for routing").
+    pub fn routing_slice_factor(&self, tech: &Tech) -> f64 {
+        match self.par {
+            Objective::Speed => tech.speed_par_slice_factor,
+            Objective::Area => 0.0,
+        }
+    }
+}
+
+impl Default for SynthesisOptions {
+    fn default() -> Self {
+        SynthesisOptions::SPEED
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speed_is_faster_and_bigger() {
+        let t = Tech::virtex2pro();
+        assert!(SynthesisOptions::SPEED.delay_factor(&t) < SynthesisOptions::AREA.delay_factor(&t));
+        assert!(SynthesisOptions::SPEED.lut_factor(&t) > SynthesisOptions::AREA.lut_factor(&t));
+        assert!(SynthesisOptions::SPEED.routing_slice_factor(&t) > 0.0);
+        assert_eq!(SynthesisOptions::AREA.routing_slice_factor(&t), 0.0);
+    }
+
+    #[test]
+    fn mixed_objectives_are_between() {
+        let t = Tech::virtex2pro();
+        let mixed = SynthesisOptions { synthesis: Objective::Speed, par: Objective::Area };
+        let d = mixed.delay_factor(&t);
+        assert!(d >= SynthesisOptions::SPEED.delay_factor(&t));
+        assert!(d <= SynthesisOptions::AREA.delay_factor(&t));
+    }
+}

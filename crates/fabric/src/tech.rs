@@ -1,0 +1,193 @@
+//! Technology calibration constants.
+//!
+//! All delay/area formulas in the fabric model read their coefficients
+//! from a [`Tech`] value, so the whole model can be re-calibrated in one
+//! place (and ablation benches can perturb single constants).
+//!
+//! The default constants model a Virtex-II Pro, speed grade -7, as driven
+//! by ISE 5.2i, and are fitted to the anchor points the paper states in
+//! prose (see each field's doc comment). The anchors are *throughput*
+//! statements — "X can achieve Y MHz" — so delays here include typical
+//! local routing; the flip-flop overhead (`t_ff_ns`) is added once per
+//! pipeline stage by the timing model.
+
+/// Calibration constants for the fabric's delay and area models.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tech {
+    // ---- delays (ns) ----
+    /// One 4-input LUT plus its local routing: the entry cost of any
+    /// fabric logic level.
+    pub t_lut_route_ns: f64,
+    /// Carry-chain propagation per bit (MUXCY/XORCY). The paper's 54-bit
+    /// adder needs 4 pipeline stages for 200 MHz, which anchors this at a
+    /// value far above the raw silicon figure because it folds in the
+    /// inter-chunk routing of a pipelined adder.
+    pub t_carry_per_bit_ns: f64,
+    /// Carry-chain propagation per bit for a pure comparator chain
+    /// (MUXCY only, no sum XOR): anchored by "comparators of a bitwidth
+    /// ≤ 11 can achieve 250 MHz" and "the [53-bit] mantissa comparator
+    /// for double precision can achieve 220 MHz".
+    pub t_cmp_per_bit_ns: f64,
+    /// One barrel-shifter mux level (LUT mux + route): anchored by
+    /// "three muxes in serial … more than 200 MHz can be achieved"
+    /// and "higher frequencies require two-mux stages".
+    pub t_mux_level_ns: f64,
+    /// One level of a priority-encoder cascade.
+    pub t_prienc_level_ns: f64,
+    /// Combinational delay through an 18×18 embedded multiplier block.
+    pub t_mult18_ns: f64,
+    /// The embedded multiplier's optional internal register splits it in
+    /// two; this is each half.
+    pub t_mult18_half_ns: f64,
+    /// Block-RAM access time (clock-to-out).
+    pub t_bram_ns: f64,
+    /// Flip-flop overhead per pipeline stage: clock-to-out + setup +
+    /// clock skew. Sets the frequency asymptote of deep pipelining.
+    pub t_ff_ns: f64,
+    /// Global clock-network ceiling (MHz). "Recent FPGA devices …
+    /// capable of achieving frequencies up to 300 MHz."
+    pub f_max_mhz: f64,
+
+    // ---- area ----
+    /// Usable fraction of the flip-flops that sit unused in
+    /// logic-occupied slices. Pipelining "can exploit the unused
+    /// flipflops present in the slices … and cause only a moderate
+    /// increase in area" — but placement never reaches all of them.
+    pub free_ff_utilization: f64,
+    /// LUTs consumed per skew/control register bit chain element when a
+    /// pipelined adder must delay-balance its operands (SRL16s absorb
+    /// most of it; this is the residual).
+    pub skew_lut_per_bit: f64,
+
+    // ---- tool behaviour ----
+    /// Logic-replication area factor under a *speed* synthesis objective.
+    pub speed_obj_area_factor: f64,
+    /// Delay improvement factor under a *speed* synthesis objective.
+    pub speed_obj_delay_factor: f64,
+    /// Delay penalty factor under an *area* synthesis objective.
+    pub area_obj_delay_factor: f64,
+    /// Extra routing-only slices (fraction of logic slices) consumed when
+    /// place-and-route runs with a speed objective.
+    pub speed_par_slice_factor: f64,
+    /// Delay factor for place-and-route with a speed objective.
+    pub speed_par_delay_factor: f64,
+}
+
+impl Tech {
+    /// Virtex-II Pro, speed grade -7, ISE 5.2i-era tools.
+    pub const fn virtex2pro() -> Tech {
+        Tech {
+            t_lut_route_ns: 1.05,
+            t_carry_per_bit_ns: 0.215,
+            t_cmp_per_bit_ns: 0.017,
+            t_mux_level_ns: 1.18,
+            t_prienc_level_ns: 1.25,
+            t_mult18_ns: 4.4,
+            t_mult18_half_ns: 2.55,
+            t_bram_ns: 2.6,
+            t_ff_ns: 0.95,
+            f_max_mhz: 320.0,
+            free_ff_utilization: 0.60,
+            skew_lut_per_bit: 0.0625, // one SRL16 LUT per 16 delayed bits
+            speed_obj_area_factor: 1.14,
+            speed_obj_delay_factor: 0.92,
+            area_obj_delay_factor: 1.07,
+            speed_par_slice_factor: 0.06,
+            speed_par_delay_factor: 0.96,
+        }
+    }
+
+    /// Clock rate (MHz) for a given worst-stage combinational delay.
+    pub fn clock_mhz(&self, worst_stage_ns: f64) -> f64 {
+        let period = worst_stage_ns + self.t_ff_ns;
+        (1000.0 / period).min(self.f_max_mhz)
+    }
+}
+
+impl Tech {
+    /// Virtex-E, speed grade -8 — the previous device generation (the
+    /// Quixilica datasheet numbers the paper cites were measured on
+    /// VirtexE-8). No embedded multipliers existed yet: the multiplier
+    /// tree constants here model a LUT-based partial-product array, and
+    /// everything is roughly 40-60% slower.
+    pub const fn virtex_e() -> Tech {
+        Tech {
+            t_lut_route_ns: 1.55,
+            t_carry_per_bit_ns: 0.32,
+            t_cmp_per_bit_ns: 0.028,
+            t_mux_level_ns: 1.75,
+            t_prienc_level_ns: 1.85,
+            t_mult18_ns: 9.5,      // LUT-array multiplier segment
+            t_mult18_half_ns: 5.0, // (no hard blocks on this family)
+            t_bram_ns: 3.8,
+            t_ff_ns: 1.35,
+            f_max_mhz: 240.0,
+            free_ff_utilization: 0.60,
+            skew_lut_per_bit: 0.0625,
+            speed_obj_area_factor: 1.14,
+            speed_obj_delay_factor: 0.92,
+            area_obj_delay_factor: 1.07,
+            speed_par_slice_factor: 0.06,
+            speed_par_delay_factor: 0.96,
+        }
+    }
+}
+
+impl Default for Tech {
+    fn default() -> Tech {
+        Tech::virtex2pro()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_includes_ff_overhead() {
+        let t = Tech::virtex2pro();
+        let f = t.clock_mhz(4.0);
+        assert!((f - 1000.0 / 4.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clock_is_capped() {
+        let t = Tech::virtex2pro();
+        assert_eq!(t.clock_mhz(0.0), t.f_max_mhz);
+    }
+
+    #[test]
+    fn virtex_e_is_uniformly_slower() {
+        let old = Tech::virtex_e();
+        let new = Tech::virtex2pro();
+        assert!(old.t_lut_route_ns > new.t_lut_route_ns);
+        assert!(old.t_carry_per_bit_ns > new.t_carry_per_bit_ns);
+        assert!(old.t_ff_ns > new.t_ff_ns);
+        assert!(old.f_max_mhz < new.f_max_mhz);
+        // The Quixilica datasheet's "169 MFLOPS on VirtexE-8" adder is
+        // plausible on this model: a moderately pipelined adder path of
+        // ~4.5 ns/stage lands in the 150-200 MHz band.
+        assert!((140.0..210.0).contains(&old.clock_mhz(4.5)));
+    }
+
+    // The prose anchors. These are the calibration contract: if a constant
+    // changes, these tests say which paper statement broke.
+
+    #[test]
+    fn anchor_comparator_11bit_reaches_250mhz() {
+        let t = Tech::virtex2pro();
+        // comparator delay model: entry LUT + n bits of compare chain
+        let d = t.t_lut_route_ns + 11.0 * t.t_cmp_per_bit_ns + 1.6; // + swap-path route
+        assert!(t.clock_mhz(d) >= 250.0, "f = {}", t.clock_mhz(d));
+    }
+
+    #[test]
+    fn anchor_three_mux_levels_reach_200mhz() {
+        let t = Tech::virtex2pro();
+        let d = 3.0 * t.t_mux_level_ns;
+        assert!(t.clock_mhz(d) >= 200.0, "f = {}", t.clock_mhz(d));
+        // ... and two-mux stages are needed for "higher" (≥ 280 MHz) rates
+        let d2 = 2.0 * t.t_mux_level_ns;
+        assert!(t.clock_mhz(d2) >= 280.0, "f = {}", t.clock_mhz(d2));
+    }
+}

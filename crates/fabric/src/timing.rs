@@ -1,0 +1,173 @@
+//! Implementation evaluation: netlist + pipeline depth + tool objectives
+//! → clock rate and resource bill.
+//!
+//! This is the model's substitute for "synthesize, place & route, read
+//! the timing report": the single entry point the FPU analysis sweeps
+//! call for every (precision, stages, objective) combination.
+
+use crate::netlist::Netlist;
+use crate::pipeline::{pipeline, PipelineStrategy, Pipelined};
+use crate::report::ImplementationReport;
+use crate::synthesis::SynthesisOptions;
+use crate::tech::Tech;
+
+/// Evaluate one implementation point.
+pub fn evaluate(
+    netlist: &Netlist,
+    stages: u32,
+    strategy: PipelineStrategy,
+    opts: SynthesisOptions,
+    tech: &Tech,
+) -> ImplementationReport {
+    let piped = pipeline(netlist, stages, strategy);
+    evaluate_pipelined(netlist, &piped, opts, tech)
+}
+
+/// Evaluate with an already-computed pipeline partition.
+pub fn evaluate_pipelined(
+    netlist: &Netlist,
+    piped: &Pipelined,
+    opts: SynthesisOptions,
+    tech: &Tech,
+) -> ImplementationReport {
+    let delay_factor = opts.delay_factor(tech);
+    let worst_ns = piped.worst_stage_ns() * delay_factor;
+    let clock_mhz = tech.clock_mhz(worst_ns);
+
+    let mut area = netlist.base_area();
+    area.luts *= opts.lut_factor(tech);
+    area.ffs += piped.register_ffs as f64;
+    // Routing-only slices are charged on the logic-slice footprint.
+    let logic_slices = area.slices(tech);
+    area.routing_slices += logic_slices * opts.routing_slice_factor(tech);
+    let slices = area.slices(tech);
+
+    ImplementationReport {
+        name: netlist.name.clone(),
+        stages: piped.stages,
+        slices: slices as u32,
+        luts: area.luts_rounded(),
+        ffs: area.ffs_rounded(),
+        bmults: area.bmults,
+        brams: area.brams,
+        clock_mhz,
+        worst_stage_ns: worst_ns,
+    }
+}
+
+/// Sweep pipeline depth from 1 to the netlist's maximum and return the
+/// report for every depth — the data behind the paper's Figure 2.
+pub fn sweep_stages(
+    netlist: &Netlist,
+    strategy: PipelineStrategy,
+    opts: SynthesisOptions,
+    tech: &Tech,
+) -> Vec<ImplementationReport> {
+    (1..=netlist.max_stages())
+        .map(|k| evaluate(netlist, k, strategy, opts, tech))
+        .collect()
+}
+
+/// Pick the implementation with the best frequency/area ratio — the
+/// paper's "optimal" configuration ("the implementation reaches highest
+/// freq/area ratio").
+pub fn optimal<'a>(reports: &'a [ImplementationReport]) -> &'a ImplementationReport {
+    reports
+        .iter()
+        .max_by(|a, b| {
+            a.freq_per_area()
+                .partial_cmp(&b.freq_per_area())
+                .expect("freq/area is finite")
+        })
+        .expect("non-empty sweep")
+}
+
+/// Pick the implementation with the highest clock rate, breaking ties
+/// toward fewer stages (the paper's "max" column).
+pub fn max_frequency<'a>(reports: &'a [ImplementationReport]) -> &'a ImplementationReport {
+    reports
+        .iter()
+        .max_by(|a, b| {
+            (a.clock_mhz, std::cmp::Reverse(a.stages))
+                .partial_cmp(&(b.clock_mhz, std::cmp::Reverse(b.stages)))
+                .expect("clock is finite")
+        })
+        .expect("non-empty sweep")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitives::Primitive;
+
+    fn netlist() -> Netlist {
+        let t = Tech::virtex2pro();
+        let mut n = Netlist::new("test path", 32, 5);
+        n.push("adder", &Primitive::FixedAdder { bits: 54, carry_ns_per_bit: 0.215 }, &t);
+        n.push("pe", &Primitive::PriorityEncoder { bits: 54, forced: true }, &t);
+        n.push("shift", &Primitive::BarrelShifter { bits: 54, levels: 6 }, &t);
+        n
+    }
+
+    #[test]
+    fn deeper_is_never_slower() {
+        let t = Tech::virtex2pro();
+        let n = netlist();
+        let sweep = sweep_stages(&n, PipelineStrategy::Balanced, SynthesisOptions::SPEED, &t);
+        for w in sweep.windows(2) {
+            assert!(w[1].clock_mhz >= w[0].clock_mhz - 1e-9);
+            assert!(w[1].ffs >= w[0].ffs);
+        }
+    }
+
+    #[test]
+    fn freq_area_curve_rises_then_falls() {
+        // The headline shape of Figure 2: throughput/area improves with
+        // moderate pipelining and dips once frequency saturates while
+        // register area keeps growing.
+        let t = Tech::virtex2pro();
+        let n = netlist();
+        let sweep = sweep_stages(&n, PipelineStrategy::Balanced, SynthesisOptions::SPEED, &t);
+        let ratios: Vec<f64> = sweep.iter().map(|r| r.freq_per_area()).collect();
+        let peak = ratios.iter().copied().fold(0.0, f64::max);
+        let peak_idx = ratios.iter().position(|&r| r == peak).unwrap();
+        assert!(peak_idx > 0, "peak should not be the unpipelined point");
+        assert!(peak_idx < ratios.len() - 1, "peak should not be max depth");
+        assert!(
+            *ratios.last().unwrap() < peak * 0.98,
+            "deep pipelining should show diminishing freq/area"
+        );
+    }
+
+    #[test]
+    fn speed_objective_trades_area_for_clock() {
+        let t = Tech::virtex2pro();
+        let n = netlist();
+        let fast = evaluate(&n, 4, PipelineStrategy::Balanced, SynthesisOptions::SPEED, &t);
+        let small = evaluate(&n, 4, PipelineStrategy::Balanced, SynthesisOptions::AREA, &t);
+        assert!(fast.clock_mhz > small.clock_mhz);
+        assert!(fast.slices > small.slices);
+    }
+
+    #[test]
+    fn optimal_and_max_selection() {
+        let t = Tech::virtex2pro();
+        let n = netlist();
+        let sweep = sweep_stages(&n, PipelineStrategy::Balanced, SynthesisOptions::SPEED, &t);
+        let opt = optimal(&sweep);
+        let max = max_frequency(&sweep);
+        assert!(max.clock_mhz >= opt.clock_mhz);
+        assert!(opt.freq_per_area() >= max.freq_per_area());
+    }
+
+    #[test]
+    fn report_consistency() {
+        let t = Tech::virtex2pro();
+        let n = netlist();
+        let r = evaluate(&n, 6, PipelineStrategy::IterativeRefinement, SynthesisOptions::SPEED, &t);
+        assert_eq!(r.stages, 6);
+        assert!(r.clock_mhz > 0.0 && r.clock_mhz <= t.f_max_mhz);
+        assert!(r.slices > 0);
+        assert!((r.freq_per_area() - r.clock_mhz / r.slices as f64).abs() < 1e-12);
+    }
+}

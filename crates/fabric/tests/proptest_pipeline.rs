@@ -1,0 +1,125 @@
+//! Property tests for the fabric's pipelining machinery over random
+//! netlists: partition validity, conservation, monotonicity, and the
+//! optimality of the balanced strategy.
+
+use fpfpga_fabric::netlist::Netlist;
+use fpfpga_fabric::pipeline::{pipeline, PipelineStrategy};
+use fpfpga_fabric::primitives::Primitive;
+use fpfpga_fabric::synthesis::SynthesisOptions;
+use fpfpga_fabric::tech::Tech;
+use fpfpga_fabric::timing;
+use proptest::prelude::*;
+
+/// A random primitive with bounded size.
+fn primitive() -> impl Strategy<Value = Primitive> {
+    prop_oneof![
+        (2u32..64).prop_map(|bits| Primitive::Comparator { bits }),
+        (2u32..64).prop_map(|bits| Primitive::Mux2 { bits }),
+        (2u32..64).prop_map(|bits| Primitive::FixedAdder { bits, carry_ns_per_bit: 0.215 }),
+        (2u32..64).prop_map(|bits| Primitive::ConstAdder { bits }),
+        (4u32..64, 1u32..7).prop_map(|(bits, levels)| Primitive::BarrelShifter { bits, levels }),
+        (4u32..64, any::<bool>())
+            .prop_map(|(bits, forced)| Primitive::PriorityEncoder { bits, forced }),
+        (4u32..57).prop_map(|bits| Primitive::Mult18Tree { bits }),
+        (4u32..40, 2u32..20).prop_map(|(bits, rows)| Primitive::DigitRecurrence { bits, rows }),
+    ]
+}
+
+/// A random netlist of 1..8 components.
+fn netlist() -> impl Strategy<Value = Netlist> {
+    (proptest::collection::vec((primitive(), any::<bool>()), 1..8), 8u32..64, 0u32..12).prop_map(
+        |(prims, out_w, sideband)| {
+            let tech = Tech::virtex2pro();
+            let mut n = Netlist::new("random", out_w, sideband);
+            let mut any_critical = false;
+            for (i, (p, parallel)) in prims.iter().enumerate() {
+                let name = format!("c{i}");
+                if *parallel && any_critical {
+                    n.push_parallel(&name, p, &tech);
+                } else {
+                    n.push(&name, p, &tech);
+                    any_critical = true;
+                }
+            }
+            n
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Stage delays always sum to the critical-path delay (registers do
+    /// not create or destroy combinational delay).
+    #[test]
+    fn partition_conserves_delay(n in netlist(), k in 1u32..40,
+                                 strat in prop_oneof![
+                                     Just(PipelineStrategy::Balanced),
+                                     Just(PipelineStrategy::IterativeRefinement),
+                                     Just(PipelineStrategy::EndLoaded)]) {
+        let p = pipeline(&n, k, strat);
+        let sum: f64 = p.stage_delays_ns.iter().sum();
+        prop_assert!((sum - n.critical_delay_ns()).abs() < 1e-9);
+        prop_assert_eq!(p.stage_delays_ns.len() as u32, p.stages);
+        prop_assert!(p.stages <= n.max_stages().max(1));
+        // cuts are strictly increasing and interior
+        for w in p.cuts.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        if let (Some(&first), Some(&last)) = (p.cuts.first(), p.cuts.last()) {
+            prop_assert!(first >= 1);
+            prop_assert!(last <= n.flat_atoms().len() - 1);
+        }
+    }
+
+    /// The balanced partition is optimal: no other strategy beats it.
+    #[test]
+    fn balanced_is_minmax_optimal(n in netlist(), k in 1u32..24) {
+        let b = pipeline(&n, k, PipelineStrategy::Balanced).worst_stage_ns();
+        let i = pipeline(&n, k, PipelineStrategy::IterativeRefinement).worst_stage_ns();
+        let e = pipeline(&n, k, PipelineStrategy::EndLoaded).worst_stage_ns();
+        prop_assert!(b <= i + 1e-9);
+        prop_assert!(b <= e + 1e-9);
+        // ... and never better than the widest atom (the physical floor).
+        let floor = n.flat_atoms().iter().map(|a| a.delay_ns).fold(0.0, f64::max);
+        prop_assert!(b >= floor - 1e-9);
+    }
+
+    /// Deeper pipelines never lower the clock (balanced strategy).
+    /// (Flip-flop count is *not* monotone in general: more, narrower
+    /// cuts can cost fewer register bits than fewer, wider ones — so
+    /// only a lower bound is asserted for it.)
+    #[test]
+    fn depth_monotonicity(n in netlist()) {
+        let tech = Tech::virtex2pro();
+        let mut last_clock = 0.0f64;
+        let min_ffs = n.output_width + n.sideband_width; // output register floor
+        for k in 1..=n.max_stages().min(24) {
+            let r = timing::evaluate(&n, k, PipelineStrategy::Balanced, SynthesisOptions::SPEED, &tech);
+            prop_assert!(r.clock_mhz >= last_clock - 1e-9, "k={}", k);
+            prop_assert!(r.ffs >= min_ffs, "k={}", k);
+            last_clock = r.clock_mhz;
+        }
+    }
+
+    /// Tool objectives order consistently on any netlist: speed flow is
+    /// never slower and never smaller than the area flow.
+    #[test]
+    fn objectives_order(n in netlist(), k in 1u32..16) {
+        let tech = Tech::virtex2pro();
+        let fast = timing::evaluate(&n, k, PipelineStrategy::Balanced, SynthesisOptions::SPEED, &tech);
+        let small = timing::evaluate(&n, k, PipelineStrategy::Balanced, SynthesisOptions::AREA, &tech);
+        prop_assert!(fast.clock_mhz >= small.clock_mhz - 1e-9);
+        prop_assert!(fast.slices >= small.slices);
+    }
+
+    /// The same netlist on the older Virtex-E family is never faster.
+    #[test]
+    fn virtex_e_never_faster(n in netlist(), k in 1u32..16) {
+        let new = timing::evaluate(&n, k, PipelineStrategy::Balanced, SynthesisOptions::SPEED,
+                                   &Tech::virtex2pro());
+        let old = timing::evaluate(&n, k, PipelineStrategy::Balanced, SynthesisOptions::SPEED,
+                                   &Tech::virtex_e());
+        prop_assert!(old.clock_mhz <= new.clock_mhz + 1e-9);
+    }
+}

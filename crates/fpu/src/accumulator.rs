@@ -1,0 +1,254 @@
+//! Streaming floating-point accumulator core.
+//!
+//! Summing a stream through a deeply pipelined adder is the classic
+//! reduction problem (cf. Nagar & Bakos, *"An Integrated Reduction
+//! Technique for a Double Precision Accumulator"*): a single feedback
+//! accumulator would only accept one input every `La` cycles. This core
+//! is the standard solution as a reusable unit: a bank of `La` partial
+//! sums rotates under the adder (each slot revisited exactly `La` cycles
+//! apart — hazard-free at full rate), and a fold sequencer drains the
+//! bank through the same adder when the stream ends.
+//!
+//! Structurally: one FP adder + a `La`-deep partial-sum register file +
+//! a small rotation counter and fold FSM.
+
+use crate::adder::AdderDesign;
+use crate::sim::{DelayLineUnit, DelayOp, FpPipe};
+use fpfpga_fabric::netlist::{Component, Netlist};
+use fpfpga_fabric::primitives::Primitive;
+use fpfpga_fabric::report::ImplementationReport;
+use fpfpga_fabric::synthesis::SynthesisOptions;
+use fpfpga_fabric::tech::Tech;
+use fpfpga_fabric::timing;
+use fpfpga_fabric::PipelineStrategy;
+use fpfpga_softfp::{Flags, FpFormat, RoundMode, SoftFloat};
+use std::collections::VecDeque;
+
+/// A streaming accumulator design.
+#[derive(Clone, Copy, Debug)]
+pub struct AccumulatorDesign {
+    /// Operand format.
+    pub format: FpFormat,
+    /// Rounding mode.
+    pub round: RoundMode,
+    /// Adder pipeline stages (= bank size).
+    pub adder_stages: u32,
+}
+
+impl AccumulatorDesign {
+    /// A design around an adder of the given depth.
+    pub fn new(format: FpFormat, adder_stages: u32) -> AccumulatorDesign {
+        assert!(adder_stages >= 1);
+        AccumulatorDesign { format, round: RoundMode::NearestEven, adder_stages }
+    }
+
+    /// The structural netlist: the adder core plus the partial-sum bank
+    /// and control.
+    pub fn netlist(&self, tech: &Tech) -> Netlist {
+        let mut n = AdderDesign::new(self.format).netlist(tech);
+        n.name = format!("fp{} streaming accumulator", self.format.total_bits());
+        // Partial-sum register file (La words) — registers, not BRAM, at
+        // these depths.
+        n.components.push(Component::parallel(
+            "partial-sum bank",
+            &Primitive::Register { bits: self.format.total_bits() * self.adder_stages },
+            tech,
+        ));
+        // Rotation counter + fold FSM.
+        n.components.push(Component::parallel(
+            "rotation counter / fold FSM",
+            &Primitive::ConstAdder { bits: 8 },
+            tech,
+        ));
+        n.components.push(Component::from_primitive(
+            "bank bypass mux",
+            &Primitive::Mux2 { bits: self.format.total_bits() },
+            tech,
+        ));
+        n
+    }
+
+    /// Area/timing sweep of the whole unit.
+    pub fn sweep(&self, tech: &Tech, opts: SynthesisOptions) -> Vec<ImplementationReport> {
+        timing::sweep_stages(&self.netlist(tech), PipelineStrategy::IterativeRefinement, opts, tech)
+    }
+
+    /// Build the cycle-accurate unit.
+    pub fn unit(&self) -> StreamingAccumulator {
+        StreamingAccumulator {
+            add: DelayLineUnit::new(self.format, self.round, DelayOp::Add, self.adder_stages),
+            bank: vec![0; self.adder_stages as usize],
+            meta: (0..self.adder_stages).map(|_| None).collect(),
+            slot: 0,
+            flags: Flags::NONE,
+            cycles: 0,
+        }
+    }
+}
+
+/// The cycle-accurate streaming accumulator: one input per cycle.
+pub struct StreamingAccumulator {
+    add: DelayLineUnit,
+    bank: Vec<u64>,
+    meta: VecDeque<Option<usize>>,
+    slot: usize,
+    /// Accumulated exception flags.
+    pub flags: Flags,
+    /// Cycles consumed.
+    pub cycles: u64,
+}
+
+impl StreamingAccumulator {
+    /// Bank size (= adder latency).
+    pub fn la(&self) -> usize {
+        self.bank.len()
+    }
+
+    fn clock(&mut self, input: Option<u64>) {
+        self.cycles += 1;
+        // write-first forwarding, as everywhere else in the library
+        let retiring = *self.meta.front().expect("meta non-empty");
+        if let (Some((s, sf)), Some(slot)) = (self.add.peek(), retiring) {
+            self.flags |= sf;
+            self.bank[slot] = s;
+        }
+        let add_in = input.map(|x| {
+            let slot = self.slot;
+            self.slot = (self.slot + 1) % self.bank.len();
+            self.meta.push_back(Some(slot));
+            (x, self.bank[slot])
+        });
+        if add_in.is_none() {
+            self.meta.push_back(None);
+        }
+        self.add.clock(add_in);
+        self.meta.pop_front();
+    }
+
+    /// Accumulate a stream and fold to a single sum. Returns
+    /// `(sum_bits, cycles)`.
+    pub fn sum(&mut self, xs: &[u64]) -> (u64, u64) {
+        let start = self.cycles;
+        self.bank.fill(0);
+        self.slot = 0;
+        for &x in xs {
+            self.clock(Some(x));
+        }
+        for _ in 0..self.la() + 1 {
+            self.clock(None);
+        }
+        // Fold the bank pairwise through the same adder (sequencer).
+        let mut live = self.bank.clone();
+        while live.len() > 1 {
+            let mut next = Vec::with_capacity(live.len().div_ceil(2));
+            let mut i = 0;
+            while i + 1 < live.len() {
+                let mut out = None;
+                let mut first = true;
+                while out.is_none() {
+                    self.cycles += 1;
+                    out = self.add.clock(if first { Some((live[i], live[i + 1])) } else { None });
+                    self.meta.push_back(None);
+                    self.meta.pop_front();
+                    first = false;
+                }
+                let (s, sf) = out.unwrap();
+                self.flags |= sf;
+                next.push(s);
+                i += 2;
+            }
+            if i < live.len() {
+                next.push(live[i]);
+            }
+            live = next;
+        }
+        (live[0], self.cycles - start)
+    }
+
+    /// The exact accumulation order as plain softfp calls.
+    pub fn reference(fmt: FpFormat, mode: RoundMode, xs: &[u64], la: usize) -> u64 {
+        let mut bank = vec![SoftFloat::zero(fmt); la];
+        for (i, &x) in xs.iter().enumerate() {
+            let (s, _) = SoftFloat::from_bits(fmt, x).add(&bank[i % la], mode);
+            bank[i % la] = s;
+        }
+        let mut live = bank;
+        while live.len() > 1 {
+            let mut next = Vec::with_capacity(live.len().div_ceil(2));
+            let mut i = 0;
+            while i + 1 < live.len() {
+                let (s, _) = live[i].add(&live[i + 1], mode);
+                next.push(s);
+                i += 2;
+            }
+            if i < live.len() {
+                next.push(live[i]);
+            }
+            live = next;
+        }
+        live[0].bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: FpFormat = FpFormat::SINGLE;
+
+    fn xs(n: usize) -> Vec<u64> {
+        (0..n).map(|i| SoftFloat::from_f64(F, (i as f64 * 0.17).sin()).bits()).collect()
+    }
+
+    #[test]
+    fn matches_reference_bit_exact() {
+        for la in [1u32, 3, 9, 14] {
+            for n in [0usize, 1, 5, 64, 200] {
+                let d = AccumulatorDesign::new(F, la);
+                let mut u = d.unit();
+                let data = xs(n);
+                let (got, _) = u.sum(&data);
+                let want =
+                    StreamingAccumulator::reference(F, RoundMode::NearestEven, &data, la as usize);
+                assert_eq!(got, want, "la={la} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_rate_streaming() {
+        let d = AccumulatorDesign::new(F, 9);
+        let mut u = d.unit();
+        let n = 1000;
+        let (_, cycles) = u.sum(&xs(n));
+        assert!(cycles < n as u64 + 150, "cycles = {cycles}");
+    }
+
+    #[test]
+    fn close_to_f64() {
+        let d = AccumulatorDesign::new(F, 11);
+        let mut u = d.unit();
+        let data = xs(500);
+        let (got, _) = u.sum(&data);
+        let exact: f64 = data.iter().map(|&b| SoftFloat::from_bits(F, b).to_f64()).sum();
+        assert!((SoftFloat::from_bits(F, got).to_f64() - exact).abs() < 1e-4);
+    }
+
+    #[test]
+    fn netlist_includes_bank() {
+        let tech = Tech::virtex2pro();
+        let d = AccumulatorDesign::new(FpFormat::DOUBLE, 12);
+        let n = d.netlist(&tech);
+        let adder = AdderDesign::new(FpFormat::DOUBLE).netlist(&tech);
+        assert!(n.base_area().ffs > adder.base_area().ffs + 64.0 * 11.0);
+        let sweep = d.sweep(&tech, SynthesisOptions::SPEED);
+        assert!(timing::optimal(&sweep).clock_mhz > 150.0);
+    }
+
+    #[test]
+    fn empty_stream_sums_to_zero() {
+        let mut u = AccumulatorDesign::new(F, 5).unit();
+        let (got, _) = u.sum(&[]);
+        assert_eq!(got, 0);
+    }
+}

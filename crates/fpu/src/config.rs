@@ -1,0 +1,64 @@
+//! Core configuration types.
+
+use fpfpga_fabric::{PipelineStrategy, SynthesisOptions};
+use fpfpga_softfp::{FpFormat, RoundMode};
+
+/// Which operation a core instance performs. The adder/subtractor is one
+/// datapath with a per-operand sign flip; `Sub` models driving its
+/// add/sub select line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// a + b
+    Add,
+    /// a − b
+    Sub,
+    /// a × b
+    Mul,
+}
+
+/// A fully specified core implementation point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CoreConfig {
+    /// Operand format.
+    pub format: FpFormat,
+    /// Rounding mode (the cores implement round-to-nearest and truncate).
+    pub round: RoundMode,
+    /// Pipeline depth (1 = output register only).
+    pub stages: u32,
+    /// Register-placement strategy.
+    pub strategy: PipelineStrategy,
+    /// Tool objectives.
+    pub synth: SynthesisOptions,
+    /// Whether the priority encoder's structured synthesis is forced
+    /// (the paper forces it for large bitwidths).
+    pub force_priority_encoder: bool,
+}
+
+impl CoreConfig {
+    /// The paper's default flow: round-to-nearest, iterative critical-path
+    /// pipelining, speed objectives, forced priority-encoder synthesis.
+    pub fn paper_default(format: FpFormat, stages: u32) -> CoreConfig {
+        CoreConfig {
+            format,
+            round: RoundMode::NearestEven,
+            stages,
+            strategy: PipelineStrategy::IterativeRefinement,
+            synth: SynthesisOptions::SPEED,
+            force_priority_encoder: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_values() {
+        let c = CoreConfig::paper_default(FpFormat::SINGLE, 8);
+        assert_eq!(c.stages, 8);
+        assert_eq!(c.round, RoundMode::NearestEven);
+        assert!(c.force_priority_encoder);
+        assert_eq!(c.strategy, PipelineStrategy::IterativeRefinement);
+    }
+}

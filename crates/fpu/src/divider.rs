@@ -1,0 +1,461 @@
+//! Floating-point divider and square-root cores.
+//!
+//! The paper evaluates adders and multipliers; its related work
+//! (Quixilica's core set, the generator of Liang/Tessier/Mencer) covers
+//! dividers, so these cores are provided as the natural extension, built
+//! from the same subunit discipline: a digit-recurrence (SRT radix-2)
+//! array computes the significand quotient/root one digit per row, the
+//! exponent path runs in parallel, and the shared rounding/packing
+//! machinery finishes. Latency therefore *scales with precision* —
+//! the defining contrast with the adder and multiplier, visible in the
+//! depth sweeps.
+
+use crate::adder::{Denormalize, PackUnit};
+use crate::signals::Signals;
+use crate::sim::PipelinedUnit;
+use crate::subunit::{Datapath, Subunit};
+use fpfpga_fabric::netlist::{Component, Netlist};
+use fpfpga_fabric::primitives::Primitive;
+use fpfpga_fabric::report::ImplementationReport;
+use fpfpga_fabric::synthesis::SynthesisOptions;
+use fpfpga_fabric::tech::Tech;
+use fpfpga_fabric::timing;
+use fpfpga_fabric::PipelineStrategy;
+use fpfpga_softfp::ops::div::{quotient_recurrence, DIV_GRS_BITS};
+use fpfpga_softfp::ops::sqrt::{root_recurrence, SQRT_GRS_BITS};
+use fpfpga_softfp::round::round_sig;
+use fpfpga_softfp::{Class, Flags, FpFormat, RoundMode, Unpacked};
+
+/// Stage-1 exception logic for division (0 ÷ 0, ∞ ÷ ∞, x ÷ 0 …).
+pub struct DivExceptionDetect;
+
+impl Subunit for DivExceptionDetect {
+    fn name(&self) -> &'static str {
+        "exception detect"
+    }
+
+    fn eval(&self, fmt: FpFormat, _mode: RoundMode, s: &mut Signals) {
+        let (a, b) = (s.a, s.b);
+        let sign = a.sign ^ b.sign;
+        s.special = match (a.class, b.class) {
+            (Class::Zero, Class::Zero) => {
+                Some((Unpacked::zero(false).to_bits(fmt), Flags::invalid()))
+            }
+            (Class::Inf, Class::Inf) => {
+                Some((Unpacked::inf(false).to_bits(fmt), Flags::invalid()))
+            }
+            (Class::Inf, _) => Some((Unpacked::inf(sign).to_bits(fmt), Flags::NONE)),
+            (_, Class::Inf) => Some((Unpacked::zero(sign).to_bits(fmt), Flags::NONE)),
+            (Class::Zero, _) => Some((Unpacked::zero(sign).to_bits(fmt), Flags::NONE)),
+            (Class::Normal, Class::Zero) => {
+                Some((Unpacked::inf(sign).to_bits(fmt), Flags::div_by_zero()))
+            }
+            (Class::Normal, Class::Normal) => None,
+        };
+    }
+
+    fn components(&self, _fmt: FpFormat, tech: &Tech) -> Vec<Component> {
+        vec![Component::parallel("exception logic", &Primitive::SignLogic, tech)]
+    }
+}
+
+/// The divider's sign/exponent path (XOR + exponent subtract/re-bias).
+pub struct DivSignExp;
+
+impl Subunit for DivSignExp {
+    fn name(&self) -> &'static str {
+        "sign XOR / exponent subtractor"
+    }
+
+    fn eval(&self, _fmt: FpFormat, _mode: RoundMode, s: &mut Signals) {
+        s.sign = s.a.sign ^ s.b.sign;
+        s.exp = s.a.exp - s.b.exp;
+        s.is_zero = false;
+    }
+
+    fn components(&self, fmt: FpFormat, tech: &Tech) -> Vec<Component> {
+        let exp_add = Primitive::FixedAdder {
+            bits: fmt.exp_bits(),
+            carry_ns_per_bit: tech.t_carry_per_bit_ns,
+        };
+        vec![
+            Component::parallel("sign XOR", &Primitive::SignLogic, tech),
+            Component::parallel("exponent subtractor", &exp_add, tech),
+            Component::parallel("bias adder", &exp_add, tech),
+        ]
+    }
+}
+
+/// The quotient digit-recurrence array.
+pub struct QuotientRecurrenceUnit;
+
+impl Subunit for QuotientRecurrenceUnit {
+    fn name(&self) -> &'static str {
+        "quotient recurrence"
+    }
+
+    fn eval(&self, fmt: FpFormat, _mode: RoundMode, s: &mut Signals) {
+        if s.special.is_none() {
+            let (q, exp) = quotient_recurrence(fmt, s.a.sig, s.b.sig, s.exp);
+            s.mag = q;
+            s.exp = exp;
+        }
+    }
+
+    fn components(&self, fmt: FpFormat, tech: &Tech) -> Vec<Component> {
+        vec![Component::from_primitive(
+            "SRT array",
+            &Primitive::DigitRecurrence {
+                bits: fmt.sig_bits() + DIV_GRS_BITS,
+                rows: fmt.sig_bits() + DIV_GRS_BITS + 1,
+            },
+            tech,
+        )]
+    }
+}
+
+/// The divider/sqrt rounding module (2 guard bits + jammed sticky).
+pub struct RecurrenceRound {
+    grs: u32,
+}
+
+impl Subunit for RecurrenceRound {
+    fn name(&self) -> &'static str {
+        "rounding"
+    }
+
+    fn eval(&self, fmt: FpFormat, mode: RoundMode, s: &mut Signals) {
+        if s.special.is_none() {
+            let rounded = round_sig(fmt, s.mag, self.grs, mode);
+            s.mag = rounded.sig as u128;
+            s.exp += rounded.exp_carry as i32;
+            if rounded.inexact {
+                s.flags |= Flags::inexact();
+            }
+        }
+    }
+
+    fn components(&self, fmt: FpFormat, tech: &Tech) -> Vec<Component> {
+        vec![
+            Component::from_primitive(
+                "mantissa round adder",
+                &Primitive::ConstAdder { bits: fmt.sig_bits() },
+                tech,
+            ),
+            Component::parallel(
+                "exponent round adder",
+                &Primitive::ConstAdder { bits: fmt.exp_bits() },
+                tech,
+            ),
+        ]
+    }
+}
+
+/// A floating-point divider design for one format.
+#[derive(Clone, Copy, Debug)]
+pub struct DividerDesign {
+    /// Operand format.
+    pub format: FpFormat,
+    /// Rounding mode of the built simulators.
+    pub round: RoundMode,
+}
+
+impl DividerDesign {
+    /// A design with the paper-consistent defaults.
+    pub fn new(format: FpFormat) -> DividerDesign {
+        DividerDesign { format, round: RoundMode::NearestEven }
+    }
+
+    /// The behavioural datapath.
+    pub fn datapath(&self) -> Datapath {
+        Datapath {
+            subunits: vec![
+                Box::new(Denormalize),
+                Box::new(DivExceptionDetect),
+                Box::new(DivSignExp),
+                Box::new(QuotientRecurrenceUnit),
+                Box::new(RecurrenceRound { grs: DIV_GRS_BITS }),
+                Box::new(PackUnit),
+            ],
+        }
+    }
+
+    /// The structural netlist.
+    pub fn netlist(&self, tech: &Tech) -> Netlist {
+        let mut n = Netlist::new(
+            &format!("fp{} divider", self.format.total_bits()),
+            self.format.total_bits(),
+            self.format.exp_bits() + 6,
+        );
+        for u in self.datapath().subunits {
+            n.components.extend(u.components(self.format, tech));
+        }
+        n
+    }
+
+    /// Sweep pipeline depth.
+    pub fn sweep(&self, tech: &Tech, opts: SynthesisOptions) -> Vec<ImplementationReport> {
+        timing::sweep_stages(&self.netlist(tech), PipelineStrategy::IterativeRefinement, opts, tech)
+    }
+
+    /// Build the cycle-accurate simulator for a pipeline depth.
+    pub fn simulator(&self, stages: u32) -> PipelinedUnit {
+        PipelinedUnit::new(
+            self.format,
+            self.round,
+            self.datapath(),
+            self.netlist(&Tech::virtex2pro()),
+            stages,
+        )
+    }
+}
+
+// ---------------------------------------------------------------- sqrt
+
+/// Stage-1 exception logic for square root (√negative, √∞, √±0).
+pub struct SqrtExceptionDetect;
+
+impl Subunit for SqrtExceptionDetect {
+    fn name(&self) -> &'static str {
+        "exception detect"
+    }
+
+    fn eval(&self, fmt: FpFormat, _mode: RoundMode, s: &mut Signals) {
+        let a = s.a;
+        s.special = match a.class {
+            Class::Zero => Some((a.to_bits(fmt), Flags::NONE)),
+            Class::Inf => {
+                if a.sign {
+                    Some((Unpacked::zero(false).to_bits(fmt), Flags::invalid()))
+                } else {
+                    Some((Unpacked::inf(false).to_bits(fmt), Flags::NONE))
+                }
+            }
+            Class::Normal => {
+                if a.sign {
+                    Some((Unpacked::zero(false).to_bits(fmt), Flags::invalid()))
+                } else {
+                    None
+                }
+            }
+        };
+        s.sign = false;
+        s.is_zero = false;
+    }
+
+    fn components(&self, _fmt: FpFormat, tech: &Tech) -> Vec<Component> {
+        vec![Component::parallel("exception logic", &Primitive::SignLogic, tech)]
+    }
+}
+
+/// The root digit-recurrence array (with the odd/even exponent fold).
+pub struct RootRecurrenceUnit;
+
+impl Subunit for RootRecurrenceUnit {
+    fn name(&self) -> &'static str {
+        "root recurrence"
+    }
+
+    fn eval(&self, fmt: FpFormat, _mode: RoundMode, s: &mut Signals) {
+        if s.special.is_none() {
+            let (r, exp) = root_recurrence(fmt, s.a.sig, s.a.exp);
+            s.mag = r;
+            s.exp = exp;
+        }
+    }
+
+    fn components(&self, fmt: FpFormat, tech: &Tech) -> Vec<Component> {
+        vec![
+            // The exponent halving is a shift; its odd/even fold is a mux.
+            Component::parallel(
+                "exponent halver",
+                &Primitive::Mux2 { bits: fmt.exp_bits() },
+                tech,
+            ),
+            Component::from_primitive(
+                "SRT root array",
+                &Primitive::DigitRecurrence {
+                    bits: fmt.sig_bits() + SQRT_GRS_BITS + 1,
+                    rows: fmt.sig_bits() + SQRT_GRS_BITS + 1,
+                },
+                tech,
+            ),
+        ]
+    }
+}
+
+/// A floating-point square-root design for one format.
+#[derive(Clone, Copy, Debug)]
+pub struct SqrtDesign {
+    /// Operand format.
+    pub format: FpFormat,
+    /// Rounding mode of the built simulators.
+    pub round: RoundMode,
+}
+
+impl SqrtDesign {
+    /// A design with the paper-consistent defaults.
+    pub fn new(format: FpFormat) -> SqrtDesign {
+        SqrtDesign { format, round: RoundMode::NearestEven }
+    }
+
+    /// The behavioural datapath (operand B is ignored).
+    pub fn datapath(&self) -> Datapath {
+        Datapath {
+            subunits: vec![
+                Box::new(Denormalize),
+                Box::new(SqrtExceptionDetect),
+                Box::new(RootRecurrenceUnit),
+                Box::new(RecurrenceRound { grs: SQRT_GRS_BITS }),
+                Box::new(PackUnit),
+            ],
+        }
+    }
+
+    /// The structural netlist.
+    pub fn netlist(&self, tech: &Tech) -> Netlist {
+        let mut n = Netlist::new(
+            &format!("fp{} sqrt", self.format.total_bits()),
+            self.format.total_bits(),
+            self.format.exp_bits() + 6,
+        );
+        for u in self.datapath().subunits {
+            n.components.extend(u.components(self.format, tech));
+        }
+        n
+    }
+
+    /// Sweep pipeline depth.
+    pub fn sweep(&self, tech: &Tech, opts: SynthesisOptions) -> Vec<ImplementationReport> {
+        timing::sweep_stages(&self.netlist(tech), PipelineStrategy::IterativeRefinement, opts, tech)
+    }
+
+    /// Build the cycle-accurate simulator for a pipeline depth.
+    pub fn simulator(&self, stages: u32) -> PipelinedUnit {
+        PipelinedUnit::new(
+            self.format,
+            self.round,
+            self.datapath(),
+            self.netlist(&Tech::virtex2pro()),
+            stages,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::FpPipe;
+
+    fn run(unit: &mut PipelinedUnit, a: u64, b: u64) -> (u64, Flags) {
+        let mut out = unit.clock(Some((a, b)));
+        while out.is_none() {
+            out = unit.clock(None);
+        }
+        out.unwrap()
+    }
+
+    #[test]
+    fn divider_combinational_matches_softfp() {
+        let d = DividerDesign::new(FpFormat::SINGLE);
+        let dp = d.datapath();
+        let cases: &[(f32, f32)] = &[
+            (6.0, 3.0),
+            (1.0, 3.0),
+            (-7.5, 0.5),
+            (5.0, 0.0),
+            (0.0, 0.0),
+            (f32::INFINITY, 2.0),
+            (f32::MAX, f32::MIN_POSITIVE),
+        ];
+        for &(x, y) in cases {
+            let mut s = Signals::inject(x.to_bits() as u64, y.to_bits() as u64, false);
+            dp.eval_all(FpFormat::SINGLE, RoundMode::NearestEven, &mut s);
+            let (want, wf) = fpfpga_softfp::div_bits(
+                FpFormat::SINGLE,
+                x.to_bits() as u64,
+                y.to_bits() as u64,
+                RoundMode::NearestEven,
+            );
+            assert_eq!(s.result, want, "{x} / {y}");
+            assert_eq!(s.flags, wf, "{x} / {y}");
+        }
+    }
+
+    #[test]
+    fn pipelined_divider_bit_exact() {
+        let d = DividerDesign::new(FpFormat::DOUBLE);
+        for stages in [1u32, 8, 20, 40] {
+            let mut unit = d.simulator(stages);
+            for &(x, y) in &[(1.0f64, 3.0f64), (2.5e100, -3.3e-7), (-1.0, -8.0)] {
+                let (got, _) = run(&mut unit, x.to_bits(), y.to_bits());
+                let (want, _) =
+                    fpfpga_softfp::div_bits(FpFormat::DOUBLE, x.to_bits(), y.to_bits(), RoundMode::NearestEven);
+                assert_eq!(got, want, "{x}/{y} at {stages} stages");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_sqrt_bit_exact() {
+        let d = SqrtDesign::new(FpFormat::SINGLE);
+        for stages in [1u32, 6, 15] {
+            let mut unit = d.simulator(stages);
+            for &x in &[2.0f32, 6.25, 1e10, 0.0, -4.0] {
+                let (got, gf) = run(&mut unit, x.to_bits() as u64, 0);
+                let (want, wf) = fpfpga_softfp::sqrt_bits(
+                    FpFormat::SINGLE,
+                    x.to_bits() as u64,
+                    RoundMode::NearestEven,
+                );
+                assert_eq!(got, want, "sqrt({x}) at {stages} stages");
+                assert_eq!(gf, wf, "sqrt({x})");
+            }
+        }
+    }
+
+    #[test]
+    fn divider_latency_scales_with_precision() {
+        // Digit recurrence: one row per result bit — max depth (and the
+        // latency needed for peak clock) grows with the significand,
+        // unlike the adder/multiplier.
+        let t = Tech::virtex2pro();
+        let d32 = DividerDesign::new(FpFormat::SINGLE).netlist(&t).max_stages();
+        let d64 = DividerDesign::new(FpFormat::DOUBLE).netlist(&t).max_stages();
+        assert!(d64 > d32 + 20, "64-bit rows {d64} vs 32-bit rows {d32}");
+    }
+
+    #[test]
+    fn divider_is_area_hungry() {
+        // Quixilica-era folklore the model must respect: a pipelined FP
+        // divider costs several times the multiplier's slices.
+        let t = Tech::virtex2pro();
+        let div = DividerDesign::new(FpFormat::SINGLE).netlist(&t).base_area();
+        let mul = crate::multiplier::MultiplierDesign::new(FpFormat::SINGLE)
+            .netlist(&t)
+            .base_area();
+        assert!(div.luts > 2.0 * mul.luts);
+    }
+
+    #[test]
+    fn deep_divider_sustains_high_clock() {
+        let t = Tech::virtex2pro();
+        let sweep = DividerDesign::new(FpFormat::SINGLE).sweep(&t, SynthesisOptions::SPEED);
+        let best = sweep.iter().map(|r| r.clock_mhz).fold(0.0, f64::max);
+        assert!(best > 200.0, "deeply pipelined divider = {best} MHz");
+        // ...but it takes ~one stage per digit to get there.
+        let at_200 = sweep.iter().find(|r| r.clock_mhz >= 200.0).unwrap().stages;
+        assert!(at_200 > 15, "200 MHz before {at_200} stages is implausibly early");
+    }
+
+    #[test]
+    fn sqrt_ignores_second_operand() {
+        let d = SqrtDesign::new(FpFormat::SINGLE);
+        let mut u1 = d.simulator(5);
+        let mut u2 = d.simulator(5);
+        let a = 7.5f32.to_bits() as u64;
+        let r1 = run(&mut u1, a, 0);
+        let r2 = run(&mut u2, a, 0xdead_beef);
+        assert_eq!(r1, r2);
+    }
+}

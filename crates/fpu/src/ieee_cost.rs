@@ -1,0 +1,200 @@
+//! The hardware cost of full IEEE 754 support — quantifying the paper's
+//! design decision.
+//!
+//! "Though we have followed the IEEE754 format …, we haven't provided
+//! for denormal or NaN numbers. Denormal and NaN numbers are generally
+//! considered rare and may not justify the usage of a lot of hardware
+//! required for their handling."
+//!
+//! `fpfpga-softfp::ieee` implements the omitted semantics; this module
+//! prices them. Gradual underflow adds, on top of each flush-to-zero
+//! datapath:
+//!
+//! * **multiplier**: a priority encoder + normalizing barrel shifter per
+//!   operand (denormal inputs must be pre-normalized before the fixed
+//!   point multiplier), plus a denormalizing right-shifter and its
+//!   exponent comparator at the output;
+//! * **adder**: the alignment machinery already normalizes implicitly,
+//!   but the output side needs the same denormalizing shifter, an
+//!   underflow-range comparator, and wider sticky collection;
+//! * both: NaN detection/propagation muxes (small).
+
+use crate::adder::AdderDesign;
+use crate::multiplier::MultiplierDesign;
+use fpfpga_fabric::netlist::Netlist;
+use fpfpga_fabric::primitives::{log2_ceil, Primitive};
+use fpfpga_fabric::report::ImplementationReport;
+use fpfpga_fabric::synthesis::SynthesisOptions;
+use fpfpga_fabric::tech::Tech;
+use fpfpga_fabric::timing;
+use fpfpga_fabric::PipelineStrategy;
+use fpfpga_softfp::FpFormat;
+
+/// Append the output-side denormalization hardware common to both cores.
+fn push_output_denormal_logic(n: &mut Netlist, fmt: FpFormat, tech: &Tech) {
+    let bits = fmt.sig_bits() + 3;
+    n.push(
+        "denormalizing shifter",
+        &Primitive::BarrelShifter { bits, levels: log2_ceil(bits) },
+        tech,
+    );
+    n.push_parallel("underflow comparator", &Primitive::Comparator { bits: fmt.exp_bits() }, tech);
+    n.push("NaN/denorm output mux", &Primitive::Mux2 { bits: fmt.total_bits() }, tech);
+}
+
+/// The full-IEEE adder netlist: the flush-to-zero datapath plus
+/// denormal/NaN handling.
+pub fn full_ieee_adder_netlist(fmt: FpFormat, tech: &Tech) -> Netlist {
+    let mut n = AdderDesign::new(fmt).netlist(tech);
+    n.name = format!("fp{} adder (full IEEE)", fmt.total_bits());
+    // NaN detection on each operand (fraction-nonzero AND exp-all-ones).
+    n.push_parallel("NaN detect A", &Primitive::Comparator { bits: fmt.frac_bits() }, tech);
+    n.push_parallel("NaN detect B", &Primitive::Comparator { bits: fmt.frac_bits() }, tech);
+    push_output_denormal_logic(&mut n, fmt, tech);
+    n
+}
+
+/// The full-IEEE multiplier netlist: per-operand input normalization
+/// plus the output denormalization.
+pub fn full_ieee_multiplier_netlist(fmt: FpFormat, tech: &Tech) -> Netlist {
+    let base = MultiplierDesign::new(fmt).netlist(tech);
+    let mut n = Netlist::new(
+        &format!("fp{} multiplier (full IEEE)", fmt.total_bits()),
+        fmt.total_bits(),
+        base.sideband_width,
+    );
+    // Input side: normalize each (possibly denormal) operand before the
+    // fixed-point multiplier. One path is on the critical path, its twin
+    // runs in parallel.
+    let sig = fmt.sig_bits();
+    n.push("input priority encoder A", &Primitive::PriorityEncoder { bits: sig, forced: true }, tech);
+    n.push("input normalizer A", &Primitive::BarrelShifter { bits: sig, levels: log2_ceil(sig) }, tech);
+    n.push_parallel(
+        "input priority encoder B",
+        &Primitive::PriorityEncoder { bits: sig, forced: true },
+        tech,
+    );
+    n.push_parallel(
+        "input normalizer B",
+        &Primitive::BarrelShifter { bits: sig, levels: log2_ceil(sig) },
+        tech,
+    );
+    n.push_parallel("NaN detect", &Primitive::Comparator { bits: fmt.frac_bits() }, tech);
+    n.components.extend(base.components);
+    push_output_denormal_logic(&mut n, fmt, tech);
+    n
+}
+
+/// One core's flush-to-zero vs full-IEEE comparison at the freq/area
+/// optimum of each variant.
+#[derive(Clone, Debug)]
+pub struct IeeeCostReport {
+    /// "adder" or "multiplier".
+    pub core: &'static str,
+    /// Operand format.
+    pub format: FpFormat,
+    /// The flush-to-zero optimum.
+    pub ftz: ImplementationReport,
+    /// The full-IEEE optimum.
+    pub ieee: ImplementationReport,
+}
+
+impl IeeeCostReport {
+    /// Relative slice overhead of full IEEE (e.g. 0.35 = +35%).
+    pub fn slice_overhead(&self) -> f64 {
+        self.ieee.slices as f64 / self.ftz.slices as f64 - 1.0
+    }
+
+    /// Extra pipeline stages at the optimum.
+    pub fn extra_stages(&self) -> i64 {
+        self.ieee.stages as i64 - self.ftz.stages as i64
+    }
+
+    /// Throughput/area degradation factor (< 1 means IEEE is worse).
+    pub fn freq_area_ratio(&self) -> f64 {
+        self.ieee.freq_per_area() / self.ftz.freq_per_area()
+    }
+}
+
+/// Price full IEEE support for both cores at all three paper precisions.
+pub fn ieee_cost_analysis(tech: &Tech, opts: SynthesisOptions) -> Vec<IeeeCostReport> {
+    let mut out = Vec::new();
+    for fmt in FpFormat::PAPER_PRECISIONS {
+        let sweep = |n: &Netlist| {
+            timing::sweep_stages(n, PipelineStrategy::IterativeRefinement, opts, tech)
+        };
+        let ftz_add = sweep(&AdderDesign::new(fmt).netlist(tech));
+        let ieee_add = sweep(&full_ieee_adder_netlist(fmt, tech));
+        out.push(IeeeCostReport {
+            core: "adder",
+            format: fmt,
+            ftz: timing::optimal(&ftz_add).clone(),
+            ieee: timing::optimal(&ieee_add).clone(),
+        });
+        let ftz_mul = sweep(&MultiplierDesign::new(fmt).netlist(tech));
+        let ieee_mul = sweep(&full_ieee_multiplier_netlist(fmt, tech));
+        out.push(IeeeCostReport {
+            core: "multiplier",
+            format: fmt,
+            ftz: timing::optimal(&ftz_mul).clone(),
+            ieee: timing::optimal(&ieee_mul).clone(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ieee_support_costs_real_area() {
+        // The paper's justification must be visible in the model: full
+        // IEEE support costs a double-digit percentage of slices.
+        let tech = Tech::virtex2pro();
+        let reports = ieee_cost_analysis(&tech, SynthesisOptions::SPEED);
+        assert_eq!(reports.len(), 6);
+        for r in &reports {
+            assert!(
+                r.slice_overhead() > 0.05,
+                "{} {}: overhead {:.1}%",
+                r.core,
+                r.format,
+                r.slice_overhead() * 100.0
+            );
+        }
+        // The multiplier pays more than the adder (two input normalizers).
+        let mul64 = reports.iter().find(|r| r.core == "multiplier" && r.format == FpFormat::DOUBLE).unwrap();
+        let add64 = reports.iter().find(|r| r.core == "adder" && r.format == FpFormat::DOUBLE).unwrap();
+        assert!(mul64.slice_overhead() > add64.slice_overhead());
+    }
+
+    #[test]
+    fn ieee_hurts_throughput_per_area() {
+        let tech = Tech::virtex2pro();
+        for r in ieee_cost_analysis(&tech, SynthesisOptions::SPEED) {
+            assert!(
+                r.freq_area_ratio() < 1.0,
+                "{} {}: freq/area ratio {:.3}",
+                r.core,
+                r.format,
+                r.freq_area_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn ieee_netlists_are_supersets() {
+        let tech = Tech::virtex2pro();
+        for fmt in FpFormat::PAPER_PRECISIONS {
+            let ftz = AdderDesign::new(fmt).netlist(&tech);
+            let ieee = full_ieee_adder_netlist(fmt, &tech);
+            assert!(ieee.components.len() > ftz.components.len());
+            assert!(ieee.base_area().luts > ftz.base_area().luts);
+            let ftz = MultiplierDesign::new(fmt).netlist(&tech);
+            let ieee = full_ieee_multiplier_netlist(fmt, &tech);
+            assert!(ieee.base_area().luts > ftz.base_area().luts);
+            assert_eq!(ieee.base_area().bmults, ftz.base_area().bmults);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! # fpfpga-fpu — the paper's floating-point cores
+//!
+//! This crate implements Section 3 of Govindu et al. (IPPS 2004): a
+//! floating-point adder/subtractor and multiplier whose **number of
+//! pipeline stages is a first-class design parameter**, evaluated by the
+//! **throughput/area** (MHz/slice) metric.
+//!
+//! Each core is described twice, from one source of truth:
+//!
+//! * **Behaviourally** — as an ordered list of [`subunit::Subunit`]s
+//!   (denormalizer, swapper, align shifter, mantissa adder, priority
+//!   encoder, normalizer, rounding, …) operating on a [`signals::Signals`]
+//!   wire bundle. The [`sim::PipelinedUnit`] clocks bundles through the
+//!   stages cycle by cycle, reproducing latency, initiation interval 1,
+//!   the `DONE` side-band and per-stage exception forwarding. Results are
+//!   bit-identical to `fpfpga-softfp` for **every** legal register
+//!   placement (property-tested), because register placement is a timing
+//!   decision, not a semantic one.
+//! * **Structurally** — as a `fpfpga-fabric` [`fpfpga_fabric::Netlist`] of
+//!   calibrated primitives, from which synthesis/P&R models derive
+//!   slices, LUTs, flip-flops, BMULTs and the achievable clock rate for
+//!   any pipeline depth and tool objective.
+//!
+//! [`analysis`] sweeps pipeline depth for the three paper precisions and
+//! selects the *min*, *opt* (highest MHz/slice — the paper's definition
+//! of optimal) and *max* configurations of Tables 1 and 2, and produces
+//! the frequency/area-versus-stages curves of Figure 2.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use fpfpga_fpu::prelude::*;
+//!
+//! // Design-space sweep for a single-precision adder:
+//! let design = AdderDesign::new(FpFormat::SINGLE);
+//! let sweep = design.sweep(&Tech::virtex2pro(), SynthesisOptions::SPEED);
+//! let opt = fpfpga_fabric::timing::optimal(&sweep);
+//! assert!(opt.clock_mhz > 150.0); // peak rate is higher still (> 240 MHz)
+//!
+//! // Cycle-accurate simulation of the chosen configuration:
+//! let mut unit = design.simulator(opt.stages);
+//! let a = 1.5f32.to_bits() as u64;
+//! let b = 2.25f32.to_bits() as u64;
+//! let mut out = None;
+//! for cycle in 0..opt.stages + 1 {
+//!     let input = if cycle == 0 { Some((a, b)) } else { None };
+//!     out = unit.clock(input);
+//! }
+//! let (bits, _flags) = out.expect("result after `stages` cycles");
+//! assert_eq!(f32::from_bits(bits as u32), 3.75);
+//! ```
+
+pub mod accumulator;
+pub mod adder;
+pub mod analysis;
+pub mod config;
+pub mod divider;
+pub mod generator;
+pub mod ieee_cost;
+pub mod mac;
+pub mod multiplier;
+pub mod signals;
+pub mod sim;
+pub mod subunit;
+pub mod trace;
+
+pub use accumulator::{AccumulatorDesign, StreamingAccumulator};
+pub use adder::AdderDesign;
+pub use divider::{DividerDesign, SqrtDesign};
+pub use analysis::{CoreSweep, PrecisionAnalysis};
+pub use config::{CoreConfig, OpKind};
+pub use mac::{FusedMacDesign, FusedMacUnit, MacComparison};
+pub use multiplier::MultiplierDesign;
+pub use sim::{DelayLineUnit, FpPipe, PipelinedUnit};
+pub use trace::Waveform;
+
+/// Convenient re-exports for downstream crates and examples.
+pub mod prelude {
+    pub use crate::adder::AdderDesign;
+    pub use crate::divider::{DividerDesign, SqrtDesign};
+    pub use crate::analysis::{CoreSweep, PrecisionAnalysis};
+    pub use crate::config::{CoreConfig, OpKind};
+    pub use crate::multiplier::MultiplierDesign;
+    pub use crate::sim::{DelayLineUnit, FpPipe, PipelinedUnit};
+    pub use fpfpga_fabric::{
+        timing, Device, Netlist, Objective, PipelineStrategy, SynthesisOptions, Tech,
+    };
+    pub use fpfpga_softfp::{Flags, FpFormat, RoundMode};
+}

@@ -1,0 +1,332 @@
+//! The floating-point multiplier core (Figure 1b of the paper).
+//!
+//! "Floating point multiplication is easier than addition/subtraction to
+//! implement": the same denormalizer feeds a fixed-point mantissa
+//! multiplier (Xilinx library-core style, on embedded 18×18 blocks) in
+//! parallel with an exponent adder + bias subtractor and a sign XOR,
+//! followed by a small normalizer (at most two bit positions, since
+//! denormals are not produced) and the same rounding module as the adder.
+
+use crate::adder::{Denormalize, PackUnit};
+use crate::config::CoreConfig;
+use crate::signals::Signals;
+use crate::sim::PipelinedUnit;
+use crate::subunit::{Datapath, Subunit};
+use fpfpga_fabric::netlist::{Component, Netlist};
+use fpfpga_fabric::primitives::Primitive;
+use fpfpga_fabric::report::ImplementationReport;
+use fpfpga_fabric::synthesis::SynthesisOptions;
+use fpfpga_fabric::tech::Tech;
+use fpfpga_fabric::timing;
+use fpfpga_fabric::PipelineStrategy;
+use fpfpga_softfp::ops::mul::product_normalize;
+use fpfpga_softfp::round::round_sig;
+use fpfpga_softfp::{Class, Flags, FpFormat, RoundMode, Unpacked};
+
+/// Stage-1 exception logic for multiplication (0 × ∞ etc.), mirroring
+/// `fpfpga-softfp`'s dispatch exactly.
+pub struct MulExceptionDetect;
+
+impl Subunit for MulExceptionDetect {
+    fn name(&self) -> &'static str {
+        "exception detect"
+    }
+
+    fn eval(&self, fmt: FpFormat, _mode: RoundMode, s: &mut Signals) {
+        let (a, b) = (s.a, s.b);
+        let sign = a.sign ^ b.sign;
+        s.special = match (a.class, b.class) {
+            (Class::Zero, Class::Inf) | (Class::Inf, Class::Zero) => {
+                Some((Unpacked::zero(false).to_bits(fmt), Flags::invalid()))
+            }
+            (Class::Inf, _) | (_, Class::Inf) => {
+                Some((Unpacked::inf(sign).to_bits(fmt), Flags::NONE))
+            }
+            (Class::Zero, _) | (_, Class::Zero) => {
+                Some((Unpacked::zero(sign).to_bits(fmt), Flags::NONE))
+            }
+            (Class::Normal, Class::Normal) => None,
+        };
+    }
+
+    fn components(&self, _fmt: FpFormat, tech: &Tech) -> Vec<Component> {
+        vec![Component::parallel("exception logic", &Primitive::SignLogic, tech)]
+    }
+}
+
+/// The sign XOR and exponent adder + bias subtractor, running in parallel
+/// with the mantissa multiplier.
+pub struct SignExpUnit;
+
+impl Subunit for SignExpUnit {
+    fn name(&self) -> &'static str {
+        "sign XOR / exponent adder"
+    }
+
+    fn eval(&self, _fmt: FpFormat, _mode: RoundMode, s: &mut Signals) {
+        s.sign = s.a.sign ^ s.b.sign;
+        s.exp = s.a.exp + s.b.exp;
+        s.is_zero = false; // normal × normal is never exactly zero
+    }
+
+    fn components(&self, fmt: FpFormat, tech: &Tech) -> Vec<Component> {
+        let exp_add = Primitive::FixedAdder {
+            bits: fmt.exp_bits(),
+            carry_ns_per_bit: tech.t_carry_per_bit_ns,
+        };
+        vec![
+            Component::parallel("sign XOR", &Primitive::SignLogic, tech),
+            // "A fixed-point adder and subtractor to add the exponents
+            // and subtract the bias from the sum. A pipeline stage can be
+            // inserted between the adder and subtractor."
+            Component::parallel("exponent adder", &exp_add, tech),
+            Component::parallel("bias subtractor", &exp_add, tech),
+        ]
+    }
+}
+
+/// Stage 2: the fixed-point mantissa multiplier on embedded 18×18 blocks.
+pub struct MantissaMultiply;
+
+impl Subunit for MantissaMultiply {
+    fn name(&self) -> &'static str {
+        "mantissa multiplier"
+    }
+
+    fn eval(&self, _fmt: FpFormat, _mode: RoundMode, s: &mut Signals) {
+        s.product = s.a.sig as u128 * s.b.sig as u128;
+    }
+
+    fn components(&self, fmt: FpFormat, tech: &Tech) -> Vec<Component> {
+        vec![Component::from_primitive(
+            "mantissa multiplier",
+            &Primitive::Mult18Tree { bits: fmt.sig_bits() },
+            tech,
+        )]
+    }
+}
+
+/// Stage 3a: the multiplier's small normalizer — "since we do not
+/// consider denormal numbers, we shift the mantissa of the result at
+/// most by two bits" (one for the product's integer bit, one more
+/// absorbed by the rounding carry).
+pub struct ProductNormalize;
+
+impl Subunit for ProductNormalize {
+    fn name(&self) -> &'static str {
+        "product normalizer"
+    }
+
+    fn eval(&self, fmt: FpFormat, _mode: RoundMode, s: &mut Signals) {
+        if s.special.is_none() {
+            let (mag, exp) = product_normalize(fmt, s.product, s.exp);
+            s.mag = mag;
+            s.exp = exp;
+        }
+    }
+
+    fn components(&self, fmt: FpFormat, tech: &Tech) -> Vec<Component> {
+        vec![
+            Component::from_primitive(
+                "2-bit shifter",
+                &Primitive::Mux2 { bits: fmt.sig_bits() + 2 },
+                tech,
+            ),
+            Component::parallel(
+                "exponent adjust",
+                &Primitive::ConstAdder { bits: fmt.exp_bits() },
+                tech,
+            ),
+        ]
+    }
+}
+
+/// Stage 3b: the rounding module (same structure as the adder's, but the
+/// tail below the significand is the full low half of the product).
+pub struct MulRound;
+
+impl Subunit for MulRound {
+    fn name(&self) -> &'static str {
+        "rounding"
+    }
+
+    fn eval(&self, fmt: FpFormat, mode: RoundMode, s: &mut Signals) {
+        if s.special.is_none() {
+            let rounded = round_sig(fmt, s.mag, fmt.frac_bits() + 1, mode);
+            s.mag = rounded.sig as u128;
+            s.exp += rounded.exp_carry as i32;
+            if rounded.inexact {
+                s.flags |= Flags::inexact();
+            }
+        }
+    }
+
+    fn components(&self, fmt: FpFormat, tech: &Tech) -> Vec<Component> {
+        vec![
+            Component::from_primitive(
+                "mantissa round adder",
+                &Primitive::ConstAdder { bits: fmt.sig_bits() },
+                tech,
+            ),
+            Component::parallel(
+                "exponent round adder",
+                &Primitive::ConstAdder { bits: fmt.exp_bits() },
+                tech,
+            ),
+        ]
+    }
+}
+
+/// A floating-point multiplier design for one format.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiplierDesign {
+    /// Operand format.
+    pub format: FpFormat,
+    /// Rounding mode of the built simulators.
+    pub round: RoundMode,
+}
+
+impl MultiplierDesign {
+    /// A design with the paper's defaults.
+    pub fn new(format: FpFormat) -> MultiplierDesign {
+        MultiplierDesign { format, round: RoundMode::NearestEven }
+    }
+
+    /// From a full core configuration.
+    pub fn from_config(cfg: &CoreConfig) -> MultiplierDesign {
+        MultiplierDesign { format: cfg.format, round: cfg.round }
+    }
+
+    /// The behavioural datapath (subunits in dataflow order).
+    pub fn datapath(&self) -> Datapath {
+        Datapath {
+            subunits: vec![
+                Box::new(Denormalize),
+                Box::new(MulExceptionDetect),
+                Box::new(SignExpUnit),
+                Box::new(MantissaMultiply),
+                Box::new(ProductNormalize),
+                Box::new(MulRound),
+                Box::new(PackUnit),
+            ],
+        }
+    }
+
+    /// The structural netlist for the fabric model.
+    pub fn netlist(&self, tech: &Tech) -> Netlist {
+        let mut n = Netlist::new(
+            &format!("fp{} multiplier", self.format.total_bits()),
+            self.format.total_bits(),
+            self.format.exp_bits() + 6,
+        );
+        for u in self.datapath().subunits {
+            n.components.extend(u.components(self.format, tech));
+        }
+        n
+    }
+
+    /// Sweep pipeline depth (the paper's Figure 2b data for this format).
+    pub fn sweep(&self, tech: &Tech, opts: SynthesisOptions) -> Vec<ImplementationReport> {
+        let n = self.netlist(tech);
+        timing::sweep_stages(&n, PipelineStrategy::IterativeRefinement, opts, tech)
+    }
+
+    /// Build the cycle-accurate simulator for a pipeline depth.
+    pub fn simulator(&self, stages: u32) -> PipelinedUnit {
+        PipelinedUnit::new(
+            self.format,
+            self.round,
+            self.datapath(),
+            self.netlist(&Tech::virtex2pro()),
+            stages,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combinational_matches_softfp() {
+        let d = MultiplierDesign::new(FpFormat::SINGLE);
+        let dp = d.datapath();
+        let cases: &[(f32, f32)] = &[
+            (2.0, 3.0),
+            (-1.5, 0.25),
+            (f32::MAX, 2.0),
+            (1e-38, 1e-3),
+            (0.0, 7.0),
+            (f32::INFINITY, 0.0),
+            (f32::NEG_INFINITY, -2.0),
+        ];
+        for &(x, y) in cases {
+            let mut s = Signals::inject(x.to_bits() as u64, y.to_bits() as u64, false);
+            dp.eval_all(FpFormat::SINGLE, RoundMode::NearestEven, &mut s);
+            let (want, wflags) = fpfpga_softfp::mul_bits(
+                FpFormat::SINGLE,
+                x.to_bits() as u64,
+                y.to_bits() as u64,
+                RoundMode::NearestEven,
+            );
+            assert_eq!(s.result, want, "{x} * {y}");
+            assert_eq!(s.flags, wflags, "{x} * {y}");
+        }
+    }
+
+    #[test]
+    fn uses_embedded_multipliers() {
+        let t = Tech::virtex2pro();
+        for (fmt, bmults) in
+            [(FpFormat::SINGLE, 4), (FpFormat::FP48, 9), (FpFormat::DOUBLE, 16)]
+        {
+            let n = MultiplierDesign::new(fmt).netlist(&t);
+            assert_eq!(n.base_area().bmults, bmults, "{fmt:?}");
+        }
+    }
+
+    #[test]
+    fn multiplier_smaller_than_adder_in_slices() {
+        // The paper's tables show multipliers using fewer slices than
+        // adders (the mantissa work lives in the embedded blocks).
+        let t = Tech::virtex2pro();
+        let add = crate::adder::AdderDesign::new(FpFormat::SINGLE).netlist(&t);
+        let mul = MultiplierDesign::new(FpFormat::SINGLE).netlist(&t);
+        assert!(mul.base_area().luts < add.base_area().luts);
+    }
+
+    #[test]
+    fn sweep_reaches_paper_rates() {
+        let t = Tech::virtex2pro();
+        let single = MultiplierDesign::new(FpFormat::SINGLE).sweep(&t, SynthesisOptions::SPEED);
+        let double = MultiplierDesign::new(FpFormat::DOUBLE).sweep(&t, SynthesisOptions::SPEED);
+        let s_best = single.iter().map(|r| r.clock_mhz).fold(0.0, f64::max);
+        let d_best = double.iter().map(|r| r.clock_mhz).fold(0.0, f64::max);
+        assert!(s_best > 240.0, "single mult best = {s_best}");
+        assert!(d_best > 200.0, "double mult best = {d_best}");
+    }
+
+    #[test]
+    fn double_crosses_200mhz_in_paper_band() {
+        // Anchor: "for the 54bit fixed-point multiplication, seven
+        // pipelining stages are required to achieve a frequency of
+        // 200 MHz" (validated directly on the mantissa-multiplier
+        // primitive in fpfpga-fabric). The *full* FP multiplier adds
+        // denormalize/normalize/round stages around it, so its 200 MHz
+        // crossing lands a few stages later — but well under the depth
+        // of a comparable adder.
+        let t = Tech::virtex2pro();
+        let sweep = MultiplierDesign::new(FpFormat::DOUBLE).sweep(&t, SynthesisOptions::SPEED);
+        let crossing = sweep
+            .iter()
+            .find(|r| r.clock_mhz >= 200.0)
+            .expect("200 MHz is reachable")
+            .stages;
+        assert!(
+            (9..=16).contains(&crossing),
+            "double multiplier crosses 200 MHz at {crossing} stages"
+        );
+        let at = |k: u32| sweep.iter().find(|r| r.stages == k).unwrap().clock_mhz;
+        assert!(at(4) < 200.0, "4-stage double multiplier = {}", at(4));
+    }
+}

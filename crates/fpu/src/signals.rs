@@ -1,0 +1,108 @@
+//! The wire bundle that flows through a core's pipeline.
+//!
+//! `Signals` is the union of every inter-subunit bus in Figure 1 of the
+//! paper (both cores). A subunit reads the fields its hardware inputs
+//! correspond to and writes the fields its outputs correspond to; the
+//! pipeline simulator moves whole bundles between stage latches. Fields
+//! it does not own are simply carried forward — exactly what the
+//! hardware's side-band registers do.
+
+use fpfpga_softfp::{Flags, Unpacked};
+
+/// All intermediate values of the adder and multiplier datapaths.
+///
+/// A real RTL bundle would be per-stage-subset; carrying the whole union
+/// costs nothing in simulation and keeps the stage-assignment flexible
+/// (any register placement yields the same values).
+#[derive(Clone, Debug)]
+pub struct Signals {
+    // ---- operand bus ----
+    /// Raw encoding of operand A.
+    pub a_bits: u64,
+    /// Raw encoding of operand B.
+    pub b_bits: u64,
+    /// Add/sub select (true = subtract): flips B's sign in stage 1.
+    pub subtract: bool,
+
+    // ---- stage 1: denormalization ----
+    /// Operand A with hidden bit explicit.
+    pub a: Unpacked,
+    /// Operand B with hidden bit explicit (sign already flipped for sub).
+    pub b: Unpacked,
+    /// Resolved special-case result (∞/0/invalid paths), forwarded down
+    /// the pipe and muxed over the arithmetic result at the output.
+    pub special: Option<(u64, Flags)>,
+
+    // ---- adder stage 1: swap + align ----
+    /// Larger-magnitude operand after the swapper.
+    pub hi: Unpacked,
+    /// Smaller-magnitude operand after the swapper.
+    pub lo: Unpacked,
+    /// Exponent difference (alignment shift amount).
+    pub align_shift: u32,
+    /// Aligned smaller significand (GRS-extended, sticky jammed).
+    pub lo_aligned: u64,
+
+    // ---- multiplier stage 2 ----
+    /// Raw significand product (2·sig_bits wide).
+    pub product: u128,
+
+    // ---- shared arithmetic state ----
+    /// Magnitude in flight (GRS-extended for add; aligned product for mul).
+    pub mag: u128,
+    /// Result sign in flight.
+    pub sign: bool,
+    /// Unbiased result exponent in flight.
+    pub exp: i32,
+    /// Priority-encoder output (position of leading one).
+    pub msb_pos: u32,
+    /// True when the magnitude collapsed to exactly zero (cancellation).
+    pub is_zero: bool,
+
+    // ---- output bus ----
+    /// Final packed result.
+    pub result: u64,
+    /// Accumulated exception flags (ORed stage by stage).
+    pub flags: Flags,
+}
+
+impl Signals {
+    /// A bundle entering stage 1.
+    pub fn inject(a_bits: u64, b_bits: u64, subtract: bool) -> Signals {
+        Signals {
+            a_bits,
+            b_bits,
+            subtract,
+            a: Unpacked::zero(false),
+            b: Unpacked::zero(false),
+            special: None,
+            hi: Unpacked::zero(false),
+            lo: Unpacked::zero(false),
+            align_shift: 0,
+            lo_aligned: 0,
+            product: 0,
+            mag: 0,
+            sign: false,
+            exp: 0,
+            msb_pos: 0,
+            is_zero: false,
+            result: 0,
+            flags: Flags::NONE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inject_is_clean() {
+        let s = Signals::inject(1, 2, true);
+        assert_eq!(s.a_bits, 1);
+        assert_eq!(s.b_bits, 2);
+        assert!(s.subtract);
+        assert!(s.special.is_none());
+        assert!(!s.flags.any());
+    }
+}

@@ -1,0 +1,126 @@
+//! The subunit abstraction: one hardware block of Figure 1.
+//!
+//! Every subunit has a *behaviour* (its transfer function over the
+//! [`Signals`] bundle) and a *structure* (the
+//! fabric component its logic maps to). The two faces are kept on one
+//! object so that the behavioural pipeline and the area/timing model can
+//! never drift apart.
+
+use crate::signals::Signals;
+use fpfpga_fabric::netlist::Component;
+use fpfpga_fabric::tech::Tech;
+use fpfpga_softfp::{FpFormat, RoundMode};
+
+/// One hardware subunit of a floating-point core.
+pub trait Subunit {
+    /// Subunit name, as in the paper's block diagrams.
+    fn name(&self) -> &'static str;
+
+    /// The transfer function: read/update the wire bundle.
+    fn eval(&self, fmt: FpFormat, mode: RoundMode, s: &mut Signals);
+
+    /// The fabric component(s) this subunit synthesizes to, in dataflow
+    /// order. Components flagged off-critical-path model logic that runs
+    /// in parallel with (and faster than) the mantissa path.
+    fn components(&self, fmt: FpFormat, tech: &Tech) -> Vec<Component>;
+}
+
+/// A datapath: subunits in dataflow order.
+pub struct Datapath {
+    /// The subunits, in evaluation order.
+    pub subunits: Vec<Box<dyn Subunit + Send + Sync>>,
+}
+
+impl Datapath {
+    /// Evaluate the whole datapath combinationally (reference execution —
+    /// must match `fpfpga-softfp` bit for bit).
+    pub fn eval_all(&self, fmt: FpFormat, mode: RoundMode, s: &mut Signals) {
+        for u in &self.subunits {
+            u.eval(fmt, mode, s);
+        }
+    }
+
+    /// Map subunits to pipeline stages given the per-subunit atom counts
+    /// and a stage partition expressed as atom-boundary cut positions.
+    ///
+    /// A subunit belongs to the stage in which its *last* critical-path
+    /// atom completes; subunits with only off-critical-path components
+    /// inherit the stage of their predecessor. The returned vector has
+    /// one (stage index) entry per subunit and is monotone.
+    pub fn assign_stages(&self, fmt: FpFormat, tech: &Tech, cuts: &[usize]) -> Vec<usize> {
+        let mut assignment = Vec::with_capacity(self.subunits.len());
+        let mut atom_idx = 0usize; // index into the flattened critical path
+        let mut prev_stage = 0usize;
+        for u in &self.subunits {
+            let crit_atoms: usize = u
+                .components(fmt, tech)
+                .iter()
+                .filter(|c| c.on_critical_path)
+                .map(|c| c.atoms.len())
+                .sum();
+            let stage = if crit_atoms == 0 {
+                prev_stage
+            } else {
+                atom_idx += crit_atoms;
+                // stage = number of cuts strictly before the last atom's end
+                cuts.iter().filter(|&&c| c < atom_idx).count()
+            };
+            assignment.push(stage);
+            prev_stage = stage;
+        }
+        assignment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpfpga_fabric::primitives::Primitive;
+
+    struct Fake(u32, bool); // atom count, on critical path
+
+    impl Subunit for Fake {
+        fn name(&self) -> &'static str {
+            "fake"
+        }
+        fn eval(&self, _: FpFormat, _: RoundMode, s: &mut Signals) {
+            s.exp += 1;
+        }
+        fn components(&self, _: FpFormat, tech: &Tech) -> Vec<Component> {
+            let p = Primitive::BarrelShifter { bits: 8, levels: self.0 };
+            let c = if self.1 {
+                Component::from_primitive("fake", &p, tech)
+            } else {
+                Component::parallel("fake", &p, tech)
+            };
+            vec![c]
+        }
+    }
+
+    #[test]
+    fn stage_assignment_monotone_and_correct() {
+        let dp = Datapath {
+            subunits: vec![
+                Box::new(Fake(2, true)),  // atoms 0..2
+                Box::new(Fake(1, false)), // parallel: inherits
+                Box::new(Fake(3, true)),  // atoms 2..5
+                Box::new(Fake(1, true)),  // atom 5..6
+            ],
+        };
+        let tech = Tech::virtex2pro();
+        // cuts after atom 2 and atom 5 → 3 stages
+        let stages = dp.assign_stages(FpFormat::SINGLE, &tech, &[2, 5]);
+        assert_eq!(stages, vec![0, 0, 1, 2]);
+        // no cuts → single stage
+        let stages = dp.assign_stages(FpFormat::SINGLE, &tech, &[]);
+        assert_eq!(stages, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn eval_all_runs_in_order() {
+        let dp = Datapath { subunits: vec![Box::new(Fake(1, true)), Box::new(Fake(1, true))] };
+        let mut s = Signals::inject(0, 0, false);
+        dp.eval_all(FpFormat::SINGLE, RoundMode::NearestEven, &mut s);
+        assert_eq!(s.exp, 2);
+    }
+}

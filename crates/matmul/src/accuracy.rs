@@ -1,0 +1,164 @@
+//! Numerical-accuracy instrumentation.
+//!
+//! The paper motivates floating point with applications that "demand
+//! high numerical stability and accuracy"; this module measures it:
+//! absolute/relative/ulp error statistics of any kernel output against
+//! an `f64` baseline, so precision choices (including the custom formats
+//! the cores support) can be made on evidence.
+
+use crate::matrix::Matrix;
+use fpfpga_softfp::{FpFormat, SoftFloat};
+
+/// Error statistics of a value set against a baseline.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ErrorStats {
+    /// Largest absolute error.
+    pub max_abs: f64,
+    /// Largest relative error (skipping baseline values below `tiny`).
+    pub max_rel: f64,
+    /// Largest error in units in the last place of the format.
+    pub max_ulp: f64,
+    /// Root-mean-square absolute error.
+    pub rms: f64,
+    /// Values compared.
+    pub count: usize,
+}
+
+/// One ulp of `fmt` at the magnitude of `x`.
+pub fn ulp_at(fmt: FpFormat, x: f64) -> f64 {
+    if x == 0.0 {
+        // ulp at the smallest normal
+        return 2f64.powi(fmt.min_exp() - fmt.frac_bits() as i32);
+    }
+    let e = x.abs().log2().floor() as i32;
+    let e = e.clamp(fmt.min_exp(), fmt.max_exp());
+    2f64.powi(e - fmt.frac_bits() as i32)
+}
+
+/// Accumulating error measurement.
+#[derive(Clone, Debug)]
+pub struct ErrorMeter {
+    fmt: FpFormat,
+    tiny: f64,
+    sum_sq: f64,
+    stats: ErrorStats,
+}
+
+impl ErrorMeter {
+    /// A meter for values in `fmt`; relative errors ignore baselines
+    /// below `tiny`.
+    pub fn new(fmt: FpFormat, tiny: f64) -> ErrorMeter {
+        ErrorMeter { fmt, tiny, sum_sq: 0.0, stats: ErrorStats::default() }
+    }
+
+    /// Record one (computed, baseline) pair.
+    pub fn record(&mut self, got_bits: u64, baseline: f64) {
+        let got = SoftFloat::from_bits(self.fmt, got_bits).to_f64();
+        let abs = (got - baseline).abs();
+        self.stats.max_abs = self.stats.max_abs.max(abs);
+        if baseline.abs() > self.tiny {
+            self.stats.max_rel = self.stats.max_rel.max(abs / baseline.abs());
+        }
+        self.stats.max_ulp = self.stats.max_ulp.max(abs / ulp_at(self.fmt, baseline));
+        self.sum_sq += abs * abs;
+        self.stats.count += 1;
+    }
+
+    /// Record a whole matrix against a baseline slice (row-major).
+    pub fn record_matrix(&mut self, got: &Matrix, baseline: &[f64]) {
+        assert_eq!(got.rows() * got.cols(), baseline.len());
+        for i in 0..got.rows() {
+            for j in 0..got.cols() {
+                self.record(got.get(i, j), baseline[i * got.cols() + j]);
+            }
+        }
+    }
+
+    /// The statistics so far.
+    pub fn stats(&self) -> ErrorStats {
+        let mut s = self.stats;
+        if s.count > 0 {
+            s.rms = (self.sum_sq / s.count as f64).sqrt();
+        }
+        s
+    }
+}
+
+/// Convenience: error statistics of a matmul result against its `f64`
+/// baseline.
+pub fn matmul_error(c: &Matrix, a: &Matrix, b: &Matrix) -> ErrorStats {
+    let baseline = crate::reference::f64_matmul(a, b);
+    let mut m = ErrorMeter::new(c.format(), 1e-300);
+    m.record_matrix(c, &baseline);
+    m.stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_matmul;
+    use fpfpga_softfp::RoundMode;
+
+    #[test]
+    fn ulp_at_known_points() {
+        let f = FpFormat::SINGLE;
+        assert_eq!(ulp_at(f, 1.0), 2f64.powi(-23));
+        assert_eq!(ulp_at(f, 2.0), 2f64.powi(-22));
+        assert_eq!(ulp_at(f, 3.9), 2f64.powi(-22));
+        assert_eq!(ulp_at(f, 0.0), 2f64.powi(-126 - 23));
+    }
+
+    #[test]
+    fn exact_values_have_zero_error()  {
+        let fmt = FpFormat::SINGLE;
+        let mut m = ErrorMeter::new(fmt, 1e-30);
+        for &x in &[1.0f64, -2.5, 1024.0, 0.0] {
+            m.record(SoftFloat::from_f64(fmt, x).bits(), x);
+        }
+        let s = m.stats();
+        assert_eq!(s.max_abs, 0.0);
+        assert_eq!(s.max_ulp, 0.0);
+        assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    fn rounding_error_is_at_most_half_ulp() {
+        let fmt = FpFormat::SINGLE;
+        let mut m = ErrorMeter::new(fmt, 1e-30);
+        for i in 1..500 {
+            let x = i as f64 * 0.0137;
+            m.record(SoftFloat::from_f64(fmt, x).bits(), x);
+        }
+        let s = m.stats();
+        assert!(s.max_ulp <= 0.5 + 1e-9, "max ulp = {}", s.max_ulp);
+        assert!(s.max_abs > 0.0);
+    }
+
+    #[test]
+    fn matmul_error_ranks_formats() {
+        let n = 8;
+        let mk = |fmt: FpFormat| {
+            let a = Matrix::from_fn(fmt, n, n, |i, j| ((i * n + j) as f64 * 0.3).sin());
+            let b = Matrix::from_fn(fmt, n, n, |i, j| ((i + 2 * j) as f64 * 0.2).cos());
+            let c = reference_matmul(&a, &b, RoundMode::NearestEven);
+            matmul_error(&c, &a, &b).max_abs
+        };
+        let e32 = mk(FpFormat::SINGLE);
+        let e48 = mk(FpFormat::FP48);
+        let e64 = mk(FpFormat::DOUBLE);
+        assert!(e32 > e48, "{e32} vs {e48}");
+        assert!(e48 > e64 || e48 == 0.0, "{e48} vs {e64}");
+    }
+
+    #[test]
+    fn truncation_doubles_the_error_bound() {
+        let n = 10;
+        let fmt = FpFormat::SINGLE;
+        let a = Matrix::from_fn(fmt, n, n, |i, j| ((i * n + j) as f64 * 0.17).sin());
+        let b = Matrix::from_fn(fmt, n, n, |i, j| ((i * 3 + j) as f64 * 0.23).cos());
+        let ne = matmul_error(&reference_matmul(&a, &b, RoundMode::NearestEven), &a, &b);
+        let tr = matmul_error(&reference_matmul(&a, &b, RoundMode::Truncate), &a, &b);
+        assert!(tr.max_abs >= ne.max_abs, "truncation cannot beat nearest");
+        assert!(tr.rms > ne.rms);
+    }
+}

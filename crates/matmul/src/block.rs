@@ -1,0 +1,218 @@
+//! Block matrix multiplication (Section 5, Figure 6).
+//!
+//! "In \[5\], block matrix multiplication was employed for matrices with
+//! large problem sizes. Block size b was used as a parameter while
+//! performing design tradeoffs. In the floating-point architecture, for
+//! small block sizes, zero padding has to be used to satisfy the latency
+//! requirement."
+//!
+//! An N×N product is tiled into (N/b)² output blocks; each output block
+//! accumulates (N/b) b×b block products on a b-PE array. The `C` block
+//! stays resident in the PE block RAMs across the k-loop, so only `A`
+//! and `B` blocks move — and every b×b block product pays the padded
+//! inner period `max(b, PL)`.
+
+use crate::array::{ArrayStats, LinearArray};
+use crate::matrix::Matrix;
+use crate::pe::UnitBackend;
+use crate::schedule::Schedule;
+use fpfpga_softfp::{FpFormat, RoundMode};
+
+/// A blocked matmul plan.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockMatMul {
+    /// Total problem size N.
+    pub n: u32,
+    /// Block (and array) size b; must divide N.
+    pub b: u32,
+    /// Combined MAC latency of the chosen unit set.
+    pub pl: u32,
+}
+
+impl BlockMatMul {
+    /// Create a plan. Panics unless `b` divides `n`.
+    pub fn new(n: u32, b: u32, pl: u32) -> BlockMatMul {
+        assert!(b >= 1 && n >= b && n % b == 0, "b must divide n");
+        BlockMatMul { n, b, pl }
+    }
+
+    /// The per-block schedule (with padding).
+    pub fn block_schedule(&self) -> Schedule {
+        Schedule::new(self.b, self.pl)
+    }
+
+    /// Number of b×b block products.
+    pub fn block_products(&self) -> u64 {
+        let t = (self.n / self.b) as u64;
+        t * t * t
+    }
+
+    /// Analytical total cycles: every block product streams one A block
+    /// (issue cycles) back to back — the double-buffered `B` banks let
+    /// block products chain without draining — plus one drain per output
+    /// tile before its `C` block is read out.
+    pub fn total_cycles(&self) -> u64 {
+        let per_block = self.block_schedule().issue_cycles();
+        let tiles = ((self.n / self.b) as u64).pow(2);
+        let drain_per_tile = self.b as u64 + self.pl as u64 + 1;
+        self.block_products() * per_block + tiles * drain_per_tile
+    }
+
+    /// Analytical padding cycles across the whole computation.
+    pub fn pad_cycles(&self) -> u64 {
+        self.block_products() * self.block_schedule().pad_cycles()
+    }
+
+    /// Useful MAC issues (N³ / b per PE-visible stream slot × b PEs …
+    /// = simply N³ scalar MACs).
+    pub fn useful_macs(&self) -> u64 {
+        (self.n as u64).pow(3)
+    }
+
+    /// Fraction of issue slots wasted on padding.
+    pub fn waste_fraction(&self) -> f64 {
+        self.pad_cycles() as f64 / (self.block_products() * self.block_schedule().issue_cycles()) as f64
+    }
+
+    /// Words crossing the array boundary: every A block streams b·period
+    /// tokens, every B block loads b², every C block drains b² once.
+    pub fn io_words(&self) -> u64 {
+        let t = (self.n / self.b) as u64;
+        let a_words = self.block_products() * (self.b as u64 * self.block_schedule().tokens_per_step());
+        let b_words = self.block_products() * (self.b as u64 * self.b as u64);
+        let c_words = t * t * (self.b as u64 * self.b as u64);
+        a_words + b_words + c_words
+    }
+
+    /// Execute the plan cycle-accurately. Suitable for small/medium N;
+    /// the analytical model above is validated against this.
+    pub fn run(
+        &self,
+        fmt: FpFormat,
+        mode: RoundMode,
+        mult_stages: u32,
+        add_stages: u32,
+        a: &Matrix,
+        b: &Matrix,
+        backend: UnitBackend,
+    ) -> (Matrix, ArrayStats) {
+        assert_eq!(mult_stages + add_stages, self.pl, "unit latencies must sum to PL");
+        let n = self.n as usize;
+        let bs = self.b as usize;
+        assert_eq!(a.rows(), n);
+        assert_eq!(b.rows(), n);
+        let tiles = n / bs;
+
+        let mut c = Matrix::zero(fmt, n, n);
+        let mut arr = LinearArray::new(fmt, mode, mult_stages, add_stages, bs, bs, backend);
+        let mut stats = ArrayStats::default();
+
+        for bi in 0..tiles {
+            for bj in 0..tiles {
+                arr.clear_c();
+                for bk in 0..tiles {
+                    let a_blk = a.block(bi, bk, bs);
+                    let b_blk = b.block(bk, bj, bs);
+                    // Double buffering: load the bank the previous block
+                    // product is not reading, then stream against it.
+                    let bank = bk % 2 == 1;
+                    arr.load_b(bank, &b_blk);
+                    arr.stream_a_from_bank(&a_blk, bank);
+                }
+                arr.drain();
+                let c_blk = arr.read_c();
+                for i in 0..bs {
+                    for j in 0..bs {
+                        c.set(bi * bs + i, bj * bs + j, c_blk.get(i, j));
+                    }
+                }
+            }
+        }
+        let s = arr.stats();
+        stats.cycles = arr.cycles;
+        stats.useful_macs = s.useful_macs;
+        stats.pad_macs = s.pad_macs;
+        stats.idle_cycles = s.idle_cycles;
+        stats.bram_accesses = s.bram_accesses;
+        (c, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_matmul;
+
+    const F: FpFormat = FpFormat::SINGLE;
+    const RM: RoundMode = RoundMode::NearestEven;
+
+    fn sample(n: usize, seed: f64) -> Matrix {
+        Matrix::from_fn(F, n, n, |i, j| ((i * n + j) as f64 * 0.13 + seed).cos() * 2.0)
+    }
+
+    #[test]
+    fn blocked_equals_unblocked_reference() {
+        // Blocked accumulation order equals the flat order when both go
+        // ascending in k, so even the bits agree.
+        let n = 8;
+        let a = sample(n, 0.5);
+        let b = sample(n, 1.5);
+        for bs in [2u32, 4, 8] {
+            let plan = BlockMatMul::new(n as u32, bs, 7);
+            let (c, _) = plan.run(F, RM, 3, 4, &a, &b, UnitBackend::Fast);
+            let want = reference_matmul(&a, &b, RM);
+            assert_eq!(c, want, "block size {bs}");
+        }
+    }
+
+    #[test]
+    fn small_blocks_pad() {
+        let plan = BlockMatMul::new(16, 4, 19);
+        assert!(plan.pad_cycles() > 0);
+        assert!((plan.waste_fraction() - (19.0 - 4.0) / 19.0).abs() < 1e-12);
+        let big = BlockMatMul::new(16, 16, 19); // still padded: 16 < 19
+        assert!(big.waste_fraction() > 0.0);
+        let ok = BlockMatMul::new(64, 32, 19);
+        assert_eq!(ok.pad_cycles(), 0);
+    }
+
+    #[test]
+    fn cycle_model_matches_simulation() {
+        let n = 12u32;
+        for (bs, pl, ms, asl) in [(4u32, 7u32, 3u32, 4u32), (6, 9, 4, 5), (12, 7, 3, 4)] {
+            let plan = BlockMatMul::new(n, bs, pl);
+            let a = sample(n as usize, 2.0);
+            let b = sample(n as usize, 3.0);
+            let (_, stats) = plan.run(F, RM, ms, asl, &a, &b, UnitBackend::Fast);
+            assert_eq!(stats.cycles, plan.total_cycles(), "b={bs} pl={pl}");
+            assert_eq!(stats.useful_macs, plan.useful_macs(), "b={bs}");
+            // every pad issue slot becomes one pad MAC in each of the b PEs
+            assert_eq!(stats.pad_macs, plan.pad_cycles() * bs as u64, "b={bs} pl={pl}");
+        }
+    }
+
+    #[test]
+    fn padding_grows_as_blocks_shrink() {
+        // "There is large amount of wasteful energy dissipation when the
+        // block size is much smaller than the latency of the
+        // floating-point units."
+        let pl = 19;
+        let mut last = 0u64;
+        for bs in [16u32, 8, 4, 2] {
+            let plan = BlockMatMul::new(32, bs, pl);
+            let waste = plan.pad_cycles();
+            assert!(waste > last, "waste must grow as b shrinks: b={bs} waste={waste}");
+            last = waste;
+        }
+        assert!(
+            BlockMatMul::new(32, 2, pl).waste_fraction()
+                > BlockMatMul::new(32, 16, pl).waste_fraction()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "b must divide n")]
+    fn rejects_nondividing_block() {
+        BlockMatMul::new(10, 3, 7);
+    }
+}

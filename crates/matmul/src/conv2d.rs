@@ -1,0 +1,212 @@
+//! 2-D convolution kernel — the paper's "image processing" motivation.
+//!
+//! A separable-row architecture: each kernel row is a transposed-form
+//! FIR filter (see [`crate::fir`]); row filters run over the image rows
+//! and a column combiner adds the `kh` partial images with a small adder
+//! tree. All structural hazards are inherited from the FIR cells (none —
+//! pure feed-forward), so the kernel streams one pixel per cycle per row
+//! filter at any pipeline depth.
+//!
+//! Boundary policy: zero padding on all sides, `same` output size with
+//! the kernel anchored at its centre (`kh/2`, `kw/2`).
+
+use crate::fir::{reference_fir, FirFilter};
+use crate::matrix::Matrix;
+use fpfpga_softfp::{FpFormat, RoundMode, SoftFloat};
+
+/// A 2-D convolution engine for a fixed kernel.
+pub struct Conv2dEngine {
+    fmt: FpFormat,
+    mode: RoundMode,
+    /// Kernel coefficients, row-major (kh × kw).
+    kernel: Vec<Vec<f64>>,
+    mac_stages: u32,
+}
+
+impl Conv2dEngine {
+    /// An engine for `kernel` (kh × kw, each row same length) whose MACs
+    /// have `mac_stages` stages.
+    pub fn new(fmt: FpFormat, mode: RoundMode, kernel: &[Vec<f64>], mac_stages: u32) -> Conv2dEngine {
+        assert!(!kernel.is_empty());
+        let kw = kernel[0].len();
+        assert!(kw >= 1 && kernel.iter().all(|r| r.len() == kw), "ragged kernel");
+        Conv2dEngine {
+            fmt,
+            mode,
+            kernel: kernel.to_vec(),
+            mac_stages,
+        }
+    }
+
+    /// Convolve an image (`same` size, zero-padded), cycle-accurately in
+    /// the row filters. Returns the output and total row-filter cycles.
+    pub fn convolve(&self, image: &Matrix) -> (Matrix, u64) {
+        let (h, w) = (image.rows(), image.cols());
+        let kh = self.kernel.len();
+        let kw = self.kernel[0].len();
+        let (row_anchor, col_anchor) = (kh / 2, kw / 2);
+        let mut out = Matrix::zero(self.fmt, h, w);
+        let mut cycles = 0u64;
+
+        // Partial images, one FIR pass per kernel row. Each row runs
+        // col_anchor flush samples past its end so the centre-anchored
+        // output exists at the right boundary.
+        let mut partials: Vec<Vec<Vec<u64>>> = Vec::with_capacity(kh);
+        for krow in &self.kernel {
+            let mut partial = Vec::with_capacity(h);
+            for i in 0..h {
+                let mut row: Vec<u64> = (0..w).map(|j| image.get(i, j)).collect();
+                row.extend(std::iter::repeat_n(0u64, col_anchor));
+                let mut fir = FirFilter::new(self.fmt, self.mode, krow, self.mac_stages);
+                let y = fir.filter(&row);
+                cycles += fir.cycles;
+                partial.push(y);
+            }
+            partials.push(partial);
+        }
+
+        // Column combine with the centre anchor: the row FIR's output at
+        // column j weights x[j−c], so `same` semantics read column
+        // j + kw/2; rows read i + kh/2 − r. Zero outside, summed in
+        // ascending r — the adder-tree order.
+        for i in 0..h {
+            for j in 0..w {
+                let src_j = j + col_anchor;
+                let mut acc = SoftFloat::zero(self.fmt);
+                for (r, partial) in partials.iter().enumerate() {
+                    let src = i as i64 + row_anchor as i64 - r as i64;
+                    if src >= 0 && (src as usize) < h {
+                        let v = SoftFloat::from_bits(self.fmt, partial[src as usize][src_j]);
+                        let (s, _) = acc.add(&v, self.mode);
+                        acc = s;
+                    }
+                }
+                out.set(i, j, acc.bits());
+            }
+        }
+        (out, cycles)
+    }
+
+    /// Order-faithful reference (row FIR references + the same column
+    /// combine order).
+    pub fn reference(&self, image: &Matrix) -> Matrix {
+        let (h, w) = (image.rows(), image.cols());
+        let kh = self.kernel.len();
+        let kw = self.kernel[0].len();
+        let (row_anchor, col_anchor) = (kh / 2, kw / 2);
+        let mut partials: Vec<Vec<Vec<u64>>> = Vec::with_capacity(kh);
+        for krow in &self.kernel {
+            let mut partial = Vec::with_capacity(h);
+            for i in 0..h {
+                let mut row: Vec<u64> = (0..w).map(|j| image.get(i, j)).collect();
+                row.extend(std::iter::repeat_n(0u64, col_anchor));
+                partial.push(reference_fir(self.fmt, self.mode, krow, &row));
+            }
+            partials.push(partial);
+        }
+        let mut out = Matrix::zero(self.fmt, h, w);
+        for i in 0..h {
+            for j in 0..w {
+                let src_j = j + col_anchor;
+                let mut acc = SoftFloat::zero(self.fmt);
+                for (r, partial) in partials.iter().enumerate() {
+                    let src = i as i64 + row_anchor as i64 - r as i64;
+                    if src >= 0 && (src as usize) < h {
+                        let v = SoftFloat::from_bits(self.fmt, partial[src as usize][src_j]);
+                        let (s, _) = acc.add(&v, self.mode);
+                        acc = s;
+                    }
+                }
+                out.set(i, j, acc.bits());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: FpFormat = FpFormat::SINGLE;
+    const RM: RoundMode = RoundMode::NearestEven;
+
+    fn image(h: usize, w: usize) -> Matrix {
+        Matrix::from_fn(F, h, w, |i, j| ((i * w + j) as f64 * 0.13).sin())
+    }
+
+    #[test]
+    fn engine_matches_reference_bit_exact() {
+        let kernel = vec![vec![0.1, 0.2, 0.1], vec![0.2, 0.4, 0.2], vec![0.1, 0.2, 0.1]];
+        for stages in [1u32, 4, 9] {
+            let eng = Conv2dEngine::new(F, RM, &kernel, stages);
+            let img = image(7, 9);
+            let (got, _) = eng.convolve(&img);
+            assert_eq!(got, eng.reference(&img), "stages={stages}");
+        }
+    }
+
+    #[test]
+    fn identity_kernel_is_identity() {
+        let kernel = vec![vec![0.0, 0.0, 0.0], vec![0.0, 1.0, 0.0], vec![0.0, 0.0, 0.0]];
+        let eng = Conv2dEngine::new(F, RM, &kernel, 3);
+        let img = image(5, 6);
+        let (got, _) = eng.convolve(&img);
+        // The centre tap of the FIR sits at delay 1 (h[1]); with the
+        // anchor row the output equals the input exactly.
+        assert_eq!(got, img);
+    }
+
+    #[test]
+    fn matches_f64_convolution() {
+        let kernel = vec![vec![0.25, 0.5, 0.25], vec![0.5, 1.0, 0.5]];
+        let eng = Conv2dEngine::new(F, RM, &kernel, 5);
+        let img = image(6, 8);
+        let (got, _) = eng.convolve(&img);
+        let (h, w) = (img.rows(), img.cols());
+        let (row_anchor, col_anchor) = (1i64, 1i64); // kh/2, kw/2
+        for i in 0..h {
+            for j in 0..w {
+                let mut want = 0.0f64;
+                for (r, krow) in kernel.iter().enumerate() {
+                    let src_i = i as i64 + row_anchor - r as i64;
+                    if src_i < 0 || src_i >= h as i64 {
+                        continue;
+                    }
+                    for (c, &kc) in krow.iter().enumerate() {
+                        let src_j = j as i64 + col_anchor - c as i64;
+                        if src_j < 0 || src_j >= w as i64 {
+                            continue;
+                        }
+                        want += kc * img.get_f64(src_i as usize, src_j as usize);
+                    }
+                }
+                let g = got.get_f64(i, j);
+                assert!((g - want).abs() < 1e-5, "({i},{j}): {g} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_row_kernel_is_anchored_row_fir() {
+        let kernel = vec![vec![0.3, -0.6, 0.3]];
+        let eng = Conv2dEngine::new(F, RM, &kernel, 4);
+        let img = image(3, 16);
+        let (got, _) = eng.convolve(&img);
+        for i in 0..3 {
+            let mut row: Vec<u64> = (0..16).map(|j| img.get(i, j)).collect();
+            row.push(0); // the engine's flush column
+            let want = reference_fir(F, RM, &kernel[0], &row);
+            for j in 0..16 {
+                // centre anchor: output j reads the FIR output at j+1
+                assert_eq!(got.get(i, j), want[j + 1], "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged kernel")]
+    fn rejects_ragged_kernels() {
+        Conv2dEngine::new(F, RM, &[vec![1.0, 2.0], vec![3.0]], 2);
+    }
+}

@@ -1,0 +1,326 @@
+//! Energy modeling of the matmul architecture (Section 5, Figures 4-6).
+//!
+//! Each PE is split into the paper's four component classes — MAC,
+//! Storage, I/O and Misc — and charged with the domain-specific
+//! methodology: power × active time, with zero-padding cycles burning
+//! MAC power for no useful work and idle (skew/drain) cycles costing
+//! clock power only.
+
+use crate::block::BlockMatMul;
+use crate::perf::PeResources;
+use crate::schedule::Schedule;
+use crate::units::UnitSet;
+use fpfpga_fabric::area::AreaCost;
+use fpfpga_fabric::primitives::Primitive;
+use fpfpga_fabric::tech::Tech;
+use fpfpga_power::{ComponentClass, EnergyBill, PowerModel};
+
+/// Switching activity assumed for active datapath logic.
+const DATAPATH_ACTIVITY: f64 = 0.30;
+/// Energy per word crossing the array's I/O boundary (nJ) — pad +
+/// interconnect drivers for one bus transfer.
+const IO_NJ_PER_WORD: f64 = 0.45;
+
+/// The architecture point being charged.
+#[derive(Clone, Debug)]
+pub struct ArchitectureEnergy {
+    /// The FP unit pair per PE.
+    pub units: UnitSet,
+    /// PE count (array size).
+    pub p: u32,
+    /// Per-PE resources.
+    pub pe: PeResources,
+    /// Clock the array runs at (MHz): the unit set's sustained rate.
+    pub clock_mhz: f64,
+    /// Power model.
+    pub model: PowerModel,
+    /// Optional time-proportional (quiescent/static) power in mW charged
+    /// for the whole run. The paper *excludes* quiescent power from its
+    /// unit measurements, so the default is 0; setting it lets the
+    /// ablation benches explore when "less latency" really does mean
+    /// "less energy" (the hedged claim around Figure 5).
+    pub static_power_mw: f64,
+}
+
+/// A complete energy estimate for one run.
+#[derive(Clone, Debug)]
+pub struct EnergyReport {
+    /// The itemized bill.
+    pub bill: EnergyBill,
+    /// Total cycles of the run.
+    pub cycles: u64,
+    /// Latency in microseconds.
+    pub latency_us: f64,
+    /// Zero-padding MAC issues (wasted work), summed over PEs.
+    pub pad_macs: u64,
+    /// Useful MAC issues, summed over PEs.
+    pub useful_macs: u64,
+    /// Slices of the whole array.
+    pub slices: u32,
+    /// Embedded multipliers of the whole array.
+    pub bmults: u32,
+    /// Block RAMs of the whole array.
+    pub brams: u32,
+}
+
+impl EnergyReport {
+    /// Total energy (nJ).
+    pub fn total_nj(&self) -> f64 {
+        self.bill.total_nj()
+    }
+
+    /// Energy attributable to zero padding: the MAC-class share of the
+    /// pad fraction of issues.
+    pub fn padding_energy_nj(&self) -> f64 {
+        let total_macs = (self.pad_macs + self.useful_macs) as f64;
+        if total_macs == 0.0 {
+            return 0.0;
+        }
+        self.bill.class_nj(ComponentClass::Mac) * self.pad_macs as f64 / total_macs
+    }
+}
+
+impl ArchitectureEnergy {
+    /// An architecture of `p` PEs with column height `n`.
+    pub fn new(units: UnitSet, p: u32, n: u32, tech: &Tech) -> ArchitectureEnergy {
+        let pe = PeResources::new(&units, n, tech);
+        let clock_mhz = units.clock_mhz();
+        ArchitectureEnergy {
+            units,
+            p,
+            pe,
+            clock_mhz,
+            model: PowerModel::virtex2pro(),
+            static_power_mw: 0.0,
+        }
+    }
+
+    /// Charge a time-proportional static/quiescent power term (mW).
+    pub fn with_static_power(mut self, mw: f64) -> ArchitectureEnergy {
+        self.static_power_mw = mw;
+        self
+    }
+
+    /// Per-PE MAC area (the two FP units).
+    fn mac_area(&self) -> AreaCost {
+        AreaCost {
+            luts: (self.units.adder.luts + self.units.multiplier.luts) as f64,
+            ffs: (self.units.adder.ffs + self.units.multiplier.ffs) as f64,
+            bmults: self.units.adder.bmults + self.units.multiplier.bmults,
+            brams: 0,
+            routing_slices: 0.0,
+        }
+    }
+
+    /// Per-PE storage area (BRAM columns + delay registers).
+    fn storage_area(&self, n: u32, tech: &Tech) -> AreaCost {
+        let word = self.units.format.total_bits();
+        let mut a = AreaCost::default();
+        for _ in 0..2 {
+            a += Primitive::BramBuffer { words: n.max(16), width: word }.area(tech);
+        }
+        a += AreaCost::ffs((word * self.units.multiplier.stages) as f64);
+        a
+    }
+
+    /// Per-PE control/misc area.
+    fn misc_area(&self) -> AreaCost {
+        let word = self.units.format.total_bits();
+        AreaCost { luts: 40.0, ffs: (word + 34) as f64, ..Default::default() }
+    }
+
+    /// Charge one *flat* n×n multiplication on an n-PE array
+    /// (Figures 4 and 5: `p = n`, storage height n).
+    pub fn charge_flat(&self, n: u32, tech: &Tech) -> EnergyReport {
+        assert_eq!(self.p, n, "flat design uses n PEs");
+        let sched = Schedule::new(n, self.units.pl());
+        let issue = sched.issue_cycles();
+        let total = sched.total_cycles();
+        // Every PE sees every issue slot (skewed by one cycle each, which
+        // does not change the counts).
+        let active_per_pe = issue;
+        let idle_per_pe = total - issue;
+        let pad_macs = sched.pad_cycles() * n as u64;
+        let useful_macs = sched.useful_cycles() * n as u64;
+        let io_words = // A stream + B load + C drain
+            issue + (n as u64 * n as u64) * 2;
+        self.charge(n, tech, total, active_per_pe, idle_per_pe, pad_macs, useful_macs, io_words)
+    }
+
+    /// Charge a blocked N×N multiplication on a b-PE array (Figure 6).
+    pub fn charge_blocked(&self, plan: &BlockMatMul, tech: &Tech) -> EnergyReport {
+        assert_eq!(self.p, plan.b, "blocked design uses b PEs");
+        let total = plan.total_cycles();
+        let issue = plan.block_products() * plan.block_schedule().issue_cycles();
+        let active_per_pe = issue;
+        let idle_per_pe = total - issue;
+        let pad_macs = plan.pad_cycles() * plan.b as u64;
+        let useful_macs = plan.useful_macs();
+        let io_words = plan.io_words();
+        self.charge(plan.b, tech, total, active_per_pe, idle_per_pe, pad_macs, useful_macs, io_words)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn charge(
+        &self,
+        n: u32,
+        tech: &Tech,
+        total_cycles: u64,
+        active_per_pe: u64,
+        idle_per_pe: u64,
+        pad_macs: u64,
+        useful_macs: u64,
+        io_words: u64,
+    ) -> EnergyReport {
+        let mut bill = EnergyBill::new();
+        let f = self.clock_mhz;
+        let p = self.p as f64;
+
+        // MAC: active during every issue slot (padding included — that is
+        // precisely the waste), idle-clocked during skew/drain.
+        let mac = self.mac_area() * p;
+        bill.charge("MAC units", ComponentClass::Mac, &self.model, &mac, f, DATAPATH_ACTIVITY,
+            active_per_pe, idle_per_pe);
+
+        // Storage: BRAMs accessed on useful slots; idle on pads (a pad
+        // neither reads nor writes the column RAMs) and drains.
+        let st = self.storage_area(n, tech) * p;
+        let st_active = useful_macs / self.p as u64;
+        bill.charge("column RAM + delay regs", ComponentClass::Storage, &self.model, &st, f,
+            DATAPATH_ACTIVITY, st_active, total_cycles - st_active);
+
+        // Misc: control counters and shift registers tick every cycle.
+        let misc = self.misc_area() * p;
+        bill.charge("control / counters", ComponentClass::Misc, &self.model, &misc, f,
+            DATAPATH_ACTIVITY, total_cycles, 0);
+
+        // I/O: per-word transfer energy.
+        bill.charge_raw("array I/O", ComponentClass::Io, io_words as f64 * IO_NJ_PER_WORD);
+
+        // Optional quiescent term: mW × µs = nJ over the whole run.
+        if self.static_power_mw > 0.0 {
+            bill.charge_raw(
+                "quiescent leakage",
+                ComponentClass::Misc,
+                self.static_power_mw * total_cycles as f64 / f,
+            );
+        }
+
+        let area_total = self.pe.area.clone() * p;
+        EnergyReport {
+            cycles: total_cycles,
+            latency_us: total_cycles as f64 / f,
+            pad_macs,
+            useful_macs,
+            slices: area_total.slices(tech) as u32,
+            bmults: area_total.bmults,
+            brams: area_total.brams,
+            bill,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::PipeliningLevel;
+    use fpfpga_fabric::synthesis::SynthesisOptions;
+    use fpfpga_softfp::FpFormat;
+
+    fn arch(level: PipeliningLevel, p: u32, n: u32) -> ArchitectureEnergy {
+        let tech = Tech::virtex2pro();
+        let units = UnitSet::for_level(FpFormat::SINGLE, level, &tech, SynthesisOptions::SPEED);
+        ArchitectureEnergy::new(units, p, n, &tech)
+    }
+
+    #[test]
+    fn small_problems_waste_energy_with_deep_pipelines() {
+        // Figure 4's message: at n = 10, PL = 25 pads 60% of slots.
+        let tech = Tech::virtex2pro();
+        let shallow = arch(PipeliningLevel::Minimum, 10, 10).charge_flat(10, &tech);
+        let deep = arch(PipeliningLevel::Maximum, 10, 10).charge_flat(10, &tech);
+        assert_eq!(shallow.pad_macs, 0);
+        assert!(deep.pad_macs > 0);
+        assert!(deep.padding_energy_nj() > 0.0);
+        assert!(
+            deep.padding_energy_nj() / deep.total_nj() > 0.2,
+            "padding share = {}",
+            deep.padding_energy_nj() / deep.total_nj()
+        );
+    }
+
+    #[test]
+    fn large_problems_favor_deep_pipelines() {
+        // Figure 5's message: "even though the deeply pipelined
+        // architecture consumes a lot of area, it might consume the
+        // least energy due to less latency".
+        let tech = Tech::virtex2pro();
+        let n = 64;
+        let shallow = arch(PipeliningLevel::Minimum, n, n).charge_flat(n, &tech);
+        let deep = arch(PipeliningLevel::Maximum, n, n).charge_flat(n, &tech);
+        assert!(deep.latency_us < shallow.latency_us, "deep must be faster");
+        assert!(deep.slices > shallow.slices, "deep must be bigger");
+    }
+
+    #[test]
+    fn energy_components_all_present() {
+        let tech = Tech::virtex2pro();
+        let rep = arch(PipeliningLevel::Moderate, 16, 16).charge_flat(16, &tech);
+        for class in ComponentClass::ALL {
+            assert!(rep.bill.class_nj(class) > 0.0, "{class:?} missing");
+        }
+        assert!(rep.total_nj() > 0.0);
+    }
+
+    #[test]
+    fn blocked_energy_tracks_block_size() {
+        // Figure 6: for fixed N, small b wastes energy on padding.
+        let tech = Tech::virtex2pro();
+        let n = 64u32;
+        let level = PipeliningLevel::Maximum; // PL = 25
+        let mut waste_fracs = Vec::new();
+        for b in [4u32, 8, 16, 32] {
+            let plan = BlockMatMul::new(n, b, level.pl());
+            let a = arch(level, b, b);
+            let rep = a.charge_blocked(&plan, &tech);
+            waste_fracs.push(rep.padding_energy_nj() / rep.total_nj());
+        }
+        for w in waste_fracs.windows(2) {
+            assert!(w[0] > w[1], "padding share must drop as b grows: {waste_fracs:?}");
+        }
+    }
+
+    #[test]
+    fn static_power_rewards_speed() {
+        // With a large enough time-proportional term, the deep-pipelined
+        // design's latency advantage at big n turns into an energy win —
+        // the regime the paper's "might consume the least energy due to
+        // less latency" remark needs.
+        let tech = Tech::virtex2pro();
+        let n = 64;
+        let energy_at = |level: PipeliningLevel, static_mw: f64| {
+            let units =
+                UnitSet::for_level(FpFormat::SINGLE, level, &tech, SynthesisOptions::SPEED);
+            ArchitectureEnergy::new(units, n, n, &tech)
+                .with_static_power(static_mw)
+                .charge_flat(n, &tech)
+                .total_nj()
+        };
+        // Dynamic-only: shallow wins on energy (documented divergence).
+        assert!(energy_at(PipeliningLevel::Minimum, 0.0) < energy_at(PipeliningLevel::Maximum, 0.0));
+        // With a heavy static term the ordering flips.
+        let heavy = 20_000.0; // 20 W of chip-level static/system power
+        assert!(
+            energy_at(PipeliningLevel::Maximum, heavy) < energy_at(PipeliningLevel::Minimum, heavy),
+            "deep should win once time-proportional power dominates"
+        );
+    }
+
+    #[test]
+    fn latency_unit_conversion() {
+        let tech = Tech::virtex2pro();
+        let rep = arch(PipeliningLevel::Moderate, 8, 8).charge_flat(8, &tech);
+        let a = arch(PipeliningLevel::Moderate, 8, 8);
+        assert!((rep.latency_us - rep.cycles as f64 / a.clock_mhz).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,239 @@
+//! FIR filter kernel — the classic streaming DSP workload of the
+//! paper's application domain ("radar/sonar signal processing…").
+//!
+//! Architecture: the transposed-form systolic FIR. One MAC cell per tap;
+//! each cycle every cell computes `acc_k = x·h_k + acc_{k+1}` and the
+//! accumulator chain shifts one cell toward the output. In transposed
+//! form there is **no recurrence on any single accumulator** — each
+//! partial sum moves strictly forward — so deeply pipelined FP units need
+//! no zero padding here; the pipeline depth only adds output latency.
+//! This is the counterpoint to matmul's accumulation hazard, and the
+//! reason the paper's "throughput not latency" unit-selection rule is
+//! exactly right for FIR.
+//!
+//! Each cell's MAC is realized with the fused unit (one rounding), so
+//! the reference is a fused-order convolution.
+
+use fpfpga_fpu::mac::FusedMacUnit;
+use fpfpga_fpu::FusedMacDesign;
+use fpfpga_softfp::{FpFormat, RoundMode, SoftFloat};
+use std::collections::VecDeque;
+
+/// A cycle-accurate transposed-form FIR filter.
+///
+/// Retiming: in the classic transposed form the single register between
+/// cells provides exactly the one-sample offset between neighbouring
+/// taps. An `L`-stage MAC replaces that register with `L` cycles of
+/// delay, so the broadcast input to cell `k` must be delayed by
+/// `(n−1−k)·(L−1)` cycles to restore the alignment — the standard
+/// retiming. The simulator keeps one skew line per cell and asserts the
+/// alignment every cycle.
+pub struct FirFilter {
+    /// Tap coefficients, h[0] nearest the output.
+    taps: Vec<u64>,
+    /// One fused MAC per tap.
+    cells: Vec<FusedMacUnit>,
+    /// Input skew line per cell (length (n−1−k)·L).
+    skew: Vec<VecDeque<Option<u64>>>,
+    /// Accumulators travelling from cell k to cell k−1.
+    carry: Vec<VecDeque<u64>>,
+    mac_stages: u32,
+    /// Cycles consumed.
+    pub cycles: u64,
+}
+
+impl FirFilter {
+    /// Build a filter from `f64` coefficients; each MAC has `mac_stages`
+    /// pipeline stages.
+    pub fn new(fmt: FpFormat, mode: RoundMode, coeffs: &[f64], mac_stages: u32) -> FirFilter {
+        assert!(!coeffs.is_empty());
+        assert!(mac_stages >= 1);
+        let n = coeffs.len();
+        let design = FusedMacDesign { format: fmt, round: mode };
+        FirFilter {
+            taps: coeffs.iter().map(|&h| SoftFloat::from_f64(fmt, h).bits()).collect(),
+            cells: coeffs.iter().map(|_| design.unit(mac_stages)).collect(),
+            skew: (0..n)
+                .map(|k| {
+                    let d = (n - 1 - k) as u32 * (mac_stages - 1);
+                    (0..d).map(|_| None).collect()
+                })
+                .collect(),
+            // The inter-cell accumulator register powers up at zero: the
+            // first sample of each cell pairs with the zero history.
+            carry: (0..n).map(|_| VecDeque::from([0u64])).collect(),
+            mac_stages,
+            cycles: 0,
+        }
+    }
+
+    /// Number of taps.
+    pub fn taps(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// Latency from sample `x[i]` to output `y[i]`: the head-tap skew
+    /// plus one MAC traversal, `(n−1)·(L−1) + L` cycles.
+    pub fn latency(&self) -> u64 {
+        (self.taps.len() as u64 - 1) * (self.mac_stages as u64 - 1) + self.mac_stages as u64
+    }
+
+    /// Advance one cycle with an input sample (or a bubble); returns the
+    /// output sample leaving cell 0, once the chain is primed.
+    pub fn clock(&mut self, x: Option<u64>) -> Option<u64> {
+        self.cycles += 1;
+        let n = self.taps.len();
+        let mut out = None;
+        // Back to front: cell k+1 retires (and pushes its carry) before
+        // cell k pops it in the same cycle — the register boundary.
+        for k in (0..n).rev() {
+            // Skewed input for this cell (empty line = no extra delay).
+            self.skew[k].push_back(x);
+            let xk = self.skew[k].pop_front().expect("skew line non-empty");
+            let issue = match xk {
+                Some(xv) => {
+                    let acc = if k + 1 < n {
+                        self.carry[k + 1].pop_front().expect("retimed carry present")
+                    } else {
+                        0 // the deepest cell starts each chain at +0
+                    };
+                    Some((xv, self.taps[k], acc))
+                }
+                None => None,
+            };
+            if let Some((v, _)) = self.cells[k].clock(issue) {
+                if k == 0 {
+                    out = Some(v);
+                } else {
+                    self.carry[k].push_back(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Filter a whole signal, returning the first `xs.len()` outputs
+    /// (`y[i] = Σ_k h[k]·x[i−k]`, zero-padded history).
+    pub fn filter(&mut self, xs: &[u64]) -> Vec<u64> {
+        let mut out = Vec::with_capacity(xs.len());
+        for &x in xs {
+            if let Some(y) = self.clock(Some(x)) {
+                out.push(y);
+            }
+        }
+        // Flush with zero samples until every real output has emerged.
+        let deadline = 2 * self.latency() + self.taps.len() as u64 + 8 + xs.len() as u64;
+        let mut waited = 0;
+        while out.len() < xs.len() {
+            if let Some(y) = self.clock(Some(0)) {
+                out.push(y);
+            }
+            waited += 1;
+            assert!(waited <= deadline, "flush did not converge");
+        }
+        out.truncate(xs.len());
+        out
+    }
+}
+
+/// Order-faithful reference: the transposed-form dataflow in `SoftFloat`
+/// (fused MACs, accumulation from the deepest tap forward).
+pub fn reference_fir(fmt: FpFormat, mode: RoundMode, coeffs: &[f64], xs: &[u64]) -> Vec<u64> {
+    let taps: Vec<u64> = coeffs.iter().map(|&h| SoftFloat::from_f64(fmt, h).bits()).collect();
+    let n = taps.len();
+    (0..xs.len())
+        .map(|i| {
+            // y[i] = fma(x[i-(n-1)], h[n-1], … fma(x[i], h[0]-order …))
+            // transposed form accumulates from k = n-1 down to 0 with
+            // x[i-k] entering at cell k.
+            let mut acc = 0u64; // +0
+            for k in (0..n).rev() {
+                let x = if i >= k { xs[i - k] } else { 0 };
+                let (r, _) = fpfpga_softfp::fma_bits(fmt, x, taps[k], acc, mode);
+                acc = r;
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: FpFormat = FpFormat::SINGLE;
+    const RM: RoundMode = RoundMode::NearestEven;
+
+    fn signal(n: usize) -> Vec<u64> {
+        (0..n).map(|i| SoftFloat::from_f64(F, (i as f64 * 0.4).sin()).bits()).collect()
+    }
+
+    #[test]
+    fn impulse_response_is_the_taps() {
+        let coeffs = [0.5, -0.25, 0.125, 1.0];
+        let mut fir = FirFilter::new(F, RM, &coeffs, 3);
+        let mut x = vec![0u64; 8];
+        x[0] = SoftFloat::from_f64(F, 1.0).bits();
+        let y = fir.filter(&x);
+        for (i, &h) in coeffs.iter().enumerate() {
+            let got = SoftFloat::from_bits(F, y[i]).to_f64();
+            assert!((got - h).abs() < 1e-7, "y[{i}] = {got}, want {h}");
+        }
+        for &v in &y[coeffs.len()..] {
+            assert_eq!(SoftFloat::from_bits(F, v).to_f64(), 0.0);
+        }
+    }
+
+    #[test]
+    fn matches_reference_bit_exact() {
+        for stages in [1u32, 3, 7] {
+            for taps in [1usize, 2, 5, 9] {
+                let coeffs: Vec<f64> = (0..taps).map(|k| ((k + 1) as f64 * 0.3).cos()).collect();
+                let xs = signal(32);
+                let mut fir = FirFilter::new(F, RM, &coeffs, stages);
+                let got = fir.filter(&xs);
+                let want = reference_fir(F, RM, &coeffs, &xs);
+                assert_eq!(got, want, "taps={taps} stages={stages}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_f64_convolution() {
+        let coeffs = [0.2f64, 0.3, 0.2, 0.15, 0.15];
+        let xs = signal(64);
+        let mut fir = FirFilter::new(F, RM, &coeffs, 5);
+        let got = fir.filter(&xs);
+        for i in 0..xs.len() {
+            let want: f64 = coeffs
+                .iter()
+                .enumerate()
+                .map(|(k, &h)| if i >= k { h * SoftFloat::from_bits(F, xs[i - k]).to_f64() } else { 0.0 })
+                .sum();
+            let g = SoftFloat::from_bits(F, got[i]).to_f64();
+            assert!((g - want).abs() < 1e-5, "y[{i}] = {g}, want {want}");
+        }
+    }
+
+    #[test]
+    fn no_padding_needed_at_any_depth() {
+        // The transposed form has no accumulation recurrence: identical
+        // outputs at every MAC depth, with only latency changing.
+        let coeffs = [0.9, -0.4, 0.1];
+        let xs = signal(24);
+        let shallow = FirFilter::new(F, RM, &coeffs, 1).filter(&xs);
+        let deep = FirFilter::new(F, RM, &coeffs, 12).filter(&xs);
+        assert_eq!(shallow, deep);
+    }
+
+    #[test]
+    fn throughput_is_one_sample_per_cycle() {
+        let coeffs = [0.5f64; 8];
+        let n = 128;
+        let mut fir = FirFilter::new(F, RM, &coeffs, 6);
+        let _ = fir.filter(&signal(n));
+        // cycles = n + flush tail (bounded by the chain latency)
+        assert!(fir.cycles >= n as u64);
+        assert!(fir.cycles <= n as u64 + fir.latency() + coeffs.len() as u64 + 8);
+    }
+}

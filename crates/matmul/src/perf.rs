@@ -1,0 +1,188 @@
+//! Whole-device performance: the paper's Section 4.2.
+//!
+//! "Designs for matrix multiplication for large sized matrices typically
+//! occupy the whole device and contain many floating-point units. Hence
+//! we analyze the performance of the complete device along with that of
+//! the floating-point units."
+//!
+//! A PE is one adder + one multiplier + storage + control; the device is
+//! filled with as many PEs as the binding resource allows, and sustained
+//! performance is `2 · f · #PE` FLOP/s (one multiply and one add
+//! completing per PE per cycle).
+
+use crate::units::UnitSet;
+use fpfpga_fabric::area::AreaCost;
+use fpfpga_fabric::device::Device;
+use fpfpga_fabric::primitives::Primitive;
+use fpfpga_fabric::tech::Tech;
+
+/// The resource bill of one processing element.
+#[derive(Clone, Debug)]
+pub struct PeResources {
+    /// Combined area: FP units + storage + control.
+    pub area: AreaCost,
+    /// The unit set inside.
+    pub units: UnitSet,
+}
+
+impl PeResources {
+    /// Build the PE bill for a unit set and column height `n` (the
+    /// storage is two BRAM-backed columns of `n` words plus the token /
+    /// control shift registers).
+    pub fn new(units: &UnitSet, n: u32, tech: &Tech) -> PeResources {
+        let fmt = units.format;
+        let word = fmt.total_bits();
+        let mut area = AreaCost {
+            luts: units.adder.luts as f64 + units.multiplier.luts as f64,
+            ffs: units.adder.ffs as f64 + units.multiplier.ffs as f64,
+            bmults: units.adder.bmults + units.multiplier.bmults,
+            brams: units.adder.brams + units.multiplier.brams,
+            routing_slices: 0.0,
+        };
+        // B column + C column in block RAM.
+        for _ in 0..2 {
+            let buf = Primitive::BramBuffer { words: n.max(16), width: word };
+            area += buf.area(tech);
+        }
+        // Token register, C-operand delay line (PL_mult deep), address
+        // counters and the control shift registers the paper mentions.
+        let token_bits = word + 2 * 16 + 2; // a + i + k + pad/valid
+        area += AreaCost::ffs((token_bits + word * units.multiplier.stages) as f64);
+        area += AreaCost::luts(40.0); // counters + muxes + decode glue
+        PeResources { area, units: units.clone() }
+    }
+
+    /// Slices of one PE.
+    pub fn slices(&self, tech: &Tech) -> f64 {
+        self.area.slices(tech)
+    }
+}
+
+/// A device filled with PEs.
+#[derive(Clone, Debug)]
+pub struct DeviceFill {
+    /// The device.
+    pub device: Device,
+    /// Per-PE resources.
+    pub pe: PeResources,
+    /// Number of PEs that fit.
+    pub pe_count: u32,
+    /// Achievable array clock (MHz): bounded by the unit set and by the
+    /// congestion of a full device.
+    pub clock_mhz: f64,
+}
+
+impl DeviceFill {
+    /// Fill `device` with PEs built around `units`.
+    ///
+    /// 10% of slices are reserved for the array-level interconnect and
+    /// I/O logic; the clock is derated by 8% for a full-device P&R (the
+    /// paper's own architecture numbers are post-P&R at full utilization).
+    pub fn new(device: Device, units: &UnitSet, n: u32, tech: &Tech) -> DeviceFill {
+        let pe = PeResources::new(units, n, tech);
+        let pe_count = device.fit(&pe.area, tech, 0.10);
+        let clock_mhz = units.clock_mhz() * 0.92;
+        DeviceFill { device, pe, pe_count, clock_mhz }
+    }
+
+    /// Sustained GFLOPS: 2 FLOPs per PE per cycle.
+    pub fn gflops(&self) -> f64 {
+        2.0 * self.pe_count as f64 * self.clock_mhz / 1000.0
+    }
+
+    /// GFLOPS corrected for zero-padding waste at problem size `n_prob`
+    /// (the useful fraction of issue slots).
+    pub fn effective_gflops(&self, n_prob: u32) -> f64 {
+        let pl = self.pe.units.pl();
+        let period = n_prob.max(pl) as f64;
+        self.gflops() * (n_prob as f64 / period)
+    }
+
+    /// Estimated dynamic power (W) of the filled device at `activity`.
+    pub fn power_w(&self, activity: f64) -> f64 {
+        let model = fpfpga_power::PowerModel::virtex2pro();
+        let total = self.pe.area.clone() * self.pe_count as f64;
+        model.power_mw(&total, self.clock_mhz, activity).total_mw() / 1000.0
+    }
+
+    /// GFLOPS per watt (the paper's performance-per-unit-power metric).
+    pub fn gflops_per_watt(&self, activity: f64) -> f64 {
+        self.gflops() / self.power_w(activity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::PipeliningLevel;
+    use fpfpga_fabric::synthesis::SynthesisOptions;
+    use fpfpga_softfp::FpFormat;
+
+    fn fill(fmt: FpFormat) -> DeviceFill {
+        let tech = Tech::virtex2pro();
+        let units = UnitSet::for_level(fmt, PipeliningLevel::Maximum, &tech, SynthesisOptions::SPEED);
+        DeviceFill::new(Device::XC2VP125, &units, 64, &tech)
+    }
+
+    #[test]
+    fn single_precision_reaches_paper_band() {
+        // Abstract: "about 15 GFLOPS"; Section 4.2: "19.6 GFLOPS for
+        // 32-bit matrix multiplication". Require the model to land in
+        // that band.
+        let f = fill(FpFormat::SINGLE);
+        let g = f.gflops();
+        assert!((12.0..25.0).contains(&g), "single-precision GFLOPS = {g}");
+    }
+
+    #[test]
+    fn double_precision_reaches_paper_band() {
+        // Abstract: "8 GFLOPS for double precision".
+        let f = fill(FpFormat::DOUBLE);
+        let g = f.gflops();
+        assert!((5.0..12.0).contains(&g), "double-precision GFLOPS = {g}");
+    }
+
+    #[test]
+    fn binding_resource_is_respected() {
+        let tech = Tech::virtex2pro();
+        let f = fill(FpFormat::SINGLE);
+        let u = f.device.utilization(&f.pe.area, f.pe_count, &tech);
+        assert!(u.slices <= 0.95);
+        assert!(u.mult18x18s <= 1.0);
+        assert!(u.brams <= 1.0);
+        // one more PE must not fit
+        let u1 = f.device.utilization(&f.pe.area, f.pe_count + 1, &tech);
+        assert!(u1.slices > 0.90 || u1.mult18x18s > 1.0 || u1.brams > 1.0);
+    }
+
+    #[test]
+    fn padding_reduces_effective_gflops() {
+        let f = fill(FpFormat::SINGLE);
+        let pl = f.pe.units.pl();
+        assert!(f.effective_gflops(pl * 2) > f.effective_gflops(pl / 2));
+        assert!((f.effective_gflops(1000) - f.gflops()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_is_device_scale() {
+        // A nearly full XC2VP125 burns watts, not milliwatts.
+        let f = fill(FpFormat::SINGLE);
+        let p = f.power_w(0.3);
+        assert!((1.0..30.0).contains(&p), "device power = {p} W");
+    }
+
+    #[test]
+    fn pe_resources_include_everything() {
+        let tech = Tech::virtex2pro();
+        let units = UnitSet::for_level(
+            FpFormat::SINGLE,
+            PipeliningLevel::Moderate,
+            &tech,
+            SynthesisOptions::SPEED,
+        );
+        let pe = PeResources::new(&units, 64, &tech);
+        assert_eq!(pe.area.brams, 2);
+        assert_eq!(pe.area.bmults, 4); // single-precision multiplier
+        assert!(pe.slices(&tech) > units.adder.slices as f64 * 0.8);
+    }
+}

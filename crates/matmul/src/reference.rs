@@ -1,0 +1,115 @@
+//! Sequential reference implementations.
+//!
+//! [`reference_matmul`] accumulates in exactly the array's order
+//! (ascending `k`, one rounded multiply + one rounded add per step), so
+//! the cycle-accurate array must match it **bit for bit**. The `f64`
+//! variant measures the numerical error of reduced-precision formats.
+
+use crate::matrix::Matrix;
+use fpfpga_softfp::{RoundMode, SoftFloat};
+
+/// `C = A·B` with the array's accumulation order and rounding.
+pub fn reference_matmul(a: &Matrix, b: &Matrix, mode: RoundMode) -> Matrix {
+    let fmt = a.format();
+    let (n, m, p) = (a.rows(), a.cols(), b.cols());
+    assert_eq!(b.rows(), m, "inner dimensions must agree");
+    let mut c = Matrix::zero(fmt, n, p);
+    for i in 0..n {
+        for j in 0..p {
+            let mut acc = SoftFloat::zero(fmt);
+            for k in 0..m {
+                let x = SoftFloat::from_bits(fmt, a.get(i, k));
+                let y = SoftFloat::from_bits(fmt, b.get(k, j));
+                let (r, _) = acc.mac(&x, &y, mode);
+                acc = r;
+            }
+            c.set(i, j, acc.bits());
+        }
+    }
+    c
+}
+
+/// `C = A·B` in native `f64` (error baseline).
+pub fn f64_matmul(a: &Matrix, b: &Matrix) -> Vec<f64> {
+    let (n, m, p) = (a.rows(), a.cols(), b.cols());
+    assert_eq!(b.rows(), m, "inner dimensions must agree");
+    let mut c = vec![0.0; n * p];
+    for i in 0..n {
+        for j in 0..p {
+            let mut acc = 0.0f64;
+            for k in 0..m {
+                acc += a.get_f64(i, k) * b.get_f64(k, j);
+            }
+            c[i * p + j] = acc;
+        }
+    }
+    c
+}
+
+/// Worst absolute error of `c` against the `f64` baseline of `a·b`.
+pub fn error_vs_f64(c: &Matrix, a: &Matrix, b: &Matrix) -> f64 {
+    let want = f64_matmul(a, b);
+    let mut worst = 0.0f64;
+    for i in 0..c.rows() {
+        for j in 0..c.cols() {
+            worst = worst.max((c.get_f64(i, j) - want[i * c.cols() + j]).abs());
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpfpga_softfp::FpFormat;
+
+    #[test]
+    fn identity_is_exact() {
+        let a = Matrix::from_fn(FpFormat::SINGLE, 3, 3, |i, j| (i + 2 * j) as f64);
+        let id = Matrix::identity(FpFormat::SINGLE, 3);
+        let c = reference_matmul(&a, &id, RoundMode::NearestEven);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Matrix::from_f64(FpFormat::SINGLE, 2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_f64(FpFormat::SINGLE, 2, 2, &[5.0, 6.0, 7.0, 8.0]);
+        let c = reference_matmul(&a, &b, RoundMode::NearestEven);
+        assert_eq!(c.get_f64(0, 0), 19.0);
+        assert_eq!(c.get_f64(0, 1), 22.0);
+        assert_eq!(c.get_f64(1, 0), 43.0);
+        assert_eq!(c.get_f64(1, 1), 50.0);
+    }
+
+    #[test]
+    fn double_precision_is_near_f64() {
+        let n = 6;
+        let a = Matrix::from_fn(FpFormat::DOUBLE, n, n, |i, j| ((i * n + j) as f64).cos());
+        let b = Matrix::from_fn(FpFormat::DOUBLE, n, n, |i, j| ((i + j) as f64).sin());
+        let c = reference_matmul(&a, &b, RoundMode::NearestEven);
+        assert!(error_vs_f64(&c, &a, &b) < 1e-14);
+    }
+
+    #[test]
+    fn single_precision_error_is_single_sized() {
+        let n = 8;
+        let a = Matrix::from_fn(FpFormat::SINGLE, n, n, |i, j| ((i * n + j) as f64).cos());
+        let b = Matrix::from_fn(FpFormat::SINGLE, n, n, |i, j| ((i + j) as f64).sin());
+        let c = reference_matmul(&a, &b, RoundMode::NearestEven);
+        let e = error_vs_f64(&c, &a, &b);
+        assert!(e > 0.0, "single precision cannot be exact here");
+        assert!(e < 1e-5, "error {e} too large for single precision");
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let a = Matrix::from_f64(FpFormat::SINGLE, 2, 3, &[1., 0., 2., 0., 1., 3.]);
+        let b = Matrix::from_f64(FpFormat::SINGLE, 3, 1, &[4., 5., 6.]);
+        let c = reference_matmul(&a, &b, RoundMode::NearestEven);
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 1);
+        assert_eq!(c.get_f64(0, 0), 16.0);
+        assert_eq!(c.get_f64(1, 0), 23.0);
+    }
+}

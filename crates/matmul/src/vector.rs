@@ -1,0 +1,184 @@
+//! Streaming vector kernels: AXPY, elementwise scale/add, and sum
+//! reduction — the remaining "matrix and vector operations" of the
+//! paper's application inventory.
+//!
+//! AXPY (`y ← α·x + y`) and the elementwise kernels are *map* workloads:
+//! no dependence between elements, so any pipeline depth streams at one
+//! element per cycle with zero padding — the easiest case of the paper's
+//! latency-hiding discipline. The sum reduction reuses the dot-product
+//! kernel's banked accumulator.
+
+use crate::dot::DotProductUnit;
+use fpfpga_fpu::mac::FusedMacUnit;
+use fpfpga_fpu::sim::{DelayLineUnit, DelayOp, FpPipe};
+use fpfpga_fpu::FusedMacDesign;
+use fpfpga_softfp::{Flags, FpFormat, RoundMode, SoftFloat};
+
+/// A streaming AXPY unit (`α·x + y` per cycle through one fused MAC).
+pub struct AxpyUnit {
+    alpha: u64,
+    mac: FusedMacUnit,
+    /// Cycles consumed.
+    pub cycles: u64,
+    /// Accumulated exception flags.
+    pub flags: Flags,
+}
+
+impl AxpyUnit {
+    /// A unit with scalar `alpha` and `mac_stages` pipeline stages.
+    pub fn new(fmt: FpFormat, mode: RoundMode, alpha: f64, mac_stages: u32) -> AxpyUnit {
+        AxpyUnit {
+            alpha: SoftFloat::from_f64(fmt, alpha).bits(),
+            mac: FusedMacDesign { format: fmt, round: mode }.unit(mac_stages),
+            cycles: 0,
+            flags: Flags::NONE,
+        }
+    }
+
+    /// Compute `α·x + y` elementwise, cycle-accurately. Returns the
+    /// result and the cycles consumed (n + latency).
+    pub fn run(&mut self, xs: &[u64], ys: &[u64]) -> (Vec<u64>, u64) {
+        assert_eq!(xs.len(), ys.len());
+        let start = self.cycles;
+        let mut out = Vec::with_capacity(xs.len());
+        let mut i = 0;
+        while out.len() < xs.len() {
+            let input = if i < xs.len() {
+                let inp = Some((self.alpha, xs[i], ys[i]));
+                i += 1;
+                inp
+            } else {
+                None
+            };
+            self.cycles += 1;
+            if let Some((v, f)) = self.mac.clock(input) {
+                self.flags |= f;
+                out.push(v);
+            }
+        }
+        (out, self.cycles - start)
+    }
+}
+
+/// Elementwise binary kernel (`x op y` per cycle through one pipe).
+pub struct MapUnit {
+    pipe: DelayLineUnit,
+    /// Cycles consumed.
+    pub cycles: u64,
+    /// Accumulated exception flags.
+    pub flags: Flags,
+}
+
+impl MapUnit {
+    /// An elementwise adder (`x + y`).
+    pub fn add(fmt: FpFormat, mode: RoundMode, stages: u32) -> MapUnit {
+        MapUnit { pipe: DelayLineUnit::new(fmt, mode, DelayOp::Add, stages), cycles: 0, flags: Flags::NONE }
+    }
+
+    /// An elementwise multiplier (`x · y`).
+    pub fn mul(fmt: FpFormat, mode: RoundMode, stages: u32) -> MapUnit {
+        MapUnit { pipe: DelayLineUnit::new(fmt, mode, DelayOp::Mul, stages), cycles: 0, flags: Flags::NONE }
+    }
+
+    /// An elementwise divider (`x ÷ y`).
+    pub fn div(fmt: FpFormat, mode: RoundMode, stages: u32) -> MapUnit {
+        MapUnit { pipe: DelayLineUnit::new(fmt, mode, DelayOp::Div, stages), cycles: 0, flags: Flags::NONE }
+    }
+
+    /// Stream two vectors through the pipe.
+    pub fn run(&mut self, xs: &[u64], ys: &[u64]) -> (Vec<u64>, u64) {
+        assert_eq!(xs.len(), ys.len());
+        let start = self.cycles;
+        let mut out = Vec::with_capacity(xs.len());
+        let mut i = 0;
+        while out.len() < xs.len() {
+            let input = if i < xs.len() {
+                let inp = Some((xs[i], ys[i]));
+                i += 1;
+                inp
+            } else {
+                None
+            };
+            self.cycles += 1;
+            if let Some((v, f)) = self.pipe.clock(input) {
+                self.flags |= f;
+                out.push(v);
+            }
+        }
+        (out, self.cycles - start)
+    }
+}
+
+/// Sum reduction via the dot-product unit (`Σ x_i = x · 1⃗`, issued as
+/// `x_i·1` products into the banked accumulator).
+pub fn vector_sum(fmt: FpFormat, mode: RoundMode, mult_stages: u32, add_stages: u32, xs: &[u64]) -> (u64, u64) {
+    let one = SoftFloat::one(fmt).bits();
+    let ones = vec![one; xs.len()];
+    let mut unit = DotProductUnit::new(fmt, mode, mult_stages, add_stages);
+    unit.dot(xs, &ones)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: FpFormat = FpFormat::SINGLE;
+    const RM: RoundMode = RoundMode::NearestEven;
+
+    fn vec_of(n: usize, f: impl Fn(usize) -> f64) -> Vec<u64> {
+        (0..n).map(|i| SoftFloat::from_f64(F, f(i)).bits()).collect()
+    }
+
+    #[test]
+    fn axpy_matches_fused_reference() {
+        let n = 40;
+        let xs = vec_of(n, |i| (i as f64 * 0.3).sin());
+        let ys = vec_of(n, |i| (i as f64 * 0.7).cos());
+        let alpha = 2.5;
+        for stages in [1u32, 4, 11] {
+            let mut unit = AxpyUnit::new(F, RM, alpha, stages);
+            let (got, cycles) = unit.run(&xs, &ys);
+            let a = SoftFloat::from_f64(F, alpha).bits();
+            for i in 0..n {
+                let (want, _) = fpfpga_softfp::fma_bits(F, a, xs[i], ys[i], RM);
+                assert_eq!(got[i], want, "i={i} stages={stages}");
+            }
+            assert_eq!(cycles, n as u64 + stages as u64, "one element per cycle + latency");
+        }
+    }
+
+    #[test]
+    fn map_units_match_softfp() {
+        let n = 25;
+        let xs = vec_of(n, |i| i as f64 + 0.5);
+        let ys = vec_of(n, |i| (i as f64 - 12.0) * 1.25 + 0.25);
+        let (sums, _) = MapUnit::add(F, RM, 5).run(&xs, &ys);
+        let (prods, _) = MapUnit::mul(F, RM, 4).run(&xs, &ys);
+        let (quots, _) = MapUnit::div(F, RM, 20).run(&xs, &ys);
+        for i in 0..n {
+            assert_eq!(sums[i], fpfpga_softfp::add_bits(F, xs[i], ys[i], RM).0);
+            assert_eq!(prods[i], fpfpga_softfp::mul_bits(F, xs[i], ys[i], RM).0);
+            assert_eq!(quots[i], fpfpga_softfp::div_bits(F, xs[i], ys[i], RM).0);
+        }
+    }
+
+    #[test]
+    fn sum_reduction_close_to_f64() {
+        let n = 200;
+        let xs = vec_of(n, |i| (i as f64 * 0.11).sin());
+        let (got, cycles) = vector_sum(F, RM, 5, 8, &xs);
+        let exact: f64 = (0..n).map(|i| SoftFloat::from_bits(F, xs[i]).to_f64()).sum();
+        let got = SoftFloat::from_bits(F, got).to_f64();
+        assert!((got - exact).abs() < 1e-4, "{got} vs {exact}");
+        assert!(cycles < n as u64 + 150, "cycles = {cycles}");
+    }
+
+    #[test]
+    fn axpy_overflow_raises_flags() {
+        let xs = vec![SoftFloat::from_f64(F, f32::MAX as f64).bits(); 3];
+        let ys = vec![0u64; 3];
+        let mut unit = AxpyUnit::new(F, RM, 1e30, 4);
+        let (_, _) = unit.run(&xs, &ys);
+        assert!(unit.flags.overflow);
+    }
+}

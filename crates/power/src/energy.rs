@@ -1,0 +1,190 @@
+//! Domain-specific energy modeling (Choi et al., ERSA 2002).
+//!
+//! "Initially, the architecture is split into its individual components
+//! … From the algorithm, we know when and for how long each component is
+//! active and its switching activity. Additionally, with estimates for
+//! the power dissipated by each component, we can estimate the energy
+//! dissipated by the design."
+//!
+//! An [`EnergyBill`] accumulates per-component energies; components are
+//! tagged with the classes of the paper's Figure 4 (MAC, Storage, I/O,
+//! Misc) so the energy-distribution plots fall out directly.
+
+use crate::xpower::PowerModel;
+use fpfpga_fabric::area::AreaCost;
+use std::collections::BTreeMap;
+
+/// The component classes of the paper's Figure 4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ComponentClass {
+    /// Floating-point MAC units (the adder + multiplier of each PE).
+    Mac,
+    /// Storage: block RAM buffers and data registers.
+    Storage,
+    /// Off-chip / inter-PE I/O drivers.
+    Io,
+    /// Control, counters, muxes, shift registers for control signals.
+    Misc,
+}
+
+impl ComponentClass {
+    /// All classes, in the paper's plotting order.
+    pub const ALL: [ComponentClass; 4] =
+        [ComponentClass::Io, ComponentClass::Misc, ComponentClass::Storage, ComponentClass::Mac];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ComponentClass::Mac => "MAC",
+            ComponentClass::Storage => "Storage",
+            ComponentClass::Io => "I/O",
+            ComponentClass::Misc => "Misc.",
+        }
+    }
+}
+
+/// One component's contribution to a design's energy.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ComponentEnergy {
+    /// Component name ("PE0 adder", "weight BRAM" …).
+    pub name: String,
+    /// Class for the Figure 4 grouping.
+    pub class: ComponentClass,
+    /// Energy in nanojoules.
+    pub energy_nj: f64,
+}
+
+/// An accumulating energy estimate for one design run.
+#[derive(Clone, Debug, Default)]
+pub struct EnergyBill {
+    components: Vec<ComponentEnergy>,
+}
+
+impl EnergyBill {
+    /// Empty bill.
+    pub fn new() -> EnergyBill {
+        EnergyBill::default()
+    }
+
+    /// Charge a component that is *active* for `active_cycles` at
+    /// `f_mhz` with the given switching activity, and *idle-clocked*
+    /// (clock tree only) for `idle_cycles`.
+    ///
+    /// Energy units: mW × µs = nJ; at `f_mhz`, a cycle is `1/f_mhz` µs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn charge(
+        &mut self,
+        name: &str,
+        class: ComponentClass,
+        model: &PowerModel,
+        area: &AreaCost,
+        f_mhz: f64,
+        activity: f64,
+        active_cycles: u64,
+        idle_cycles: u64,
+    ) {
+        assert!(f_mhz > 0.0, "need a positive clock to convert cycles to time");
+        let us_per_cycle = 1.0 / f_mhz;
+        let p_active = model.power_mw(area, f_mhz, activity).total_mw();
+        let p_idle = model.idle_power_mw(area, f_mhz);
+        let energy_nj =
+            p_active * active_cycles as f64 * us_per_cycle + p_idle * idle_cycles as f64 * us_per_cycle;
+        self.components.push(ComponentEnergy { name: name.to_string(), class, energy_nj });
+    }
+
+    /// Charge a raw, pre-computed energy (for analytically modeled
+    /// components such as I/O pads).
+    pub fn charge_raw(&mut self, name: &str, class: ComponentClass, energy_nj: f64) {
+        self.components.push(ComponentEnergy { name: name.to_string(), class, energy_nj });
+    }
+
+    /// Total energy (nJ).
+    pub fn total_nj(&self) -> f64 {
+        self.components.iter().map(|c| c.energy_nj).sum()
+    }
+
+    /// Energy grouped by class (the Figure 4 breakdown).
+    pub fn by_class(&self) -> BTreeMap<ComponentClass, f64> {
+        let mut map = BTreeMap::new();
+        for c in &self.components {
+            *map.entry(c.class).or_insert(0.0) += c.energy_nj;
+        }
+        map
+    }
+
+    /// Energy of one class (0 if absent).
+    pub fn class_nj(&self, class: ComponentClass) -> f64 {
+        self.components.iter().filter(|c| c.class == class).map(|c| c.energy_nj).sum()
+    }
+
+    /// The individual entries.
+    pub fn components(&self) -> &[ComponentEnergy] {
+        &self.components
+    }
+
+    /// Merge another bill into this one (e.g. summing PEs).
+    pub fn absorb(&mut self, other: EnergyBill) {
+        self.components.extend(other.components);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac_area() -> AreaCost {
+        AreaCost { luts: 500.0, ffs: 600.0, bmults: 4, brams: 0, routing_slices: 0.0 }
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let m = PowerModel::virtex2pro();
+        let mut bill = EnergyBill::new();
+        bill.charge("mac", ComponentClass::Mac, &m, &mac_area(), 100.0, 0.3, 1000, 0);
+        let p = m.power_mw(&mac_area(), 100.0, 0.3).total_mw();
+        // 1000 cycles at 100 MHz = 10 µs; E = P·t
+        assert!((bill.total_nj() - p * 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_cycles_cost_less() {
+        let m = PowerModel::virtex2pro();
+        let mut active = EnergyBill::new();
+        active.charge("mac", ComponentClass::Mac, &m, &mac_area(), 100.0, 0.3, 1000, 0);
+        let mut half_idle = EnergyBill::new();
+        half_idle.charge("mac", ComponentClass::Mac, &m, &mac_area(), 100.0, 0.3, 500, 500);
+        assert!(half_idle.total_nj() < active.total_nj());
+        assert!(half_idle.total_nj() > active.total_nj() * 0.25);
+    }
+
+    #[test]
+    fn by_class_groups() {
+        let m = PowerModel::virtex2pro();
+        let mut bill = EnergyBill::new();
+        bill.charge("a0", ComponentClass::Mac, &m, &mac_area(), 100.0, 0.3, 10, 0);
+        bill.charge("a1", ComponentClass::Mac, &m, &mac_area(), 100.0, 0.3, 10, 0);
+        bill.charge_raw("pads", ComponentClass::Io, 5.0);
+        let g = bill.by_class();
+        assert_eq!(g.len(), 2);
+        assert!((g[&ComponentClass::Mac] - bill.class_nj(ComponentClass::Mac)).abs() < 1e-12);
+        assert_eq!(g[&ComponentClass::Io], 5.0);
+        assert!((bill.total_nj() - g.values().sum::<f64>()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = EnergyBill::new();
+        a.charge_raw("x", ComponentClass::Misc, 1.0);
+        let mut b = EnergyBill::new();
+        b.charge_raw("y", ComponentClass::Misc, 2.0);
+        a.absorb(b);
+        assert_eq!(a.total_nj(), 3.0);
+        assert_eq!(a.components().len(), 2);
+    }
+
+    #[test]
+    fn class_labels() {
+        assert_eq!(ComponentClass::Mac.label(), "MAC");
+        assert_eq!(ComponentClass::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,25 @@
+//! # fpfpga-power — power and energy models
+//!
+//! Substitute for the Xilinx XPower measurements of Section 4 (Figure 3,
+//! Table 4) and the domain-specific energy modeling of Section 5
+//! (Choi, Jang, Mohanty, Prasanna, *"Domain-Specific Modeling for Rapid
+//! System-Wide Energy Estimation of Reconfigurable Architectures"*,
+//! ERSA 2002) behind Figures 4-6.
+//!
+//! Two layers:
+//!
+//! * [`xpower`] — dynamic power of a resource bill at a clock rate and
+//!   switching activity, split the way XPower reports it: **clocks**,
+//!   **logic** and **signals** (plus embedded multiplier and block-RAM
+//!   terms). As in the paper, "inputs, outputs and quiescent power …
+//!   are not counted" at the unit level.
+//! * [`energy`] — the domain-specific methodology: a design is split
+//!   into components; "from the algorithm, we know when and for how long
+//!   each component is active and its switching activity"; energy is the
+//!   sum of per-component power × active time.
+
+pub mod energy;
+pub mod xpower;
+
+pub use energy::{ComponentClass, ComponentEnergy, EnergyBill};
+pub use xpower::{PowerBreakdown, PowerModel};

@@ -1,0 +1,162 @@
+//! XPower-style dynamic power estimation.
+//!
+//! Dynamic power on an FPGA is `P = Σ C·V²·f·α` over the toggling nodes.
+//! XPower groups the nodes into clock network, logic (LUT internals) and
+//! signals (routing); this model does the same with per-resource
+//! coefficients calibrated to the magnitudes of the paper's Figure 3 /
+//! Table 4 (tens to a couple of hundred mW per core at 100 MHz,
+//! growing roughly linearly with pipeline depth through the flip-flop
+//! and clock-tree terms).
+
+use fpfpga_fabric::area::AreaCost;
+use fpfpga_fabric::tech::Tech;
+
+/// Power coefficients (mW per resource per MHz at the given activity).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PowerModel {
+    /// Clock-network power per flip-flop per MHz (toggles every cycle —
+    /// activity-independent).
+    pub clock_mw_per_ff_mhz: f64,
+    /// Logic power per LUT per MHz at activity 1.0.
+    pub logic_mw_per_lut_mhz: f64,
+    /// Signal (routing) power per net per MHz at activity 1.0; net count
+    /// is approximated as LUTs + FFs.
+    pub signal_mw_per_net_mhz: f64,
+    /// Power per active 18×18 multiplier block per MHz at activity 1.0.
+    pub bmult_mw_per_mhz: f64,
+    /// Power per active block RAM per MHz at activity 1.0.
+    pub bram_mw_per_mhz: f64,
+}
+
+impl PowerModel {
+    /// Virtex-II Pro (1.5 V core) coefficients.
+    pub const fn virtex2pro() -> PowerModel {
+        PowerModel {
+            clock_mw_per_ff_mhz: 0.000_40,
+            logic_mw_per_lut_mhz: 0.000_32,
+            signal_mw_per_net_mhz: 0.000_38,
+            bmult_mw_per_mhz: 0.022,
+            bram_mw_per_mhz: 0.018,
+        }
+    }
+
+    /// Dynamic power of `area` clocked at `f_mhz` with average switching
+    /// activity `activity` (fraction of nodes toggling per cycle,
+    /// typically 0.1-0.5 for datapaths).
+    pub fn power_mw(&self, area: &AreaCost, f_mhz: f64, activity: f64) -> PowerBreakdown {
+        assert!(f_mhz >= 0.0, "negative frequency");
+        assert!((0.0..=1.0).contains(&activity), "activity must be in [0,1]");
+        let nets = area.luts + area.ffs;
+        PowerBreakdown {
+            clock_mw: self.clock_mw_per_ff_mhz * area.ffs * f_mhz,
+            logic_mw: self.logic_mw_per_lut_mhz * area.luts * f_mhz * activity,
+            signal_mw: self.signal_mw_per_net_mhz * nets * f_mhz * activity,
+            bmult_mw: self.bmult_mw_per_mhz * area.bmults as f64 * f_mhz * activity,
+            bram_mw: self.bram_mw_per_mhz * area.brams as f64 * f_mhz * activity,
+        }
+    }
+
+    /// Idle power of a clocked but inactive component: the clock tree
+    /// still toggles its flip-flops (activity → 0 kills logic/signal/
+    /// embedded terms only).
+    pub fn idle_power_mw(&self, area: &AreaCost, f_mhz: f64) -> f64 {
+        self.power_mw(area, f_mhz, 0.0).total_mw()
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> PowerModel {
+        PowerModel::virtex2pro()
+    }
+}
+
+/// Power split the way an XPower report presents it.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PowerBreakdown {
+    /// Clock-network power (mW).
+    pub clock_mw: f64,
+    /// Logic power (mW).
+    pub logic_mw: f64,
+    /// Signal/routing power (mW).
+    pub signal_mw: f64,
+    /// Embedded multiplier power (mW).
+    pub bmult_mw: f64,
+    /// Block RAM power (mW).
+    pub bram_mw: f64,
+}
+
+impl PowerBreakdown {
+    /// Total dynamic power (mW).
+    pub fn total_mw(&self) -> f64 {
+        self.clock_mw + self.logic_mw + self.signal_mw + self.bmult_mw + self.bram_mw
+    }
+}
+
+/// Sanity reference: the tech model used for slice packing (re-exported
+/// so callers can compute slices consistently when reporting).
+pub fn default_tech() -> Tech {
+    Tech::virtex2pro()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_area() -> AreaCost {
+        AreaCost { luts: 800.0, ffs: 900.0, bmults: 4, brams: 0, routing_slices: 0.0 }
+    }
+
+    #[test]
+    fn magnitudes_are_xpower_like() {
+        // A single-precision-core-sized design at 100 MHz should burn
+        // tens of mW — the Figure 3 / Table 4 regime.
+        let m = PowerModel::virtex2pro();
+        let p = m.power_mw(&unit_area(), 100.0, 0.3).total_mw();
+        assert!((20.0..300.0).contains(&p), "p = {p} mW");
+    }
+
+    #[test]
+    fn linear_in_frequency() {
+        let m = PowerModel::virtex2pro();
+        let p1 = m.power_mw(&unit_area(), 50.0, 0.3).total_mw();
+        let p2 = m.power_mw(&unit_area(), 100.0, 0.3).total_mw();
+        assert!((p2 / p1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clock_power_is_activity_independent() {
+        let m = PowerModel::virtex2pro();
+        let lo = m.power_mw(&unit_area(), 100.0, 0.1);
+        let hi = m.power_mw(&unit_area(), 100.0, 0.9);
+        assert_eq!(lo.clock_mw, hi.clock_mw);
+        assert!(hi.logic_mw > lo.logic_mw);
+        assert!(hi.signal_mw > lo.signal_mw);
+    }
+
+    #[test]
+    fn idle_keeps_only_clock() {
+        let m = PowerModel::virtex2pro();
+        let idle = m.idle_power_mw(&unit_area(), 100.0);
+        let full = m.power_mw(&unit_area(), 100.0, 0.5);
+        assert!((idle - full.clock_mw).abs() < 1e-12);
+        assert!(idle < full.total_mw());
+    }
+
+    #[test]
+    fn more_ffs_means_more_power() {
+        // The Figure 3 shape: power grows with pipeline depth because
+        // registers (and the clock tree driving them) grow.
+        let m = PowerModel::virtex2pro();
+        let shallow = AreaCost { ffs: 200.0, ..unit_area() };
+        let deep = AreaCost { ffs: 2000.0, ..unit_area() };
+        let ps = m.power_mw(&shallow, 100.0, 0.3).total_mw();
+        let pd = m.power_mw(&deep, 100.0, 0.3).total_mw();
+        assert!(pd > ps * 1.5, "deep {pd} vs shallow {ps}");
+    }
+
+    #[test]
+    #[should_panic(expected = "activity")]
+    fn rejects_bad_activity() {
+        PowerModel::virtex2pro().power_mw(&unit_area(), 100.0, 1.5);
+    }
+}

@@ -1,0 +1,176 @@
+//! Exception flags.
+//!
+//! The paper's cores detect exceptions at every pipeline stage and carry
+//! them forward to the output alongside the `DONE` signal. This module is
+//! the architectural definition of that side-band information.
+
+use core::fmt;
+use core::ops::{BitOr, BitOrAssign};
+
+/// Sticky exception flags produced by an operation.
+///
+/// `Flags` is a tiny value type; combine flags from successive operations
+/// with `|`/`|=` exactly as the hardware ORs the per-stage exception wires.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Flags {
+    /// Result magnitude exceeded the largest finite number; the result was
+    /// replaced by ±∞ (round-to-nearest) or ±max-finite (truncate).
+    pub overflow: bool,
+    /// Result was too small for a normal number and was flushed to zero
+    /// (the cores implement no denormals).
+    pub underflow: bool,
+    /// Invalid operation: ∞ − ∞, 0 × ∞, 0 ÷ 0, ∞ ÷ ∞ or √(negative).
+    /// The cores have no NaN encoding, so the result is a deterministic
+    /// substitute with this flag raised.
+    pub invalid: bool,
+    /// The rounded result differs from the exact result.
+    pub inexact: bool,
+    /// A finite non-zero operand was divided by zero; the result is ±∞.
+    pub div_by_zero: bool,
+}
+
+impl Flags {
+    /// No exceptions.
+    pub const NONE: Flags = Flags {
+        overflow: false,
+        underflow: false,
+        invalid: false,
+        inexact: false,
+        div_by_zero: false,
+    };
+
+    /// Construct the overflow flag (overflow implies inexact).
+    pub const fn overflow() -> Flags {
+        Flags { overflow: true, inexact: true, ..Self::NONE }
+    }
+
+    /// Construct the underflow flag (underflow-to-zero implies inexact).
+    pub const fn underflow() -> Flags {
+        Flags { underflow: true, inexact: true, ..Self::NONE }
+    }
+
+    /// Construct the invalid flag.
+    pub const fn invalid() -> Flags {
+        Flags { invalid: true, ..Self::NONE }
+    }
+
+    /// Construct the inexact flag.
+    pub const fn inexact() -> Flags {
+        Flags { inexact: true, ..Self::NONE }
+    }
+
+    /// Construct the divide-by-zero flag.
+    pub const fn div_by_zero() -> Flags {
+        Flags { div_by_zero: true, ..Self::NONE }
+    }
+
+    /// True if any flag is raised.
+    pub const fn any(self) -> bool {
+        self.overflow || self.underflow || self.invalid || self.inexact || self.div_by_zero
+    }
+
+    /// Pack into the 5-bit side-band bus carried through the pipeline
+    /// (bit 0 = inexact, 1 = underflow, 2 = overflow, 3 = invalid,
+    /// 4 = divide-by-zero).
+    pub const fn to_bits(self) -> u8 {
+        (self.inexact as u8)
+            | ((self.underflow as u8) << 1)
+            | ((self.overflow as u8) << 2)
+            | ((self.invalid as u8) << 3)
+            | ((self.div_by_zero as u8) << 4)
+    }
+
+    /// Unpack from the 5-bit side-band bus.
+    pub const fn from_bits(bits: u8) -> Flags {
+        Flags {
+            inexact: bits & 1 != 0,
+            underflow: bits & 2 != 0,
+            overflow: bits & 4 != 0,
+            invalid: bits & 8 != 0,
+            div_by_zero: bits & 16 != 0,
+        }
+    }
+}
+
+impl BitOr for Flags {
+    type Output = Flags;
+    fn bitor(self, rhs: Flags) -> Flags {
+        Flags {
+            overflow: self.overflow || rhs.overflow,
+            underflow: self.underflow || rhs.underflow,
+            invalid: self.invalid || rhs.invalid,
+            inexact: self.inexact || rhs.inexact,
+            div_by_zero: self.div_by_zero || rhs.div_by_zero,
+        }
+    }
+}
+
+impl BitOrAssign for Flags {
+    fn bitor_assign(&mut self, rhs: Flags) {
+        *self = *self | rhs;
+    }
+}
+
+impl fmt::Debug for Flags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names = Vec::new();
+        if self.overflow {
+            names.push("overflow");
+        }
+        if self.underflow {
+            names.push("underflow");
+        }
+        if self.invalid {
+            names.push("invalid");
+        }
+        if self.inexact {
+            names.push("inexact");
+        }
+        if self.div_by_zero {
+            names.push("div_by_zero");
+        }
+        if names.is_empty() {
+            write!(f, "Flags(none)")
+        } else {
+            write!(f, "Flags({})", names.join("|"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn or_combines() {
+        let f = Flags::overflow() | Flags::invalid();
+        assert!(f.overflow && f.invalid && f.inexact && !f.underflow);
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        for bits in 0..32u8 {
+            assert_eq!(Flags::from_bits(bits).to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn div_by_zero_flag() {
+        let f = Flags::div_by_zero();
+        assert!(f.any() && !f.inexact && !f.invalid);
+        assert_eq!(Flags::from_bits(f.to_bits()), f);
+    }
+
+    #[test]
+    fn implied_inexact() {
+        assert!(Flags::overflow().inexact);
+        assert!(Flags::underflow().inexact);
+        assert!(!Flags::invalid().inexact);
+    }
+
+    #[test]
+    fn any_detects() {
+        assert!(!Flags::NONE.any());
+        assert!(Flags::inexact().any());
+    }
+}

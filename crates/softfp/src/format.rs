@@ -1,0 +1,265 @@
+//! Floating-point format descriptions.
+//!
+//! A format is `1` sign bit, `exp_bits` of biased exponent and `frac_bits`
+//! of fraction (the mantissa's hidden leading one is implicit for normal
+//! numbers). The paper evaluates 32-, 48- and 64-bit precisions; the 48-bit
+//! split is not spelled out there, so we use 1 + 11 + 36 (exponent sized
+//! like double precision) which places the 48-bit units between single and
+//! double in mantissa-datapath cost, matching the area ordering of the
+//! paper's Tables 1 and 2.
+
+use core::fmt;
+
+/// A parameterized floating-point format.
+///
+/// Invariants (checked by [`FpFormat::new`]):
+/// * `2 <= exp_bits <= 15`
+/// * `2 <= frac_bits <= 56`
+/// * `1 + exp_bits + frac_bits <= 64` so any value encodes in a `u64`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FpFormat {
+    exp_bits: u32,
+    frac_bits: u32,
+}
+
+impl FpFormat {
+    /// IEEE 754 single precision layout (1 + 8 + 23).
+    pub const SINGLE: FpFormat = FpFormat { exp_bits: 8, frac_bits: 23 };
+    /// The paper's intermediate 48-bit precision (1 + 11 + 36).
+    pub const FP48: FpFormat = FpFormat { exp_bits: 11, frac_bits: 36 };
+    /// IEEE 754 double precision layout (1 + 11 + 52).
+    pub const DOUBLE: FpFormat = FpFormat { exp_bits: 11, frac_bits: 52 };
+
+    /// The three precisions evaluated throughout the paper.
+    pub const PAPER_PRECISIONS: [FpFormat; 3] = [Self::SINGLE, Self::FP48, Self::DOUBLE];
+
+    /// Create a custom format.
+    ///
+    /// # Panics
+    /// Panics if the field widths violate the invariants listed on the type.
+    pub const fn new(exp_bits: u32, frac_bits: u32) -> FpFormat {
+        assert!(exp_bits >= 2 && exp_bits <= 15, "exponent width out of range");
+        assert!(frac_bits >= 2 && frac_bits <= 56, "fraction width out of range");
+        assert!(1 + exp_bits + frac_bits <= 64, "format wider than 64 bits");
+        FpFormat { exp_bits, frac_bits }
+    }
+
+    /// Checked constructor for use with untrusted widths.
+    pub fn try_new(exp_bits: u32, frac_bits: u32) -> Option<FpFormat> {
+        if (2..=15).contains(&exp_bits)
+            && (2..=56).contains(&frac_bits)
+            && 1 + exp_bits + frac_bits <= 64
+        {
+            Some(FpFormat { exp_bits, frac_bits })
+        } else {
+            None
+        }
+    }
+
+    /// Width of the biased exponent field in bits.
+    #[inline]
+    pub const fn exp_bits(self) -> u32 {
+        self.exp_bits
+    }
+
+    /// Width of the stored fraction field in bits (excludes the hidden one).
+    #[inline]
+    pub const fn frac_bits(self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Total encoding width: `1 + exp_bits + frac_bits`.
+    #[inline]
+    pub const fn total_bits(self) -> u32 {
+        1 + self.exp_bits + self.frac_bits
+    }
+
+    /// Width of the significand with the hidden bit made explicit.
+    #[inline]
+    pub const fn sig_bits(self) -> u32 {
+        self.frac_bits + 1
+    }
+
+    /// Exponent bias (`2^(exp_bits-1) - 1`).
+    #[inline]
+    pub const fn bias(self) -> i32 {
+        (1i32 << (self.exp_bits - 1)) - 1
+    }
+
+    /// Largest biased exponent of a *normal* number (all-ones minus one).
+    #[inline]
+    pub const fn max_biased_exp(self) -> u64 {
+        (1u64 << self.exp_bits) - 2
+    }
+
+    /// The all-ones biased exponent used for infinity in this library
+    /// (the paper's cores do not produce NaNs).
+    #[inline]
+    pub const fn inf_biased_exp(self) -> u64 {
+        (1u64 << self.exp_bits) - 1
+    }
+
+    /// Minimum (most negative) unbiased exponent of a normal number.
+    #[inline]
+    pub const fn min_exp(self) -> i32 {
+        1 - self.bias()
+    }
+
+    /// Maximum unbiased exponent of a normal number.
+    #[inline]
+    pub const fn max_exp(self) -> i32 {
+        self.max_biased_exp() as i32 - self.bias()
+    }
+
+    /// Mask covering the fraction field (in the low bits of the encoding).
+    #[inline]
+    pub const fn frac_mask(self) -> u64 {
+        (1u64 << self.frac_bits) - 1
+    }
+
+    /// Mask covering the whole encoding.
+    #[inline]
+    pub const fn enc_mask(self) -> u64 {
+        if self.total_bits() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.total_bits()) - 1
+        }
+    }
+
+    /// Bit position of the sign bit within the encoding.
+    #[inline]
+    pub const fn sign_shift(self) -> u32 {
+        self.exp_bits + self.frac_bits
+    }
+
+    /// Encoding of positive zero.
+    #[inline]
+    pub const fn zero(self) -> u64 {
+        0
+    }
+
+    /// Encoding of +infinity (all-ones exponent, zero fraction).
+    #[inline]
+    pub const fn pos_inf(self) -> u64 {
+        self.inf_biased_exp() << self.frac_bits
+    }
+
+    /// Encoding of -infinity.
+    #[inline]
+    pub const fn neg_inf(self) -> u64 {
+        self.pos_inf() | (1u64 << self.sign_shift())
+    }
+
+    /// Encoding of the largest finite positive number.
+    #[inline]
+    pub const fn max_finite(self) -> u64 {
+        (self.max_biased_exp() << self.frac_bits) | self.frac_mask()
+    }
+
+    /// Encoding of the smallest positive *normal* number (denormals do not
+    /// exist in this library).
+    #[inline]
+    pub const fn min_positive(self) -> u64 {
+        1u64 << self.frac_bits
+    }
+
+    /// Assemble an encoding from raw fields. Fields are masked to width.
+    #[inline]
+    pub const fn pack(self, sign: bool, biased_exp: u64, frac: u64) -> u64 {
+        ((sign as u64) << self.sign_shift())
+            | ((biased_exp & ((1u64 << self.exp_bits) - 1)) << self.frac_bits)
+            | (frac & self.frac_mask())
+    }
+
+    /// Split an encoding into `(sign, biased_exp, frac)`.
+    #[inline]
+    pub const fn unpack_fields(self, bits: u64) -> (bool, u64, u64) {
+        let sign = (bits >> self.sign_shift()) & 1 == 1;
+        let exp = (bits >> self.frac_bits) & ((1u64 << self.exp_bits) - 1);
+        let frac = bits & self.frac_mask();
+        (sign, exp, frac)
+    }
+}
+
+impl fmt::Debug for FpFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FpFormat({}-bit: 1+{}+{})",
+            self.total_bits(),
+            self.exp_bits,
+            self.frac_bits
+        )
+    }
+}
+
+impl fmt::Display for FpFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-bit", self.total_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_matches_ieee754() {
+        let f = FpFormat::SINGLE;
+        assert_eq!(f.total_bits(), 32);
+        assert_eq!(f.bias(), 127);
+        assert_eq!(f.max_biased_exp(), 254);
+        assert_eq!(f.inf_biased_exp(), 255);
+        assert_eq!(f.pos_inf(), 0x7f80_0000);
+        assert_eq!(f.neg_inf(), 0xff80_0000);
+        assert_eq!(f.max_finite(), 0x7f7f_ffff);
+        assert_eq!(f.min_positive(), 0x0080_0000);
+    }
+
+    #[test]
+    fn double_matches_ieee754() {
+        let f = FpFormat::DOUBLE;
+        assert_eq!(f.total_bits(), 64);
+        assert_eq!(f.bias(), 1023);
+        assert_eq!(f.pos_inf(), 0x7ff0_0000_0000_0000);
+        assert_eq!(f.enc_mask(), u64::MAX);
+        assert_eq!(f.max_finite(), 0x7fef_ffff_ffff_ffff);
+    }
+
+    #[test]
+    fn fp48_layout() {
+        let f = FpFormat::FP48;
+        assert_eq!(f.total_bits(), 48);
+        assert_eq!(f.bias(), 1023);
+        assert_eq!(f.sig_bits(), 37);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let f = FpFormat::FP48;
+        let bits = f.pack(true, 0x3ff, 0x1234_5678_9);
+        let (s, e, m) = f.unpack_fields(bits);
+        assert!(s);
+        assert_eq!(e, 0x3ff);
+        assert_eq!(m, 0x1234_5678_9);
+    }
+
+    #[test]
+    fn try_new_bounds() {
+        assert!(FpFormat::try_new(8, 23).is_some());
+        assert!(FpFormat::try_new(1, 23).is_none());
+        assert!(FpFormat::try_new(16, 23).is_none());
+        assert!(FpFormat::try_new(15, 56).is_none()); // 72 bits total
+        assert!(FpFormat::try_new(8, 1).is_none());
+        assert!(FpFormat::try_new(7, 56).is_some());
+    }
+
+    #[test]
+    fn sign_shift_and_masks() {
+        let f = FpFormat::SINGLE;
+        assert_eq!(f.sign_shift(), 31);
+        assert_eq!(f.frac_mask(), 0x007f_ffff);
+        assert_eq!(f.enc_mask(), 0xffff_ffff);
+    }
+}

@@ -1,0 +1,430 @@
+//! Full IEEE 754 mode: gradual underflow (denormals) and NaNs.
+//!
+//! The paper's cores deliberately omit this — "Denormal and NaN numbers
+//! are generally considered rare and may not justify the usage of a lot
+//! of hardware required for their handling." This module implements what
+//! they omitted, so the repository can *quantify* that trade-off: the
+//! numerical difference here, and the hardware cost in
+//! `fpfpga-fpu::ieee_cost`.
+//!
+//! Semantics: IEEE 754 with round-to-nearest-even or round-toward-zero,
+//! gradual underflow, quiet-NaN propagation (any NaN operand produces
+//! the canonical quiet NaN of the format — payloads are not preserved;
+//! tests against native floats therefore compare NaN-ness, not NaN
+//! bits), and tininess detected after rounding.
+
+use crate::exceptions::Flags;
+use crate::format::FpFormat;
+use crate::ops::add::{align_mantissa, swap_operands, GRS_BITS};
+use crate::round::{shift_right_sticky_u128, RoundMode};
+use crate::unpacked::Unpacked;
+
+/// Operand classification with the two classes the flush-to-zero cores
+/// erase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IeeeClass {
+    /// ±0.
+    Zero,
+    /// A denormal (kept, not flushed).
+    Denormal,
+    /// A normal number.
+    Normal,
+    /// ±∞.
+    Inf,
+    /// Any NaN encoding.
+    Nan,
+}
+
+/// An operand unpacked with full IEEE semantics. Denormals are
+/// *pre-normalized*: the significand always has its leading one at the
+/// hidden position and the (unbiased, unbounded) exponent absorbs the
+/// shift, so the arithmetic core handles both classes uniformly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IeeeUnpacked {
+    /// Sign bit.
+    pub sign: bool,
+    /// Unbiased exponent; for denormals this lies below `fmt.min_exp()`.
+    pub exp: i32,
+    /// Significand with the leading one at `fmt.frac_bits()` (zero for
+    /// zeros/specials).
+    pub sig: u64,
+    /// Classification.
+    pub class: IeeeClass,
+}
+
+impl IeeeUnpacked {
+    /// Decode with gradual-underflow and NaN awareness.
+    pub fn from_bits(fmt: FpFormat, bits: u64) -> IeeeUnpacked {
+        let (sign, biased, frac) = fmt.unpack_fields(bits);
+        if biased == fmt.inf_biased_exp() {
+            if frac == 0 {
+                IeeeUnpacked { sign, exp: 0, sig: 0, class: IeeeClass::Inf }
+            } else {
+                IeeeUnpacked { sign, exp: 0, sig: 0, class: IeeeClass::Nan }
+            }
+        } else if biased == 0 {
+            if frac == 0 {
+                IeeeUnpacked { sign, exp: 0, sig: 0, class: IeeeClass::Zero }
+            } else {
+                // Denormal: value = frac · 2^(min_exp − frac_bits).
+                // Normalize so the arithmetic sees a hidden-bit form.
+                let shift = fmt.frac_bits() + 1 - (64 - frac.leading_zeros());
+                IeeeUnpacked {
+                    sign,
+                    exp: fmt.min_exp() - shift as i32,
+                    sig: frac << shift,
+                    class: IeeeClass::Denormal,
+                }
+            }
+        } else {
+            IeeeUnpacked {
+                sign,
+                exp: biased as i32 - fmt.bias(),
+                sig: frac | (1u64 << fmt.frac_bits()),
+                class: IeeeClass::Normal,
+            }
+        }
+    }
+
+    /// True for zero.
+    pub fn is_zero(&self) -> bool {
+        self.class == IeeeClass::Zero
+    }
+
+    /// True for a finite non-zero number (normal or denormal).
+    pub fn is_finite_nonzero(&self) -> bool {
+        matches!(self.class, IeeeClass::Normal | IeeeClass::Denormal)
+    }
+}
+
+/// The format's canonical quiet NaN (positive, MSB of the fraction set).
+pub fn quiet_nan(fmt: FpFormat) -> u64 {
+    fmt.pack(false, fmt.inf_biased_exp(), 1u64 << (fmt.frac_bits() - 1))
+}
+
+/// True if `bits` encodes any NaN.
+pub fn is_nan(fmt: FpFormat, bits: u64) -> bool {
+    let (_, biased, frac) = fmt.unpack_fields(bits);
+    biased == fmt.inf_biased_exp() && frac != 0
+}
+
+/// IEEE addition with gradual underflow and NaN propagation.
+pub fn ieee_add(fmt: FpFormat, a: u64, b: u64, mode: RoundMode) -> (u64, Flags) {
+    let ua = IeeeUnpacked::from_bits(fmt, a);
+    let ub = IeeeUnpacked::from_bits(fmt, b);
+    use IeeeClass::*;
+    match (ua.class, ub.class) {
+        (Nan, _) | (_, Nan) => return (quiet_nan(fmt), Flags::NONE),
+        (Inf, Inf) => {
+            return if ua.sign == ub.sign {
+                (fmt.pack(ua.sign, fmt.inf_biased_exp(), 0), Flags::NONE)
+            } else {
+                (quiet_nan(fmt), Flags::invalid())
+            };
+        }
+        (Inf, _) => return (fmt.pack(ua.sign, fmt.inf_biased_exp(), 0), Flags::NONE),
+        (_, Inf) => return (fmt.pack(ub.sign, fmt.inf_biased_exp(), 0), Flags::NONE),
+        (Zero, Zero) => {
+            return (fmt.pack(ua.sign && ub.sign, 0, 0), Flags::NONE);
+        }
+        (Zero, _) => return (b, Flags::NONE),
+        (_, Zero) => return (a, Flags::NONE),
+        _ => {}
+    }
+
+    // Reuse the flush-to-zero datapath helpers on the pre-normalized
+    // forms; only the exponent range and the pack step differ.
+    let (hi, lo) = swap_operands(
+        Unpacked { sign: ua.sign, exp: ua.exp, sig: ua.sig, class: crate::Class::Normal },
+        Unpacked { sign: ub.sign, exp: ub.exp, sig: ub.sig, class: crate::Class::Normal },
+    );
+    let diff = (hi.exp - lo.exp) as u32;
+    let hi_sig = (hi.sig as u128) << GRS_BITS;
+    let (lo_aligned, sticky) = align_mantissa(lo.sig, diff);
+    let lo_full = (lo_aligned | sticky as u64) as u128;
+
+    let (mag, sign, exp) = if ua.sign == ub.sign {
+        (hi_sig + lo_full, hi.sign, hi.exp)
+    } else {
+        let d = hi_sig - lo_full;
+        if d == 0 {
+            // Exact cancellation: +0 under round-to-nearest and
+            // round-toward-zero alike.
+            return (fmt.pack(false, 0, 0), Flags::NONE);
+        }
+        (d, hi.sign, hi.exp)
+    };
+
+    // Pre-normalize carry-out, then bring the leading one up (the shift
+    // may run below min_exp; the pack step pushes back down into the
+    // denormal range with a sticky).
+    let hidden = fmt.frac_bits() + GRS_BITS;
+    let (mut mag, mut exp) = (mag, exp);
+    if mag >> (hidden + 1) != 0 {
+        let lsb = mag & 1;
+        mag = (mag >> 1) | lsb;
+        exp += 1;
+    }
+    let msb = 127 - mag.leading_zeros();
+    if msb < hidden {
+        let shift = hidden - msb;
+        mag <<= shift;
+        exp -= shift as i32;
+    }
+    ieee_round_pack(fmt, sign, exp, mag, GRS_BITS, mode)
+}
+
+/// IEEE subtraction.
+pub fn ieee_sub(fmt: FpFormat, a: u64, b: u64, mode: RoundMode) -> (u64, Flags) {
+    ieee_add(fmt, a, b ^ (1u64 << fmt.sign_shift()), mode)
+}
+
+/// IEEE multiplication with gradual underflow and NaN propagation.
+pub fn ieee_mul(fmt: FpFormat, a: u64, b: u64, mode: RoundMode) -> (u64, Flags) {
+    let ua = IeeeUnpacked::from_bits(fmt, a);
+    let ub = IeeeUnpacked::from_bits(fmt, b);
+    let sign = ua.sign ^ ub.sign;
+    use IeeeClass::*;
+    match (ua.class, ub.class) {
+        (Nan, _) | (_, Nan) => return (quiet_nan(fmt), Flags::NONE),
+        (Zero, Inf) | (Inf, Zero) => return (quiet_nan(fmt), Flags::invalid()),
+        (Inf, _) | (_, Inf) => return (fmt.pack(sign, fmt.inf_biased_exp(), 0), Flags::NONE),
+        (Zero, _) | (_, Zero) => return (fmt.pack(sign, 0, 0), Flags::NONE),
+        _ => {}
+    }
+
+    let product = ua.sig as u128 * ub.sig as u128;
+    let exp = ua.exp + ub.exp;
+    let f = fmt.frac_bits();
+    let (aligned, exp) = if product >> (2 * f + 1) != 0 {
+        (product, exp + 1)
+    } else {
+        (product << 1, exp)
+    };
+    ieee_round_pack(fmt, sign, exp, aligned, f + 1, mode)
+}
+
+/// Round and pack with gradual underflow.
+///
+/// `mag` is non-zero and normalized (leading one at `frac_bits + grs`);
+/// `exp` is unbounded. Handles overflow (→ ±∞ or ±max-finite by mode),
+/// the denormal range (right-shift with sticky before rounding, biased
+/// exponent 0 or promotion to the smallest normal), and the IEEE
+/// underflow flag (tininess after rounding, raised only with inexact).
+pub fn ieee_round_pack(
+    fmt: FpFormat,
+    sign: bool,
+    exp: i32,
+    mag: u128,
+    grs: u32,
+    mode: RoundMode,
+) -> (u64, Flags) {
+    debug_assert!(mag != 0);
+    debug_assert_eq!(127 - mag.leading_zeros(), fmt.frac_bits() + grs, "not normalized");
+
+    if exp > fmt.max_exp() {
+        let flags = Flags::overflow();
+        let bits = match mode {
+            RoundMode::NearestEven => fmt.pack(sign, fmt.inf_biased_exp(), 0),
+            RoundMode::Truncate => fmt.pack(sign, fmt.max_biased_exp(), fmt.frac_mask()),
+        };
+        return (bits, flags);
+    }
+
+    // Push values below the normal range down into the denormal
+    // representation: the hidden position stays fixed, the value shifts.
+    let (mag, denormal_path) = if exp < fmt.min_exp() {
+        let shift = (fmt.min_exp() - exp) as u32;
+        let (m, lost) = shift_right_sticky_u128(mag, shift);
+        (m | lost as u128, true)
+    } else {
+        (mag, false)
+    };
+
+    // Round at the fixed guard boundary. The kept part's hidden bit may
+    // be clear on the denormal path.
+    let tail_mask = (1u128 << grs) - 1;
+    let tail = mag & tail_mask;
+    let kept = (mag >> grs) as u64;
+    let inexact = tail != 0;
+    let round_up = match mode {
+        RoundMode::Truncate => false,
+        RoundMode::NearestEven => {
+            let half = 1u128 << (grs - 1);
+            tail > half || (tail == half && kept & 1 == 1)
+        }
+    };
+    let mut rounded = kept + round_up as u64;
+    let mut exp = exp;
+    if !denormal_path && rounded >> fmt.sig_bits() != 0 {
+        rounded >>= 1;
+        exp += 1;
+        if exp > fmt.max_exp() {
+            let bits = match mode {
+                RoundMode::NearestEven => fmt.pack(sign, fmt.inf_biased_exp(), 0),
+                RoundMode::Truncate => fmt.pack(sign, fmt.max_biased_exp(), fmt.frac_mask()),
+            };
+            return (bits, Flags::overflow());
+        }
+    }
+
+    let mut flags = Flags::NONE;
+    flags.inexact = inexact;
+    if denormal_path {
+        // Tininess after rounding: if the round carried all the way up to
+        // the smallest normal, the result is not tiny.
+        let bits = if rounded >> fmt.frac_bits() != 0 {
+            fmt.pack(sign, 1, rounded & fmt.frac_mask())
+        } else {
+            if inexact {
+                flags.underflow = true;
+            }
+            fmt.pack(sign, 0, rounded)
+        };
+        (bits, flags)
+    } else {
+        debug_assert!(rounded >> fmt.frac_bits() == 1);
+        (fmt.pack(sign, (exp + fmt.bias()) as u64, rounded & fmt.frac_mask()), flags)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F32: FpFormat = FpFormat::SINGLE;
+
+    fn add32(a: f32, b: f32) -> (f32, Flags) {
+        let (bits, f) = ieee_add(F32, a.to_bits() as u64, b.to_bits() as u64, RoundMode::NearestEven);
+        (f32::from_bits(bits as u32), f)
+    }
+
+    fn mul32(a: f32, b: f32) -> (f32, Flags) {
+        let (bits, f) = ieee_mul(F32, a.to_bits() as u64, b.to_bits() as u64, RoundMode::NearestEven);
+        (f32::from_bits(bits as u32), f)
+    }
+
+    #[test]
+    fn unpack_denormal_is_normalized() {
+        let tiny = f32::from_bits(1); // smallest denormal = 2^-149
+        let u = IeeeUnpacked::from_bits(F32, tiny.to_bits() as u64);
+        assert_eq!(u.class, IeeeClass::Denormal);
+        assert_eq!(u.sig, 1 << 23);
+        assert_eq!(u.exp, -149);
+    }
+
+    #[test]
+    fn unpack_nan_and_inf() {
+        assert_eq!(IeeeUnpacked::from_bits(F32, 0x7fc0_0000).class, IeeeClass::Nan);
+        assert_eq!(IeeeUnpacked::from_bits(F32, 0x7f80_0001).class, IeeeClass::Nan);
+        assert_eq!(IeeeUnpacked::from_bits(F32, 0x7f80_0000).class, IeeeClass::Inf);
+        assert!(is_nan(F32, quiet_nan(F32)));
+    }
+
+    #[test]
+    fn denormal_addition_matches_native() {
+        let d1 = f32::from_bits(0x0000_0123);
+        let d2 = f32::from_bits(0x0040_5678);
+        let (got, _) = add32(d1, d2);
+        assert_eq!(got.to_bits(), (d1 + d2).to_bits());
+    }
+
+    #[test]
+    fn gradual_underflow_on_subtract() {
+        // Two nearby small normals whose difference is denormal — the
+        // flush-to-zero cores return 0 here; full IEEE keeps precision.
+        let a = f32::from_bits(0x0080_0010);
+        let b = f32::from_bits(0x0080_0001);
+        let (got, _) = add32(a, -b);
+        assert_eq!(got.to_bits(), (a - b).to_bits());
+        assert!(got != 0.0, "gradual underflow must preserve the difference");
+        // ... and the flush-to-zero core indeed loses it:
+        let (ftz, _) = crate::add_bits(F32, a.to_bits() as u64, (-b).to_bits() as u64, RoundMode::NearestEven);
+        assert_eq!(ftz, 0);
+    }
+
+    #[test]
+    fn mul_into_denormal_range() {
+        let a = f32::MIN_POSITIVE; // 2^-126
+        let (got, f) = mul32(a, 0.5);
+        assert_eq!(got.to_bits(), (a * 0.5).to_bits());
+        assert!(got > 0.0);
+        assert!(!f.underflow, "exact denormal result is not an underflow");
+        // 2^-126 × 0.6f32 happens to be *exactly* representable as a
+        // denormal (0.6f32 = 10066330·2^-24 and 10066330 is even), so use
+        // a third that is genuinely inexact.
+        let third = 1.0f32 / 3.0;
+        let (got, f) = mul32(a, third);
+        assert_eq!(got.to_bits(), (a * third).to_bits());
+        assert!(f.underflow && f.inexact, "{f:?}");
+    }
+
+    #[test]
+    fn nan_propagates() {
+        let (r, f) = add32(f32::NAN, 1.0);
+        assert!(r.is_nan());
+        assert!(!f.invalid, "quiet NaN propagation raises nothing");
+        let (r, _) = mul32(2.0, f32::NAN);
+        assert!(r.is_nan());
+    }
+
+    #[test]
+    fn invalid_ops_produce_nan() {
+        let (r, f) = add32(f32::INFINITY, f32::NEG_INFINITY);
+        assert!(r.is_nan());
+        assert!(f.invalid);
+        let (r, f) = mul32(0.0, f32::INFINITY);
+        assert!(r.is_nan());
+        assert!(f.invalid);
+    }
+
+    #[test]
+    fn denormal_rounds_up_to_min_normal() {
+        // A result just below 2^-126 can round up into the normal range
+        // (then it is not tiny and not an underflow).
+        let a = f32::from_bits(0x007f_ffff); // largest denormal
+        let b = f32::from_bits(0x0000_0001); // smallest denormal
+        let (got, f) = add32(a, b);
+        assert_eq!(got, f32::MIN_POSITIVE);
+        assert!(!f.underflow && !f.inexact);
+    }
+
+    #[test]
+    fn zero_plus_denormal_is_identity() {
+        let d = f32::from_bits(0x0012_3456);
+        let (got, f) = add32(0.0, d);
+        assert_eq!(got.to_bits(), d.to_bits());
+        assert!(!f.any());
+    }
+
+    #[test]
+    fn normals_still_match_ftz_mode() {
+        // On normal-in/normal-out cases the two modes agree bit for bit.
+        for &(x, y) in &[(1.5f32, 2.25f32), (-3.0, 7.5), (1e20, -2e19)] {
+            let (ieee, _) = ieee_add(F32, x.to_bits() as u64, y.to_bits() as u64, RoundMode::NearestEven);
+            let (ftz, _) = crate::add_bits(F32, x.to_bits() as u64, y.to_bits() as u64, RoundMode::NearestEven);
+            assert_eq!(ieee, ftz, "{x} + {y}");
+        }
+    }
+
+    #[test]
+    fn overflow_paths() {
+        let (r, f) = mul32(f32::MAX, 2.0);
+        assert_eq!(r, f32::INFINITY);
+        assert!(f.overflow);
+        let (bits, f) = ieee_mul(
+            F32,
+            f32::MAX.to_bits() as u64,
+            2.0f32.to_bits() as u64,
+            RoundMode::Truncate,
+        );
+        assert_eq!(f32::from_bits(bits as u32), f32::MAX);
+        assert!(f.overflow);
+    }
+
+    #[test]
+    fn sub_via_sign_flip() {
+        let (bits, _) = ieee_sub(F32, 5.0f32.to_bits() as u64, 3.0f32.to_bits() as u64, RoundMode::NearestEven);
+        assert_eq!(f32::from_bits(bits as u32), 2.0);
+    }
+}

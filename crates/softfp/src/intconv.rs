@@ -1,0 +1,274 @@
+//! Integer and fixed-point conversions — the interface hardware between
+//! the floating-point cores and the fixed-point world around them.
+//!
+//! The paper notes that commercial cores need "conversion to and from
+//! the IEEE754 standard at interfaces to other resources in the system";
+//! on a real FPGA those resources are fixed-point datapaths, ADC/DAC
+//! streams and address generators. This module provides the bit-exact
+//! semantics of those converters: float ↔ signed integer and float ↔
+//! signed fixed-point (Qm.f), with the library's two rounding modes and
+//! saturation + invalid on overflow.
+
+use crate::exceptions::Flags;
+use crate::format::FpFormat;
+use crate::round::RoundMode;
+use crate::unpacked::{Class, Unpacked};
+
+/// Convert a float encoding to a signed 64-bit integer.
+///
+/// Out-of-range values (including ±∞) saturate and raise `invalid`;
+/// fractional values round per `mode` (`Truncate` = toward zero,
+/// `NearestEven` = ties to even) and raise `inexact`.
+pub fn to_i64(fmt: FpFormat, bits: u64, mode: RoundMode) -> (i64, Flags) {
+    let u = Unpacked::from_bits(fmt, bits);
+    match u.class {
+        Class::Zero => (0, Flags::NONE),
+        Class::Inf => {
+            (if u.sign { i64::MIN } else { i64::MAX }, Flags::invalid())
+        }
+        Class::Normal => {
+            let f = fmt.frac_bits() as i32;
+            // value = sig · 2^(exp − f)
+            let shift = u.exp - f;
+            let (mag, inexact) = if shift >= 0 {
+                if shift >= 64 || (u.sig as u128) << shift > i64::MAX as u128 + 1 {
+                    return (
+                        if u.sign { i64::MIN } else { i64::MAX },
+                        Flags::invalid(),
+                    );
+                }
+                ((u.sig as u128) << shift, false)
+            } else {
+                // Fractional: split sig into kept / guard / sticky at the
+                // binary point and round.
+                let s = (-shift) as u32;
+                let (kept, guard, sticky) = if s > 64 {
+                    (0u64, 0u64, u.sig != 0)
+                } else if s == 64 {
+                    (0u64, u.sig >> 63, u.sig & ((1u64 << 63) - 1) != 0)
+                } else {
+                    let kept = u.sig >> s;
+                    let guard = (u.sig >> (s - 1)) & 1;
+                    let below = if s >= 2 { u.sig & ((1u64 << (s - 1)) - 1) != 0 } else { false };
+                    (kept, guard, below)
+                };
+                let inexact = guard == 1 || sticky;
+                let rounded = match mode {
+                    RoundMode::Truncate => kept,
+                    RoundMode::NearestEven => {
+                        if guard == 1 && (sticky || kept & 1 == 1) {
+                            kept + 1
+                        } else {
+                            kept
+                        }
+                    }
+                };
+                (rounded as u128, inexact)
+            };
+            let limit = if u.sign { 1u128 << 63 } else { (1u128 << 63) - 1 };
+            if mag > limit {
+                return (if u.sign { i64::MIN } else { i64::MAX }, Flags::invalid());
+            }
+            let v = if u.sign { -(mag as i128) } else { mag as i128 };
+            let mut flags = Flags::NONE;
+            flags.inexact = inexact;
+            (v as i64, flags)
+        }
+    }
+}
+
+/// Convert a signed 64-bit integer to a float encoding (rounded per
+/// `mode` when the integer has more significant bits than the format).
+pub fn from_i64(fmt: FpFormat, x: i64, mode: RoundMode) -> (u64, Flags) {
+    if x == 0 {
+        return (0, Flags::NONE);
+    }
+    let sign = x < 0;
+    let mag = x.unsigned_abs() as u128;
+    let msb = 127 - mag.leading_zeros();
+    let f = fmt.frac_bits();
+    // Normalize so round_sig sees the hidden bit at f + tail_bits.
+    let (aligned, grs) = if msb > f {
+        (mag, msb - f) // the low msb−f bits round away
+    } else {
+        (mag << (f - msb + 1), 1) // exact; a zero guard bit suffices
+    };
+    let rounded = crate::round::round_sig(fmt, aligned, grs, mode);
+    let exp = msb as i32 + rounded.exp_carry as i32;
+    crate::round::pack_with_range_check(fmt, sign, exp, rounded.sig, mode, rounded.inexact)
+}
+
+/// Convert a float to signed fixed-point Q(63−f).f — i.e. the integer
+/// `round(value · 2^frac_bits_out)` — saturating with `invalid`.
+pub fn to_fixed(fmt: FpFormat, bits: u64, frac_bits_out: u32, mode: RoundMode) -> (i64, Flags) {
+    assert!(frac_bits_out < 63, "fixed-point fraction too wide");
+    // value · 2^frac = the integer conversion of a scaled float: just add
+    // to the exponent before converting.
+    let u = Unpacked::from_bits(fmt, bits);
+    match u.class {
+        Class::Zero => (0, Flags::NONE),
+        Class::Inf => (if u.sign { i64::MIN } else { i64::MAX }, Flags::invalid()),
+        Class::Normal => {
+            let scaled_exp = u.exp + frac_bits_out as i32;
+            if scaled_exp + fmt.bias() < 1 {
+                // Underflows the encodable exponent range: the value is
+                // far below one fixed-point LSB.
+                let flags = if u.sig != 0 { Flags::inexact() } else { Flags::NONE };
+                return (0, flags);
+            }
+            if scaled_exp > fmt.max_exp() {
+                // Cannot re-encode; convert via direct arithmetic.
+                return saturate_wide(u, frac_bits_out);
+            }
+            let scaled = fmt.pack(u.sign, (scaled_exp + fmt.bias()) as u64, u.sig & fmt.frac_mask());
+            to_i64(fmt, scaled, mode)
+        }
+    }
+}
+
+fn saturate_wide(u: Unpacked, frac_bits_out: u32) -> (i64, Flags) {
+    // exp large: value·2^frac certainly exceeds i64.
+    let _ = frac_bits_out;
+    (if u.sign { i64::MIN } else { i64::MAX }, Flags::invalid())
+}
+
+/// Convert signed fixed-point Q.f to a float encoding.
+pub fn from_fixed(fmt: FpFormat, x: i64, frac_bits_in: u32, mode: RoundMode) -> (u64, Flags) {
+    assert!(frac_bits_in < 63);
+    let (bits, flags) = from_i64(fmt, x, mode);
+    // Divide by 2^frac by adjusting the exponent (exact unless it
+    // underflows the format's range).
+    let u = Unpacked::from_bits(fmt, bits);
+    match u.class {
+        Class::Zero => (bits, flags),
+        Class::Inf => (bits, flags),
+        Class::Normal => {
+            let exp = u.exp - frac_bits_in as i32;
+            crate::round::pack_with_range_check(fmt, u.sign, exp, u.sig, mode, flags.inexact)
+                .0
+                .pipe_with(flags)
+        }
+    }
+}
+
+trait PipeWith {
+    fn pipe_with(self, flags: Flags) -> (u64, Flags);
+}
+impl PipeWith for u64 {
+    fn pipe_with(self, flags: Flags) -> (u64, Flags) {
+        (self, flags)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F32: FpFormat = FpFormat::SINGLE;
+    const F64: FpFormat = FpFormat::DOUBLE;
+
+    fn f32b(x: f32) -> u64 {
+        x.to_bits() as u64
+    }
+
+    #[test]
+    fn to_int_basics() {
+        assert_eq!(to_i64(F32, f32b(0.0), RoundMode::Truncate).0, 0);
+        assert_eq!(to_i64(F32, f32b(42.0), RoundMode::Truncate).0, 42);
+        assert_eq!(to_i64(F32, f32b(-42.0), RoundMode::Truncate).0, -42);
+        assert_eq!(to_i64(F32, f32b(1e9), RoundMode::Truncate).0, 1_000_000_000);
+    }
+
+    #[test]
+    fn to_int_rounding_modes() {
+        assert_eq!(to_i64(F32, f32b(2.7), RoundMode::Truncate).0, 2);
+        assert_eq!(to_i64(F32, f32b(-2.7), RoundMode::Truncate).0, -2);
+        assert_eq!(to_i64(F32, f32b(2.7), RoundMode::NearestEven).0, 3);
+        assert_eq!(to_i64(F32, f32b(2.5), RoundMode::NearestEven).0, 2); // tie → even
+        assert_eq!(to_i64(F32, f32b(3.5), RoundMode::NearestEven).0, 4);
+        assert!(to_i64(F32, f32b(2.7), RoundMode::Truncate).1.inexact);
+        assert!(!to_i64(F32, f32b(2.0), RoundMode::Truncate).1.inexact);
+    }
+
+    #[test]
+    fn to_int_saturates() {
+        let (v, f) = to_i64(F32, f32b(1e30), RoundMode::Truncate);
+        assert_eq!(v, i64::MAX);
+        assert!(f.invalid);
+        let (v, f) = to_i64(F32, f32b(f32::NEG_INFINITY), RoundMode::Truncate);
+        assert_eq!(v, i64::MIN);
+        assert!(f.invalid);
+        // exactly representable boundary: -2^63 fits
+        let (v, f) = to_i64(F64, (-(2f64.powi(63))).to_bits(), RoundMode::Truncate);
+        assert_eq!(v, i64::MIN);
+        assert!(!f.invalid);
+    }
+
+    #[test]
+    fn from_int_exact_and_rounded() {
+        for &x in &[0i64, 1, -1, 42, -123456, 1 << 40] {
+            let (b, f) = from_i64(F64, x, RoundMode::NearestEven);
+            assert_eq!(f64::from_bits(b), x as f64, "{x}");
+            assert!(!f.any(), "{x}");
+        }
+        // 2^53 + 1 does not fit double's 53-bit significand
+        let big = (1i64 << 53) + 1;
+        let (b, f) = from_i64(F64, big, RoundMode::NearestEven);
+        assert_eq!(f64::from_bits(b), big as f64);
+        assert!(f.inexact);
+        // and in single precision, 16777217 rounds
+        let (b, f) = from_i64(F32, 16_777_217, RoundMode::NearestEven);
+        assert_eq!(f32::from_bits(b as u32), 16_777_217i64 as f32);
+        assert!(f.inexact);
+    }
+
+    #[test]
+    fn int_roundtrip_where_exact() {
+        for &x in &[0i64, 5, -7, 1023, -65536, (1 << 24) - 1] {
+            let (b, _) = from_i64(F32, x, RoundMode::NearestEven);
+            let (back, f) = to_i64(F32, b, RoundMode::Truncate);
+            assert_eq!(back, x);
+            assert!(!f.any());
+        }
+    }
+
+    #[test]
+    fn fixed_point_conversions() {
+        // 3.25 in Q.8 = 832
+        let (v, f) = to_fixed(F32, f32b(3.25), 8, RoundMode::NearestEven);
+        assert_eq!(v, 832);
+        assert!(!f.any());
+        // back again
+        let (b, f) = from_fixed(F32, 832, 8, RoundMode::NearestEven);
+        assert_eq!(f32::from_bits(b as u32), 3.25);
+        assert!(!f.any());
+        // 0.1 in Q.16 rounds
+        let (v, f) = to_fixed(F32, f32b(0.1), 16, RoundMode::NearestEven);
+        assert_eq!(v, 6554); // round(0.1 * 65536) for the f32 nearest 0.1
+        assert!(f.inexact);
+    }
+
+    #[test]
+    fn fixed_point_saturation() {
+        let (v, f) = to_fixed(F32, f32b(1e30), 16, RoundMode::Truncate);
+        assert_eq!(v, i64::MAX);
+        assert!(f.invalid);
+        let (v, _) = to_fixed(F32, f32b(-1e30), 16, RoundMode::Truncate);
+        assert_eq!(v, i64::MIN);
+    }
+
+    #[test]
+    fn tiny_values_flush_in_fixed() {
+        let (v, f) = to_fixed(F32, f32b(1e-30), 8, RoundMode::NearestEven);
+        assert_eq!(v, 0);
+        assert!(f.inexact);
+    }
+
+    #[test]
+    fn matches_native_casts_on_samples() {
+        for &x in &[0.0f64, 1.9, -1.9, 123456.789, -0.49, 0.5, 1.5, 2.5, 1e15] {
+            let (v, _) = to_i64(F64, x.to_bits(), RoundMode::Truncate);
+            assert_eq!(v, x as i64, "trunc({x})"); // Rust casts truncate
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! Floating-point addition/subtraction, structured as the paper's
+//! three-stage adder datapath:
+//!
+//! 1. **Denormalize / pre-shift** — make hidden bits explicit, compare
+//!    exponents, swap mantissas, align the smaller mantissa by the
+//!    exponent difference (collecting a sticky bit);
+//! 2. **Mantissa add/subtract** — fixed-point add or subtract, then
+//!    pre-normalize a carry-out by one position;
+//! 3. **Normalize / round** — priority-encode the leading one, shift it to
+//!    the MSB, adjust the exponent, round and range-check.
+//!
+//! Keeping the software reference in this exact shape lets the
+//! cycle-accurate datapath in `fpfpga-fpu` share the arithmetic per
+//! subunit and be checked for bit-identical results.
+
+use crate::exceptions::Flags;
+use crate::format::FpFormat;
+use crate::round::{pack_with_range_check, round_sig, shift_right_sticky, RoundMode};
+use crate::unpacked::{Class, Unpacked};
+
+/// Number of extra low-order bits (guard, round, sticky) carried through
+/// the adder datapath. Three suffice for correctly rounded add/sub when
+/// the alignment shifter compresses everything below the round bit into
+/// the sticky bit.
+pub const GRS_BITS: u32 = 3;
+
+/// `a + b` on raw encodings.
+pub fn add(fmt: FpFormat, a: u64, b: u64, mode: RoundMode) -> (u64, Flags) {
+    add_unpacked(
+        fmt,
+        Unpacked::from_bits(fmt, a),
+        Unpacked::from_bits(fmt, b),
+        mode,
+    )
+}
+
+/// `a - b` on raw encodings. The hardware implements subtraction by
+/// inverting the sign of the second operand in the denormalization stage.
+pub fn sub(fmt: FpFormat, a: u64, b: u64, mode: RoundMode) -> (u64, Flags) {
+    let mut ub = Unpacked::from_bits(fmt, b);
+    ub.sign = !ub.sign;
+    add_unpacked(fmt, Unpacked::from_bits(fmt, a), ub, mode)
+}
+
+/// Addition on already-unpacked operands.
+pub fn add_unpacked(fmt: FpFormat, a: Unpacked, b: Unpacked, mode: RoundMode) -> (u64, Flags) {
+    // --- Special-operand handling (resolved in stage 1, carried forward).
+    match (a.class, b.class) {
+        (Class::Inf, Class::Inf) => {
+            return if a.sign == b.sign {
+                (Unpacked::inf(a.sign).to_bits(fmt), Flags::NONE)
+            } else {
+                // ∞ − ∞: no NaN encoding exists; the cores emit +∞ with
+                // the invalid flag raised.
+                (Unpacked::inf(false).to_bits(fmt), Flags::invalid())
+            };
+        }
+        (Class::Inf, _) => return (Unpacked::inf(a.sign).to_bits(fmt), Flags::NONE),
+        (_, Class::Inf) => return (Unpacked::inf(b.sign).to_bits(fmt), Flags::NONE),
+        (Class::Zero, Class::Zero) => {
+            // (+0)+(+0)=+0, (-0)+(-0)=-0, mixed signs give +0 under
+            // round-to-nearest (and truncation; we do not implement
+            // round-toward-negative).
+            let sign = a.sign && b.sign;
+            return (Unpacked::zero(sign).to_bits(fmt), Flags::NONE);
+        }
+        (Class::Zero, Class::Normal) => return (b.to_bits(fmt), Flags::NONE),
+        (Class::Normal, Class::Zero) => return (a.to_bits(fmt), Flags::NONE),
+        (Class::Normal, Class::Normal) => {}
+    }
+
+    // --- Stage 1: swap so that `hi` has the larger magnitude exponent,
+    // then align `lo` by the exponent difference.
+    let (hi, lo) = swap_operands(a, b);
+    let diff = (hi.exp - lo.exp) as u32;
+    let hi_sig = hi.sig << GRS_BITS;
+    let (lo_aligned, sticky) = align_mantissa(lo.sig, diff);
+
+    // --- Stage 2: effective add or subtract of the aligned magnitudes.
+    //
+    // The sticky bit is *jammed* into the aligned operand's LSB before the
+    // fixed-point add/sub (the classical guard/round/sticky construction,
+    // as in Hauser's SoftFloat). Jamming makes the result odd whenever any
+    // tail was lost, so a round-to-nearest tie pattern can never appear
+    // with a hidden nonzero tail below it, and strict half-comparisons are
+    // unaffected because the representation error is under one LSB of the
+    // GRS extension. A nonzero sticky implies an alignment shift of at
+    // least GRS_BITS + 1 >= 4, which bounds the post-subtraction
+    // normalization shift to one position, keeping the jam below the round
+    // bit afterwards.
+    let lo_full = lo_aligned | sticky as u64;
+    let effective_sub = a.sign != b.sign;
+    let (mag, sign, exp) = if !effective_sub {
+        let sum = hi_sig as u128 + lo_full as u128; // at most sig_bits+GRS+1 bits
+        (sum, hi.sign, hi.exp)
+    } else {
+        // `hi` has the larger or equal magnitude (swap_operands breaks
+        // exponent ties by significand, and any nonzero alignment shift
+        // leaves lo_full strictly below the hidden bit), so the
+        // subtraction never goes negative.
+        let d = hi_sig - lo_full;
+        if d == 0 {
+            // Exact cancellation: +0 under both supported modes.
+            return (Unpacked::zero(false).to_bits(fmt), Flags::NONE);
+        }
+        (d as u128, hi.sign, hi.exp)
+    };
+
+    normalize_round_pack(fmt, sign, exp, mag, mode)
+}
+
+/// Stage-1 swapper: order operands so the first has the larger exponent,
+/// breaking ties with the significand so the subtract path never goes
+/// negative. This mirrors the hardware's exponent comparator + mantissa
+/// swapper (the mantissa comparison only matters when exponents are
+/// equal, which is when the hardware's mantissa comparator output is
+/// selected).
+pub fn swap_operands(a: Unpacked, b: Unpacked) -> (Unpacked, Unpacked) {
+    if (a.exp, a.sig) >= (b.exp, b.sig) {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Stage-1 alignment shifter: shift the smaller significand right by the
+/// exponent difference, pre-extended with the GRS bits, compressing the
+/// shifted-out tail into a sticky flag.
+pub fn align_mantissa(sig: u64, diff: u32) -> (u64, bool) {
+    let extended = sig << GRS_BITS;
+    shift_right_sticky(extended, diff)
+}
+
+/// Stage 2b: pre-normalize — a carry out of the hidden position shifts
+/// right by one (sticky-preserving jam) and increments the exponent.
+pub fn prenormalize(fmt: FpFormat, mag: u128, exp: i32) -> (u128, i32) {
+    let hidden_pos = fmt.frac_bits() + GRS_BITS;
+    if mag >> (hidden_pos + 1) != 0 {
+        debug_assert!(mag >> (hidden_pos + 2) == 0, "at most one carry bit");
+        let lsb = mag & 1;
+        ((mag >> 1) | lsb, exp + 1)
+    } else {
+        (mag, exp)
+    }
+}
+
+/// Stage 3a: the priority encoder — position of the leading one.
+pub fn leading_one_pos(mag: u128) -> u32 {
+    debug_assert!(mag != 0);
+    127 - mag.leading_zeros()
+}
+
+/// Stage 3b: the normalization shifter — bring the leading one (at `msb`)
+/// up to the hidden position. A large cancellation can leave the leading
+/// one far down, possibly inside the GRS bits.
+pub fn normalize_left(fmt: FpFormat, mag: u128, exp: i32, msb: u32) -> (u128, i32) {
+    let hidden_pos = fmt.frac_bits() + GRS_BITS;
+    if msb < hidden_pos {
+        let shift = hidden_pos - msb;
+        (mag << shift, exp - shift as i32)
+    } else {
+        (mag, exp)
+    }
+}
+
+/// Stages 2b/3: pre-normalize (carry-out), priority-encode and normalize,
+/// round, range-check, pack. `mag` is the non-zero magnitude with GRS_BITS
+/// fraction bits below the significand's binary point and possibly a
+/// carry-out bit above the hidden position.
+fn normalize_round_pack(
+    fmt: FpFormat,
+    sign: bool,
+    exp: i32,
+    mag: u128,
+    mode: RoundMode,
+) -> (u64, Flags) {
+    debug_assert!(mag != 0);
+    let (mag, exp) = prenormalize(fmt, mag, exp);
+    let msb = leading_one_pos(mag);
+    let (mag, exp) = normalize_left(fmt, mag, exp, msb);
+    let rounded = round_sig(fmt, mag, GRS_BITS, mode);
+    let exp = exp + rounded.exp_carry as i32;
+    pack_with_range_check(fmt, sign, exp, rounded.sig, mode, rounded.inexact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F32: FpFormat = FpFormat::SINGLE;
+    const F64: FpFormat = FpFormat::DOUBLE;
+
+    fn f32_bits(x: f32) -> u64 {
+        x.to_bits() as u64
+    }
+
+    fn add_f32(a: f32, b: f32) -> (f32, Flags) {
+        let (bits, flags) = add(F32, f32_bits(a), f32_bits(b), RoundMode::NearestEven);
+        (f32::from_bits(bits as u32), flags)
+    }
+
+    #[test]
+    fn simple_sums() {
+        assert_eq!(add_f32(1.0, 2.0).0, 3.0);
+        assert_eq!(add_f32(1.5, 2.25).0, 3.75);
+        assert_eq!(add_f32(-1.0, 1.0).0, 0.0);
+        assert_eq!(add_f32(0.1, 0.2).0, 0.1f32 + 0.2f32);
+    }
+
+    #[test]
+    fn subtraction_via_sign_flip() {
+        let (bits, _) = sub(F32, f32_bits(5.0), f32_bits(3.0), RoundMode::NearestEven);
+        assert_eq!(f32::from_bits(bits as u32), 2.0);
+        let (bits, _) = sub(F32, f32_bits(3.0), f32_bits(5.0), RoundMode::NearestEven);
+        assert_eq!(f32::from_bits(bits as u32), -2.0);
+    }
+
+    #[test]
+    fn catastrophic_cancellation() {
+        let a = 1.000_000_2f32;
+        let b = 1.0f32;
+        assert_eq!(add_f32(a, -b).0, a - b);
+    }
+
+    #[test]
+    fn cancellation_to_zero_is_positive() {
+        let (r, f) = add_f32(7.25, -7.25);
+        assert_eq!(r.to_bits(), 0); // +0, not -0
+        assert!(!f.any());
+    }
+
+    #[test]
+    fn signed_zero_rules() {
+        let nz = f32::from_bits(0x8000_0000);
+        assert_eq!(add_f32(nz, nz).0.to_bits(), 0x8000_0000);
+        assert_eq!(add_f32(0.0, nz).0.to_bits(), 0);
+        assert_eq!(add_f32(nz, 3.5).0, 3.5);
+    }
+
+    #[test]
+    fn inf_arithmetic() {
+        let inf = f32::INFINITY;
+        assert_eq!(add_f32(inf, 1.0).0, inf);
+        assert_eq!(add_f32(1.0, -inf).0, -inf);
+        assert_eq!(add_f32(inf, inf).0, inf);
+        let (r, f) = add_f32(inf, -inf);
+        assert_eq!(r, inf); // deterministic substitute for NaN
+        assert!(f.invalid);
+    }
+
+    #[test]
+    fn overflow_saturates() {
+        let max = f32::MAX;
+        let (r, f) = add_f32(max, max);
+        assert_eq!(r, f32::INFINITY);
+        assert!(f.overflow);
+        // truncation saturates to max-finite instead
+        let (bits, f) = add(F32, f32_bits(max), f32_bits(max), RoundMode::Truncate);
+        assert_eq!(f32::from_bits(bits as u32), f32::MAX);
+        assert!(f.overflow);
+    }
+
+    #[test]
+    fn small_difference_rounds_to_nearest_even() {
+        // A case exercising the sticky path: operands 2^25 apart.
+        let a = 1.0f32 * (1u64 << 25) as f32;
+        let b = 1.5f32;
+        assert_eq!(add_f32(a, b).0, a + b);
+    }
+
+    #[test]
+    fn matches_native_f32_on_samples() {
+        let samples = [
+            0.0f32, 1.0, -1.0, 0.5, 3.14159, -2.71828, 1e10, -1e10, 1e-10, 123456.78, 0.000123,
+            -99999.9, 1.0000001, 0.9999999, 8388608.0, 16777216.0,
+        ];
+        for &x in &samples {
+            for &y in &samples {
+                let (got, _) = add_f32(x, y);
+                let want = x + y;
+                assert_eq!(got.to_bits(), want.to_bits(), "{x} + {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_native_f64_on_samples() {
+        let samples = [
+            0.0f64, 1.0, -1.0, 0.5, 3.14159265358979, -2.718281828, 1e100, -1e100, 1e-100,
+            123456.789012345, 4503599627370496.0,
+        ];
+        for &x in &samples {
+            for &y in &samples {
+                let (bits, _) = add(F64, x.to_bits(), y.to_bits(), RoundMode::NearestEven);
+                let want = x + y;
+                assert_eq!(f64::from_bits(bits), want, "{x} + {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncate_mode_rounds_toward_zero() {
+        // 1 + 2^-24 is not representable; truncation keeps 1.0.
+        let a = 1.0f32;
+        let b = f32::from_bits(0x3380_0000); // 2^-24
+        let (bits, f) = add(F32, f32_bits(a), f32_bits(b), RoundMode::Truncate);
+        assert_eq!(f32::from_bits(bits as u32), 1.0);
+        assert!(f.inexact);
+        // Same for a negative sum: -1 - 2^-24 truncates to -1 (toward zero).
+        let (bits, _) = add(F32, f32_bits(-a), f32_bits(-b), RoundMode::Truncate);
+        assert_eq!(f32::from_bits(bits as u32), -1.0);
+    }
+
+    #[test]
+    fn swap_orders_by_exp_then_sig() {
+        let big = Unpacked { sign: false, exp: 3, sig: 1 << 23, class: Class::Normal };
+        let small = Unpacked { sign: true, exp: 1, sig: (1 << 23) + 5, class: Class::Normal };
+        let (h, l) = swap_operands(small, big);
+        assert_eq!(h.exp, 3);
+        assert_eq!(l.exp, 1);
+        let tie_a = Unpacked { sign: false, exp: 2, sig: (1 << 23) + 7, class: Class::Normal };
+        let tie_b = Unpacked { sign: true, exp: 2, sig: (1 << 23) + 9, class: Class::Normal };
+        let (h, _) = swap_operands(tie_a, tie_b);
+        assert_eq!(h.sig, (1 << 23) + 9);
+    }
+
+    #[test]
+    fn align_collects_sticky() {
+        let (v, s) = align_mantissa(0b1001, 4);
+        assert_eq!(v, 0b1001 << 3 >> 4);
+        assert!(s);
+    }
+}

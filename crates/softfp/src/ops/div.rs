@@ -1,0 +1,216 @@
+//! Floating-point division, structured as a digit-recurrence divider
+//! datapath:
+//!
+//! 1. **Denormalize** (shared with the other cores) plus exception
+//!    detection (0 ÷ 0, ∞ ÷ ∞ invalid; x ÷ 0 raises divide-by-zero);
+//! 2. **Quotient recurrence** — the significand quotient, computed here
+//!    with an exact integer division (the value a radix-2 SRT recurrence
+//!    converges to), with the remainder compressed into a sticky bit;
+//!    the exponent path subtracts exponents and re-biases, the sign is an
+//!    XOR;
+//! 3. **Normalize / round** — the quotient of two `[1,2)` significands
+//!    lies in `(1/2, 2)`, so at most one normalization shift, then the
+//!    same rounding module as the other cores.
+//!
+//! Division is not evaluated in the paper (its related work cites
+//! divider-bearing core libraries); it is provided as the natural
+//! extension and follows the exact same semantic rules: flush-to-zero,
+//! no NaNs, round-to-nearest-even or truncate.
+
+use crate::exceptions::Flags;
+use crate::format::FpFormat;
+use crate::round::{pack_with_range_check, round_sig, RoundMode};
+use crate::unpacked::{Class, Unpacked};
+
+/// Guard bits kept below the quotient's hidden position before rounding.
+pub const DIV_GRS_BITS: u32 = 2;
+
+/// `a / b` on raw encodings.
+pub fn div(fmt: FpFormat, a: u64, b: u64, mode: RoundMode) -> (u64, Flags) {
+    div_unpacked(
+        fmt,
+        Unpacked::from_bits(fmt, a),
+        Unpacked::from_bits(fmt, b),
+        mode,
+    )
+}
+
+/// Division on already-unpacked operands.
+pub fn div_unpacked(fmt: FpFormat, a: Unpacked, b: Unpacked, mode: RoundMode) -> (u64, Flags) {
+    let sign = a.sign ^ b.sign;
+
+    // --- Special-operand handling.
+    match (a.class, b.class) {
+        (Class::Zero, Class::Zero) | (Class::Inf, Class::Inf) => {
+            // 0/0 and ∞/∞ have no NaN to produce: deterministic
+            // substitutes (+0 and +∞ respectively) with invalid raised.
+            return if a.class == Class::Zero {
+                (Unpacked::zero(false).to_bits(fmt), Flags::invalid())
+            } else {
+                (Unpacked::inf(false).to_bits(fmt), Flags::invalid())
+            };
+        }
+        (Class::Inf, _) => return (Unpacked::inf(sign).to_bits(fmt), Flags::NONE),
+        (_, Class::Inf) => return (Unpacked::zero(sign).to_bits(fmt), Flags::NONE),
+        (Class::Zero, _) => return (Unpacked::zero(sign).to_bits(fmt), Flags::NONE),
+        (Class::Normal, Class::Zero) => {
+            return (Unpacked::inf(sign).to_bits(fmt), Flags::div_by_zero());
+        }
+        (Class::Normal, Class::Normal) => {}
+    }
+
+    // --- Quotient recurrence (exact) + exponent subtract.
+    let (q, exp) = quotient_recurrence(fmt, a.sig, b.sig, a.exp - b.exp);
+
+    // --- Round and pack. `q` is normalized with the hidden bit at
+    // frac_bits + DIV_GRS_BITS and a sticky-jammed tail.
+    let rounded = round_sig(fmt, q, DIV_GRS_BITS, mode);
+    let exp = exp + rounded.exp_carry as i32;
+    pack_with_range_check(fmt, sign, exp, rounded.sig, mode, rounded.inexact)
+}
+
+/// The significand quotient with its exponent adjustment.
+///
+/// Returns `(q, exp)` where `q` has its leading one at bit
+/// `frac_bits + DIV_GRS_BITS` and its low bit jammed with the remainder's
+/// sticky. Both significands carry explicit hidden bits; the quotient of
+/// two `[2^f, 2^(f+1))` values lies in `(1/2, 2)`, so a single
+/// conditional pre-shift (folded into the exponent) normalizes it.
+pub fn quotient_recurrence(fmt: FpFormat, sig_a: u64, sig_b: u64, exp: i32) -> (u128, i32) {
+    debug_assert!(sig_a >> fmt.frac_bits() == 1, "numerator not normalized");
+    debug_assert!(sig_b >> fmt.frac_bits() == 1, "denominator not normalized");
+    let f = fmt.frac_bits();
+    // Choose the numerator pre-shift so the integer quotient lands in
+    // [2^(f+2), 2^(f+3)): f + 3 significant bits (hidden + f fraction +
+    // 2 guard bits).
+    let (num, exp) = if sig_a >= sig_b {
+        (((sig_a as u128) << (f + DIV_GRS_BITS)), exp)
+    } else {
+        (((sig_a as u128) << (f + DIV_GRS_BITS + 1)), exp - 1)
+    };
+    let q = num / sig_b as u128;
+    let r = num % sig_b as u128;
+    debug_assert!(q >> (f + DIV_GRS_BITS) == 1, "quotient not normalized: {q:#x}");
+    // Jam the remainder's sticky into the low bit: the truncated quotient
+    // is exact iff r == 0, and jamming keeps round-to-nearest ties honest
+    // (same parity argument as the adder's alignment sticky).
+    (q | (r != 0) as u128, exp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F32: FpFormat = FpFormat::SINGLE;
+    const F64: FpFormat = FpFormat::DOUBLE;
+
+    fn div_f32(a: f32, b: f32) -> (f32, Flags) {
+        let (bits, flags) = div(F32, a.to_bits() as u64, b.to_bits() as u64, RoundMode::NearestEven);
+        (f32::from_bits(bits as u32), flags)
+    }
+
+    #[test]
+    fn simple_quotients() {
+        assert_eq!(div_f32(6.0, 3.0).0, 2.0);
+        assert_eq!(div_f32(1.0, 4.0).0, 0.25);
+        assert_eq!(div_f32(-7.5, 2.5).0, -3.0);
+        assert_eq!(div_f32(1.0, 3.0).0, 1.0f32 / 3.0);
+        assert_eq!(div_f32(2.0, 3.0).0, 2.0f32 / 3.0);
+    }
+
+    #[test]
+    fn exactness_flagging() {
+        let (_, f) = div_f32(1.0, 2.0);
+        assert!(!f.any());
+        let (_, f) = div_f32(1.0, 3.0);
+        assert!(f.inexact && !f.invalid);
+    }
+
+    #[test]
+    fn zero_and_inf_rules() {
+        let inf = f32::INFINITY;
+        assert_eq!(div_f32(inf, 2.0).0, inf);
+        assert_eq!(div_f32(2.0, inf).0, 0.0);
+        assert_eq!(div_f32(-2.0, inf).0.to_bits(), 0x8000_0000); // -0
+        assert_eq!(div_f32(0.0, 5.0).0, 0.0);
+        let (r, f) = div_f32(5.0, 0.0);
+        assert_eq!(r, inf);
+        assert!(f.div_by_zero && !f.invalid);
+        let (r, f) = div_f32(-5.0, 0.0);
+        assert_eq!(r, -inf);
+        assert!(f.div_by_zero);
+    }
+
+    #[test]
+    fn invalid_cases() {
+        let (r, f) = div_f32(0.0, 0.0);
+        assert_eq!(r.to_bits(), 0);
+        assert!(f.invalid && !f.div_by_zero);
+        let (r, f) = div_f32(f32::INFINITY, f32::NEG_INFINITY);
+        assert_eq!(r, f32::INFINITY);
+        assert!(f.invalid);
+    }
+
+    #[test]
+    fn overflow_and_underflow() {
+        let (r, f) = div_f32(f32::MAX, f32::MIN_POSITIVE);
+        assert_eq!(r, f32::INFINITY);
+        assert!(f.overflow);
+        let (r, f) = div_f32(f32::MIN_POSITIVE, f32::MAX);
+        assert_eq!(r.to_bits(), 0);
+        assert!(f.underflow);
+    }
+
+    #[test]
+    fn matches_native_f32_on_samples() {
+        let samples = [
+            1.0f32, -1.0, 0.5, 3.14159, -2.71828, 1e10, 1e-10, 123456.78, 0.000123, -99999.9,
+            1.0000001, 0.9999999, 7.0, 10.0, 0.1,
+        ];
+        for &x in &samples {
+            for &y in &samples {
+                let (got, _) = div_f32(x, y);
+                assert_eq!(got.to_bits(), (x / y).to_bits(), "{x} / {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_native_f64_on_samples() {
+        let samples = [1.0f64, 3.0, -7.0, 0.1, 1e200, 1e-200, 2.718281828459045, 1e8 + 0.5];
+        for &x in &samples {
+            for &y in &samples {
+                let (bits, _) = div(F64, x.to_bits(), y.to_bits(), RoundMode::NearestEven);
+                assert_eq!(f64::from_bits(bits), x / y, "{x} / {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_rounds_toward_zero() {
+        let (t, _) = div(F32, 1.0f32.to_bits() as u64, 3.0f32.to_bits() as u64, RoundMode::Truncate);
+        let (n, _) =
+            div(F32, 1.0f32.to_bits() as u64, 3.0f32.to_bits() as u64, RoundMode::NearestEven);
+        let (t, n) = (f32::from_bits(t as u32), f32::from_bits(n as u32));
+        assert!(t <= n);
+        assert!((n - t).abs() <= f32::EPSILON);
+    }
+
+    #[test]
+    fn division_by_one_is_identity() {
+        for &x in &[1.0f32, -2.5, 3.14159, 1e-20, 1e20] {
+            assert_eq!(div_f32(x, 1.0).0.to_bits(), x.to_bits(), "{x}");
+        }
+    }
+
+    #[test]
+    fn fp48_division_refines_single() {
+        use crate::convert::convert;
+        let f48 = FpFormat::FP48;
+        let (a, _) = convert(F32, 1.0f32.to_bits() as u64, f48, RoundMode::NearestEven);
+        let (b, _) = convert(F32, 3.0f32.to_bits() as u64, f48, RoundMode::NearestEven);
+        let (q, _) = div(f48, a, b, RoundMode::NearestEven);
+        let got = crate::convert::to_f64(f48, q);
+        assert!((got - 1.0 / 3.0).abs() < 1e-11, "{got}");
+    }
+}

@@ -1,0 +1,260 @@
+//! Fused multiply-add: `a·b + c` with a **single** rounding.
+//!
+//! The paper's PEs compute multiply-accumulate as two chained units with
+//! two roundings; a fused unit rounds once, halving the rounding error
+//! and deleting the intermediate normalize/round hardware (priced in
+//! `fpfpga-fpu::mac`). This reference implementation computes the exact
+//! product, aligns the addend against it at full precision (sticky
+//! compression beyond the window), adds, and rounds once — verifiable
+//! bit-for-bit against native hardware FMA (`f32::mul_add`,
+//! `f64::mul_add`) on normal operands.
+
+use crate::exceptions::Flags;
+use crate::format::FpFormat;
+use crate::round::{pack_with_range_check, round_sig, shift_right_sticky_u128, RoundMode};
+use crate::unpacked::{Class, Unpacked};
+
+/// Guard bits below the product's binary alignment in the wide adder.
+const FMA_GRS: u32 = 3;
+
+/// `a·b + c` with one rounding, on raw encodings.
+pub fn fma(fmt: FpFormat, a: u64, b: u64, c: u64, mode: RoundMode) -> (u64, Flags) {
+    let ua = Unpacked::from_bits(fmt, a);
+    let ub = Unpacked::from_bits(fmt, b);
+    let uc = Unpacked::from_bits(fmt, c);
+    let psign = ua.sign ^ ub.sign;
+
+    // --- Specials: the product's rules first, then the addition's.
+    match (ua.class, ub.class) {
+        (Class::Zero, Class::Inf) | (Class::Inf, Class::Zero) => {
+            // 0×∞ + c: invalid regardless of c (no NaN encoding: +0).
+            return (Unpacked::zero(false).to_bits(fmt), Flags::invalid());
+        }
+        (Class::Inf, _) | (_, Class::Inf) => {
+            // ±∞ + c: ∞ unless c is the opposite ∞.
+            return match uc.class {
+                Class::Inf if uc.sign != psign => {
+                    (Unpacked::inf(false).to_bits(fmt), Flags::invalid())
+                }
+                _ => (Unpacked::inf(psign).to_bits(fmt), Flags::NONE),
+            };
+        }
+        _ => {}
+    }
+    if uc.class == Class::Inf {
+        return (Unpacked::inf(uc.sign).to_bits(fmt), Flags::NONE);
+    }
+    if ua.class == Class::Zero || ub.class == Class::Zero {
+        // Exact product zero: result is c (with the +0 convention on
+        // signed-zero cancellation).
+        return if uc.class == Class::Zero {
+            let sign = psign && uc.sign;
+            (Unpacked::zero(sign).to_bits(fmt), Flags::NONE)
+        } else {
+            (uc.to_bits(fmt), Flags::NONE)
+        };
+    }
+    if uc.class == Class::Zero {
+        // c = 0: a plain multiplication (already correctly rounded once).
+        return crate::ops::mul::mul_unpacked(fmt, ua, ub, mode);
+    }
+
+    // --- Exact product: 2f+1 or 2f+2 significant bits; value =
+    // product · 2^(pexp − 2f).
+    let f = fmt.frac_bits();
+    let product = ua.sig as u128 * ub.sig as u128;
+    let pexp = ua.exp + ub.exp;
+
+    // Fixed-point frame anchored on whichever operand is larger, with
+    // FMA_GRS guard bits at the bottom; the other operand shifts into it,
+    // compressing anything below the guard bits into a jammed sticky.
+    //
+    // `shift` is the left-shift c needs in the product-anchored frame.
+    let shift = (uc.exp - pexp) + f as i32;
+    let c_wide = (uc.sig as u128) << FMA_GRS;
+    let prod_wide = product << FMA_GRS;
+
+    let (mag, sign, e_lsb, is_zero) = if shift > (f + 2) as i32 {
+        // c dominates: anchor on c (LSB weight 2^(uc.exp − f − FMA_GRS))
+        // and shift the product down with a sticky jam. The product's
+        // value is < 2^(pexp+2) ≤ 2^(uc.exp − 1), so an effective
+        // subtraction cancels at most one bit position.
+        // prod_wide = P·2^GRS and Y = P·2^(GRS − shift), so the product
+        // drops by exactly `shift` positions in the c-anchored frame.
+        let (p_aligned, lost) = shift_right_sticky_u128(prod_wide, shift as u32);
+        let (m, sg, z) = combine(c_wide, uc.sign, p_aligned | lost as u128, psign);
+        (m, sg, uc.exp - (f + FMA_GRS) as i32, z)
+    } else if shift >= 0 {
+        // Overlap: c fits in the product-anchored frame after a left
+        // shift of at most f+2 (total width ≤ 2f + FMA_GRS + 4 bits).
+        let c_aligned = c_wide << shift;
+        let (m, sg, z) = combine(prod_wide, psign, c_aligned, uc.sign);
+        (m, sg, pexp - (2 * f + FMA_GRS) as i32, z)
+    } else {
+        // Product dominates: c shifts down with a sticky jam.
+        let (c_aligned, lost) = shift_right_sticky_u128(c_wide, (-shift) as u32);
+        let (m, sg, z) = combine(prod_wide, psign, c_aligned | lost as u128, uc.sign);
+        (m, sg, pexp - (2 * f + FMA_GRS) as i32, z)
+    };
+    if is_zero {
+        // Exact cancellation: +0 under both supported rounding modes.
+        return (Unpacked::zero(false).to_bits(fmt), Flags::NONE);
+    }
+
+    // Normalize against the frame and round once.
+    let msb = 127 - mag.leading_zeros();
+    let exp_val = e_lsb + msb as i32; // unbiased exponent of the result
+    let (mag, grs) = if msb > f {
+        (mag, msb - f)
+    } else {
+        // Deep cancellation (necessarily exact): lift the hidden bit.
+        (mag << (f + 1 - msb), 1)
+    };
+    let rounded = round_sig(fmt, mag, grs, mode);
+    let exp = exp_val + rounded.exp_carry as i32;
+    pack_with_range_check(fmt, sign, exp, rounded.sig, mode, rounded.inexact)
+}
+
+/// Signed combine of two magnitudes in the same frame.
+fn combine(p: u128, ps: bool, c: u128, cs: bool) -> (u128, bool, bool) {
+    if ps == cs {
+        (p + c, ps, false)
+    } else if p >= c {
+        let d = p - c;
+        (d, ps, d == 0)
+    } else {
+        (c - p, cs, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F32: FpFormat = FpFormat::SINGLE;
+    const F64: FpFormat = FpFormat::DOUBLE;
+
+    fn fma32(a: f32, b: f32, c: f32) -> f32 {
+        let (bits, _) = fma(
+            F32,
+            a.to_bits() as u64,
+            b.to_bits() as u64,
+            c.to_bits() as u64,
+            RoundMode::NearestEven,
+        );
+        f32::from_bits(bits as u32)
+    }
+
+    #[test]
+    fn simple_cases() {
+        assert_eq!(fma32(2.0, 3.0, 4.0), 10.0);
+        assert_eq!(fma32(1.5, -2.0, 3.0), 0.0);
+        assert_eq!(fma32(0.5, 0.5, 0.25), 0.5);
+    }
+
+    #[test]
+    fn single_rounding_differs_from_two() {
+        // The classic witness: a·b + c where the product's low bits are
+        // killed by rounding in the two-step version but survive fusion.
+        let a = 1.0f32 + f32::EPSILON; // 1 + 2^-23
+        let b = 1.0f32 - f32::EPSILON / 2.0; // 1 - 2^-24
+        let c = -1.0f32;
+        let fused = fma32(a, b, c);
+        let two_step = {
+            let (p, _) = crate::mul_bits(F32, a.to_bits() as u64, b.to_bits() as u64, RoundMode::NearestEven);
+            let (s, _) = crate::add_bits(F32, p, c.to_bits() as u64, RoundMode::NearestEven);
+            f32::from_bits(s as u32)
+        };
+        assert_eq!(fused, a.mul_add(b, c));
+        assert_ne!(fused, two_step, "fusion must be observable");
+    }
+
+    #[test]
+    fn matches_native_fma_samples() {
+        let vals = [1.0f32, -1.5, 3.25, 0.1, 7e5, -2e-5, 123.456, 1e10, 1e-10, 0.333333];
+        for &a in &vals {
+            for &b in &vals {
+                for &c in &vals {
+                    let native = a.mul_add(b, c);
+                    if native.is_nan() || (native != 0.0 && native.abs() <= f32::MIN_POSITIVE) {
+                        continue;
+                    }
+                    assert_eq!(fma32(a, b, c).to_bits(), native.to_bits(), "{a}*{b}+{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_native_fma_f64_samples() {
+        let vals = [1.0f64, -2.5, 0.1, 1e100, 1e-100, 3.14159265358979, -7.25e8];
+        for &a in &vals {
+            for &b in &vals {
+                for &c in &vals {
+                    let native = a.mul_add(b, c);
+                    if native.is_nan() || (native != 0.0 && native.abs() <= f64::MIN_POSITIVE) {
+                        continue;
+                    }
+                    let (bits, _) = fma(F64, a.to_bits(), b.to_bits(), c.to_bits(), RoundMode::NearestEven);
+                    assert_eq!(f64::from_bits(bits), native, "{a}*{b}+{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn specials() {
+        let inf = f32::INFINITY;
+        assert_eq!(fma32(inf, 2.0, 1.0), inf);
+        assert_eq!(fma32(2.0, 2.0, inf), inf);
+        assert_eq!(fma32(2.0, 2.0, -inf), -inf);
+        let (r, f) = fma(
+            F32,
+            0.0f32.to_bits() as u64,
+            inf.to_bits() as u64,
+            1.0f32.to_bits() as u64,
+            RoundMode::NearestEven,
+        );
+        assert_eq!(r, 0);
+        assert!(f.invalid);
+        // ∞ − ∞ via the addend
+        let (r, f) = fma(
+            F32,
+            1.0f32.to_bits() as u64,
+            inf.to_bits() as u64,
+            (-inf).to_bits() as u64,
+            RoundMode::NearestEven,
+        );
+        assert_eq!(r, F32.pos_inf());
+        assert!(f.invalid);
+    }
+
+    #[test]
+    fn zero_product_returns_addend() {
+        assert_eq!(fma32(0.0, 5.0, 3.25), 3.25);
+        assert_eq!(fma32(5.0, 0.0, -3.25), -3.25);
+        assert_eq!(fma32(0.0, 5.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn zero_addend_is_plain_mul() {
+        for &(a, b) in &[(1.5f32, 2.5f32), (0.1, 0.2), (-7.0, 3.0)] {
+            assert_eq!(fma32(a, b, 0.0).to_bits(), (a * b).to_bits());
+        }
+    }
+
+    #[test]
+    fn exact_cancellation_is_positive_zero() {
+        let r = fma32(2.0, 3.0, -6.0);
+        assert_eq!(r.to_bits(), 0);
+    }
+
+    #[test]
+    fn huge_addend_dominates() {
+        let r = fma32(1e-20, 1e-20, 1e20);
+        assert_eq!(r, 1e20f32.mul_add(1.0, 0.0).max(1e20)); // = 1e20
+        // ...but the product's sign still perturbs ties correctly:
+        assert_eq!(fma32(1e-20, 1e-20, 1e20).to_bits(), (1e-20f32).mul_add(1e-20, 1e20).to_bits());
+        assert_eq!(fma32(-1e-20, 1e-20, 1e20).to_bits(), (-1e-20f32).mul_add(1e-20, 1e20).to_bits());
+    }
+}

@@ -1,0 +1,7 @@
+//! Arithmetic operations, written as the hardware dataflow.
+
+pub mod add;
+pub mod div;
+pub mod fma;
+pub mod mul;
+pub mod sqrt;

@@ -1,0 +1,199 @@
+//! Floating-point multiplication, structured as the paper's three-stage
+//! multiplier datapath:
+//!
+//! 1. **Denormalize** — make hidden bits explicit (same subunit as the
+//!    adder's first stage);
+//! 2. **Mantissa multiply + exponent add** — fixed-point multiply of the
+//!    significands in parallel with an exponent adder and bias subtractor;
+//!    the sign is an XOR;
+//! 3. **Normalize / round** — the product of two `[1,2)` significands lies
+//!    in `[1,4)`, so the normalizer shifts by at most two positions (the
+//!    paper: "we shift the mantissa of the result at most by two bits" —
+//!    one for the product's integer bit, one more for a rounding carry),
+//!    then round and range-check.
+
+use crate::exceptions::Flags;
+use crate::format::FpFormat;
+use crate::round::{pack_with_range_check, round_sig, RoundMode};
+use crate::unpacked::{Class, Unpacked};
+
+/// `a * b` on raw encodings.
+pub fn mul(fmt: FpFormat, a: u64, b: u64, mode: RoundMode) -> (u64, Flags) {
+    mul_unpacked(
+        fmt,
+        Unpacked::from_bits(fmt, a),
+        Unpacked::from_bits(fmt, b),
+        mode,
+    )
+}
+
+/// Multiplication on already-unpacked operands.
+pub fn mul_unpacked(fmt: FpFormat, a: Unpacked, b: Unpacked, mode: RoundMode) -> (u64, Flags) {
+    let sign = a.sign ^ b.sign; // the XOR gate in Figure 1(b)
+
+    // --- Special-operand handling.
+    match (a.class, b.class) {
+        (Class::Zero, Class::Inf) | (Class::Inf, Class::Zero) => {
+            // 0 × ∞: no NaN encoding; the cores emit +0 with invalid.
+            return (Unpacked::zero(false).to_bits(fmt), Flags::invalid());
+        }
+        (Class::Inf, _) | (_, Class::Inf) => {
+            return (Unpacked::inf(sign).to_bits(fmt), Flags::NONE);
+        }
+        (Class::Zero, _) | (_, Class::Zero) => {
+            return (Unpacked::zero(sign).to_bits(fmt), Flags::NONE);
+        }
+        (Class::Normal, Class::Normal) => {}
+    }
+
+    // --- Stage 2: fixed-point significand product and exponent sum.
+    // Significands are (frac_bits+1)-bit values in [2^f, 2^(f+1)), so the
+    // product is a (2f+1)- or (2f+2)-bit value in [2^2f, 2^(2f+2)).
+    let product = a.sig as u128 * b.sig as u128;
+    let exp = a.exp + b.exp; // biased add + bias subtract in hardware
+
+    // --- Stage 3: small normalizer then round.
+    let (aligned, exp) = product_normalize(fmt, product, exp);
+    let rounded = round_sig(fmt, aligned, fmt.frac_bits() + 1, mode);
+    let exp = exp + rounded.exp_carry as i32;
+    pack_with_range_check(fmt, sign, exp, rounded.sig, mode, rounded.inexact)
+}
+
+/// Stage 3a: the multiplier's small normalizer. The hidden bit of the raw
+/// product sits at position 2f or 2f+1; align it to 2f+1 so the
+/// significand field is bits `[f+1 ..= 2f+1]` with an (f+1)-bit rounding
+/// tail below it.
+pub fn product_normalize(fmt: FpFormat, product: u128, exp: i32) -> (u128, i32) {
+    let f = fmt.frac_bits();
+    if product >> (2 * f + 1) != 0 {
+        (product, exp + 1)
+    } else {
+        (product << 1, exp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F32: FpFormat = FpFormat::SINGLE;
+    const F64: FpFormat = FpFormat::DOUBLE;
+
+    fn mul_f32(a: f32, b: f32) -> (f32, Flags) {
+        let (bits, flags) = mul(F32, a.to_bits() as u64, b.to_bits() as u64, RoundMode::NearestEven);
+        (f32::from_bits(bits as u32), flags)
+    }
+
+    #[test]
+    fn simple_products() {
+        assert_eq!(mul_f32(2.0, 3.0).0, 6.0);
+        assert_eq!(mul_f32(1.5, 1.5).0, 2.25);
+        assert_eq!(mul_f32(-2.0, 3.0).0, -6.0);
+        assert_eq!(mul_f32(-2.0, -3.0).0, 6.0);
+        assert_eq!(mul_f32(0.1, 0.2).0, 0.1f32 * 0.2f32);
+    }
+
+    #[test]
+    fn sign_of_zero_products() {
+        assert_eq!(mul_f32(0.0, 5.0).0.to_bits(), 0);
+        assert_eq!(mul_f32(-0.0, 5.0).0.to_bits(), 0x8000_0000);
+        assert_eq!(mul_f32(-0.0, -5.0).0.to_bits(), 0);
+    }
+
+    #[test]
+    fn inf_products() {
+        let inf = f32::INFINITY;
+        assert_eq!(mul_f32(inf, 2.0).0, inf);
+        assert_eq!(mul_f32(inf, -2.0).0, -inf);
+        assert_eq!(mul_f32(-inf, -inf).0, inf);
+        let (r, f) = mul_f32(inf, 0.0);
+        assert_eq!(r.to_bits(), 0); // deterministic substitute for NaN
+        assert!(f.invalid);
+    }
+
+    #[test]
+    fn overflow_and_underflow() {
+        let (r, f) = mul_f32(f32::MAX, 2.0);
+        assert_eq!(r, f32::INFINITY);
+        assert!(f.overflow);
+
+        let (r, f) = mul_f32(f32::MIN_POSITIVE, 0.5);
+        assert_eq!(r.to_bits(), 0); // flush to zero, no denormals
+        assert!(f.underflow);
+
+        let (bits, f) = mul(
+            F32,
+            f32::MAX.to_bits() as u64,
+            2.0f32.to_bits() as u64,
+            RoundMode::Truncate,
+        );
+        assert_eq!(f32::from_bits(bits as u32), f32::MAX);
+        assert!(f.overflow);
+    }
+
+    #[test]
+    fn rounding_carry_renormalizes() {
+        // Choose operands whose product is 1.111…1xx requiring a rounding
+        // carry: (1 + 2^-12)^2 style values exercise the "at most two
+        // bits" normalizer path.
+        let a = f32::from_bits(0x3fff_ffff); // just under 2.0
+        let (got, _) = mul_f32(a, a);
+        assert_eq!(got, a * a);
+    }
+
+    #[test]
+    fn matches_native_f32_on_samples() {
+        let samples = [
+            0.0f32, 1.0, -1.0, 0.5, 3.14159, -2.71828, 1e10, -1e10, 1e-10, 123456.78, 0.000123,
+            -99999.9, 1.0000001, 0.9999999, 8388608.0,
+        ];
+        for &x in &samples {
+            for &y in &samples {
+                let (got, _) = mul_f32(x, y);
+                let want = x * y;
+                // Native may produce denormals; the cores flush to zero.
+                let want = if want != 0.0 && want.abs() < f32::MIN_POSITIVE { 0.0 * want } else { want };
+                assert_eq!(got.to_bits(), want.to_bits(), "{x} * {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_native_f64_on_samples() {
+        let samples = [
+            0.0f64, 1.0, -1.0, 0.5, 3.14159265358979, 1e100, -1e100, 1e-100, 9.87654321e8,
+        ];
+        for &x in &samples {
+            for &y in &samples {
+                let (bits, _) = mul(F64, x.to_bits(), y.to_bits(), RoundMode::NearestEven);
+                assert_eq!(f64::from_bits(bits), x * y, "{x} * {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncate_toward_zero() {
+        // 3 * (1/3-ish) — inexact product truncates toward zero.
+        let a = 0.333_333_34f32;
+        let exact_ne = {
+            let (bits, _) = mul(F32, a.to_bits() as u64, 3.0f32.to_bits() as u64, RoundMode::NearestEven);
+            f32::from_bits(bits as u32)
+        };
+        let (bits, flags) = mul(F32, a.to_bits() as u64, 3.0f32.to_bits() as u64, RoundMode::Truncate);
+        let trunc = f32::from_bits(bits as u32);
+        assert!(trunc <= exact_ne);
+        assert!(flags.inexact);
+    }
+
+    #[test]
+    fn fp48_product_fits_and_roundtrips() {
+        use crate::convert::convert;
+        let f48 = FpFormat::FP48;
+        let (a, _) = convert(F64, 1.234_567_89f64.to_bits(), f48, RoundMode::NearestEven);
+        let (b, _) = convert(F64, 9.876_543_21f64.to_bits(), f48, RoundMode::NearestEven);
+        let (p, _) = mul(f48, a, b, RoundMode::NearestEven);
+        let (back, _) = convert(f48, p, F64, RoundMode::NearestEven);
+        let got = f64::from_bits(back);
+        assert!((got - 1.23456789 * 9.87654321).abs() < 1e-9, "got {got}");
+    }
+}

@@ -1,0 +1,196 @@
+//! Floating-point square root, structured as a digit-recurrence datapath:
+//!
+//! 1. **Denormalize** + exception detection (√negative is invalid — the
+//!    cores have no NaN, so it yields +0 with the flag; √±0 = ±0,
+//!    √+∞ = +∞);
+//! 2. **Root recurrence** — the significand root via exact integer
+//!    square root (the fixed point of a radix-2 recurrence), with the
+//!    remainder compressed into a sticky bit; the exponent is halved
+//!    after an odd/even adjustment absorbed into the radicand;
+//! 3. **Round** — the root of a `[1,4)` significand lies in `[1,2)`, so
+//!    no normalization shift is ever needed before the shared rounding
+//!    module.
+
+use crate::exceptions::Flags;
+use crate::format::FpFormat;
+use crate::round::{pack_with_range_check, round_sig, RoundMode};
+use crate::unpacked::{Class, Unpacked};
+
+/// Guard bits kept below the root's hidden position before rounding.
+pub const SQRT_GRS_BITS: u32 = 2;
+
+/// `sqrt(a)` on a raw encoding.
+pub fn sqrt(fmt: FpFormat, a: u64, mode: RoundMode) -> (u64, Flags) {
+    sqrt_unpacked(fmt, Unpacked::from_bits(fmt, a), mode)
+}
+
+/// Square root on an already-unpacked operand.
+pub fn sqrt_unpacked(fmt: FpFormat, a: Unpacked, mode: RoundMode) -> (u64, Flags) {
+    match a.class {
+        Class::Zero => return (a.to_bits(fmt), Flags::NONE), // √±0 = ±0
+        Class::Inf => {
+            return if a.sign {
+                (Unpacked::zero(false).to_bits(fmt), Flags::invalid())
+            } else {
+                (Unpacked::inf(false).to_bits(fmt), Flags::NONE)
+            };
+        }
+        Class::Normal => {
+            if a.sign {
+                // √(negative): no NaN encoding; +0 with invalid raised.
+                return (Unpacked::zero(false).to_bits(fmt), Flags::invalid());
+            }
+        }
+    }
+
+    let (root, exp) = root_recurrence(fmt, a.sig, a.exp);
+    let rounded = round_sig(fmt, root, SQRT_GRS_BITS, mode);
+    // √ of an in-range number cannot overflow or underflow; the rounding
+    // carry is still possible (1.111…1 rounding up to 2.0).
+    let exp = exp + rounded.exp_carry as i32;
+    pack_with_range_check(fmt, false, exp, rounded.sig, mode, rounded.inexact)
+}
+
+/// The significand root with its exponent.
+///
+/// Folds an odd exponent into the radicand (making it `[1,4)` with an
+/// even exponent), computes the exact integer square root widened by
+/// `SQRT_GRS_BITS` guard bits, and jams the remainder's sticky into the
+/// low bit. The returned root has its leading one at
+/// `frac_bits + SQRT_GRS_BITS`.
+pub fn root_recurrence(fmt: FpFormat, sig: u64, exp: i32) -> (u128, i32) {
+    debug_assert!(sig >> fmt.frac_bits() == 1, "radicand not normalized");
+    let f = fmt.frac_bits();
+    // value = sig · 2^(exp - f). Make the exponent even by folding one
+    // factor of two into the significand.
+    let (m, e_half) = if exp.rem_euclid(2) == 0 {
+        (sig as u128, exp / 2)
+    } else {
+        ((sig as u128) << 1, (exp - 1) / 2)
+    };
+    // m ∈ [2^f, 2^(f+2)); widen so the integer root has f+1+GRS bits:
+    // X = m << (f + 2·GRS) gives √X ∈ [2^(f+GRS), 2^(f+GRS+1)).
+    let x = m << (f + 2 * SQRT_GRS_BITS);
+    let r = isqrt_u128(x);
+    debug_assert!(r >> (f + SQRT_GRS_BITS) == 1, "root not normalized: {r:#x}");
+    let exact = r * r == x;
+    (r | (!exact) as u128, e_half)
+}
+
+/// Exact integer square root of a `u128` (floor).
+pub fn isqrt_u128(x: u128) -> u128 {
+    if x < 2 {
+        return x;
+    }
+    // Newton's method from an f64 seed (clamped so r² cannot overflow),
+    // then corrective steps to the exact floor.
+    let max_root = (1u128 << 64) - 1;
+    let mut r = ((x as f64).sqrt() as u128).clamp(1, max_root);
+    for _ in 0..4 {
+        r = ((r + x / r) >> 1).clamp(1, max_root);
+    }
+    let sq_gt = |r: u128| r.checked_mul(r).map_or(true, |rr| rr > x);
+    while sq_gt(r) {
+        r -= 1;
+    }
+    while !sq_gt(r + 1) {
+        r += 1;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F32: FpFormat = FpFormat::SINGLE;
+    const F64: FpFormat = FpFormat::DOUBLE;
+
+    fn sqrt_f32(a: f32) -> (f32, Flags) {
+        let (bits, flags) = sqrt(F32, a.to_bits() as u64, RoundMode::NearestEven);
+        (f32::from_bits(bits as u32), flags)
+    }
+
+    #[test]
+    fn perfect_squares_are_exact() {
+        for &x in &[1.0f32, 4.0, 9.0, 16.0, 0.25, 2.25, 144.0, 1e10] {
+            let (r, f) = sqrt_f32(x);
+            assert_eq!(r, x.sqrt(), "{x}");
+            assert!(!f.any(), "{x} should be exact");
+        }
+    }
+
+    #[test]
+    fn isqrt_basics() {
+        assert_eq!(isqrt_u128(0), 0);
+        assert_eq!(isqrt_u128(1), 1);
+        assert_eq!(isqrt_u128(2), 1);
+        assert_eq!(isqrt_u128(3), 1);
+        assert_eq!(isqrt_u128(4), 2);
+        assert_eq!(isqrt_u128(99), 9);
+        assert_eq!(isqrt_u128(100), 10);
+        assert_eq!(isqrt_u128(u128::MAX), (1u128 << 64) - 1);
+        let big = (1u128 << 100) + 12345;
+        let r = isqrt_u128(big);
+        assert!(r * r <= big && (r + 1) * (r + 1) > big);
+    }
+
+    #[test]
+    fn specials() {
+        assert_eq!(sqrt_f32(0.0).0.to_bits(), 0);
+        assert_eq!(sqrt_f32(-0.0).0.to_bits(), 0x8000_0000); // √−0 = −0
+        assert_eq!(sqrt_f32(f32::INFINITY).0, f32::INFINITY);
+        let (r, f) = sqrt_f32(-4.0);
+        assert_eq!(r.to_bits(), 0);
+        assert!(f.invalid);
+        let (r, f) = sqrt_f32(f32::NEG_INFINITY);
+        assert_eq!(r.to_bits(), 0);
+        assert!(f.invalid);
+    }
+
+    #[test]
+    fn matches_native_f32_on_samples() {
+        let samples = [
+            2.0f32, 3.0, 0.5, 3.14159, 1e10, 1e-10, 123456.78, 0.000123, 99999.9, 1.0000001,
+            0.9999999, 7.0, 1.5e-38,
+        ];
+        for &x in &samples {
+            let (got, _) = sqrt_f32(x);
+            assert_eq!(got.to_bits(), x.sqrt().to_bits(), "sqrt({x})");
+        }
+    }
+
+    #[test]
+    fn matches_native_f64_on_samples() {
+        let samples = [2.0f64, 3.0, 0.7, 1e300, 1e-300, 6.25, 987654321.123];
+        for &x in &samples {
+            let (bits, _) = sqrt(F64, x.to_bits(), RoundMode::NearestEven);
+            assert_eq!(f64::from_bits(bits), x.sqrt(), "sqrt({x})");
+        }
+    }
+
+    #[test]
+    fn odd_and_even_exponents() {
+        // 2.0 (exp 1, odd) and 4.0 (exp 2, even) exercise both paths.
+        assert_eq!(sqrt_f32(2.0).0, std::f32::consts::SQRT_2);
+        assert_eq!(sqrt_f32(4.0).0, 2.0);
+        assert_eq!(sqrt_f32(0.5).0, 0.5f32.sqrt()); // negative odd exponent
+        assert_eq!(sqrt_f32(0.25).0, 0.5);
+    }
+
+    #[test]
+    fn truncate_mode() {
+        let (t, ft) = sqrt(F32, 2.0f32.to_bits() as u64, RoundMode::Truncate);
+        let t = f32::from_bits(t as u32);
+        assert!(t <= std::f32::consts::SQRT_2);
+        assert!(ft.inexact);
+        assert!((t - std::f32::consts::SQRT_2).abs() <= f32::EPSILON);
+    }
+
+    #[test]
+    fn result_never_overflows() {
+        let (r, f) = sqrt_f32(f32::MAX);
+        assert_eq!(r, f32::MAX.sqrt());
+        assert!(!f.overflow);
+    }
+}

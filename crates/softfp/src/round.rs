@@ -1,0 +1,226 @@
+//! Rounding — the paper's normalizer/rounding stage implements
+//! round-to-nearest and truncation only.
+
+use crate::exceptions::Flags;
+use crate::format::FpFormat;
+
+/// Rounding mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RoundMode {
+    /// Round to nearest, ties to even — the IEEE 754 default and the
+    /// "rounding-to-nearest" option of the paper's cores.
+    NearestEven,
+    /// Truncate toward zero (drop guard/round/sticky bits) — the paper's
+    /// cheaper option that needs no constant adder in the rounding module.
+    Truncate,
+}
+
+/// Shift `sig` right by `n`, ORing all shifted-out bits into a sticky bit.
+///
+/// This mirrors the hardware alignment shifter: the shifted-out tail is
+/// reduced by a wide OR. Shifts of 64 or more return `(0, sig != 0)`.
+#[inline]
+pub fn shift_right_sticky(sig: u64, n: u32) -> (u64, bool) {
+    if n == 0 {
+        (sig, false)
+    } else if n >= 64 {
+        (0, sig != 0)
+    } else {
+        let kept = sig >> n;
+        let lost = sig << (64 - n);
+        (kept, lost != 0)
+    }
+}
+
+/// Same as [`shift_right_sticky`] for 128-bit intermediates
+/// (the multiplier's product register).
+#[inline]
+pub fn shift_right_sticky_u128(sig: u128, n: u32) -> (u128, bool) {
+    if n == 0 {
+        (sig, false)
+    } else if n >= 128 {
+        (0, sig != 0)
+    } else {
+        let kept = sig >> n;
+        let lost = sig << (128 - n);
+        (kept, lost != 0)
+    }
+}
+
+/// Round a normalized significand-with-extra-bits to `fmt.sig_bits()`.
+///
+/// `sig` holds the exact (or sticky-compressed) magnitude with the binary
+/// point such that bits `[grs_bits..]` are the significand and the low
+/// `grs_bits` bits are the guard/round/sticky tail. The hidden bit of the
+/// incoming significand must be set (i.e. `sig >> grs_bits` is in
+/// `[2^frac_bits, 2^(frac_bits+1))`).
+///
+/// Returns the rounded `fmt.sig_bits()`-wide significand and a carry flag;
+/// when rounding overflows the significand (e.g. `1.111… + ulp`), the
+/// result is renormalized to `1.000…` and `carry` is true so the caller's
+/// exponent-adjust constant adder fires — exactly the paper's rounding
+/// module structure.
+pub fn round_sig(fmt: FpFormat, sig: u128, grs_bits: u32, mode: RoundMode) -> RoundedSig {
+    debug_assert!(grs_bits >= 1);
+    let kept = (sig >> grs_bits) as u64;
+    debug_assert!(
+        kept >> fmt.frac_bits() == 1,
+        "round_sig input not normalized: kept={kept:#x} frac_bits={}",
+        fmt.frac_bits()
+    );
+    let tail_mask = (1u128 << grs_bits) - 1;
+    let tail = sig & tail_mask;
+    let inexact = tail != 0;
+
+    let round_up = match mode {
+        RoundMode::Truncate => false,
+        RoundMode::NearestEven => {
+            let half = 1u128 << (grs_bits - 1);
+            if tail > half {
+                true
+            } else if tail == half {
+                // tie: round to even
+                kept & 1 == 1
+            } else {
+                false
+            }
+        }
+    };
+
+    let mut rounded = kept + round_up as u64;
+    let mut carry = false;
+    if rounded >> fmt.sig_bits() != 0 {
+        // 1.111..1 rounded up to 10.000..0: shift back, bump exponent.
+        rounded >>= 1;
+        carry = true;
+    }
+    RoundedSig { sig: rounded, exp_carry: carry, inexact }
+}
+
+/// Result of [`round_sig`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundedSig {
+    /// Rounded significand, hidden bit still explicit.
+    pub sig: u64,
+    /// True when rounding carried out of the significand; the exponent
+    /// must be incremented by one.
+    pub exp_carry: bool,
+    /// True when any precision was lost.
+    pub inexact: bool,
+}
+
+/// Final range check: pack a rounded `(sign, exp, sig)` into an encoding,
+/// applying the cores' overflow/underflow policy.
+///
+/// * Overflow (exp > max): round-to-nearest saturates to ±∞, truncation
+///   saturates to ±max-finite (truncation never rounds away from zero).
+/// * Underflow (exp < min): flush to ±0 (no denormals).
+pub fn pack_with_range_check(
+    fmt: FpFormat,
+    sign: bool,
+    exp: i32,
+    sig: u64,
+    mode: RoundMode,
+    inexact: bool,
+) -> (u64, Flags) {
+    if exp > fmt.max_exp() {
+        let flags = Flags::overflow();
+        let bits = match mode {
+            RoundMode::NearestEven => fmt.pack(sign, fmt.inf_biased_exp(), 0),
+            RoundMode::Truncate => fmt.pack(sign, fmt.max_biased_exp(), fmt.frac_mask()),
+        };
+        (bits, flags)
+    } else if exp < fmt.min_exp() {
+        (fmt.pack(sign, 0, 0), Flags::underflow())
+    } else {
+        let mut flags = Flags::NONE;
+        flags.inexact = inexact;
+        debug_assert!(sig >> fmt.frac_bits() == 1);
+        (
+            fmt.pack(sign, (exp + fmt.bias()) as u64, sig & fmt.frac_mask()),
+            flags,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F32: FpFormat = FpFormat::SINGLE;
+
+    #[test]
+    fn sticky_shift_collects_lost_bits() {
+        assert_eq!(shift_right_sticky(0b1011, 2), (0b10, true));
+        assert_eq!(shift_right_sticky(0b1000, 2), (0b10, false));
+        assert_eq!(shift_right_sticky(0b1000, 0), (0b1000, false));
+        assert_eq!(shift_right_sticky(1, 64), (0, true));
+        assert_eq!(shift_right_sticky(0, 64), (0, false));
+        assert_eq!(shift_right_sticky(u64::MAX, 100), (0, true));
+    }
+
+    #[test]
+    fn sticky_shift_u128() {
+        assert_eq!(shift_right_sticky_u128(0b1011, 2), (0b10, true));
+        assert_eq!(shift_right_sticky_u128(1u128 << 100, 128), (0, true));
+        assert_eq!(shift_right_sticky_u128(0, 200), (0, false));
+    }
+
+    #[test]
+    fn nearest_even_ties() {
+        // significand 1.0…01 (odd lsb) + exactly half an ulp -> round to even (up)
+        let sig = ((1u128 << 23) | 1) << 3 | 0b100;
+        let r = round_sig(F32, sig, 3, RoundMode::NearestEven);
+        assert_eq!(r.sig, (1 << 23) + 2);
+        assert!(r.inexact && !r.exp_carry);
+
+        // even lsb + exactly half -> stays (down)
+        let sig = ((1u128 << 23) | 2) << 3 | 0b100;
+        let r = round_sig(F32, sig, 3, RoundMode::NearestEven);
+        assert_eq!(r.sig, (1 << 23) + 2);
+    }
+
+    #[test]
+    fn truncate_never_rounds_up() {
+        let sig = (((1u128 << 24) - 1) << 3) | 0b111;
+        let r = round_sig(F32, sig, 3, RoundMode::Truncate);
+        assert_eq!(r.sig, (1 << 24) - 1);
+        assert!(r.inexact && !r.exp_carry);
+    }
+
+    #[test]
+    fn round_up_carries_out() {
+        // 1.111…1 + more than half an ulp -> 10.00…0, carry to exponent
+        let sig = (((1u128 << 24) - 1) << 3) | 0b101;
+        let r = round_sig(F32, sig, 3, RoundMode::NearestEven);
+        assert_eq!(r.sig, 1 << 23);
+        assert!(r.exp_carry);
+    }
+
+    #[test]
+    fn exact_input_is_exact() {
+        let sig = (1u128 << 23) << 3;
+        let r = round_sig(F32, sig, 3, RoundMode::NearestEven);
+        assert!(!r.inexact);
+        assert_eq!(r.sig, 1 << 23);
+    }
+
+    #[test]
+    fn overflow_policy_by_mode() {
+        let (bits, f) =
+            pack_with_range_check(F32, false, 200, 1 << 23, RoundMode::NearestEven, true);
+        assert_eq!(bits, F32.pos_inf());
+        assert!(f.overflow);
+        let (bits, f) = pack_with_range_check(F32, true, 200, 1 << 23, RoundMode::Truncate, true);
+        assert_eq!(bits, F32.max_finite() | (1 << 31));
+        assert!(f.overflow);
+    }
+
+    #[test]
+    fn underflow_flushes() {
+        let (bits, f) =
+            pack_with_range_check(F32, true, -200, 1 << 23, RoundMode::NearestEven, true);
+        assert_eq!(bits, 1u64 << 31);
+        assert!(f.underflow);
+    }
+}

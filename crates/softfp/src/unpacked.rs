@@ -1,0 +1,157 @@
+//! Unpacked operand representation — the output of the hardware's
+//! *denormalization* stage.
+//!
+//! The paper's first pipeline stage ("denormalizer") makes the hidden bit
+//! explicit and classifies the operand by comparing the exponent against
+//! zero. `Unpacked` is exactly that wire bundle: classification plus an
+//! explicit-hidden-bit significand and an unbiased exponent.
+
+use crate::format::FpFormat;
+
+/// Operand classification after the denormalization stage.
+///
+/// There is no `NaN` class: the cores treat every all-ones-exponent
+/// encoding as an infinity (the paper provides no NaN handling), and
+/// denormal encodings are flushed to `Zero`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Class {
+    /// ±0, including flushed denormal inputs.
+    Zero,
+    /// A normal number with the hidden bit set.
+    Normal,
+    /// ±∞ (any encoding with an all-ones exponent).
+    Inf,
+}
+
+/// An operand with the hidden bit made explicit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Unpacked {
+    /// Sign bit (true = negative).
+    pub sign: bool,
+    /// Unbiased exponent. Meaningful only for `Class::Normal`.
+    pub exp: i32,
+    /// Significand with the hidden bit at position `fmt.frac_bits()`.
+    /// Zero for `Class::Zero`; ignored for `Class::Inf`.
+    pub sig: u64,
+    /// Classification.
+    pub class: Class,
+}
+
+impl Unpacked {
+    /// Decode an encoding, flushing denormals to zero — the behaviour of
+    /// the paper's denormalization subunit.
+    pub fn from_bits(fmt: FpFormat, bits: u64) -> Unpacked {
+        let (sign, biased, frac) = fmt.unpack_fields(bits);
+        if biased == fmt.inf_biased_exp() {
+            // The cores reserve the all-ones exponent for infinity; any
+            // fraction payload is ignored (no NaNs).
+            Unpacked { sign, exp: 0, sig: 0, class: Class::Inf }
+        } else if biased == 0 {
+            // True zero and denormals both flush to zero.
+            Unpacked { sign, exp: 0, sig: 0, class: Class::Zero }
+        } else {
+            Unpacked {
+                sign,
+                exp: biased as i32 - fmt.bias(),
+                sig: frac | (1u64 << fmt.frac_bits()),
+                class: Class::Normal,
+            }
+        }
+    }
+
+    /// Positive or negative zero.
+    pub fn zero(sign: bool) -> Unpacked {
+        Unpacked { sign, exp: 0, sig: 0, class: Class::Zero }
+    }
+
+    /// Positive or negative infinity.
+    pub fn inf(sign: bool) -> Unpacked {
+        Unpacked { sign, exp: 0, sig: 0, class: Class::Inf }
+    }
+
+    /// Re-encode. For `Normal`, the caller guarantees the significand is
+    /// normalized (hidden bit set) and the exponent is in range; use the
+    /// rounding module for anything that may overflow or underflow.
+    pub fn to_bits(&self, fmt: FpFormat) -> u64 {
+        match self.class {
+            Class::Zero => fmt.pack(self.sign, 0, 0),
+            Class::Inf => fmt.pack(self.sign, fmt.inf_biased_exp(), 0),
+            Class::Normal => {
+                debug_assert!(self.sig >> fmt.frac_bits() == 1, "significand not normalized");
+                let biased = (self.exp + fmt.bias()) as u64;
+                debug_assert!(
+                    biased >= 1 && biased <= fmt.max_biased_exp(),
+                    "exponent out of range for pack"
+                );
+                fmt.pack(self.sign, biased, self.sig & fmt.frac_mask())
+            }
+        }
+    }
+
+    /// True if this operand is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.class == Class::Zero
+    }
+
+    /// True if this operand is an infinity.
+    #[inline]
+    pub fn is_inf(&self) -> bool {
+        self.class == Class::Inf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F32: FpFormat = FpFormat::SINGLE;
+
+    #[test]
+    fn unpack_one() {
+        let u = Unpacked::from_bits(F32, 0x3f80_0000); // 1.0f32
+        assert_eq!(u.class, Class::Normal);
+        assert_eq!(u.exp, 0);
+        assert_eq!(u.sig, 1 << 23);
+        assert!(!u.sign);
+    }
+
+    #[test]
+    fn unpack_negative() {
+        let u = Unpacked::from_bits(F32, 0xc000_0000); // -2.0f32
+        assert!(u.sign);
+        assert_eq!(u.exp, 1);
+        assert_eq!(u.sig, 1 << 23);
+    }
+
+    #[test]
+    fn denormals_flush() {
+        let u = Unpacked::from_bits(F32, 0x0000_0001); // smallest denormal
+        assert_eq!(u.class, Class::Zero);
+        let u = Unpacked::from_bits(F32, 0x807f_ffff); // largest negative denormal
+        assert_eq!(u.class, Class::Zero);
+        assert!(u.sign);
+    }
+
+    #[test]
+    fn nan_encodings_read_as_inf() {
+        let u = Unpacked::from_bits(F32, 0x7fc0_0000); // a quiet NaN in IEEE
+        assert_eq!(u.class, Class::Inf);
+    }
+
+    #[test]
+    fn roundtrip_normals() {
+        for bits in [0x3f80_0000u64, 0x4049_0fdb, 0x0080_0000, 0x7f7f_ffff, 0xbf00_0000] {
+            let u = Unpacked::from_bits(F32, bits);
+            assert_eq!(u.to_bits(F32), bits);
+        }
+    }
+
+    #[test]
+    fn roundtrip_specials() {
+        assert_eq!(Unpacked::from_bits(F32, F32.pos_inf()).to_bits(F32), F32.pos_inf());
+        assert_eq!(Unpacked::from_bits(F32, F32.neg_inf()).to_bits(F32), F32.neg_inf());
+        let neg_zero = 1u64 << 31;
+        assert_eq!(Unpacked::from_bits(F32, neg_zero).to_bits(F32), neg_zero);
+    }
+}

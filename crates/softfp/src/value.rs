@@ -1,0 +1,248 @@
+//! `SoftFloat` — an ergonomic (format, bits) pair.
+//!
+//! The raw-bits API in `ops` is what the datapath simulator uses; this
+//! wrapper is for examples, tests and the matmul reference kernels, where
+//! carrying the format alongside every value is worth two words.
+
+use crate::compare;
+use crate::convert;
+use crate::exceptions::Flags;
+use crate::format::FpFormat;
+use crate::ops;
+use crate::round::RoundMode;
+use crate::unpacked::{Class, Unpacked};
+use core::cmp::Ordering;
+use core::fmt;
+
+/// A floating-point value in an explicit format.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SoftFloat {
+    fmt: FpFormat,
+    bits: u64,
+}
+
+impl SoftFloat {
+    /// Wrap raw bits (masked to the format's width).
+    pub fn from_bits(fmt: FpFormat, bits: u64) -> SoftFloat {
+        SoftFloat { fmt, bits: bits & fmt.enc_mask() }
+    }
+
+    /// Convert from an `f64`, rounding to nearest. NaN becomes +∞ (the
+    /// format has no NaN), denormals flush to zero.
+    pub fn from_f64(fmt: FpFormat, x: f64) -> SoftFloat {
+        let (bits, _) = convert::from_f64(fmt, x);
+        SoftFloat { fmt, bits }
+    }
+
+    /// Convert from an `f32`, rounding to nearest.
+    pub fn from_f32(fmt: FpFormat, x: f32) -> SoftFloat {
+        let (bits, _) = convert::from_f32(fmt, x);
+        SoftFloat { fmt, bits }
+    }
+
+    /// Positive zero in `fmt`.
+    pub fn zero(fmt: FpFormat) -> SoftFloat {
+        SoftFloat { fmt, bits: 0 }
+    }
+
+    /// One in `fmt`.
+    pub fn one(fmt: FpFormat) -> SoftFloat {
+        SoftFloat { fmt, bits: fmt.pack(false, fmt.bias() as u64, 0) }
+    }
+
+    /// The value's format.
+    pub fn format(&self) -> FpFormat {
+        self.fmt
+    }
+
+    /// Raw encoding.
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Convert to `f64` (exact for all three paper formats).
+    pub fn to_f64(&self) -> f64 {
+        convert::to_f64(self.fmt, self.bits)
+    }
+
+    /// Convert to `f32`, rounding to nearest.
+    pub fn to_f32(&self) -> f32 {
+        convert::to_f32(self.fmt, self.bits)
+    }
+
+    /// Convert to another format.
+    pub fn convert(&self, dst: FpFormat, mode: RoundMode) -> (SoftFloat, Flags) {
+        let (bits, flags) = convert::convert(self.fmt, self.bits, dst, mode);
+        (SoftFloat { fmt: dst, bits }, flags)
+    }
+
+    /// `self + rhs`. Panics if formats differ.
+    pub fn add(&self, rhs: &SoftFloat, mode: RoundMode) -> (SoftFloat, Flags) {
+        assert_eq!(self.fmt, rhs.fmt, "format mismatch");
+        let (bits, flags) = ops::add::add(self.fmt, self.bits, rhs.bits, mode);
+        (SoftFloat { fmt: self.fmt, bits }, flags)
+    }
+
+    /// `self - rhs`. Panics if formats differ.
+    pub fn sub(&self, rhs: &SoftFloat, mode: RoundMode) -> (SoftFloat, Flags) {
+        assert_eq!(self.fmt, rhs.fmt, "format mismatch");
+        let (bits, flags) = ops::add::sub(self.fmt, self.bits, rhs.bits, mode);
+        (SoftFloat { fmt: self.fmt, bits }, flags)
+    }
+
+    /// `self * rhs`. Panics if formats differ.
+    pub fn mul(&self, rhs: &SoftFloat, mode: RoundMode) -> (SoftFloat, Flags) {
+        assert_eq!(self.fmt, rhs.fmt, "format mismatch");
+        let (bits, flags) = ops::mul::mul(self.fmt, self.bits, rhs.bits, mode);
+        (SoftFloat { fmt: self.fmt, bits }, flags)
+    }
+
+    /// `self / rhs`. Panics if formats differ.
+    pub fn div(&self, rhs: &SoftFloat, mode: RoundMode) -> (SoftFloat, Flags) {
+        assert_eq!(self.fmt, rhs.fmt, "format mismatch");
+        let (bits, flags) = ops::div::div(self.fmt, self.bits, rhs.bits, mode);
+        (SoftFloat { fmt: self.fmt, bits }, flags)
+    }
+
+    /// `sqrt(self)`.
+    pub fn sqrt(&self, mode: RoundMode) -> (SoftFloat, Flags) {
+        let (bits, flags) = ops::sqrt::sqrt(self.fmt, self.bits, mode);
+        (SoftFloat { fmt: self.fmt, bits }, flags)
+    }
+
+    /// Fused-by-sequence multiply-accumulate `self + a*b` with both steps
+    /// individually rounded — exactly what one PE of the matmul array
+    /// computes per cycle (there is no fused rounding in the paper's PEs).
+    pub fn mac(&self, a: &SoftFloat, b: &SoftFloat, mode: RoundMode) -> (SoftFloat, Flags) {
+        let (p, f1) = a.mul(b, mode);
+        let (s, f2) = self.add(&p, mode);
+        (s, f1 | f2)
+    }
+
+    /// Negation (a sign-bit flip; always exact).
+    pub fn neg(&self) -> SoftFloat {
+        SoftFloat {
+            fmt: self.fmt,
+            bits: self.bits ^ (1u64 << self.fmt.sign_shift()),
+        }
+    }
+
+    /// Absolute value (sign-bit clear; always exact).
+    pub fn abs(&self) -> SoftFloat {
+        SoftFloat {
+            fmt: self.fmt,
+            bits: self.bits & !(1u64 << self.fmt.sign_shift()),
+        }
+    }
+
+    /// True for ±0.
+    pub fn is_zero(&self) -> bool {
+        Unpacked::from_bits(self.fmt, self.bits).class == Class::Zero
+    }
+
+    /// True for ±∞.
+    pub fn is_inf(&self) -> bool {
+        Unpacked::from_bits(self.fmt, self.bits).class == Class::Inf
+    }
+
+    /// True for negative values (including −0).
+    pub fn is_sign_negative(&self) -> bool {
+        self.bits >> self.fmt.sign_shift() & 1 == 1
+    }
+
+    /// Numeric comparison (+0 equals −0). Panics if formats differ.
+    pub fn numeric_cmp(&self, rhs: &SoftFloat) -> Ordering {
+        assert_eq!(self.fmt, rhs.fmt, "format mismatch");
+        compare::compare(self.fmt, self.bits, rhs.bits)
+    }
+}
+
+impl fmt::Debug for SoftFloat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SoftFloat<{}>({} = {:#x})", self.fmt, self.to_f64(), self.bits)
+    }
+}
+
+impl fmt::Display for SoftFloat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F48: FpFormat = FpFormat::FP48;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(SoftFloat::zero(F48).to_f64(), 0.0);
+        assert_eq!(SoftFloat::one(F48).to_f64(), 1.0);
+        assert_eq!(SoftFloat::from_f64(F48, 2.5).to_f64(), 2.5);
+        assert_eq!(SoftFloat::from_f32(F48, 2.5f32).to_f64(), 2.5);
+    }
+
+    #[test]
+    fn arithmetic_in_fp48() {
+        let a = SoftFloat::from_f64(F48, 1.5);
+        let b = SoftFloat::from_f64(F48, 2.25);
+        assert_eq!(a.add(&b, RoundMode::NearestEven).0.to_f64(), 3.75);
+        assert_eq!(a.sub(&b, RoundMode::NearestEven).0.to_f64(), -0.75);
+        assert_eq!(a.mul(&b, RoundMode::NearestEven).0.to_f64(), 3.375);
+    }
+
+    #[test]
+    fn div_and_sqrt() {
+        let a = SoftFloat::from_f64(F48, 7.5);
+        let b = SoftFloat::from_f64(F48, 2.5);
+        assert_eq!(a.div(&b, RoundMode::NearestEven).0.to_f64(), 3.0);
+        let s = SoftFloat::from_f64(F48, 6.25);
+        assert_eq!(s.sqrt(RoundMode::NearestEven).0.to_f64(), 2.5);
+        let (_, f) = SoftFloat::from_f64(F48, -1.0).sqrt(RoundMode::NearestEven);
+        assert!(f.invalid);
+    }
+
+    #[test]
+    fn mac_is_mul_then_add() {
+        let acc = SoftFloat::from_f64(F48, 10.0);
+        let a = SoftFloat::from_f64(F48, 3.0);
+        let b = SoftFloat::from_f64(F48, 4.0);
+        let (r, f) = acc.mac(&a, &b, RoundMode::NearestEven);
+        assert_eq!(r.to_f64(), 22.0);
+        assert!(!f.any());
+    }
+
+    #[test]
+    fn neg_abs_sign() {
+        let a = SoftFloat::from_f64(F48, -4.0);
+        assert!(a.is_sign_negative());
+        assert_eq!(a.neg().to_f64(), 4.0);
+        assert_eq!(a.abs().to_f64(), 4.0);
+        assert!(!a.abs().is_sign_negative());
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(SoftFloat::zero(F48).is_zero());
+        assert!(SoftFloat::from_f64(F48, f64::INFINITY).is_inf());
+        assert!(!SoftFloat::one(F48).is_zero());
+    }
+
+    #[test]
+    fn cmp() {
+        let a = SoftFloat::from_f64(F48, 1.0);
+        let b = SoftFloat::from_f64(F48, 2.0);
+        assert_eq!(a.numeric_cmp(&b), Ordering::Less);
+        let z = SoftFloat::zero(F48);
+        assert_eq!(z.numeric_cmp(&z.neg()), Ordering::Equal);
+    }
+
+    #[test]
+    #[should_panic(expected = "format mismatch")]
+    fn format_mismatch_panics() {
+        let a = SoftFloat::one(FpFormat::SINGLE);
+        let b = SoftFloat::one(FpFormat::DOUBLE);
+        let _ = a.add(&b, RoundMode::NearestEven);
+    }
+}

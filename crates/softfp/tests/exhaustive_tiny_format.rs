@@ -1,0 +1,276 @@
+//! Exhaustive verification on a tiny format.
+//!
+//! For an 8-bit format (1 + 3 + 4) the full operand space is 256×256
+//! pairs — small enough to check **every** addition, subtraction,
+//! multiplication and division against an exact rational-arithmetic
+//! oracle built from integers, with round-to-nearest-even and truncation
+//! resolved by hand. This is independent of native IEEE hardware and of
+//! the implementation's own shift/sticky machinery, so it catches any
+//! systematic rounding defect the sampled property tests might miss.
+
+use fpfpga_softfp::{add_bits, div_bits, mul_bits, sqrt_bits, sub_bits, FpFormat, RoundMode};
+
+const FMT: FpFormat = FpFormat::new(3, 4);
+
+/// A value of the tiny format as an exact rational `num / 2^scale`
+/// (num may be negative), or a special.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Exact {
+    /// num / 2^scale; num == 0 encodes a (signed) zero.
+    Finite { num: i128, scale: u32, sign: bool },
+    Inf(bool),
+}
+
+/// Decode an encoding into the exact value (flush-to-zero semantics:
+/// denormal encodings read as zero; all-ones exponent is ±∞).
+fn decode(bits: u64) -> Exact {
+    let (sign, e, f) = FMT.unpack_fields(bits);
+    if e == FMT.inf_biased_exp() {
+        return Exact::Inf(sign);
+    }
+    if e == 0 {
+        return Exact::Finite { num: 0, scale: 0, sign };
+    }
+    // value = (2^4 + f) · 2^(e - bias - 4)
+    let sig = (1i128 << 4) + f as i128;
+    let exp = e as i32 - FMT.bias() - 4;
+    let (num, scale) = if exp >= 0 { (sig << exp, 0) } else { (sig, (-exp) as u32) };
+    Exact::Finite { num: if sign { -num } else { num }, scale, sign }
+}
+
+/// Round an exact non-zero rational to the format under the library's
+/// documented semantics: normalize exactly, round the significand to
+/// 4 fraction bits (nearest-even or truncate), then range-check the
+/// exponent — overflow saturates (±∞ for nearest, ±max-finite for
+/// truncate), underflow flushes to signed zero. All arithmetic here is
+/// exact integer arithmetic on `num / 2^scale`.
+fn round_exact(num: i128, scale: u32, mode: RoundMode) -> u64 {
+    assert!(num != 0);
+    let sign = num < 0;
+    let xn = num.unsigned_abs();
+    let msb = 127 - xn.leading_zeros(); // position of the leading one
+    let e = msb as i32 - scale as i32; // |x| = m·2^e with m ∈ [1,2)
+    // Significand scaled to 4 fraction bits: q + rem/2^msb with q ∈ [16,32).
+    let num16 = xn << 4;
+    let mut q = (num16 >> msb) as u64;
+    let rem = if msb == 0 { 0u128 } else { num16 & ((1u128 << msb) - 1) };
+    let mut e = e;
+    let round_up = match mode {
+        RoundMode::Truncate => false,
+        RoundMode::NearestEven => {
+            if rem == 0 {
+                false
+            } else {
+                let half = 1u128 << (msb - 1);
+                rem > half || (rem == half && q & 1 == 1)
+            }
+        }
+    };
+    q += round_up as u64;
+    if q == 32 {
+        q = 16;
+        e += 1;
+    }
+    let sign_bit = (sign as u64) << FMT.sign_shift();
+    if e > FMT.max_exp() {
+        return match mode {
+            RoundMode::NearestEven => FMT.pos_inf() | sign_bit,
+            RoundMode::Truncate => FMT.max_finite() | sign_bit,
+        };
+    }
+    if e < FMT.min_exp() {
+        return sign_bit; // flush to signed zero
+    }
+    FMT.pack(sign, (e + FMT.bias()) as u64, q - 16)
+}
+
+/// Oracle for a binary op under flush-to-zero / no-NaN semantics.
+fn oracle(op: char, a: u64, b: u64, mode: RoundMode) -> Option<u64> {
+    let (x, y) = (decode(a), decode(b));
+    use Exact::*;
+    // Specials mirror the library's documented rules; return None where
+    // the oracle chooses not to model (none — all cases covered).
+    let fin = |e: &Exact| matches!(e, Finite { .. });
+    match op {
+        '+' => match (x, y) {
+            (Inf(s1), Inf(s2)) => {
+                Some(if s1 == s2 { FMT.pack(s1, FMT.inf_biased_exp(), 0) } else { FMT.pos_inf() })
+            }
+            (Inf(s), _) => Some(FMT.pack(s, FMT.inf_biased_exp(), 0)),
+            (_, Inf(s)) => Some(FMT.pack(s, FMT.inf_biased_exp(), 0)),
+            (Finite { num: n1, scale: s1, sign: g1 }, Finite { num: n2, scale: s2, sign: g2 }) => {
+                let s = s1.max(s2);
+                let sum = (n1 << (s - s1)) + (n2 << (s - s2));
+                if sum == 0 {
+                    // exact zero: +0 unless both zeros are negative
+                    let both_neg_zero = n1 == 0 && n2 == 0 && g1 && g2;
+                    Some(if both_neg_zero { FMT.pack(true, 0, 0) } else { 0 })
+                } else if n1 == 0 {
+                    Some(b) // x + (±0) returns the other operand bit-exactly
+                } else if n2 == 0 {
+                    Some(a)
+                } else {
+                    Some(round_exact(sum, s, mode))
+                }
+            }
+        },
+        '*' => match (x, y) {
+            (Inf(_), Finite { num: 0, .. }) | (Finite { num: 0, .. }, Inf(_)) => Some(0),
+            (Inf(s1), Inf(s2)) => Some(FMT.pack(s1 ^ s2, FMT.inf_biased_exp(), 0)),
+            (Inf(s1), Finite { sign, .. }) | (Finite { sign, .. }, Inf(s1)) => {
+                Some(FMT.pack(s1 ^ sign, FMT.inf_biased_exp(), 0))
+            }
+            (Finite { num: n1, scale: s1, sign: g1 }, Finite { num: n2, scale: s2, sign: g2 }) => {
+                if n1 == 0 || n2 == 0 {
+                    Some(FMT.pack(g1 ^ g2, 0, 0))
+                } else {
+                    let prod = n1 * n2;
+                    debug_assert!(prod != 0);
+                    Some(round_exact(prod, s1 + s2, mode))
+                }
+            }
+        },
+        '/' => match (x, y) {
+            (Finite { num: 0, .. }, Finite { num: 0, .. }) => Some(0), // invalid → +0
+            (Inf(_), Inf(_)) => Some(FMT.pos_inf()),                   // invalid → +∞
+            (Inf(s1), Finite { sign, .. }) => Some(FMT.pack(s1 ^ sign, FMT.inf_biased_exp(), 0)),
+            (Finite { sign, .. }, Inf(s2)) => Some(FMT.pack(sign ^ s2, 0, 0)),
+            (Finite { num: 0, sign: g1, .. }, Finite { sign: g2, .. }) => {
+                Some(FMT.pack(g1 ^ g2, 0, 0))
+            }
+            (Finite { sign: g1, .. }, Finite { num: 0, sign: g2, .. }) => {
+                Some(FMT.pack(g1 ^ g2, FMT.inf_biased_exp(), 0))
+            }
+            (Finite { num: n1, scale: s1, .. }, Finite { num: n2, scale: s2, .. }) if fin(&x) => {
+                // x/y = (n1·2^s2)/(n2·2^s1); scale numerator up enough
+                // that truncation error is below any rounding boundary,
+                // and track exactness via the remainder.
+                let sign = (n1 < 0) ^ (n2 < 0);
+                let (a_n, b_n) = (n1.unsigned_abs() as i128, n2.unsigned_abs() as i128);
+                const EXTRA: u32 = 40;
+                let num = (a_n << (s2 + EXTRA)) / b_n;
+                let rem = (a_n << (s2 + EXTRA)) % b_n;
+                // A nonzero remainder perturbs the value by < 2^-EXTRA
+                // ulps of the guard field; jam it like the hardware does.
+                let num = num | (rem != 0) as i128;
+                let signed = if sign { -num } else { num };
+                Some(round_exact(signed, s1 + EXTRA, mode))
+            }
+            _ => unreachable!(),
+        },
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn exhaustive_add_nearest_even() {
+    exhaustive_binary('+', RoundMode::NearestEven, |a, b| add_bits(FMT, a, b, RoundMode::NearestEven).0);
+}
+
+#[test]
+fn exhaustive_add_truncate() {
+    exhaustive_binary('+', RoundMode::Truncate, |a, b| add_bits(FMT, a, b, RoundMode::Truncate).0);
+}
+
+#[test]
+fn exhaustive_mul_nearest_even() {
+    exhaustive_binary('*', RoundMode::NearestEven, |a, b| mul_bits(FMT, a, b, RoundMode::NearestEven).0);
+}
+
+#[test]
+fn exhaustive_mul_truncate() {
+    exhaustive_binary('*', RoundMode::Truncate, |a, b| mul_bits(FMT, a, b, RoundMode::Truncate).0);
+}
+
+#[test]
+fn exhaustive_div_nearest_even() {
+    exhaustive_binary('/', RoundMode::NearestEven, |a, b| div_bits(FMT, a, b, RoundMode::NearestEven).0);
+}
+
+#[test]
+fn exhaustive_sub_consistent_with_add() {
+    // a − b must equal a + (−b) for every pair.
+    for a in 0..=FMT.enc_mask() {
+        for b in 0..=FMT.enc_mask() {
+            let (s, fs) = sub_bits(FMT, a, b, RoundMode::NearestEven);
+            let nb = b ^ (1 << FMT.sign_shift());
+            let (t, ft) = add_bits(FMT, a, nb, RoundMode::NearestEven);
+            assert_eq!((s, fs), (t, ft), "a={a:#x} b={b:#x}");
+        }
+    }
+}
+
+#[test]
+fn exhaustive_sqrt_squares() {
+    // For every non-negative finite input: result is the correctly
+    // rounded root — verified via the square bracketing r² ≤ x < (r+ulp)²
+    // in exact arithmetic (round-to-nearest needs the midpoint test).
+    for a in 0..=FMT.enc_mask() >> 1 {
+        let (r, _) = sqrt_bits(FMT, a, RoundMode::NearestEven);
+        match (decode(a), decode(r)) {
+            (Exact::Inf(false), Exact::Inf(false)) => {}
+            (Exact::Finite { num: 0, .. }, Exact::Finite { num: 0, .. }) => {}
+            (Exact::Finite { num, scale, .. }, Exact::Finite { num: rn, scale: rs, .. }) => {
+                assert!(num >= 0);
+                if num == 0 {
+                    continue;
+                }
+                // |x - r²| must be minimal: check both neighbours of r.
+                let err = |cn: i128, cs: u32| -> (i128, u32) {
+                    // |x - c²| = |num·2^(2cs) - cn²·2^scale| / 2^(scale+2cs)
+                    (((num) << (2 * cs)) - (cn * cn << scale)).abs()
+                        .pipe(|d| (d, scale + 2 * cs))
+                };
+                let (e0, s0) = err(rn, rs);
+                for (nn, ns) in neighbours(r) {
+                    let (e1, s1) = err(nn, ns);
+                    let m = s0.max(s1);
+                    assert!(
+                        (e0 as u128) << (m - s0) <= (e1 as u128) << (m - s1),
+                        "sqrt({a:#x}) = {r:#x} is not nearest"
+                    );
+                }
+            }
+            (x, y) => panic!("sqrt({a:#x}) = {r:#x}: unexpected classes {x:?} {y:?}"),
+        }
+    }
+}
+
+/// The finite decoded neighbours (one ulp down/up) of an encoding.
+fn neighbours(r: u64) -> Vec<(i128, u32)> {
+    let mut out = Vec::new();
+    for cand in [r.wrapping_sub(1), r + 1] {
+        if cand <= FMT.max_finite() {
+            if let Exact::Finite { num, scale, .. } = decode(cand) {
+                if num > 0 {
+                    out.push((num, scale));
+                }
+            }
+        }
+    }
+    out
+}
+
+trait Pipe: Sized {
+    fn pipe<T>(self, f: impl FnOnce(Self) -> T) -> T {
+        f(self)
+    }
+}
+impl<T> Pipe for T {}
+
+fn exhaustive_binary(op: char, mode: RoundMode, f: impl Fn(u64, u64) -> u64) {
+    let mut checked = 0u64;
+    for a in 0..=FMT.enc_mask() {
+        for b in 0..=FMT.enc_mask() {
+            if let Some(want) = oracle(op, a, b, mode) {
+                let got = f(a, b);
+                assert_eq!(
+                    got, want,
+                    "{a:#04x} {op} {b:#04x} ({mode:?}): got {got:#04x}, oracle {want:#04x}"
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert_eq!(checked, 256 * 256, "oracle must cover the whole space");
+}

@@ -1,0 +1,483 @@
+//! Property tests: the parameterized soft-float implementation must agree
+//! bit-for-bit with native IEEE 754 `f32`/`f64` arithmetic wherever the
+//! semantics coincide — i.e. on normal operands, outside the
+//! denormal-result boundary zone (the cores flush to zero where IEEE
+//! produces denormals) and away from NaN-producing inputs.
+
+use fpfpga_softfp::{add_bits, mul_bits, sub_bits, FpFormat, RoundMode};
+use proptest::prelude::*;
+
+/// Strategy: finite, non-denormal f32 (normal or zero).
+fn normal_f32() -> impl Strategy<Value = f32> {
+    any::<u32>().prop_map(f32::from_bits).prop_filter("normal or zero", |x| {
+        x.is_finite() && (*x == 0.0 || x.is_normal())
+    })
+}
+
+fn normal_f64() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(f64::from_bits).prop_filter("normal or zero", |x| {
+        x.is_finite() && (*x == 0.0 || x.is_normal())
+    })
+}
+
+/// Native result adjusted for flush-to-zero semantics, or `None` when the
+/// case sits in the zone where our documented semantics legitimately
+/// diverge from IEEE (results at or below the smallest normal, where IEEE
+/// gradual underflow may round up into the normal range).
+fn ftz_expect_f32(native: f32) -> Option<u32> {
+    if native.is_nan() {
+        return None; // our cores return a deterministic non-NaN + invalid
+    }
+    if native != 0.0 && native.abs() <= f32::MIN_POSITIVE {
+        return None; // denormal boundary zone
+    }
+    Some(native.to_bits())
+}
+
+fn ftz_expect_f64(native: f64) -> Option<u64> {
+    if native.is_nan() {
+        return None;
+    }
+    if native != 0.0 && native.abs() <= f64::MIN_POSITIVE {
+        return None;
+    }
+    Some(native.to_bits())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4096))]
+
+    #[test]
+    fn add_matches_native_f32(a in normal_f32(), b in normal_f32()) {
+        if let Some(want) = ftz_expect_f32(a + b) {
+            let (got, _) = add_bits(FpFormat::SINGLE, a.to_bits() as u64, b.to_bits() as u64,
+                                    RoundMode::NearestEven);
+            prop_assert_eq!(got as u32, want, "{} + {}", a, b);
+        }
+    }
+
+    #[test]
+    fn sub_matches_native_f32(a in normal_f32(), b in normal_f32()) {
+        if let Some(want) = ftz_expect_f32(a - b) {
+            let (got, _) = sub_bits(FpFormat::SINGLE, a.to_bits() as u64, b.to_bits() as u64,
+                                    RoundMode::NearestEven);
+            prop_assert_eq!(got as u32, want, "{} - {}", a, b);
+        }
+    }
+
+    #[test]
+    fn mul_matches_native_f32(a in normal_f32(), b in normal_f32()) {
+        if let Some(want) = ftz_expect_f32(a * b) {
+            let (got, _) = mul_bits(FpFormat::SINGLE, a.to_bits() as u64, b.to_bits() as u64,
+                                    RoundMode::NearestEven);
+            prop_assert_eq!(got as u32, want, "{} * {}", a, b);
+        }
+    }
+
+    #[test]
+    fn add_matches_native_f64(a in normal_f64(), b in normal_f64()) {
+        if let Some(want) = ftz_expect_f64(a + b) {
+            let (got, _) = add_bits(FpFormat::DOUBLE, a.to_bits(), b.to_bits(),
+                                    RoundMode::NearestEven);
+            prop_assert_eq!(got, want, "{} + {}", a, b);
+        }
+    }
+
+    #[test]
+    fn sub_matches_native_f64(a in normal_f64(), b in normal_f64()) {
+        if let Some(want) = ftz_expect_f64(a - b) {
+            let (got, _) = sub_bits(FpFormat::DOUBLE, a.to_bits(), b.to_bits(),
+                                    RoundMode::NearestEven);
+            prop_assert_eq!(got, want, "{} - {}", a, b);
+        }
+    }
+
+    #[test]
+    fn mul_matches_native_f64(a in normal_f64(), b in normal_f64()) {
+        if let Some(want) = ftz_expect_f64(a * b) {
+            let (got, _) = mul_bits(FpFormat::DOUBLE, a.to_bits(), b.to_bits(),
+                                    RoundMode::NearestEven);
+            prop_assert_eq!(got, want, "{} * {}", a, b);
+        }
+    }
+
+    /// Close-magnitude subtraction stresses the cancellation/normalizer
+    /// path far harder than uniform random operands.
+    #[test]
+    fn cancellation_matches_native_f32(a in normal_f32(), ulps in -8i32..8) {
+        let b = f32::from_bits((a.to_bits() as i64 + ulps as i64).max(0) as u32);
+        prop_assume!(b.is_finite() && (b == 0.0 || b.is_normal()));
+        if let Some(want) = ftz_expect_f32(a - b) {
+            let (got, _) = sub_bits(FpFormat::SINGLE, a.to_bits() as u64, b.to_bits() as u64,
+                                    RoundMode::NearestEven);
+            prop_assert_eq!(got as u32, want, "{} - {} ({} ulps)", a, b, ulps);
+        }
+    }
+
+    /// Near-tie rounding: operands differing by about the significand
+    /// width exercise the guard/round/sticky logic.
+    #[test]
+    fn sticky_zone_matches_native_f32(a in normal_f32(), shift in 20u32..30, frac in any::<u32>()) {
+        let b_exp = (a.to_bits() >> 23 & 0xff) as i32 - shift as i32;
+        prop_assume!(b_exp >= 1 && b_exp <= 254);
+        let b = f32::from_bits(((b_exp as u32) << 23) | (frac & 0x7f_ffff));
+        if let Some(want) = ftz_expect_f32(a + b) {
+            let (got, _) = add_bits(FpFormat::SINGLE, a.to_bits() as u64, b.to_bits() as u64,
+                                    RoundMode::NearestEven);
+            prop_assert_eq!(got as u32, want, "{} + {}", a, b);
+        }
+    }
+
+    /// Truncation must round toward zero: |result| <= |exact| and within
+    /// one ulp of the nearest-even result.
+    #[test]
+    fn truncate_bounds_f32(a in normal_f32(), b in normal_f32()) {
+        let native = a * b;
+        prop_assume!(!native.is_nan());
+        prop_assume!(native == 0.0 || native.abs() > f32::MIN_POSITIVE);
+        prop_assume!(native.is_finite());
+        let (t, _) = mul_bits(FpFormat::SINGLE, a.to_bits() as u64, b.to_bits() as u64,
+                              RoundMode::Truncate);
+        let t = f32::from_bits(t as u32);
+        prop_assert!(t.abs() <= native.abs(), "trunc {} vs exact-ish {}", t, native);
+        // truncation differs from nearest by at most one ulp
+        let diff = (t.to_bits() as i64 - native.to_bits() as i64).abs();
+        prop_assert!(diff <= 1, "{} * {}: trunc {} native {}", a, b, t, native);
+    }
+
+    /// FP48 arithmetic must be *more* accurate than single precision:
+    /// every single-precision operand pair computed in FP48 and rounded
+    /// back to single equals the correctly rounded single result or is at
+    /// most 1 ulp away (double rounding).
+    #[test]
+    fn fp48_refines_single(a in normal_f32(), b in normal_f32()) {
+        use fpfpga_softfp::convert::convert;
+        let f48 = FpFormat::FP48;
+        let (a48, _) = convert(FpFormat::SINGLE, a.to_bits() as u64, f48, RoundMode::NearestEven);
+        let (b48, _) = convert(FpFormat::SINGLE, b.to_bits() as u64, f48, RoundMode::NearestEven);
+        let (p48, _) = mul_bits(f48, a48, b48, RoundMode::NearestEven);
+        let (back, _) = convert(f48, p48, FpFormat::SINGLE, RoundMode::NearestEven);
+        let native = a * b;
+        prop_assume!(ftz_expect_f32(native).is_some());
+        let diff = (back as i64 - native.to_bits() as i64).abs();
+        prop_assert!(diff <= 1, "{} * {} -> fp48 {} vs native {}", a, b,
+                     f32::from_bits(back as u32), native);
+    }
+
+    /// Commutativity of add and mul (bit-exact).
+    #[test]
+    fn add_commutes(a in normal_f32(), b in normal_f32()) {
+        let (x, _) = add_bits(FpFormat::SINGLE, a.to_bits() as u64, b.to_bits() as u64,
+                              RoundMode::NearestEven);
+        let (y, _) = add_bits(FpFormat::SINGLE, b.to_bits() as u64, a.to_bits() as u64,
+                              RoundMode::NearestEven);
+        prop_assert_eq!(x, y);
+    }
+
+    #[test]
+    fn mul_commutes(a in normal_f32(), b in normal_f32()) {
+        let (x, _) = mul_bits(FpFormat::SINGLE, a.to_bits() as u64, b.to_bits() as u64,
+                              RoundMode::NearestEven);
+        let (y, _) = mul_bits(FpFormat::SINGLE, b.to_bits() as u64, a.to_bits() as u64,
+                              RoundMode::NearestEven);
+        prop_assert_eq!(x, y);
+    }
+
+    /// x + 0 == x, x * 1 == x (bit-exact on normals).
+    #[test]
+    fn identities(a in normal_f32()) {
+        let one = 1.0f32.to_bits() as u64;
+        let (s, _) = add_bits(FpFormat::SINGLE, a.to_bits() as u64, 0, RoundMode::NearestEven);
+        prop_assert_eq!(s as u32, a.to_bits());
+        let (p, _) = mul_bits(FpFormat::SINGLE, a.to_bits() as u64, one, RoundMode::NearestEven);
+        prop_assert_eq!(p as u32, a.to_bits());
+    }
+
+    /// Conversion roundtrip single -> 48 -> single is the identity.
+    #[test]
+    fn widen_narrow_roundtrip(a in normal_f32()) {
+        use fpfpga_softfp::convert::convert;
+        let (w, f) = convert(FpFormat::SINGLE, a.to_bits() as u64, FpFormat::FP48,
+                             RoundMode::NearestEven);
+        prop_assert!(!f.any());
+        let (n, f) = convert(FpFormat::FP48, w, FpFormat::SINGLE, RoundMode::NearestEven);
+        prop_assert!(!f.any());
+        prop_assert_eq!(n as u32, a.to_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4096))]
+
+    #[test]
+    fn div_matches_native_f32(a in normal_f32(), b in normal_f32()) {
+        prop_assume!(b != 0.0);
+        if let Some(want) = ftz_expect_f32(a / b) {
+            let (got, _) = fpfpga_softfp::div_bits(FpFormat::SINGLE, a.to_bits() as u64,
+                                                   b.to_bits() as u64, RoundMode::NearestEven);
+            prop_assert_eq!(got as u32, want, "{} / {}", a, b);
+        }
+    }
+
+    #[test]
+    fn div_matches_native_f64(a in normal_f64(), b in normal_f64()) {
+        prop_assume!(b != 0.0);
+        if let Some(want) = ftz_expect_f64(a / b) {
+            let (got, _) = fpfpga_softfp::div_bits(FpFormat::DOUBLE, a.to_bits(), b.to_bits(),
+                                                   RoundMode::NearestEven);
+            prop_assert_eq!(got, want, "{} / {}", a, b);
+        }
+    }
+
+    #[test]
+    fn sqrt_matches_native_f32(a in normal_f32()) {
+        let a = a.abs();
+        let want = a.sqrt();
+        // sqrt of a normal positive number is always normal
+        let (got, _) = fpfpga_softfp::sqrt_bits(FpFormat::SINGLE, a.to_bits() as u64,
+                                                RoundMode::NearestEven);
+        prop_assert_eq!(got as u32, want.to_bits(), "sqrt({})", a);
+    }
+
+    #[test]
+    fn sqrt_matches_native_f64(a in normal_f64()) {
+        let a = a.abs();
+        let (got, _) = fpfpga_softfp::sqrt_bits(FpFormat::DOUBLE, a.to_bits(),
+                                                RoundMode::NearestEven);
+        prop_assert_eq!(got, a.sqrt().to_bits(), "sqrt({})", a);
+    }
+
+    /// Division round-trip: (a/b)*b stays within 1 ulp of a (two rounded
+    /// steps), and a/a == 1 exactly.
+    #[test]
+    fn div_self_is_one(a in normal_f32()) {
+        prop_assume!(a != 0.0);
+        let (got, f) = fpfpga_softfp::div_bits(FpFormat::SINGLE, a.to_bits() as u64,
+                                               a.to_bits() as u64, RoundMode::NearestEven);
+        prop_assert_eq!(f32::from_bits(got as u32), 1.0);
+        prop_assert!(!f.any());
+    }
+
+    /// sqrt(x)² stays within 1 ulp of x.
+    #[test]
+    fn sqrt_squares_back(a in normal_f32()) {
+        let a = a.abs();
+        prop_assume!(a > 0.0);
+        let fmt = FpFormat::SINGLE;
+        let (r, _) = fpfpga_softfp::sqrt_bits(fmt, a.to_bits() as u64, RoundMode::NearestEven);
+        let (sq, _) = fpfpga_softfp::mul_bits(fmt, r, r, RoundMode::NearestEven);
+        if let Some(_) = ftz_expect_f32(f32::from_bits(sq as u32)) {
+            let diff = (sq as i64 - a.to_bits() as i64).abs();
+            prop_assert!(diff <= 2, "sqrt({a})^2 = {} ({diff} ulps off)", f32::from_bits(sq as u32));
+        }
+    }
+}
+
+/// Full-IEEE mode: must match native floats on *every* bit pattern —
+/// denormals included; NaN results compare by NaN-ness (payloads are
+/// canonicalized).
+mod ieee_mode {
+    use fpfpga_softfp::ieee::{ieee_add, ieee_mul, ieee_sub, is_nan};
+    use fpfpga_softfp::{FpFormat, RoundMode};
+    use proptest::prelude::*;
+
+    fn check_f32(got: u64, native: f32) -> Result<(), TestCaseError> {
+        if native.is_nan() {
+            prop_assert!(is_nan(FpFormat::SINGLE, got), "expected NaN, got {got:#x}");
+        } else {
+            prop_assert_eq!(got as u32, native.to_bits(), "native {}", native);
+        }
+        Ok(())
+    }
+
+    fn check_f64(got: u64, native: f64) -> Result<(), TestCaseError> {
+        if native.is_nan() {
+            prop_assert!(is_nan(FpFormat::DOUBLE, got), "expected NaN, got {got:#x}");
+        } else {
+            prop_assert_eq!(got, native.to_bits(), "native {}", native);
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8192))]
+
+        #[test]
+        fn ieee_add_matches_native_f32_everywhere(a in any::<u32>(), b in any::<u32>()) {
+            let (x, y) = (f32::from_bits(a), f32::from_bits(b));
+            let (got, _) = ieee_add(FpFormat::SINGLE, a as u64, b as u64, RoundMode::NearestEven);
+            check_f32(got, x + y)?;
+        }
+
+        #[test]
+        fn ieee_sub_matches_native_f32_everywhere(a in any::<u32>(), b in any::<u32>()) {
+            let (x, y) = (f32::from_bits(a), f32::from_bits(b));
+            let (got, _) = ieee_sub(FpFormat::SINGLE, a as u64, b as u64, RoundMode::NearestEven);
+            check_f32(got, x - y)?;
+        }
+
+        #[test]
+        fn ieee_mul_matches_native_f32_everywhere(a in any::<u32>(), b in any::<u32>()) {
+            let (x, y) = (f32::from_bits(a), f32::from_bits(b));
+            let (got, _) = ieee_mul(FpFormat::SINGLE, a as u64, b as u64, RoundMode::NearestEven);
+            check_f32(got, x * y)?;
+        }
+
+        #[test]
+        fn ieee_add_matches_native_f64_everywhere(a in any::<u64>(), b in any::<u64>()) {
+            let (x, y) = (f64::from_bits(a), f64::from_bits(b));
+            let (got, _) = ieee_add(FpFormat::DOUBLE, a, b, RoundMode::NearestEven);
+            check_f64(got, x + y)?;
+        }
+
+        #[test]
+        fn ieee_mul_matches_native_f64_everywhere(a in any::<u64>(), b in any::<u64>()) {
+            let (x, y) = (f64::from_bits(a), f64::from_bits(b));
+            let (got, _) = ieee_mul(FpFormat::DOUBLE, a, b, RoundMode::NearestEven);
+            check_f64(got, x * y)?;
+        }
+
+        /// Stress the denormal range specifically: both operands tiny.
+        #[test]
+        fn ieee_denormal_heavy_add_f32(a in 0u32..0x0100_0000, b in 0u32..0x0100_0000,
+                                       sa in any::<bool>(), sb in any::<bool>()) {
+            let a = a | if sa { 0x8000_0000 } else { 0 };
+            let b = b | if sb { 0x8000_0000 } else { 0 };
+            let (x, y) = (f32::from_bits(a), f32::from_bits(b));
+            let (got, _) = ieee_add(FpFormat::SINGLE, a as u64, b as u64, RoundMode::NearestEven);
+            check_f32(got, x + y)?;
+        }
+
+        /// Products that straddle the denormal boundary.
+        #[test]
+        fn ieee_underflow_boundary_mul_f32(a in 0x0080_0000u32..0x2000_0000, b in 0x0080_0000u32..0x2000_0000) {
+            let (x, y) = (f32::from_bits(a), f32::from_bits(b));
+            let (got, _) = ieee_mul(FpFormat::SINGLE, a as u64, b as u64, RoundMode::NearestEven);
+            check_f32(got, x * y)?;
+        }
+    }
+}
+
+/// Fused multiply-add against the platform's hardware FMA.
+mod fma_mode {
+    use fpfpga_softfp::{fma_bits, FpFormat, RoundMode};
+    use proptest::prelude::*;
+
+    fn normal_f32() -> impl Strategy<Value = f32> {
+        any::<u32>().prop_map(f32::from_bits).prop_filter("normal or zero", |x| {
+            x.is_finite() && (*x == 0.0 || x.is_normal())
+        })
+    }
+
+    fn normal_f64() -> impl Strategy<Value = f64> {
+        any::<u64>().prop_map(f64::from_bits).prop_filter("normal or zero", |x| {
+            x.is_finite() && (*x == 0.0 || x.is_normal())
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4096))]
+
+        #[test]
+        fn fma_matches_native_f32(a in normal_f32(), b in normal_f32(), c in normal_f32()) {
+            let native = a.mul_add(b, c);
+            prop_assume!(!native.is_nan());
+            prop_assume!(native == 0.0 || native.abs() > f32::MIN_POSITIVE);
+            let (got, _) = fma_bits(FpFormat::SINGLE, a.to_bits() as u64, b.to_bits() as u64,
+                                    c.to_bits() as u64, RoundMode::NearestEven);
+            prop_assert_eq!(got as u32, native.to_bits(), "{}*{}+{}", a, b, c);
+        }
+
+        #[test]
+        fn fma_matches_native_f64(a in normal_f64(), b in normal_f64(), c in normal_f64()) {
+            let native = a.mul_add(b, c);
+            prop_assume!(!native.is_nan());
+            prop_assume!(native == 0.0 || native.abs() > f64::MIN_POSITIVE);
+            let (got, _) = fma_bits(FpFormat::DOUBLE, a.to_bits(), b.to_bits(), c.to_bits(),
+                                    RoundMode::NearestEven);
+            prop_assert_eq!(got, native.to_bits(), "{}*{}+{}", a, b, c);
+        }
+
+        /// The adversarial regime: product and addend close in magnitude
+        /// and opposite in sign (deep cancellation through the fused path).
+        #[test]
+        fn fma_cancellation_f32(frac in any::<u32>(), e in 80u32..175, ulps in -16i32..16) {
+            // construct a with a mid-range exponent so a² is always normal
+            let a = f32::from_bits((e << 23) | (frac & 0x7f_ffff));
+            let p = a * a;
+            prop_assume!(p.is_normal());
+            let c = -f32::from_bits((p.to_bits() as i64 + ulps as i64).max(1) as u32);
+            prop_assume!(c.is_normal());
+            let native = a.mul_add(a, c);
+            prop_assume!(!native.is_nan());
+            prop_assume!(native == 0.0 || native.abs() > f32::MIN_POSITIVE);
+            let (got, _) = fma_bits(FpFormat::SINGLE, a.to_bits() as u64, a.to_bits() as u64,
+                                    c.to_bits() as u64, RoundMode::NearestEven);
+            prop_assert_eq!(got as u32, native.to_bits(), "{}^2 + {}", a, c);
+        }
+
+        /// Far-separated operands exercise both anchor choices.
+        #[test]
+        fn fma_magnitude_separation_f64(frac in any::<u64>(), e in 700u32..1300, scale in -300i32..300) {
+            // mid-range exponent keeps a², c and the result well inside
+            // the normal range across the whole scale sweep
+            let a = f64::from_bits(((e as u64) << 52) | (frac & ((1 << 52) - 1)));
+            let c = a * 2f64.powi(scale);
+            prop_assume!(c.is_normal());
+            let native = a.mul_add(a, c);
+            prop_assume!(!native.is_nan() && native.is_finite());
+            prop_assume!(native == 0.0 || native.abs() > f64::MIN_POSITIVE);
+            let (got, _) = fma_bits(FpFormat::DOUBLE, a.to_bits(), a.to_bits(), c.to_bits(),
+                                    RoundMode::NearestEven);
+            prop_assert_eq!(got, native.to_bits(), "{}^2 + {}", a, c);
+        }
+    }
+}
+
+/// Integer/fixed-point conversions vs native casts.
+mod intconv_mode {
+    use fpfpga_softfp::intconv::{from_i64, to_i64};
+    use fpfpga_softfp::{FpFormat, RoundMode};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4096))]
+
+        /// Rust's `as i64` truncates and saturates — exactly our
+        /// Truncate-mode semantics (modulo the invalid flag).
+        #[test]
+        fn to_i64_matches_native_cast_f64(a in any::<u64>()) {
+            let x = f64::from_bits(a);
+            prop_assume!(x.is_finite() && (x == 0.0 || x.is_normal()));
+            let (got, _) = to_i64(FpFormat::DOUBLE, a, RoundMode::Truncate);
+            prop_assert_eq!(got, x as i64, "{}", x);
+        }
+
+        #[test]
+        fn to_i64_matches_native_cast_f32(a in any::<u32>()) {
+            let x = f32::from_bits(a);
+            prop_assume!(x.is_finite() && (x == 0.0 || x.is_normal()));
+            let (got, _) = to_i64(FpFormat::SINGLE, a as u64, RoundMode::Truncate);
+            prop_assert_eq!(got, x as i64, "{}", x);
+        }
+
+        /// `i64 as f64` rounds to nearest-even — our NearestEven mode.
+        #[test]
+        fn from_i64_matches_native_cast(x in any::<i64>()) {
+            let (got, _) = from_i64(FpFormat::DOUBLE, x, RoundMode::NearestEven);
+            prop_assert_eq!(f64::from_bits(got), x as f64, "{}", x);
+            let (got32, _) = from_i64(FpFormat::SINGLE, x, RoundMode::NearestEven);
+            prop_assert_eq!(f32::from_bits(got32 as u32), x as f32, "{}", x);
+        }
+
+        /// Roundtrip int → float → int is the identity when exact.
+        #[test]
+        fn roundtrip_small_ints(x in -(1i64 << 23)..(1i64 << 23)) {
+            let (b, f) = from_i64(FpFormat::SINGLE, x, RoundMode::NearestEven);
+            prop_assert!(!f.any());
+            let (back, f) = to_i64(FpFormat::SINGLE, b, RoundMode::Truncate);
+            prop_assert_eq!(back, x);
+            prop_assert!(!f.any());
+        }
+    }
+}

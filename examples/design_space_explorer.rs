@@ -1,0 +1,127 @@
+//! Design-space exploration across every knob the paper identifies:
+//! pipeline depth, tool optimization objectives, register-placement
+//! strategy, and the forced priority-encoder synthesis.
+//!
+//! Prints, for each precision, where the throughput/area optimum sits
+//! and how much each knob moves it — the quantitative version of the
+//! paper's "note that using a different optimization objective … gives
+//! vastly different results".
+//!
+//! Run with: `cargo run --release --example design_space_explorer`
+
+use fpfpga::fabric::timing;
+use fpfpga::prelude::*;
+
+fn main() {
+    let tech = Tech::virtex2pro();
+
+    println!("=== optimization-objective sensitivity (32-bit adder) ===");
+    let design = AdderDesign::new(FpFormat::SINGLE);
+    for (label, opts) in [
+        ("synth: speed, P&R: speed", SynthesisOptions::SPEED),
+        ("synth: area,  P&R: area ", SynthesisOptions::AREA),
+        (
+            "synth: speed, P&R: area ",
+            SynthesisOptions { synthesis: Objective::Speed, par: Objective::Area },
+        ),
+        (
+            "synth: area,  P&R: speed",
+            SynthesisOptions { synthesis: Objective::Area, par: Objective::Speed },
+        ),
+    ] {
+        let sweep = design.sweep(&tech, opts);
+        let opt = timing::optimal(&sweep);
+        println!(
+            "  {label}: opt @ {:2} stages, {:4} slices, {:5.1} MHz, {:.4} MHz/slice",
+            opt.stages,
+            opt.slices,
+            opt.clock_mhz,
+            opt.freq_per_area()
+        );
+    }
+
+    println!("\n=== register-placement strategy (64-bit adder netlist, 12 stages) ===");
+    let netlist = AdderDesign::new(FpFormat::DOUBLE).netlist(&tech);
+    for strategy in [
+        PipelineStrategy::IterativeRefinement,
+        PipelineStrategy::Balanced,
+        PipelineStrategy::EndLoaded,
+    ] {
+        let r = timing::evaluate(&netlist, 12, strategy, SynthesisOptions::SPEED, &tech);
+        println!("  {strategy:?}: {:5.1} MHz, {} FFs", r.clock_mhz, r.ffs);
+    }
+
+    println!("\n=== forced vs inferred priority encoder (64-bit adder) ===");
+    for forced in [true, false] {
+        let d = AdderDesign { force_priority_encoder: forced, ..AdderDesign::new(FpFormat::DOUBLE) };
+        let sweep = d.sweep(&tech, SynthesisOptions::SPEED);
+        let best = sweep.iter().map(|r| r.clock_mhz).fold(0.0, f64::max);
+        println!("  forced = {forced}: peak {best:.1} MHz");
+    }
+
+    println!("\n=== throughput/area optimum per precision ===");
+    let analysis = PrecisionAnalysis::run(&tech, SynthesisOptions::SPEED);
+    for (label, sweeps) in [("adder", &analysis.adders), ("multiplier", &analysis.multipliers)] {
+        for s in sweeps.iter() {
+            let opt = s.opt();
+            println!(
+                "  {:6} {:>6}: opt @ {:2} stages  {:4} slices  {:5.1} MHz  ({:.4} MHz/slice; peak {:5.1} MHz @ {:2} stages)",
+                label,
+                s.format.to_string(),
+                opt.stages,
+                opt.slices,
+                opt.clock_mhz,
+                opt.freq_per_area(),
+                s.fastest().clock_mhz,
+                s.fastest().stages,
+            );
+        }
+    }
+
+    println!("\n=== metric choice matters: device GFLOPS under three selection rules ===");
+    // The paper's Section 4.2 argument: picking units by max frequency
+    // (ignoring area) can lower *device* performance.
+    let tech = Tech::virtex2pro();
+    for (rule, pick) in [
+        ("max frequency ", Rule::Fastest),
+        ("max freq/area ", Rule::Opt),
+        ("min area @150M", Rule::CheapestAt(150.0)),
+    ] {
+        let add = CoreSweep::adder(FpFormat::SINGLE, &tech, SynthesisOptions::SPEED);
+        let mul = CoreSweep::multiplier(FpFormat::SINGLE, &tech, SynthesisOptions::SPEED);
+        let (ra, rm) = (pick.select(&add), pick.select(&mul));
+        let units = UnitSet::with_stages(
+            FpFormat::SINGLE,
+            ra.stages,
+            rm.stages,
+            &tech,
+            SynthesisOptions::SPEED,
+        );
+        let fill = DeviceFill::new(Device::XC2VP125, &units, 64, &tech);
+        println!(
+            "  {rule}: adder {:2} st / mult {:2} st → {:3} PEs @ {:3.0} MHz = {:4.1} GFLOPS",
+            ra.stages,
+            rm.stages,
+            fill.pe_count,
+            fill.clock_mhz,
+            fill.gflops()
+        );
+    }
+}
+
+/// A unit-selection rule for the metric-comparison ablation.
+enum Rule {
+    Fastest,
+    Opt,
+    CheapestAt(f64),
+}
+
+impl Rule {
+    fn select<'a>(&self, sweep: &'a CoreSweep) -> &'a fpfpga::fabric::ImplementationReport {
+        match self {
+            Rule::Fastest => sweep.fastest(),
+            Rule::Opt => sweep.opt(),
+            Rule::CheapestAt(mhz) => sweep.cheapest_at(*mhz).unwrap_or_else(|| sweep.fastest()),
+        }
+    }
+}

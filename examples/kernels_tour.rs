@@ -1,0 +1,140 @@
+//! A tour of the extension features beyond the paper's evaluation:
+//!
+//! * divider and square-root cores (digit recurrence — latency scales
+//!   with precision);
+//! * the price of full IEEE 754 support (denormals + NaN) that the
+//!   paper's cores deliberately skip;
+//! * dot-product and matrix-vector kernels with the banked-accumulator
+//!   treatment of the reduction hazard;
+//! * the Pareto design-space explorer over (pipelining level, block
+//!   size).
+//!
+//! Run with: `cargo run --release --example kernels_tour`
+
+use fpfpga::fpu::ieee_cost::ieee_cost_analysis;
+use fpfpga::matmul::dot::dot_f64;
+use fpfpga::prelude::*;
+
+fn main() {
+    let tech = Tech::virtex2pro();
+    let opts = SynthesisOptions::SPEED;
+
+    // --- Divider / sqrt cores.
+    println!("=== divider & sqrt cores (digit recurrence) ===");
+    for fmt in [FpFormat::SINGLE, FpFormat::DOUBLE] {
+        let div = DividerDesign::new(fmt).sweep(&tech, opts);
+        let sqrt = SqrtDesign::new(fmt).sweep(&tech, opts);
+        let d200 = div.iter().find(|r| r.clock_mhz >= 200.0);
+        let s200 = sqrt.iter().find(|r| r.clock_mhz >= 200.0);
+        println!(
+            "{fmt}: divider reaches 200 MHz at {} stages ({} slices); sqrt at {} stages ({} slices)",
+            d200.map_or("—".into(), |r| r.stages.to_string()),
+            d200.map_or("—".into(), |r| r.slices.to_string()),
+            s200.map_or("—".into(), |r| r.stages.to_string()),
+            s200.map_or("—".into(), |r| r.slices.to_string()),
+        );
+    }
+    // Spot-check the arithmetic through a pipelined divider.
+    let mut unit = DividerDesign::new(FpFormat::SINGLE).simulator(20);
+    let mut out = unit.clock(Some((1.0f32.to_bits() as u64, 3.0f32.to_bits() as u64)));
+    while out.is_none() {
+        out = unit.clock(None);
+    }
+    println!("1.0 / 3.0 = {} (20-stage divider)", f32::from_bits(out.unwrap().0 as u32));
+
+    // --- The cost of full IEEE.
+    println!("\n=== what denormal/NaN support would cost (the paper omits it) ===");
+    for r in ieee_cost_analysis(&tech, opts) {
+        println!(
+            "{:10} {:>6}: +{:>4.1}% slices, freq/area × {:.2}",
+            r.core,
+            r.format.to_string(),
+            r.slice_overhead() * 100.0,
+            r.freq_area_ratio(),
+        );
+    }
+
+    // --- Dot product with the banked accumulator.
+    println!("\n=== dot product (reduction hazard handled by La-way banking) ===");
+    let fmt = FpFormat::SINGLE;
+    let n = 1000;
+    let x: Vec<u64> = (0..n).map(|i| SoftFloat::from_f64(fmt, (i as f64 * 0.01).sin()).bits()).collect();
+    let y: Vec<u64> = (0..n).map(|i| SoftFloat::from_f64(fmt, (i as f64 * 0.02).cos()).bits()).collect();
+    let mut dot = DotProductUnit::new(fmt, RoundMode::NearestEven, 7, 9);
+    let (result, cycles) = dot.dot(&x, &y);
+    let got = SoftFloat::from_bits(fmt, result).to_f64();
+    println!(
+        "x·y over {n} elements: {got:.6} (f64: {:.6}) in {cycles} cycles ({} overhead)",
+        dot_f64(fmt, &x, &y),
+        cycles - n as u64,
+    );
+
+    // --- Matrix-vector multiply.
+    println!("\n=== matrix-vector multiply ===");
+    let a = Matrix::from_fn(fmt, 32, 32, |i, j| ((i * 32 + j) as f64 * 0.07).sin());
+    let xv: Vec<u64> = (0..32).map(|k| SoftFloat::from_f64(fmt, (k as f64 * 0.1).cos()).bits()).collect();
+    let eng = MvmEngine::new(fmt, RoundMode::NearestEven, 7, 9, 8);
+    let (yv, cycles) = eng.multiply(&a, &xv);
+    assert_eq!(yv, eng.reference(&a, &xv), "cycle-accurate MVM must match its reference");
+    println!("y = A·x (32×32, 8 PEs): {cycles} cycles; y[0] = {:.6}", SoftFloat::from_bits(fmt, yv[0]).to_f64());
+
+    // --- FIR filter (transposed form: no padding at any depth).
+    println!("\n=== FIR filter (transposed form) ===");
+    let coeffs = [0.2, 0.3, 0.2, 0.15, 0.15];
+    let mut fir = fpfpga::matmul::FirFilter::new(fmt, RoundMode::NearestEven, &coeffs, 6);
+    let samples: Vec<u64> =
+        (0..64).map(|i| SoftFloat::from_f64(fmt, (i as f64 * 0.25).sin()).bits()).collect();
+    let filtered = fir.filter(&samples);
+    println!(
+        "{}-tap FIR over {} samples: {} cycles, y[10] = {:.6}",
+        coeffs.len(),
+        samples.len(),
+        fir.cycles,
+        SoftFloat::from_bits(fmt, filtered[10]).to_f64()
+    );
+
+    // --- LU decomposition on divider + fused-MAC PEs.
+    println!("\n=== LU decomposition engine ===");
+    let n = 16;
+    let a_lu = Matrix::from_fn(fmt, n, n, |i, j| {
+        if i == j { 10.0 + i as f64 } else { ((i * n + j) as f64 * 0.19).sin() }
+    });
+    let lu = fpfpga::matmul::LuEngine::new(fmt, RoundMode::NearestEven, 16, 6, 4);
+    let r = lu.factor(&a_lu);
+    let back = fpfpga::matmul::lu::reconstruct(&r.lu, RoundMode::NearestEven);
+    println!(
+        "{n}x{n} LU: {} cycles ({} divs, {} MACs), |L·U − A| ≤ {:.2e}",
+        r.cycles,
+        r.divs,
+        r.macs,
+        back.max_abs_diff(&a_lu)
+    );
+
+    // --- 2-D convolution (image processing).
+    println!("\n=== 2-D convolution ===");
+    let gauss = vec![vec![0.0625, 0.125, 0.0625], vec![0.125, 0.25, 0.125], vec![0.0625, 0.125, 0.0625]];
+    let img = Matrix::from_fn(fmt, 24, 24, |i, j| ((i as f64 - 12.0).hypot(j as f64 - 12.0) * 0.5).cos());
+    let conv = fpfpga::matmul::Conv2dEngine::new(fmt, RoundMode::NearestEven, &gauss, 5);
+    let (blurred, cycles) = conv.convolve(&img);
+    println!(
+        "24x24 Gaussian blur: {cycles} row-filter cycles; centre {:.4} → {:.4}",
+        img.get_f64(12, 12),
+        blurred.get_f64(12, 12)
+    );
+
+    // --- Pareto explorer.
+    println!("\n=== Pareto frontier: blocked 128x128 matmul on an XC2VP30 ===");
+    let explorer = Explorer::new(fmt, 128);
+    let constraints = Constraints::for_device(&Device::XC2VP30);
+    for c in explorer.pareto(&constraints, &tech, opts) {
+        println!(
+            "  {:6} b={:3}: {:6} slices, {:9.1} us, {:11.0} nJ, {:4.1}% padded",
+            c.level.label(),
+            c.b,
+            c.slices,
+            c.latency_us,
+            c.energy_nj,
+            c.pad_fraction * 100.0,
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: the three layers of the library in ~60 lines.
+//!
+//! 1. Sweep a floating-point core's pipeline depth (the paper's core
+//!    analysis) and pick the throughput/area-optimal implementation;
+//! 2. Run the chosen core cycle by cycle, bit-exactly;
+//! 3. Multiply two matrices on the cycle-accurate linear array.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use fpfpga::prelude::*;
+
+fn main() {
+    let tech = Tech::virtex2pro();
+
+    // --- 1. Design-space sweep for a single-precision adder.
+    let sweep = CoreSweep::adder(FpFormat::SINGLE, &tech, SynthesisOptions::SPEED);
+    println!("single-precision adder, pipeline-depth sweep:");
+    println!("  min: {}", sweep.min());
+    println!("  opt: {}", sweep.opt());
+    println!("  max: {}", sweep.max());
+    let opt_stages = sweep.opt().stages;
+
+    // --- 2. Cycle-accurate simulation of the optimal configuration.
+    let design = AdderDesign::new(FpFormat::SINGLE);
+    let mut unit = design.simulator(opt_stages);
+    let (a, b) = (1.5f32, 2.25f32);
+    let mut result = unit.clock(Some((a.to_bits() as u64, b.to_bits() as u64)));
+    let mut cycles = 1;
+    while result.is_none() {
+        result = unit.clock(None);
+        cycles += 1;
+    }
+    let (bits, flags) = result.unwrap();
+    println!(
+        "\n{a} + {b} = {} after {cycles} cycles (latency = {} stages, flags: {flags:?})",
+        f32::from_bits(bits as u32),
+        unit.latency(),
+    );
+
+    // --- 3. Matrix multiplication on the linear array.
+    let fmt = FpFormat::SINGLE;
+    let n = 8;
+    let a = Matrix::from_fn(fmt, n, n, |i, j| ((i * n + j) as f64 * 0.37).sin());
+    let b = Matrix::from_fn(fmt, n, n, |i, j| ((i + j) as f64 * 0.11).cos());
+    let (c, stats) = LinearArray::multiply(
+        fmt,
+        RoundMode::NearestEven,
+        7, // multiplier stages
+        9, // adder stages
+        &a,
+        &b,
+        UnitBackend::Fast,
+    );
+    let err = fpfpga::matmul::reference::error_vs_f64(&c, &a, &b);
+    println!(
+        "\n{n}x{n} matmul: {} cycles, {} useful MACs, {} padded, max |err| vs f64 = {err:.2e}",
+        stats.cycles, stats.useful_macs, stats.pad_macs
+    );
+    println!("c[0][0] = {:.6}", c.get_f64(0, 0));
+}

@@ -1,0 +1,115 @@
+//! Cross-crate consistency: quantities that two different layers compute
+//! independently must agree — the simulator against the analytical
+//! models, the facade against the underlying crates.
+
+use fpfpga::matmul::pe::UnitBackend;
+use fpfpga::prelude::*;
+
+#[test]
+fn schedule_model_matches_array_simulation() {
+    // The analytical Schedule cycle counts must equal the cycle-accurate
+    // array's counters for a spread of (n, PL) shapes.
+    for (n, ms, asl) in [(4u32, 3u32, 4u32), (8, 5, 6), (12, 9, 12), (20, 7, 9)] {
+        let fmt = FpFormat::SINGLE;
+        let a = Matrix::from_fn(fmt, n as usize, n as usize, |i, j| (i + j) as f64 * 0.1);
+        let b = Matrix::identity(fmt, n as usize);
+        let (_, stats) =
+            LinearArray::multiply(fmt, RoundMode::NearestEven, ms, asl, &a, &b, UnitBackend::Fast);
+        let sched = Schedule::new(n, ms + asl);
+        assert_eq!(stats.useful_macs, sched.useful_cycles() * n as u64, "n={n}");
+        assert_eq!(stats.pad_macs, sched.pad_cycles() * n as u64, "n={n}");
+        assert_eq!(
+            stats.cycles,
+            sched.issue_cycles() + n as u64 + (ms + asl) as u64 + 1,
+            "n={n}"
+        );
+    }
+}
+
+#[test]
+fn block_model_matches_block_simulation() {
+    for (n, b, ms, asl) in [(8u32, 4u32, 3u32, 4u32), (16, 8, 7, 9), (12, 6, 4, 5)] {
+        let fmt = FpFormat::SINGLE;
+        let am = Matrix::from_fn(fmt, n as usize, n as usize, |i, j| ((i * 3 + j) as f64).sin());
+        let bm = Matrix::from_fn(fmt, n as usize, n as usize, |i, j| ((i + j * 2) as f64).cos());
+        let plan = BlockMatMul::new(n, b, ms + asl);
+        let (_, stats) = plan.run(fmt, RoundMode::NearestEven, ms, asl, &am, &bm, UnitBackend::Fast);
+        assert_eq!(stats.cycles, plan.total_cycles(), "n={n} b={b}");
+        assert_eq!(stats.useful_macs, plan.useful_macs(), "n={n} b={b}");
+        assert_eq!(stats.pad_macs, plan.pad_cycles() * b as u64, "n={n} b={b}");
+    }
+}
+
+#[test]
+fn unit_set_reports_match_fpu_sweeps() {
+    // UnitSet::with_stages must return exactly the sweep rows the fpu
+    // crate computes.
+    let tech = Tech::virtex2pro();
+    let opts = SynthesisOptions::SPEED;
+    let set = UnitSet::with_stages(FpFormat::DOUBLE, 12, 9, &tech, opts);
+    let add_sweep = CoreSweep::adder(FpFormat::DOUBLE, &tech, opts);
+    let mul_sweep = CoreSweep::multiplier(FpFormat::DOUBLE, &tech, opts);
+    let add12 = add_sweep.reports.iter().find(|r| r.stages == 12).unwrap();
+    let mul9 = mul_sweep.reports.iter().find(|r| r.stages == 9).unwrap();
+    assert_eq!(&set.adder, add12);
+    assert_eq!(&set.multiplier, mul9);
+    assert_eq!(set.pl(), 21);
+}
+
+#[test]
+fn pipelined_unit_latency_equals_report_stages() {
+    // The structural simulator's latency must equal the stage count the
+    // timing report claims for the same configuration.
+    let design = AdderDesign::new(FpFormat::FP48);
+    for k in [1u32, 5, 9, 14] {
+        let unit = design.simulator(k);
+        assert_eq!(unit.latency(), k);
+    }
+}
+
+#[test]
+fn energy_report_resources_match_device_fill_pe() {
+    // The per-PE area used by the energy model is the same PeResources
+    // the device fill uses.
+    let tech = Tech::virtex2pro();
+    let units =
+        UnitSet::for_level(FpFormat::SINGLE, PipeliningLevel::Moderate, &tech, SynthesisOptions::SPEED);
+    let n = 16u32;
+    let arch = ArchitectureEnergy::new(units.clone(), n, n, &tech);
+    let rep = arch.charge_flat(n, &tech);
+    let pe = PeResources::new(&units, n, &tech);
+    let expect = (pe.area.clone() * n as f64).slices(&tech) as u32;
+    assert_eq!(rep.slices, expect);
+}
+
+#[test]
+fn power_of_fill_equals_model_on_total_area() {
+    let tech = Tech::virtex2pro();
+    let units =
+        UnitSet::for_level(FpFormat::SINGLE, PipeliningLevel::Maximum, &tech, SynthesisOptions::SPEED);
+    let fill = DeviceFill::new(Device::XC2VP125, &units, 64, &tech);
+    let model = PowerModel::virtex2pro();
+    let total = fill.pe.area.clone() * fill.pe_count as f64;
+    let expect = model.power_mw(&total, fill.clock_mhz, 0.3).total_mw() / 1000.0;
+    assert!((fill.power_w(0.3) - expect).abs() < 1e-9);
+}
+
+#[test]
+fn softfp_and_fpu_agree_through_the_facade() {
+    // Smoke-check the re-exports wire to the same implementations.
+    let fmt = FpFormat::SINGLE;
+    let (a, b) = (2.75f32, -1.5f32);
+    let (bits, _) = fpfpga::softfp::add_bits(
+        fmt,
+        a.to_bits() as u64,
+        b.to_bits() as u64,
+        RoundMode::NearestEven,
+    );
+    let mut unit = AdderDesign::new(fmt).simulator(4);
+    let mut out = unit.clock(Some((a.to_bits() as u64, b.to_bits() as u64)));
+    while out.is_none() {
+        out = unit.clock(None);
+    }
+    assert_eq!(out.unwrap().0, bits);
+    assert_eq!(f32::from_bits(bits as u32), 1.25);
+}

@@ -1,0 +1,112 @@
+//! End-to-end integration: exercise the full stack — format → pipelined
+//! cores → linear array → block algorithm → device fill — in single
+//! flows, the way the examples and the repro binary use it.
+
+use fpfpga::matmul::pe::UnitBackend;
+use fpfpga::matmul::reference::{error_vs_f64, reference_matmul};
+use fpfpga::prelude::*;
+
+#[test]
+fn design_then_simulate_then_deploy() {
+    let tech = Tech::virtex2pro();
+    let opts = SynthesisOptions::SPEED;
+
+    // 1. Design: pick throughput/area-optimal units for single precision.
+    let add = CoreSweep::adder(FpFormat::SINGLE, &tech, opts);
+    let mul = CoreSweep::multiplier(FpFormat::SINGLE, &tech, opts);
+    let (ka, km) = (add.opt().stages, mul.opt().stages);
+    assert!(ka >= 2 && km >= 2);
+
+    // 2. Simulate: the exact configuration computes correctly.
+    let n = 8usize;
+    let a = Matrix::from_fn(FpFormat::SINGLE, n, n, |i, j| ((i * n + j) as f64 * 0.23).sin());
+    let b = Matrix::from_fn(FpFormat::SINGLE, n, n, |i, j| ((i + j * 2) as f64 * 0.19).cos());
+    let (c, stats) =
+        LinearArray::multiply(FpFormat::SINGLE, RoundMode::NearestEven, km, ka, &a, &b, UnitBackend::Fast);
+    assert_eq!(c, reference_matmul(&a, &b, RoundMode::NearestEven));
+    assert_eq!(stats.useful_macs, (n * n * n) as u64);
+    assert!(error_vs_f64(&c, &a, &b) < 1e-4);
+
+    // 3. Deploy: the same units fill the paper's device to a sane size.
+    let units = UnitSet::with_stages(FpFormat::SINGLE, ka, km, &tech, opts);
+    let fill = DeviceFill::new(Device::XC2VP125, &units, 64, &tech);
+    assert!(fill.pe_count >= 20, "PEs = {}", fill.pe_count);
+    assert!(fill.gflops() > 5.0);
+}
+
+#[test]
+fn all_three_precisions_run_the_same_flow() {
+    let tech = Tech::virtex2pro();
+    for fmt in FpFormat::PAPER_PRECISIONS {
+        let add = CoreSweep::adder(fmt, &tech, SynthesisOptions::SPEED);
+        let mul = CoreSweep::multiplier(fmt, &tech, SynthesisOptions::SPEED);
+        let n = 6usize;
+        let a = Matrix::from_fn(fmt, n, n, |i, j| (i as f64 - j as f64) * 0.5);
+        let b = Matrix::from_fn(fmt, n, n, |i, j| (i * j) as f64 * 0.25);
+        let (c, _) = LinearArray::multiply(
+            fmt,
+            RoundMode::NearestEven,
+            mul.opt().stages,
+            add.opt().stages,
+            &a,
+            &b,
+            UnitBackend::Fast,
+        );
+        assert_eq!(c, reference_matmul(&a, &b, RoundMode::NearestEven), "{fmt}");
+    }
+}
+
+#[test]
+fn blocked_and_flat_agree_bitwise() {
+    let fmt = FpFormat::SINGLE;
+    let n = 16u32;
+    let a = Matrix::from_fn(fmt, n as usize, n as usize, |i, j| ((i * 7 + j) as f64 * 0.31).sin());
+    let b = Matrix::from_fn(fmt, n as usize, n as usize, |i, j| ((i + j * 5) as f64 * 0.27).cos());
+    let (flat, _) =
+        LinearArray::multiply(fmt, RoundMode::NearestEven, 7, 9, &a, &b, UnitBackend::Fast);
+    for bs in [4u32, 8, 16] {
+        let plan = BlockMatMul::new(n, bs, 16);
+        let (blocked, _) = plan.run(fmt, RoundMode::NearestEven, 7, 9, &a, &b, UnitBackend::Fast);
+        assert_eq!(blocked, flat, "b = {bs}");
+    }
+}
+
+#[test]
+fn structural_and_fast_backends_agree_in_the_array() {
+    let fmt = FpFormat::SINGLE;
+    let n = 5usize;
+    let a = Matrix::from_fn(fmt, n, n, |i, j| (i as f64 + 1.0) / (j as f64 + 2.0));
+    let b = Matrix::from_fn(fmt, n, n, |i, j| (j as f64 - i as f64) * 1.5);
+    let (fast, s1) =
+        LinearArray::multiply(fmt, RoundMode::NearestEven, 4, 6, &a, &b, UnitBackend::Fast);
+    let (structural, s2) =
+        LinearArray::multiply(fmt, RoundMode::NearestEven, 4, 6, &a, &b, UnitBackend::Structural);
+    assert_eq!(fast, structural);
+    assert_eq!(s1, s2);
+}
+
+#[test]
+fn truncation_mode_flows_through_the_kernel() {
+    let fmt = FpFormat::SINGLE;
+    let n = 6usize;
+    let a = Matrix::from_fn(fmt, n, n, |i, j| ((i * n + j) as f64 * 0.41).sin());
+    let b = Matrix::from_fn(fmt, n, n, |i, j| ((i * 2 + j) as f64 * 0.37).cos());
+    let (ne, _) = LinearArray::multiply(fmt, RoundMode::NearestEven, 4, 5, &a, &b, UnitBackend::Fast);
+    let (tr, _) = LinearArray::multiply(fmt, RoundMode::Truncate, 4, 5, &a, &b, UnitBackend::Fast);
+    assert_eq!(tr, reference_matmul(&a, &b, RoundMode::Truncate));
+    assert_ne!(ne, tr, "rounding mode must be observable");
+}
+
+#[test]
+fn custom_format_end_to_end() {
+    // A 20-bit format runs the whole stack: sweep, simulate, multiply.
+    let fmt = FpFormat::new(7, 12);
+    let tech = Tech::virtex2pro();
+    let sweep = CoreSweep::adder(fmt, &tech, SynthesisOptions::SPEED);
+    assert!(sweep.fastest().clock_mhz > 200.0, "small formats are fast");
+    let n = 4usize;
+    let a = Matrix::identity(fmt, n);
+    let b = Matrix::from_fn(fmt, n, n, |i, j| (i + j) as f64);
+    let (c, _) = LinearArray::multiply(fmt, RoundMode::NearestEven, 3, 4, &a, &b, UnitBackend::Fast);
+    assert_eq!(c, b);
+}

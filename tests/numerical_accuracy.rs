@@ -1,0 +1,179 @@
+//! Numerical-accuracy integration: precision choices measured end to end
+//! across kernels, formats and rounding modes — the quantitative backing
+//! for the paper's premise that these applications "demand high numerical
+//! stability and accuracy and hence are usually floating-point based".
+
+use fpfpga::matmul::accuracy::{matmul_error, ulp_at, ErrorMeter};
+use fpfpga::matmul::fft::{Cplx, FftEngine};
+use fpfpga::matmul::pe::UnitBackend;
+use fpfpga::matmul::reference::f64_matmul;
+use fpfpga::prelude::*;
+
+fn test_matrices(fmt: FpFormat, n: usize) -> (Matrix, Matrix) {
+    (
+        Matrix::from_fn(fmt, n, n, |i, j| ((i * n + j) as f64 * 0.21).sin()),
+        Matrix::from_fn(fmt, n, n, |i, j| ((i * 2 + j * 3) as f64 * 0.17).cos()),
+    )
+}
+
+#[test]
+fn matmul_error_scales_with_format() {
+    let n = 12;
+    let mut errors = Vec::new();
+    for fmt in FpFormat::PAPER_PRECISIONS {
+        let (a, b) = test_matrices(fmt, n);
+        let (c, _) =
+            LinearArray::multiply(fmt, RoundMode::NearestEven, 5, 7, &a, &b, UnitBackend::Fast);
+        let stats = matmul_error(&c, &a, &b);
+        // Absolute error is bounded by ~n ulps *at the accumulation
+        // magnitude* (errors accrue at intermediate scale, so the
+        // per-result-ulp figure can be much larger after cancellation).
+        let scale = (0..n)
+            .flat_map(|i| (0..n).map(move |j| (i, j)))
+            .map(|(i, j)| a.get_f64(i, j).abs())
+            .fold(1.0f64, f64::max)
+            * n as f64;
+        assert!(
+            stats.max_abs <= 4.0 * n as f64 * ulp_at(fmt, scale),
+            "{fmt}: abs {} vs bound {}",
+            stats.max_abs,
+            4.0 * n as f64 * ulp_at(fmt, scale)
+        );
+        errors.push(stats.max_abs);
+    }
+    assert!(errors[0] > errors[1] && errors[1] > errors[2], "{errors:?}");
+    // 48-bit sits ~13 bits (≈ 4 decimal digits) below single's error
+    assert!(errors[0] / errors[1] > 1e3, "{} / {}", errors[0], errors[1]);
+}
+
+#[test]
+fn custom_format_accuracy_interpolates() {
+    // A 20-bit format lands between half-precision-ish and single.
+    let n = 8;
+    let err_of = |fmt: FpFormat| {
+        let (a, b) = test_matrices(fmt, n);
+        let (c, _) =
+            LinearArray::multiply(fmt, RoundMode::NearestEven, 4, 5, &a, &b, UnitBackend::Fast);
+        matmul_error(&c, &a, &b).max_abs
+    };
+    let e16 = err_of(FpFormat::new(6, 9));
+    let e20 = err_of(FpFormat::new(7, 12));
+    let e32 = err_of(FpFormat::SINGLE);
+    assert!(e16 > e20 && e20 > e32, "{e16} {e20} {e32}");
+}
+
+#[test]
+fn fma_kernels_beat_two_step_on_error() {
+    // LU with fused MACs vs the same elimination with mul+sub: measure
+    // reconstruction error over a batch; fused must not lose.
+    let n = 14;
+    let fmt = FpFormat::SINGLE;
+    let a = Matrix::from_fn(fmt, n, n, |i, j| {
+        if i == j { 9.0 + i as f64 } else { ((i * n + j) as f64 * 0.29).sin() }
+    });
+    let eng = fpfpga::matmul::LuEngine::new(fmt, RoundMode::NearestEven, 12, 5, 2);
+    let fused = eng.factor(&a);
+    let back = fpfpga::matmul::lu::reconstruct(&fused.lu, RoundMode::NearestEven);
+    let fused_err = back.max_abs_diff(&a);
+
+    // two-step elimination in softfp
+    let mut m = a.clone();
+    for k in 0..n {
+        let pivot = SoftFloat::from_bits(fmt, m.get(k, k));
+        for i in k + 1..n {
+            let (l, _) = SoftFloat::from_bits(fmt, m.get(i, k)).div(&pivot, RoundMode::NearestEven);
+            m.set(i, k, l.bits());
+            for j in k + 1..n {
+                let (p, _) = l.mul(&SoftFloat::from_bits(fmt, m.get(k, j)), RoundMode::NearestEven);
+                let (d, _) = SoftFloat::from_bits(fmt, m.get(i, j)).sub(&p, RoundMode::NearestEven);
+                m.set(i, j, d.bits());
+            }
+        }
+    }
+    let back2 = fpfpga::matmul::lu::reconstruct(&m, RoundMode::NearestEven);
+    let two_step_err = back2.max_abs_diff(&a);
+    assert!(
+        fused_err <= two_step_err * 1.5,
+        "fused {fused_err} vs two-step {two_step_err}"
+    );
+}
+
+#[test]
+fn fft_accuracy_budget() {
+    // An n-point FFT does log2(n) rounded stages; error stays within a
+    // small multiple of sqrt(log n) ulps of the result magnitude.
+    let n = 128;
+    let fmt = FpFormat::SINGLE;
+    let x: Vec<Cplx> = (0..n)
+        .map(|i| Cplx::from_f64(fmt, (i as f64 * 0.05).sin(), (i as f64 * 0.03).cos()))
+        .collect();
+    let eng = FftEngine::new(fmt, RoundMode::NearestEven, 7, 9);
+    let (got, _) = eng.run(&x, false);
+    // compare against a double-precision FFT via the same engine in f64
+    let eng64 = FftEngine::new(FpFormat::DOUBLE, RoundMode::NearestEven, 7, 9);
+    let x64: Vec<Cplx> = x
+        .iter()
+        .map(|c| {
+            let (re, im) = c.to_f64(fmt);
+            Cplx::from_f64(FpFormat::DOUBLE, re, im)
+        })
+        .collect();
+    let (want, _) = eng64.run(&x64, false);
+    let mut meter = ErrorMeter::new(fmt, 1e-30);
+    for (g, w) in got.iter().zip(&want) {
+        let (wr, wi) = w.to_f64(FpFormat::DOUBLE);
+        meter.record(g.re, wr);
+        meter.record(g.im, wi);
+    }
+    let s = meter.stats();
+    assert!(s.max_abs < 6.0 * (n as f64) * ulp_at(fmt, 1.0), "max abs = {}", s.max_abs);
+    assert!(s.rms < s.max_abs);
+    assert_eq!(s.count, 2 * n);
+}
+
+#[test]
+fn truncation_mode_costs_accuracy_everywhere() {
+    let n = 10;
+    let fmt = FpFormat::SINGLE;
+    let (a, b) = test_matrices(fmt, n);
+    let (ne, _) = LinearArray::multiply(fmt, RoundMode::NearestEven, 4, 5, &a, &b, UnitBackend::Fast);
+    let (tr, _) = LinearArray::multiply(fmt, RoundMode::Truncate, 4, 5, &a, &b, UnitBackend::Fast);
+    let base = f64_matmul(&a, &b);
+    let mut m_ne = ErrorMeter::new(fmt, 1e-30);
+    m_ne.record_matrix(&ne, &base);
+    let mut m_tr = ErrorMeter::new(fmt, 1e-30);
+    m_tr.record_matrix(&tr, &base);
+    assert!(m_tr.stats().rms > m_ne.stats().rms);
+    assert!(m_tr.stats().max_abs >= m_ne.stats().max_abs);
+}
+
+#[test]
+fn dot_interleave_order_does_not_degrade_accuracy() {
+    // Banked accumulation is as accurate as sequential for benign data
+    // (it is the classical pairwise-ish improvement, if anything).
+    let fmt = FpFormat::SINGLE;
+    let n = 512;
+    let xs: Vec<u64> =
+        (0..n).map(|i| SoftFloat::from_f64(fmt, (i as f64 * 0.013).sin()).bits()).collect();
+    let ys: Vec<u64> =
+        (0..n).map(|i| SoftFloat::from_f64(fmt, (i as f64 * 0.027).cos()).bits()).collect();
+    let exact: f64 = xs
+        .iter()
+        .zip(&ys)
+        .map(|(&a, &b)| {
+            SoftFloat::from_bits(fmt, a).to_f64() * SoftFloat::from_bits(fmt, b).to_f64()
+        })
+        .sum();
+    // sequential softfp
+    let mut acc = SoftFloat::zero(fmt);
+    for (&a, &b) in xs.iter().zip(&ys) {
+        let (r, _) = acc.mac(&SoftFloat::from_bits(fmt, a), &SoftFloat::from_bits(fmt, b), RoundMode::NearestEven);
+        acc = r;
+    }
+    let seq_err = (acc.to_f64() - exact).abs();
+    // banked
+    let mut unit = DotProductUnit::new(fmt, RoundMode::NearestEven, 5, 9);
+    let (banked, _) = unit.dot(&xs, &ys);
+    let banked_err = (SoftFloat::from_bits(fmt, banked).to_f64() - exact).abs();
+    assert!(banked_err <= seq_err * 2.0, "banked {banked_err} vs sequential {seq_err}");
+}
