@@ -160,7 +160,9 @@ impl ProcessorComparison {
 /// paper's remark that the low-area vendor cores sometimes win that
 /// metric.
 pub fn vendor_beats_usc_on_freq_area(table: &Table3) -> bool {
-    let usc = table.adders[0].freq_per_area.min(table.multipliers[0].freq_per_area);
+    let usc = table.adders[0]
+        .freq_per_area
+        .min(table.multipliers[0].freq_per_area);
     table.adders[1..]
         .iter()
         .chain(&table.multipliers[1..])
@@ -185,7 +187,13 @@ mod tests {
         for rows in [&t.adders, &t.multipliers] {
             let usc = &rows[0];
             for v in &rows[1..] {
-                assert!(usc.clock_mhz > v.clock_mhz, "USC {} vs {} {}", usc.clock_mhz, v.who, v.clock_mhz);
+                assert!(
+                    usc.clock_mhz > v.clock_mhz,
+                    "USC {} vs {} {}",
+                    usc.clock_mhz,
+                    v.who,
+                    v.clock_mhz
+                );
             }
         }
     }
@@ -201,7 +209,10 @@ mod tests {
     fn usc_dominates_neu_in_table4() {
         let t = t4();
         for rows in [&t.adders, &t.multipliers] {
-            assert!(rows[0].clock_mhz > 2.0 * rows[1].clock_mhz, "USC should be >2x NEU clock");
+            assert!(
+                rows[0].clock_mhz > 2.0 * rows[1].clock_mhz,
+                "USC should be >2x NEU clock"
+            );
         }
     }
 

@@ -35,7 +35,10 @@ impl CustomFormat {
     /// A representative commercial 32-bit custom format: 10-bit exponent,
     /// 21-bit stored fraction (32 bits total including sign).
     pub fn commercial32() -> CustomFormat {
-        CustomFormat { ieee: FpFormat::SINGLE, custom: FpFormat::new(10, 21) }
+        CustomFormat {
+            ieee: FpFormat::SINGLE,
+            custom: FpFormat::new(10, 21),
+        }
     }
 
     /// Convert an IEEE encoding into the custom format.
@@ -73,13 +76,19 @@ impl CustomFormat {
         let mut n = Netlist::new("format converter", self.ieee.total_bits(), exp + 2);
         n.push(
             "mantissa shifter",
-            &Primitive::BarrelShifter { bits: wide, levels: log2_ceil(wide) },
+            &Primitive::BarrelShifter {
+                bits: wide,
+                levels: log2_ceil(wide),
+            },
             tech,
         );
         n.push("round adder", &Primitive::ConstAdder { bits: wide }, tech);
         n.push_parallel(
             "exponent re-bias",
-            &Primitive::FixedAdder { bits: exp, carry_ns_per_bit: tech.t_carry_per_bit_ns },
+            &Primitive::FixedAdder {
+                bits: exp,
+                carry_ns_per_bit: tech.t_carry_per_bit_ns,
+            },
             tech,
         );
         n
@@ -122,7 +131,7 @@ mod tests {
     #[test]
     fn through_custom_add_is_close_but_not_exact() {
         let cf = CustomFormat::commercial32();
-        let (a, b) = (1.234_567_8f32, 9.876_543_2f32);
+        let (a, b) = (1.234_567_8f32, 9.876_543_f32);
         let (r, _) = cf.through_custom(
             a.to_bits() as u64,
             b.to_bits() as u64,
@@ -151,7 +160,10 @@ mod tests {
                 divergences += 1;
             }
         }
-        assert!(divergences > 50, "custom-format pipeline should usually differ: {divergences}");
+        assert!(
+            divergences > 50,
+            "custom-format pipeline should usually differ: {divergences}"
+        );
     }
 
     #[test]
@@ -159,7 +171,11 @@ mod tests {
         let tech = Tech::virtex2pro();
         let cf = CustomFormat::commercial32();
         let a = cf.integration_area(&tech);
-        assert!(a.slices(&tech) > 100.0, "3 converters cost real slices: {}", a.slices(&tech));
+        assert!(
+            a.slices(&tech) > 100.0,
+            "3 converters cost real slices: {}",
+            a.slices(&tech)
+        );
     }
 
     #[test]
@@ -170,7 +186,10 @@ mod tests {
         let big = f32::MAX.to_bits() as u64;
         let (c1, _) = cf.to_custom(big, RoundMode::NearestEven);
         let (sq, f) = mul_bits(cf.custom, c1, c1, RoundMode::NearestEven);
-        assert!(!f.overflow, "custom exponent range should absorb the square");
+        assert!(
+            !f.overflow,
+            "custom exponent range should absorb the square"
+        );
         // ... but converting back overflows to IEEE infinity.
         let (back, f) = cf.to_ieee(sq, RoundMode::NearestEven);
         assert!(f.overflow);

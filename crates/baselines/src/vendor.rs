@@ -175,6 +175,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // documents the catalogue values
     fn neu_cores_are_slow() {
         // The library predates throughput-oriented pipelining.
         assert!(VendorCore::NEU_ADD64.clock_mhz < 100.0);

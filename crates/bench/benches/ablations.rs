@@ -20,7 +20,10 @@ fn print_ablations() {
 
     println!("\nAblation 1: register placement strategy (fp64 adder)");
     let netlist = AdderDesign::new(FpFormat::DOUBLE).netlist(&tech);
-    println!("{:>8} {:>22} {:>12} {:>10}", "stages", "strategy", "clock (MHz)", "FFs");
+    println!(
+        "{:>8} {:>22} {:>12} {:>10}",
+        "stages", "strategy", "clock (MHz)", "FFs"
+    );
     for k in [4u32, 8, 12, 16] {
         for strat in [
             PipelineStrategy::IterativeRefinement,
@@ -28,17 +31,37 @@ fn print_ablations() {
             PipelineStrategy::EndLoaded,
         ] {
             let r = timing::evaluate(&netlist, k, strat, SynthesisOptions::SPEED, &tech);
-            println!("{k:>8} {:>22} {:>12.1} {:>10}", format!("{strat:?}"), r.clock_mhz, r.ffs);
+            println!(
+                "{k:>8} {:>22} {:>12.1} {:>10}",
+                format!("{strat:?}"),
+                r.clock_mhz,
+                r.ffs
+            );
         }
     }
 
     println!("\nAblation 2: tool objectives (fp32 adder, opt point)");
-    println!("{:>26} {:>8} {:>8} {:>12} {:>12}", "objectives", "stages", "slices", "clock (MHz)", "MHz/slice");
+    println!(
+        "{:>26} {:>8} {:>8} {:>12} {:>12}",
+        "objectives", "stages", "slices", "clock (MHz)", "MHz/slice"
+    );
     for (label, opts) in [
         ("speed/speed", SynthesisOptions::SPEED),
         ("area/area", SynthesisOptions::AREA),
-        ("speed/area", SynthesisOptions { synthesis: Objective::Speed, par: Objective::Area }),
-        ("area/speed", SynthesisOptions { synthesis: Objective::Area, par: Objective::Speed }),
+        (
+            "speed/area",
+            SynthesisOptions {
+                synthesis: Objective::Speed,
+                par: Objective::Area,
+            },
+        ),
+        (
+            "area/speed",
+            SynthesisOptions {
+                synthesis: Objective::Area,
+                par: Objective::Speed,
+            },
+        ),
     ] {
         let sweep = AdderDesign::new(FpFormat::SINGLE).sweep(&tech, opts);
         let o = timing::optimal(&sweep);
@@ -53,7 +76,10 @@ fn print_ablations() {
 
     println!("\nAblation 3: priority-encoder synthesis (fp64 adder peak clock)");
     for forced in [true, false] {
-        let d = AdderDesign { force_priority_encoder: forced, ..AdderDesign::new(FpFormat::DOUBLE) };
+        let d = AdderDesign {
+            force_priority_encoder: forced,
+            ..AdderDesign::new(FpFormat::DOUBLE)
+        };
         let best = d
             .sweep(&tech, SynthesisOptions::SPEED)
             .iter()
@@ -100,7 +126,9 @@ fn bench_ablations(c: &mut Criterion) {
     ] {
         g.bench_function(format!("pipeline_{strat:?}_12_stages"), |b| {
             b.iter(|| {
-                black_box(timing::evaluate(&netlist, 12, strat, SynthesisOptions::SPEED, &tech).clock_mhz)
+                black_box(
+                    timing::evaluate(&netlist, 12, strat, SynthesisOptions::SPEED, &tech).clock_mhz,
+                )
             })
         });
     }

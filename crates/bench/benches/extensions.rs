@@ -12,7 +12,10 @@ fn print_extension_tables() {
     let opts = SynthesisOptions::SPEED;
 
     println!("\nDivider / sqrt design points (extension; not in the paper)");
-    println!("{:<14} {:>8} {:>8} {:>12} {:>12}", "core", "stages", "slices", "clock (MHz)", "MHz/slice");
+    println!(
+        "{:<14} {:>8} {:>8} {:>12} {:>12}",
+        "core", "stages", "slices", "clock (MHz)", "MHz/slice"
+    );
     for fmt in [FpFormat::SINGLE, FpFormat::DOUBLE] {
         for (name, sweep) in [
             ("divider", DividerDesign::new(fmt).sweep(&tech, opts)),
@@ -31,7 +34,10 @@ fn print_extension_tables() {
     }
 
     println!("\nFull-IEEE (denormal + NaN) support cost at the freq/area optimum");
-    println!("{:<12} {:>8} {:>14} {:>16}", "core", "format", "slice overhead", "freq/area ratio");
+    println!(
+        "{:<12} {:>8} {:>14} {:>16}",
+        "core", "format", "slice overhead", "freq/area ratio"
+    );
     for r in ieee_cost_analysis(&tech, opts) {
         println!(
             "{:<12} {:>8} {:>13.1}% {:>16.2}",
@@ -114,8 +120,12 @@ fn bench_extensions(c: &mut Criterion) {
 
     // Dot product kernel.
     let n = 512usize;
-    let x: Vec<u64> = (0..n).map(|i| SoftFloat::from_f64(fmt, (i as f64 * 0.01).sin()).bits()).collect();
-    let y: Vec<u64> = (0..n).map(|i| SoftFloat::from_f64(fmt, (i as f64 * 0.03).cos()).bits()).collect();
+    let x: Vec<u64> = (0..n)
+        .map(|i| SoftFloat::from_f64(fmt, (i as f64 * 0.01).sin()).bits())
+        .collect();
+    let y: Vec<u64> = (0..n)
+        .map(|i| SoftFloat::from_f64(fmt, (i as f64 * 0.03).cos()).bits())
+        .collect();
     g.bench_function("dot_product_sim_512", |b| {
         b.iter(|| {
             let mut unit = DotProductUnit::new(fmt, rm, 7, 9);
@@ -130,8 +140,9 @@ fn bench_extensions(c: &mut Criterion) {
     g.bench_function("fir_8tap_512_samples", |b| {
         use fpfpga::matmul::FirFilter;
         let coeffs = [0.1f64; 8];
-        let xs: Vec<u64> =
-            (0..512).map(|i| SoftFloat::from_f64(fmt, (i as f64 * 0.02).sin()).bits()).collect();
+        let xs: Vec<u64> = (0..512)
+            .map(|i| SoftFloat::from_f64(fmt, (i as f64 * 0.02).sin()).bits())
+            .collect();
         b.iter(|| {
             let mut fir = FirFilter::new(fmt, rm, &coeffs, 6);
             black_box(fir.filter(&xs).len())
@@ -153,7 +164,11 @@ fn bench_extensions(c: &mut Criterion) {
         use fpfpga::matmul::LuEngine;
         let n = 24;
         let a = Matrix::from_fn(fmt, n, n, |i, j| {
-            if i == j { 10.0 + i as f64 } else { ((i * n + j) as f64 * 0.19).sin() }
+            if i == j {
+                10.0 + i as f64
+            } else {
+                ((i * n + j) as f64 * 0.19).sin()
+            }
         });
         let eng = LuEngine::new(fmt, rm, 16, 6, 4);
         b.iter(|| black_box(eng.factor(&a).cycles))
@@ -164,7 +179,12 @@ fn bench_extensions(c: &mut Criterion) {
     g.bench_function("pareto_explorer_n128", |b| {
         let tech = Tech::virtex2pro();
         let e = Explorer::new(fmt, 128);
-        b.iter(|| black_box(e.pareto(&Constraints::default(), &tech, SynthesisOptions::SPEED).len()))
+        b.iter(|| {
+            black_box(
+                e.pareto(&Constraints::default(), &tech, SynthesisOptions::SPEED)
+                    .len(),
+            )
+        })
     });
     g.finish();
 }

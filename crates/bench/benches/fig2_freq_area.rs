@@ -33,7 +33,13 @@ fn bench_fig2(c: &mut Criterion) {
         })
     });
     g.bench_function("full_precision_analysis", |b| {
-        b.iter(|| black_box(PrecisionAnalysis::run(&tech, SynthesisOptions::SPEED).adders.len()))
+        b.iter(|| {
+            black_box(
+                PrecisionAnalysis::run(&tech, SynthesisOptions::SPEED)
+                    .adders
+                    .len(),
+            )
+        })
     });
     g.finish();
 }

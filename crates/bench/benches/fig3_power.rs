@@ -15,7 +15,13 @@ fn bench_power(c: &mut Criterion) {
     regenerate_and_print();
 
     let model = PowerModel::virtex2pro();
-    let area = AreaCost { luts: 800.0, ffs: 1200.0, bmults: 4, brams: 2, routing_slices: 0.0 };
+    let area = AreaCost {
+        luts: 800.0,
+        ffs: 1200.0,
+        bmults: 4,
+        brams: 2,
+        routing_slices: 0.0,
+    };
 
     let mut g = c.benchmark_group("power_energy");
     g.bench_function("xpower_eval", |b| {
@@ -23,8 +29,12 @@ fn bench_power(c: &mut Criterion) {
     });
 
     let tech = Tech::virtex2pro();
-    let units =
-        UnitSet::for_level(FpFormat::SINGLE, PipeliningLevel::Moderate, &tech, SynthesisOptions::SPEED);
+    let units = UnitSet::for_level(
+        FpFormat::SINGLE,
+        PipeliningLevel::Moderate,
+        &tech,
+        SynthesisOptions::SPEED,
+    );
     g.bench_function("flat_energy_report_n32", |b| {
         let arch = ArchitectureEnergy::new(units.clone(), 32, 32, &tech);
         b.iter(|| black_box(arch.charge_flat(32, &tech).total_nj()))

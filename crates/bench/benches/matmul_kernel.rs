@@ -74,7 +74,15 @@ fn bench_matmul(c: &mut Criterion) {
         let bm = Matrix::from_fn(fmt, n, n, |i, j| ((i ^ j) as f64 * 0.05).cos());
         let plan = BlockMatMul::new(n as u32, 8, 16);
         bch.iter(|| {
-            let (c, _) = plan.run(fmt, RoundMode::NearestEven, 7, 9, &am, &bm, UnitBackend::Fast);
+            let (c, _) = plan.run(
+                fmt,
+                RoundMode::NearestEven,
+                7,
+                9,
+                &am,
+                &bm,
+                UnitBackend::Fast,
+            );
             black_box(c.get(0, 0))
         })
     });

@@ -35,7 +35,9 @@ fn bench_units(c: &mut Criterion) {
 
     // Structural stage-by-stage simulation at the Table 1 "opt" depth.
     let tech = Tech::virtex2pro();
-    let opt_add = CoreSweep::adder(FpFormat::SINGLE, &tech, SynthesisOptions::SPEED).opt().stages;
+    let opt_add = CoreSweep::adder(FpFormat::SINGLE, &tech, SynthesisOptions::SPEED)
+        .opt()
+        .stages;
     g.bench_function("structural_adder_fp32_opt_depth", |b| {
         let design = AdderDesign::new(FpFormat::SINGLE);
         b.iter_with_setup(

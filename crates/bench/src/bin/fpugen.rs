@@ -22,71 +22,129 @@
 use fpfpga::fpu::generator::{generate, Metric, Request, UnitOp};
 use fpfpga::prelude::*;
 
+/// Reject a flag's value: name the flag, echo the value, list what was
+/// expected, exit 2 (usage error).
+fn bad_flag(flag: &str, value: &str, expected: &str) -> ! {
+    eprintln!("error: invalid value '{value}' for {flag}: expected {expected}");
+    std::process::exit(2);
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: &str, expected: &str) -> T {
+    value
+        .parse()
+        .unwrap_or_else(|_| bad_flag(flag, value, expected))
+}
+
+/// Flags that consume a value; anything else on the command line must be
+/// `--verbose` or it is rejected up front.
+const VALUE_FLAGS: &[&str] = &[
+    "--op",
+    "--bits",
+    "--exp",
+    "--frac",
+    "--target-mhz",
+    "--max-slices",
+    "--metric",
+    "--tech",
+    "--objective",
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a == "--verbose" {
+            i += 1;
+        } else if VALUE_FLAGS.contains(&a) {
+            match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => i += 2,
+                _ => {
+                    eprintln!("error: {a} requires a value");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            eprintln!(
+                "error: unrecognized argument '{a}' (flags: {} , --verbose)",
+                VALUE_FLAGS.join(" ")
+            );
+            std::process::exit(2);
+        }
+    }
     let get = |name: &str| -> Option<String> {
-        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
     };
 
-    let op = match get("--op").as_deref().and_then(UnitOp::parse) {
-        Some(op) => op,
+    let op = match get("--op") {
+        Some(v) => UnitOp::parse(&v)
+            .unwrap_or_else(|| bad_flag("--op", &v, "one of add, mul, div, sqrt, mac")),
         None => {
-            eprintln!("--op <add|mul|div|sqrt|mac> is required");
+            eprintln!("error: --op <add|mul|div|sqrt|mac> is required");
             std::process::exit(2);
         }
     };
 
     let format = if let (Some(e), Some(f)) = (get("--exp"), get("--frac")) {
-        let (e, f) = (e.parse().expect("--exp"), f.parse().expect("--frac"));
-        FpFormat::try_new(e, f).unwrap_or_else(|| {
-            eprintln!("invalid custom format 1+{e}+{f}");
+        let exp: u32 = parse_num("--exp", &e, "an exponent width in bits");
+        let frac: u32 = parse_num("--frac", &f, "a fraction width in bits");
+        FpFormat::try_new(exp, frac).unwrap_or_else(|| {
+            eprintln!(
+                "error: invalid values '{e}'/'{f}' for --exp/--frac: \
+                 1+{exp}+{frac} is not a representable format"
+            );
             std::process::exit(2);
         })
     } else {
-        match get("--bits").as_deref().unwrap_or("32") {
+        let v = get("--bits").unwrap_or_else(|| "32".to_string());
+        match v.as_str() {
             "32" => FpFormat::SINGLE,
             "48" => FpFormat::FP48,
             "64" => FpFormat::DOUBLE,
-            other => {
-                eprintln!("--bits must be 32, 48 or 64 (got {other}); use --exp/--frac for custom");
-                std::process::exit(2);
-            }
+            _ => bad_flag(
+                "--bits",
+                &v,
+                "32, 48 or 64 (use --exp/--frac for custom formats)",
+            ),
         }
     };
 
-    let metric = match get("--metric").as_deref().unwrap_or("freq-area") {
-        "max-freq" => Metric::MaxFrequency,
-        "freq-area" => Metric::FreqPerArea,
-        "min-area" => Metric::MinArea,
-        other => {
-            eprintln!("unknown metric '{other}'");
-            std::process::exit(2);
+    let metric = {
+        let v = get("--metric").unwrap_or_else(|| "freq-area".to_string());
+        match v.as_str() {
+            "max-freq" => Metric::MaxFrequency,
+            "freq-area" => Metric::FreqPerArea,
+            "min-area" => Metric::MinArea,
+            _ => bad_flag("--metric", &v, "one of max-freq, freq-area, min-area"),
         }
     };
 
-    let tech = match get("--tech").as_deref().unwrap_or("v2pro") {
-        "v2pro" => Tech::virtex2pro(),
-        "virtexe" => Tech::virtex_e(),
-        other => {
-            eprintln!("unknown tech '{other}'");
-            std::process::exit(2);
+    let tech = {
+        let v = get("--tech").unwrap_or_else(|| "v2pro".to_string());
+        match v.as_str() {
+            "v2pro" => Tech::virtex2pro(),
+            "virtexe" => Tech::virtex_e(),
+            _ => bad_flag("--tech", &v, "one of v2pro, virtexe"),
         }
     };
 
-    let opts = match get("--objective").as_deref().unwrap_or("speed") {
-        "speed" => SynthesisOptions::SPEED,
-        "area" => SynthesisOptions::AREA,
-        other => {
-            eprintln!("unknown objective '{other}'");
-            std::process::exit(2);
+    let opts = {
+        let v = get("--objective").unwrap_or_else(|| "speed".to_string());
+        match v.as_str() {
+            "speed" => SynthesisOptions::SPEED,
+            "area" => SynthesisOptions::AREA,
+            _ => bad_flag("--objective", &v, "one of speed, area"),
         }
     };
 
     let req = Request {
         format,
         op,
-        target_mhz: get("--target-mhz").map(|v| v.parse().expect("--target-mhz")),
-        max_slices: get("--max-slices").map(|v| v.parse().expect("--max-slices")),
+        target_mhz: get("--target-mhz")
+            .map(|v| parse_num("--target-mhz", &v, "a clock frequency in MHz")),
+        max_slices: get("--max-slices").map(|v| parse_num("--max-slices", &v, "a slice count")),
         metric,
     };
 
@@ -94,7 +152,11 @@ fn main() {
         Ok(g) => {
             println!("generated {:?} unit, {format}:", op);
             println!("  {}", g.report);
-            println!("  latency: {} cycles = {:.1} ns", g.report.stages, g.report.latency_ns());
+            println!(
+                "  latency: {} cycles = {:.1} ns",
+                g.report.stages,
+                g.report.latency_ns()
+            );
             println!("  rationale: {}", g.rationale);
             for w in &g.warnings {
                 println!("  warning: {w}");

@@ -33,7 +33,9 @@ fn main() {
             "fig3" => render::json::fig3_json(&repro::fig3()),
             "gflops" => render::json::gflops_json(&repro::gflops()),
             "fig4" => render::json::fig4_json(&repro::fig4()),
-            "fig5" => render::json::arch_points_json("5", "n", &repro::fig5(&repro::FIG5_PROBLEM_SIZES)),
+            "fig5" => {
+                render::json::arch_points_json("5", "n", &repro::fig5(&repro::FIG5_PROBLEM_SIZES))
+            }
             "fig6" => render::json::arch_points_json(
                 "6",
                 "b",
@@ -45,7 +47,10 @@ fn main() {
                 std::process::exit(2);
             }
         };
-        println!("{}", serde_json::to_string_pretty(&doc).expect("valid JSON"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&doc).expect("valid JSON")
+        );
         return;
     }
     let out = match what {

@@ -43,8 +43,11 @@ pub fn unit_table_json(name: &str, t: &UnitTable) -> Value {
 }
 
 /// Table 3 or 4 as JSON.
-pub fn comparison_json(name: &str, adders: &[fpfpga::baselines::comparison::ComparisonRow],
-                       multipliers: &[fpfpga::baselines::comparison::ComparisonRow]) -> Value {
+pub fn comparison_json(
+    name: &str,
+    adders: &[fpfpga::baselines::comparison::ComparisonRow],
+    multipliers: &[fpfpga::baselines::comparison::ComparisonRow],
+) -> Value {
     let row = |r: &fpfpga::baselines::comparison::ComparisonRow| {
         json!({
             "who": r.who, "stages": r.stages, "slices": r.slices,

@@ -5,18 +5,27 @@
 
 pub mod json;
 
-use fpfpga::repro::{self, ArchPoint, Fig2, Fig3, Fig4Bar, GflopsReport, UnitTable};
 use fpfpga::prelude::*;
+use fpfpga::repro::{self, ArchPoint, Fig2, Fig3, Fig4Bar, GflopsReport, UnitTable};
 use std::fmt::Write as _;
 
 /// Render Figure 2 (frequency/area vs pipeline stages).
 pub fn render_fig2(f: &Fig2) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Figure 2. Frequency/Area (MHz/slice) vs. number of pipeline stages");
-    for (part, curves) in [("(a) Adder/Subtractor", &f.adders), ("(b) Multiplier", &f.multipliers)]
-    {
+    let _ = writeln!(
+        s,
+        "Figure 2. Frequency/Area (MHz/slice) vs. number of pipeline stages"
+    );
+    for (part, curves) in [
+        ("(a) Adder/Subtractor", &f.adders),
+        ("(b) Multiplier", &f.multipliers),
+    ] {
         let _ = writeln!(s, "\n{part}");
-        let _ = writeln!(s, "{:>7} {:>10} {:>10} {:>10}", "stages", "32-bit", "48-bit", "64-bit");
+        let _ = writeln!(
+            s,
+            "{:>7} {:>10} {:>10} {:>10}",
+            "stages", "32-bit", "48-bit", "64-bit"
+        );
         let depth = curves.iter().map(|c| c.points.len()).max().unwrap_or(0);
         for row in 0..depth {
             let _ = write!(s, "{:>7}", row + 1);
@@ -43,11 +52,22 @@ pub fn render_unit_table(title: &str, t: &UnitTable) -> String {
     let _ = writeln!(
         s,
         "{:<22} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
-        "", "32/min", "32/max", "32/opt", "48/min", "48/max", "48/opt", "64/min", "64/max", "64/opt"
+        "",
+        "32/min",
+        "32/max",
+        "32/opt",
+        "48/min",
+        "48/max",
+        "48/opt",
+        "64/min",
+        "64/max",
+        "64/opt"
     );
     let cols: Vec<&fpfpga::fabric::ImplementationReport> =
         t.iter().flat_map(|b| [&b.min, &b.max, &b.opt]).collect();
-    let row = |s: &mut String, label: &str, f: &dyn Fn(&fpfpga::fabric::ImplementationReport) -> String| {
+    let row = |s: &mut String,
+               label: &str,
+               f: &dyn Fn(&fpfpga::fabric::ImplementationReport) -> String| {
         let _ = write!(s, "{label:<22}");
         for c in &cols {
             let _ = write!(s, " {:>9}", f(c));
@@ -58,8 +78,12 @@ pub fn render_unit_table(title: &str, t: &UnitTable) -> String {
     row(&mut s, "Area (slices)", &|r| r.slices.to_string());
     row(&mut s, "LUTs", &|r| r.luts.to_string());
     row(&mut s, "Flip Flops", &|r| r.ffs.to_string());
-    row(&mut s, "Clock Rate (MHz)", &|r| format!("{:.1}", r.clock_mhz));
-    row(&mut s, "Freq/Area (MHz/slice)", &|r| format!("{:.4}", r.freq_per_area()));
+    row(&mut s, "Clock Rate (MHz)", &|r| {
+        format!("{:.1}", r.clock_mhz)
+    });
+    row(&mut s, "Freq/Area (MHz/slice)", &|r| {
+        format!("{:.4}", r.freq_per_area())
+    });
     s
 }
 
@@ -67,7 +91,10 @@ pub fn render_unit_table(title: &str, t: &UnitTable) -> String {
 pub fn render_table3(t: &Table3) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "Table 3. Comparison of 32-bit Floating Point Units");
-    for (part, rows) in [("32-bit Adder", &t.adders), ("32-bit Multiplier", &t.multipliers)] {
+    for (part, rows) in [
+        ("32-bit Adder", &t.adders),
+        ("32-bit Multiplier", &t.multipliers),
+    ] {
         let _ = writeln!(s, "\n{part}");
         let _ = writeln!(
             s,
@@ -89,7 +116,10 @@ pub fn render_table3(t: &Table3) -> String {
 pub fn render_table4(t: &Table4) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "Table 4. Comparison of 64-bit Floating Point Units");
-    for (part, rows) in [("64-bit Adder", &t.adders), ("64-bit Multiplier", &t.multipliers)] {
+    for (part, rows) in [
+        ("64-bit Adder", &t.adders),
+        ("64-bit Multiplier", &t.multipliers),
+    ] {
         let _ = writeln!(s, "\n{part}");
         let _ = writeln!(
             s,
@@ -111,11 +141,20 @@ pub fn render_table4(t: &Table4) -> String {
 /// Render Figure 3 (power vs pipeline stages at 100 MHz).
 pub fn render_fig3(f: &Fig3) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Figure 3. Power (mW at 100 MHz) vs. number of pipeline stages");
-    for (part, curves) in [("(a) Adder/Subtractor", &f.adders), ("(b) Multiplier", &f.multipliers)]
-    {
+    let _ = writeln!(
+        s,
+        "Figure 3. Power (mW at 100 MHz) vs. number of pipeline stages"
+    );
+    for (part, curves) in [
+        ("(a) Adder/Subtractor", &f.adders),
+        ("(b) Multiplier", &f.multipliers),
+    ] {
         let _ = writeln!(s, "\n{part}");
-        let _ = writeln!(s, "{:>7} {:>10} {:>10} {:>10}", "stages", "32-bit", "48-bit", "64-bit");
+        let _ = writeln!(
+            s,
+            "{:>7} {:>10} {:>10} {:>10}",
+            "stages", "32-bit", "48-bit", "64-bit"
+        );
         let depth = curves.iter().map(|c| c.points.len()).max().unwrap_or(0);
         for row in 0..depth {
             let _ = write!(s, "{:>7}", row + 1);
@@ -138,8 +177,15 @@ pub fn render_fig3(f: &Fig3) -> String {
 /// Render the Section 4.2 GFLOPS report.
 pub fn render_gflops(g: &GflopsReport) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Section 4.2. Floating-point matrix multiplication on {}", g.single.device.name);
-    for (label, fill) in [("single (32-bit)", &g.single), ("double (64-bit)", &g.double)] {
+    let _ = writeln!(
+        s,
+        "Section 4.2. Floating-point matrix multiplication on {}",
+        g.single.device.name
+    );
+    for (label, fill) in [
+        ("single (32-bit)", &g.single),
+        ("double (64-bit)", &g.double),
+    ] {
         let _ = writeln!(
             s,
             "  {label:<16}: {:>3} PEs @ {:>5.1} MHz = {:>5.1} GFLOPS, {:>4.1} W, {:.2} GFLOPS/W",
@@ -150,7 +196,10 @@ pub fn render_gflops(g: &GflopsReport) -> String {
             fill.gflops_per_watt(0.3)
         );
     }
-    let _ = writeln!(s, "\n  vs. general-purpose processors (single precision, sustained):");
+    let _ = writeln!(
+        s,
+        "\n  vs. general-purpose processors (single precision, sustained):"
+    );
     for p in &g.comparison.processors {
         let _ = writeln!(
             s,
@@ -175,7 +224,11 @@ pub fn render_fig4(bars: &[Fig4Bar]) -> String {
     );
     for b in bars {
         let field = |class: ComponentClass| {
-            b.by_class.iter().find(|(c, _)| *c == class).map(|(_, e)| *e).unwrap_or(0.0)
+            b.by_class
+                .iter()
+                .find(|(c, _)| *c == class)
+                .map(|(_, e)| *e)
+                .unwrap_or(0.0)
         };
         let _ = writeln!(
             s,

@@ -31,18 +31,27 @@
 //! ```
 //! use fpfpga::prelude::*;
 //!
-//! // Sweep a single-precision adder's pipeline depth and pick the
+//! // Sweep any core kind's pipeline depth and pick the
 //! // highest-throughput/area implementation (the paper's "opt"):
 //! let tech = Tech::virtex2pro();
-//! let sweep = CoreSweep::adder(FpFormat::SINGLE, &tech, SynthesisOptions::SPEED);
+//! let sweep = CoreSweep::new(CoreKind::Adder, FpFormat::SINGLE, &tech, SynthesisOptions::SPEED);
 //! let opt = sweep.opt();
 //! println!("opt: {} stages, {} slices, {:.0} MHz", opt.stages, opt.slices, opt.clock_mhz);
 //!
-//! // Multiply two matrices on a cycle-accurate linear array:
+//! // Stream a batch through the core's cycle-accurate simulator —
+//! // bit-identical to clocking it by hand, one call:
+//! let mut unit = AdderDesign::new(FpFormat::SINGLE).simulator(opt.stages);
+//! let one = 1.0f32.to_bits() as u64;
+//! let results = unit.run_batch(&[(one, one), (one, one)]);
+//! assert_eq!(results.len(), 2);
+//! assert_eq!(results[0].0 as u32, 2.0f32.to_bits());
+//!
+//! // Multiply two matrices on a cycle-accurate linear array, over the
+//! // batched streaming engine:
 //! let fmt = FpFormat::SINGLE;
 //! let a = Matrix::from_fn(fmt, 8, 8, |i, j| (i + j) as f64);
 //! let b = Matrix::identity(fmt, 8);
-//! let (c, stats) = LinearArray::multiply(
+//! let (c, stats) = LinearArray::multiply_batched(
 //!     fmt, RoundMode::NearestEven, 7, 9, &a, &b, UnitBackend::Fast);
 //! assert_eq!(c, a);
 //! assert_eq!(stats.useful_macs, 8 * 8 * 8);
@@ -64,8 +73,9 @@ pub mod prelude {
         timing, AreaCost, Device, Netlist, Objective, PipelineStrategy, SynthesisOptions, Tech,
     };
     pub use fpfpga_fpu::{
-        analysis::CoreKind, AdderDesign, CoreSweep, DelayLineUnit, DividerDesign, FpPipe,
-        MultiplierDesign, PipelinedUnit, PrecisionAnalysis, SqrtDesign,
+        analysis::CoreKind, AdderDesign, CoreConfig, CoreConfigBuilder, CoreSweep, DelayLineUnit,
+        DividerDesign, FpPipe, MultiplierDesign, PipelinedUnit, PrecisionAnalysis, SqrtDesign,
+        StreamSession, SweepCache,
     };
     pub use fpfpga_matmul::pe::UnitBackend;
     pub use fpfpga_matmul::{

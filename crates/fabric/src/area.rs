@@ -32,12 +32,18 @@ pub struct AreaCost {
 impl AreaCost {
     /// A bill with only logic LUTs.
     pub fn luts(luts: f64) -> AreaCost {
-        AreaCost { luts, ..Default::default() }
+        AreaCost {
+            luts,
+            ..Default::default()
+        }
     }
 
     /// A bill with only flip-flops.
     pub fn ffs(ffs: f64) -> AreaCost {
-        AreaCost { ffs, ..Default::default() }
+        AreaCost {
+            ffs,
+            ..Default::default()
+        }
     }
 
     /// Total slices under the packing model described at module level.
@@ -126,7 +132,13 @@ mod tests {
 
     #[test]
     fn add_and_scale() {
-        let a = AreaCost { luts: 10.0, ffs: 4.0, bmults: 1, brams: 2, routing_slices: 0.0 };
+        let a = AreaCost {
+            luts: 10.0,
+            ffs: 4.0,
+            bmults: 1,
+            brams: 2,
+            routing_slices: 0.0,
+        };
         let b = a + a;
         assert_eq!(b.luts, 20.0);
         assert_eq!(b.bmults, 2);

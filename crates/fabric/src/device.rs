@@ -27,32 +27,77 @@ pub struct Device {
 
 impl Device {
     /// The paper's target: XC2VP125, speed grade -7, FF1696 package.
-    pub const XC2VP125: Device =
-        Device { name: "XC2VP125", slices: 55_616, mult18x18s: 556, brams: 556, ppc_cores: 4 };
+    pub const XC2VP125: Device = Device {
+        name: "XC2VP125",
+        slices: 55_616,
+        mult18x18s: 556,
+        brams: 556,
+        ppc_cores: 4,
+    };
     /// XC2VP100.
-    pub const XC2VP100: Device =
-        Device { name: "XC2VP100", slices: 44_096, mult18x18s: 444, brams: 444, ppc_cores: 2 };
+    pub const XC2VP100: Device = Device {
+        name: "XC2VP100",
+        slices: 44_096,
+        mult18x18s: 444,
+        brams: 444,
+        ppc_cores: 2,
+    };
     /// XC2VP70.
-    pub const XC2VP70: Device =
-        Device { name: "XC2VP70", slices: 33_088, mult18x18s: 328, brams: 328, ppc_cores: 2 };
+    pub const XC2VP70: Device = Device {
+        name: "XC2VP70",
+        slices: 33_088,
+        mult18x18s: 328,
+        brams: 328,
+        ppc_cores: 2,
+    };
     /// XC2VP50.
-    pub const XC2VP50: Device =
-        Device { name: "XC2VP50", slices: 23_616, mult18x18s: 232, brams: 232, ppc_cores: 2 };
+    pub const XC2VP50: Device = Device {
+        name: "XC2VP50",
+        slices: 23_616,
+        mult18x18s: 232,
+        brams: 232,
+        ppc_cores: 2,
+    };
     /// XC2VP30.
-    pub const XC2VP30: Device =
-        Device { name: "XC2VP30", slices: 13_696, mult18x18s: 136, brams: 136, ppc_cores: 2 };
+    pub const XC2VP30: Device = Device {
+        name: "XC2VP30",
+        slices: 13_696,
+        mult18x18s: 136,
+        brams: 136,
+        ppc_cores: 2,
+    };
     /// XC2VP20.
-    pub const XC2VP20: Device =
-        Device { name: "XC2VP20", slices: 9_280, mult18x18s: 88, brams: 88, ppc_cores: 2 };
+    pub const XC2VP20: Device = Device {
+        name: "XC2VP20",
+        slices: 9_280,
+        mult18x18s: 88,
+        brams: 88,
+        ppc_cores: 2,
+    };
     /// XC2VP7.
-    pub const XC2VP7: Device =
-        Device { name: "XC2VP7", slices: 4_928, mult18x18s: 44, brams: 44, ppc_cores: 1 };
+    pub const XC2VP7: Device = Device {
+        name: "XC2VP7",
+        slices: 4_928,
+        mult18x18s: 44,
+        brams: 44,
+        ppc_cores: 1,
+    };
     /// XC2VP4.
-    pub const XC2VP4: Device =
-        Device { name: "XC2VP4", slices: 3_008, mult18x18s: 28, brams: 28, ppc_cores: 1 };
+    pub const XC2VP4: Device = Device {
+        name: "XC2VP4",
+        slices: 3_008,
+        mult18x18s: 28,
+        brams: 28,
+        ppc_cores: 1,
+    };
     /// XC2VP2 — smallest of the family.
-    pub const XC2VP2: Device =
-        Device { name: "XC2VP2", slices: 1_408, mult18x18s: 12, brams: 12, ppc_cores: 0 };
+    pub const XC2VP2: Device = Device {
+        name: "XC2VP2",
+        slices: 1_408,
+        mult18x18s: 12,
+        brams: 12,
+        ppc_cores: 0,
+    };
 
     /// Whole catalogue, ascending by size.
     pub const CATALOG: [Device; 9] = [
@@ -79,8 +124,8 @@ impl Device {
         } else {
             u32::MAX
         };
-        let by_mults = if unit.bmults > 0 { self.mult18x18s / unit.bmults } else { u32::MAX };
-        let by_brams = if unit.brams > 0 { self.brams / unit.brams } else { u32::MAX };
+        let by_mults = self.mult18x18s.checked_div(unit.bmults).unwrap_or(u32::MAX);
+        let by_brams = self.brams.checked_div(unit.brams).unwrap_or(u32::MAX);
         by_slices.min(by_mults).min(by_brams)
     }
 
@@ -136,20 +181,38 @@ mod tests {
     fn fit_by_binding_resource() {
         let t = Tech::virtex2pro();
         // A unit needing 1000 LUTs (≈500 slices) and 4 BMULTs:
-        let unit = AreaCost { luts: 1000.0, ffs: 0.0, bmults: 4, brams: 1, routing_slices: 0.0 };
+        let unit = AreaCost {
+            luts: 1000.0,
+            ffs: 0.0,
+            bmults: 4,
+            brams: 1,
+            routing_slices: 0.0,
+        };
         let d = Device::XC2VP125;
         let n = d.fit(&unit, &t, 0.10);
         // slices bound: 0.9·55616/500 ≈ 100; mult bound: 556/4 = 139.
         assert_eq!(n, 100);
         // With huge BMULT demand the multiplier becomes binding.
-        let unit2 = AreaCost { luts: 100.0, ffs: 0.0, bmults: 16, brams: 0, routing_slices: 0.0 };
+        let unit2 = AreaCost {
+            luts: 100.0,
+            ffs: 0.0,
+            bmults: 16,
+            brams: 0,
+            routing_slices: 0.0,
+        };
         assert_eq!(d.fit(&unit2, &t, 0.10), 556 / 16);
     }
 
     #[test]
     fn utilization_adds_up() {
         let t = Tech::virtex2pro();
-        let unit = AreaCost { luts: 1112.32, ffs: 0.0, bmults: 2, brams: 2, routing_slices: 0.0 };
+        let unit = AreaCost {
+            luts: 1112.32,
+            ffs: 0.0,
+            bmults: 2,
+            brams: 2,
+            routing_slices: 0.0,
+        };
         let u = Device::XC2VP125.utilization(&unit, 100, &t);
         assert!((u.slices - 1.0).abs() < 0.01);
         assert!((u.mult18x18s - 200.0 / 556.0).abs() < 1e-12);

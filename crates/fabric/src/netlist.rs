@@ -79,7 +79,8 @@ impl Netlist {
 
     /// Append a component on the main path.
     pub fn push(&mut self, name: &str, p: &Primitive, tech: &Tech) -> &mut Self {
-        self.components.push(Component::from_primitive(name, p, tech));
+        self.components
+            .push(Component::from_primitive(name, p, tech));
         self
     }
 
@@ -128,16 +129,28 @@ impl Netlist {
     pub fn component_table(&self) -> String {
         use core::fmt::Write as _;
         let mut s = String::new();
-        let _ = writeln!(s, "{} ({} components, critical path {:.2} ns):",
-            self.name, self.components.len(), self.critical_delay_ns());
-        let _ = writeln!(s, "  {:<28} {:>9} {:>11} {:>8} {:>7}",
-            "component", "path", "delay (ns)", "LUTs", "BMULTs");
+        let _ = writeln!(
+            s,
+            "{} ({} components, critical path {:.2} ns):",
+            self.name,
+            self.components.len(),
+            self.critical_delay_ns()
+        );
+        let _ = writeln!(
+            s,
+            "  {:<28} {:>9} {:>11} {:>8} {:>7}",
+            "component", "path", "delay (ns)", "LUTs", "BMULTs"
+        );
         for c in &self.components {
             let _ = writeln!(
                 s,
                 "  {:<28} {:>9} {:>11.2} {:>8} {:>7}",
                 c.name,
-                if c.on_critical_path { "critical" } else { "parallel" },
+                if c.on_critical_path {
+                    "critical"
+                } else {
+                    "parallel"
+                },
                 c.delay_ns(),
                 c.area.luts_rounded(),
                 c.area.bmults,
@@ -159,8 +172,22 @@ mod tests {
         let t = tech();
         let mut n = Netlist::new("sample", 32, 6);
         n.push("cmp", &Primitive::Comparator { bits: 8 }, &t);
-        n.push("shift", &Primitive::BarrelShifter { bits: 24, levels: 5 }, &t);
-        n.push_parallel("exp add", &Primitive::FixedAdder { bits: 8, carry_ns_per_bit: 0.215 }, &t);
+        n.push(
+            "shift",
+            &Primitive::BarrelShifter {
+                bits: 24,
+                levels: 5,
+            },
+            &t,
+        );
+        n.push_parallel(
+            "exp add",
+            &Primitive::FixedAdder {
+                bits: 8,
+                carry_ns_per_bit: 0.215,
+            },
+            &t,
+        );
         n
     }
 
@@ -176,7 +203,11 @@ mod tests {
         let n = sample();
         let t = tech();
         let expect = Primitive::Comparator { bits: 8 }.total_delay_ns(&t)
-            + Primitive::BarrelShifter { bits: 24, levels: 5 }.total_delay_ns(&t);
+            + Primitive::BarrelShifter {
+                bits: 24,
+                levels: 5,
+            }
+            .total_delay_ns(&t);
         assert!((n.critical_delay_ns() - expect).abs() < 1e-12);
     }
 
@@ -185,7 +216,7 @@ mod tests {
         let n = sample();
         let atoms = n.flat_atoms();
         assert_eq!(atoms.len(), 1 + 5); // comparator + 5 mux levels
-        // first shifter atom: 24 data + 4 remaining shift bits + 6 sideband
+                                        // first shifter atom: 24 data + 4 remaining shift bits + 6 sideband
         assert_eq!(atoms[1].cut_width, 24 + 4 + 6);
     }
 

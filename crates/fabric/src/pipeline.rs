@@ -59,7 +59,11 @@ impl Pipelined {
 /// register after every atom.
 pub fn pipeline(netlist: &Netlist, stages: u32, strategy: PipelineStrategy) -> Pipelined {
     let atoms = netlist.flat_atoms();
-    assert!(!atoms.is_empty(), "netlist {} has no critical-path atoms", netlist.name);
+    assert!(
+        !atoms.is_empty(),
+        "netlist {} has no critical-path atoms",
+        netlist.name
+    );
     let k = stages.clamp(1, atoms.len() as u32) as usize;
 
     let cuts = match strategy {
@@ -106,8 +110,8 @@ fn balanced_cuts(atoms: &[Atom], k: usize) -> Vec<usize> {
     // dp[j][i] = minimal worst-stage over atoms[0..i] split into j stages
     let mut dp = vec![vec![f64::INFINITY; n + 1]; k + 1];
     let mut choice = vec![vec![0usize; n + 1]; k + 1];
-    for i in 1..=n {
-        dp[1][i] = seg(0, i);
+    for (i, first_stage) in dp[1].iter_mut().enumerate().skip(1) {
+        *first_stage = seg(0, i);
     }
     for j in 2..=k {
         for i in j..=n {
@@ -167,7 +171,7 @@ fn iterative_cuts(atoms: &[Atom], k: usize) -> Vec<usize> {
                 let (l, h) = (bounds[w], bounds[w + 1]);
                 if h - l >= 2 {
                     let d = seg(l, h);
-                    if best.map_or(true, |(bd, _)| d > bd) {
+                    if best.is_none_or(|(bd, _)| d > bd) {
                         best = Some((d, w));
                     }
                 }
@@ -217,9 +221,30 @@ mod tests {
     fn sample_netlist() -> Netlist {
         let t = Tech::virtex2pro();
         let mut n = Netlist::new("test", 32, 5);
-        n.push("adder", &Primitive::FixedAdder { bits: 54, carry_ns_per_bit: 0.215 }, &t);
-        n.push("shift", &Primitive::BarrelShifter { bits: 54, levels: 6 }, &t);
-        n.push("pe", &Primitive::PriorityEncoder { bits: 54, forced: true }, &t);
+        n.push(
+            "adder",
+            &Primitive::FixedAdder {
+                bits: 54,
+                carry_ns_per_bit: 0.215,
+            },
+            &t,
+        );
+        n.push(
+            "shift",
+            &Primitive::BarrelShifter {
+                bits: 54,
+                levels: 6,
+            },
+            &t,
+        );
+        n.push(
+            "pe",
+            &Primitive::PriorityEncoder {
+                bits: 54,
+                forced: true,
+            },
+            &t,
+        );
         n
     }
 

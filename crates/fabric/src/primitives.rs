@@ -29,7 +29,10 @@ pub struct Atom {
 impl Atom {
     /// Convenience constructor.
     pub fn new(delay_ns: f64, cut_width: u32) -> Atom {
-        Atom { delay_ns, cut_width }
+        Atom {
+            delay_ns,
+            cut_width,
+        }
     }
 }
 
@@ -94,9 +97,10 @@ impl Primitive {
                 )]
             }
             Primitive::Mux2 { bits } => vec![Atom::new(tech.t_mux_level_ns, bits)],
-            Primitive::FixedAdder { bits, carry_ns_per_bit } => {
-                carry_chain_atoms(tech, bits, carry_ns_per_bit, bits + 1)
-            }
+            Primitive::FixedAdder {
+                bits,
+                carry_ns_per_bit,
+            } => carry_chain_atoms(tech, bits, carry_ns_per_bit, bits + 1),
             Primitive::ConstAdder { bits } => {
                 // Constant adders have a shorter chain (half-adders).
                 carry_chain_atoms(tech, bits, 0.10, bits + 1)
@@ -291,7 +295,10 @@ mod tests {
 
     #[test]
     fn adder_atoms_cover_all_bits() {
-        let p = Primitive::FixedAdder { bits: 54, carry_ns_per_bit: tech().t_carry_per_bit_ns };
+        let p = Primitive::FixedAdder {
+            bits: 54,
+            carry_ns_per_bit: tech().t_carry_per_bit_ns,
+        };
         let atoms = p.atoms(&tech());
         assert_eq!(atoms.len(), 9); // 54 / 6
         let total: f64 = atoms.iter().map(|a| a.delay_ns).sum();
@@ -307,7 +314,10 @@ mod tests {
         // The paper: "a 54bit adder/subtractor can achieve 200 MHz with 4
         // pipelining stages".
         let t = tech();
-        let p = Primitive::FixedAdder { bits: 54, carry_ns_per_bit: t.t_carry_per_bit_ns };
+        let p = Primitive::FixedAdder {
+            bits: 54,
+            carry_ns_per_bit: t.t_carry_per_bit_ns,
+        };
         let total = p.total_delay_ns(&t);
         let per_stage = total / 4.0; // ideal balanced split
         assert!(
@@ -321,7 +331,10 @@ mod tests {
 
     #[test]
     fn shifter_levels_and_area() {
-        let p = Primitive::BarrelShifter { bits: 54, levels: 6 };
+        let p = Primitive::BarrelShifter {
+            bits: 54,
+            levels: 6,
+        };
         let atoms = p.atoms(&tech());
         assert_eq!(atoms.len(), 6);
         // area ≈ n·log n LUTs (n·log n / 2 slices)
@@ -334,13 +347,31 @@ mod tests {
     #[test]
     fn priority_encoder_forced_is_faster_per_atom() {
         let t = tech();
-        let mono = Primitive::PriorityEncoder { bits: 54, forced: false };
-        let split = Primitive::PriorityEncoder { bits: 54, forced: true };
-        let worst_mono = mono.atoms(&t).iter().map(|a| a.delay_ns).fold(0.0, f64::max);
-        let worst_split = split.atoms(&t).iter().map(|a| a.delay_ns).fold(0.0, f64::max);
+        let mono = Primitive::PriorityEncoder {
+            bits: 54,
+            forced: false,
+        };
+        let split = Primitive::PriorityEncoder {
+            bits: 54,
+            forced: true,
+        };
+        let worst_mono = mono
+            .atoms(&t)
+            .iter()
+            .map(|a| a.delay_ns)
+            .fold(0.0, f64::max);
+        let worst_split = split
+            .atoms(&t)
+            .iter()
+            .map(|a| a.delay_ns)
+            .fold(0.0, f64::max);
         assert!(worst_split < worst_mono);
         // Forced split of the 54-bit encoder sustains > 200 MHz per atom.
-        assert!(t.clock_mhz(worst_split) > 200.0, "{}", t.clock_mhz(worst_split));
+        assert!(
+            t.clock_mhz(worst_split) > 200.0,
+            "{}",
+            t.clock_mhz(worst_split)
+        );
         // Monolithic does not.
         assert!(t.clock_mhz(worst_mono) < 200.0);
         // The structured version costs more area.
@@ -399,9 +430,15 @@ mod tests {
     #[test]
     fn bram_capacity() {
         let t = tech();
-        let p = Primitive::BramBuffer { words: 512, width: 64 };
+        let p = Primitive::BramBuffer {
+            words: 512,
+            width: 64,
+        };
         assert_eq!(p.area(&t).brams, 2);
-        let p = Primitive::BramBuffer { words: 16, width: 32 };
+        let p = Primitive::BramBuffer {
+            words: 16,
+            width: 32,
+        };
         assert_eq!(p.area(&t).brams, 1);
     }
 }

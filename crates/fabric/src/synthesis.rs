@@ -92,7 +92,10 @@ mod tests {
     #[test]
     fn mixed_objectives_are_between() {
         let t = Tech::virtex2pro();
-        let mixed = SynthesisOptions { synthesis: Objective::Speed, par: Objective::Area };
+        let mixed = SynthesisOptions {
+            synthesis: Objective::Speed,
+            par: Objective::Area,
+        };
         let d = mixed.delay_factor(&t);
         assert!(d >= SynthesisOptions::SPEED.delay_factor(&t));
         assert!(d <= SynthesisOptions::AREA.delay_factor(&t));

@@ -71,7 +71,7 @@ pub fn sweep_stages(
 /// Pick the implementation with the best frequency/area ratio — the
 /// paper's "optimal" configuration ("the implementation reaches highest
 /// freq/area ratio").
-pub fn optimal<'a>(reports: &'a [ImplementationReport]) -> &'a ImplementationReport {
+pub fn optimal(reports: &[ImplementationReport]) -> &ImplementationReport {
     reports
         .iter()
         .max_by(|a, b| {
@@ -84,7 +84,7 @@ pub fn optimal<'a>(reports: &'a [ImplementationReport]) -> &'a ImplementationRep
 
 /// Pick the implementation with the highest clock rate, breaking ties
 /// toward fewer stages (the paper's "max" column).
-pub fn max_frequency<'a>(reports: &'a [ImplementationReport]) -> &'a ImplementationReport {
+pub fn max_frequency(reports: &[ImplementationReport]) -> &ImplementationReport {
     reports
         .iter()
         .max_by(|a, b| {
@@ -103,9 +103,30 @@ mod tests {
     fn netlist() -> Netlist {
         let t = Tech::virtex2pro();
         let mut n = Netlist::new("test path", 32, 5);
-        n.push("adder", &Primitive::FixedAdder { bits: 54, carry_ns_per_bit: 0.215 }, &t);
-        n.push("pe", &Primitive::PriorityEncoder { bits: 54, forced: true }, &t);
-        n.push("shift", &Primitive::BarrelShifter { bits: 54, levels: 6 }, &t);
+        n.push(
+            "adder",
+            &Primitive::FixedAdder {
+                bits: 54,
+                carry_ns_per_bit: 0.215,
+            },
+            &t,
+        );
+        n.push(
+            "pe",
+            &Primitive::PriorityEncoder {
+                bits: 54,
+                forced: true,
+            },
+            &t,
+        );
+        n.push(
+            "shift",
+            &Primitive::BarrelShifter {
+                bits: 54,
+                levels: 6,
+            },
+            &t,
+        );
         n
     }
 
@@ -143,8 +164,20 @@ mod tests {
     fn speed_objective_trades_area_for_clock() {
         let t = Tech::virtex2pro();
         let n = netlist();
-        let fast = evaluate(&n, 4, PipelineStrategy::Balanced, SynthesisOptions::SPEED, &t);
-        let small = evaluate(&n, 4, PipelineStrategy::Balanced, SynthesisOptions::AREA, &t);
+        let fast = evaluate(
+            &n,
+            4,
+            PipelineStrategy::Balanced,
+            SynthesisOptions::SPEED,
+            &t,
+        );
+        let small = evaluate(
+            &n,
+            4,
+            PipelineStrategy::Balanced,
+            SynthesisOptions::AREA,
+            &t,
+        );
         assert!(fast.clock_mhz > small.clock_mhz);
         assert!(fast.slices > small.slices);
     }
@@ -164,7 +197,13 @@ mod tests {
     fn report_consistency() {
         let t = Tech::virtex2pro();
         let n = netlist();
-        let r = evaluate(&n, 6, PipelineStrategy::IterativeRefinement, SynthesisOptions::SPEED, &t);
+        let r = evaluate(
+            &n,
+            6,
+            PipelineStrategy::IterativeRefinement,
+            SynthesisOptions::SPEED,
+            &t,
+        );
         assert_eq!(r.stages, 6);
         assert!(r.clock_mhz > 0.0 && r.clock_mhz <= t.f_max_mhz);
         assert!(r.slices > 0);

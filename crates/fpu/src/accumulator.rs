@@ -39,7 +39,11 @@ impl AccumulatorDesign {
     /// A design around an adder of the given depth.
     pub fn new(format: FpFormat, adder_stages: u32) -> AccumulatorDesign {
         assert!(adder_stages >= 1);
-        AccumulatorDesign { format, round: RoundMode::NearestEven, adder_stages }
+        AccumulatorDesign {
+            format,
+            round: RoundMode::NearestEven,
+            adder_stages,
+        }
     }
 
     /// The structural netlist: the adder core plus the partial-sum bank
@@ -51,7 +55,9 @@ impl AccumulatorDesign {
         // these depths.
         n.components.push(Component::parallel(
             "partial-sum bank",
-            &Primitive::Register { bits: self.format.total_bits() * self.adder_stages },
+            &Primitive::Register {
+                bits: self.format.total_bits() * self.adder_stages,
+            },
             tech,
         ));
         // Rotation counter + fold FSM.
@@ -62,7 +68,9 @@ impl AccumulatorDesign {
         ));
         n.components.push(Component::from_primitive(
             "bank bypass mux",
-            &Primitive::Mux2 { bits: self.format.total_bits() },
+            &Primitive::Mux2 {
+                bits: self.format.total_bits(),
+            },
             tech,
         ));
         n
@@ -70,7 +78,12 @@ impl AccumulatorDesign {
 
     /// Area/timing sweep of the whole unit.
     pub fn sweep(&self, tech: &Tech, opts: SynthesisOptions) -> Vec<ImplementationReport> {
-        timing::sweep_stages(&self.netlist(tech), PipelineStrategy::IterativeRefinement, opts, tech)
+        timing::sweep_stages(
+            &self.netlist(tech),
+            PipelineStrategy::IterativeRefinement,
+            opts,
+            tech,
+        )
     }
 
     /// Build the cycle-accurate unit.
@@ -147,7 +160,11 @@ impl StreamingAccumulator {
                 let mut first = true;
                 while out.is_none() {
                     self.cycles += 1;
-                    out = self.add.clock(if first { Some((live[i], live[i + 1])) } else { None });
+                    out = self.add.clock(if first {
+                        Some((live[i], live[i + 1]))
+                    } else {
+                        None
+                    });
                     self.meta.push_back(None);
                     self.meta.pop_front();
                     first = false;
@@ -197,7 +214,9 @@ mod tests {
     const F: FpFormat = FpFormat::SINGLE;
 
     fn xs(n: usize) -> Vec<u64> {
-        (0..n).map(|i| SoftFloat::from_f64(F, (i as f64 * 0.17).sin()).bits()).collect()
+        (0..n)
+            .map(|i| SoftFloat::from_f64(F, (i as f64 * 0.17).sin()).bits())
+            .collect()
     }
 
     #[test]
@@ -230,7 +249,10 @@ mod tests {
         let mut u = d.unit();
         let data = xs(500);
         let (got, _) = u.sum(&data);
-        let exact: f64 = data.iter().map(|&b| SoftFloat::from_bits(F, b).to_f64()).sum();
+        let exact: f64 = data
+            .iter()
+            .map(|&b| SoftFloat::from_bits(F, b).to_f64())
+            .sum();
         assert!((SoftFloat::from_bits(F, got).to_f64() - exact).abs() < 1e-4);
     }
 

@@ -56,7 +56,9 @@ impl Subunit for Denormalize {
     fn components(&self, fmt: FpFormat, tech: &Tech) -> Vec<Component> {
         // Exponent-zero comparators, one per operand (B's in parallel),
         // plus the hidden-bit insertion glue.
-        let cmp = Primitive::Comparator { bits: fmt.exp_bits() };
+        let cmp = Primitive::Comparator {
+            bits: fmt.exp_bits(),
+        };
         vec![
             Component::from_primitive("denorm cmp A", &cmp, tech),
             Component::parallel("denorm cmp B", &cmp, tech),
@@ -96,7 +98,11 @@ impl Subunit for AddExceptionDetect {
     }
 
     fn components(&self, _fmt: FpFormat, tech: &Tech) -> Vec<Component> {
-        vec![Component::parallel("exception logic", &Primitive::SignLogic, tech)]
+        vec![Component::parallel(
+            "exception logic",
+            &Primitive::SignLogic,
+            tech,
+        )]
     }
 }
 
@@ -125,12 +131,16 @@ impl Subunit for SwapUnit {
             // comparator and subtractor run in parallel with it.
             Component::from_primitive(
                 "mantissa comparator",
-                &Primitive::Comparator { bits: fmt.sig_bits() },
+                &Primitive::Comparator {
+                    bits: fmt.sig_bits(),
+                },
                 tech,
             ),
             Component::parallel(
                 "exponent comparator",
-                &Primitive::Comparator { bits: fmt.exp_bits() },
+                &Primitive::Comparator {
+                    bits: fmt.exp_bits(),
+                },
                 tech,
             ),
             Component::parallel(
@@ -143,7 +153,9 @@ impl Subunit for SwapUnit {
             ),
             Component::from_primitive(
                 "swap mux",
-                &Primitive::Mux2 { bits: 2 * fmt.sig_bits() },
+                &Primitive::Mux2 {
+                    bits: 2 * fmt.sig_bits(),
+                },
                 tech,
             ),
         ]
@@ -168,7 +180,10 @@ impl Subunit for AlignShift {
         let bits = fmt.sig_bits() + GRS_BITS;
         vec![Component::from_primitive(
             "align shifter",
-            &Primitive::BarrelShifter { bits, levels: log2_ceil(bits) },
+            &Primitive::BarrelShifter {
+                bits,
+                levels: log2_ceil(bits),
+            },
             tech,
         )]
     }
@@ -237,12 +252,16 @@ impl Subunit for PreNormalize {
         vec![
             Component::from_primitive(
                 "carry shift mux",
-                &Primitive::Mux2 { bits: fmt.sig_bits() + GRS_BITS },
+                &Primitive::Mux2 {
+                    bits: fmt.sig_bits() + GRS_BITS,
+                },
                 tech,
             ),
             Component::parallel(
                 "exponent +1",
-                &Primitive::ConstAdder { bits: fmt.exp_bits() },
+                &Primitive::ConstAdder {
+                    bits: fmt.exp_bits(),
+                },
                 tech,
             ),
         ]
@@ -272,7 +291,10 @@ impl Subunit for LeadingOneDetect {
     fn components(&self, fmt: FpFormat, tech: &Tech) -> Vec<Component> {
         vec![Component::from_primitive(
             "priority encoder",
-            &Primitive::PriorityEncoder { bits: fmt.sig_bits() + GRS_BITS, forced: self.forced },
+            &Primitive::PriorityEncoder {
+                bits: fmt.sig_bits() + GRS_BITS,
+                forced: self.forced,
+            },
             tech,
         )]
     }
@@ -299,7 +321,10 @@ impl Subunit for NormalizeShift {
         vec![
             Component::from_primitive(
                 "normalize shifter",
-                &Primitive::BarrelShifter { bits, levels: log2_ceil(bits) },
+                &Primitive::BarrelShifter {
+                    bits,
+                    levels: log2_ceil(bits),
+                },
                 tech,
             ),
             Component::parallel(
@@ -338,12 +363,16 @@ impl Subunit for RoundUnit {
         vec![
             Component::from_primitive(
                 "mantissa round adder",
-                &Primitive::ConstAdder { bits: fmt.sig_bits() },
+                &Primitive::ConstAdder {
+                    bits: fmt.sig_bits(),
+                },
                 tech,
             ),
             Component::parallel(
                 "exponent round adder",
-                &Primitive::ConstAdder { bits: fmt.exp_bits() },
+                &Primitive::ConstAdder {
+                    bits: fmt.exp_bits(),
+                },
                 tech,
             ),
         ]
@@ -377,8 +406,20 @@ impl Subunit for PackUnit {
 
     fn components(&self, fmt: FpFormat, tech: &Tech) -> Vec<Component> {
         vec![
-            Component::from_primitive("output mux", &Primitive::Mux2 { bits: fmt.total_bits() }, tech),
-            Component::parallel("range check", &Primitive::Comparator { bits: fmt.exp_bits() }, tech),
+            Component::from_primitive(
+                "output mux",
+                &Primitive::Mux2 {
+                    bits: fmt.total_bits(),
+                },
+                tech,
+            ),
+            Component::parallel(
+                "range check",
+                &Primitive::Comparator {
+                    bits: fmt.exp_bits(),
+                },
+                tech,
+            ),
         ]
     }
 }
@@ -397,7 +438,11 @@ pub struct AdderDesign {
 impl AdderDesign {
     /// A design with the paper's defaults.
     pub fn new(format: FpFormat) -> AdderDesign {
-        AdderDesign { format, round: RoundMode::NearestEven, force_priority_encoder: true }
+        AdderDesign {
+            format,
+            round: RoundMode::NearestEven,
+            force_priority_encoder: true,
+        }
     }
 
     /// From a full core configuration.
@@ -419,7 +464,9 @@ impl AdderDesign {
                 Box::new(AlignShift),
                 Box::new(MantissaAddSub),
                 Box::new(PreNormalize),
-                Box::new(LeadingOneDetect { forced: self.force_priority_encoder }),
+                Box::new(LeadingOneDetect {
+                    forced: self.force_priority_encoder,
+                }),
                 Box::new(NormalizeShift),
                 Box::new(RoundUnit),
                 Box::new(PackUnit),
@@ -449,13 +496,12 @@ impl AdderDesign {
 
     /// Build the cycle-accurate simulator for a pipeline depth.
     pub fn simulator(&self, stages: u32) -> PipelinedUnit {
-        PipelinedUnit::new(
-            self.format,
-            self.round,
-            self.datapath(),
-            self.netlist(&Tech::virtex2pro()),
-            stages,
-        )
+        let config = CoreConfig::builder(self.format)
+            .round(self.round)
+            .stages(stages)
+            .strategy(PipelineStrategy::Balanced)
+            .build();
+        PipelinedUnit::new(&config, self.datapath(), self.netlist(&Tech::virtex2pro()))
     }
 }
 
@@ -533,9 +579,14 @@ mod tests {
     #[test]
     fn unforced_priority_encoder_caps_frequency() {
         let t = Tech::virtex2pro();
-        let forced = AdderDesign { force_priority_encoder: true, ..AdderDesign::new(FpFormat::DOUBLE) };
-        let unforced =
-            AdderDesign { force_priority_encoder: false, ..AdderDesign::new(FpFormat::DOUBLE) };
+        let forced = AdderDesign {
+            force_priority_encoder: true,
+            ..AdderDesign::new(FpFormat::DOUBLE)
+        };
+        let unforced = AdderDesign {
+            force_priority_encoder: false,
+            ..AdderDesign::new(FpFormat::DOUBLE)
+        };
         let f = forced.sweep(&t, SynthesisOptions::SPEED);
         let u = unforced.sweep(&t, SynthesisOptions::SPEED);
         let fbest = f.iter().map(|r| r.clock_mhz).fold(0.0, f64::max);
@@ -544,6 +595,9 @@ mod tests {
             fbest > ubest + 20.0,
             "forced {fbest} vs unforced {ubest}: forcing the encoder should matter"
         );
-        assert!(ubest < 200.0, "unforced 64-bit should stay under 200 MHz, got {ubest}");
+        assert!(
+            ubest < 200.0,
+            "unforced 64-bit should stay under 200 MHz, got {ubest}"
+        );
     }
 }

@@ -10,8 +10,8 @@
 //! * **opt** — "the implementation \[that\] reaches highest freq/area
 //!   ratio", the paper's recommended operating point.
 
-use crate::adder::AdderDesign;
-use crate::multiplier::MultiplierDesign;
+use crate::cache::SweepCache;
+use crate::generator::{sweep_for, UnitOp};
 use fpfpga_fabric::report::ImplementationReport;
 use fpfpga_fabric::synthesis::SynthesisOptions;
 use fpfpga_fabric::tech::Tech;
@@ -19,12 +19,28 @@ use fpfpga_fabric::timing;
 use fpfpga_softfp::FpFormat;
 
 /// Which core a sweep describes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CoreKind {
     /// The adder/subtractor.
     Adder,
     /// The multiplier.
     Multiplier,
+    /// The digit-recurrence divider.
+    Divider,
+    /// The digit-recurrence square root.
+    Sqrt,
+}
+
+impl CoreKind {
+    /// The generator operation this core kind sweeps.
+    pub fn unit_op(self) -> UnitOp {
+        match self {
+            CoreKind::Adder => UnitOp::Add,
+            CoreKind::Multiplier => UnitOp::Mul,
+            CoreKind::Divider => UnitOp::Div,
+            CoreKind::Sqrt => UnitOp::Sqrt,
+        }
+    }
 }
 
 /// A full pipeline-depth sweep for one core and format.
@@ -39,22 +55,48 @@ pub struct CoreSweep {
 }
 
 impl CoreSweep {
-    /// Sweep an adder.
-    pub fn adder(format: FpFormat, tech: &Tech, opts: SynthesisOptions) -> CoreSweep {
+    /// Sweep any core kind — the unified constructor.
+    ///
+    /// ```
+    /// use fpfpga_fpu::analysis::{CoreKind, CoreSweep};
+    /// use fpfpga_fpu::prelude::*;
+    ///
+    /// let tech = Tech::virtex2pro();
+    /// let sweep = CoreSweep::new(CoreKind::Divider, FpFormat::SINGLE, &tech, SynthesisOptions::SPEED);
+    /// assert!(sweep.opt().clock_mhz > 100.0);
+    /// ```
+    pub fn new(kind: CoreKind, format: FpFormat, tech: &Tech, opts: SynthesisOptions) -> CoreSweep {
         CoreSweep {
-            kind: CoreKind::Adder,
+            kind,
             format,
-            reports: AdderDesign::new(format).sweep(tech, opts),
+            reports: sweep_for(kind.unit_op(), format, tech, opts),
         }
     }
 
-    /// Sweep a multiplier.
-    pub fn multiplier(format: FpFormat, tech: &Tech, opts: SynthesisOptions) -> CoreSweep {
+    /// [`CoreSweep::new`] through a [`SweepCache`]: a warm cache returns
+    /// the memoized reports without re-synthesizing.
+    pub fn new_cached(
+        kind: CoreKind,
+        format: FpFormat,
+        tech: &Tech,
+        opts: SynthesisOptions,
+        cache: &SweepCache,
+    ) -> CoreSweep {
         CoreSweep {
-            kind: CoreKind::Multiplier,
+            kind,
             format,
-            reports: MultiplierDesign::new(format).sweep(tech, opts),
+            reports: cache.sweep(kind.unit_op(), format, tech, opts).to_vec(),
         }
+    }
+
+    /// Sweep an adder (shorthand for [`CoreSweep::new`]).
+    pub fn adder(format: FpFormat, tech: &Tech, opts: SynthesisOptions) -> CoreSweep {
+        CoreSweep::new(CoreKind::Adder, format, tech, opts)
+    }
+
+    /// Sweep a multiplier (shorthand for [`CoreSweep::new`]).
+    pub fn multiplier(format: FpFormat, tech: &Tech, opts: SynthesisOptions) -> CoreSweep {
+        CoreSweep::new(CoreKind::Multiplier, format, tech, opts)
     }
 
     /// The least-pipelined implementation.
@@ -93,7 +135,10 @@ impl CoreSweep {
 
     /// (stages, MHz/slice) series — one Figure 2 curve.
     pub fn freq_area_curve(&self) -> Vec<(u32, f64)> {
-        self.reports.iter().map(|r| (r.stages, r.freq_per_area())).collect()
+        self.reports
+            .iter()
+            .map(|r| (r.stages, r.freq_per_area()))
+            .collect()
     }
 }
 
@@ -122,6 +167,25 @@ impl PrecisionAnalysis {
         }
     }
 
+    /// [`PrecisionAnalysis::run`] backed by a [`SweepCache`]: re-running
+    /// the analysis against a warm cache performs zero synthesis.
+    pub fn run_cached(
+        tech: &Tech,
+        opts: SynthesisOptions,
+        cache: &SweepCache,
+    ) -> PrecisionAnalysis {
+        PrecisionAnalysis {
+            adders: FpFormat::PAPER_PRECISIONS
+                .iter()
+                .map(|&f| CoreSweep::new_cached(CoreKind::Adder, f, tech, opts, cache))
+                .collect(),
+            multipliers: FpFormat::PAPER_PRECISIONS
+                .iter()
+                .map(|&f| CoreSweep::new_cached(CoreKind::Multiplier, f, tech, opts, cache))
+                .collect(),
+        }
+    }
+
     /// [`PrecisionAnalysis::run`] with the six independent sweeps fanned
     /// out over scoped threads. Deterministic: results are identical to
     /// the sequential run (each sweep is a pure function of its inputs).
@@ -136,8 +200,54 @@ impl PrecisionAnalysis {
                 .map(|&f| scope.spawn(move || CoreSweep::multiplier(f, tech, opts)))
                 .collect();
             PrecisionAnalysis {
-                adders: adder_handles.into_iter().map(|h| h.join().expect("sweep panicked")).collect(),
-                multipliers: mult_handles.into_iter().map(|h| h.join().expect("sweep panicked")).collect(),
+                adders: adder_handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sweep panicked"))
+                    .collect(),
+                multipliers: mult_handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sweep panicked"))
+                    .collect(),
+            }
+        })
+    }
+
+    /// [`PrecisionAnalysis::run_parallel`] through a shared
+    /// [`SweepCache`]: cold, the six sweeps synthesize concurrently and
+    /// populate the cache; warm, every thread returns memoized reports.
+    pub fn run_parallel_cached(
+        tech: &Tech,
+        opts: SynthesisOptions,
+        cache: &SweepCache,
+    ) -> PrecisionAnalysis {
+        std::thread::scope(|scope| {
+            let adder_handles: Vec<_> = FpFormat::PAPER_PRECISIONS
+                .iter()
+                .map(|&f| {
+                    let cache = cache.clone();
+                    scope.spawn(move || {
+                        CoreSweep::new_cached(CoreKind::Adder, f, tech, opts, &cache)
+                    })
+                })
+                .collect();
+            let mult_handles: Vec<_> = FpFormat::PAPER_PRECISIONS
+                .iter()
+                .map(|&f| {
+                    let cache = cache.clone();
+                    scope.spawn(move || {
+                        CoreSweep::new_cached(CoreKind::Multiplier, f, tech, opts, &cache)
+                    })
+                })
+                .collect();
+            PrecisionAnalysis {
+                adders: adder_handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sweep panicked"))
+                    .collect(),
+                multipliers: mult_handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sweep panicked"))
+                    .collect(),
             }
         })
     }
@@ -147,6 +257,10 @@ impl PrecisionAnalysis {
         let list = match kind {
             CoreKind::Adder => &self.adders,
             CoreKind::Multiplier => &self.multipliers,
+            other => panic!(
+                "PrecisionAnalysis covers the paper's adder/multiplier study; \
+                 sweep {other:?} directly via CoreSweep::new"
+            ),
         };
         list.iter()
             .find(|s| s.format == format)
@@ -168,8 +282,18 @@ mod tests {
         // pipelining" — the optimum is neither min nor max.
         for sweep in analysis().adders.iter().chain(&analysis().multipliers) {
             let opt = sweep.opt();
-            assert!(opt.stages > sweep.min().stages, "{:?} {:?}", sweep.kind, sweep.format);
-            assert!(opt.stages < sweep.max().stages, "{:?} {:?}", sweep.kind, sweep.format);
+            assert!(
+                opt.stages > sweep.min().stages,
+                "{:?} {:?}",
+                sweep.kind,
+                sweep.format
+            );
+            assert!(
+                opt.stages < sweep.max().stages,
+                "{:?} {:?}",
+                sweep.kind,
+                sweep.format
+            );
         }
     }
 
@@ -195,10 +319,30 @@ mod tests {
         // "We achieve throughput rates of more than 240 MHz (200 MHz) for
         // single (double) precision operations by deeply pipelining."
         let a = analysis();
-        assert!(a.sweep(CoreKind::Adder, FpFormat::SINGLE).fastest().clock_mhz > 240.0);
-        assert!(a.sweep(CoreKind::Multiplier, FpFormat::SINGLE).fastest().clock_mhz > 240.0);
-        assert!(a.sweep(CoreKind::Adder, FpFormat::DOUBLE).fastest().clock_mhz > 200.0);
-        assert!(a.sweep(CoreKind::Multiplier, FpFormat::DOUBLE).fastest().clock_mhz > 200.0);
+        assert!(
+            a.sweep(CoreKind::Adder, FpFormat::SINGLE)
+                .fastest()
+                .clock_mhz
+                > 240.0
+        );
+        assert!(
+            a.sweep(CoreKind::Multiplier, FpFormat::SINGLE)
+                .fastest()
+                .clock_mhz
+                > 240.0
+        );
+        assert!(
+            a.sweep(CoreKind::Adder, FpFormat::DOUBLE)
+                .fastest()
+                .clock_mhz
+                > 200.0
+        );
+        assert!(
+            a.sweep(CoreKind::Multiplier, FpFormat::DOUBLE)
+                .fastest()
+                .clock_mhz
+                > 200.0
+        );
     }
 
     #[test]
@@ -221,6 +365,42 @@ mod tests {
         }
         for (a, b) in seq.multipliers.iter().zip(&par.multipliers) {
             assert_eq!(a.reports, b.reports);
+        }
+    }
+
+    #[test]
+    fn unified_constructor_matches_wrappers_and_covers_new_kinds() {
+        let tech = Tech::virtex2pro();
+        let opts = SynthesisOptions::SPEED;
+        let via_new = CoreSweep::new(CoreKind::Adder, FpFormat::SINGLE, &tech, opts);
+        let via_wrapper = CoreSweep::adder(FpFormat::SINGLE, &tech, opts);
+        assert_eq!(via_new.reports, via_wrapper.reports);
+        for kind in [CoreKind::Divider, CoreKind::Sqrt] {
+            let sweep = CoreSweep::new(kind, FpFormat::SINGLE, &tech, opts);
+            assert_eq!(sweep.kind, kind);
+            assert!(!sweep.reports.is_empty());
+            assert!(sweep.opt().clock_mhz > 0.0);
+        }
+    }
+
+    #[test]
+    fn cached_runs_are_identical_and_warm_runs_skip_synthesis() {
+        let tech = Tech::virtex2pro();
+        let opts = SynthesisOptions::SPEED;
+        let cache = crate::cache::SweepCache::new();
+        let cold = PrecisionAnalysis::run_parallel_cached(&tech, opts, &cache);
+        assert_eq!(cache.misses(), 6, "2 cores x 3 precisions");
+        let warm = PrecisionAnalysis::run_cached(&tech, opts, &cache);
+        assert_eq!(cache.misses(), 6, "warm run must not synthesize");
+        assert_eq!(cache.hits(), 6);
+        let plain = PrecisionAnalysis::run(&tech, opts);
+        for runs in [&cold, &warm] {
+            for (a, b) in plain.adders.iter().zip(&runs.adders) {
+                assert_eq!(a.reports, b.reports);
+            }
+            for (a, b) in plain.multipliers.iter().zip(&runs.multipliers) {
+                assert_eq!(a.reports, b.reports);
+            }
         }
     }
 

@@ -1,0 +1,233 @@
+//! Memoized synthesis sweeps.
+//!
+//! Every consumer of the design-space data — [`PrecisionAnalysis`]
+//! (Figure 2, Tables 1-2), the matmul `UnitSet` selection, the
+//! architecture explorer, the unit generator — ultimately calls the same
+//! pure function: *sweep (op, format) across pipeline depths under a
+//! (tech, options) flow*. [`SweepCache`] memoizes exactly that function
+//! behind a cheap cloneable handle, so a process regenerating all paper
+//! artifacts synthesizes each distinct point once.
+//!
+//! The cache is std-only: a `Mutex<HashMap>` of per-key `OnceLock`s.
+//! Concurrent lookups of *different* keys synthesize in parallel;
+//! concurrent lookups of the *same* key block on one computation
+//! (exactly-once, so a warm cache never re-synthesizes). Hit/miss
+//! counters make redundancy observable in tests and benches.
+//!
+//! [`PrecisionAnalysis`]: crate::analysis::PrecisionAnalysis
+
+use crate::generator::{sweep_for, UnitOp};
+use fpfpga_fabric::report::ImplementationReport;
+use fpfpga_fabric::synthesis::SynthesisOptions;
+use fpfpga_fabric::tech::Tech;
+use fpfpga_softfp::FpFormat;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One memoized sweep point: (op, format, tech fingerprint, options).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct SweepKey {
+    op: UnitOp,
+    format: FpFormat,
+    tech_bits: u64,
+    opts: SynthesisOptions,
+}
+
+/// `Tech` carries calibrated `f64`s (and derives neither `Eq` nor
+/// `Hash`), so it is hashed by bit pattern.
+/// Two `Tech` values collide only if every field is bit-identical — in
+/// which case every sweep result is identical too.
+fn tech_fingerprint(tech: &Tech) -> u64 {
+    struct Fnv(u64);
+    impl Hasher for Fnv {
+        fn finish(&self) -> u64 {
+            self.0
+        }
+        fn write(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.0 ^= b as u64;
+                self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+    }
+    let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+    for x in [
+        tech.t_lut_route_ns,
+        tech.t_carry_per_bit_ns,
+        tech.t_cmp_per_bit_ns,
+        tech.t_mux_level_ns,
+        tech.t_prienc_level_ns,
+        tech.t_mult18_ns,
+        tech.t_mult18_half_ns,
+        tech.t_bram_ns,
+        tech.t_ff_ns,
+        tech.f_max_mhz,
+        tech.free_ff_utilization,
+        tech.skew_lut_per_bit,
+        tech.speed_obj_area_factor,
+        tech.speed_obj_delay_factor,
+        tech.area_obj_delay_factor,
+        tech.speed_par_slice_factor,
+        tech.speed_par_delay_factor,
+    ] {
+        h.write(&x.to_bits().to_le_bytes());
+    }
+    h.finish()
+}
+
+type SweepCell = Arc<OnceLock<Arc<Vec<ImplementationReport>>>>;
+
+#[derive(Default)]
+struct Inner {
+    map: Mutex<HashMap<SweepKey, SweepCell>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A shared, thread-safe memo of synthesis sweeps. Clones share state.
+#[derive(Clone, Default)]
+pub struct SweepCache {
+    inner: Arc<Inner>,
+}
+
+impl SweepCache {
+    /// An empty cache.
+    pub fn new() -> SweepCache {
+        SweepCache::default()
+    }
+
+    /// The memoized form of [`generator::sweep_for`]: returns the full
+    /// depth sweep for `(op, format)` under `(tech, opts)`, synthesizing
+    /// at most once per distinct key over the cache's lifetime.
+    ///
+    /// [`generator::sweep_for`]: crate::generator::sweep_for
+    pub fn sweep(
+        &self,
+        op: UnitOp,
+        format: FpFormat,
+        tech: &Tech,
+        opts: SynthesisOptions,
+    ) -> Arc<Vec<ImplementationReport>> {
+        let key = SweepKey {
+            op,
+            format,
+            tech_bits: tech_fingerprint(tech),
+            opts,
+        };
+        let (cell, first) = {
+            let mut map = self.inner.map.lock().expect("sweep cache poisoned");
+            match map.get(&key) {
+                Some(cell) => (cell.clone(), false),
+                None => {
+                    let cell: SweepCell = Arc::new(OnceLock::new());
+                    map.insert(key, cell.clone());
+                    (cell, true)
+                }
+            }
+        };
+        if first {
+            self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        // The map lock is released; concurrent distinct keys synthesize
+        // in parallel, concurrent identical keys block on this cell.
+        cell.get_or_init(|| Arc::new(sweep_for(op, format, tech, opts)))
+            .clone()
+    }
+
+    /// Lookups that found an already-requested key.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that triggered a synthesis sweep.
+    pub fn misses(&self) -> u64 {
+        self.inner.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct sweeps held.
+    pub fn len(&self) -> usize {
+        self.inner.map.lock().expect("sweep cache poisoned").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow() -> (Tech, SynthesisOptions) {
+        (Tech::virtex2pro(), SynthesisOptions::SPEED)
+    }
+
+    #[test]
+    fn warm_lookups_do_not_resynthesize() {
+        let (tech, opts) = flow();
+        let cache = SweepCache::new();
+        let a = cache.sweep(UnitOp::Add, FpFormat::SINGLE, &tech, opts);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let b = cache.sweep(UnitOp::Add, FpFormat::SINGLE, &tech, opts);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "warm lookup must return the memoized sweep"
+        );
+        assert_eq!(*a, sweep_for(UnitOp::Add, FpFormat::SINGLE, &tech, opts));
+    }
+
+    #[test]
+    fn distinct_keys_are_distinct_entries() {
+        let (tech, opts) = flow();
+        let cache = SweepCache::new();
+        cache.sweep(UnitOp::Add, FpFormat::SINGLE, &tech, opts);
+        cache.sweep(UnitOp::Mul, FpFormat::SINGLE, &tech, opts);
+        cache.sweep(UnitOp::Add, FpFormat::DOUBLE, &tech, opts);
+        cache.sweep(UnitOp::Add, FpFormat::SINGLE, &tech, SynthesisOptions::AREA);
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.misses(), 4);
+    }
+
+    #[test]
+    fn tech_fingerprint_tracks_field_changes() {
+        let tech = Tech::virtex2pro();
+        let mut other = tech.clone();
+        other.t_ff_ns += 0.001;
+        assert_ne!(tech_fingerprint(&tech), tech_fingerprint(&other));
+        assert_eq!(tech_fingerprint(&tech), tech_fingerprint(&tech.clone()));
+    }
+
+    #[test]
+    fn concurrent_same_key_synthesizes_once() {
+        let (tech, opts) = flow();
+        let cache = SweepCache::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = cache.clone();
+                let tech = &tech;
+                scope.spawn(move || cache.sweep(UnitOp::Mul, FpFormat::FP48, tech, opts));
+            }
+        });
+        assert_eq!(
+            cache.misses(),
+            1,
+            "one thread computes, the rest block on the cell"
+        );
+        assert_eq!(cache.hits(), 3);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let (tech, opts) = flow();
+        let cache = SweepCache::new();
+        let clone = cache.clone();
+        cache.sweep(UnitOp::Sqrt, FpFormat::SINGLE, &tech, opts);
+        clone.sweep(UnitOp::Sqrt, FpFormat::SINGLE, &tech, opts);
+        assert_eq!((clone.hits(), clone.misses()), (1, 1));
+    }
+}

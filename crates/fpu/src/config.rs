@@ -47,6 +47,70 @@ impl CoreConfig {
             force_priority_encoder: true,
         }
     }
+
+    /// Start from the paper defaults and override selectively:
+    ///
+    /// ```
+    /// use fpfpga_fpu::config::CoreConfig;
+    /// use fpfpga_softfp::{FpFormat, RoundMode};
+    ///
+    /// let cfg = CoreConfig::builder(FpFormat::SINGLE)
+    ///     .stages(8)
+    ///     .round(RoundMode::Truncate)
+    ///     .build();
+    /// assert_eq!(cfg.stages, 8);
+    /// ```
+    pub fn builder(format: FpFormat) -> CoreConfigBuilder {
+        CoreConfigBuilder {
+            config: CoreConfig::paper_default(format, 1),
+        }
+    }
+}
+
+/// Builder for [`CoreConfig`]; see [`CoreConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct CoreConfigBuilder {
+    config: CoreConfig,
+}
+
+impl CoreConfigBuilder {
+    /// Pipeline depth (1 = output register only).
+    pub fn stages(mut self, stages: u32) -> CoreConfigBuilder {
+        self.config.stages = stages;
+        self
+    }
+
+    /// Rounding mode.
+    pub fn round(mut self, round: RoundMode) -> CoreConfigBuilder {
+        self.config.round = round;
+        self
+    }
+
+    /// Register-placement strategy.
+    pub fn strategy(mut self, strategy: PipelineStrategy) -> CoreConfigBuilder {
+        self.config.strategy = strategy;
+        self
+    }
+
+    /// Tool objectives.
+    pub fn synth(mut self, synth: SynthesisOptions) -> CoreConfigBuilder {
+        self.config.synth = synth;
+        self
+    }
+
+    /// Force structured priority-encoder synthesis.
+    pub fn force_priority_encoder(mut self, force: bool) -> CoreConfigBuilder {
+        self.config.force_priority_encoder = force;
+        self
+    }
+
+    pub fn build(self) -> CoreConfig {
+        assert!(
+            self.config.stages >= 1,
+            "a core needs at least its output register"
+        );
+        self.config
+    }
 }
 
 #[cfg(test)]

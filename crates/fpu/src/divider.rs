@@ -11,6 +11,7 @@
 //! depth sweeps.
 
 use crate::adder::{Denormalize, PackUnit};
+use crate::config::CoreConfig;
 use crate::signals::Signals;
 use crate::sim::PipelinedUnit;
 use crate::subunit::{Datapath, Subunit};
@@ -41,9 +42,7 @@ impl Subunit for DivExceptionDetect {
             (Class::Zero, Class::Zero) => {
                 Some((Unpacked::zero(false).to_bits(fmt), Flags::invalid()))
             }
-            (Class::Inf, Class::Inf) => {
-                Some((Unpacked::inf(false).to_bits(fmt), Flags::invalid()))
-            }
+            (Class::Inf, Class::Inf) => Some((Unpacked::inf(false).to_bits(fmt), Flags::invalid())),
             (Class::Inf, _) => Some((Unpacked::inf(sign).to_bits(fmt), Flags::NONE)),
             (_, Class::Inf) => Some((Unpacked::zero(sign).to_bits(fmt), Flags::NONE)),
             (Class::Zero, _) => Some((Unpacked::zero(sign).to_bits(fmt), Flags::NONE)),
@@ -55,7 +54,11 @@ impl Subunit for DivExceptionDetect {
     }
 
     fn components(&self, _fmt: FpFormat, tech: &Tech) -> Vec<Component> {
-        vec![Component::parallel("exception logic", &Primitive::SignLogic, tech)]
+        vec![Component::parallel(
+            "exception logic",
+            &Primitive::SignLogic,
+            tech,
+        )]
     }
 }
 
@@ -139,12 +142,16 @@ impl Subunit for RecurrenceRound {
         vec![
             Component::from_primitive(
                 "mantissa round adder",
-                &Primitive::ConstAdder { bits: fmt.sig_bits() },
+                &Primitive::ConstAdder {
+                    bits: fmt.sig_bits(),
+                },
                 tech,
             ),
             Component::parallel(
                 "exponent round adder",
-                &Primitive::ConstAdder { bits: fmt.exp_bits() },
+                &Primitive::ConstAdder {
+                    bits: fmt.exp_bits(),
+                },
                 tech,
             ),
         ]
@@ -163,7 +170,10 @@ pub struct DividerDesign {
 impl DividerDesign {
     /// A design with the paper-consistent defaults.
     pub fn new(format: FpFormat) -> DividerDesign {
-        DividerDesign { format, round: RoundMode::NearestEven }
+        DividerDesign {
+            format,
+            round: RoundMode::NearestEven,
+        }
     }
 
     /// The behavioural datapath.
@@ -195,18 +205,22 @@ impl DividerDesign {
 
     /// Sweep pipeline depth.
     pub fn sweep(&self, tech: &Tech, opts: SynthesisOptions) -> Vec<ImplementationReport> {
-        timing::sweep_stages(&self.netlist(tech), PipelineStrategy::IterativeRefinement, opts, tech)
+        timing::sweep_stages(
+            &self.netlist(tech),
+            PipelineStrategy::IterativeRefinement,
+            opts,
+            tech,
+        )
     }
 
     /// Build the cycle-accurate simulator for a pipeline depth.
     pub fn simulator(&self, stages: u32) -> PipelinedUnit {
-        PipelinedUnit::new(
-            self.format,
-            self.round,
-            self.datapath(),
-            self.netlist(&Tech::virtex2pro()),
-            stages,
-        )
+        let config = CoreConfig::builder(self.format)
+            .round(self.round)
+            .stages(stages)
+            .strategy(PipelineStrategy::Balanced)
+            .build();
+        PipelinedUnit::new(&config, self.datapath(), self.netlist(&Tech::virtex2pro()))
     }
 }
 
@@ -244,7 +258,11 @@ impl Subunit for SqrtExceptionDetect {
     }
 
     fn components(&self, _fmt: FpFormat, tech: &Tech) -> Vec<Component> {
-        vec![Component::parallel("exception logic", &Primitive::SignLogic, tech)]
+        vec![Component::parallel(
+            "exception logic",
+            &Primitive::SignLogic,
+            tech,
+        )]
     }
 }
 
@@ -269,7 +287,9 @@ impl Subunit for RootRecurrenceUnit {
             // The exponent halving is a shift; its odd/even fold is a mux.
             Component::parallel(
                 "exponent halver",
-                &Primitive::Mux2 { bits: fmt.exp_bits() },
+                &Primitive::Mux2 {
+                    bits: fmt.exp_bits(),
+                },
                 tech,
             ),
             Component::from_primitive(
@@ -296,7 +316,10 @@ pub struct SqrtDesign {
 impl SqrtDesign {
     /// A design with the paper-consistent defaults.
     pub fn new(format: FpFormat) -> SqrtDesign {
-        SqrtDesign { format, round: RoundMode::NearestEven }
+        SqrtDesign {
+            format,
+            round: RoundMode::NearestEven,
+        }
     }
 
     /// The behavioural datapath (operand B is ignored).
@@ -327,18 +350,22 @@ impl SqrtDesign {
 
     /// Sweep pipeline depth.
     pub fn sweep(&self, tech: &Tech, opts: SynthesisOptions) -> Vec<ImplementationReport> {
-        timing::sweep_stages(&self.netlist(tech), PipelineStrategy::IterativeRefinement, opts, tech)
+        timing::sweep_stages(
+            &self.netlist(tech),
+            PipelineStrategy::IterativeRefinement,
+            opts,
+            tech,
+        )
     }
 
     /// Build the cycle-accurate simulator for a pipeline depth.
     pub fn simulator(&self, stages: u32) -> PipelinedUnit {
-        PipelinedUnit::new(
-            self.format,
-            self.round,
-            self.datapath(),
-            self.netlist(&Tech::virtex2pro()),
-            stages,
-        )
+        let config = CoreConfig::builder(self.format)
+            .round(self.round)
+            .stages(stages)
+            .strategy(PipelineStrategy::Balanced)
+            .build();
+        PipelinedUnit::new(&config, self.datapath(), self.netlist(&Tech::virtex2pro()))
     }
 }
 
@@ -389,8 +416,12 @@ mod tests {
             let mut unit = d.simulator(stages);
             for &(x, y) in &[(1.0f64, 3.0f64), (2.5e100, -3.3e-7), (-1.0, -8.0)] {
                 let (got, _) = run(&mut unit, x.to_bits(), y.to_bits());
-                let (want, _) =
-                    fpfpga_softfp::div_bits(FpFormat::DOUBLE, x.to_bits(), y.to_bits(), RoundMode::NearestEven);
+                let (want, _) = fpfpga_softfp::div_bits(
+                    FpFormat::DOUBLE,
+                    x.to_bits(),
+                    y.to_bits(),
+                    RoundMode::NearestEven,
+                );
                 assert_eq!(got, want, "{x}/{y} at {stages} stages");
             }
         }
@@ -420,8 +451,12 @@ mod tests {
         // latency needed for peak clock) grows with the significand,
         // unlike the adder/multiplier.
         let t = Tech::virtex2pro();
-        let d32 = DividerDesign::new(FpFormat::SINGLE).netlist(&t).max_stages();
-        let d64 = DividerDesign::new(FpFormat::DOUBLE).netlist(&t).max_stages();
+        let d32 = DividerDesign::new(FpFormat::SINGLE)
+            .netlist(&t)
+            .max_stages();
+        let d64 = DividerDesign::new(FpFormat::DOUBLE)
+            .netlist(&t)
+            .max_stages();
         assert!(d64 > d32 + 20, "64-bit rows {d64} vs 32-bit rows {d32}");
     }
 
@@ -445,7 +480,10 @@ mod tests {
         assert!(best > 200.0, "deeply pipelined divider = {best} MHz");
         // ...but it takes ~one stage per digit to get there.
         let at_200 = sweep.iter().find(|r| r.clock_mhz >= 200.0).unwrap().stages;
-        assert!(at_200 > 15, "200 MHz before {at_200} stages is implausibly early");
+        assert!(
+            at_200 > 15,
+            "200 MHz before {at_200} stages is implausibly early"
+        );
     }
 
     #[test]

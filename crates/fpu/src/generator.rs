@@ -19,7 +19,7 @@ use fpfpga_fabric::tech::Tech;
 use fpfpga_softfp::FpFormat;
 
 /// Which unit to generate.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum UnitOp {
     /// Adder/subtractor.
     Add,
@@ -100,7 +100,10 @@ pub enum GenError {
 impl std::fmt::Display for GenError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            GenError::Infeasible { best_mhz, min_slices } => write!(
+            GenError::Infeasible {
+                best_mhz,
+                min_slices,
+            } => write!(
                 f,
                 "no configuration satisfies the constraints (best clock {best_mhz:.1} MHz, \
                  smallest area {min_slices} slices)"
@@ -112,7 +115,12 @@ impl std::fmt::Display for GenError {
 impl std::error::Error for GenError {}
 
 /// Sweep the requested unit across pipeline depths.
-pub fn sweep_for(op: UnitOp, format: FpFormat, tech: &Tech, opts: SynthesisOptions) -> Vec<ImplementationReport> {
+pub fn sweep_for(
+    op: UnitOp,
+    format: FpFormat,
+    tech: &Tech,
+    opts: SynthesisOptions,
+) -> Vec<ImplementationReport> {
     match op {
         UnitOp::Add => AdderDesign::new(format).sweep(tech, opts),
         UnitOp::Mul => MultiplierDesign::new(format).sweep(tech, opts),
@@ -122,9 +130,40 @@ pub fn sweep_for(op: UnitOp, format: FpFormat, tech: &Tech, opts: SynthesisOptio
     }
 }
 
+/// [`sweep_for`] through a [`SweepCache`]: warm lookups return the
+/// memoized reports without re-synthesizing.
+///
+/// [`SweepCache`]: crate::cache::SweepCache
+pub fn sweep_for_cached(
+    op: UnitOp,
+    format: FpFormat,
+    tech: &Tech,
+    opts: SynthesisOptions,
+    cache: &crate::cache::SweepCache,
+) -> std::sync::Arc<Vec<ImplementationReport>> {
+    cache.sweep(op, format, tech, opts)
+}
+
 /// Generate the unit for a request.
 pub fn generate(req: &Request, tech: &Tech, opts: SynthesisOptions) -> Result<Generated, GenError> {
-    let sweep = sweep_for(req.op, req.format, tech, opts);
+    select(req, &sweep_for(req.op, req.format, tech, opts))
+}
+
+/// [`generate`] through a [`SweepCache`]: the depth sweep is memoized,
+/// the constraint filtering and metric selection run per request.
+///
+/// [`SweepCache`]: crate::cache::SweepCache
+pub fn generate_cached(
+    req: &Request,
+    tech: &Tech,
+    opts: SynthesisOptions,
+    cache: &crate::cache::SweepCache,
+) -> Result<Generated, GenError> {
+    select(req, &cache.sweep(req.op, req.format, tech, opts))
+}
+
+/// Pick an implementation point from an already-computed sweep.
+fn select(req: &Request, sweep: &[ImplementationReport]) -> Result<Generated, GenError> {
     let best_mhz = sweep.iter().map(|r| r.clock_mhz).fold(0.0, f64::max);
     let min_slices = sweep.iter().map(|r| r.slices).min().unwrap_or(0);
 
@@ -134,7 +173,10 @@ pub fn generate(req: &Request, tech: &Tech, opts: SynthesisOptions) -> Result<Ge
         .filter(|r| req.max_slices.is_none_or(|m| r.slices <= m))
         .collect();
     if admitted.is_empty() {
-        return Err(GenError::Infeasible { best_mhz, min_slices });
+        return Err(GenError::Infeasible {
+            best_mhz,
+            min_slices,
+        });
     }
 
     let chosen: &ImplementationReport = match req.metric {
@@ -180,7 +222,11 @@ pub fn generate(req: &Request, tech: &Tech, opts: SynthesisOptions) -> Result<Ge
         chosen.slices,
         chosen.freq_per_area()
     );
-    Ok(Generated { report: chosen.clone(), rationale, warnings })
+    Ok(Generated {
+        report: chosen.clone(),
+        rationale,
+        warnings,
+    })
 }
 
 #[cfg(test)]
@@ -269,7 +315,30 @@ mod tests {
             metric: Metric::MinArea,
         };
         let g = generate(&req, &tech, opts).unwrap();
-        assert!(g.warnings.iter().any(|w| w.contains("digit-recurrence")), "{:?}", g.warnings);
+        assert!(
+            g.warnings.iter().any(|w| w.contains("digit-recurrence")),
+            "{:?}",
+            g.warnings
+        );
+    }
+
+    #[test]
+    fn cached_generation_matches_plain_and_skips_warm_synthesis() {
+        let (tech, opts) = flow();
+        let cache = crate::cache::SweepCache::new();
+        let req = Request {
+            format: FpFormat::SINGLE,
+            op: UnitOp::Mac,
+            target_mhz: Some(150.0),
+            max_slices: None,
+            metric: Metric::FreqPerArea,
+        };
+        let plain = generate(&req, &tech, opts).unwrap();
+        let cold = generate_cached(&req, &tech, opts, &cache).unwrap();
+        let warm = generate_cached(&req, &tech, opts, &cache).unwrap();
+        assert_eq!(plain.report, cold.report);
+        assert_eq!(plain.report, warm.report);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
     }
 
     #[test]
@@ -282,7 +351,13 @@ mod tests {
     #[test]
     fn all_ops_generate_for_all_precisions() {
         let (tech, opts) = flow();
-        for op in [UnitOp::Add, UnitOp::Mul, UnitOp::Div, UnitOp::Sqrt, UnitOp::Mac] {
+        for op in [
+            UnitOp::Add,
+            UnitOp::Mul,
+            UnitOp::Div,
+            UnitOp::Sqrt,
+            UnitOp::Mac,
+        ] {
             for fmt in FpFormat::PAPER_PRECISIONS {
                 let req = Request {
                     format: fmt,

@@ -35,11 +35,26 @@ fn push_output_denormal_logic(n: &mut Netlist, fmt: FpFormat, tech: &Tech) {
     let bits = fmt.sig_bits() + 3;
     n.push(
         "denormalizing shifter",
-        &Primitive::BarrelShifter { bits, levels: log2_ceil(bits) },
+        &Primitive::BarrelShifter {
+            bits,
+            levels: log2_ceil(bits),
+        },
         tech,
     );
-    n.push_parallel("underflow comparator", &Primitive::Comparator { bits: fmt.exp_bits() }, tech);
-    n.push("NaN/denorm output mux", &Primitive::Mux2 { bits: fmt.total_bits() }, tech);
+    n.push_parallel(
+        "underflow comparator",
+        &Primitive::Comparator {
+            bits: fmt.exp_bits(),
+        },
+        tech,
+    );
+    n.push(
+        "NaN/denorm output mux",
+        &Primitive::Mux2 {
+            bits: fmt.total_bits(),
+        },
+        tech,
+    );
 }
 
 /// The full-IEEE adder netlist: the flush-to-zero datapath plus
@@ -48,8 +63,20 @@ pub fn full_ieee_adder_netlist(fmt: FpFormat, tech: &Tech) -> Netlist {
     let mut n = AdderDesign::new(fmt).netlist(tech);
     n.name = format!("fp{} adder (full IEEE)", fmt.total_bits());
     // NaN detection on each operand (fraction-nonzero AND exp-all-ones).
-    n.push_parallel("NaN detect A", &Primitive::Comparator { bits: fmt.frac_bits() }, tech);
-    n.push_parallel("NaN detect B", &Primitive::Comparator { bits: fmt.frac_bits() }, tech);
+    n.push_parallel(
+        "NaN detect A",
+        &Primitive::Comparator {
+            bits: fmt.frac_bits(),
+        },
+        tech,
+    );
+    n.push_parallel(
+        "NaN detect B",
+        &Primitive::Comparator {
+            bits: fmt.frac_bits(),
+        },
+        tech,
+    );
     push_output_denormal_logic(&mut n, fmt, tech);
     n
 }
@@ -67,19 +94,45 @@ pub fn full_ieee_multiplier_netlist(fmt: FpFormat, tech: &Tech) -> Netlist {
     // fixed-point multiplier. One path is on the critical path, its twin
     // runs in parallel.
     let sig = fmt.sig_bits();
-    n.push("input priority encoder A", &Primitive::PriorityEncoder { bits: sig, forced: true }, tech);
-    n.push("input normalizer A", &Primitive::BarrelShifter { bits: sig, levels: log2_ceil(sig) }, tech);
+    n.push(
+        "input priority encoder A",
+        &Primitive::PriorityEncoder {
+            bits: sig,
+            forced: true,
+        },
+        tech,
+    );
+    n.push(
+        "input normalizer A",
+        &Primitive::BarrelShifter {
+            bits: sig,
+            levels: log2_ceil(sig),
+        },
+        tech,
+    );
     n.push_parallel(
         "input priority encoder B",
-        &Primitive::PriorityEncoder { bits: sig, forced: true },
+        &Primitive::PriorityEncoder {
+            bits: sig,
+            forced: true,
+        },
         tech,
     );
     n.push_parallel(
         "input normalizer B",
-        &Primitive::BarrelShifter { bits: sig, levels: log2_ceil(sig) },
+        &Primitive::BarrelShifter {
+            bits: sig,
+            levels: log2_ceil(sig),
+        },
         tech,
     );
-    n.push_parallel("NaN detect", &Primitive::Comparator { bits: fmt.frac_bits() }, tech);
+    n.push_parallel(
+        "NaN detect",
+        &Primitive::Comparator {
+            bits: fmt.frac_bits(),
+        },
+        tech,
+    );
     n.components.extend(base.components);
     push_output_denormal_logic(&mut n, fmt, tech);
     n
@@ -164,8 +217,14 @@ mod tests {
             );
         }
         // The multiplier pays more than the adder (two input normalizers).
-        let mul64 = reports.iter().find(|r| r.core == "multiplier" && r.format == FpFormat::DOUBLE).unwrap();
-        let add64 = reports.iter().find(|r| r.core == "adder" && r.format == FpFormat::DOUBLE).unwrap();
+        let mul64 = reports
+            .iter()
+            .find(|r| r.core == "multiplier" && r.format == FpFormat::DOUBLE)
+            .unwrap();
+        let add64 = reports
+            .iter()
+            .find(|r| r.core == "adder" && r.format == FpFormat::DOUBLE)
+            .unwrap();
         assert!(mul64.slice_overhead() > add64.slice_overhead());
     }
 

@@ -34,7 +34,10 @@ pub struct FusedMacDesign {
 impl FusedMacDesign {
     /// A design with the paper-consistent defaults.
     pub fn new(format: FpFormat) -> FusedMacDesign {
-        FusedMacDesign { format, round: RoundMode::NearestEven }
+        FusedMacDesign {
+            format,
+            round: RoundMode::NearestEven,
+        }
     }
 
     /// The structural netlist: denormalize, mantissa multiplier, wide
@@ -48,15 +51,26 @@ impl FusedMacDesign {
             fmt.total_bits(),
             fmt.exp_bits() + 6,
         );
-        let cmp = Primitive::Comparator { bits: fmt.exp_bits() };
+        let cmp = Primitive::Comparator {
+            bits: fmt.exp_bits(),
+        };
         n.push("denorm cmp A", &cmp, tech);
         n.push_parallel("denorm cmp B", &cmp, tech);
         n.push_parallel("denorm cmp C", &cmp, tech);
         n.push_parallel("exception logic", &Primitive::SignLogic, tech);
-        n.push("mantissa multiplier", &Primitive::Mult18Tree { bits: fmt.sig_bits() }, tech);
+        n.push(
+            "mantissa multiplier",
+            &Primitive::Mult18Tree {
+                bits: fmt.sig_bits(),
+            },
+            tech,
+        );
         n.push_parallel(
             "exponent adder",
-            &Primitive::FixedAdder { bits: fmt.exp_bits(), carry_ns_per_bit: tech.t_carry_per_bit_ns },
+            &Primitive::FixedAdder {
+                bits: fmt.exp_bits(),
+                carry_ns_per_bit: tech.t_carry_per_bit_ns,
+            },
             tech,
         );
         // The addend aligns against the wide product (runs concurrently
@@ -64,29 +78,68 @@ impl FusedMacDesign {
         // the critical path here as the conservative choice).
         n.push(
             "wide align shifter",
-            &Primitive::BarrelShifter { bits: wide, levels: log2_ceil(wide) },
+            &Primitive::BarrelShifter {
+                bits: wide,
+                levels: log2_ceil(wide),
+            },
             tech,
         );
         n.push(
             "wide adder",
-            &Primitive::FixedAdder { bits: wide, carry_ns_per_bit: 0.05 },
+            &Primitive::FixedAdder {
+                bits: wide,
+                carry_ns_per_bit: 0.05,
+            },
             tech,
         );
-        n.push("leading-zero detect", &Primitive::PriorityEncoder { bits: wide, forced: true }, tech);
+        n.push(
+            "leading-zero detect",
+            &Primitive::PriorityEncoder {
+                bits: wide,
+                forced: true,
+            },
+            tech,
+        );
         n.push(
             "normalize shifter",
-            &Primitive::BarrelShifter { bits: wide, levels: log2_ceil(wide) },
+            &Primitive::BarrelShifter {
+                bits: wide,
+                levels: log2_ceil(wide),
+            },
             tech,
         );
-        n.push("round adder", &Primitive::ConstAdder { bits: fmt.sig_bits() }, tech);
-        n.push_parallel("exponent round adder", &Primitive::ConstAdder { bits: fmt.exp_bits() }, tech);
-        n.push("output mux", &Primitive::Mux2 { bits: fmt.total_bits() }, tech);
+        n.push(
+            "round adder",
+            &Primitive::ConstAdder {
+                bits: fmt.sig_bits(),
+            },
+            tech,
+        );
+        n.push_parallel(
+            "exponent round adder",
+            &Primitive::ConstAdder {
+                bits: fmt.exp_bits(),
+            },
+            tech,
+        );
+        n.push(
+            "output mux",
+            &Primitive::Mux2 {
+                bits: fmt.total_bits(),
+            },
+            tech,
+        );
         n
     }
 
     /// Sweep pipeline depth.
     pub fn sweep(&self, tech: &Tech, opts: SynthesisOptions) -> Vec<ImplementationReport> {
-        timing::sweep_stages(&self.netlist(tech), PipelineStrategy::IterativeRefinement, opts, tech)
+        timing::sweep_stages(
+            &self.netlist(tech),
+            PipelineStrategy::IterativeRefinement,
+            opts,
+            tech,
+        )
     }
 
     /// A latency-faithful simulator (one fused op per cycle).
@@ -117,8 +170,7 @@ impl FusedMacUnit {
 
     /// Advance one clock, optionally injecting `(a, b, c)`.
     pub fn clock(&mut self, input: Option<(u64, u64, u64)>) -> Option<(u64, Flags)> {
-        let computed =
-            input.map(|(a, b, c)| fpfpga_softfp::fma_bits(self.fmt, a, b, c, self.mode));
+        let computed = input.map(|(a, b, c)| fpfpga_softfp::fma_bits(self.fmt, a, b, c, self.mode));
         self.line.push_back(computed);
         self.line.pop_front().expect("line non-empty")
     }
@@ -126,6 +178,25 @@ impl FusedMacUnit {
     /// The value retiring on the next clock (write-first forwarding).
     pub fn peek(&self) -> Option<(u64, Flags)> {
         *self.line.front().expect("line non-empty")
+    }
+
+    /// Batched counterpart of driving [`FusedMacUnit::clock`] once per
+    /// input and then draining: retire everything in flight, then
+    /// compute the whole batch. Results are bit-identical to the
+    /// per-cycle path because bundles in a delay line never interact.
+    pub fn run_batch(&mut self, inputs: &[(u64, u64, u64)]) -> Vec<(u64, Flags)> {
+        let mut out = Vec::with_capacity(self.line.len() + inputs.len());
+        for slot in self.line.iter_mut() {
+            if let Some(r) = slot.take() {
+                out.push(r);
+            }
+        }
+        out.extend(
+            inputs
+                .iter()
+                .map(|&(a, b, c)| fpfpga_softfp::fma_bits(self.fmt, a, b, c, self.mode)),
+        );
+        out
     }
 }
 
@@ -191,7 +262,11 @@ mod tests {
         let d = FusedMacDesign::new(FpFormat::SINGLE);
         let mut u = d.unit(6);
         let (a, b, c) = (1.5f32, 2.0f32, 0.25f32);
-        let mut out = u.clock(Some((a.to_bits() as u64, b.to_bits() as u64, c.to_bits() as u64)));
+        let mut out = u.clock(Some((
+            a.to_bits() as u64,
+            b.to_bits() as u64,
+            c.to_bits() as u64,
+        )));
         let mut waited = 0;
         while out.is_none() {
             out = u.clock(None);
@@ -208,9 +283,18 @@ mod tests {
         let b = 1.0f32 - f32::EPSILON / 2.0;
         let c = -1.0f32;
         let mut u = FusedMacDesign::new(fmt).unit(1);
-        u.clock(Some((a.to_bits() as u64, b.to_bits() as u64, c.to_bits() as u64)));
+        u.clock(Some((
+            a.to_bits() as u64,
+            b.to_bits() as u64,
+            c.to_bits() as u64,
+        )));
         let (fused, _) = u.clock(None).unwrap();
-        let (p, _) = fpfpga_softfp::mul_bits(fmt, a.to_bits() as u64, b.to_bits() as u64, RoundMode::NearestEven);
+        let (p, _) = fpfpga_softfp::mul_bits(
+            fmt,
+            a.to_bits() as u64,
+            b.to_bits() as u64,
+            RoundMode::NearestEven,
+        );
         let (two, _) = fpfpga_softfp::add_bits(fmt, p, c.to_bits() as u64, RoundMode::NearestEven);
         assert_ne!(fused, two);
         assert_eq!(fused as u32, a.mul_add(b, c).to_bits());

@@ -50,7 +50,11 @@ impl Subunit for MulExceptionDetect {
     }
 
     fn components(&self, _fmt: FpFormat, tech: &Tech) -> Vec<Component> {
-        vec![Component::parallel("exception logic", &Primitive::SignLogic, tech)]
+        vec![Component::parallel(
+            "exception logic",
+            &Primitive::SignLogic,
+            tech,
+        )]
     }
 }
 
@@ -100,7 +104,9 @@ impl Subunit for MantissaMultiply {
     fn components(&self, fmt: FpFormat, tech: &Tech) -> Vec<Component> {
         vec![Component::from_primitive(
             "mantissa multiplier",
-            &Primitive::Mult18Tree { bits: fmt.sig_bits() },
+            &Primitive::Mult18Tree {
+                bits: fmt.sig_bits(),
+            },
             tech,
         )]
     }
@@ -129,12 +135,16 @@ impl Subunit for ProductNormalize {
         vec![
             Component::from_primitive(
                 "2-bit shifter",
-                &Primitive::Mux2 { bits: fmt.sig_bits() + 2 },
+                &Primitive::Mux2 {
+                    bits: fmt.sig_bits() + 2,
+                },
                 tech,
             ),
             Component::parallel(
                 "exponent adjust",
-                &Primitive::ConstAdder { bits: fmt.exp_bits() },
+                &Primitive::ConstAdder {
+                    bits: fmt.exp_bits(),
+                },
                 tech,
             ),
         ]
@@ -165,12 +175,16 @@ impl Subunit for MulRound {
         vec![
             Component::from_primitive(
                 "mantissa round adder",
-                &Primitive::ConstAdder { bits: fmt.sig_bits() },
+                &Primitive::ConstAdder {
+                    bits: fmt.sig_bits(),
+                },
                 tech,
             ),
             Component::parallel(
                 "exponent round adder",
-                &Primitive::ConstAdder { bits: fmt.exp_bits() },
+                &Primitive::ConstAdder {
+                    bits: fmt.exp_bits(),
+                },
                 tech,
             ),
         ]
@@ -189,12 +203,18 @@ pub struct MultiplierDesign {
 impl MultiplierDesign {
     /// A design with the paper's defaults.
     pub fn new(format: FpFormat) -> MultiplierDesign {
-        MultiplierDesign { format, round: RoundMode::NearestEven }
+        MultiplierDesign {
+            format,
+            round: RoundMode::NearestEven,
+        }
     }
 
     /// From a full core configuration.
     pub fn from_config(cfg: &CoreConfig) -> MultiplierDesign {
-        MultiplierDesign { format: cfg.format, round: cfg.round }
+        MultiplierDesign {
+            format: cfg.format,
+            round: cfg.round,
+        }
     }
 
     /// The behavioural datapath (subunits in dataflow order).
@@ -233,13 +253,12 @@ impl MultiplierDesign {
 
     /// Build the cycle-accurate simulator for a pipeline depth.
     pub fn simulator(&self, stages: u32) -> PipelinedUnit {
-        PipelinedUnit::new(
-            self.format,
-            self.round,
-            self.datapath(),
-            self.netlist(&Tech::virtex2pro()),
-            stages,
-        )
+        let config = CoreConfig::builder(self.format)
+            .round(self.round)
+            .stages(stages)
+            .strategy(PipelineStrategy::Balanced)
+            .build();
+        PipelinedUnit::new(&config, self.datapath(), self.netlist(&Tech::virtex2pro()))
     }
 }
 
@@ -277,9 +296,11 @@ mod tests {
     #[test]
     fn uses_embedded_multipliers() {
         let t = Tech::virtex2pro();
-        for (fmt, bmults) in
-            [(FpFormat::SINGLE, 4), (FpFormat::FP48, 9), (FpFormat::DOUBLE, 16)]
-        {
+        for (fmt, bmults) in [
+            (FpFormat::SINGLE, 4),
+            (FpFormat::FP48, 9),
+            (FpFormat::DOUBLE, 16),
+        ] {
             let n = MultiplierDesign::new(fmt).netlist(&t);
             assert_eq!(n.base_area().bmults, bmults, "{fmt:?}");
         }

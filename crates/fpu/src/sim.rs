@@ -12,10 +12,11 @@
 //! latency. The two are interchangeable (property-tested bit-equal);
 //! large kernel simulations use the delay line, unit tests use both.
 
+use crate::config::CoreConfig;
 use crate::signals::Signals;
 use crate::subunit::Datapath;
 use fpfpga_fabric::netlist::Netlist;
-use fpfpga_fabric::pipeline::{pipeline, PipelineStrategy};
+use fpfpga_fabric::pipeline::pipeline;
 use fpfpga_fabric::tech::Tech;
 use fpfpga_softfp::{Flags, FpFormat, RoundMode};
 use std::collections::VecDeque;
@@ -47,6 +48,24 @@ pub trait FpPipe {
         }
         out
     }
+
+    /// Stream a whole batch back-to-back at initiation interval 1 and
+    /// drain: any results already in flight emerge first, then one
+    /// result per input, in order — exactly the per-cycle `clock`/
+    /// [`FpPipe::drain`] outcome (property-tested bit-identical).
+    ///
+    /// Implementations may override this with a bulk fast path; the
+    /// cycle cost modelled is always `inputs.len() + latency()` clocks.
+    fn run_batch(&mut self, inputs: &[(u64, u64)]) -> Vec<(u64, Flags)> {
+        let mut out = Vec::with_capacity(inputs.len());
+        for &inp in inputs {
+            if let Some(r) = self.clock(Some(inp)) {
+                out.push(r);
+            }
+        }
+        out.extend(self.drain());
+        out
+    }
 }
 
 /// The structural, stage-by-stage simulator.
@@ -65,24 +84,19 @@ pub struct PipelinedUnit {
 }
 
 impl PipelinedUnit {
-    /// Build a simulator from a datapath and its netlist, pipelined to
-    /// `stages` stages. Register placement follows the balanced
-    /// partition; placement only affects *when* a subunit's transfer
-    /// function runs, never its value (see the crate-level invariant).
-    pub fn new(
-        fmt: FpFormat,
-        mode: RoundMode,
-        datapath: Datapath,
-        netlist: Netlist,
-        stages: u32,
-    ) -> PipelinedUnit {
+    /// Build a simulator from a configuration and the design's datapath
+    /// and netlist. The configuration supplies format, rounding mode,
+    /// pipeline depth and register-placement strategy; placement only
+    /// affects *when* a subunit's transfer function runs, never its
+    /// value (see the crate-level invariant).
+    pub fn new(config: &CoreConfig, datapath: Datapath, netlist: Netlist) -> PipelinedUnit {
         let tech = Tech::virtex2pro();
-        let piped = pipeline(&netlist, stages, PipelineStrategy::Balanced);
-        let stage_of = datapath.assign_stages(fmt, &tech, &piped.cuts);
+        let piped = pipeline(&netlist, config.stages, config.strategy);
+        let stage_of = datapath.assign_stages(config.format, &tech, &piped.cuts);
         let k = piped.stages as usize;
         PipelinedUnit {
-            fmt,
-            mode,
+            fmt: config.format,
+            mode: config.round,
             datapath,
             stage_of,
             stages: piped.stages,
@@ -164,7 +178,40 @@ impl FpPipe for PipelinedUnit {
         // The last slot's bundle has already run every stage; its result
         // field is the combinational output sitting at the final
         // register's D input mux.
-        self.slots.last().and_then(|s| s.as_ref()).map(|s| (s.result, s.flags))
+        self.slots
+            .last()
+            .and_then(|s| s.as_ref())
+            .map(|s| (s.result, s.flags))
+    }
+
+    /// In-place slot rotation: bundles never interact (each subunit
+    /// mutates only its own bundle), so instead of shifting the slot
+    /// vector once per clock, finish the in-flight bundles' remaining
+    /// stages in retirement order, then run each new bundle straight
+    /// through all stages without ever parking it in a slot.
+    fn run_batch(&mut self, inputs: &[(u64, u64)]) -> Vec<(u64, Flags)> {
+        let k = self.slots.len();
+        let mut out = Vec::with_capacity(self.in_flight() + inputs.len());
+        for i in (0..k).rev() {
+            if let Some(mut s) = self.slots[i].take() {
+                for stage in i + 1..k {
+                    self.run_stage(stage, &mut s);
+                }
+                out.push((s.result, s.flags));
+            }
+        }
+        let sub = self.subtract;
+        for &(a, b) in inputs {
+            let mut s = Signals::inject(a, b, sub);
+            for stage in 0..k {
+                self.run_stage(stage, &mut s);
+            }
+            out.push((s.result, s.flags));
+        }
+        // Same clock count the per-cycle path would spend: one issue
+        // per input plus a full drain.
+        self.cycles += inputs.len() as u64 + k as u64;
+        out
     }
 }
 
@@ -204,6 +251,16 @@ impl DelayLineUnit {
             stages,
         }
     }
+
+    fn compute(&self, a: u64, b: u64) -> (u64, Flags) {
+        match self.op {
+            DelayOp::Add => fpfpga_softfp::add_bits(self.fmt, a, b, self.mode),
+            DelayOp::Sub => fpfpga_softfp::sub_bits(self.fmt, a, b, self.mode),
+            DelayOp::Mul => fpfpga_softfp::mul_bits(self.fmt, a, b, self.mode),
+            DelayOp::Div => fpfpga_softfp::div_bits(self.fmt, a, b, self.mode),
+            DelayOp::Sqrt => fpfpga_softfp::sqrt_bits(self.fmt, a, self.mode),
+        }
+    }
 }
 
 impl FpPipe for DelayLineUnit {
@@ -212,19 +269,28 @@ impl FpPipe for DelayLineUnit {
     }
 
     fn clock(&mut self, input: Option<(u64, u64)>) -> Option<(u64, Flags)> {
-        let computed = input.map(|(a, b)| match self.op {
-            DelayOp::Add => fpfpga_softfp::add_bits(self.fmt, a, b, self.mode),
-            DelayOp::Sub => fpfpga_softfp::sub_bits(self.fmt, a, b, self.mode),
-            DelayOp::Mul => fpfpga_softfp::mul_bits(self.fmt, a, b, self.mode),
-            DelayOp::Div => fpfpga_softfp::div_bits(self.fmt, a, b, self.mode),
-            DelayOp::Sqrt => fpfpga_softfp::sqrt_bits(self.fmt, a, self.mode),
-        });
+        let computed = input.map(|(a, b)| self.compute(a, b));
         self.line.push_back(computed);
         self.line.pop_front().expect("line is non-empty")
     }
 
     fn peek(&self) -> Option<(u64, Flags)> {
         *self.line.front().expect("line is non-empty")
+    }
+
+    /// Bulk fast path: everything already in the delay line retires
+    /// first (its results were computed at injection), then the whole
+    /// input slice is evaluated in one pass — no per-cycle `VecDeque`
+    /// round-trip.
+    fn run_batch(&mut self, inputs: &[(u64, u64)]) -> Vec<(u64, Flags)> {
+        let mut out = Vec::with_capacity(self.line.len() + inputs.len());
+        for slot in self.line.iter_mut() {
+            if let Some(r) = slot.take() {
+                out.push(r);
+            }
+        }
+        out.extend(inputs.iter().map(|&(a, b)| self.compute(a, b)));
+        out
     }
 }
 
@@ -251,7 +317,7 @@ mod tests {
                 waited += 1;
                 assert!(waited <= stages, "result did not emerge in {stages} cycles");
             }
-            assert_eq!(waited, stages - 0, "latency mismatch at {stages} stages");
+            assert_eq!(waited, stages, "latency mismatch at {stages} stages");
             assert_eq!(f32::from_bits(out.unwrap().0 as u32), 3.0);
         }
     }
@@ -283,9 +349,15 @@ mod tests {
         assert!(u.clock(Some((f(2.0), f(2.0)))).is_none());
         assert!(u.clock(None).is_none());
         // cycle 5: first result
-        assert_eq!(u.clock(None).map(|(r, _)| f32::from_bits(r as u32)), Some(2.0));
+        assert_eq!(
+            u.clock(None).map(|(r, _)| f32::from_bits(r as u32)),
+            Some(2.0)
+        );
         assert!(u.clock(None).is_none()); // the bubble
-        assert_eq!(u.clock(None).map(|(r, _)| f32::from_bits(r as u32)), Some(4.0));
+        assert_eq!(
+            u.clock(None).map(|(r, _)| f32::from_bits(r as u32)),
+            Some(4.0)
+        );
     }
 
     #[test]
@@ -293,8 +365,12 @@ mod tests {
         // The crate invariant: register placement never changes values.
         let d = AdderDesign::new(FpFormat::DOUBLE);
         let netlist = d.netlist(&Tech::virtex2pro());
-        let cases: &[(f64, f64)] =
-            &[(1.0, 2.5), (1e300, 1e300), (-7.25, 7.25), (3.1e-200, -2.9e-200)];
+        let cases: &[(f64, f64)] = &[
+            (1.0, 2.5),
+            (1e300, 1e300),
+            (-7.25, 7.25),
+            (3.1e-200, -2.9e-200),
+        ];
         for stages in 1..=netlist.max_stages() {
             let mut u = d.simulator(stages);
             for &(x, y) in cases {
@@ -319,9 +395,11 @@ mod tests {
     fn delay_line_agrees_with_structural() {
         let d = MultiplierDesign::new(FpFormat::SINGLE);
         let mut structural = d.simulator(7);
-        let mut fast = DelayLineUnit::new(FpFormat::SINGLE, RoundMode::NearestEven, DelayOp::Mul, 7);
-        let inputs: Vec<(u64, u64)> =
-            (0..50).map(|i| (f(i as f32 * 0.37 - 5.0), f(i as f32 * 1.13 + 0.01))).collect();
+        let mut fast =
+            DelayLineUnit::new(FpFormat::SINGLE, RoundMode::NearestEven, DelayOp::Mul, 7);
+        let inputs: Vec<(u64, u64)> = (0..50)
+            .map(|i| (f(i as f32 * 0.37 - 5.0), f(i as f32 * 1.13 + 0.01)))
+            .collect();
         for &inp in &inputs {
             let a = structural.clock(Some(inp));
             let b = fast.clock(Some(inp));

@@ -1,0 +1,231 @@
+//! Batched streaming execution over [`FpPipe`](crate::sim::FpPipe)s.
+//!
+//! The paper's whole evaluation is throughput-driven: initiation-
+//! interval-1 pipelines kept full by back-to-back operand streams. The
+//! per-cycle [`clock`](crate::sim::FpPipe::clock) interface models that
+//! faithfully but pays an `Option` shuffle per cycle; this module adds
+//! the streaming view on top of it:
+//!
+//! * [`FpPipe::run_batch`](crate::sim::FpPipe::run_batch) — push a whole
+//!   operand slice through at full rate and drain, with bulk fast paths
+//!   in both simulator backends (bit-identical to per-cycle clocking,
+//!   property-tested in `tests/proptest_stream_batch.rs`);
+//! * [`StreamSession`] — an incremental injector for driver loops that
+//!   interleave issue with other per-cycle work but want the streaming
+//!   bookkeeping (issued/retired counts, final drain) handled.
+//!
+//! ```
+//! use fpfpga_fpu::adder::AdderDesign;
+//! use fpfpga_fpu::sim::FpPipe;
+//! use fpfpga_fpu::stream::StreamSession;
+//! use fpfpga_softfp::FpFormat;
+//!
+//! let design = AdderDesign::new(FpFormat::SINGLE);
+//! let mut unit = design.simulator(8);
+//!
+//! // Whole-slice streaming:
+//! let inputs: Vec<(u64, u64)> = (0..32)
+//!     .map(|i| ((i as f32).to_bits() as u64, 1.0f32.to_bits() as u64))
+//!     .collect();
+//! let results = unit.run_batch(&inputs);
+//! assert_eq!(results.len(), 32);
+//! assert_eq!(f32::from_bits(results[3].0 as u32), 4.0);
+//!
+//! // Incremental streaming with explicit control:
+//! let mut session = StreamSession::new(&mut unit);
+//! let mut done = Vec::new();
+//! for i in 0..10u32 {
+//!     done.extend(session.push((i as f32).to_bits() as u64, 2.0f32.to_bits() as u64));
+//! }
+//! assert_eq!(session.in_flight(), 8); // the pipe is 8 deep
+//! done.extend(session.finish());
+//! assert_eq!(done.len(), 10);
+//! ```
+
+use crate::sim::FpPipe;
+use fpfpga_softfp::Flags;
+
+/// Incremental streaming over an exclusively borrowed pipe.
+///
+/// A session tracks how many operations it has issued and retired, so
+/// [`finish`](StreamSession::finish) knows exactly when the pipe has
+/// given everything back. The pipe should be empty when the session
+/// starts (results already in flight are attributed to the session's
+/// own counts and would end the final drain early).
+pub struct StreamSession<'p, P: FpPipe + ?Sized> {
+    pipe: &'p mut P,
+    issued: u64,
+    retired: u64,
+}
+
+impl<'p, P: FpPipe + ?Sized> StreamSession<'p, P> {
+    /// Start a session on an (empty) pipe.
+    pub fn new(pipe: &'p mut P) -> StreamSession<'p, P> {
+        StreamSession {
+            pipe,
+            issued: 0,
+            retired: 0,
+        }
+    }
+
+    /// Issue one operand pair this cycle; returns the result retiring
+    /// in the same cycle, if any.
+    pub fn push(&mut self, a: u64, b: u64) -> Option<(u64, Flags)> {
+        self.issued += 1;
+        let r = self.pipe.clock(Some((a, b)));
+        if r.is_some() {
+            self.retired += 1;
+        }
+        r
+    }
+
+    /// Advance one cycle without issuing (a deliberate bubble).
+    pub fn bubble(&mut self) -> Option<(u64, Flags)> {
+        let r = self.pipe.clock(None);
+        if r.is_some() {
+            self.retired += 1;
+        }
+        r
+    }
+
+    /// Operations issued but not yet retired.
+    pub fn in_flight(&self) -> u64 {
+        self.issued - self.retired
+    }
+
+    /// Drain every in-flight result, in retirement order, and end the
+    /// session.
+    pub fn finish(mut self) -> Vec<(u64, Flags)> {
+        let mut out = Vec::with_capacity(self.in_flight() as usize);
+        while self.in_flight() > 0 {
+            if let Some(r) = self.bubble() {
+                out.push(r);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adder::AdderDesign;
+    use crate::multiplier::MultiplierDesign;
+    use crate::sim::{DelayLineUnit, DelayOp};
+    use fpfpga_softfp::{FpFormat, RoundMode};
+
+    fn f(x: f32) -> u64 {
+        x.to_bits() as u64
+    }
+
+    fn inputs(n: usize) -> Vec<(u64, u64)> {
+        (0..n)
+            .map(|i| (f(i as f32 * 0.7 - 3.0), f(i as f32 * 1.3 + 0.1)))
+            .collect()
+    }
+
+    /// The hand-driven reference the overrides must match.
+    fn per_cycle(unit: &mut dyn FpPipe, ops: &[(u64, u64)]) -> Vec<(u64, Flags)> {
+        let mut out = Vec::new();
+        for &inp in ops {
+            if let Some(r) = unit.clock(Some(inp)) {
+                out.push(r);
+            }
+        }
+        out.extend(unit.drain());
+        out
+    }
+
+    #[test]
+    fn pipelined_override_matches_per_cycle() {
+        let d = AdderDesign::new(FpFormat::SINGLE);
+        let ops = inputs(23);
+        for stages in [1u32, 3, 8] {
+            let mut a = d.simulator(stages);
+            let mut b = d.simulator(stages);
+            assert_eq!(
+                a.run_batch(&ops),
+                per_cycle(&mut b, &ops),
+                "{stages} stages"
+            );
+            assert_eq!(
+                a.cycles(),
+                b.cycles(),
+                "cycle accounting at {stages} stages"
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_override_flushes_in_flight_first() {
+        let d = MultiplierDesign::new(FpFormat::SINGLE);
+        let ops = inputs(9);
+        let mut a = d.simulator(6);
+        let mut b = d.simulator(6);
+        // Pre-load three operations per-cycle on both units.
+        for &inp in &ops[..3] {
+            a.clock(Some(inp));
+            b.clock(Some(inp));
+        }
+        let batched = a.run_batch(&ops[3..]);
+        let reference = per_cycle(&mut b, &ops[3..]);
+        assert_eq!(batched, reference);
+    }
+
+    #[test]
+    fn delay_line_override_matches_per_cycle() {
+        for op in [DelayOp::Add, DelayOp::Mul, DelayOp::Div] {
+            let ops = inputs(17);
+            let mut a = DelayLineUnit::new(FpFormat::SINGLE, RoundMode::NearestEven, op, 9);
+            let mut b = DelayLineUnit::new(FpFormat::SINGLE, RoundMode::NearestEven, op, 9);
+            // With some already in flight.
+            for &inp in &ops[..4] {
+                a.clock(Some(inp));
+                b.clock(Some(inp));
+            }
+            assert_eq!(
+                a.run_batch(&ops[4..]),
+                per_cycle(&mut b, &ops[4..]),
+                "{op:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn session_counts_and_finishes() {
+        let d = AdderDesign::new(FpFormat::SINGLE);
+        let mut unit = d.simulator(5);
+        let mut session = StreamSession::new(&mut unit);
+        let mut live = Vec::new();
+        for i in 0..12u32 {
+            if let Some(r) = session.push(f(i as f32), f(1.0)) {
+                live.push(r);
+            }
+        }
+        assert_eq!(session.in_flight(), 5);
+        live.extend(session.finish());
+        let want: Vec<f32> = (0..12).map(|i| i as f32 + 1.0).collect();
+        let got: Vec<f32> = live
+            .iter()
+            .map(|&(r, _)| f32::from_bits(r as u32))
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn session_matches_run_batch() {
+        let ops = inputs(31);
+        let mut a = DelayLineUnit::new(FpFormat::SINGLE, RoundMode::NearestEven, DelayOp::Add, 11);
+        let mut b = DelayLineUnit::new(FpFormat::SINGLE, RoundMode::NearestEven, DelayOp::Add, 11);
+        let batched = a.run_batch(&ops);
+        let mut session = StreamSession::new(&mut b);
+        let mut streamed = Vec::new();
+        for &(x, y) in &ops {
+            if let Some(r) = session.push(x, y) {
+                streamed.push(r);
+            }
+        }
+        streamed.extend(session.finish());
+        assert_eq!(batched, streamed);
+    }
+}

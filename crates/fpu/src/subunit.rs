@@ -87,7 +87,10 @@ mod tests {
             s.exp += 1;
         }
         fn components(&self, _: FpFormat, tech: &Tech) -> Vec<Component> {
-            let p = Primitive::BarrelShifter { bits: 8, levels: self.0 };
+            let p = Primitive::BarrelShifter {
+                bits: 8,
+                levels: self.0,
+            };
             let c = if self.1 {
                 Component::from_primitive("fake", &p, tech)
             } else {
@@ -118,7 +121,9 @@ mod tests {
 
     #[test]
     fn eval_all_runs_in_order() {
-        let dp = Datapath { subunits: vec![Box::new(Fake(1, true)), Box::new(Fake(1, true))] };
+        let dp = Datapath {
+            subunits: vec![Box::new(Fake(1, true)), Box::new(Fake(1, true))],
+        };
         let mut s = Signals::inject(0, 0, false);
         dp.eval_all(FpFormat::SINGLE, RoundMode::NearestEven, &mut s);
         assert_eq!(s.exp, 2);

@@ -25,7 +25,10 @@ pub struct Waveform {
 impl Waveform {
     /// An empty waveform for a unit of `stages` stages.
     pub fn new(stages: u32) -> Waveform {
-        Waveform { stages: stages as usize, timeline: vec![Vec::new(); stages as usize] }
+        Waveform {
+            stages: stages as usize,
+            timeline: vec![Vec::new(); stages as usize],
+        }
     }
 
     /// Record the unit's current occupancy as one cycle column.
@@ -54,7 +57,10 @@ impl Waveform {
 
     /// Total occupied stage-cycles (a utilization measure).
     pub fn occupied_cells(&self) -> usize {
-        self.timeline.iter().map(|l| l.iter().filter(|&&o| o).count()).sum()
+        self.timeline
+            .iter()
+            .map(|l| l.iter().filter(|&&o| o).count())
+            .sum()
     }
 
     /// Utilization in [0, 1]: occupied cells over all stage-cycles.

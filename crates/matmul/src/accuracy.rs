@@ -48,7 +48,12 @@ impl ErrorMeter {
     /// A meter for values in `fmt`; relative errors ignore baselines
     /// below `tiny`.
     pub fn new(fmt: FpFormat, tiny: f64) -> ErrorMeter {
-        ErrorMeter { fmt, tiny, sum_sq: 0.0, stats: ErrorStats::default() }
+        ErrorMeter {
+            fmt,
+            tiny,
+            sum_sq: 0.0,
+            stats: ErrorStats::default(),
+        }
     }
 
     /// Record one (computed, baseline) pair.
@@ -109,7 +114,7 @@ mod tests {
     }
 
     #[test]
-    fn exact_values_have_zero_error()  {
+    fn exact_values_have_zero_error() {
         let fmt = FpFormat::SINGLE;
         let mut m = ErrorMeter::new(fmt, 1e-30);
         for &x in &[1.0f64, -2.5, 1024.0, 0.0] {

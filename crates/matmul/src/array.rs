@@ -112,7 +112,10 @@ impl LinearArray {
     pub fn stream_a_from_bank(&mut self, a: &Matrix, bank: bool) -> u64 {
         let n = a.rows();
         assert_eq!(a.cols(), n, "A must be square for this schedule");
-        assert!(self.pes.iter().all(|pe| pe.n() == n), "PE column height mismatch");
+        assert!(
+            self.pes.iter().all(|pe| pe.n() == n),
+            "PE column height mismatch"
+        );
         let start = self.cycles;
         let sched = Schedule::new(n as u32, self.pl());
         for mut token in sched.tokens() {
@@ -123,6 +126,35 @@ impl LinearArray {
             self.clock(Some(token));
         }
         self.cycles - start
+    }
+
+    /// [`LinearArray::stream_a`] through the PEs' batched fast path
+    /// ([`crate::pe::ProcessingElement::mac_step_batch`]): the delay
+    /// lines and token shift registers are bypassed, but the `C` matrix,
+    /// exception flags and activity statistics come out bit-identical to
+    /// per-cycle clocking, and the cycle count charged is exactly what
+    /// the per-cycle run (issue + drain) would consume.
+    pub fn stream_a_batched(&mut self, a: &Matrix) -> u64 {
+        let n = a.rows();
+        assert_eq!(a.cols(), n, "A must be square for this schedule");
+        assert!(
+            self.pes.iter().all(|pe| pe.n() == n),
+            "PE column height mismatch"
+        );
+        let sched = Schedule::new(n as u32, self.pl());
+        let pads_per_step = sched.padded_period() as u64 - n as u64;
+        for k in 0..n {
+            let a_col: Vec<u64> = (0..n).map(|i| a.get(i, k)).collect();
+            for pe in &mut self.pes {
+                pe.mac_step_batch(false, k, &a_col, pads_per_step);
+            }
+        }
+        let total = sched.issue_cycles() + self.pes.len() as u64 + self.pl() as u64 + 1;
+        self.cycles += total;
+        for pe in &mut self.pes {
+            pe.account_batched_cycles(total, sched.issue_cycles());
+        }
+        total
     }
 
     /// Drain the array: the last token must traverse all PEs and both
@@ -168,11 +200,43 @@ impl LinearArray {
         (c, arr.stats())
     }
 
+    /// [`LinearArray::multiply`] over the batched streaming path — same
+    /// result, flags and statistics, much faster wall-clock (see the
+    /// `stream_batch` bench).
+    pub fn multiply_batched(
+        fmt: FpFormat,
+        mode: RoundMode,
+        mult_stages: u32,
+        add_stages: u32,
+        a: &Matrix,
+        b: &Matrix,
+        backend: UnitBackend,
+    ) -> (Matrix, ArrayStats) {
+        let n = a.rows();
+        assert_eq!(a.cols(), n);
+        assert_eq!(b.rows(), n);
+        assert_eq!(b.cols(), n);
+        let mut arr = LinearArray::new(fmt, mode, mult_stages, add_stages, n, n, backend);
+        arr.load_b(false, b);
+        arr.stream_a_batched(a);
+        let c = arr.read_c();
+        (c, arr.stats())
+    }
+
     /// Aggregate statistics across PEs.
     pub fn stats(&self) -> ArrayStats {
-        let mut s = ArrayStats { cycles: self.cycles, ..Default::default() };
+        let mut s = ArrayStats {
+            cycles: self.cycles,
+            ..Default::default()
+        };
         for pe in &self.pes {
-            let PeStats { useful_macs, pad_macs, idle_cycles, bram_accesses, .. } = pe.stats;
+            let PeStats {
+                useful_macs,
+                pad_macs,
+                idle_cycles,
+                bram_accesses,
+                ..
+            } = pe.stats;
             s.useful_macs += useful_macs;
             s.pad_macs += pad_macs;
             s.idle_cycles += idle_cycles;
@@ -196,7 +260,9 @@ mod tests {
     const RM: RoundMode = RoundMode::NearestEven;
 
     fn sample(n: usize, seed: f64) -> Matrix {
-        Matrix::from_fn(F, n, n, |i, j| ((i * n + j) as f64 * 0.37 + seed).sin() * 4.0)
+        Matrix::from_fn(F, n, n, |i, j| {
+            ((i * n + j) as f64 * 0.37 + seed).sin() * 4.0
+        })
     }
 
     #[test]
@@ -284,6 +350,37 @@ mod tests {
             }
         }
         assert_eq!(c, want);
+    }
+
+    #[test]
+    fn batched_stream_is_bit_identical_to_per_cycle() {
+        for (n, lm, la) in [(2usize, 3u32, 4u32), (5, 4, 5), (8, 9, 12), (12, 4, 5)] {
+            let a = sample(n, n as f64);
+            let b = sample(n, n as f64 + 0.5);
+            let (c_seq, s_seq) = LinearArray::multiply(F, RM, lm, la, &a, &b, UnitBackend::Fast);
+            let (c_bat, s_bat) =
+                LinearArray::multiply_batched(F, RM, lm, la, &a, &b, UnitBackend::Fast);
+            assert_eq!(c_seq, c_bat, "values n={n} lm={lm} la={la}");
+            assert_eq!(s_seq, s_bat, "stats n={n} lm={lm} la={la}");
+        }
+    }
+
+    #[test]
+    fn batched_stream_flags_match() {
+        let a = Matrix::from_f64(F, 2, 2, &[f32::MAX as f64; 4]);
+        let b = Matrix::from_f64(F, 2, 2, &[f32::MAX as f64; 4]);
+        let run = |batched: bool| {
+            let mut arr = LinearArray::new(F, RM, 3, 4, 2, 2, UnitBackend::Fast);
+            arr.load_b(false, &b);
+            if batched {
+                arr.stream_a_batched(&a);
+            } else {
+                arr.stream_a(&a);
+            }
+            arr.flags()
+        };
+        assert_eq!(run(false), run(true));
+        assert!(run(true).overflow);
     }
 
     #[test]

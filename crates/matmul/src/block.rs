@@ -32,7 +32,7 @@ pub struct BlockMatMul {
 impl BlockMatMul {
     /// Create a plan. Panics unless `b` divides `n`.
     pub fn new(n: u32, b: u32, pl: u32) -> BlockMatMul {
-        assert!(b >= 1 && n >= b && n % b == 0, "b must divide n");
+        assert!(b >= 1 && n >= b && n.is_multiple_of(b), "b must divide n");
         BlockMatMul { n, b, pl }
     }
 
@@ -71,14 +71,16 @@ impl BlockMatMul {
 
     /// Fraction of issue slots wasted on padding.
     pub fn waste_fraction(&self) -> f64 {
-        self.pad_cycles() as f64 / (self.block_products() * self.block_schedule().issue_cycles()) as f64
+        self.pad_cycles() as f64
+            / (self.block_products() * self.block_schedule().issue_cycles()) as f64
     }
 
     /// Words crossing the array boundary: every A block streams b·period
     /// tokens, every B block loads b², every C block drains b² once.
     pub fn io_words(&self) -> u64 {
         let t = (self.n / self.b) as u64;
-        let a_words = self.block_products() * (self.b as u64 * self.block_schedule().tokens_per_step());
+        let a_words =
+            self.block_products() * (self.b as u64 * self.block_schedule().tokens_per_step());
         let b_words = self.block_products() * (self.b as u64 * self.b as u64);
         let c_words = t * t * (self.b as u64 * self.b as u64);
         a_words + b_words + c_words
@@ -86,6 +88,7 @@ impl BlockMatMul {
 
     /// Execute the plan cycle-accurately. Suitable for small/medium N;
     /// the analytical model above is validated against this.
+    #[allow(clippy::too_many_arguments)] // mirrors LinearArray::multiply's parameter list
     pub fn run(
         &self,
         fmt: FpFormat,
@@ -96,7 +99,11 @@ impl BlockMatMul {
         b: &Matrix,
         backend: UnitBackend,
     ) -> (Matrix, ArrayStats) {
-        assert_eq!(mult_stages + add_stages, self.pl, "unit latencies must sum to PL");
+        assert_eq!(
+            mult_stages + add_stages,
+            self.pl,
+            "unit latencies must sum to PL"
+        );
         let n = self.n as usize;
         let bs = self.b as usize;
         assert_eq!(a.rows(), n);
@@ -147,7 +154,9 @@ mod tests {
     const RM: RoundMode = RoundMode::NearestEven;
 
     fn sample(n: usize, seed: f64) -> Matrix {
-        Matrix::from_fn(F, n, n, |i, j| ((i * n + j) as f64 * 0.13 + seed).cos() * 2.0)
+        Matrix::from_fn(F, n, n, |i, j| {
+            ((i * n + j) as f64 * 0.13 + seed).cos() * 2.0
+        })
     }
 
     #[test]
@@ -187,7 +196,11 @@ mod tests {
             assert_eq!(stats.cycles, plan.total_cycles(), "b={bs} pl={pl}");
             assert_eq!(stats.useful_macs, plan.useful_macs(), "b={bs}");
             // every pad issue slot becomes one pad MAC in each of the b PEs
-            assert_eq!(stats.pad_macs, plan.pad_cycles() * bs as u64, "b={bs} pl={pl}");
+            assert_eq!(
+                stats.pad_macs,
+                plan.pad_cycles() * bs as u64,
+                "b={bs} pl={pl}"
+            );
         }
     }
 
@@ -201,7 +214,10 @@ mod tests {
         for bs in [16u32, 8, 4, 2] {
             let plan = BlockMatMul::new(32, bs, pl);
             let waste = plan.pad_cycles();
-            assert!(waste > last, "waste must grow as b shrinks: b={bs} waste={waste}");
+            assert!(
+                waste > last,
+                "waste must grow as b shrinks: b={bs} waste={waste}"
+            );
             last = waste;
         }
         assert!(

@@ -26,10 +26,18 @@ pub struct Conv2dEngine {
 impl Conv2dEngine {
     /// An engine for `kernel` (kh × kw, each row same length) whose MACs
     /// have `mac_stages` stages.
-    pub fn new(fmt: FpFormat, mode: RoundMode, kernel: &[Vec<f64>], mac_stages: u32) -> Conv2dEngine {
+    pub fn new(
+        fmt: FpFormat,
+        mode: RoundMode,
+        kernel: &[Vec<f64>],
+        mac_stages: u32,
+    ) -> Conv2dEngine {
         assert!(!kernel.is_empty());
         let kw = kernel[0].len();
-        assert!(kw >= 1 && kernel.iter().all(|r| r.len() == kw), "ragged kernel");
+        assert!(
+            kw >= 1 && kernel.iter().all(|r| r.len() == kw),
+            "ragged kernel"
+        );
         Conv2dEngine {
             fmt,
             mode,
@@ -137,7 +145,11 @@ mod tests {
 
     #[test]
     fn engine_matches_reference_bit_exact() {
-        let kernel = vec![vec![0.1, 0.2, 0.1], vec![0.2, 0.4, 0.2], vec![0.1, 0.2, 0.1]];
+        let kernel = vec![
+            vec![0.1, 0.2, 0.1],
+            vec![0.2, 0.4, 0.2],
+            vec![0.1, 0.2, 0.1],
+        ];
         for stages in [1u32, 4, 9] {
             let eng = Conv2dEngine::new(F, RM, &kernel, stages);
             let img = image(7, 9);
@@ -148,7 +160,11 @@ mod tests {
 
     #[test]
     fn identity_kernel_is_identity() {
-        let kernel = vec![vec![0.0, 0.0, 0.0], vec![0.0, 1.0, 0.0], vec![0.0, 0.0, 0.0]];
+        let kernel = vec![
+            vec![0.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 0.0],
+        ];
         let eng = Conv2dEngine::new(F, RM, &kernel, 3);
         let img = image(5, 6);
         let (got, _) = eng.convolve(&img);

@@ -36,7 +36,12 @@ pub struct DotProductUnit {
 
 impl DotProductUnit {
     /// A unit with the given pipeline depths.
-    pub fn new(fmt: FpFormat, mode: RoundMode, mult_stages: u32, add_stages: u32) -> DotProductUnit {
+    pub fn new(
+        fmt: FpFormat,
+        mode: RoundMode,
+        mult_stages: u32,
+        add_stages: u32,
+    ) -> DotProductUnit {
         DotProductUnit {
             mult: DelayLineUnit::new(fmt, mode, DelayOp::Mul, mult_stages),
             add: DelayLineUnit::new(fmt, mode, DelayOp::Add, add_stages),
@@ -125,6 +130,58 @@ impl DotProductUnit {
         }
         (live[0], self.cycles - start)
     }
+
+    /// [`DotProductUnit::dot`] through the pipes' batched fast path
+    /// ([`FpPipe::run_batch`]): all products in one bulk call, then
+    /// accumulation in rounds of `La` independent adds (one per bank
+    /// slot — exactly the round-robin recurrence), then the same
+    /// pairwise fold. Result bits, flags and the cycle charge are
+    /// identical to the per-cycle path.
+    pub fn dot_batched(&mut self, x: &[u64], y: &[u64]) -> (u64, u64) {
+        assert_eq!(x.len(), y.len(), "vector lengths must agree");
+        let start = self.cycles;
+        self.bank.fill(0);
+        let la = self.bank.len();
+        let pairs: Vec<(u64, u64)> = x.iter().zip(y).map(|(&a, &b)| (a, b)).collect();
+        let products = self.mult.run_batch(&pairs);
+        for round in products.chunks(la) {
+            let add_inputs: Vec<(u64, u64)> = round
+                .iter()
+                .enumerate()
+                .map(|(s, &(p, pf))| {
+                    self.flags |= pf;
+                    (p, self.bank[s])
+                })
+                .collect();
+            let sums = self.add.run_batch(&add_inputs);
+            for (s, &(v, sf)) in sums.iter().enumerate() {
+                self.flags |= sf;
+                self.bank[s] = v;
+            }
+        }
+        self.issue_slot = pairs.len() % la;
+        // Stream + drain, as the per-cycle path charges them.
+        self.cycles +=
+            pairs.len() as u64 + self.mult.latency() as u64 + self.add.latency() as u64 + 1;
+        // Pairwise fold; each pair-add waits out the adder latency.
+        let mut live = self.bank.clone();
+        while live.len() > 1 {
+            let mut next = Vec::with_capacity(live.len().div_ceil(2));
+            let mut i = 0;
+            while i + 1 < live.len() {
+                let (s, sf) = self.add.run_batch(&[(live[i], live[i + 1])])[0];
+                self.flags |= sf;
+                self.cycles += self.add.latency() as u64 + 1;
+                next.push(s);
+                i += 2;
+            }
+            if i < live.len() {
+                next.push(live[i]);
+            }
+            live = next;
+        }
+        (live[0], self.cycles - start)
+    }
 }
 
 /// The exact accumulation order of [`DotProductUnit::dot`]: products
@@ -177,10 +234,12 @@ mod tests {
     const RM: RoundMode = RoundMode::NearestEven;
 
     fn vecs(n: usize) -> (Vec<u64>, Vec<u64>) {
-        let x: Vec<u64> =
-            (0..n).map(|i| SoftFloat::from_f64(F, (i as f64 * 0.37).sin()).bits()).collect();
-        let y: Vec<u64> =
-            (0..n).map(|i| SoftFloat::from_f64(F, (i as f64 * 0.23).cos()).bits()).collect();
+        let x: Vec<u64> = (0..n)
+            .map(|i| SoftFloat::from_f64(F, (i as f64 * 0.37).sin()).bits())
+            .collect();
+        let y: Vec<u64> = (0..n)
+            .map(|i| SoftFloat::from_f64(F, (i as f64 * 0.23).cos()).bits())
+            .collect();
         (x, y)
     }
 
@@ -193,6 +252,22 @@ mod tests {
                 let (got, _) = unit.dot(&x, &y);
                 let want = interleaved_reference(F, RM, &x, &y, la as usize);
                 assert_eq!(got, want, "n={n} lm={lm} la={la}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_matches_per_cycle_bit_exact() {
+        for (lm, la) in [(3u32, 4u32), (7, 9), (5, 12)] {
+            for n in [0usize, 1, 2, 7, 31, 64] {
+                let (x, y) = vecs(n);
+                let mut seq = DotProductUnit::new(F, RM, lm, la);
+                let mut bat = DotProductUnit::new(F, RM, lm, la);
+                let (want, want_cycles) = seq.dot(&x, &y);
+                let (got, got_cycles) = bat.dot_batched(&x, &y);
+                assert_eq!(got, want, "value n={n} lm={lm} la={la}");
+                assert_eq!(got_cycles, want_cycles, "cycles n={n} lm={lm} la={la}");
+                assert_eq!(bat.flags, seq.flags, "flags n={n} lm={lm} la={la}");
             }
         }
     }

@@ -117,7 +117,11 @@ impl ArchitectureEnergy {
         let word = self.units.format.total_bits();
         let mut a = AreaCost::default();
         for _ in 0..2 {
-            a += Primitive::BramBuffer { words: n.max(16), width: word }.area(tech);
+            a += Primitive::BramBuffer {
+                words: n.max(16),
+                width: word,
+            }
+            .area(tech);
         }
         a += AreaCost::ffs((word * self.units.multiplier.stages) as f64);
         a
@@ -126,7 +130,11 @@ impl ArchitectureEnergy {
     /// Per-PE control/misc area.
     fn misc_area(&self) -> AreaCost {
         let word = self.units.format.total_bits();
-        AreaCost { luts: 40.0, ffs: (word + 34) as f64, ..Default::default() }
+        AreaCost {
+            luts: 40.0,
+            ffs: (word + 34) as f64,
+            ..Default::default()
+        }
     }
 
     /// Charge one *flat* n×n multiplication on an n-PE array
@@ -144,7 +152,16 @@ impl ArchitectureEnergy {
         let useful_macs = sched.useful_cycles() * n as u64;
         let io_words = // A stream + B load + C drain
             issue + (n as u64 * n as u64) * 2;
-        self.charge(n, tech, total, active_per_pe, idle_per_pe, pad_macs, useful_macs, io_words)
+        self.charge(
+            n,
+            tech,
+            total,
+            active_per_pe,
+            idle_per_pe,
+            pad_macs,
+            useful_macs,
+            io_words,
+        )
     }
 
     /// Charge a blocked N×N multiplication on a b-PE array (Figure 6).
@@ -157,7 +174,16 @@ impl ArchitectureEnergy {
         let pad_macs = plan.pad_cycles() * plan.b as u64;
         let useful_macs = plan.useful_macs();
         let io_words = plan.io_words();
-        self.charge(plan.b, tech, total, active_per_pe, idle_per_pe, pad_macs, useful_macs, io_words)
+        self.charge(
+            plan.b,
+            tech,
+            total,
+            active_per_pe,
+            idle_per_pe,
+            pad_macs,
+            useful_macs,
+            io_words,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -179,23 +205,51 @@ impl ArchitectureEnergy {
         // MAC: active during every issue slot (padding included — that is
         // precisely the waste), idle-clocked during skew/drain.
         let mac = self.mac_area() * p;
-        bill.charge("MAC units", ComponentClass::Mac, &self.model, &mac, f, DATAPATH_ACTIVITY,
-            active_per_pe, idle_per_pe);
+        bill.charge(
+            "MAC units",
+            ComponentClass::Mac,
+            &self.model,
+            &mac,
+            f,
+            DATAPATH_ACTIVITY,
+            active_per_pe,
+            idle_per_pe,
+        );
 
         // Storage: BRAMs accessed on useful slots; idle on pads (a pad
         // neither reads nor writes the column RAMs) and drains.
         let st = self.storage_area(n, tech) * p;
         let st_active = useful_macs / self.p as u64;
-        bill.charge("column RAM + delay regs", ComponentClass::Storage, &self.model, &st, f,
-            DATAPATH_ACTIVITY, st_active, total_cycles - st_active);
+        bill.charge(
+            "column RAM + delay regs",
+            ComponentClass::Storage,
+            &self.model,
+            &st,
+            f,
+            DATAPATH_ACTIVITY,
+            st_active,
+            total_cycles - st_active,
+        );
 
         // Misc: control counters and shift registers tick every cycle.
         let misc = self.misc_area() * p;
-        bill.charge("control / counters", ComponentClass::Misc, &self.model, &misc, f,
-            DATAPATH_ACTIVITY, total_cycles, 0);
+        bill.charge(
+            "control / counters",
+            ComponentClass::Misc,
+            &self.model,
+            &misc,
+            f,
+            DATAPATH_ACTIVITY,
+            total_cycles,
+            0,
+        );
 
         // I/O: per-word transfer energy.
-        bill.charge_raw("array I/O", ComponentClass::Io, io_words as f64 * IO_NJ_PER_WORD);
+        bill.charge_raw(
+            "array I/O",
+            ComponentClass::Io,
+            io_words as f64 * IO_NJ_PER_WORD,
+        );
 
         // Optional quiescent term: mW × µs = nJ over the whole run.
         if self.static_power_mw > 0.0 {
@@ -206,7 +260,7 @@ impl ArchitectureEnergy {
             );
         }
 
-        let area_total = self.pe.area.clone() * p;
+        let area_total = self.pe.area * p;
         EnergyReport {
             cycles: total_cycles,
             latency_us: total_cycles as f64 / f,
@@ -286,7 +340,10 @@ mod tests {
             waste_fracs.push(rep.padding_energy_nj() / rep.total_nj());
         }
         for w in waste_fracs.windows(2) {
-            assert!(w[0] > w[1], "padding share must drop as b grows: {waste_fracs:?}");
+            assert!(
+                w[0] > w[1],
+                "padding share must drop as b grows: {waste_fracs:?}"
+            );
         }
     }
 
@@ -299,15 +356,16 @@ mod tests {
         let tech = Tech::virtex2pro();
         let n = 64;
         let energy_at = |level: PipeliningLevel, static_mw: f64| {
-            let units =
-                UnitSet::for_level(FpFormat::SINGLE, level, &tech, SynthesisOptions::SPEED);
+            let units = UnitSet::for_level(FpFormat::SINGLE, level, &tech, SynthesisOptions::SPEED);
             ArchitectureEnergy::new(units, n, n, &tech)
                 .with_static_power(static_mw)
                 .charge_flat(n, &tech)
                 .total_nj()
         };
         // Dynamic-only: shallow wins on energy (documented divergence).
-        assert!(energy_at(PipeliningLevel::Minimum, 0.0) < energy_at(PipeliningLevel::Maximum, 0.0));
+        assert!(
+            energy_at(PipeliningLevel::Minimum, 0.0) < energy_at(PipeliningLevel::Maximum, 0.0)
+        );
         // With a heavy static term the ordering flips.
         let heavy = 20_000.0; // 20 W of chip-level static/system power
         assert!(

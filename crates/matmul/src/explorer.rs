@@ -13,6 +13,7 @@ use crate::units::{PipeliningLevel, UnitSet};
 use fpfpga_fabric::device::Device;
 use fpfpga_fabric::synthesis::SynthesisOptions;
 use fpfpga_fabric::tech::Tech;
+use fpfpga_fpu::SweepCache;
 use fpfpga_softfp::FpFormat;
 
 /// Designer constraints; `None` means unconstrained.
@@ -29,7 +30,10 @@ pub struct Constraints {
 impl Constraints {
     /// Constrain to a device's slice capacity.
     pub fn for_device(device: &Device) -> Constraints {
-        Constraints { max_slices: Some(device.slices), ..Default::default() }
+        Constraints {
+            max_slices: Some(device.slices),
+            ..Default::default()
+        }
     }
 
     fn admits(&self, c: &Candidate) -> bool {
@@ -86,9 +90,13 @@ impl Explorer {
     pub fn new(format: FpFormat, n: u32) -> Explorer {
         let block_sizes = [2u32, 4, 8, 16, 32, 64, 128]
             .into_iter()
-            .filter(|&b| b <= n && n % b == 0)
+            .filter(|&b| b <= n && n.is_multiple_of(b))
             .collect();
-        Explorer { format, n, block_sizes }
+        Explorer {
+            format,
+            n,
+            block_sizes,
+        }
     }
 
     /// Evaluate every (level, b) candidate.
@@ -96,11 +104,25 @@ impl Explorer {
         let mut out = Vec::new();
         for level in PipeliningLevel::ALL {
             let units = UnitSet::for_level(self.format, level, tech, opts);
-            for &b in &self.block_sizes {
+            out.extend(self.evaluate_level(level, &units, tech));
+        }
+        out
+    }
+
+    /// Evaluate one pipelining level's column of the candidate grid.
+    fn evaluate_level(
+        &self,
+        level: PipeliningLevel,
+        units: &UnitSet,
+        tech: &Tech,
+    ) -> Vec<Candidate> {
+        self.block_sizes
+            .iter()
+            .map(|&b| {
                 let plan = BlockMatMul::new(self.n, b, units.pl());
                 let arch = ArchitectureEnergy::new(units.clone(), b, b, tech);
                 let rep = arch.charge_blocked(&plan, tech);
-                out.push(Candidate {
+                Candidate {
                     level,
                     b,
                     slices: rep.slices,
@@ -108,10 +130,66 @@ impl Explorer {
                     energy_nj: rep.total_nj(),
                     pad_fraction: rep.pad_macs as f64
                         / (rep.pad_macs + rep.useful_macs).max(1) as f64,
-                });
-            }
-        }
-        out
+                }
+            })
+            .collect()
+    }
+
+    /// [`Explorer::candidates`] with the three pipelining levels fanned
+    /// out over scoped threads, sharing one [`SweepCache`]. The adder
+    /// and multiplier sweeps are the same for every level, so a cold
+    /// cache records exactly two misses and a warm cache none —
+    /// re-exploration performs zero synthesis.
+    pub fn candidates_cached(
+        &self,
+        tech: &Tech,
+        opts: SynthesisOptions,
+        cache: &SweepCache,
+    ) -> Vec<Candidate> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = PipeliningLevel::ALL
+                .into_iter()
+                .map(|level| {
+                    let cache = cache.clone();
+                    scope.spawn(move || {
+                        let units =
+                            UnitSet::for_level_cached(self.format, level, tech, opts, &cache);
+                        self.evaluate_level(level, &units, tech)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("level evaluation panicked"))
+                .collect()
+        })
+    }
+
+    /// The full exploration behind Figure 5's closing remark, memoized
+    /// and fanned out: evaluate the (level × block size) grid through
+    /// `cache`, filter by `constraints`, return the Pareto frontier
+    /// sorted by slices ascending. Identical to
+    /// [`Explorer::pareto`] on the same inputs.
+    pub fn explore(
+        &self,
+        constraints: &Constraints,
+        tech: &Tech,
+        opts: SynthesisOptions,
+        cache: &SweepCache,
+    ) -> Vec<Candidate> {
+        Explorer::frontier_of(self.candidates_cached(tech, opts, cache), constraints)
+    }
+
+    /// Pareto-filter `all` under `constraints`.
+    fn frontier_of(all: Vec<Candidate>, constraints: &Constraints) -> Vec<Candidate> {
+        let admitted: Vec<&Candidate> = all.iter().filter(|c| constraints.admits(c)).collect();
+        let mut frontier: Vec<Candidate> = admitted
+            .iter()
+            .filter(|c| !admitted.iter().any(|o| o.dominates(c)))
+            .map(|c| (*c).clone())
+            .collect();
+        frontier.sort_by_key(|c| c.slices);
+        frontier
     }
 
     /// The Pareto frontier of the candidates admitted by `constraints`,
@@ -122,15 +200,7 @@ impl Explorer {
         tech: &Tech,
         opts: SynthesisOptions,
     ) -> Vec<Candidate> {
-        let all = self.candidates(tech, opts);
-        let admitted: Vec<&Candidate> = all.iter().filter(|c| constraints.admits(c)).collect();
-        let mut frontier: Vec<Candidate> = admitted
-            .iter()
-            .filter(|c| !admitted.iter().any(|o| o.dominates(c)))
-            .map(|c| (*c).clone())
-            .collect();
-        frontier.sort_by_key(|c| c.slices);
-        frontier
+        Explorer::frontier_of(self.candidates(tech, opts), constraints)
     }
 }
 
@@ -161,7 +231,10 @@ mod tests {
         assert!(!f.is_empty());
         for a in &f {
             for b in &f {
-                assert!(!a.dominates(b) || std::ptr::eq(a, b), "{a:?} dominates {b:?}");
+                assert!(
+                    !a.dominates(b) || std::ptr::eq(a, b),
+                    "{a:?} dominates {b:?}"
+                );
             }
         }
     }
@@ -182,12 +255,18 @@ mod tests {
         let (tech, opts) = flow();
         let e = explorer();
         let unconstrained = e.pareto(&Constraints::default(), &tech, opts);
-        let tight = Constraints { max_slices: Some(10_000), ..Default::default() };
+        let tight = Constraints {
+            max_slices: Some(10_000),
+            ..Default::default()
+        };
         let constrained = e.pareto(&tight, &tech, opts);
         assert!(constrained.iter().all(|c| c.slices <= 10_000));
         assert!(constrained.len() <= unconstrained.len() + 1);
         // An impossible constraint yields an empty frontier.
-        let impossible = Constraints { max_latency_us: Some(1e-9), ..Default::default() };
+        let impossible = Constraints {
+            max_latency_us: Some(1e-9),
+            ..Default::default()
+        };
         assert!(e.pareto(&impossible, &tech, opts).is_empty());
     }
 
@@ -195,6 +274,48 @@ mod tests {
     fn device_constraint_helper() {
         let c = Constraints::for_device(&Device::XC2VP30);
         assert_eq!(c.max_slices, Some(13_696));
+    }
+
+    #[test]
+    fn explore_matches_pareto_and_never_resynthesizes_warm() {
+        let (tech, opts) = flow();
+        let e = explorer();
+        let cache = SweepCache::new();
+        let cold = e.explore(&Constraints::default(), &tech, opts, &cache);
+        assert_eq!(
+            cache.misses(),
+            2,
+            "one adder + one multiplier sweep, shared by all levels"
+        );
+        let warm = e.explore(&Constraints::default(), &tech, opts, &cache);
+        assert_eq!(
+            cache.misses(),
+            2,
+            "warm exploration must perform zero synthesis"
+        );
+        assert!(cache.hits() >= 4);
+        let plain = e.pareto(&Constraints::default(), &tech, opts);
+        for frontier in [&cold, &warm] {
+            assert_eq!(frontier.len(), plain.len());
+            for (a, b) in plain.iter().zip(frontier.iter()) {
+                assert_eq!((a.level, a.b, a.slices), (b.level, b.b, b.slices));
+                assert_eq!(a.latency_us, b.latency_us);
+                assert_eq!(a.energy_nj, b.energy_nj);
+            }
+        }
+    }
+
+    #[test]
+    fn cached_candidates_match_plain() {
+        let (tech, opts) = flow();
+        let e = explorer();
+        let cache = SweepCache::new();
+        let cached = e.candidates_cached(&tech, opts, &cache);
+        let plain = e.candidates(&tech, opts);
+        assert_eq!(cached.len(), plain.len());
+        for (a, b) in plain.iter().zip(cached.iter()) {
+            assert_eq!((a.level, a.b, a.slices), (b.level, b.b, b.slices));
+        }
     }
 
     #[test]

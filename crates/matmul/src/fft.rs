@@ -31,12 +31,18 @@ pub struct Cplx {
 impl Cplx {
     /// From `f64` parts.
     pub fn from_f64(fmt: FpFormat, re: f64, im: f64) -> Cplx {
-        Cplx { re: SoftFloat::from_f64(fmt, re).bits(), im: SoftFloat::from_f64(fmt, im).bits() }
+        Cplx {
+            re: SoftFloat::from_f64(fmt, re).bits(),
+            im: SoftFloat::from_f64(fmt, im).bits(),
+        }
     }
 
     /// To `f64` parts.
     pub fn to_f64(&self, fmt: FpFormat) -> (f64, f64) {
-        (SoftFloat::from_bits(fmt, self.re).to_f64(), SoftFloat::from_bits(fmt, self.im).to_f64())
+        (
+            SoftFloat::from_bits(fmt, self.re).to_f64(),
+            SoftFloat::from_bits(fmt, self.im).to_f64(),
+        )
     }
 
     /// Zero.
@@ -74,8 +80,14 @@ pub fn butterfly_softfp(
     let y_re = op(v(x.re).sub(&t_re, mode));
     let y_im = op(v(x.im).sub(&t_im, mode));
     (
-        Cplx { re: x_re.bits(), im: x_im.bits() },
-        Cplx { re: y_re.bits(), im: y_im.bits() },
+        Cplx {
+            re: x_re.bits(),
+            im: x_im.bits(),
+        },
+        Cplx {
+            re: y_re.bits(),
+            im: y_im.bits(),
+        },
         flags,
     )
 }
@@ -125,6 +137,28 @@ impl ButterflyUnit {
         self.line.pop_front().expect("line non-empty")
     }
 
+    /// Batched counterpart of clocking one butterfly per cycle and then
+    /// draining: retire everything in flight, compute the whole batch,
+    /// and charge the same `issues + latency` cycles the per-cycle loop
+    /// would. Bit-identical because in-flight butterflies never
+    /// interact inside the delay line.
+    pub fn run_batch(&mut self, inputs: &[(Cplx, Cplx, Cplx)]) -> Vec<(Cplx, Cplx, Flags)> {
+        let mut out = Vec::with_capacity(self.line.len() + inputs.len());
+        for slot in self.line.iter_mut() {
+            if let Some(r) = slot.take() {
+                out.push(r);
+            }
+        }
+        self.cycles += inputs.len() as u64 + u64::from(self.latency);
+        self.issues += inputs.len() as u64;
+        out.extend(
+            inputs
+                .iter()
+                .map(|&(x, y, w)| butterfly_softfp(self.fmt, self.mode, x, y, w)),
+        );
+        out
+    }
+
     /// The resource bill: 4 multipliers + 6 adders at the given configs.
     pub fn area(units: &UnitSet) -> AreaCost {
         let m = AreaCost {
@@ -146,7 +180,7 @@ impl ButterflyUnit {
 }
 
 /// Bit-reverse permutation of indices below `n` (a power of two).
-pub fn bit_reverse_permute(data: &mut Vec<Cplx>) {
+pub fn bit_reverse_permute(data: &mut [Cplx]) {
     let n = data.len();
     assert!(n.is_power_of_two(), "FFT size must be a power of two");
     let bits = n.trailing_zeros();
@@ -201,7 +235,12 @@ pub struct FftEngine {
 impl FftEngine {
     /// Configure an engine.
     pub fn new(fmt: FpFormat, mode: RoundMode, mult_stages: u32, add_stages: u32) -> FftEngine {
-        FftEngine { fmt, mode, mult_stages, add_stages }
+        FftEngine {
+            fmt,
+            mode,
+            mult_stages,
+            add_stages,
+        }
     }
 
     /// Run an `n`-point FFT, streaming each stage's `n/2` butterflies
@@ -251,6 +290,43 @@ impl FftEngine {
         (data, unit.cycles)
     }
 
+    /// Batched counterpart of [`FftEngine::run`]: each stage's `n/2`
+    /// butterflies go through one [`ButterflyUnit::run_batch`] call.
+    /// Within a stage every butterfly touches distinct indices, so the
+    /// transform and the cycle count are bit-identical to the
+    /// per-cycle simulation.
+    pub fn run_batched(&self, input: &[Cplx], inverse: bool) -> (Vec<Cplx>, u64) {
+        let n = input.len();
+        assert!(n.is_power_of_two() && n >= 2);
+        let mut unit = ButterflyUnit::new(self.fmt, self.mode, self.mult_stages, self.add_stages);
+        let mut data = input.to_vec();
+        bit_reverse_permute(&mut data);
+
+        let mut len = 2;
+        while len <= n {
+            let mut jobs: Vec<(usize, usize)> = Vec::with_capacity(n / 2);
+            for start in (0..n).step_by(len) {
+                for k in 0..len / 2 {
+                    jobs.push((start + k, start + k + len / 2));
+                }
+            }
+            let inputs: Vec<(Cplx, Cplx, Cplx)> = jobs
+                .iter()
+                .map(|&(i, j)| {
+                    let w = twiddle(self.fmt, i % len, len, inverse);
+                    (data[i], data[j], w)
+                })
+                .collect();
+            let results = unit.run_batch(&inputs);
+            for (&(i, j), &(nx, ny, _)) in jobs.iter().zip(&results) {
+                data[i] = nx;
+                data[j] = ny;
+            }
+            len *= 2;
+        }
+        (data, unit.cycles)
+    }
+
     /// Analytical cycle model: `log₂n` stages of `n/2` issues plus one
     /// pipeline drain per stage barrier.
     pub fn cycle_model(&self, n: usize) -> u64 {
@@ -269,9 +345,7 @@ mod tests {
 
     fn signal(n: usize) -> Vec<Cplx> {
         (0..n)
-            .map(|i| {
-                Cplx::from_f64(F, (i as f64 * 0.37).sin(), (i as f64 * 0.21).cos() * 0.5)
-            })
+            .map(|i| Cplx::from_f64(F, (i as f64 * 0.37).sin(), (i as f64 * 0.21).cos() * 0.5))
             .collect()
     }
 
@@ -363,7 +437,25 @@ mod tests {
         let shallow = FftEngine::new(F, RM, 2, 3).run(&x, false);
         let deep = FftEngine::new(F, RM, 9, 12).run(&x, false);
         assert_eq!(shallow.0, deep.0, "pipeline depth must not change values");
-        assert!(deep.1 > shallow.1, "deep pipes pay more drain at stage barriers");
+        assert!(
+            deep.1 > shallow.1,
+            "deep pipes pay more drain at stage barriers"
+        );
+    }
+
+    #[test]
+    fn batched_matches_per_cycle_bit_exact() {
+        for n in [2usize, 4, 16, 64] {
+            let x = signal(n);
+            for inverse in [false, true] {
+                let eng = FftEngine::new(F, RM, 5, 7);
+                let (want, want_cycles) = eng.run(&x, inverse);
+                let (got, got_cycles) = eng.run_batched(&x, inverse);
+                assert_eq!(got, want, "n = {n} inverse = {inverse}");
+                assert_eq!(got_cycles, want_cycles, "cycles n = {n}");
+                assert_eq!(got_cycles, eng.cycle_model(n), "model n = {n}");
+            }
+        }
     }
 
     #[test]

@@ -49,9 +49,15 @@ impl FirFilter {
         assert!(!coeffs.is_empty());
         assert!(mac_stages >= 1);
         let n = coeffs.len();
-        let design = FusedMacDesign { format: fmt, round: mode };
+        let design = FusedMacDesign {
+            format: fmt,
+            round: mode,
+        };
         FirFilter {
-            taps: coeffs.iter().map(|&h| SoftFloat::from_f64(fmt, h).bits()).collect(),
+            taps: coeffs
+                .iter()
+                .map(|&h| SoftFloat::from_f64(fmt, h).bits())
+                .collect(),
             cells: coeffs.iter().map(|_| design.unit(mac_stages)).collect(),
             skew: (0..n)
                 .map(|k| {
@@ -93,7 +99,9 @@ impl FirFilter {
             let issue = match xk {
                 Some(xv) => {
                     let acc = if k + 1 < n {
-                        self.carry[k + 1].pop_front().expect("retimed carry present")
+                        self.carry[k + 1]
+                            .pop_front()
+                            .expect("retimed carry present")
                     } else {
                         0 // the deepest cell starts each chain at +0
                     };
@@ -139,7 +147,10 @@ impl FirFilter {
 /// Order-faithful reference: the transposed-form dataflow in `SoftFloat`
 /// (fused MACs, accumulation from the deepest tap forward).
 pub fn reference_fir(fmt: FpFormat, mode: RoundMode, coeffs: &[f64], xs: &[u64]) -> Vec<u64> {
-    let taps: Vec<u64> = coeffs.iter().map(|&h| SoftFloat::from_f64(fmt, h).bits()).collect();
+    let taps: Vec<u64> = coeffs
+        .iter()
+        .map(|&h| SoftFloat::from_f64(fmt, h).bits())
+        .collect();
     let n = taps.len();
     (0..xs.len())
         .map(|i| {
@@ -165,7 +176,9 @@ mod tests {
     const RM: RoundMode = RoundMode::NearestEven;
 
     fn signal(n: usize) -> Vec<u64> {
-        (0..n).map(|i| SoftFloat::from_f64(F, (i as f64 * 0.4).sin()).bits()).collect()
+        (0..n)
+            .map(|i| SoftFloat::from_f64(F, (i as f64 * 0.4).sin()).bits())
+            .collect()
     }
 
     #[test]
@@ -208,7 +221,13 @@ mod tests {
             let want: f64 = coeffs
                 .iter()
                 .enumerate()
-                .map(|(k, &h)| if i >= k { h * SoftFloat::from_bits(F, xs[i - k]).to_f64() } else { 0.0 })
+                .map(|(k, &h)| {
+                    if i >= k {
+                        h * SoftFloat::from_bits(F, xs[i - k]).to_f64()
+                    } else {
+                        0.0
+                    }
+                })
                 .sum();
             let g = SoftFloat::from_bits(F, got[i]).to_f64();
             assert!((g - want).abs() < 1e-5, "y[{i}] = {g}, want {want}");

@@ -60,16 +60,16 @@ pub mod vector;
 
 pub use accuracy::{ErrorMeter, ErrorStats};
 pub use array::LinearArray;
+pub use block::BlockMatMul;
 pub use conv2d::Conv2dEngine;
 pub use dot::DotProductUnit;
-pub use mvm::MvmEngine;
-pub use block::BlockMatMul;
 pub use energy::{ArchitectureEnergy, EnergyReport};
 pub use explorer::{Candidate, Constraints, Explorer};
 pub use fft::{ButterflyUnit, Cplx, FftEngine};
 pub use fir::FirFilter;
 pub use lu::LuEngine;
 pub use matrix::Matrix;
+pub use mvm::MvmEngine;
 pub use perf::{DeviceFill, PeResources};
 pub use schedule::Schedule;
 pub use units::{PipeliningLevel, UnitSet};

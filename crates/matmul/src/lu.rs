@@ -53,9 +53,21 @@ pub struct LuResult {
 
 impl LuEngine {
     /// Configure an engine.
-    pub fn new(fmt: FpFormat, mode: RoundMode, div_stages: u32, mac_stages: u32, p: u32) -> LuEngine {
+    pub fn new(
+        fmt: FpFormat,
+        mode: RoundMode,
+        div_stages: u32,
+        mac_stages: u32,
+        p: u32,
+    ) -> LuEngine {
         assert!(p >= 1);
-        LuEngine { fmt, mode, div_stages, mac_stages, p }
+        LuEngine {
+            fmt,
+            mode,
+            div_stages,
+            mac_stages,
+            p,
+        }
     }
 
     /// Factor `a` in place (cycle-accurately). Panics on a zero pivot.
@@ -68,7 +80,10 @@ impl LuEngine {
         let mut macs = 0u64;
         let mut flags = Flags::NONE;
 
-        let mac_design = FusedMacDesign { format: self.fmt, round: self.mode };
+        let mac_design = FusedMacDesign {
+            format: self.fmt,
+            round: self.mode,
+        };
 
         for k in 0..n {
             let pivot = m.get(k, k);
@@ -107,10 +122,12 @@ impl LuEngine {
                 .iter()
                 .flat_map(|&i| (k + 1..n).map(move |j| (i, j)))
                 .collect();
-            let mut pes: Vec<FusedMacUnit> =
-                (0..self.p).map(|_| mac_design.unit(self.mac_stages)).collect();
-            let mut tags: Vec<std::collections::VecDeque<(usize, usize)>> =
-                (0..self.p).map(|_| std::collections::VecDeque::new()).collect();
+            let mut pes: Vec<FusedMacUnit> = (0..self.p)
+                .map(|_| mac_design.unit(self.mac_stages))
+                .collect();
+            let mut tags: Vec<std::collections::VecDeque<(usize, usize)>> = (0..self.p)
+                .map(|_| std::collections::VecDeque::new())
+                .collect();
             let mut retired = 0usize;
             let mut next = 0usize;
             while retired < jobs.len() {
@@ -137,7 +154,93 @@ impl LuEngine {
             }
         }
 
-        LuResult { lu: m, cycles, divs, macs, flags }
+        LuResult {
+            lu: m,
+            cycles,
+            divs,
+            macs,
+            flags,
+        }
+    }
+
+    /// Batched counterpart of [`LuEngine::factor`]: per elimination
+    /// step, the divider column goes through one
+    /// [`FpPipe::run_batch`] call and the whole rank-1 update through
+    /// one [`FusedMacUnit::run_batch`] call. Every element is touched
+    /// once per step, so the jobs within a step are independent and
+    /// the results (values, flags, op counts, cycles) are
+    /// bit-identical to the per-cycle simulation.
+    pub fn factor_batched(&self, a: &Matrix) -> LuResult {
+        let n = a.rows();
+        assert_eq!(a.cols(), n, "LU needs a square matrix");
+        let mut m = a.clone();
+        let mut cycles = 0u64;
+        let mut divs = 0u64;
+        let mut macs = 0u64;
+        let mut flags = Flags::NONE;
+
+        let mac_design = FusedMacDesign {
+            format: self.fmt,
+            round: self.mode,
+        };
+
+        for k in 0..n {
+            let pivot = m.get(k, k);
+            assert!(
+                !SoftFloat::from_bits(self.fmt, pivot).is_zero(),
+                "zero pivot at step {k} (no pivoting)"
+            );
+            let rows: Vec<usize> = (k + 1..n).collect();
+            if rows.is_empty() {
+                break;
+            }
+            let r = rows.len() as u64;
+
+            // --- Phase 1: the column through the divider, in bulk.
+            let mut div = DelayLineUnit::new(self.fmt, self.mode, DelayOp::Div, self.div_stages);
+            let pairs: Vec<(u64, u64)> = rows.iter().map(|&i| (m.get(i, k), pivot)).collect();
+            let quotients = div.run_batch(&pairs);
+            let mut ls: Vec<u64> = Vec::with_capacity(rows.len());
+            for &(q, f) in &quotients {
+                flags |= f;
+                ls.push(q);
+            }
+            for (&i, &l) in rows.iter().zip(&ls) {
+                m.set(i, k, l);
+            }
+            divs += r;
+            cycles += r + self.div_stages as u64;
+
+            // --- Phase 2: the whole rank-1 update in one bulk call.
+            let jobs: Vec<(usize, usize)> = rows
+                .iter()
+                .flat_map(|&i| (k + 1..n).map(move |j| (i, j)))
+                .collect();
+            let mut mac = mac_design.unit(self.mac_stages);
+            let inputs: Vec<(u64, u64, u64)> = jobs
+                .iter()
+                .map(|&(i, j)| {
+                    let row_i = rows.iter().position(|&row| row == i).expect("row in step");
+                    let neg_l = ls[row_i] ^ (1u64 << self.fmt.sign_shift());
+                    (neg_l, m.get(k, j), m.get(i, j))
+                })
+                .collect();
+            let updates = mac.run_batch(&inputs);
+            for (&(i, j), &(v, f)) in jobs.iter().zip(&updates) {
+                flags |= f;
+                m.set(i, j, v);
+            }
+            macs += jobs.len() as u64;
+            cycles += issue_span(jobs.len() as u64, self.p as u64) + self.mac_stages as u64;
+        }
+
+        LuResult {
+            lu: m,
+            cycles,
+            divs,
+            macs,
+            flags,
+        }
     }
 
     /// Analytical cycle model (must equal the simulator's counter).
@@ -149,7 +252,7 @@ impl LuEngine {
                 break;
             }
             cycles += r + self.div_stages as u64; // divider stream + drain
-            // p jobs issue per cycle; the last one drains the MAC pipe.
+                                                  // p jobs issue per cycle; the last one drains the MAC pipe.
             let jobs = r * r;
             cycles += issue_span(jobs, self.p as u64) + self.mac_stages as u64;
         }
@@ -169,8 +272,13 @@ impl LuEngine {
             for i in k + 1..n {
                 let neg_l = m.get(i, k) ^ (1u64 << self.fmt.sign_shift());
                 for j in k + 1..n {
-                    let (v, _) =
-                        fpfpga_softfp::fma_bits(self.fmt, neg_l, m.get(k, j), m.get(i, j), self.mode);
+                    let (v, _) = fpfpga_softfp::fma_bits(
+                        self.fmt,
+                        neg_l,
+                        m.get(k, j),
+                        m.get(i, j),
+                        self.mode,
+                    );
                     m.set(i, j, v);
                 }
             }
@@ -218,7 +326,11 @@ mod tests {
 
     fn dd_matrix(n: usize) -> Matrix {
         Matrix::from_fn(F, n, n, |i, j| {
-            if i == j { 12.0 + i as f64 } else { ((i * n + j) as f64 * 0.23).sin() }
+            if i == j {
+                12.0 + i as f64
+            } else {
+                ((i * n + j) as f64 * 0.23).sin()
+            }
         })
     }
 
@@ -239,7 +351,11 @@ mod tests {
         let eng = LuEngine::new(F, RM, 16, 6, 4);
         let r = eng.factor(&a);
         let back = reconstruct(&r.lu, RM);
-        assert!(back.max_abs_diff(&a) < 1e-4, "err = {}", back.max_abs_diff(&a));
+        assert!(
+            back.max_abs_diff(&a) < 1e-4,
+            "err = {}",
+            back.max_abs_diff(&a)
+        );
         assert_eq!(r.divs, (n * (n - 1) / 2) as u64);
         let expect_macs: u64 = (0..n).map(|k| ((n - k - 1) * (n - k - 1)) as u64).sum();
         assert_eq!(r.macs, expect_macs);
@@ -273,6 +389,27 @@ mod tests {
         let x = LuEngine::new(F, RM, 5, 3, 2).factor(&a).lu;
         let y = LuEngine::new(F, RM, 30, 11, 2).factor(&a).lu;
         assert_eq!(x, y);
+    }
+
+    #[test]
+    fn batched_matches_per_cycle_bit_exact() {
+        for (n, p, ds, ms) in [
+            (1usize, 1u32, 4u32, 3u32),
+            (4, 1, 5, 3),
+            (8, 3, 12, 6),
+            (10, 4, 20, 8),
+        ] {
+            let a = dd_matrix(n);
+            let eng = LuEngine::new(F, RM, ds, ms, p);
+            let per_cycle = eng.factor(&a);
+            let batched = eng.factor_batched(&a);
+            assert_eq!(batched.lu, per_cycle.lu, "n={n} p={p}");
+            assert_eq!(batched.cycles, per_cycle.cycles, "cycles n={n} p={p}");
+            assert_eq!(batched.cycles, eng.cycle_model(n), "model n={n} p={p}");
+            assert_eq!(batched.divs, per_cycle.divs, "divs n={n} p={p}");
+            assert_eq!(batched.macs, per_cycle.macs, "macs n={n} p={p}");
+            assert_eq!(batched.flags, per_cycle.flags, "flags n={n} p={p}");
+        }
     }
 
     #[test]

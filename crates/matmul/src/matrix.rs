@@ -14,7 +14,12 @@ pub struct Matrix {
 impl Matrix {
     /// An all-zero matrix.
     pub fn zero(fmt: FpFormat, rows: usize, cols: usize) -> Matrix {
-        Matrix { fmt, rows, cols, data: vec![0; rows * cols] }
+        Matrix {
+            fmt,
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
     }
 
     /// The identity matrix.
@@ -34,7 +39,10 @@ impl Matrix {
             fmt,
             rows,
             cols,
-            data: entries.iter().map(|&x| SoftFloat::from_f64(fmt, x).bits()).collect(),
+            data: entries
+                .iter()
+                .map(|&x| SoftFloat::from_f64(fmt, x).bits())
+                .collect(),
         }
     }
 
@@ -51,7 +59,12 @@ impl Matrix {
                 data.push(SoftFloat::from_f64(fmt, f(i, j)).bits());
             }
         }
-        Matrix { fmt, rows, cols, data }
+        Matrix {
+            fmt,
+            rows,
+            cols,
+            data,
+        }
     }
 
     /// Element access (raw bits).

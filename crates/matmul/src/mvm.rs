@@ -92,9 +92,21 @@ pub struct MvmEngine {
 
 impl MvmEngine {
     /// Configure an engine.
-    pub fn new(fmt: FpFormat, mode: RoundMode, mult_stages: u32, add_stages: u32, p: usize) -> MvmEngine {
+    pub fn new(
+        fmt: FpFormat,
+        mode: RoundMode,
+        mult_stages: u32,
+        add_stages: u32,
+        p: usize,
+    ) -> MvmEngine {
         assert!(p >= 1);
-        MvmEngine { fmt, mode, p, lm: mult_stages, la: add_stages }
+        MvmEngine {
+            fmt,
+            mode,
+            p,
+            lm: mult_stages,
+            la: add_stages,
+        }
     }
 
     /// Compute `y = A·x` cycle-accurately. Returns `(y, cycles)`.
@@ -118,11 +130,15 @@ impl MvmEngine {
         // cycle (k, r) every PE MACs x[k] against its r-th owned row.
         // Hazard check: bank slot (r, k % La) is reused after exactly
         // rows_per_pe · La ≥ La cycles.
-        for k in 0..a.cols() {
+        for (k, &xk) in x.iter().enumerate() {
             for r in 0..rows_per_pe {
                 cycles += 1;
                 for pe in pes.iter_mut() {
-                    let issue = if r < pe.rows.len() { Some((x[k], k, r)) } else { None };
+                    let issue = if r < pe.rows.len() {
+                        Some((xk, k, r))
+                    } else {
+                        None
+                    };
                     pe.clock(issue);
                 }
             }
@@ -145,6 +161,44 @@ impl MvmEngine {
             }
         }
         cycles += (self.la as u64) * (self.la as f64).log2().ceil() as u64;
+        (y, cycles)
+    }
+
+    /// [`MvmEngine::multiply`] through the pipes' batched fast path
+    /// ([`FpPipe::run_batch`]): each matrix row computes its products in
+    /// one bulk call and its round-robin accumulation in rounds of `La`
+    /// independent adds — the exact per-cycle recurrence without the
+    /// delay-line shuffle. Result bits and the cycle charge are
+    /// identical to the per-cycle path.
+    pub fn multiply_batched(&self, a: &Matrix, x: &[u64]) -> (Vec<u64>, u64) {
+        let n = a.rows();
+        assert_eq!(a.cols(), x.len(), "dimension mismatch");
+        let la = self.la as usize;
+        let mut mult = DelayLineUnit::new(self.fmt, self.mode, DelayOp::Mul, self.lm);
+        let mut add = DelayLineUnit::new(self.fmt, self.mode, DelayOp::Add, self.la);
+        let mut y = vec![0u64; n];
+        for (i, yi) in y.iter_mut().enumerate() {
+            let pairs: Vec<(u64, u64)> = (0..a.cols()).map(|k| (x[k], a.get(i, k))).collect();
+            let products = mult.run_batch(&pairs);
+            let mut bank = vec![0u64; la];
+            for round in products.chunks(la) {
+                let inputs: Vec<(u64, u64)> = round
+                    .iter()
+                    .enumerate()
+                    .map(|(s, &(p, _))| (p, bank[s]))
+                    .collect();
+                for (s, &(v, _)) in add.run_batch(&inputs).iter().enumerate() {
+                    bank[s] = v;
+                }
+            }
+            *yi = fold_bank(self.fmt, self.mode, &bank);
+        }
+        // The same clock count the per-cycle array spends: stream +
+        // drain + fold sequencer.
+        let rows_per_pe = n.div_ceil(self.p) as u64;
+        let cycles = a.cols() as u64 * rows_per_pe
+            + (self.lm + self.la + 2) as u64
+            + (self.la as u64) * (self.la as f64).log2().ceil() as u64;
         (y, cycles)
     }
 
@@ -188,8 +242,9 @@ mod tests {
 
     fn sample(n: usize, m: usize) -> (Matrix, Vec<u64>) {
         let a = Matrix::from_fn(F, n, m, |i, j| ((i * m + j) as f64 * 0.19).sin());
-        let x: Vec<u64> =
-            (0..m).map(|k| SoftFloat::from_f64(F, (k as f64 * 0.31).cos()).bits()).collect();
+        let x: Vec<u64> = (0..m)
+            .map(|k| SoftFloat::from_f64(F, (k as f64 * 0.31).cos()).bits())
+            .collect();
         (a, x)
     }
 
@@ -200,6 +255,24 @@ mod tests {
             let eng = MvmEngine::new(F, RM, 4, 5, p);
             let (y, _) = eng.multiply(&a, &x);
             assert_eq!(y, eng.reference(&a, &x), "n={n} p={p}");
+        }
+    }
+
+    #[test]
+    fn batched_matches_per_cycle_bit_exact() {
+        for (n, m, p) in [
+            (6usize, 6usize, 2usize),
+            (8, 8, 4),
+            (9, 9, 3),
+            (6, 10, 3),
+            (5, 5, 5),
+        ] {
+            let (a, x) = sample(n, m);
+            let eng = MvmEngine::new(F, RM, 4, 5, p);
+            let (y_seq, c_seq) = eng.multiply(&a, &x);
+            let (y_bat, c_bat) = eng.multiply_batched(&a, &x);
+            assert_eq!(y_bat, y_seq, "values n={n} m={m} p={p}");
+            assert_eq!(c_bat, c_seq, "cycles n={n} m={m} p={p}");
         }
     }
 
@@ -217,11 +290,11 @@ mod tests {
         let (a, x) = sample(16, 16);
         let eng = MvmEngine::new(F, RM, 7, 9, 4);
         let (y, _) = eng.multiply(&a, &x);
-        for i in 0..16 {
+        for (i, &yi) in y.iter().enumerate() {
             let exact: f64 = (0..16)
                 .map(|k| a.get_f64(i, k) * SoftFloat::from_bits(F, x[k]).to_f64())
                 .sum();
-            let got = SoftFloat::from_bits(F, y[i]).to_f64();
+            let got = SoftFloat::from_bits(F, yi).to_f64();
             assert!((got - exact).abs() < 1e-4, "row {i}: {got} vs {exact}");
         }
     }

@@ -76,7 +76,13 @@ impl ProcessingElement {
                 Box::new(DelayLineUnit::new(fmt, mode, DelayOp::Add, add_stages)),
             ),
             UnitBackend::Structural => (
-                Box::new(fpfpga_fpu::MultiplierDesign { format: fmt, round: mode }.simulator(mult_stages)),
+                Box::new(
+                    fpfpga_fpu::MultiplierDesign {
+                        format: fmt,
+                        round: mode,
+                    }
+                    .simulator(mult_stages),
+                ),
                 Box::new(
                     fpfpga_fpu::AdderDesign {
                         format: fmt,
@@ -156,7 +162,11 @@ impl ProcessingElement {
                 (0u64, 0u64, 0u64)
             } else {
                 self.stats.bram_accesses += 2; // B read + C read
-                (t.a, self.b_banks[t.bank as usize][t.k as usize], self.c_col[t.i as usize])
+                (
+                    t.a,
+                    self.b_banks[t.bank as usize][t.k as usize],
+                    self.c_col[t.i as usize],
+                )
             };
             if t.pad {
                 self.stats.pad_macs += 1;
@@ -171,7 +181,8 @@ impl ProcessingElement {
 
         // Multiplier pipe + C-operand delay line advance together.
         let product = self.mult.clock(issue.map(|(a, b, _, _, _)| (a, b)));
-        self.c_delay.push_back(issue.map(|(_, _, c, i, pad)| (c, i, pad)));
+        self.c_delay
+            .push_back(issue.map(|(_, _, c, i, pad)| (c, i, pad)));
         let c_meta = self.c_delay.pop_front().expect("delay line non-empty");
 
         // Adder issue when a product emerges.
@@ -202,6 +213,48 @@ impl ProcessingElement {
     pub fn format(&self) -> FpFormat {
         self.fmt
     }
+
+    /// Bulk execution of one schedule step: every row's MAC for column
+    /// pass `k` runs through the pipes' batched fast path
+    /// ([`FpPipe::run_batch`]) in two calls instead of `PL`·rows clocks.
+    ///
+    /// Valid exactly when the surrounding schedule is hazard-free — any
+    /// two updates of the same `C` entry at least one padded period
+    /// (≥ PL) apart, which is what `Schedule` guarantees by padding.
+    /// Then results, flags and MAC/BRAM activity counts are
+    /// bit-identical to per-cycle clocking; `pads` records the step's
+    /// padding issues for the energy model.
+    pub fn mac_step_batch(&mut self, bank: bool, k: usize, a_col: &[u64], pads: u64) {
+        let bk = self.b_banks[bank as usize][k];
+        let pairs: Vec<(u64, u64)> = a_col.iter().map(|&a| (a, bk)).collect();
+        let products = self.mult.run_batch(&pairs);
+        debug_assert_eq!(products.len(), a_col.len(), "mult pipe was not empty");
+        let add_inputs: Vec<(u64, u64)> = products
+            .iter()
+            .enumerate()
+            .map(|(i, &(p, pf))| {
+                self.flags |= pf;
+                (p, self.c_col[i])
+            })
+            .collect();
+        let sums = self.add.run_batch(&add_inputs);
+        debug_assert_eq!(sums.len(), a_col.len(), "add pipe was not empty");
+        for (i, &(s, sf)) in sums.iter().enumerate() {
+            self.flags |= sf;
+            self.c_col[i] = s;
+        }
+        let n = a_col.len() as u64;
+        self.stats.useful_macs += n;
+        self.stats.pad_macs += pads;
+        self.stats.bram_accesses += 3 * n; // B read + C read + C write per MAC
+    }
+
+    /// Charge the clock/idle counters a batched run would have spent
+    /// per-cycle: `total` clocks, of which `issues` carried a token.
+    pub fn account_batched_cycles(&mut self, total: u64, issues: u64) {
+        self.stats.cycles += total;
+        self.stats.idle_cycles += total - issues;
+    }
 }
 
 #[cfg(test)]
@@ -213,7 +266,14 @@ mod tests {
     }
 
     fn make_pe(n: usize) -> ProcessingElement {
-        ProcessingElement::new(FpFormat::SINGLE, RoundMode::NearestEven, 3, 4, n, UnitBackend::Fast)
+        ProcessingElement::new(
+            FpFormat::SINGLE,
+            RoundMode::NearestEven,
+            3,
+            4,
+            n,
+            UnitBackend::Fast,
+        )
     }
 
     #[test]
@@ -221,7 +281,13 @@ mod tests {
         let mut pe = make_pe(2);
         pe.load_b_column(false, &[f(2.0), f(10.0)]);
         // token (i=0, k=0): c[0] += a·b[0] = 3·2
-        pe.clock(Some(Token { a: f(3.0), i: 0, k: 0, pad: false, bank: false }));
+        pe.clock(Some(Token {
+            a: f(3.0),
+            i: 0,
+            k: 0,
+            pad: false,
+            bank: false,
+        }));
         for _ in 0..pe.pl() + 1 {
             pe.clock(None);
         }
@@ -235,11 +301,23 @@ mod tests {
         let mut pe = make_pe(2);
         pe.load_b_column(false, &[f(2.0), f(10.0)]);
         let pl = pe.pl() as usize;
-        pe.clock(Some(Token { a: f(3.0), i: 0, k: 0, pad: false, bank: false }));
+        pe.clock(Some(Token {
+            a: f(3.0),
+            i: 0,
+            k: 0,
+            pad: false,
+            bank: false,
+        }));
         for _ in 0..pl {
             pe.clock(None);
         }
-        pe.clock(Some(Token { a: f(5.0), i: 0, k: 1, pad: false, bank: false }));
+        pe.clock(Some(Token {
+            a: f(5.0),
+            i: 0,
+            k: 1,
+            pad: false,
+            bank: false,
+        }));
         for _ in 0..pl + 1 {
             pe.clock(None);
         }
@@ -254,13 +332,28 @@ mod tests {
         // against.
         let mut pe = make_pe(2);
         pe.load_b_column(false, &[f(1.0), f(1.0)]);
-        pe.clock(Some(Token { a: f(3.0), i: 0, k: 0, pad: false, bank: false }));
-        pe.clock(Some(Token { a: f(5.0), i: 0, k: 1, pad: false, bank: false }));
+        pe.clock(Some(Token {
+            a: f(3.0),
+            i: 0,
+            k: 0,
+            pad: false,
+            bank: false,
+        }));
+        pe.clock(Some(Token {
+            a: f(5.0),
+            i: 0,
+            k: 1,
+            pad: false,
+            bank: false,
+        }));
         for _ in 0..2 * pe.pl() {
             pe.clock(None);
         }
         let got = f32::from_bits(pe.c_column()[0] as u32);
-        assert_eq!(got, 5.0, "stale read: second MAC sees c=0, final write wins");
+        assert_eq!(
+            got, 5.0,
+            "stale read: second MAC sees c=0, final write wins"
+        );
         assert_ne!(got, 8.0, "8.0 would mean the hazard did not manifest");
     }
 
@@ -268,7 +361,13 @@ mod tests {
     fn pad_tokens_burn_pipes_but_not_state() {
         let mut pe = make_pe(2);
         pe.load_b_column(false, &[f(2.0), f(2.0)]);
-        pe.clock(Some(Token { a: 0, i: 0, k: 0, pad: true, bank: false }));
+        pe.clock(Some(Token {
+            a: 0,
+            i: 0,
+            k: 0,
+            pad: true,
+            bank: false,
+        }));
         for _ in 0..pe.pl() + 1 {
             pe.clock(None);
         }
@@ -281,7 +380,13 @@ mod tests {
     fn token_passes_with_one_cycle_delay() {
         let mut pe = make_pe(1);
         pe.load_b_column(false, &[f(1.0)]);
-        let t = Token { a: f(7.0), i: 0, k: 0, pad: false, bank: false };
+        let t = Token {
+            a: f(7.0),
+            i: 0,
+            k: 0,
+            pad: false,
+            bank: false,
+        };
         let out0 = pe.clock(Some(t));
         assert!(out0.is_none());
         let out1 = pe.clock(None);
@@ -291,19 +396,19 @@ mod tests {
     #[test]
     fn structural_backend_matches_fast() {
         let run = |backend: UnitBackend| {
-            let mut pe = ProcessingElement::new(
-                FpFormat::SINGLE,
-                RoundMode::NearestEven,
-                4,
-                5,
-                3,
-                backend,
-            );
+            let mut pe =
+                ProcessingElement::new(FpFormat::SINGLE, RoundMode::NearestEven, 4, 5, 3, backend);
             pe.load_b_column(false, &[f(1.5), f(-2.0), f(0.25)]);
             let pl = pe.pl() as usize;
             for k in 0..3u32 {
                 for i in 0..3u32 {
-                    pe.clock(Some(Token { a: f((i + k) as f32 * 0.5 - 1.0), i, k, pad: false, bank: false }));
+                    pe.clock(Some(Token {
+                        a: f((i + k) as f32 * 0.5 - 1.0),
+                        i,
+                        k,
+                        pad: false,
+                        bank: false,
+                    }));
                     // keep issues ≥ PL apart per row by spacing steps
                 }
                 for _ in 0..pl {

@@ -41,7 +41,10 @@ impl PeResources {
         };
         // B column + C column in block RAM.
         for _ in 0..2 {
-            let buf = Primitive::BramBuffer { words: n.max(16), width: word };
+            let buf = Primitive::BramBuffer {
+                words: n.max(16),
+                width: word,
+            };
             area += buf.area(tech);
         }
         // Token register, C-operand delay line (PL_mult deep), address
@@ -49,7 +52,10 @@ impl PeResources {
         let token_bits = word + 2 * 16 + 2; // a + i + k + pad/valid
         area += AreaCost::ffs((token_bits + word * units.multiplier.stages) as f64);
         area += AreaCost::luts(40.0); // counters + muxes + decode glue
-        PeResources { area, units: units.clone() }
+        PeResources {
+            area,
+            units: units.clone(),
+        }
     }
 
     /// Slices of one PE.
@@ -82,7 +88,12 @@ impl DeviceFill {
         let pe = PeResources::new(units, n, tech);
         let pe_count = device.fit(&pe.area, tech, 0.10);
         let clock_mhz = units.clock_mhz() * 0.92;
-        DeviceFill { device, pe, pe_count, clock_mhz }
+        DeviceFill {
+            device,
+            pe,
+            pe_count,
+            clock_mhz,
+        }
     }
 
     /// Sustained GFLOPS: 2 FLOPs per PE per cycle.
@@ -101,7 +112,7 @@ impl DeviceFill {
     /// Estimated dynamic power (W) of the filled device at `activity`.
     pub fn power_w(&self, activity: f64) -> f64 {
         let model = fpfpga_power::PowerModel::virtex2pro();
-        let total = self.pe.area.clone() * self.pe_count as f64;
+        let total = self.pe.area * self.pe_count as f64;
         model.power_mw(&total, self.clock_mhz, activity).total_mw() / 1000.0
     }
 
@@ -120,7 +131,12 @@ mod tests {
 
     fn fill(fmt: FpFormat) -> DeviceFill {
         let tech = Tech::virtex2pro();
-        let units = UnitSet::for_level(fmt, PipeliningLevel::Maximum, &tech, SynthesisOptions::SPEED);
+        let units = UnitSet::for_level(
+            fmt,
+            PipeliningLevel::Maximum,
+            &tech,
+            SynthesisOptions::SPEED,
+        );
         DeviceFill::new(Device::XC2VP125, &units, 64, &tech)
     }
 

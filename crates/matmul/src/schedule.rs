@@ -128,7 +128,7 @@ mod tests {
         let s = Schedule::new(3, 5);
         let tokens: Vec<Token> = s.tokens().collect();
         assert_eq!(tokens.len(), 15); // 3 steps × padded period 5
-        // first period: rows 0,1,2 then two pads
+                                      // first period: rows 0,1,2 then two pads
         assert!(!tokens[0].pad && tokens[0].i == 0 && tokens[0].k == 0);
         assert!(!tokens[2].pad && tokens[2].i == 2);
         assert!(tokens[3].pad && tokens[4].pad);

@@ -11,7 +11,8 @@
 use fpfpga_fabric::report::ImplementationReport;
 use fpfpga_fabric::synthesis::SynthesisOptions;
 use fpfpga_fabric::tech::Tech;
-use fpfpga_fpu::{AdderDesign, MultiplierDesign};
+use fpfpga_fpu::generator::UnitOp;
+use fpfpga_fpu::{AdderDesign, MultiplierDesign, SweepCache};
 use fpfpga_softfp::FpFormat;
 
 /// The paper's three pipelining levels for the Section 5 study.
@@ -27,8 +28,11 @@ pub enum PipeliningLevel {
 
 impl PipeliningLevel {
     /// All three, in plotting order.
-    pub const ALL: [PipeliningLevel; 3] =
-        [PipeliningLevel::Minimum, PipeliningLevel::Moderate, PipeliningLevel::Maximum];
+    pub const ALL: [PipeliningLevel; 3] = [
+        PipeliningLevel::Minimum,
+        PipeliningLevel::Moderate,
+        PipeliningLevel::Maximum,
+    ];
 
     /// (adder stages, multiplier stages).
     pub fn stage_split(&self) -> (u32, u32) {
@@ -88,6 +92,33 @@ impl UnitSet {
         }
     }
 
+    /// [`UnitSet::with_stages`] through a [`SweepCache`]: the two depth
+    /// sweeps are memoized, so building all three pipelining levels (or
+    /// re-running an exploration) synthesizes each core once.
+    pub fn with_stages_cached(
+        format: FpFormat,
+        adder_stages: u32,
+        mult_stages: u32,
+        tech: &Tech,
+        opts: SynthesisOptions,
+        cache: &SweepCache,
+    ) -> UnitSet {
+        let adder_sweep = cache.sweep(UnitOp::Add, format, tech, opts);
+        let mult_sweep = cache.sweep(UnitOp::Mul, format, tech, opts);
+        let pick = |sweep: &[ImplementationReport], k: u32| {
+            sweep
+                .iter()
+                .find(|r| r.stages == k.min(sweep.len() as u32))
+                .expect("stage count within sweep")
+                .clone()
+        };
+        UnitSet {
+            format,
+            adder: pick(&adder_sweep, adder_stages),
+            multiplier: pick(&mult_sweep, mult_stages),
+        }
+    }
+
     /// Build one of the paper's three Section-5 unit sets.
     pub fn for_level(
         format: FpFormat,
@@ -97,6 +128,18 @@ impl UnitSet {
     ) -> UnitSet {
         let (a, m) = level.stage_split();
         UnitSet::with_stages(format, a, m, tech, opts)
+    }
+
+    /// [`UnitSet::for_level`] through a [`SweepCache`].
+    pub fn for_level_cached(
+        format: FpFormat,
+        level: PipeliningLevel,
+        tech: &Tech,
+        opts: SynthesisOptions,
+        cache: &SweepCache,
+    ) -> UnitSet {
+        let (a, m) = level.stage_split();
+        UnitSet::with_stages_cached(format, a, m, tech, opts, cache)
     }
 
     /// Combined MAC latency (PL): multiplier stages + adder stages.
@@ -129,8 +172,7 @@ mod tests {
     #[test]
     fn unit_set_latency_matches_level() {
         for level in PipeliningLevel::ALL {
-            let set =
-                UnitSet::for_level(FpFormat::SINGLE, level, &tech(), SynthesisOptions::SPEED);
+            let set = UnitSet::for_level(FpFormat::SINGLE, level, &tech(), SynthesisOptions::SPEED);
             assert_eq!(set.pl(), level.pl());
         }
     }
@@ -138,8 +180,18 @@ mod tests {
     #[test]
     fn deeper_sets_are_faster_and_bigger() {
         let t = tech();
-        let min = UnitSet::for_level(FpFormat::SINGLE, PipeliningLevel::Minimum, &t, SynthesisOptions::SPEED);
-        let max = UnitSet::for_level(FpFormat::SINGLE, PipeliningLevel::Maximum, &t, SynthesisOptions::SPEED);
+        let min = UnitSet::for_level(
+            FpFormat::SINGLE,
+            PipeliningLevel::Minimum,
+            &t,
+            SynthesisOptions::SPEED,
+        );
+        let max = UnitSet::for_level(
+            FpFormat::SINGLE,
+            PipeliningLevel::Maximum,
+            &t,
+            SynthesisOptions::SPEED,
+        );
         assert!(max.clock_mhz() > min.clock_mhz());
         assert!(
             max.adder.ffs + max.multiplier.ffs > min.adder.ffs + min.multiplier.ffs,

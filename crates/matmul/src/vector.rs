@@ -29,7 +29,11 @@ impl AxpyUnit {
     pub fn new(fmt: FpFormat, mode: RoundMode, alpha: f64, mac_stages: u32) -> AxpyUnit {
         AxpyUnit {
             alpha: SoftFloat::from_f64(fmt, alpha).bits(),
-            mac: FusedMacDesign { format: fmt, round: mode }.unit(mac_stages),
+            mac: FusedMacDesign {
+                format: fmt,
+                round: mode,
+            }
+            .unit(mac_stages),
             cycles: 0,
             flags: Flags::NONE,
         }
@@ -72,17 +76,29 @@ pub struct MapUnit {
 impl MapUnit {
     /// An elementwise adder (`x + y`).
     pub fn add(fmt: FpFormat, mode: RoundMode, stages: u32) -> MapUnit {
-        MapUnit { pipe: DelayLineUnit::new(fmt, mode, DelayOp::Add, stages), cycles: 0, flags: Flags::NONE }
+        MapUnit {
+            pipe: DelayLineUnit::new(fmt, mode, DelayOp::Add, stages),
+            cycles: 0,
+            flags: Flags::NONE,
+        }
     }
 
     /// An elementwise multiplier (`x · y`).
     pub fn mul(fmt: FpFormat, mode: RoundMode, stages: u32) -> MapUnit {
-        MapUnit { pipe: DelayLineUnit::new(fmt, mode, DelayOp::Mul, stages), cycles: 0, flags: Flags::NONE }
+        MapUnit {
+            pipe: DelayLineUnit::new(fmt, mode, DelayOp::Mul, stages),
+            cycles: 0,
+            flags: Flags::NONE,
+        }
     }
 
     /// An elementwise divider (`x ÷ y`).
     pub fn div(fmt: FpFormat, mode: RoundMode, stages: u32) -> MapUnit {
-        MapUnit { pipe: DelayLineUnit::new(fmt, mode, DelayOp::Div, stages), cycles: 0, flags: Flags::NONE }
+        MapUnit {
+            pipe: DelayLineUnit::new(fmt, mode, DelayOp::Div, stages),
+            cycles: 0,
+            flags: Flags::NONE,
+        }
     }
 
     /// Stream two vectors through the pipe.
@@ -111,7 +127,13 @@ impl MapUnit {
 
 /// Sum reduction via the dot-product unit (`Σ x_i = x · 1⃗`, issued as
 /// `x_i·1` products into the banked accumulator).
-pub fn vector_sum(fmt: FpFormat, mode: RoundMode, mult_stages: u32, add_stages: u32, xs: &[u64]) -> (u64, u64) {
+pub fn vector_sum(
+    fmt: FpFormat,
+    mode: RoundMode,
+    mult_stages: u32,
+    add_stages: u32,
+    xs: &[u64],
+) -> (u64, u64) {
     let one = SoftFloat::one(fmt).bits();
     let ones = vec![one; xs.len()];
     let mut unit = DotProductUnit::new(fmt, mode, mult_stages, add_stages);
@@ -126,7 +148,9 @@ mod tests {
     const RM: RoundMode = RoundMode::NearestEven;
 
     fn vec_of(n: usize, f: impl Fn(usize) -> f64) -> Vec<u64> {
-        (0..n).map(|i| SoftFloat::from_f64(F, f(i)).bits()).collect()
+        (0..n)
+            .map(|i| SoftFloat::from_f64(F, f(i)).bits())
+            .collect()
     }
 
     #[test]
@@ -143,7 +167,11 @@ mod tests {
                 let (want, _) = fpfpga_softfp::fma_bits(F, a, xs[i], ys[i], RM);
                 assert_eq!(got[i], want, "i={i} stages={stages}");
             }
-            assert_eq!(cycles, n as u64 + stages as u64, "one element per cycle + latency");
+            assert_eq!(
+                cycles,
+                n as u64 + stages as u64,
+                "one element per cycle + latency"
+            );
         }
     }
 
@@ -167,7 +195,9 @@ mod tests {
         let n = 200;
         let xs = vec_of(n, |i| (i as f64 * 0.11).sin());
         let (got, cycles) = vector_sum(F, RM, 5, 8, &xs);
-        let exact: f64 = (0..n).map(|i| SoftFloat::from_bits(F, xs[i]).to_f64()).sum();
+        let exact: f64 = (0..n)
+            .map(|i| SoftFloat::from_bits(F, xs[i]).to_f64())
+            .sum();
         let got = SoftFloat::from_bits(F, got).to_f64();
         assert!((got - exact).abs() < 1e-4, "{got} vs {exact}");
         assert!(cycles < n as u64 + 150, "cycles = {cycles}");

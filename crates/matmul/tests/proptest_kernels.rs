@@ -24,8 +24,7 @@ fn val() -> impl Strategy<Value = f64> {
 }
 
 fn matrix(n: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(val(), n * n)
-        .prop_map(move |v| Matrix::from_f64(F, n, n, &v))
+    proptest::collection::vec(val(), n * n).prop_map(move |v| Matrix::from_f64(F, n, n, &v))
 }
 
 proptest! {

@@ -29,8 +29,12 @@ pub enum ComponentClass {
 
 impl ComponentClass {
     /// All classes, in the paper's plotting order.
-    pub const ALL: [ComponentClass; 4] =
-        [ComponentClass::Io, ComponentClass::Misc, ComponentClass::Storage, ComponentClass::Mac];
+    pub const ALL: [ComponentClass; 4] = [
+        ComponentClass::Io,
+        ComponentClass::Misc,
+        ComponentClass::Storage,
+        ComponentClass::Mac,
+    ];
 
     /// Display label.
     pub fn label(&self) -> &'static str {
@@ -83,19 +87,30 @@ impl EnergyBill {
         active_cycles: u64,
         idle_cycles: u64,
     ) {
-        assert!(f_mhz > 0.0, "need a positive clock to convert cycles to time");
+        assert!(
+            f_mhz > 0.0,
+            "need a positive clock to convert cycles to time"
+        );
         let us_per_cycle = 1.0 / f_mhz;
         let p_active = model.power_mw(area, f_mhz, activity).total_mw();
         let p_idle = model.idle_power_mw(area, f_mhz);
-        let energy_nj =
-            p_active * active_cycles as f64 * us_per_cycle + p_idle * idle_cycles as f64 * us_per_cycle;
-        self.components.push(ComponentEnergy { name: name.to_string(), class, energy_nj });
+        let energy_nj = p_active * active_cycles as f64 * us_per_cycle
+            + p_idle * idle_cycles as f64 * us_per_cycle;
+        self.components.push(ComponentEnergy {
+            name: name.to_string(),
+            class,
+            energy_nj,
+        });
     }
 
     /// Charge a raw, pre-computed energy (for analytically modeled
     /// components such as I/O pads).
     pub fn charge_raw(&mut self, name: &str, class: ComponentClass, energy_nj: f64) {
-        self.components.push(ComponentEnergy { name: name.to_string(), class, energy_nj });
+        self.components.push(ComponentEnergy {
+            name: name.to_string(),
+            class,
+            energy_nj,
+        });
     }
 
     /// Total energy (nJ).
@@ -114,7 +129,11 @@ impl EnergyBill {
 
     /// Energy of one class (0 if absent).
     pub fn class_nj(&self, class: ComponentClass) -> f64 {
-        self.components.iter().filter(|c| c.class == class).map(|c| c.energy_nj).sum()
+        self.components
+            .iter()
+            .filter(|c| c.class == class)
+            .map(|c| c.energy_nj)
+            .sum()
     }
 
     /// The individual entries.
@@ -133,14 +152,29 @@ mod tests {
     use super::*;
 
     fn mac_area() -> AreaCost {
-        AreaCost { luts: 500.0, ffs: 600.0, bmults: 4, brams: 0, routing_slices: 0.0 }
+        AreaCost {
+            luts: 500.0,
+            ffs: 600.0,
+            bmults: 4,
+            brams: 0,
+            routing_slices: 0.0,
+        }
     }
 
     #[test]
     fn energy_is_power_times_time() {
         let m = PowerModel::virtex2pro();
         let mut bill = EnergyBill::new();
-        bill.charge("mac", ComponentClass::Mac, &m, &mac_area(), 100.0, 0.3, 1000, 0);
+        bill.charge(
+            "mac",
+            ComponentClass::Mac,
+            &m,
+            &mac_area(),
+            100.0,
+            0.3,
+            1000,
+            0,
+        );
         let p = m.power_mw(&mac_area(), 100.0, 0.3).total_mw();
         // 1000 cycles at 100 MHz = 10 µs; E = P·t
         assert!((bill.total_nj() - p * 10.0).abs() < 1e-9);
@@ -150,9 +184,27 @@ mod tests {
     fn idle_cycles_cost_less() {
         let m = PowerModel::virtex2pro();
         let mut active = EnergyBill::new();
-        active.charge("mac", ComponentClass::Mac, &m, &mac_area(), 100.0, 0.3, 1000, 0);
+        active.charge(
+            "mac",
+            ComponentClass::Mac,
+            &m,
+            &mac_area(),
+            100.0,
+            0.3,
+            1000,
+            0,
+        );
         let mut half_idle = EnergyBill::new();
-        half_idle.charge("mac", ComponentClass::Mac, &m, &mac_area(), 100.0, 0.3, 500, 500);
+        half_idle.charge(
+            "mac",
+            ComponentClass::Mac,
+            &m,
+            &mac_area(),
+            100.0,
+            0.3,
+            500,
+            500,
+        );
         assert!(half_idle.total_nj() < active.total_nj());
         assert!(half_idle.total_nj() > active.total_nj() * 0.25);
     }
@@ -161,8 +213,26 @@ mod tests {
     fn by_class_groups() {
         let m = PowerModel::virtex2pro();
         let mut bill = EnergyBill::new();
-        bill.charge("a0", ComponentClass::Mac, &m, &mac_area(), 100.0, 0.3, 10, 0);
-        bill.charge("a1", ComponentClass::Mac, &m, &mac_area(), 100.0, 0.3, 10, 0);
+        bill.charge(
+            "a0",
+            ComponentClass::Mac,
+            &m,
+            &mac_area(),
+            100.0,
+            0.3,
+            10,
+            0,
+        );
+        bill.charge(
+            "a1",
+            ComponentClass::Mac,
+            &m,
+            &mac_area(),
+            100.0,
+            0.3,
+            10,
+            0,
+        );
         bill.charge_raw("pads", ComponentClass::Io, 5.0);
         let g = bill.by_class();
         assert_eq!(g.len(), 2);

@@ -103,7 +103,13 @@ mod tests {
     use super::*;
 
     fn unit_area() -> AreaCost {
-        AreaCost { luts: 800.0, ffs: 900.0, bmults: 4, brams: 0, routing_slices: 0.0 }
+        AreaCost {
+            luts: 800.0,
+            ffs: 900.0,
+            bmults: 4,
+            brams: 0,
+            routing_slices: 0.0,
+        }
     }
 
     #[test]
@@ -147,8 +153,14 @@ mod tests {
         // The Figure 3 shape: power grows with pipeline depth because
         // registers (and the clock tree driving them) grow.
         let m = PowerModel::virtex2pro();
-        let shallow = AreaCost { ffs: 200.0, ..unit_area() };
-        let deep = AreaCost { ffs: 2000.0, ..unit_area() };
+        let shallow = AreaCost {
+            ffs: 200.0,
+            ..unit_area()
+        };
+        let deep = AreaCost {
+            ffs: 2000.0,
+            ..unit_area()
+        };
         let ps = m.power_mw(&shallow, 100.0, 0.3).total_mw();
         let pd = m.power_mw(&deep, 100.0, 0.3).total_mw();
         assert!(pd > ps * 1.5, "deep {pd} vs shallow {ps}");

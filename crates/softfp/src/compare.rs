@@ -127,8 +127,16 @@ mod tests {
 
     #[test]
     fn lt_works() {
-        assert!(lt(F32, (-2.0f32).to_bits() as u64, (1.0f32).to_bits() as u64));
-        assert!(!lt(F32, (1.0f32).to_bits() as u64, (1.0f32).to_bits() as u64));
+        assert!(lt(
+            F32,
+            (-2.0f32).to_bits() as u64,
+            (1.0f32).to_bits() as u64
+        ));
+        assert!(!lt(
+            F32,
+            (1.0f32).to_bits() as u64,
+            (1.0f32).to_bits() as u64
+        ));
     }
 
     #[test]

@@ -58,7 +58,12 @@ pub fn from_f32(fmt: FpFormat, x: f32) -> (u64, Flags) {
     if x.is_nan() {
         return (fmt.pack(false, fmt.inf_biased_exp(), 0), Flags::invalid());
     }
-    convert(FpFormat::SINGLE, x.to_bits() as u64, fmt, RoundMode::NearestEven)
+    convert(
+        FpFormat::SINGLE,
+        x.to_bits() as u64,
+        fmt,
+        RoundMode::NearestEven,
+    )
 }
 
 /// Encode a value of format `fmt` as an `f64`.
@@ -87,7 +92,7 @@ mod tests {
 
     #[test]
     fn f64_roundtrip_is_exact_for_paper_formats() {
-        for &x in &[0.0f64, 1.0, -1.5, 3.141592653589793, 1e-30, -1e30] {
+        for &x in &[0.0f64, 1.0, -1.5, std::f64::consts::PI, 1e-30, -1e30] {
             // double → double
             let (b, f) = from_f64(F64, x);
             assert_eq!(f64::from_bits(b), x);
@@ -97,7 +102,15 @@ mod tests {
 
     #[test]
     fn widening_is_exact() {
-        for &x in &[1.0f32, -2.5, 3.14159, 1e-20, 1e20, f32::MAX, f32::MIN_POSITIVE] {
+        for &x in &[
+            1.0f32,
+            -2.5,
+            std::f32::consts::PI,
+            1e-20,
+            1e20,
+            f32::MAX,
+            f32::MIN_POSITIVE,
+        ] {
             let (b48, f) = from_f32(F48, x);
             assert!(!f.any(), "{x}");
             assert_eq!(to_f64(F48, b48), x as f64, "{x}");

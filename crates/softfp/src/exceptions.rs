@@ -41,27 +41,44 @@ impl Flags {
 
     /// Construct the overflow flag (overflow implies inexact).
     pub const fn overflow() -> Flags {
-        Flags { overflow: true, inexact: true, ..Self::NONE }
+        Flags {
+            overflow: true,
+            inexact: true,
+            ..Self::NONE
+        }
     }
 
     /// Construct the underflow flag (underflow-to-zero implies inexact).
     pub const fn underflow() -> Flags {
-        Flags { underflow: true, inexact: true, ..Self::NONE }
+        Flags {
+            underflow: true,
+            inexact: true,
+            ..Self::NONE
+        }
     }
 
     /// Construct the invalid flag.
     pub const fn invalid() -> Flags {
-        Flags { invalid: true, ..Self::NONE }
+        Flags {
+            invalid: true,
+            ..Self::NONE
+        }
     }
 
     /// Construct the inexact flag.
     pub const fn inexact() -> Flags {
-        Flags { inexact: true, ..Self::NONE }
+        Flags {
+            inexact: true,
+            ..Self::NONE
+        }
     }
 
     /// Construct the divide-by-zero flag.
     pub const fn div_by_zero() -> Flags {
-        Flags { div_by_zero: true, ..Self::NONE }
+        Flags {
+            div_by_zero: true,
+            ..Self::NONE
+        }
     }
 
     /// True if any flag is raised.

@@ -24,11 +24,20 @@ pub struct FpFormat {
 
 impl FpFormat {
     /// IEEE 754 single precision layout (1 + 8 + 23).
-    pub const SINGLE: FpFormat = FpFormat { exp_bits: 8, frac_bits: 23 };
+    pub const SINGLE: FpFormat = FpFormat {
+        exp_bits: 8,
+        frac_bits: 23,
+    };
     /// The paper's intermediate 48-bit precision (1 + 11 + 36).
-    pub const FP48: FpFormat = FpFormat { exp_bits: 11, frac_bits: 36 };
+    pub const FP48: FpFormat = FpFormat {
+        exp_bits: 11,
+        frac_bits: 36,
+    };
     /// IEEE 754 double precision layout (1 + 11 + 52).
-    pub const DOUBLE: FpFormat = FpFormat { exp_bits: 11, frac_bits: 52 };
+    pub const DOUBLE: FpFormat = FpFormat {
+        exp_bits: 11,
+        frac_bits: 52,
+    };
 
     /// The three precisions evaluated throughout the paper.
     pub const PAPER_PRECISIONS: [FpFormat; 3] = [Self::SINGLE, Self::FP48, Self::DOUBLE];
@@ -38,10 +47,19 @@ impl FpFormat {
     /// # Panics
     /// Panics if the field widths violate the invariants listed on the type.
     pub const fn new(exp_bits: u32, frac_bits: u32) -> FpFormat {
-        assert!(exp_bits >= 2 && exp_bits <= 15, "exponent width out of range");
-        assert!(frac_bits >= 2 && frac_bits <= 56, "fraction width out of range");
+        assert!(
+            exp_bits >= 2 && exp_bits <= 15,
+            "exponent width out of range"
+        );
+        assert!(
+            frac_bits >= 2 && frac_bits <= 56,
+            "fraction width out of range"
+        );
         assert!(1 + exp_bits + frac_bits <= 64, "format wider than 64 bits");
-        FpFormat { exp_bits, frac_bits }
+        FpFormat {
+            exp_bits,
+            frac_bits,
+        }
     }
 
     /// Checked constructor for use with untrusted widths.
@@ -50,7 +68,10 @@ impl FpFormat {
             && (2..=56).contains(&frac_bits)
             && 1 + exp_bits + frac_bits <= 64
         {
-            Some(FpFormat { exp_bits, frac_bits })
+            Some(FpFormat {
+                exp_bits,
+                frac_bits,
+            })
         } else {
             None
         }
@@ -238,11 +259,11 @@ mod tests {
     #[test]
     fn pack_unpack_roundtrip() {
         let f = FpFormat::FP48;
-        let bits = f.pack(true, 0x3ff, 0x1234_5678_9);
+        let bits = f.pack(true, 0x3ff, 0x1_2345_6789);
         let (s, e, m) = f.unpack_fields(bits);
         assert!(s);
         assert_eq!(e, 0x3ff);
-        assert_eq!(m, 0x1234_5678_9);
+        assert_eq!(m, 0x1_2345_6789);
     }
 
     #[test]

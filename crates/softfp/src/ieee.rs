@@ -58,13 +58,28 @@ impl IeeeUnpacked {
         let (sign, biased, frac) = fmt.unpack_fields(bits);
         if biased == fmt.inf_biased_exp() {
             if frac == 0 {
-                IeeeUnpacked { sign, exp: 0, sig: 0, class: IeeeClass::Inf }
+                IeeeUnpacked {
+                    sign,
+                    exp: 0,
+                    sig: 0,
+                    class: IeeeClass::Inf,
+                }
             } else {
-                IeeeUnpacked { sign, exp: 0, sig: 0, class: IeeeClass::Nan }
+                IeeeUnpacked {
+                    sign,
+                    exp: 0,
+                    sig: 0,
+                    class: IeeeClass::Nan,
+                }
             }
         } else if biased == 0 {
             if frac == 0 {
-                IeeeUnpacked { sign, exp: 0, sig: 0, class: IeeeClass::Zero }
+                IeeeUnpacked {
+                    sign,
+                    exp: 0,
+                    sig: 0,
+                    class: IeeeClass::Zero,
+                }
             } else {
                 // Denormal: value = frac · 2^(min_exp − frac_bits).
                 // Normalize so the arithmetic sees a hidden-bit form.
@@ -135,8 +150,18 @@ pub fn ieee_add(fmt: FpFormat, a: u64, b: u64, mode: RoundMode) -> (u64, Flags) 
     // Reuse the flush-to-zero datapath helpers on the pre-normalized
     // forms; only the exponent range and the pack step differ.
     let (hi, lo) = swap_operands(
-        Unpacked { sign: ua.sign, exp: ua.exp, sig: ua.sig, class: crate::Class::Normal },
-        Unpacked { sign: ub.sign, exp: ub.exp, sig: ub.sig, class: crate::Class::Normal },
+        Unpacked {
+            sign: ua.sign,
+            exp: ua.exp,
+            sig: ua.sig,
+            class: crate::Class::Normal,
+        },
+        Unpacked {
+            sign: ub.sign,
+            exp: ub.exp,
+            sig: ub.sig,
+            class: crate::Class::Normal,
+        },
     );
     let diff = (hi.exp - lo.exp) as u32;
     let hi_sig = (hi.sig as u128) << GRS_BITS;
@@ -220,7 +245,11 @@ pub fn ieee_round_pack(
     mode: RoundMode,
 ) -> (u64, Flags) {
     debug_assert!(mag != 0);
-    debug_assert_eq!(127 - mag.leading_zeros(), fmt.frac_bits() + grs, "not normalized");
+    debug_assert_eq!(
+        127 - mag.leading_zeros(),
+        fmt.frac_bits() + grs,
+        "not normalized"
+    );
 
     if exp > fmt.max_exp() {
         let flags = Flags::overflow();
@@ -284,7 +313,10 @@ pub fn ieee_round_pack(
         (bits, flags)
     } else {
         debug_assert!(rounded >> fmt.frac_bits() == 1);
-        (fmt.pack(sign, (exp + fmt.bias()) as u64, rounded & fmt.frac_mask()), flags)
+        (
+            fmt.pack(sign, (exp + fmt.bias()) as u64, rounded & fmt.frac_mask()),
+            flags,
+        )
     }
 }
 
@@ -295,12 +327,22 @@ mod tests {
     const F32: FpFormat = FpFormat::SINGLE;
 
     fn add32(a: f32, b: f32) -> (f32, Flags) {
-        let (bits, f) = ieee_add(F32, a.to_bits() as u64, b.to_bits() as u64, RoundMode::NearestEven);
+        let (bits, f) = ieee_add(
+            F32,
+            a.to_bits() as u64,
+            b.to_bits() as u64,
+            RoundMode::NearestEven,
+        );
         (f32::from_bits(bits as u32), f)
     }
 
     fn mul32(a: f32, b: f32) -> (f32, Flags) {
-        let (bits, f) = ieee_mul(F32, a.to_bits() as u64, b.to_bits() as u64, RoundMode::NearestEven);
+        let (bits, f) = ieee_mul(
+            F32,
+            a.to_bits() as u64,
+            b.to_bits() as u64,
+            RoundMode::NearestEven,
+        );
         (f32::from_bits(bits as u32), f)
     }
 
@@ -315,9 +357,18 @@ mod tests {
 
     #[test]
     fn unpack_nan_and_inf() {
-        assert_eq!(IeeeUnpacked::from_bits(F32, 0x7fc0_0000).class, IeeeClass::Nan);
-        assert_eq!(IeeeUnpacked::from_bits(F32, 0x7f80_0001).class, IeeeClass::Nan);
-        assert_eq!(IeeeUnpacked::from_bits(F32, 0x7f80_0000).class, IeeeClass::Inf);
+        assert_eq!(
+            IeeeUnpacked::from_bits(F32, 0x7fc0_0000).class,
+            IeeeClass::Nan
+        );
+        assert_eq!(
+            IeeeUnpacked::from_bits(F32, 0x7f80_0001).class,
+            IeeeClass::Nan
+        );
+        assert_eq!(
+            IeeeUnpacked::from_bits(F32, 0x7f80_0000).class,
+            IeeeClass::Inf
+        );
         assert!(is_nan(F32, quiet_nan(F32)));
     }
 
@@ -339,7 +390,12 @@ mod tests {
         assert_eq!(got.to_bits(), (a - b).to_bits());
         assert!(got != 0.0, "gradual underflow must preserve the difference");
         // ... and the flush-to-zero core indeed loses it:
-        let (ftz, _) = crate::add_bits(F32, a.to_bits() as u64, (-b).to_bits() as u64, RoundMode::NearestEven);
+        let (ftz, _) = crate::add_bits(
+            F32,
+            a.to_bits() as u64,
+            (-b).to_bits() as u64,
+            RoundMode::NearestEven,
+        );
         assert_eq!(ftz, 0);
     }
 
@@ -401,8 +457,18 @@ mod tests {
     fn normals_still_match_ftz_mode() {
         // On normal-in/normal-out cases the two modes agree bit for bit.
         for &(x, y) in &[(1.5f32, 2.25f32), (-3.0, 7.5), (1e20, -2e19)] {
-            let (ieee, _) = ieee_add(F32, x.to_bits() as u64, y.to_bits() as u64, RoundMode::NearestEven);
-            let (ftz, _) = crate::add_bits(F32, x.to_bits() as u64, y.to_bits() as u64, RoundMode::NearestEven);
+            let (ieee, _) = ieee_add(
+                F32,
+                x.to_bits() as u64,
+                y.to_bits() as u64,
+                RoundMode::NearestEven,
+            );
+            let (ftz, _) = crate::add_bits(
+                F32,
+                x.to_bits() as u64,
+                y.to_bits() as u64,
+                RoundMode::NearestEven,
+            );
             assert_eq!(ieee, ftz, "{x} + {y}");
         }
     }
@@ -424,7 +490,12 @@ mod tests {
 
     #[test]
     fn sub_via_sign_flip() {
-        let (bits, _) = ieee_sub(F32, 5.0f32.to_bits() as u64, 3.0f32.to_bits() as u64, RoundMode::NearestEven);
+        let (bits, _) = ieee_sub(
+            F32,
+            5.0f32.to_bits() as u64,
+            3.0f32.to_bits() as u64,
+            RoundMode::NearestEven,
+        );
         assert_eq!(f32::from_bits(bits as u32), 2.0);
     }
 }

@@ -23,19 +23,14 @@ pub fn to_i64(fmt: FpFormat, bits: u64, mode: RoundMode) -> (i64, Flags) {
     let u = Unpacked::from_bits(fmt, bits);
     match u.class {
         Class::Zero => (0, Flags::NONE),
-        Class::Inf => {
-            (if u.sign { i64::MIN } else { i64::MAX }, Flags::invalid())
-        }
+        Class::Inf => (if u.sign { i64::MIN } else { i64::MAX }, Flags::invalid()),
         Class::Normal => {
             let f = fmt.frac_bits() as i32;
             // value = sig · 2^(exp − f)
             let shift = u.exp - f;
             let (mag, inexact) = if shift >= 0 {
                 if shift >= 64 || (u.sig as u128) << shift > i64::MAX as u128 + 1 {
-                    return (
-                        if u.sign { i64::MIN } else { i64::MAX },
-                        Flags::invalid(),
-                    );
+                    return (if u.sign { i64::MIN } else { i64::MAX }, Flags::invalid());
                 }
                 ((u.sig as u128) << shift, false)
             } else {
@@ -49,7 +44,11 @@ pub fn to_i64(fmt: FpFormat, bits: u64, mode: RoundMode) -> (i64, Flags) {
                 } else {
                     let kept = u.sig >> s;
                     let guard = (u.sig >> (s - 1)) & 1;
-                    let below = if s >= 2 { u.sig & ((1u64 << (s - 1)) - 1) != 0 } else { false };
+                    let below = if s >= 2 {
+                        u.sig & ((1u64 << (s - 1)) - 1) != 0
+                    } else {
+                        false
+                    };
                     (kept, guard, below)
                 };
                 let inexact = guard == 1 || sticky;
@@ -65,7 +64,11 @@ pub fn to_i64(fmt: FpFormat, bits: u64, mode: RoundMode) -> (i64, Flags) {
                 };
                 (rounded as u128, inexact)
             };
-            let limit = if u.sign { 1u128 << 63 } else { (1u128 << 63) - 1 };
+            let limit = if u.sign {
+                1u128 << 63
+            } else {
+                (1u128 << 63) - 1
+            };
             if mag > limit {
                 return (if u.sign { i64::MIN } else { i64::MAX }, Flags::invalid());
             }
@@ -113,14 +116,22 @@ pub fn to_fixed(fmt: FpFormat, bits: u64, frac_bits_out: u32, mode: RoundMode) -
             if scaled_exp + fmt.bias() < 1 {
                 // Underflows the encodable exponent range: the value is
                 // far below one fixed-point LSB.
-                let flags = if u.sig != 0 { Flags::inexact() } else { Flags::NONE };
+                let flags = if u.sig != 0 {
+                    Flags::inexact()
+                } else {
+                    Flags::NONE
+                };
                 return (0, flags);
             }
             if scaled_exp > fmt.max_exp() {
                 // Cannot re-encode; convert via direct arithmetic.
                 return saturate_wide(u, frac_bits_out);
             }
-            let scaled = fmt.pack(u.sign, (scaled_exp + fmt.bias()) as u64, u.sig & fmt.frac_mask());
+            let scaled = fmt.pack(
+                u.sign,
+                (scaled_exp + fmt.bias()) as u64,
+                u.sig & fmt.frac_mask(),
+            );
             to_i64(fmt, scaled, mode)
         }
     }

@@ -271,8 +271,22 @@ mod tests {
     #[test]
     fn matches_native_f32_on_samples() {
         let samples = [
-            0.0f32, 1.0, -1.0, 0.5, 3.14159, -2.71828, 1e10, -1e10, 1e-10, 123456.78, 0.000123,
-            -99999.9, 1.0000001, 0.9999999, 8388608.0, 16777216.0,
+            0.0f32,
+            1.0,
+            -1.0,
+            0.5,
+            std::f32::consts::PI,
+            -std::f32::consts::E,
+            1e10,
+            -1e10,
+            1e-10,
+            123456.78,
+            0.000123,
+            -99999.9,
+            1.0000001,
+            0.9999999,
+            8388608.0,
+            16777216.0,
         ];
         for &x in &samples {
             for &y in &samples {
@@ -286,8 +300,17 @@ mod tests {
     #[test]
     fn matches_native_f64_on_samples() {
         let samples = [
-            0.0f64, 1.0, -1.0, 0.5, 3.14159265358979, -2.718281828, 1e100, -1e100, 1e-100,
-            123456.789012345, 4503599627370496.0,
+            0.0f64,
+            1.0,
+            -1.0,
+            0.5,
+            std::f64::consts::PI,
+            -std::f64::consts::E,
+            1e100,
+            -1e100,
+            1e-100,
+            123456.789012345,
+            4503599627370496.0,
         ];
         for &x in &samples {
             for &y in &samples {
@@ -313,13 +336,33 @@ mod tests {
 
     #[test]
     fn swap_orders_by_exp_then_sig() {
-        let big = Unpacked { sign: false, exp: 3, sig: 1 << 23, class: Class::Normal };
-        let small = Unpacked { sign: true, exp: 1, sig: (1 << 23) + 5, class: Class::Normal };
+        let big = Unpacked {
+            sign: false,
+            exp: 3,
+            sig: 1 << 23,
+            class: Class::Normal,
+        };
+        let small = Unpacked {
+            sign: true,
+            exp: 1,
+            sig: (1 << 23) + 5,
+            class: Class::Normal,
+        };
         let (h, l) = swap_operands(small, big);
         assert_eq!(h.exp, 3);
         assert_eq!(l.exp, 1);
-        let tie_a = Unpacked { sign: false, exp: 2, sig: (1 << 23) + 7, class: Class::Normal };
-        let tie_b = Unpacked { sign: true, exp: 2, sig: (1 << 23) + 9, class: Class::Normal };
+        let tie_a = Unpacked {
+            sign: false,
+            exp: 2,
+            sig: (1 << 23) + 7,
+            class: Class::Normal,
+        };
+        let tie_b = Unpacked {
+            sign: true,
+            exp: 2,
+            sig: (1 << 23) + 9,
+            class: Class::Normal,
+        };
         let (h, _) = swap_operands(tie_a, tie_b);
         assert_eq!(h.sig, (1 << 23) + 9);
     }

@@ -90,7 +90,10 @@ pub fn quotient_recurrence(fmt: FpFormat, sig_a: u64, sig_b: u64, exp: i32) -> (
     };
     let q = num / sig_b as u128;
     let r = num % sig_b as u128;
-    debug_assert!(q >> (f + DIV_GRS_BITS) == 1, "quotient not normalized: {q:#x}");
+    debug_assert!(
+        q >> (f + DIV_GRS_BITS) == 1,
+        "quotient not normalized: {q:#x}"
+    );
     // Jam the remainder's sticky into the low bit: the truncated quotient
     // is exact iff r == 0, and jamming keeps round-to-nearest ties honest
     // (same parity argument as the adder's alignment sticky).
@@ -105,7 +108,12 @@ mod tests {
     const F64: FpFormat = FpFormat::DOUBLE;
 
     fn div_f32(a: f32, b: f32) -> (f32, Flags) {
-        let (bits, flags) = div(F32, a.to_bits() as u64, b.to_bits() as u64, RoundMode::NearestEven);
+        let (bits, flags) = div(
+            F32,
+            a.to_bits() as u64,
+            b.to_bits() as u64,
+            RoundMode::NearestEven,
+        );
         (f32::from_bits(bits as u32), flags)
     }
 
@@ -164,8 +172,21 @@ mod tests {
     #[test]
     fn matches_native_f32_on_samples() {
         let samples = [
-            1.0f32, -1.0, 0.5, 3.14159, -2.71828, 1e10, 1e-10, 123456.78, 0.000123, -99999.9,
-            1.0000001, 0.9999999, 7.0, 10.0, 0.1,
+            1.0f32,
+            -1.0,
+            0.5,
+            std::f32::consts::PI,
+            -std::f32::consts::E,
+            1e10,
+            1e-10,
+            123456.78,
+            0.000123,
+            -99999.9,
+            1.0000001,
+            0.9999999,
+            7.0,
+            10.0,
+            0.1,
         ];
         for &x in &samples {
             for &y in &samples {
@@ -177,7 +198,16 @@ mod tests {
 
     #[test]
     fn matches_native_f64_on_samples() {
-        let samples = [1.0f64, 3.0, -7.0, 0.1, 1e200, 1e-200, 2.718281828459045, 1e8 + 0.5];
+        let samples = [
+            1.0f64,
+            3.0,
+            -7.0,
+            0.1,
+            1e200,
+            1e-200,
+            std::f64::consts::E,
+            1e8 + 0.5,
+        ];
         for &x in &samples {
             for &y in &samples {
                 let (bits, _) = div(F64, x.to_bits(), y.to_bits(), RoundMode::NearestEven);
@@ -188,9 +218,18 @@ mod tests {
 
     #[test]
     fn truncation_rounds_toward_zero() {
-        let (t, _) = div(F32, 1.0f32.to_bits() as u64, 3.0f32.to_bits() as u64, RoundMode::Truncate);
-        let (n, _) =
-            div(F32, 1.0f32.to_bits() as u64, 3.0f32.to_bits() as u64, RoundMode::NearestEven);
+        let (t, _) = div(
+            F32,
+            1.0f32.to_bits() as u64,
+            3.0f32.to_bits() as u64,
+            RoundMode::Truncate,
+        );
+        let (n, _) = div(
+            F32,
+            1.0f32.to_bits() as u64,
+            3.0f32.to_bits() as u64,
+            RoundMode::NearestEven,
+        );
         let (t, n) = (f32::from_bits(t as u32), f32::from_bits(n as u32));
         assert!(t <= n);
         assert!((n - t).abs() <= f32::EPSILON);
@@ -198,7 +237,7 @@ mod tests {
 
     #[test]
     fn division_by_one_is_identity() {
-        for &x in &[1.0f32, -2.5, 3.14159, 1e-20, 1e20] {
+        for &x in &[1.0f32, -2.5, std::f32::consts::PI, 1e-20, 1e20] {
             assert_eq!(div_f32(x, 1.0).0.to_bits(), x.to_bits(), "{x}");
         }
     }

@@ -161,7 +161,12 @@ mod tests {
         let c = -1.0f32;
         let fused = fma32(a, b, c);
         let two_step = {
-            let (p, _) = crate::mul_bits(F32, a.to_bits() as u64, b.to_bits() as u64, RoundMode::NearestEven);
+            let (p, _) = crate::mul_bits(
+                F32,
+                a.to_bits() as u64,
+                b.to_bits() as u64,
+                RoundMode::NearestEven,
+            );
             let (s, _) = crate::add_bits(F32, p, c.to_bits() as u64, RoundMode::NearestEven);
             f32::from_bits(s as u32)
         };
@@ -171,7 +176,9 @@ mod tests {
 
     #[test]
     fn matches_native_fma_samples() {
-        let vals = [1.0f32, -1.5, 3.25, 0.1, 7e5, -2e-5, 123.456, 1e10, 1e-10, 0.333333];
+        let vals = [
+            1.0f32, -1.5, 3.25, 0.1, 7e5, -2e-5, 123.456, 1e10, 1e-10, 0.333333,
+        ];
         for &a in &vals {
             for &b in &vals {
                 for &c in &vals {
@@ -187,7 +194,15 @@ mod tests {
 
     #[test]
     fn matches_native_fma_f64_samples() {
-        let vals = [1.0f64, -2.5, 0.1, 1e100, 1e-100, 3.14159265358979, -7.25e8];
+        let vals = [
+            1.0f64,
+            -2.5,
+            0.1,
+            1e100,
+            1e-100,
+            std::f64::consts::PI,
+            -7.25e8,
+        ];
         for &a in &vals {
             for &b in &vals {
                 for &c in &vals {
@@ -195,7 +210,13 @@ mod tests {
                     if native.is_nan() || (native != 0.0 && native.abs() <= f64::MIN_POSITIVE) {
                         continue;
                     }
-                    let (bits, _) = fma(F64, a.to_bits(), b.to_bits(), c.to_bits(), RoundMode::NearestEven);
+                    let (bits, _) = fma(
+                        F64,
+                        a.to_bits(),
+                        b.to_bits(),
+                        c.to_bits(),
+                        RoundMode::NearestEven,
+                    );
                     assert_eq!(f64::from_bits(bits), native, "{a}*{b}+{c}");
                 }
             }
@@ -253,8 +274,14 @@ mod tests {
     fn huge_addend_dominates() {
         let r = fma32(1e-20, 1e-20, 1e20);
         assert_eq!(r, 1e20f32.mul_add(1.0, 0.0).max(1e20)); // = 1e20
-        // ...but the product's sign still perturbs ties correctly:
-        assert_eq!(fma32(1e-20, 1e-20, 1e20).to_bits(), (1e-20f32).mul_add(1e-20, 1e20).to_bits());
-        assert_eq!(fma32(-1e-20, 1e-20, 1e20).to_bits(), (-1e-20f32).mul_add(1e-20, 1e20).to_bits());
+                                                            // ...but the product's sign still perturbs ties correctly:
+        assert_eq!(
+            fma32(1e-20, 1e-20, 1e20).to_bits(),
+            (1e-20f32).mul_add(1e-20, 1e20).to_bits()
+        );
+        assert_eq!(
+            fma32(-1e-20, 1e-20, 1e20).to_bits(),
+            (-1e-20f32).mul_add(1e-20, 1e20).to_bits()
+        );
     }
 }

@@ -80,7 +80,12 @@ mod tests {
     const F64: FpFormat = FpFormat::DOUBLE;
 
     fn mul_f32(a: f32, b: f32) -> (f32, Flags) {
-        let (bits, flags) = mul(F32, a.to_bits() as u64, b.to_bits() as u64, RoundMode::NearestEven);
+        let (bits, flags) = mul(
+            F32,
+            a.to_bits() as u64,
+            b.to_bits() as u64,
+            RoundMode::NearestEven,
+        );
         (f32::from_bits(bits as u32), flags)
     }
 
@@ -144,15 +149,32 @@ mod tests {
     #[test]
     fn matches_native_f32_on_samples() {
         let samples = [
-            0.0f32, 1.0, -1.0, 0.5, 3.14159, -2.71828, 1e10, -1e10, 1e-10, 123456.78, 0.000123,
-            -99999.9, 1.0000001, 0.9999999, 8388608.0,
+            0.0f32,
+            1.0,
+            -1.0,
+            0.5,
+            std::f32::consts::PI,
+            -std::f32::consts::E,
+            1e10,
+            -1e10,
+            1e-10,
+            123456.78,
+            0.000123,
+            -99999.9,
+            1.0000001,
+            0.9999999,
+            8388608.0,
         ];
         for &x in &samples {
             for &y in &samples {
                 let (got, _) = mul_f32(x, y);
                 let want = x * y;
                 // Native may produce denormals; the cores flush to zero.
-                let want = if want != 0.0 && want.abs() < f32::MIN_POSITIVE { 0.0 * want } else { want };
+                let want = if want != 0.0 && want.abs() < f32::MIN_POSITIVE {
+                    0.0 * want
+                } else {
+                    want
+                };
                 assert_eq!(got.to_bits(), want.to_bits(), "{x} * {y}");
             }
         }
@@ -161,7 +183,15 @@ mod tests {
     #[test]
     fn matches_native_f64_on_samples() {
         let samples = [
-            0.0f64, 1.0, -1.0, 0.5, 3.14159265358979, 1e100, -1e100, 1e-100, 9.87654321e8,
+            0.0f64,
+            1.0,
+            -1.0,
+            0.5,
+            std::f64::consts::PI,
+            1e100,
+            -1e100,
+            1e-100,
+            9.87654321e8,
         ];
         for &x in &samples {
             for &y in &samples {
@@ -176,10 +206,20 @@ mod tests {
         // 3 * (1/3-ish) — inexact product truncates toward zero.
         let a = 0.333_333_34f32;
         let exact_ne = {
-            let (bits, _) = mul(F32, a.to_bits() as u64, 3.0f32.to_bits() as u64, RoundMode::NearestEven);
+            let (bits, _) = mul(
+                F32,
+                a.to_bits() as u64,
+                3.0f32.to_bits() as u64,
+                RoundMode::NearestEven,
+            );
             f32::from_bits(bits as u32)
         };
-        let (bits, flags) = mul(F32, a.to_bits() as u64, 3.0f32.to_bits() as u64, RoundMode::Truncate);
+        let (bits, flags) = mul(
+            F32,
+            a.to_bits() as u64,
+            3.0f32.to_bits() as u64,
+            RoundMode::Truncate,
+        );
         let trunc = f32::from_bits(bits as u32);
         assert!(trunc <= exact_ne);
         assert!(flags.inexact);

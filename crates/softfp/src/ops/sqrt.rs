@@ -89,7 +89,7 @@ pub fn isqrt_u128(x: u128) -> u128 {
     for _ in 0..4 {
         r = ((r + x / r) >> 1).clamp(1, max_root);
     }
-    let sq_gt = |r: u128| r.checked_mul(r).map_or(true, |rr| rr > x);
+    let sq_gt = |r: u128| r.checked_mul(r).is_none_or(|rr| rr > x);
     while sq_gt(r) {
         r -= 1;
     }
@@ -151,8 +151,19 @@ mod tests {
     #[test]
     fn matches_native_f32_on_samples() {
         let samples = [
-            2.0f32, 3.0, 0.5, 3.14159, 1e10, 1e-10, 123456.78, 0.000123, 99999.9, 1.0000001,
-            0.9999999, 7.0, 1.5e-38,
+            2.0f32,
+            3.0,
+            0.5,
+            std::f32::consts::PI,
+            1e10,
+            1e-10,
+            123456.78,
+            0.000123,
+            99999.9,
+            1.0000001,
+            0.9999999,
+            7.0,
+            1.5e-38,
         ];
         for &x in &samples {
             let (got, _) = sqrt_f32(x);

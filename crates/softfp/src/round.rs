@@ -94,7 +94,11 @@ pub fn round_sig(fmt: FpFormat, sig: u128, grs_bits: u32, mode: RoundMode) -> Ro
         rounded >>= 1;
         carry = true;
     }
-    RoundedSig { sig: rounded, exp_carry: carry, inexact }
+    RoundedSig {
+        sig: rounded,
+        exp_carry: carry,
+        inexact,
+    }
 }
 
 /// Result of [`round_sig`].

@@ -45,10 +45,20 @@ impl Unpacked {
         if biased == fmt.inf_biased_exp() {
             // The cores reserve the all-ones exponent for infinity; any
             // fraction payload is ignored (no NaNs).
-            Unpacked { sign, exp: 0, sig: 0, class: Class::Inf }
+            Unpacked {
+                sign,
+                exp: 0,
+                sig: 0,
+                class: Class::Inf,
+            }
         } else if biased == 0 {
             // True zero and denormals both flush to zero.
-            Unpacked { sign, exp: 0, sig: 0, class: Class::Zero }
+            Unpacked {
+                sign,
+                exp: 0,
+                sig: 0,
+                class: Class::Zero,
+            }
         } else {
             Unpacked {
                 sign,
@@ -61,12 +71,22 @@ impl Unpacked {
 
     /// Positive or negative zero.
     pub fn zero(sign: bool) -> Unpacked {
-        Unpacked { sign, exp: 0, sig: 0, class: Class::Zero }
+        Unpacked {
+            sign,
+            exp: 0,
+            sig: 0,
+            class: Class::Zero,
+        }
     }
 
     /// Positive or negative infinity.
     pub fn inf(sign: bool) -> Unpacked {
-        Unpacked { sign, exp: 0, sig: 0, class: Class::Inf }
+        Unpacked {
+            sign,
+            exp: 0,
+            sig: 0,
+            class: Class::Inf,
+        }
     }
 
     /// Re-encode. For `Normal`, the caller guarantees the significand is
@@ -77,7 +97,10 @@ impl Unpacked {
             Class::Zero => fmt.pack(self.sign, 0, 0),
             Class::Inf => fmt.pack(self.sign, fmt.inf_biased_exp(), 0),
             Class::Normal => {
-                debug_assert!(self.sig >> fmt.frac_bits() == 1, "significand not normalized");
+                debug_assert!(
+                    self.sig >> fmt.frac_bits() == 1,
+                    "significand not normalized"
+                );
                 let biased = (self.exp + fmt.bias()) as u64;
                 debug_assert!(
                     biased >= 1 && biased <= fmt.max_biased_exp(),
@@ -141,7 +164,13 @@ mod tests {
 
     #[test]
     fn roundtrip_normals() {
-        for bits in [0x3f80_0000u64, 0x4049_0fdb, 0x0080_0000, 0x7f7f_ffff, 0xbf00_0000] {
+        for bits in [
+            0x3f80_0000u64,
+            0x4049_0fdb,
+            0x0080_0000,
+            0x7f7f_ffff,
+            0xbf00_0000,
+        ] {
             let u = Unpacked::from_bits(F32, bits);
             assert_eq!(u.to_bits(F32), bits);
         }
@@ -149,8 +178,14 @@ mod tests {
 
     #[test]
     fn roundtrip_specials() {
-        assert_eq!(Unpacked::from_bits(F32, F32.pos_inf()).to_bits(F32), F32.pos_inf());
-        assert_eq!(Unpacked::from_bits(F32, F32.neg_inf()).to_bits(F32), F32.neg_inf());
+        assert_eq!(
+            Unpacked::from_bits(F32, F32.pos_inf()).to_bits(F32),
+            F32.pos_inf()
+        );
+        assert_eq!(
+            Unpacked::from_bits(F32, F32.neg_inf()).to_bits(F32),
+            F32.neg_inf()
+        );
         let neg_zero = 1u64 << 31;
         assert_eq!(Unpacked::from_bits(F32, neg_zero).to_bits(F32), neg_zero);
     }

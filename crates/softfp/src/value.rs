@@ -24,7 +24,10 @@ pub struct SoftFloat {
 impl SoftFloat {
     /// Wrap raw bits (masked to the format's width).
     pub fn from_bits(fmt: FpFormat, bits: u64) -> SoftFloat {
-        SoftFloat { fmt, bits: bits & fmt.enc_mask() }
+        SoftFloat {
+            fmt,
+            bits: bits & fmt.enc_mask(),
+        }
     }
 
     /// Convert from an `f64`, rounding to nearest. NaN becomes +∞ (the
@@ -47,7 +50,10 @@ impl SoftFloat {
 
     /// One in `fmt`.
     pub fn one(fmt: FpFormat) -> SoftFloat {
-        SoftFloat { fmt, bits: fmt.pack(false, fmt.bias() as u64, 0) }
+        SoftFloat {
+            fmt,
+            bits: fmt.pack(false, fmt.bias() as u64, 0),
+        }
     }
 
     /// The value's format.
@@ -80,34 +86,64 @@ impl SoftFloat {
     pub fn add(&self, rhs: &SoftFloat, mode: RoundMode) -> (SoftFloat, Flags) {
         assert_eq!(self.fmt, rhs.fmt, "format mismatch");
         let (bits, flags) = ops::add::add(self.fmt, self.bits, rhs.bits, mode);
-        (SoftFloat { fmt: self.fmt, bits }, flags)
+        (
+            SoftFloat {
+                fmt: self.fmt,
+                bits,
+            },
+            flags,
+        )
     }
 
     /// `self - rhs`. Panics if formats differ.
     pub fn sub(&self, rhs: &SoftFloat, mode: RoundMode) -> (SoftFloat, Flags) {
         assert_eq!(self.fmt, rhs.fmt, "format mismatch");
         let (bits, flags) = ops::add::sub(self.fmt, self.bits, rhs.bits, mode);
-        (SoftFloat { fmt: self.fmt, bits }, flags)
+        (
+            SoftFloat {
+                fmt: self.fmt,
+                bits,
+            },
+            flags,
+        )
     }
 
     /// `self * rhs`. Panics if formats differ.
     pub fn mul(&self, rhs: &SoftFloat, mode: RoundMode) -> (SoftFloat, Flags) {
         assert_eq!(self.fmt, rhs.fmt, "format mismatch");
         let (bits, flags) = ops::mul::mul(self.fmt, self.bits, rhs.bits, mode);
-        (SoftFloat { fmt: self.fmt, bits }, flags)
+        (
+            SoftFloat {
+                fmt: self.fmt,
+                bits,
+            },
+            flags,
+        )
     }
 
     /// `self / rhs`. Panics if formats differ.
     pub fn div(&self, rhs: &SoftFloat, mode: RoundMode) -> (SoftFloat, Flags) {
         assert_eq!(self.fmt, rhs.fmt, "format mismatch");
         let (bits, flags) = ops::div::div(self.fmt, self.bits, rhs.bits, mode);
-        (SoftFloat { fmt: self.fmt, bits }, flags)
+        (
+            SoftFloat {
+                fmt: self.fmt,
+                bits,
+            },
+            flags,
+        )
     }
 
     /// `sqrt(self)`.
     pub fn sqrt(&self, mode: RoundMode) -> (SoftFloat, Flags) {
         let (bits, flags) = ops::sqrt::sqrt(self.fmt, self.bits, mode);
-        (SoftFloat { fmt: self.fmt, bits }, flags)
+        (
+            SoftFloat {
+                fmt: self.fmt,
+                bits,
+            },
+            flags,
+        )
     }
 
     /// Fused-by-sequence multiply-accumulate `self + a*b` with both steps
@@ -159,7 +195,13 @@ impl SoftFloat {
 
 impl fmt::Debug for SoftFloat {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SoftFloat<{}>({} = {:#x})", self.fmt, self.to_f64(), self.bits)
+        write!(
+            f,
+            "SoftFloat<{}>({} = {:#x})",
+            self.fmt,
+            self.to_f64(),
+            self.bits
+        )
     }
 }
 

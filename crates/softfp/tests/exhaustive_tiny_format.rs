@@ -17,7 +17,11 @@ const FMT: FpFormat = FpFormat::new(3, 4);
 #[derive(Clone, Copy, Debug, PartialEq)]
 enum Exact {
     /// num / 2^scale; num == 0 encodes a (signed) zero.
-    Finite { num: i128, scale: u32, sign: bool },
+    Finite {
+        num: i128,
+        scale: u32,
+        sign: bool,
+    },
     Inf(bool),
 }
 
@@ -29,13 +33,25 @@ fn decode(bits: u64) -> Exact {
         return Exact::Inf(sign);
     }
     if e == 0 {
-        return Exact::Finite { num: 0, scale: 0, sign };
+        return Exact::Finite {
+            num: 0,
+            scale: 0,
+            sign,
+        };
     }
     // value = (2^4 + f) · 2^(e - bias - 4)
     let sig = (1i128 << 4) + f as i128;
     let exp = e as i32 - FMT.bias() - 4;
-    let (num, scale) = if exp >= 0 { (sig << exp, 0) } else { (sig, (-exp) as u32) };
-    Exact::Finite { num: if sign { -num } else { num }, scale, sign }
+    let (num, scale) = if exp >= 0 {
+        (sig << exp, 0)
+    } else {
+        (sig, (-exp) as u32)
+    };
+    Exact::Finite {
+        num: if sign { -num } else { num },
+        scale,
+        sign,
+    }
 }
 
 /// Round an exact non-zero rational to the format under the library's
@@ -50,10 +66,14 @@ fn round_exact(num: i128, scale: u32, mode: RoundMode) -> u64 {
     let xn = num.unsigned_abs();
     let msb = 127 - xn.leading_zeros(); // position of the leading one
     let e = msb as i32 - scale as i32; // |x| = m·2^e with m ∈ [1,2)
-    // Significand scaled to 4 fraction bits: q + rem/2^msb with q ∈ [16,32).
+                                       // Significand scaled to 4 fraction bits: q + rem/2^msb with q ∈ [16,32).
     let num16 = xn << 4;
     let mut q = (num16 >> msb) as u64;
-    let rem = if msb == 0 { 0u128 } else { num16 & ((1u128 << msb) - 1) };
+    let rem = if msb == 0 {
+        0u128
+    } else {
+        num16 & ((1u128 << msb) - 1)
+    };
     let mut e = e;
     let round_up = match mode {
         RoundMode::Truncate => false,
@@ -93,18 +113,35 @@ fn oracle(op: char, a: u64, b: u64, mode: RoundMode) -> Option<u64> {
     let fin = |e: &Exact| matches!(e, Finite { .. });
     match op {
         '+' => match (x, y) {
-            (Inf(s1), Inf(s2)) => {
-                Some(if s1 == s2 { FMT.pack(s1, FMT.inf_biased_exp(), 0) } else { FMT.pos_inf() })
-            }
+            (Inf(s1), Inf(s2)) => Some(if s1 == s2 {
+                FMT.pack(s1, FMT.inf_biased_exp(), 0)
+            } else {
+                FMT.pos_inf()
+            }),
             (Inf(s), _) => Some(FMT.pack(s, FMT.inf_biased_exp(), 0)),
             (_, Inf(s)) => Some(FMT.pack(s, FMT.inf_biased_exp(), 0)),
-            (Finite { num: n1, scale: s1, sign: g1 }, Finite { num: n2, scale: s2, sign: g2 }) => {
+            (
+                Finite {
+                    num: n1,
+                    scale: s1,
+                    sign: g1,
+                },
+                Finite {
+                    num: n2,
+                    scale: s2,
+                    sign: g2,
+                },
+            ) => {
                 let s = s1.max(s2);
                 let sum = (n1 << (s - s1)) + (n2 << (s - s2));
                 if sum == 0 {
                     // exact zero: +0 unless both zeros are negative
                     let both_neg_zero = n1 == 0 && n2 == 0 && g1 && g2;
-                    Some(if both_neg_zero { FMT.pack(true, 0, 0) } else { 0 })
+                    Some(if both_neg_zero {
+                        FMT.pack(true, 0, 0)
+                    } else {
+                        0
+                    })
                 } else if n1 == 0 {
                     Some(b) // x + (±0) returns the other operand bit-exactly
                 } else if n2 == 0 {
@@ -120,7 +157,18 @@ fn oracle(op: char, a: u64, b: u64, mode: RoundMode) -> Option<u64> {
             (Inf(s1), Finite { sign, .. }) | (Finite { sign, .. }, Inf(s1)) => {
                 Some(FMT.pack(s1 ^ sign, FMT.inf_biased_exp(), 0))
             }
-            (Finite { num: n1, scale: s1, sign: g1 }, Finite { num: n2, scale: s2, sign: g2 }) => {
+            (
+                Finite {
+                    num: n1,
+                    scale: s1,
+                    sign: g1,
+                },
+                Finite {
+                    num: n2,
+                    scale: s2,
+                    sign: g2,
+                },
+            ) => {
                 if n1 == 0 || n2 == 0 {
                     Some(FMT.pack(g1 ^ g2, 0, 0))
                 } else {
@@ -135,13 +183,26 @@ fn oracle(op: char, a: u64, b: u64, mode: RoundMode) -> Option<u64> {
             (Inf(_), Inf(_)) => Some(FMT.pos_inf()),                   // invalid → +∞
             (Inf(s1), Finite { sign, .. }) => Some(FMT.pack(s1 ^ sign, FMT.inf_biased_exp(), 0)),
             (Finite { sign, .. }, Inf(s2)) => Some(FMT.pack(sign ^ s2, 0, 0)),
-            (Finite { num: 0, sign: g1, .. }, Finite { sign: g2, .. }) => {
-                Some(FMT.pack(g1 ^ g2, 0, 0))
-            }
-            (Finite { sign: g1, .. }, Finite { num: 0, sign: g2, .. }) => {
-                Some(FMT.pack(g1 ^ g2, FMT.inf_biased_exp(), 0))
-            }
-            (Finite { num: n1, scale: s1, .. }, Finite { num: n2, scale: s2, .. }) if fin(&x) => {
+            (
+                Finite {
+                    num: 0, sign: g1, ..
+                },
+                Finite { sign: g2, .. },
+            ) => Some(FMT.pack(g1 ^ g2, 0, 0)),
+            (
+                Finite { sign: g1, .. },
+                Finite {
+                    num: 0, sign: g2, ..
+                },
+            ) => Some(FMT.pack(g1 ^ g2, FMT.inf_biased_exp(), 0)),
+            (
+                Finite {
+                    num: n1, scale: s1, ..
+                },
+                Finite {
+                    num: n2, scale: s2, ..
+                },
+            ) if fin(&x) => {
                 // x/y = (n1·2^s2)/(n2·2^s1); scale numerator up enough
                 // that truncation error is below any rounding boundary,
                 // and track exactness via the remainder.
@@ -164,27 +225,37 @@ fn oracle(op: char, a: u64, b: u64, mode: RoundMode) -> Option<u64> {
 
 #[test]
 fn exhaustive_add_nearest_even() {
-    exhaustive_binary('+', RoundMode::NearestEven, |a, b| add_bits(FMT, a, b, RoundMode::NearestEven).0);
+    exhaustive_binary('+', RoundMode::NearestEven, |a, b| {
+        add_bits(FMT, a, b, RoundMode::NearestEven).0
+    });
 }
 
 #[test]
 fn exhaustive_add_truncate() {
-    exhaustive_binary('+', RoundMode::Truncate, |a, b| add_bits(FMT, a, b, RoundMode::Truncate).0);
+    exhaustive_binary('+', RoundMode::Truncate, |a, b| {
+        add_bits(FMT, a, b, RoundMode::Truncate).0
+    });
 }
 
 #[test]
 fn exhaustive_mul_nearest_even() {
-    exhaustive_binary('*', RoundMode::NearestEven, |a, b| mul_bits(FMT, a, b, RoundMode::NearestEven).0);
+    exhaustive_binary('*', RoundMode::NearestEven, |a, b| {
+        mul_bits(FMT, a, b, RoundMode::NearestEven).0
+    });
 }
 
 #[test]
 fn exhaustive_mul_truncate() {
-    exhaustive_binary('*', RoundMode::Truncate, |a, b| mul_bits(FMT, a, b, RoundMode::Truncate).0);
+    exhaustive_binary('*', RoundMode::Truncate, |a, b| {
+        mul_bits(FMT, a, b, RoundMode::Truncate).0
+    });
 }
 
 #[test]
 fn exhaustive_div_nearest_even() {
-    exhaustive_binary('/', RoundMode::NearestEven, |a, b| div_bits(FMT, a, b, RoundMode::NearestEven).0);
+    exhaustive_binary('/', RoundMode::NearestEven, |a, b| {
+        div_bits(FMT, a, b, RoundMode::NearestEven).0
+    });
 }
 
 #[test]
@@ -210,7 +281,12 @@ fn exhaustive_sqrt_squares() {
         match (decode(a), decode(r)) {
             (Exact::Inf(false), Exact::Inf(false)) => {}
             (Exact::Finite { num: 0, .. }, Exact::Finite { num: 0, .. }) => {}
-            (Exact::Finite { num, scale, .. }, Exact::Finite { num: rn, scale: rs, .. }) => {
+            (
+                Exact::Finite { num, scale, .. },
+                Exact::Finite {
+                    num: rn, scale: rs, ..
+                },
+            ) => {
                 assert!(num >= 0);
                 if num == 0 {
                     continue;
@@ -218,7 +294,8 @@ fn exhaustive_sqrt_squares() {
                 // |x - r²| must be minimal: check both neighbours of r.
                 let err = |cn: i128, cs: u32| -> (i128, u32) {
                     // |x - c²| = |num·2^(2cs) - cn²·2^scale| / 2^(scale+2cs)
-                    (((num) << (2 * cs)) - (cn * cn << scale)).abs()
+                    (((num) << (2 * cs)) - ((cn * cn) << scale))
+                        .abs()
                         .pipe(|d| (d, scale + 2 * cs))
                 };
                 let (e0, s0) = err(rn, rs);

@@ -9,15 +9,19 @@ use proptest::prelude::*;
 
 /// Strategy: finite, non-denormal f32 (normal or zero).
 fn normal_f32() -> impl Strategy<Value = f32> {
-    any::<u32>().prop_map(f32::from_bits).prop_filter("normal or zero", |x| {
-        x.is_finite() && (*x == 0.0 || x.is_normal())
-    })
+    any::<u32>()
+        .prop_map(f32::from_bits)
+        .prop_filter("normal or zero", |x| {
+            x.is_finite() && (*x == 0.0 || x.is_normal())
+        })
 }
 
 fn normal_f64() -> impl Strategy<Value = f64> {
-    any::<u64>().prop_map(f64::from_bits).prop_filter("normal or zero", |x| {
-        x.is_finite() && (*x == 0.0 || x.is_normal())
-    })
+    any::<u64>()
+        .prop_map(f64::from_bits)
+        .prop_filter("normal or zero", |x| {
+            x.is_finite() && (*x == 0.0 || x.is_normal())
+        })
 }
 
 /// Native result adjusted for flush-to-zero semantics, or `None` when the
@@ -119,7 +123,7 @@ proptest! {
     #[test]
     fn sticky_zone_matches_native_f32(a in normal_f32(), shift in 20u32..30, frac in any::<u32>()) {
         let b_exp = (a.to_bits() >> 23 & 0xff) as i32 - shift as i32;
-        prop_assume!(b_exp >= 1 && b_exp <= 254);
+        prop_assume!((1..=254).contains(&b_exp));
         let b = f32::from_bits(((b_exp as u32) << 23) | (frac & 0x7f_ffff));
         if let Some(want) = ftz_expect_f32(a + b) {
             let (got, _) = add_bits(FpFormat::SINGLE, a.to_bits() as u64, b.to_bits() as u64,
@@ -266,7 +270,7 @@ proptest! {
         let fmt = FpFormat::SINGLE;
         let (r, _) = fpfpga_softfp::sqrt_bits(fmt, a.to_bits() as u64, RoundMode::NearestEven);
         let (sq, _) = fpfpga_softfp::mul_bits(fmt, r, r, RoundMode::NearestEven);
-        if let Some(_) = ftz_expect_f32(f32::from_bits(sq as u32)) {
+        if ftz_expect_f32(f32::from_bits(sq as u32)).is_some() {
             let diff = (sq as i64 - a.to_bits() as i64).abs();
             prop_assert!(diff <= 2, "sqrt({a})^2 = {} ({diff} ulps off)", f32::from_bits(sq as u32));
         }
@@ -364,15 +368,19 @@ mod fma_mode {
     use proptest::prelude::*;
 
     fn normal_f32() -> impl Strategy<Value = f32> {
-        any::<u32>().prop_map(f32::from_bits).prop_filter("normal or zero", |x| {
-            x.is_finite() && (*x == 0.0 || x.is_normal())
-        })
+        any::<u32>()
+            .prop_map(f32::from_bits)
+            .prop_filter("normal or zero", |x| {
+                x.is_finite() && (*x == 0.0 || x.is_normal())
+            })
     }
 
     fn normal_f64() -> impl Strategy<Value = f64> {
-        any::<u64>().prop_map(f64::from_bits).prop_filter("normal or zero", |x| {
-            x.is_finite() && (*x == 0.0 || x.is_normal())
-        })
+        any::<u64>()
+            .prop_map(f64::from_bits)
+            .prop_filter("normal or zero", |x| {
+                x.is_finite() && (*x == 0.0 || x.is_normal())
+            })
     }
 
     proptest! {

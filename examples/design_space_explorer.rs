@@ -22,11 +22,17 @@ fn main() {
         ("synth: area,  P&R: area ", SynthesisOptions::AREA),
         (
             "synth: speed, P&R: area ",
-            SynthesisOptions { synthesis: Objective::Speed, par: Objective::Area },
+            SynthesisOptions {
+                synthesis: Objective::Speed,
+                par: Objective::Area,
+            },
         ),
         (
             "synth: area,  P&R: speed",
-            SynthesisOptions { synthesis: Objective::Area, par: Objective::Speed },
+            SynthesisOptions {
+                synthesis: Objective::Area,
+                par: Objective::Speed,
+            },
         ),
     ] {
         let sweep = design.sweep(&tech, opts);
@@ -53,7 +59,10 @@ fn main() {
 
     println!("\n=== forced vs inferred priority encoder (64-bit adder) ===");
     for forced in [true, false] {
-        let d = AdderDesign { force_priority_encoder: forced, ..AdderDesign::new(FpFormat::DOUBLE) };
+        let d = AdderDesign {
+            force_priority_encoder: forced,
+            ..AdderDesign::new(FpFormat::DOUBLE)
+        };
         let sweep = d.sweep(&tech, SynthesisOptions::SPEED);
         let best = sweep.iter().map(|r| r.clock_mhz).fold(0.0, f64::max);
         println!("  forced = {forced}: peak {best:.1} MHz");
@@ -61,7 +70,10 @@ fn main() {
 
     println!("\n=== throughput/area optimum per precision ===");
     let analysis = PrecisionAnalysis::run(&tech, SynthesisOptions::SPEED);
-    for (label, sweeps) in [("adder", &analysis.adders), ("multiplier", &analysis.multipliers)] {
+    for (label, sweeps) in [
+        ("adder", &analysis.adders),
+        ("multiplier", &analysis.multipliers),
+    ] {
         for s in sweeps.iter() {
             let opt = s.opt();
             println!(

@@ -40,7 +40,10 @@ fn main() {
     while out.is_none() {
         out = unit.clock(None);
     }
-    println!("1.0 / 3.0 = {} (20-stage divider)", f32::from_bits(out.unwrap().0 as u32));
+    println!(
+        "1.0 / 3.0 = {} (20-stage divider)",
+        f32::from_bits(out.unwrap().0 as u32)
+    );
 
     // --- The cost of full IEEE.
     println!("\n=== what denormal/NaN support would cost (the paper omits it) ===");
@@ -58,8 +61,12 @@ fn main() {
     println!("\n=== dot product (reduction hazard handled by La-way banking) ===");
     let fmt = FpFormat::SINGLE;
     let n = 1000;
-    let x: Vec<u64> = (0..n).map(|i| SoftFloat::from_f64(fmt, (i as f64 * 0.01).sin()).bits()).collect();
-    let y: Vec<u64> = (0..n).map(|i| SoftFloat::from_f64(fmt, (i as f64 * 0.02).cos()).bits()).collect();
+    let x: Vec<u64> = (0..n)
+        .map(|i| SoftFloat::from_f64(fmt, (i as f64 * 0.01).sin()).bits())
+        .collect();
+    let y: Vec<u64> = (0..n)
+        .map(|i| SoftFloat::from_f64(fmt, (i as f64 * 0.02).cos()).bits())
+        .collect();
     let mut dot = DotProductUnit::new(fmt, RoundMode::NearestEven, 7, 9);
     let (result, cycles) = dot.dot(&x, &y);
     let got = SoftFloat::from_bits(fmt, result).to_f64();
@@ -72,18 +79,28 @@ fn main() {
     // --- Matrix-vector multiply.
     println!("\n=== matrix-vector multiply ===");
     let a = Matrix::from_fn(fmt, 32, 32, |i, j| ((i * 32 + j) as f64 * 0.07).sin());
-    let xv: Vec<u64> = (0..32).map(|k| SoftFloat::from_f64(fmt, (k as f64 * 0.1).cos()).bits()).collect();
+    let xv: Vec<u64> = (0..32)
+        .map(|k| SoftFloat::from_f64(fmt, (k as f64 * 0.1).cos()).bits())
+        .collect();
     let eng = MvmEngine::new(fmt, RoundMode::NearestEven, 7, 9, 8);
     let (yv, cycles) = eng.multiply(&a, &xv);
-    assert_eq!(yv, eng.reference(&a, &xv), "cycle-accurate MVM must match its reference");
-    println!("y = A·x (32×32, 8 PEs): {cycles} cycles; y[0] = {:.6}", SoftFloat::from_bits(fmt, yv[0]).to_f64());
+    assert_eq!(
+        yv,
+        eng.reference(&a, &xv),
+        "cycle-accurate MVM must match its reference"
+    );
+    println!(
+        "y = A·x (32×32, 8 PEs): {cycles} cycles; y[0] = {:.6}",
+        SoftFloat::from_bits(fmt, yv[0]).to_f64()
+    );
 
     // --- FIR filter (transposed form: no padding at any depth).
     println!("\n=== FIR filter (transposed form) ===");
     let coeffs = [0.2, 0.3, 0.2, 0.15, 0.15];
     let mut fir = fpfpga::matmul::FirFilter::new(fmt, RoundMode::NearestEven, &coeffs, 6);
-    let samples: Vec<u64> =
-        (0..64).map(|i| SoftFloat::from_f64(fmt, (i as f64 * 0.25).sin()).bits()).collect();
+    let samples: Vec<u64> = (0..64)
+        .map(|i| SoftFloat::from_f64(fmt, (i as f64 * 0.25).sin()).bits())
+        .collect();
     let filtered = fir.filter(&samples);
     println!(
         "{}-tap FIR over {} samples: {} cycles, y[10] = {:.6}",
@@ -97,7 +114,11 @@ fn main() {
     println!("\n=== LU decomposition engine ===");
     let n = 16;
     let a_lu = Matrix::from_fn(fmt, n, n, |i, j| {
-        if i == j { 10.0 + i as f64 } else { ((i * n + j) as f64 * 0.19).sin() }
+        if i == j {
+            10.0 + i as f64
+        } else {
+            ((i * n + j) as f64 * 0.19).sin()
+        }
     });
     let lu = fpfpga::matmul::LuEngine::new(fmt, RoundMode::NearestEven, 16, 6, 4);
     let r = lu.factor(&a_lu);
@@ -112,8 +133,14 @@ fn main() {
 
     // --- 2-D convolution (image processing).
     println!("\n=== 2-D convolution ===");
-    let gauss = vec![vec![0.0625, 0.125, 0.0625], vec![0.125, 0.25, 0.125], vec![0.0625, 0.125, 0.0625]];
-    let img = Matrix::from_fn(fmt, 24, 24, |i, j| ((i as f64 - 12.0).hypot(j as f64 - 12.0) * 0.5).cos());
+    let gauss = vec![
+        vec![0.0625, 0.125, 0.0625],
+        vec![0.125, 0.25, 0.125],
+        vec![0.0625, 0.125, 0.0625],
+    ];
+    let img = Matrix::from_fn(fmt, 24, 24, |i, j| {
+        ((i as f64 - 12.0).hypot(j as f64 - 12.0) * 0.5).cos()
+    });
     let conv = fpfpga::matmul::Conv2dEngine::new(fmt, RoundMode::NearestEven, &gauss, 5);
     let (blurred, cycles) = conv.convolve(&img);
     println!(

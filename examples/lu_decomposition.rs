@@ -25,7 +25,10 @@ fn lu_softfp(a: &Matrix, mode: RoundMode) -> (Matrix, u64, u64) {
     let mut macs = 0u64;
     for k in 0..n {
         let pivot = SoftFloat::from_bits(fmt, m.get(k, k));
-        assert!(!pivot.is_zero(), "zero pivot at {k} (no pivoting in this kernel)");
+        assert!(
+            !pivot.is_zero(),
+            "zero pivot at {k} (no pivoting in this kernel)"
+        );
         for i in k + 1..n {
             let (l, _) = SoftFloat::from_bits(fmt, m.get(i, k)).div(&pivot, mode);
             divs += 1;
@@ -75,7 +78,11 @@ fn main() {
     // A diagonally dominant test matrix (well-conditioned, no pivoting
     // needed).
     let a = Matrix::from_fn(fmt, n, n, |i, j| {
-        if i == j { 10.0 + i as f64 } else { ((i * n + j) as f64 * 0.17).sin() }
+        if i == j {
+            10.0 + i as f64
+        } else {
+            ((i * n + j) as f64 * 0.17).sin()
+        }
     });
 
     // --- Numerics.

@@ -31,9 +31,16 @@ fn main() {
     let fill = DeviceFill::new(device, &units, 64, &tech);
     println!("\n=== {} fill ===", fill.device.name);
     println!("PE slices: {:.0}", fill.pe.slices(&tech));
-    println!("PEs: {}   array clock: {:.0} MHz", fill.pe_count, fill.clock_mhz);
+    println!(
+        "PEs: {}   array clock: {:.0} MHz",
+        fill.pe_count, fill.clock_mhz
+    );
     println!("sustained: {:.1} GFLOPS", fill.gflops());
-    println!("dynamic power: {:.1} W   → {:.2} GFLOPS/W", fill.power_w(0.3), fill.gflops_per_watt(0.3));
+    println!(
+        "dynamic power: {:.1} W   → {:.2} GFLOPS/W",
+        fill.power_w(0.3),
+        fill.gflops_per_watt(0.3)
+    );
 
     // --- Processor comparison (Section 4.2).
     let cmp = ProcessorComparison::new(fill.gflops(), fill.power_w(0.3));
@@ -53,8 +60,12 @@ fn main() {
     let n = 32u32;
     let b = 16u32;
     let plan = BlockMatMul::new(n, b, units.pl());
-    let a_m = Matrix::from_fn(fmt, n as usize, n as usize, |i, j| ((i + j) as f64 * 0.21).sin());
-    let b_m = Matrix::from_fn(fmt, n as usize, n as usize, |i, j| ((i * 3 + j) as f64 * 0.17).cos());
+    let a_m = Matrix::from_fn(fmt, n as usize, n as usize, |i, j| {
+        ((i + j) as f64 * 0.21).sin()
+    });
+    let b_m = Matrix::from_fn(fmt, n as usize, n as usize, |i, j| {
+        ((i * 3 + j) as f64 * 0.17).cos()
+    });
     let (c, stats) = plan.run(
         fmt,
         RoundMode::NearestEven,

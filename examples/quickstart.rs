@@ -12,27 +12,33 @@ use fpfpga::prelude::*;
 fn main() {
     let tech = Tech::virtex2pro();
 
-    // --- 1. Design-space sweep for a single-precision adder.
-    let sweep = CoreSweep::adder(FpFormat::SINGLE, &tech, SynthesisOptions::SPEED);
+    // --- 1. Design-space sweep for a single-precision adder, through
+    // the unified constructor and a memoizing cache (a second sweep of
+    // the same space would be a pure cache hit).
+    let cache = SweepCache::new();
+    let sweep = CoreSweep::new_cached(
+        CoreKind::Adder,
+        FpFormat::SINGLE,
+        &tech,
+        SynthesisOptions::SPEED,
+        &cache,
+    );
     println!("single-precision adder, pipeline-depth sweep:");
     println!("  min: {}", sweep.min());
     println!("  opt: {}", sweep.opt());
     println!("  max: {}", sweep.max());
     let opt_stages = sweep.opt().stages;
 
-    // --- 2. Cycle-accurate simulation of the optimal configuration.
+    // --- 2. Cycle-accurate simulation of the optimal configuration,
+    // over the batched streaming path (bit-identical to clocking by
+    // hand, one call).
     let design = AdderDesign::new(FpFormat::SINGLE);
     let mut unit = design.simulator(opt_stages);
     let (a, b) = (1.5f32, 2.25f32);
-    let mut result = unit.clock(Some((a.to_bits() as u64, b.to_bits() as u64)));
-    let mut cycles = 1;
-    while result.is_none() {
-        result = unit.clock(None);
-        cycles += 1;
-    }
-    let (bits, flags) = result.unwrap();
+    let results = unit.run_batch(&[(a.to_bits() as u64, b.to_bits() as u64)]);
+    let (bits, flags) = results[0];
     println!(
-        "\n{a} + {b} = {} after {cycles} cycles (latency = {} stages, flags: {flags:?})",
+        "\n{a} + {b} = {} (latency = {} stages, flags: {flags:?})",
         f32::from_bits(bits as u32),
         unit.latency(),
     );
@@ -42,7 +48,7 @@ fn main() {
     let n = 8;
     let a = Matrix::from_fn(fmt, n, n, |i, j| ((i * n + j) as f64 * 0.37).sin());
     let b = Matrix::from_fn(fmt, n, n, |i, j| ((i + j) as f64 * 0.11).cos());
-    let (c, stats) = LinearArray::multiply(
+    let (c, stats) = LinearArray::multiply_batched(
         fmt,
         RoundMode::NearestEven,
         7, // multiplier stages

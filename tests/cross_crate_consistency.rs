@@ -13,8 +13,15 @@ fn schedule_model_matches_array_simulation() {
         let fmt = FpFormat::SINGLE;
         let a = Matrix::from_fn(fmt, n as usize, n as usize, |i, j| (i + j) as f64 * 0.1);
         let b = Matrix::identity(fmt, n as usize);
-        let (_, stats) =
-            LinearArray::multiply(fmt, RoundMode::NearestEven, ms, asl, &a, &b, UnitBackend::Fast);
+        let (_, stats) = LinearArray::multiply(
+            fmt,
+            RoundMode::NearestEven,
+            ms,
+            asl,
+            &a,
+            &b,
+            UnitBackend::Fast,
+        );
         let sched = Schedule::new(n, ms + asl);
         assert_eq!(stats.useful_macs, sched.useful_cycles() * n as u64, "n={n}");
         assert_eq!(stats.pad_macs, sched.pad_cycles() * n as u64, "n={n}");
@@ -30,10 +37,22 @@ fn schedule_model_matches_array_simulation() {
 fn block_model_matches_block_simulation() {
     for (n, b, ms, asl) in [(8u32, 4u32, 3u32, 4u32), (16, 8, 7, 9), (12, 6, 4, 5)] {
         let fmt = FpFormat::SINGLE;
-        let am = Matrix::from_fn(fmt, n as usize, n as usize, |i, j| ((i * 3 + j) as f64).sin());
-        let bm = Matrix::from_fn(fmt, n as usize, n as usize, |i, j| ((i + j * 2) as f64).cos());
+        let am = Matrix::from_fn(fmt, n as usize, n as usize, |i, j| {
+            ((i * 3 + j) as f64).sin()
+        });
+        let bm = Matrix::from_fn(fmt, n as usize, n as usize, |i, j| {
+            ((i + j * 2) as f64).cos()
+        });
         let plan = BlockMatMul::new(n, b, ms + asl);
-        let (_, stats) = plan.run(fmt, RoundMode::NearestEven, ms, asl, &am, &bm, UnitBackend::Fast);
+        let (_, stats) = plan.run(
+            fmt,
+            RoundMode::NearestEven,
+            ms,
+            asl,
+            &am,
+            &bm,
+            UnitBackend::Fast,
+        );
         assert_eq!(stats.cycles, plan.total_cycles(), "n={n} b={b}");
         assert_eq!(stats.useful_macs, plan.useful_macs(), "n={n} b={b}");
         assert_eq!(stats.pad_macs, plan.pad_cycles() * b as u64, "n={n} b={b}");
@@ -72,24 +91,32 @@ fn energy_report_resources_match_device_fill_pe() {
     // The per-PE area used by the energy model is the same PeResources
     // the device fill uses.
     let tech = Tech::virtex2pro();
-    let units =
-        UnitSet::for_level(FpFormat::SINGLE, PipeliningLevel::Moderate, &tech, SynthesisOptions::SPEED);
+    let units = UnitSet::for_level(
+        FpFormat::SINGLE,
+        PipeliningLevel::Moderate,
+        &tech,
+        SynthesisOptions::SPEED,
+    );
     let n = 16u32;
     let arch = ArchitectureEnergy::new(units.clone(), n, n, &tech);
     let rep = arch.charge_flat(n, &tech);
     let pe = PeResources::new(&units, n, &tech);
-    let expect = (pe.area.clone() * n as f64).slices(&tech) as u32;
+    let expect = (pe.area * n as f64).slices(&tech) as u32;
     assert_eq!(rep.slices, expect);
 }
 
 #[test]
 fn power_of_fill_equals_model_on_total_area() {
     let tech = Tech::virtex2pro();
-    let units =
-        UnitSet::for_level(FpFormat::SINGLE, PipeliningLevel::Maximum, &tech, SynthesisOptions::SPEED);
+    let units = UnitSet::for_level(
+        FpFormat::SINGLE,
+        PipeliningLevel::Maximum,
+        &tech,
+        SynthesisOptions::SPEED,
+    );
     let fill = DeviceFill::new(Device::XC2VP125, &units, 64, &tech);
     let model = PowerModel::virtex2pro();
-    let total = fill.pe.area.clone() * fill.pe_count as f64;
+    let total = fill.pe.area * fill.pe_count as f64;
     let expect = model.power_mw(&total, fill.clock_mhz, 0.3).total_mw() / 1000.0;
     assert!((fill.power_w(0.3) - expect).abs() < 1e-9);
 }

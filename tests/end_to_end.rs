@@ -19,10 +19,21 @@ fn design_then_simulate_then_deploy() {
 
     // 2. Simulate: the exact configuration computes correctly.
     let n = 8usize;
-    let a = Matrix::from_fn(FpFormat::SINGLE, n, n, |i, j| ((i * n + j) as f64 * 0.23).sin());
-    let b = Matrix::from_fn(FpFormat::SINGLE, n, n, |i, j| ((i + j * 2) as f64 * 0.19).cos());
-    let (c, stats) =
-        LinearArray::multiply(FpFormat::SINGLE, RoundMode::NearestEven, km, ka, &a, &b, UnitBackend::Fast);
+    let a = Matrix::from_fn(FpFormat::SINGLE, n, n, |i, j| {
+        ((i * n + j) as f64 * 0.23).sin()
+    });
+    let b = Matrix::from_fn(FpFormat::SINGLE, n, n, |i, j| {
+        ((i + j * 2) as f64 * 0.19).cos()
+    });
+    let (c, stats) = LinearArray::multiply(
+        FpFormat::SINGLE,
+        RoundMode::NearestEven,
+        km,
+        ka,
+        &a,
+        &b,
+        UnitBackend::Fast,
+    );
     assert_eq!(c, reference_matmul(&a, &b, RoundMode::NearestEven));
     assert_eq!(stats.useful_macs, (n * n * n) as u64);
     assert!(error_vs_f64(&c, &a, &b) < 1e-4);
@@ -60,8 +71,12 @@ fn all_three_precisions_run_the_same_flow() {
 fn blocked_and_flat_agree_bitwise() {
     let fmt = FpFormat::SINGLE;
     let n = 16u32;
-    let a = Matrix::from_fn(fmt, n as usize, n as usize, |i, j| ((i * 7 + j) as f64 * 0.31).sin());
-    let b = Matrix::from_fn(fmt, n as usize, n as usize, |i, j| ((i + j * 5) as f64 * 0.27).cos());
+    let a = Matrix::from_fn(fmt, n as usize, n as usize, |i, j| {
+        ((i * 7 + j) as f64 * 0.31).sin()
+    });
+    let b = Matrix::from_fn(fmt, n as usize, n as usize, |i, j| {
+        ((i + j * 5) as f64 * 0.27).cos()
+    });
     let (flat, _) =
         LinearArray::multiply(fmt, RoundMode::NearestEven, 7, 9, &a, &b, UnitBackend::Fast);
     for bs in [4u32, 8, 16] {
@@ -79,8 +94,15 @@ fn structural_and_fast_backends_agree_in_the_array() {
     let b = Matrix::from_fn(fmt, n, n, |i, j| (j as f64 - i as f64) * 1.5);
     let (fast, s1) =
         LinearArray::multiply(fmt, RoundMode::NearestEven, 4, 6, &a, &b, UnitBackend::Fast);
-    let (structural, s2) =
-        LinearArray::multiply(fmt, RoundMode::NearestEven, 4, 6, &a, &b, UnitBackend::Structural);
+    let (structural, s2) = LinearArray::multiply(
+        fmt,
+        RoundMode::NearestEven,
+        4,
+        6,
+        &a,
+        &b,
+        UnitBackend::Structural,
+    );
     assert_eq!(fast, structural);
     assert_eq!(s1, s2);
 }
@@ -91,7 +113,8 @@ fn truncation_mode_flows_through_the_kernel() {
     let n = 6usize;
     let a = Matrix::from_fn(fmt, n, n, |i, j| ((i * n + j) as f64 * 0.41).sin());
     let b = Matrix::from_fn(fmt, n, n, |i, j| ((i * 2 + j) as f64 * 0.37).cos());
-    let (ne, _) = LinearArray::multiply(fmt, RoundMode::NearestEven, 4, 5, &a, &b, UnitBackend::Fast);
+    let (ne, _) =
+        LinearArray::multiply(fmt, RoundMode::NearestEven, 4, 5, &a, &b, UnitBackend::Fast);
     let (tr, _) = LinearArray::multiply(fmt, RoundMode::Truncate, 4, 5, &a, &b, UnitBackend::Fast);
     assert_eq!(tr, reference_matmul(&a, &b, RoundMode::Truncate));
     assert_ne!(ne, tr, "rounding mode must be observable");
@@ -107,6 +130,7 @@ fn custom_format_end_to_end() {
     let n = 4usize;
     let a = Matrix::identity(fmt, n);
     let b = Matrix::from_fn(fmt, n, n, |i, j| (i + j) as f64);
-    let (c, _) = LinearArray::multiply(fmt, RoundMode::NearestEven, 3, 4, &a, &b, UnitBackend::Fast);
+    let (c, _) =
+        LinearArray::multiply(fmt, RoundMode::NearestEven, 3, 4, &a, &b, UnitBackend::Fast);
     assert_eq!(c, b);
 }

@@ -12,7 +12,10 @@ fn divider_core_end_to_end() {
     // Sweep → pick a config → simulate → verify against softfp.
     let tech = Tech::virtex2pro();
     let sweep = DividerDesign::new(FpFormat::SINGLE).sweep(&tech, SynthesisOptions::SPEED);
-    let at200 = sweep.iter().find(|r| r.clock_mhz >= 200.0).expect("reachable");
+    let at200 = sweep
+        .iter()
+        .find(|r| r.clock_mhz >= 200.0)
+        .expect("reachable");
     let mut unit = DividerDesign::new(FpFormat::SINGLE).simulator(at200.stages);
     let (a, b) = (355.0f32, 113.0f32);
     let mut out = unit.clock(Some((a.to_bits() as u64, b.to_bits() as u64)));
@@ -31,13 +34,25 @@ fn fused_mac_vs_pe_chain() {
     // rounded answer.
     let fmt = FpFormat::SINGLE;
     let mut fused = FusedMacDesign::new(fmt).unit(4);
-    let cases = [(1.5f32, 2.5f32, 3.25f32), (0.1, 0.2, 0.3), (1e8, 1e-8, -1.0)];
+    let cases = [
+        (1.5f32, 2.5f32, 3.25f32),
+        (0.1, 0.2, 0.3),
+        (1e8, 1e-8, -1.0),
+    ];
     for (a, b, c) in cases {
-        let mut out = fused.clock(Some((a.to_bits() as u64, b.to_bits() as u64, c.to_bits() as u64)));
+        let mut out = fused.clock(Some((
+            a.to_bits() as u64,
+            b.to_bits() as u64,
+            c.to_bits() as u64,
+        )));
         while out.is_none() {
             out = fused.clock(None);
         }
-        assert_eq!(f32::from_bits(out.unwrap().0 as u32), a.mul_add(b, c), "{a}*{b}+{c}");
+        assert_eq!(
+            f32::from_bits(out.unwrap().0 as u32),
+            a.mul_add(b, c),
+            "{a}*{b}+{c}"
+        );
     }
     let cmp = MacComparison::build(fmt, &Tech::virtex2pro(), SynthesisOptions::SPEED);
     assert!(cmp.stage_saving() >= 0);
@@ -49,8 +64,7 @@ fn full_ieee_costs_what_the_paper_saved() {
     // Average slice overhead across cores/precisions is substantial —
     // the quantified version of "may not justify the usage of a lot of
     // hardware".
-    let avg: f64 =
-        reports.iter().map(MacOverhead::overhead).sum::<f64>() / reports.len() as f64;
+    let avg: f64 = reports.iter().map(MacOverhead::overhead).sum::<f64>() / reports.len() as f64;
     assert!(avg > 0.3, "average IEEE slice overhead = {:.2}", avg);
 }
 
@@ -71,10 +85,20 @@ fn ieee_mode_recovers_what_ftz_loses() {
     let fmt = FpFormat::SINGLE;
     let a = f32::from_bits(0x0080_0007);
     let b = f32::from_bits(0x0080_0001);
-    let (ftz, fl) = fpfpga::softfp::sub_bits(fmt, a.to_bits() as u64, b.to_bits() as u64, RoundMode::NearestEven);
+    let (ftz, fl) = fpfpga::softfp::sub_bits(
+        fmt,
+        a.to_bits() as u64,
+        b.to_bits() as u64,
+        RoundMode::NearestEven,
+    );
     assert_eq!(ftz, 0);
     assert!(fl.underflow);
-    let (ieee, _) = fpfpga::softfp::ieee::ieee_sub(fmt, a.to_bits() as u64, b.to_bits() as u64, RoundMode::NearestEven);
+    let (ieee, _) = fpfpga::softfp::ieee::ieee_sub(
+        fmt,
+        a.to_bits() as u64,
+        b.to_bits() as u64,
+        RoundMode::NearestEven,
+    );
     assert_eq!(ieee as u32, (a - b).to_bits());
     assert_ne!(ieee, 0);
 }
@@ -85,13 +109,21 @@ fn fft_pipeline_of_paper_units() {
     let tech = Tech::virtex2pro();
     let add = CoreSweep::adder(FpFormat::SINGLE, &tech, SynthesisOptions::SPEED);
     let mul = CoreSweep::multiplier(FpFormat::SINGLE, &tech, SynthesisOptions::SPEED);
-    let eng = FftEngine::new(FpFormat::SINGLE, RoundMode::NearestEven, mul.opt().stages, add.opt().stages);
+    let eng = FftEngine::new(
+        FpFormat::SINGLE,
+        RoundMode::NearestEven,
+        mul.opt().stages,
+        add.opt().stages,
+    );
     let n = 64;
     let x: Vec<Cplx> = (0..n)
         .map(|i| Cplx::from_f64(FpFormat::SINGLE, (i as f64 * 0.1).sin(), 0.0))
         .collect();
     let (got, cycles) = eng.run(&x, false);
-    assert_eq!(got, reference_fft(FpFormat::SINGLE, RoundMode::NearestEven, &x, false));
+    assert_eq!(
+        got,
+        reference_fft(FpFormat::SINGLE, RoundMode::NearestEven, &x, false)
+    );
     assert_eq!(cycles, eng.cycle_model(n));
 }
 
@@ -100,7 +132,11 @@ fn explorer_recommendations_fit_their_device() {
     let tech = Tech::virtex2pro();
     let e = Explorer::new(FpFormat::SINGLE, 128);
     for device in [Device::XC2VP20, Device::XC2VP50] {
-        let frontier = e.pareto(&Constraints::for_device(&device), &tech, SynthesisOptions::SPEED);
+        let frontier = e.pareto(
+            &Constraints::for_device(&device),
+            &tech,
+            SynthesisOptions::SPEED,
+        );
         assert!(!frontier.is_empty(), "{}", device.name);
         for c in &frontier {
             assert!(c.slices <= device.slices, "{} on {}", c.slices, device.name);
@@ -119,13 +155,19 @@ fn designs_port_to_virtex_e() {
     let sweep_new = d.sweep(&new, SynthesisOptions::SPEED);
     let best_old = sweep_old.iter().map(|r| r.clock_mhz).fold(0.0, f64::max);
     let best_new = sweep_new.iter().map(|r| r.clock_mhz).fold(0.0, f64::max);
-    assert!(best_old < best_new * 0.85, "VirtexE {best_old} vs V2Pro {best_new}");
+    assert!(
+        best_old < best_new * 0.85,
+        "VirtexE {best_old} vs V2Pro {best_new}"
+    );
     // The freq/area optimum is still an interior point on the old family.
     let opt = fpfpga::fabric::timing::optimal(&sweep_old);
     assert!(opt.stages > 1 && opt.stages < sweep_old.len() as u32);
     // Quixilica's published VirtexE adder rate (169 MFLOPS ≈ 169 MHz) is
     // within the old family's achievable band.
-    assert!(best_old > 169.0, "a deeply pipelined adder must beat the 2003 datasheet");
+    assert!(
+        best_old > 169.0,
+        "a deeply pipelined adder must beat the 2003 datasheet"
+    );
 }
 
 #[test]
@@ -139,7 +181,11 @@ fn waveform_trace_shows_matmul_padding() {
     // Emulate a padded inner loop: 4 real ops, 6 bubbles, repeated.
     for _ in 0..5 {
         for i in 0..10 {
-            let inp = if i < 4 { Some((1.0f32.to_bits() as u64, 2.0f32.to_bits() as u64)) } else { None };
+            let inp = if i < 4 {
+                Some((1.0f32.to_bits() as u64, 2.0f32.to_bits() as u64))
+            } else {
+                None
+            };
             unit.clock(inp);
             wave.sample(&unit);
         }

@@ -69,7 +69,11 @@ fn fma_kernels_beat_two_step_on_error() {
     let n = 14;
     let fmt = FpFormat::SINGLE;
     let a = Matrix::from_fn(fmt, n, n, |i, j| {
-        if i == j { 9.0 + i as f64 } else { ((i * n + j) as f64 * 0.29).sin() }
+        if i == j {
+            9.0 + i as f64
+        } else {
+            ((i * n + j) as f64 * 0.29).sin()
+        }
     });
     let eng = fpfpga::matmul::LuEngine::new(fmt, RoundMode::NearestEven, 12, 5, 2);
     let fused = eng.factor(&a);
@@ -84,7 +88,10 @@ fn fma_kernels_beat_two_step_on_error() {
             let (l, _) = SoftFloat::from_bits(fmt, m.get(i, k)).div(&pivot, RoundMode::NearestEven);
             m.set(i, k, l.bits());
             for j in k + 1..n {
-                let (p, _) = l.mul(&SoftFloat::from_bits(fmt, m.get(k, j)), RoundMode::NearestEven);
+                let (p, _) = l.mul(
+                    &SoftFloat::from_bits(fmt, m.get(k, j)),
+                    RoundMode::NearestEven,
+                );
                 let (d, _) = SoftFloat::from_bits(fmt, m.get(i, j)).sub(&p, RoundMode::NearestEven);
                 m.set(i, j, d.bits());
             }
@@ -126,7 +133,11 @@ fn fft_accuracy_budget() {
         meter.record(g.im, wi);
     }
     let s = meter.stats();
-    assert!(s.max_abs < 6.0 * (n as f64) * ulp_at(fmt, 1.0), "max abs = {}", s.max_abs);
+    assert!(
+        s.max_abs < 6.0 * (n as f64) * ulp_at(fmt, 1.0),
+        "max abs = {}",
+        s.max_abs
+    );
     assert!(s.rms < s.max_abs);
     assert_eq!(s.count, 2 * n);
 }
@@ -136,7 +147,8 @@ fn truncation_mode_costs_accuracy_everywhere() {
     let n = 10;
     let fmt = FpFormat::SINGLE;
     let (a, b) = test_matrices(fmt, n);
-    let (ne, _) = LinearArray::multiply(fmt, RoundMode::NearestEven, 4, 5, &a, &b, UnitBackend::Fast);
+    let (ne, _) =
+        LinearArray::multiply(fmt, RoundMode::NearestEven, 4, 5, &a, &b, UnitBackend::Fast);
     let (tr, _) = LinearArray::multiply(fmt, RoundMode::Truncate, 4, 5, &a, &b, UnitBackend::Fast);
     let base = f64_matmul(&a, &b);
     let mut m_ne = ErrorMeter::new(fmt, 1e-30);
@@ -153,10 +165,12 @@ fn dot_interleave_order_does_not_degrade_accuracy() {
     // (it is the classical pairwise-ish improvement, if anything).
     let fmt = FpFormat::SINGLE;
     let n = 512;
-    let xs: Vec<u64> =
-        (0..n).map(|i| SoftFloat::from_f64(fmt, (i as f64 * 0.013).sin()).bits()).collect();
-    let ys: Vec<u64> =
-        (0..n).map(|i| SoftFloat::from_f64(fmt, (i as f64 * 0.027).cos()).bits()).collect();
+    let xs: Vec<u64> = (0..n)
+        .map(|i| SoftFloat::from_f64(fmt, (i as f64 * 0.013).sin()).bits())
+        .collect();
+    let ys: Vec<u64> = (0..n)
+        .map(|i| SoftFloat::from_f64(fmt, (i as f64 * 0.027).cos()).bits())
+        .collect();
     let exact: f64 = xs
         .iter()
         .zip(&ys)
@@ -167,7 +181,11 @@ fn dot_interleave_order_does_not_degrade_accuracy() {
     // sequential softfp
     let mut acc = SoftFloat::zero(fmt);
     for (&a, &b) in xs.iter().zip(&ys) {
-        let (r, _) = acc.mac(&SoftFloat::from_bits(fmt, a), &SoftFloat::from_bits(fmt, b), RoundMode::NearestEven);
+        let (r, _) = acc.mac(
+            &SoftFloat::from_bits(fmt, a),
+            &SoftFloat::from_bits(fmt, b),
+            RoundMode::NearestEven,
+        );
         acc = r;
     }
     let seq_err = (acc.to_f64() - exact).abs();
@@ -175,5 +193,8 @@ fn dot_interleave_order_does_not_degrade_accuracy() {
     let mut unit = DotProductUnit::new(fmt, RoundMode::NearestEven, 5, 9);
     let (banked, _) = unit.dot(&xs, &ys);
     let banked_err = (SoftFloat::from_bits(fmt, banked).to_f64() - exact).abs();
-    assert!(banked_err <= seq_err * 2.0, "banked {banked_err} vs sequential {seq_err}");
+    assert!(
+        banked_err <= seq_err * 2.0,
+        "banked {banked_err} vs sequential {seq_err}"
+    );
 }

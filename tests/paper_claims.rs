@@ -28,8 +28,16 @@ fn claim_device_gflops_bands() {
     // Abstract: "about 15 GFLOPS (8 GFLOPS) for the single (double)
     // precision"; Section 4.2 quotes 19.6 GFLOPS for 32-bit.
     let g = repro::gflops();
-    assert!((12.0..25.0).contains(&g.single.gflops()), "single = {}", g.single.gflops());
-    assert!((5.0..12.0).contains(&g.double.gflops()), "double = {}", g.double.gflops());
+    assert!(
+        (12.0..25.0).contains(&g.single.gflops()),
+        "single = {}",
+        g.single.gflops()
+    );
+    assert!(
+        (5.0..12.0).contains(&g.double.gflops()),
+        "double = {}",
+        g.double.gflops()
+    );
 }
 
 #[test]
@@ -76,8 +84,16 @@ fn fig2_curves_flatten_and_dip() {
         let ratios: Vec<f64> = c.points.iter().map(|&(_, r)| r).collect();
         let peak = ratios.iter().copied().fold(0.0, f64::max);
         let peak_idx = ratios.iter().position(|&r| r == peak).unwrap();
-        assert!(peak_idx > 0, "{}: peak at the unpipelined point", c.precision);
-        assert!(peak_idx < ratios.len() - 1, "{}: no flattening region", c.precision);
+        assert!(
+            peak_idx > 0,
+            "{}: peak at the unpipelined point",
+            c.precision
+        );
+        assert!(
+            peak_idx < ratios.len() - 1,
+            "{}: no flattening region",
+            c.precision
+        );
         assert!(
             ratios.last().unwrap() < &peak,
             "{}: deepest point should be below the peak",
@@ -106,8 +122,16 @@ fn tables_1_2_area_orders_by_precision() {
 fn tables_1_2_opt_beats_endpoints() {
     for table in [repro::table1(), repro::table2()] {
         for b in table {
-            assert!(b.opt.freq_per_area() >= b.min.freq_per_area(), "{}", b.precision);
-            assert!(b.opt.freq_per_area() >= b.max.freq_per_area(), "{}", b.precision);
+            assert!(
+                b.opt.freq_per_area() >= b.min.freq_per_area(),
+                "{}",
+                b.precision
+            );
+            assert!(
+                b.opt.freq_per_area() >= b.max.freq_per_area(),
+                "{}",
+                b.precision
+            );
         }
     }
 }
@@ -115,10 +139,18 @@ fn tables_1_2_opt_beats_endpoints() {
 #[test]
 fn multipliers_use_embedded_blocks_adders_do_not() {
     for b in repro::table2() {
-        assert!(b.opt.bmults > 0, "{} multiplier should use BMULTs", b.precision);
+        assert!(
+            b.opt.bmults > 0,
+            "{} multiplier should use BMULTs",
+            b.precision
+        );
     }
     for b in repro::table1() {
-        assert_eq!(b.opt.bmults, 0, "{} adder should not use BMULTs", b.precision);
+        assert_eq!(
+            b.opt.bmults, 0,
+            "{} adder should not use BMULTs",
+            b.precision
+        );
     }
 }
 
@@ -164,7 +196,10 @@ fn fig3_wider_formats_burn_more() {
         let avg = |c: &fpfpga::repro::Fig3Curve| {
             c.points.iter().map(|&(_, p)| p).sum::<f64>() / c.points.len() as f64
         };
-        assert!(avg(&curves[2]) > avg(&curves[0]), "64-bit should out-burn 32-bit");
+        assert!(
+            avg(&curves[2]) > avg(&curves[0]),
+            "64-bit should out-burn 32-bit"
+        );
     }
 }
 
@@ -176,12 +211,18 @@ fn fig4_small_problem_wastes_energy_on_deep_pipelines() {
     // units result in lot of energy wastage due to zero padding"
     let bars = repro::fig4();
     let find = |n: u32, level: &str| {
-        bars.iter().find(|b| b.n == n && b.level == level).expect("bar exists")
+        bars.iter()
+            .find(|b| b.n == n && b.level == level)
+            .expect("bar exists")
     };
     // At n = 10 the pl=25 design pads (25-10)/25 = 60% of slots: its MAC
     // energy per useful FLOP is far above the pl=10 design's.
     let mac = |b: &fpfpga::repro::Fig4Bar| {
-        b.by_class.iter().find(|(c, _)| *c == ComponentClass::Mac).unwrap().1
+        b.by_class
+            .iter()
+            .find(|(c, _)| *c == ComponentClass::Mac)
+            .unwrap()
+            .1
     };
     let deep = find(10, "pl=25");
     let shallow = find(10, "pl=10");
@@ -196,7 +237,10 @@ fn fig4_small_problem_wastes_energy_on_deep_pipelines() {
     let shallow30 = find(30, "pl=10");
     let ratio30 = (mac(deep30) / 27000.0) / (mac(shallow30) / 27000.0);
     let ratio10 = per_flop_deep / per_flop_shallow;
-    assert!(ratio30 < ratio10, "waste ratio must shrink with n: {ratio30} vs {ratio10}");
+    assert!(
+        ratio30 < ratio10,
+        "waste ratio must shrink with n: {ratio30} vs {ratio10}"
+    );
 }
 
 #[test]
@@ -234,7 +278,12 @@ fn fig6_small_blocks_waste() {
     let pl25: Vec<_> = pts.iter().filter(|p| p.level == "pl=25").collect();
     // Energy per FLOP falls steeply from b=4 to b=32 for the deep units.
     let e = |p: &fpfpga::repro::ArchPoint| p.energy_nj;
-    assert!(e(pl25[0]) > 1.5 * e(pl25[3]), "b=4: {} vs b=32: {}", e(pl25[0]), e(pl25[3]));
+    assert!(
+        e(pl25[0]) > 1.5 * e(pl25[3]),
+        "b=4: {} vs b=32: {}",
+        e(pl25[0]),
+        e(pl25[3])
+    );
     // Latency also falls as b grows (more PEs + no padding).
     assert!(pl25[0].latency_us > pl25[3].latency_us);
     // Resources grow with b.

@@ -1,0 +1,260 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset of the criterion API its benches use:
+//! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `sample_size`, `throughput`, `bench_function`, and
+//! `Bencher::{iter, iter_with_setup}`. Measurement is real wall-clock:
+//! each benchmark is calibrated to a per-sample budget, timed over
+//! `sample_size` samples, and the median ns/iteration is reported
+//! (plus throughput when configured). There are no plots, baselines,
+//! or statistical regression tests.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` keeps working.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput basis for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements (e.g. FLOPs) processed per routine call.
+    Elements(u64),
+    /// Bytes processed per routine call.
+    Bytes(u64),
+}
+
+/// Top-level driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    /// Wall-clock budget per sample (calibration target).
+    sample_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_budget: Duration::from_millis(20),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\nbench group: {name}");
+        BenchmarkGroup {
+            crit: self,
+            _name: name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Ungrouped single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let budget = self.sample_budget;
+        run_benchmark(&id.into(), 10, None, budget, f);
+    }
+}
+
+/// A named set of benchmarks sharing sample settings.
+pub struct BenchmarkGroup<'a> {
+    crit: &'a mut Criterion,
+    _name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let budget = self.crit.sample_budget;
+        run_benchmark(&id.into(), self.sample_size, self.throughput, budget, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Times the routine the benchmark closure hands to [`Bencher::iter`].
+pub struct Bencher {
+    /// Iterations the routine must run this sample.
+    iters: u64,
+    /// Measured duration of those iterations.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+    ) {
+        // Setup runs outside the timed region, once per iteration.
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    budget: Duration,
+    mut f: F,
+) {
+    // Calibrate: grow the iteration count until one sample fills the
+    // budget (or the routine alone exceeds it).
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= budget || iters >= 1 << 20 {
+            break;
+        }
+        let grow = if b.elapsed.is_zero() {
+            16
+        } else {
+            (budget.as_nanos() / b.elapsed.as_nanos().max(1)).clamp(2, 16) as u64
+        };
+        iters = iters.saturating_mul(grow);
+    }
+
+    let mut per_iter_ns: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(f64::total_cmp);
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+
+    let time = human_time(median);
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (median * 1e-9);
+            eprintln!(
+                "  {id:<40} time: [{time}]  thrpt: [{}/s]",
+                human_count(rate)
+            );
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (median * 1e-9);
+            eprintln!(
+                "  {id:<40} time: [{time}]  thrpt: [{}B/s]",
+                human_count(rate)
+            );
+        }
+        None => eprintln!("  {id:<40} time: [{time}]"),
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn human_count(x: f64) -> String {
+    if x < 1e3 {
+        format!("{x:.1} ")
+    } else if x < 1e6 {
+        format!("{:.2} K", x / 1e3)
+    } else if x < 1e9 {
+        format!("{:.2} M", x / 1e6)
+    } else {
+        format!("{:.2} G", x / 1e9)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut crit: $crate::Criterion = $cfg;
+            $($target(&mut crit);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut crit = $crate::Criterion::default();
+            $($target(&mut crit);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion {
+            sample_budget: Duration::from_micros(200),
+        };
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3).throughput(Throughput::Elements(64));
+        g.bench_function("sum", |b| {
+            b.iter(|| (0..64u64).sum::<u64>());
+        });
+        g.bench_function("with_setup", |b| {
+            b.iter_with_setup(
+                || vec![1u8; 32],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+            );
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,425 @@
+//! Offline shim for the `serde_json` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset of the serde_json API its bench crate uses: the
+//! [`Value`] tree, the [`json!`] macro (object/array literals with
+//! expression leaves), indexing, `as_array`/`as_f64`/`as_u64`, and
+//! [`to_string_pretty`]. Leaves convert through the [`ToJson`] trait
+//! instead of serde's `Serialize`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered object.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number: integers stay exact, everything else is f64.
+#[derive(Clone, Copy, Debug)]
+pub enum Number {
+    U(u64),
+    I(i64),
+    F(f64),
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Number) -> bool {
+        self.as_f64() == other.as_f64()
+    }
+}
+
+impl Number {
+    fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U(n) => n as f64,
+            Number::I(n) => n as f64,
+            Number::F(x) => x,
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U(n)) => Some(*n),
+            Value::Number(Number::I(n)) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::I(n)) => Some(*n),
+            Value::Number(Number::U(n)) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+/// Leaf conversion into [`Value`] (the shim's stand-in for `Serialize`).
+pub trait ToJson {
+    fn to_json(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+macro_rules! to_json_uint {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(Number::U(*self as u64))
+            }
+        }
+    )*};
+}
+to_json_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! to_json_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(Number::I(*self as i64))
+            }
+        }
+    )*};
+}
+to_json_int!(i8, i16, i32, i64, isize);
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::F(*self as f64))
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::F(*self))
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<K: AsRef<str>, T: ToJson> ToJson for BTreeMap<K, T> {
+    fn to_json(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.as_ref().to_string(), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+/// Build a [`Value`] from object/array literal syntax with expression
+/// leaves, like serde_json's `json!`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:tt)* ]) => { $crate::json!(@array [] $($elem)*) };
+    (@array [$($done:expr),*]) => { $crate::Value::Array(vec![$($done),*]) };
+    (@array [$($done:expr),*] $next:expr $(, $($rest:tt)*)?) => {
+        $crate::json!(@array [$($done,)* $crate::json!($next)] $($($rest)*)?)
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $(($key.to_string(), $crate::json!($val))),*
+        ])
+    };
+    ($leaf:expr) => { $crate::ToJson::to_json(&$leaf) };
+}
+
+/// Error type for the (infallible) pretty printer.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize with two-space indentation.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(value, 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize compactly.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    Ok(format!("{value}"))
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write_number(*n, f),
+            Value::String(s) => write_escaped(s, f),
+            Value::Array(a) => {
+                f.write_str("[")?;
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(o) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in o.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(k, f)?;
+                    write!(f, ":{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_number(n: Number, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match n {
+        Number::U(v) => write!(f, "{v}"),
+        Number::I(v) => write!(f, "{v}"),
+        Number::F(x) if x.is_finite() => {
+            if x == x.trunc() && x.abs() < 1e15 {
+                write!(f, "{x:.1}")
+            } else {
+                write!(f, "{x}")
+            }
+        }
+        // JSON has no NaN/Inf; serde_json rejects them, we print null.
+        Number::F(_) => f.write_str("null"),
+    }
+}
+
+fn write_escaped(s: &str, f: &mut impl fmt::Write) -> fmt::Result {
+    f.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_char(c)?,
+        }
+    }
+    f.write_char('"')
+}
+
+fn write_pretty(value: &Value, depth: usize, out: &mut String) {
+    use fmt::Write;
+    let pad = "  ".repeat(depth);
+    match value {
+        Value::Array(a) if !a.is_empty() => {
+            out.push_str("[\n");
+            for (i, v) in a.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str("  ");
+                write_pretty(v, depth + 1, out);
+                if i + 1 < a.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(o) if !o.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in o.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str("  ");
+                let _ = write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(v, depth + 1, out);
+                if i + 1 < o.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+        other => {
+            let _ = write!(out, "{other}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_indexing_and_accessors() {
+        let v = json!({
+            "name": "fpfpga",
+            "stages": 12u32,
+            "clock_mhz": 230.5,
+            "tags": vec!["a".to_string(), "b".to_string()],
+            "nested": json!({ "x": 1u32 }),
+        });
+        assert_eq!(v["name"], "fpfpga");
+        assert_eq!(v["stages"].as_u64(), Some(12));
+        assert_eq!(v["clock_mhz"].as_f64(), Some(230.5));
+        assert_eq!(v["tags"].as_array().unwrap().len(), 2);
+        assert_eq!(v["nested"]["x"].as_u64(), Some(1));
+        assert_eq!(v["missing"], Value::Null);
+    }
+
+    #[test]
+    fn pretty_roundtrip_shape() {
+        let v = json!({ "a": [1u32, 2u32], "b": "x\"y" });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"a\": [\n"));
+        assert!(s.contains("\\\""));
+    }
+
+    #[test]
+    fn float_formatting_keeps_decimal_point() {
+        assert_eq!(to_string(&json!(3.0f64)).unwrap(), "3.0");
+        assert_eq!(to_string(&json!(0.25f64)).unwrap(), "0.25");
+    }
+}
