@@ -1,0 +1,108 @@
+//! Serving-layer throughput bench: one synthetic mixed trace replayed
+//! through [`ServePool`]s of 1, 2, 4 and 8 workers. Before any timing,
+//! every pool's results are asserted bit-identical to the serial
+//! oracle — sharding and coalescing may only change *when* work runs,
+//! never a result bit — so the numbers measure pure scheduling and
+//! parallelism, and the 4-worker point is expected to clear 1.5× the
+//! single-worker throughput on the compute-heavy mix.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fpfpga::prelude::*;
+use fpfpga::serve::run_serial;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// A trace heavy enough that worker parallelism, not queue overhead,
+/// dominates the replay.
+fn trace_specs() -> Vec<JobSpec> {
+    synth_trace(&TraceConfig {
+        seed: 40,
+        jobs: 96,
+        rate_hz: 1e6,
+        payload_scale: 6,
+    })
+    .into_iter()
+    .map(|ev| ev.spec)
+    .collect()
+}
+
+fn config(workers: usize, queue: usize, tech: &Tech) -> ServeConfig {
+    ServeConfig {
+        workers,
+        queue_capacity: queue,
+        tech: tech.clone(),
+        ..ServeConfig::default()
+    }
+}
+
+/// Replay the whole trace and return its results in submission order.
+fn replay(specs: &[JobSpec], cfg: ServeConfig) -> Vec<JobResult> {
+    let pool = ServePool::new(cfg);
+    let handles: Vec<JobHandle> = specs
+        .iter()
+        .map(|s| pool.submit(JobSpec::new(s.job.clone())).expect_accepted())
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| match h.wait() {
+            JobOutcome::Completed(r) => r,
+            other => panic!("bench job must complete: {other:?}"),
+        })
+        .collect()
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let specs = trace_specs();
+    let tech = Tech::virtex2pro();
+    let queue = specs.len();
+    let oracle = run_serial(&specs, &tech);
+
+    // Equivalence gate: every worker count must be bit-identical to
+    // serial before we publish a single throughput number.
+    for workers in [1usize, 2, 4, 8] {
+        let got = replay(&specs, config(workers, queue, &tech));
+        assert_eq!(got, oracle, "{workers}-worker replay diverged from serial");
+    }
+
+    // The headline scaling claim, measured outside criterion's sampling
+    // so it holds for the reported run as a hard assertion: ≥ 1.5× at
+    // 4 workers vs 1 (best of 3 replays each, to shave scheduler noise).
+    let best = |workers: usize| -> f64 {
+        (0..3)
+            .map(|_| {
+                let t = Instant::now();
+                black_box(replay(&specs, config(workers, queue, &tech)));
+                t.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let t1 = best(1);
+    let t4 = best(4);
+    let speedup = t1 / t4;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("serve_throughput: 4-worker speedup over 1 worker = {speedup:.2}x ({cores} CPU(s))");
+    if cores >= 4 {
+        assert!(
+            speedup >= 1.5,
+            "4 workers must deliver ≥1.5x the 1-worker throughput, got {speedup:.2}x"
+        );
+    } else {
+        // On a machine without 4 cores the workers time-share one CPU
+        // and a parallel speedup is physically impossible; report the
+        // measurement but skip the scaling assertion.
+        println!("serve_throughput: <4 CPUs — scaling assertion skipped (measured {speedup:.2}x)");
+    }
+
+    let mut g = c.benchmark_group("serve_throughput");
+    g.throughput(Throughput::Elements(specs.len() as u64)); // jobs per replay
+    g.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        g.bench_function(format!("workers_{workers}"), |b| {
+            b.iter(|| black_box(replay(&specs, config(workers, queue, &tech)).len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

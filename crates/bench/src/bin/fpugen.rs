@@ -22,6 +22,22 @@
 use fpfpga::fpu::generator::{generate, Metric, Request, UnitOp};
 use fpfpga::prelude::*;
 
+const HELP: &str = "fpugen — generate a floating-point unit from constraints
+
+Usage: fpugen --op <op> [options]
+
+Options:
+  --op <add|mul|div|sqrt|mac>       operation (required)
+  --bits <32|48|64>                 precision (default 32)
+  --exp <n> --frac <n>              custom format (overrides --bits)
+  --target-mhz <f>                  required clock
+  --max-slices <n>                  slice budget
+  --metric <max-freq|freq-area|min-area>   selection rule (default freq-area)
+  --tech <v2pro|virtexe>            device family (default v2pro)
+  --objective <speed|area>          tool objective (default speed)
+  --verbose                         print the generated netlist table
+  -h, --help                        print this help and exit";
+
 /// Reject a flag's value: name the flag, echo the value, list what was
 /// expected, exit 2 (usage error).
 fn bad_flag(flag: &str, value: &str, expected: &str) -> ! {
@@ -51,6 +67,10 @@ const VALUE_FLAGS: &[&str] = &[
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{HELP}");
+        return;
+    }
     let mut i = 0;
     while i < args.len() {
         let a = args[i].as_str();

@@ -1,0 +1,266 @@
+//! `fpuserve` — replay a synthetic mixed-precision job trace through
+//! the serving layer and report throughput, latency and scheduling
+//! metrics.
+//!
+//! ```text
+//! cargo run --release -p fpfpga-bench --bin fpuserve -- \
+//!     --seed 7 --jobs 256 --workers 4
+//! ```
+//!
+//! The trace is a Poisson arrival process over the full kernel mix
+//! (elementwise streams, dot products, MVM, matmul, LU, FFT, depth
+//! sweeps) at mixed precisions, a pure function of `--seed`. Every
+//! replay first checks the pool's results bit-for-bit against the
+//! serial oracle, then reports the replay metrics; `--scale` sweeps
+//! the worker count to show throughput scaling.
+
+use std::time::Instant;
+
+use fpfpga::prelude::*;
+use fpfpga::serve::run_serial;
+use fpfpga_bench::json::metrics_json;
+use serde_json::json;
+
+const HELP: &str = "fpuserve — trace-replay driver for the fpfpga serving layer
+
+Usage: fpuserve [options]
+
+Options:
+  --seed <n>         trace RNG seed (default 7)
+  --jobs <n>         number of requests in the trace (default 256)
+  --rate <hz>        Poisson arrival rate in requests/s (default 20000)
+  --payload-scale <n> multiplier on payload sizes (default 1)
+  --workers <n>      worker (= shard) count (default 4)
+  --queue <n>        per-shard queue capacity (default: trace size)
+  --window <n>       max jobs coalesced into one batch (default 16)
+  --scale            sweep 1/2/4/8 workers and print a scaling table
+  --json             emit the report as JSON instead of text
+  -h, --help         print this help and exit";
+
+fn bad_flag(flag: &str, value: &str, expected: &str) -> ! {
+    eprintln!("error: invalid value '{value}' for {flag}: expected {expected}");
+    std::process::exit(2);
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: &str, expected: &str) -> T {
+    value
+        .parse()
+        .unwrap_or_else(|_| bad_flag(flag, value, expected))
+}
+
+const VALUE_FLAGS: &[&str] = &[
+    "--seed",
+    "--jobs",
+    "--rate",
+    "--payload-scale",
+    "--workers",
+    "--queue",
+    "--window",
+];
+
+struct Replay {
+    metrics: MetricsSnapshot,
+    wall_s: f64,
+}
+
+/// Replay `specs` through a pool of `workers` workers as fast as the
+/// queues accept, asserting bit-identical results against `oracle`
+/// before reporting any number.
+fn replay(specs: &[JobSpec], oracle: &[JobResult], config: ServeConfig) -> Replay {
+    let workers = config.workers;
+    let pool = ServePool::new(config);
+    let start = Instant::now();
+    let handles: Vec<JobHandle> = specs
+        .iter()
+        .map(|s| match pool.submit(s.clone()) {
+            Submit::Accepted(h) => h,
+            Submit::Rejected { queue_depth } => {
+                eprintln!(
+                    "error: queue full at depth {queue_depth} — raise --queue above the trace size"
+                );
+                std::process::exit(1);
+            }
+            Submit::Invalid(reason) => {
+                eprintln!("error: trace produced an invalid job: {reason}");
+                std::process::exit(1);
+            }
+        })
+        .collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        match h.wait() {
+            JobOutcome::Completed(r) => assert_eq!(
+                r, oracle[i],
+                "job {i} diverged from the serial oracle at {workers} workers"
+            ),
+            other => panic!("job {i} did not complete: {other:?}"),
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    Replay {
+        metrics: pool.join(),
+        wall_s,
+    }
+}
+
+fn report_text(r: &Replay, specs_len: usize, workers: usize) {
+    let m = &r.metrics;
+    println!(
+        "pool: {} workers — {} jobs in {:.2} ms → {:.0} jobs/s, {:.2e} work items/s",
+        workers,
+        specs_len,
+        r.wall_s * 1e3,
+        specs_len as f64 / r.wall_s,
+        m.work_items as f64 / r.wall_s,
+    );
+    println!(
+        "  outcomes: {} completed, {} rejected, {} timed out, {} shed, {} failed",
+        m.completed, m.rejected, m.timed_out, m.shed, m.failed
+    );
+    println!(
+        "  batching: {} batches over {} coalescible jobs, occupancy {:.2}",
+        m.batches,
+        m.batched_jobs,
+        m.batch_occupancy()
+    );
+    let q = |p: f64| {
+        m.latency_quantile_us(p)
+            .map_or("-".to_string(), |us| format!("{us} µs"))
+    };
+    println!(
+        "  latency (bucket upper bounds): p50 ≤ {}, p90 ≤ {}, p99 ≤ {}; peak queue depth {}",
+        q(0.50),
+        q(0.90),
+        q(0.99),
+        m.max_queue_depth
+    );
+    println!(
+        "  sweep cache: {} hits / {} misses ({}), {} evictions",
+        m.cache_hits,
+        m.cache_misses,
+        m.cache_hit_rate()
+            .map_or("-".to_string(), |r| format!("{:.0}% hit rate", r * 100.0)),
+        m.cache_evictions
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{HELP}");
+        return;
+    }
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a == "--scale" || a == "--json" {
+            i += 1;
+        } else if VALUE_FLAGS.contains(&a) {
+            match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => i += 2,
+                _ => {
+                    eprintln!("error: {a} requires a value");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            eprintln!(
+                "error: unrecognized argument '{a}' (flags: {} , --scale --json -h)",
+                VALUE_FLAGS.join(" ")
+            );
+            std::process::exit(2);
+        }
+    }
+    let get = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+
+    let seed: u64 = get("--seed").map_or(7, |v| parse_num("--seed", &v, "a u64 seed"));
+    let jobs: usize = get("--jobs").map_or(256, |v| parse_num("--jobs", &v, "a job count"));
+    let rate_hz: f64 = get("--rate").map_or(20_000.0, |v| {
+        parse_num("--rate", &v, "an arrival rate in requests/s")
+    });
+    let payload_scale: usize = get("--payload-scale").map_or(1, |v| {
+        parse_num("--payload-scale", &v, "a payload size multiplier ≥ 1")
+    });
+    let workers: usize =
+        get("--workers").map_or(4, |v| parse_num("--workers", &v, "a worker count"));
+    let queue: usize = get("--queue").map_or(jobs.max(1), |v| {
+        parse_num("--queue", &v, "a queue capacity")
+    });
+    let window: usize =
+        get("--window").map_or(16, |v| parse_num("--window", &v, "a coalesce window size"));
+    let scale = args.iter().any(|a| a == "--scale");
+    let as_json = args.iter().any(|a| a == "--json");
+
+    let cfg = TraceConfig {
+        seed,
+        jobs,
+        rate_hz,
+        payload_scale,
+    };
+    let specs: Vec<JobSpec> = synth_trace(&cfg).into_iter().map(|ev| ev.spec).collect();
+    let tech = Tech::virtex2pro();
+    let oracle = run_serial(&specs, &tech);
+    let make_config = |workers: usize| ServeConfig {
+        workers,
+        queue_capacity: queue,
+        coalesce_window: window,
+        tech: tech.clone(),
+        ..ServeConfig::default()
+    };
+
+    let worker_counts: Vec<usize> = if scale {
+        vec![1, 2, 4, 8]
+    } else {
+        vec![workers]
+    };
+    let replays: Vec<(usize, Replay)> = worker_counts
+        .iter()
+        .map(|&w| (w, replay(&specs, &oracle, make_config(w))))
+        .collect();
+
+    if as_json {
+        let runs: Vec<serde_json::Value> = replays
+            .iter()
+            .map(|(w, r)| {
+                json!({
+                    "workers": *w,
+                    "wall_s": r.wall_s,
+                    "jobs_per_s": specs.len() as f64 / r.wall_s,
+                    "metrics": metrics_json(&r.metrics),
+                })
+            })
+            .collect();
+        let doc = json!({
+            "tool": "fpuserve",
+            "trace": json!({ "seed": seed, "jobs": jobs, "rate_hz": rate_hz }),
+            "queue_capacity": queue,
+            "coalesce_window": window,
+            "equivalence": "bit-identical to serial oracle",
+            "runs": runs,
+        });
+        println!("{}", serde_json::to_string_pretty(&doc).expect("serialize"));
+        return;
+    }
+
+    println!("fpuserve — serving-layer trace replay");
+    println!(
+        "trace: seed={seed} jobs={jobs} rate={rate_hz:.0} Hz (Poisson, mixed kernels/precisions)"
+    );
+    println!("queue capacity {queue}, coalesce window {window}");
+    println!("equivalence: every replay checked bit-identical to the serial oracle");
+    for (w, r) in &replays {
+        report_text(r, specs.len(), *w);
+    }
+    if scale {
+        let base = specs.len() as f64 / replays[0].1.wall_s;
+        println!("\nworker scaling (speedup over 1 worker):");
+        println!("  workers   jobs/s      speedup");
+        for (w, r) in &replays {
+            let jps = specs.len() as f64 / r.wall_s;
+            println!("  {:>7}   {:>9.0}   {:>6.2}x", w, jps, jps / base);
+        }
+    }
+}

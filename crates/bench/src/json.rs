@@ -128,6 +128,33 @@ pub fn arch_points_json(figure: &str, x_label: &str, pts: &[ArchPoint]) -> Value
     })
 }
 
+/// A serving-layer metrics snapshot as JSON (for the `fpuserve`
+/// trace-replay report).
+pub fn metrics_json(m: &MetricsSnapshot) -> Value {
+    json!({
+        "submitted": m.submitted,
+        "completed": m.completed,
+        "rejected": m.rejected,
+        "timed_out": m.timed_out,
+        "shed": m.shed,
+        "cancelled": m.cancelled,
+        "failed": m.failed,
+        "queue_depth": m.queue_depth,
+        "max_queue_depth": m.max_queue_depth,
+        "batches": m.batches,
+        "batched_jobs": m.batched_jobs,
+        "batch_occupancy": m.batch_occupancy(),
+        "work_items": m.work_items,
+        "latency_p50_us": m.latency_quantile_us(0.50),
+        "latency_p90_us": m.latency_quantile_us(0.90),
+        "latency_p99_us": m.latency_quantile_us(0.99),
+        "cache_hits": m.cache_hits,
+        "cache_misses": m.cache_misses,
+        "cache_evictions": m.cache_evictions,
+        "cache_hit_rate": m.cache_hit_rate(),
+    })
+}
+
 /// Every artifact as one JSON document.
 pub fn all_json() -> Value {
     let t3 = repro::table3();
@@ -169,6 +196,24 @@ mod tests {
         let v = gflops_json(&repro::gflops());
         assert!(v["single"]["gflops"].as_f64().unwrap() > 10.0);
         assert_eq!(v["processors"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn metrics_json_reports_counters_and_rates() {
+        let pool = ServePool::new(ServeConfig::with_workers(1));
+        let h = pool
+            .submit(Job::Sweep {
+                kind: CoreKind::Adder,
+                fmt: FpFormat::SINGLE,
+                opts: SynthesisOptions::SPEED,
+            })
+            .expect_accepted();
+        assert!(matches!(h.wait(), JobOutcome::Completed(_)));
+        let v = metrics_json(&pool.join());
+        assert_eq!(v["completed"].as_u64().unwrap(), 1);
+        assert_eq!(v["cache_misses"].as_u64().unwrap(), 1);
+        assert!(v["latency_p50_us"].as_u64().is_some());
+        assert!(v["batch_occupancy"].as_f64().is_some());
     }
 
     #[test]

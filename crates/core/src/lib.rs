@@ -21,7 +21,10 @@
 //!   simulation, block algorithm with zero padding, device-fill GFLOPS
 //!   and energy reports;
 //! * [`baselines`] — Nallatech/Quixilica/NEU cores and Pentium 4 / G4
-//!   processor models.
+//!   processor models;
+//! * [`serve`] — the multi-tenant serving layer: a sharded worker pool
+//!   with bounded queues, backpressure, coalescing, deadlines and
+//!   metrics, bit-identical to serial execution at any worker count.
 //!
 //! [`repro`] computes every table and figure of the paper's evaluation as
 //! plain data structures; the `fpfpga-bench` crate renders them.
@@ -62,6 +65,7 @@ pub use fpfpga_fabric as fabric;
 pub use fpfpga_fpu as fpu;
 pub use fpfpga_matmul as matmul;
 pub use fpfpga_power as power;
+pub use fpfpga_serve as serve;
 pub use fpfpga_softfp as softfp;
 
 pub mod repro;
@@ -83,5 +87,9 @@ pub mod prelude {
         Explorer, LinearArray, Matrix, MvmEngine, PeResources, PipeliningLevel, Schedule, UnitSet,
     };
     pub use fpfpga_power::{ComponentClass, EnergyBill, PowerBreakdown, PowerModel};
+    pub use fpfpga_serve::{
+        run_serial, synth_trace, Job, JobHandle, JobOutcome, JobResult, JobSpec, MetricsSnapshot,
+        Priority, ServeConfig, ServePool, Submit, TraceConfig,
+    };
     pub use fpfpga_softfp::{Flags, FpFormat, RoundMode, SoftFloat};
 }

@@ -14,6 +14,14 @@
 //! (exactly-once, so a warm cache never re-synthesizes). Hit/miss
 //! counters make redundancy observable in tests and benches.
 //!
+//! By default a cache is unbounded (the paper's design space is a
+//! handful of keys). Under sustained serving traffic with per-request
+//! formats the key population is open-ended, so
+//! [`SweepCache::with_capacity`] bounds the cache: when a miss would
+//! grow it past the capacity, the least-recently-used entry is evicted
+//! and the [`SweepCache::evictions`] counter increments. An evicted key
+//! that comes back simply re-synthesizes (counted as a fresh miss).
+//!
 //! [`PrecisionAnalysis`]: crate::analysis::PrecisionAnalysis
 
 use crate::generator::{sweep_for, UnitOp};
@@ -79,11 +87,27 @@ fn tech_fingerprint(tech: &Tech) -> u64 {
 
 type SweepCell = Arc<OnceLock<Arc<Vec<ImplementationReport>>>>;
 
+/// A resident entry: the memo cell plus its last-touch stamp (a logical
+/// clock, bumped on every lookup) for LRU ordering.
+struct CacheEntry {
+    cell: SweepCell,
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct CacheMap {
+    map: HashMap<SweepKey, CacheEntry>,
+    tick: u64,
+}
+
 #[derive(Default)]
 struct Inner {
-    map: Mutex<HashMap<SweepKey, SweepCell>>,
+    state: Mutex<CacheMap>,
+    /// `None` = unbounded (the default).
+    capacity: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 /// A shared, thread-safe memo of synthesis sweeps. Clones share state.
@@ -93,9 +117,30 @@ pub struct SweepCache {
 }
 
 impl SweepCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> SweepCache {
         SweepCache::default()
+    }
+
+    /// An empty cache holding at most `capacity` sweeps; beyond that,
+    /// the least-recently-used entry is evicted on insert.
+    ///
+    /// # Panics
+    /// If `capacity` is zero (a cache that can hold nothing cannot
+    /// honour the exactly-once contract of a single lookup).
+    pub fn with_capacity(capacity: usize) -> SweepCache {
+        assert!(capacity >= 1, "SweepCache capacity must be at least 1");
+        SweepCache {
+            inner: Arc::new(Inner {
+                capacity: Some(capacity),
+                ..Inner::default()
+            }),
+        }
+    }
+
+    /// The configured bound, or `None` when unbounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.inner.capacity
     }
 
     /// The memoized form of [`generator::sweep_for`]: returns the full
@@ -117,12 +162,37 @@ impl SweepCache {
             opts,
         };
         let (cell, first) = {
-            let mut map = self.inner.map.lock().expect("sweep cache poisoned");
-            match map.get(&key) {
-                Some(cell) => (cell.clone(), false),
+            let mut state = self.inner.state.lock().expect("sweep cache poisoned");
+            state.tick += 1;
+            let tick = state.tick;
+            match state.map.get_mut(&key) {
+                Some(entry) => {
+                    entry.stamp = tick;
+                    (entry.cell.clone(), false)
+                }
                 None => {
                     let cell: SweepCell = Arc::new(OnceLock::new());
-                    map.insert(key, cell.clone());
+                    state.map.insert(
+                        key,
+                        CacheEntry {
+                            cell: cell.clone(),
+                            stamp: tick,
+                        },
+                    );
+                    if let Some(cap) = self.inner.capacity {
+                        // The just-inserted entry holds the newest stamp,
+                        // so the LRU victim is never the new key.
+                        while state.map.len() > cap {
+                            let victim = state
+                                .map
+                                .iter()
+                                .min_by_key(|(_, e)| e.stamp)
+                                .map(|(&k, _)| k)
+                                .expect("non-empty over-capacity map");
+                            state.map.remove(&victim);
+                            self.inner.evictions.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
                     (cell, true)
                 }
             }
@@ -148,9 +218,19 @@ impl SweepCache {
         self.inner.misses.load(Ordering::Relaxed)
     }
 
+    /// Entries dropped by the LRU bound (always 0 when unbounded).
+    pub fn evictions(&self) -> u64 {
+        self.inner.evictions.load(Ordering::Relaxed)
+    }
+
     /// Number of distinct sweeps held.
     pub fn len(&self) -> usize {
-        self.inner.map.lock().expect("sweep cache poisoned").len()
+        self.inner
+            .state
+            .lock()
+            .expect("sweep cache poisoned")
+            .map
+            .len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -219,6 +299,57 @@ mod tests {
             "one thread computes, the rest block on the cell"
         );
         assert_eq!(cache.hits(), 3);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let (tech, opts) = flow();
+        let cache = SweepCache::new();
+        assert_eq!(cache.capacity(), None);
+        for op in [UnitOp::Add, UnitOp::Mul, UnitOp::Div, UnitOp::Sqrt] {
+            for fmt in FpFormat::PAPER_PRECISIONS {
+                cache.sweep(op, fmt, &tech, opts);
+            }
+        }
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.len(), 12);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let (tech, opts) = flow();
+        let cache = SweepCache::with_capacity(2);
+        assert_eq!(cache.capacity(), Some(2));
+        cache.sweep(UnitOp::Add, FpFormat::SINGLE, &tech, opts);
+        cache.sweep(UnitOp::Mul, FpFormat::SINGLE, &tech, opts);
+        // Touch Add so Mul becomes the LRU victim.
+        cache.sweep(UnitOp::Add, FpFormat::SINGLE, &tech, opts);
+        cache.sweep(UnitOp::Div, FpFormat::SINGLE, &tech, opts);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        // Add survived (hit); Mul was evicted (fresh miss re-computes).
+        let misses = cache.misses();
+        cache.sweep(UnitOp::Add, FpFormat::SINGLE, &tech, opts);
+        assert_eq!(cache.misses(), misses, "LRU-protected key must hit");
+        cache.sweep(UnitOp::Mul, FpFormat::SINGLE, &tech, opts);
+        assert_eq!(cache.misses(), misses + 1, "evicted key must re-miss");
+    }
+
+    #[test]
+    fn eviction_preserves_in_flight_results() {
+        // A holder of an evicted sweep keeps its Arc alive and correct.
+        let (tech, opts) = flow();
+        let cache = SweepCache::with_capacity(1);
+        let kept = cache.sweep(UnitOp::Add, FpFormat::SINGLE, &tech, opts);
+        cache.sweep(UnitOp::Mul, FpFormat::SINGLE, &tech, opts);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(*kept, sweep_for(UnitOp::Add, FpFormat::SINGLE, &tech, opts));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_is_rejected() {
+        let _ = SweepCache::with_capacity(0);
     }
 
     #[test]

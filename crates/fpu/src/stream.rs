@@ -1,4 +1,4 @@
-//! Batched streaming execution over [`FpPipe`](crate::sim::FpPipe)s.
+//! Batched streaming execution over [`FpPipe`]s.
 //!
 //! The paper's whole evaluation is throughput-driven: initiation-
 //! interval-1 pipelines kept full by back-to-back operand streams. The
@@ -6,7 +6,7 @@
 //! faithfully but pays an `Option` shuffle per cycle; this module adds
 //! the streaming view on top of it:
 //!
-//! * [`FpPipe::run_batch`](crate::sim::FpPipe::run_batch) — push a whole
+//! * [`FpPipe::run_batch`] — push a whole
 //!   operand slice through at full rate and drain, with bulk fast paths
 //!   in both simulator backends (bit-identical to per-cycle clocking,
 //!   property-tested in `tests/proptest_stream_batch.rs`);

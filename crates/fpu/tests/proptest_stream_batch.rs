@@ -100,6 +100,51 @@ proptest! {
         prop_assert_eq!(batched.cycles(), stepped.cycles(), "cycle charge k={}", stages);
     }
 
+    /// Structural divider: batched == hand-driven at every legal depth.
+    #[test]
+    fn divider_batch_matches_hand_driven_clocking(
+        fmt in formats(),
+        mode in modes(),
+        stage_seed in any::<u32>(),
+        raw_pre in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..8),
+        raw in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..32),
+    ) {
+        let design = DividerDesign { format: fmt, round: mode };
+        let max = design.netlist(&Tech::virtex2pro()).max_stages();
+        let stages = 1 + stage_seed % max;
+        let mut batched = design.simulator(stages);
+        let mut stepped = design.simulator(stages);
+        preload_pair(&mut batched, &mut stepped, &mask(fmt, &raw_pre));
+        let inputs = mask(fmt, &raw);
+        let got = batched.run_batch(&inputs);
+        let want = hand_driven(&mut stepped, &inputs);
+        prop_assert_eq!(got, want, "fmt={:?} k={}", fmt, stages);
+        prop_assert_eq!(batched.cycles(), stepped.cycles(), "cycle charge k={}", stages);
+    }
+
+    /// Structural square root: batched == hand-driven at every legal
+    /// depth (the second operand of each pair is ignored by the core).
+    #[test]
+    fn sqrt_batch_matches_hand_driven_clocking(
+        fmt in formats(),
+        mode in modes(),
+        stage_seed in any::<u32>(),
+        raw_pre in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..8),
+        raw in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..32),
+    ) {
+        let design = SqrtDesign { format: fmt, round: mode };
+        let max = design.netlist(&Tech::virtex2pro()).max_stages();
+        let stages = 1 + stage_seed % max;
+        let mut batched = design.simulator(stages);
+        let mut stepped = design.simulator(stages);
+        preload_pair(&mut batched, &mut stepped, &mask(fmt, &raw_pre));
+        let inputs = mask(fmt, &raw);
+        let got = batched.run_batch(&inputs);
+        let want = hand_driven(&mut stepped, &inputs);
+        prop_assert_eq!(got, want, "fmt={:?} k={}", fmt, stages);
+        prop_assert_eq!(batched.cycles(), stepped.cycles(), "cycle charge k={}", stages);
+    }
+
     /// Delay-line twin, all four ops: batched == hand-driven.
     #[test]
     fn delay_line_batch_matches_hand_driven_clocking(

@@ -1,0 +1,674 @@
+//! The serving layer's unit of work: one [`Job`] per request.
+//!
+//! Every variant wraps one of the library's kernels with its own
+//! per-job format and stage-count configuration — the run-time
+//! mixed-precision job stream the multi-precision-core literature
+//! serves from one device. Execution is a pure function of the job
+//! payload: [`Job::run`] on any thread, against any (warm or cold)
+//! [`SweepCache`], returns bit-identical [`JobResult`]s, which is what
+//! lets the pool schedule freely while the property tests pin the
+//! numerics.
+
+use std::hash::{Hash, Hasher};
+
+use fpfpga_fabric::report::ImplementationReport;
+use fpfpga_fabric::synthesis::SynthesisOptions;
+use fpfpga_fabric::tech::Tech;
+use fpfpga_fpu::analysis::{CoreKind, CoreSweep};
+use fpfpga_fpu::sim::{DelayLineUnit, DelayOp, FpPipe};
+use fpfpga_fpu::SweepCache;
+use fpfpga_matmul::pe::UnitBackend;
+use fpfpga_matmul::{
+    array::ArrayStats, Cplx, DotProductUnit, FftEngine, LinearArray, LuEngine, Matrix, MvmEngine,
+};
+use fpfpga_softfp::{Flags, FpFormat, RoundMode, SoftFloat};
+
+/// Elementwise operation of a coalescible [`Job::Eltwise`] stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EltOp {
+    /// a + b
+    Add,
+    /// a − b
+    Sub,
+    /// a × b
+    Mul,
+    /// a ÷ b
+    Div,
+    /// √a (second operand ignored)
+    Sqrt,
+}
+
+impl EltOp {
+    fn delay_op(self) -> DelayOp {
+        match self {
+            EltOp::Add => DelayOp::Add,
+            EltOp::Sub => DelayOp::Sub,
+            EltOp::Mul => DelayOp::Mul,
+            EltOp::Div => DelayOp::Div,
+            EltOp::Sqrt => DelayOp::Sqrt,
+        }
+    }
+}
+
+/// The class of jobs that may share one [`FpPipe::run_batch`] call:
+/// same operation, format, rounding mode and pipeline depth. Streams
+/// of the same class concatenate without changing any element's result
+/// (each element's value is independent of its batch position —
+/// property-tested).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CoalesceKey {
+    /// Elementwise operation.
+    pub op: EltOp,
+    /// Operand format.
+    pub fmt: FpFormat,
+    /// Rounding mode.
+    pub mode: RoundMode,
+    /// Pipeline depth of the serving unit.
+    pub stages: u32,
+}
+
+/// One request against the serving layer.
+#[derive(Clone, Debug)]
+pub enum Job {
+    /// A coalescible elementwise stream: `op(a, b)` per pair, through
+    /// one pipelined unit at initiation interval 1.
+    Eltwise {
+        /// Elementwise operation.
+        op: EltOp,
+        /// Operand format.
+        fmt: FpFormat,
+        /// Rounding mode.
+        mode: RoundMode,
+        /// Pipeline depth of the unit.
+        stages: u32,
+        /// Operand pairs (raw encodings in `fmt`).
+        pairs: Vec<(u64, u64)>,
+    },
+    /// Dot product on the round-robin accumulator-bank unit.
+    Dot {
+        /// Operand format.
+        fmt: FpFormat,
+        /// Rounding mode.
+        mode: RoundMode,
+        /// Multiplier pipeline depth.
+        mult_stages: u32,
+        /// Adder pipeline depth (= accumulator bank size).
+        add_stages: u32,
+        /// Left vector.
+        x: Vec<u64>,
+        /// Right vector.
+        y: Vec<u64>,
+    },
+    /// Square matrix multiply on the linear PE array.
+    MatMul {
+        /// Operand format.
+        fmt: FpFormat,
+        /// Rounding mode.
+        mode: RoundMode,
+        /// Multiplier pipeline depth.
+        mult_stages: u32,
+        /// Adder pipeline depth.
+        add_stages: u32,
+        /// Left operand.
+        a: Matrix,
+        /// Right operand.
+        b: Matrix,
+        /// PE pipe backend.
+        backend: UnitBackend,
+    },
+    /// Matrix-vector multiply on a `p`-PE engine.
+    Mvm {
+        /// Operand format.
+        fmt: FpFormat,
+        /// Rounding mode.
+        mode: RoundMode,
+        /// Multiplier pipeline depth.
+        mult_stages: u32,
+        /// Adder pipeline depth.
+        add_stages: u32,
+        /// PE count.
+        p: usize,
+        /// The matrix.
+        a: Matrix,
+        /// The vector.
+        x: Vec<u64>,
+    },
+    /// LU factorization (no pivoting).
+    Lu {
+        /// Operand format.
+        fmt: FpFormat,
+        /// Rounding mode.
+        mode: RoundMode,
+        /// Divider pipeline depth.
+        div_stages: u32,
+        /// Fused-MAC pipeline depth.
+        mac_stages: u32,
+        /// Update PEs.
+        p: u32,
+        /// The matrix to factor.
+        a: Matrix,
+    },
+    /// Radix-2 FFT on one butterfly unit.
+    Fft {
+        /// Operand format.
+        fmt: FpFormat,
+        /// Rounding mode.
+        mode: RoundMode,
+        /// Multiplier pipeline depth.
+        mult_stages: u32,
+        /// Adder pipeline depth.
+        add_stages: u32,
+        /// Input samples (power-of-two length ≥ 2).
+        data: Vec<Cplx>,
+        /// Inverse transform?
+        inverse: bool,
+    },
+    /// A design-space depth sweep (served from the worker's
+    /// [`SweepCache`] shard; repeats of the same key are cache hits).
+    Sweep {
+        /// Which core.
+        kind: CoreKind,
+        /// Operand format.
+        fmt: FpFormat,
+        /// Tool objective.
+        opts: SynthesisOptions,
+    },
+}
+
+/// The result of one [`Job`], bit-exact.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobResult {
+    /// Per-pair results with flags, in input order.
+    Eltwise(Vec<(u64, Flags)>),
+    /// Dot product value, accumulated flags, cycles consumed.
+    Dot {
+        /// Result encoding.
+        value: u64,
+        /// Accumulated exception flags.
+        flags: Flags,
+        /// Cycles consumed by the unit.
+        cycles: u64,
+    },
+    /// Product matrix and the array's run statistics.
+    MatMul {
+        /// C = A·B.
+        c: Matrix,
+        /// Cycle/MAC statistics of the run.
+        stats: ArrayStats,
+    },
+    /// Result vector and cycles.
+    Mvm {
+        /// y = A·x.
+        y: Vec<u64>,
+        /// Cycles consumed.
+        cycles: u64,
+    },
+    /// Packed LU factors and run counters.
+    Lu {
+        /// L (unit diagonal implicit) and U packed together.
+        lu: Matrix,
+        /// Cycles consumed.
+        cycles: u64,
+        /// Division operations issued.
+        divs: u64,
+        /// Fused MACs issued.
+        macs: u64,
+        /// Accumulated exception flags.
+        flags: Flags,
+    },
+    /// The transform and cycles.
+    Fft {
+        /// Transformed samples.
+        data: Vec<Cplx>,
+        /// Cycles consumed.
+        cycles: u64,
+    },
+    /// The sweep's opt point and the sweep depth count.
+    Sweep {
+        /// Highest freq/area implementation.
+        opt: ImplementationReport,
+        /// Number of depths swept.
+        depths: usize,
+    },
+}
+
+impl Job {
+    /// The flop-ish size of the job — used for throughput accounting,
+    /// never for scheduling decisions.
+    pub fn work_items(&self) -> u64 {
+        match self {
+            Job::Eltwise { pairs, .. } => pairs.len() as u64,
+            Job::Dot { x, .. } => 2 * x.len() as u64,
+            Job::MatMul { a, .. } => {
+                let n = a.rows() as u64;
+                2 * n * n * n
+            }
+            Job::Mvm { a, .. } => 2 * (a.rows() * a.cols()) as u64,
+            Job::Lu { a, .. } => {
+                let n = a.rows() as u64;
+                2 * n * n * n / 3
+            }
+            Job::Fft { data, .. } => {
+                let n = data.len() as u64;
+                5 * n * (n.max(2).ilog2() as u64)
+            }
+            Job::Sweep { .. } => 1,
+        }
+    }
+
+    /// The job's *class* — everything about its configuration except
+    /// the payload data. Jobs of one class route to one worker shard,
+    /// so repeated sweeps hit a warm cache and coalescible streams
+    /// meet in one queue.
+    pub fn class_hash(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        std::mem::discriminant(self).hash(&mut h);
+        match self {
+            Job::Eltwise {
+                op,
+                fmt,
+                mode,
+                stages,
+                ..
+            } => (op, fmt, mode, stages).hash(&mut h),
+            Job::Dot {
+                fmt,
+                mode,
+                mult_stages,
+                add_stages,
+                ..
+            } => (fmt, mode, mult_stages, add_stages).hash(&mut h),
+            Job::MatMul {
+                fmt,
+                mode,
+                mult_stages,
+                add_stages,
+                backend,
+                ..
+            } => {
+                let fast = matches!(backend, UnitBackend::Fast);
+                (fmt, mode, mult_stages, add_stages, fast).hash(&mut h);
+            }
+            Job::Mvm {
+                fmt,
+                mode,
+                mult_stages,
+                add_stages,
+                p,
+                ..
+            } => (fmt, mode, mult_stages, add_stages, p).hash(&mut h),
+            Job::Lu {
+                fmt,
+                mode,
+                div_stages,
+                mac_stages,
+                p,
+                ..
+            } => (fmt, mode, div_stages, mac_stages, p).hash(&mut h),
+            Job::Fft {
+                fmt,
+                mode,
+                mult_stages,
+                add_stages,
+                inverse,
+                ..
+            } => (fmt, mode, mult_stages, add_stages, inverse).hash(&mut h),
+            Job::Sweep { kind, fmt, opts } => (kind, fmt, opts).hash(&mut h),
+        }
+        h.finish()
+    }
+
+    /// The coalescing class, for jobs that may share one `run_batch`.
+    pub fn coalesce_key(&self) -> Option<CoalesceKey> {
+        match *self {
+            Job::Eltwise {
+                op,
+                fmt,
+                mode,
+                stages,
+                ..
+            } => Some(CoalesceKey {
+                op,
+                fmt,
+                mode,
+                stages,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Check the payload against the kernel's preconditions, so a bad
+    /// request is refused at submission instead of killing a worker.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            Job::Eltwise { stages, .. } => {
+                if *stages == 0 {
+                    return Err("eltwise unit needs at least 1 stage".into());
+                }
+            }
+            Job::Dot { x, y, .. } => {
+                if x.len() != y.len() {
+                    return Err(format!(
+                        "dot vector lengths differ: {} vs {}",
+                        x.len(),
+                        y.len()
+                    ));
+                }
+            }
+            Job::MatMul { a, b, .. } => {
+                let n = a.rows();
+                if a.cols() != n || b.rows() != n || b.cols() != n {
+                    return Err("matmul needs square matrices of one size".into());
+                }
+            }
+            Job::Mvm { a, x, p, .. } => {
+                if a.cols() != x.len() {
+                    return Err(format!(
+                        "mvm dimension mismatch: {}×{} · {}",
+                        a.rows(),
+                        a.cols(),
+                        x.len()
+                    ));
+                }
+                if *p == 0 {
+                    return Err("mvm needs at least 1 PE".into());
+                }
+            }
+            Job::Lu { a, fmt, p, .. } => {
+                if a.rows() != a.cols() {
+                    return Err("LU needs a square matrix".into());
+                }
+                if *p == 0 {
+                    return Err("LU needs at least 1 update PE".into());
+                }
+                for k in 0..a.rows() {
+                    if SoftFloat::from_bits(*fmt, a.get(k, k)).is_zero() {
+                        return Err(format!("zero pivot at row {k} (no pivoting)"));
+                    }
+                }
+            }
+            Job::Fft { data, .. } => {
+                if !data.len().is_power_of_two() || data.len() < 2 {
+                    return Err(format!(
+                        "FFT length {} is not a power of two ≥ 2",
+                        data.len()
+                    ));
+                }
+            }
+            Job::Sweep { .. } => {}
+        }
+        Ok(())
+    }
+
+    /// Execute the job. Pure in the payload: the `cache` only memoizes
+    /// [`Job::Sweep`] synthesis (identical results warm or cold), and
+    /// every kernel starts from freshly built, empty pipelines, so the
+    /// result is bit-identical no matter which thread, worker count or
+    /// batch the job ran in.
+    pub fn run(&self, tech: &Tech, cache: &SweepCache) -> JobResult {
+        match self {
+            Job::Eltwise {
+                op,
+                fmt,
+                mode,
+                stages,
+                pairs,
+            } => {
+                let mut unit = DelayLineUnit::new(*fmt, *mode, op.delay_op(), *stages);
+                JobResult::Eltwise(unit.run_batch(pairs))
+            }
+            Job::Dot {
+                fmt,
+                mode,
+                mult_stages,
+                add_stages,
+                x,
+                y,
+            } => {
+                let mut unit = DotProductUnit::new(*fmt, *mode, *mult_stages, *add_stages);
+                let (value, cycles) = unit.dot_batched(x, y);
+                JobResult::Dot {
+                    value,
+                    flags: unit.flags,
+                    cycles,
+                }
+            }
+            Job::MatMul {
+                fmt,
+                mode,
+                mult_stages,
+                add_stages,
+                a,
+                b,
+                backend,
+            } => {
+                let (c, stats) = LinearArray::multiply_batched(
+                    *fmt,
+                    *mode,
+                    *mult_stages,
+                    *add_stages,
+                    a,
+                    b,
+                    *backend,
+                );
+                JobResult::MatMul { c, stats }
+            }
+            Job::Mvm {
+                fmt,
+                mode,
+                mult_stages,
+                add_stages,
+                p,
+                a,
+                x,
+            } => {
+                let engine = MvmEngine::new(*fmt, *mode, *mult_stages, *add_stages, *p);
+                let (y, cycles) = engine.multiply_batched(a, x);
+                JobResult::Mvm { y, cycles }
+            }
+            Job::Lu {
+                fmt,
+                mode,
+                div_stages,
+                mac_stages,
+                p,
+                a,
+            } => {
+                let engine = LuEngine::new(*fmt, *mode, *div_stages, *mac_stages, *p);
+                let r = engine.factor_batched(a);
+                JobResult::Lu {
+                    lu: r.lu,
+                    cycles: r.cycles,
+                    divs: r.divs,
+                    macs: r.macs,
+                    flags: r.flags,
+                }
+            }
+            Job::Fft {
+                fmt,
+                mode,
+                mult_stages,
+                add_stages,
+                data,
+                inverse,
+            } => {
+                let engine = FftEngine::new(*fmt, *mode, *mult_stages, *add_stages);
+                let (out, cycles) = engine.run_batched(data, *inverse);
+                JobResult::Fft { data: out, cycles }
+            }
+            Job::Sweep { kind, fmt, opts } => {
+                let sweep = CoreSweep::new_cached(*kind, *fmt, tech, *opts, cache);
+                JobResult::Sweep {
+                    opt: sweep.opt().clone(),
+                    depths: sweep.reports.len(),
+                }
+            }
+        }
+    }
+}
+
+/// Run a coalesced batch of [`Job::Eltwise`] streams of one
+/// [`CoalesceKey`] through a single unit, one `run_batch` call, and
+/// split the concatenated results back per job. Each element's value
+/// depends only on its own operands, so this is bit-identical to
+/// running the jobs one by one (property-tested).
+pub fn run_coalesced(key: CoalesceKey, batches: &[&[(u64, u64)]]) -> Vec<JobResult> {
+    let mut unit = DelayLineUnit::new(key.fmt, key.mode, key.op.delay_op(), key.stages);
+    let all: Vec<(u64, u64)> = batches.iter().flat_map(|b| b.iter().copied()).collect();
+    let mut results = unit.run_batch(&all);
+    let mut out = Vec::with_capacity(batches.len());
+    for b in batches {
+        let rest = results.split_off(b.len());
+        out.push(JobResult::Eltwise(results));
+        results = rest;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc(fmt: FpFormat, v: f64) -> u64 {
+        SoftFloat::from_f64(fmt, v).bits()
+    }
+
+    #[test]
+    fn eltwise_runs_and_flags() {
+        let fmt = FpFormat::SINGLE;
+        let job = Job::Eltwise {
+            op: EltOp::Add,
+            fmt,
+            mode: RoundMode::NearestEven,
+            stages: 6,
+            pairs: vec![
+                (enc(fmt, 1.5), enc(fmt, 2.25)),
+                (enc(fmt, -1.0), enc(fmt, 1.0)),
+            ],
+        };
+        let cache = SweepCache::new();
+        match job.run(&Tech::virtex2pro(), &cache) {
+            JobResult::Eltwise(rs) => {
+                assert_eq!(rs.len(), 2);
+                assert_eq!(SoftFloat::from_bits(fmt, rs[0].0).to_f64(), 3.75);
+                assert_eq!(SoftFloat::from_bits(fmt, rs[1].0).to_f64(), 0.0);
+            }
+            other => panic!("wrong result kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn coalesced_matches_individual_runs() {
+        let fmt = FpFormat::FP48;
+        let key = CoalesceKey {
+            op: EltOp::Mul,
+            fmt,
+            mode: RoundMode::NearestEven,
+            stages: 9,
+        };
+        let mk = |vals: &[(f64, f64)]| -> Vec<(u64, u64)> {
+            vals.iter()
+                .map(|&(a, b)| (enc(fmt, a), enc(fmt, b)))
+                .collect()
+        };
+        let b1 = mk(&[(1.5, 2.0), (3.0, -0.25)]);
+        let b2 = mk(&[(1e10, 1e-10)]);
+        let b3 = mk(&[]);
+        let coalesced = run_coalesced(key, &[&b1, &b2, &b3]);
+        let tech = Tech::virtex2pro();
+        let cache = SweepCache::new();
+        for (got, pairs) in coalesced.iter().zip([&b1, &b2, &b3]) {
+            let solo = Job::Eltwise {
+                op: key.op,
+                fmt: key.fmt,
+                mode: key.mode,
+                stages: key.stages,
+                pairs: pairs.clone(),
+            }
+            .run(&tech, &cache);
+            assert_eq!(*got, solo);
+        }
+    }
+
+    #[test]
+    fn class_hash_ignores_payload_but_not_config() {
+        let fmt = FpFormat::SINGLE;
+        let j1 = Job::Eltwise {
+            op: EltOp::Add,
+            fmt,
+            mode: RoundMode::NearestEven,
+            stages: 6,
+            pairs: vec![(1, 2)],
+        };
+        let j2 = Job::Eltwise {
+            op: EltOp::Add,
+            fmt,
+            mode: RoundMode::NearestEven,
+            stages: 6,
+            pairs: vec![(3, 4), (5, 6)],
+        };
+        let j3 = Job::Eltwise {
+            op: EltOp::Add,
+            fmt,
+            mode: RoundMode::NearestEven,
+            stages: 7,
+            pairs: vec![(1, 2)],
+        };
+        assert_eq!(j1.class_hash(), j2.class_hash());
+        assert_ne!(j1.class_hash(), j3.class_hash());
+    }
+
+    #[test]
+    fn validate_catches_bad_payloads() {
+        let fmt = FpFormat::SINGLE;
+        assert!(Job::Dot {
+            fmt,
+            mode: RoundMode::NearestEven,
+            mult_stages: 5,
+            add_stages: 5,
+            x: vec![1, 2],
+            y: vec![1],
+        }
+        .validate()
+        .is_err());
+        assert!(Job::Fft {
+            fmt,
+            mode: RoundMode::NearestEven,
+            mult_stages: 5,
+            add_stages: 5,
+            data: vec![Cplx::zero(); 3],
+            inverse: false,
+        }
+        .validate()
+        .is_err());
+        // Zero diagonal → refused up front instead of a worker panic.
+        let a = Matrix::zero(fmt, 3, 3);
+        assert!(Job::Lu {
+            fmt,
+            mode: RoundMode::NearestEven,
+            div_stages: 8,
+            mac_stages: 6,
+            p: 2,
+            a,
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn sweep_job_uses_the_shard_cache() {
+        let cache = SweepCache::new();
+        let tech = Tech::virtex2pro();
+        let job = Job::Sweep {
+            kind: CoreKind::Adder,
+            fmt: FpFormat::SINGLE,
+            opts: SynthesisOptions::SPEED,
+        };
+        let r1 = job.run(&tech, &cache);
+        assert_eq!(cache.misses(), 1);
+        let r2 = job.run(&tech, &cache);
+        assert_eq!(cache.misses(), 1, "second run must be a cache hit");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(r1, r2);
+    }
+}

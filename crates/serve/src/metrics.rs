@@ -1,0 +1,247 @@
+//! Serving metrics: lock-free counters and a coarse latency histogram.
+//!
+//! Everything here is plain atomics — workers bump counters on their
+//! own hot path without contending on a lock, and a
+//! [`MetricsSnapshot`] is a consistent-enough point-in-time read for
+//! reports (counters are monotone; the snapshot may straddle an
+//! in-flight job by one count, which is fine for observability).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets: bucket `i` counts
+/// completions with latency in `[2^i, 2^(i+1))` microseconds, the last
+/// bucket is open-ended (≥ ~34 s).
+pub const LATENCY_BUCKETS: usize = 26;
+
+/// The pool's live metrics registry. Shared by all workers and the
+/// submission path; cheap to read at any time.
+#[derive(Default)]
+pub struct Metrics {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    timed_out: AtomicU64,
+    shed: AtomicU64,
+    cancelled: AtomicU64,
+    failed: AtomicU64,
+    queue_depth: AtomicI64,
+    max_queue_depth: AtomicU64,
+    batches: AtomicU64,
+    batched_jobs: AtomicU64,
+    work_items: AtomicU64,
+    latency: [AtomicU64; LATENCY_BUCKETS],
+}
+
+fn bucket_of(latency: Duration) -> usize {
+    let us = latency.as_micros().max(1) as u64;
+    (us.ilog2() as usize).min(LATENCY_BUCKETS - 1)
+}
+
+impl Metrics {
+    /// A zeroed registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    pub(crate) fn on_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_timed_out(&self) {
+        self.timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_cancelled(&self) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_completed(&self, latency: Duration, work_items: u64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.work_items.fetch_add(work_items, Ordering::Relaxed);
+        self.latency[bucket_of(latency)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One executed batch that served `jobs` coalesced jobs.
+    pub(crate) fn on_batch(&self, jobs: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_jobs.fetch_add(jobs, Ordering::Relaxed);
+    }
+
+    pub(crate) fn queue_grew(&self, by: usize) {
+        let now = self.queue_depth.fetch_add(by as i64, Ordering::Relaxed) + by as i64;
+        self.max_queue_depth
+            .fetch_max(now.max(0) as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn queue_shrank(&self, by: usize) {
+        self.queue_depth.fetch_sub(by as i64, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed).max(0) as u64,
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_jobs: self.batched_jobs.load(Ordering::Relaxed),
+            work_items: self.work_items.load(Ordering::Relaxed),
+            latency_buckets: std::array::from_fn(|i| self.latency[i].load(Ordering::Relaxed)),
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evictions: 0,
+        }
+    }
+}
+
+/// A point-in-time copy of the registry, plus the pool's aggregated
+/// sweep-cache statistics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Jobs accepted into a queue (sheds and timeouts included).
+    pub submitted: u64,
+    /// Jobs that ran to completion.
+    pub completed: u64,
+    /// Submissions refused because the shard queue was full.
+    pub rejected: u64,
+    /// Jobs whose deadline expired before execution.
+    pub timed_out: u64,
+    /// Queued jobs displaced by higher-priority submissions.
+    pub shed: u64,
+    /// Jobs cancelled via their handle before execution.
+    pub cancelled: u64,
+    /// Jobs that panicked or were refused by kernel preconditions.
+    pub failed: u64,
+    /// Jobs currently queued (gauge).
+    pub queue_depth: u64,
+    /// High-water mark of the queue depth.
+    pub max_queue_depth: u64,
+    /// Executed coalescible batches.
+    pub batches: u64,
+    /// Jobs served by those batches (occupancy numerator).
+    pub batched_jobs: u64,
+    /// Work items (flop-ish) completed, for throughput accounting.
+    pub work_items: u64,
+    /// Power-of-two latency histogram: bucket `i` counts completions
+    /// in `[2^i, 2^(i+1))` µs.
+    pub latency_buckets: [u64; LATENCY_BUCKETS],
+    /// Sweep-cache hits summed over all worker shards.
+    pub cache_hits: u64,
+    /// Sweep-cache misses summed over all worker shards.
+    pub cache_misses: u64,
+    /// Sweep-cache LRU evictions summed over all worker shards.
+    pub cache_evictions: u64,
+}
+
+impl MetricsSnapshot {
+    /// Mean coalesced jobs per executed batch (1.0 = no coalescing won).
+    pub fn batch_occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_jobs as f64 / self.batches as f64
+        }
+    }
+
+    /// Sweep-cache hit rate in [0, 1], or `None` before any lookup.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        (total > 0).then(|| self.cache_hits as f64 / total as f64)
+    }
+
+    /// Completions recorded in the histogram.
+    pub fn latency_count(&self) -> u64 {
+        self.latency_buckets.iter().sum()
+    }
+
+    /// Upper bound (µs) of the bucket containing quantile `q` ∈ [0, 1]
+    /// — a coarse percentile (within 2× of the true value), or `None`
+    /// with no completions.
+    pub fn latency_quantile_us(&self, q: f64) -> Option<u64> {
+        let total = self.latency_count();
+        if total == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.latency_buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(1u64 << (i + 1));
+            }
+        }
+        Some(1u64 << LATENCY_BUCKETS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_microseconds() {
+        assert_eq!(bucket_of(Duration::from_micros(0)), 0);
+        assert_eq!(bucket_of(Duration::from_micros(1)), 0);
+        assert_eq!(bucket_of(Duration::from_micros(3)), 1);
+        assert_eq!(bucket_of(Duration::from_micros(1024)), 10);
+        assert_eq!(bucket_of(Duration::from_secs(3600)), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn snapshot_reflects_counts() {
+        let m = Metrics::new();
+        m.on_submitted();
+        m.on_submitted();
+        m.queue_grew(2);
+        m.queue_shrank(1);
+        m.on_completed(Duration::from_micros(100), 64);
+        m.on_timed_out();
+        m.on_batch(3);
+        let s = m.snapshot();
+        assert_eq!(s.submitted, 2);
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.timed_out, 1);
+        assert_eq!(s.queue_depth, 1);
+        assert_eq!(s.max_queue_depth, 2);
+        assert_eq!(s.work_items, 64);
+        assert_eq!(s.batch_occupancy(), 3.0);
+        assert_eq!(s.latency_count(), 1);
+    }
+
+    #[test]
+    fn quantiles_walk_the_histogram() {
+        let m = Metrics::new();
+        for _ in 0..90 {
+            m.on_completed(Duration::from_micros(10), 1);
+        }
+        for _ in 0..10 {
+            m.on_completed(Duration::from_millis(10), 1);
+        }
+        let s = m.snapshot();
+        let p50 = s.latency_quantile_us(0.50).unwrap();
+        let p99 = s.latency_quantile_us(0.99).unwrap();
+        assert!(p50 <= 16, "p50 bucket bound = {p50}");
+        assert!(p99 >= 8192, "p99 bucket bound = {p99}");
+        assert!(s.latency_quantile_us(0.0).is_some());
+        assert_eq!(Metrics::new().snapshot().latency_quantile_us(0.5), None);
+    }
+}

@@ -1,0 +1,775 @@
+//! The sharded worker pool: bounded queues, explicit backpressure,
+//! deadlines, priority shedding, and coalesced batch execution.
+//!
+//! Layout: `N` workers, each owning one shard — a bounded FIFO queue
+//! plus a private [`SweepCache`]. A job routes to the shard named by
+//! its [`Job::class_hash`], so repeats of one job class warm one cache
+//! and coalescible streams meet in one queue, where the worker folds
+//! up to `coalesce_window` of them into a single
+//! [`run_batch`](fpfpga_fpu::sim::FpPipe::run_batch) call.
+//!
+//! Overload policy, in order:
+//! 1. a full shard queue **sheds** its lowest-priority queued job when
+//!    a strictly higher-priority submission arrives (the shed job's
+//!    handle reports [`JobOutcome::Shed`] — never a silent drop);
+//! 2. otherwise the submission is refused with [`Submit::Rejected`] —
+//!    the caller sees backpressure immediately, nothing blocks.
+//!
+//! Deadlines are checked when a worker picks the job up: an expired
+//! job is reported as [`JobOutcome::TimedOut`] (and counted) instead
+//! of being run late. Cancellation via [`JobHandle::cancel`] works the
+//! same way. Workers never die: a panicking kernel is caught and
+//! reported as [`JobOutcome::Failed`].
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use fpfpga_fabric::tech::Tech;
+use fpfpga_fpu::SweepCache;
+
+use crate::job::{run_coalesced, Job, JobResult};
+use crate::metrics::{Metrics, MetricsSnapshot};
+
+/// Scheduling priority. Shedding removes `Low` before `Normal` before
+/// `High`; a submission can only displace strictly lower priorities.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Best-effort; first to be shed under overload.
+    Low,
+    /// The default.
+    Normal,
+    /// Sheds `Low`/`Normal` work when the queue is full.
+    High,
+}
+
+/// A job plus its scheduling envelope.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// The work.
+    pub job: Job,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Time budget from submission; expired jobs are not run.
+    pub deadline: Option<Duration>,
+}
+
+impl From<Job> for JobSpec {
+    fn from(job: Job) -> JobSpec {
+        JobSpec {
+            job,
+            priority: Priority::Normal,
+            deadline: None,
+        }
+    }
+}
+
+impl JobSpec {
+    /// A normal-priority spec with no deadline.
+    pub fn new(job: Job) -> JobSpec {
+        JobSpec::from(job)
+    }
+
+    /// Set the priority.
+    pub fn with_priority(mut self, priority: Priority) -> JobSpec {
+        self.priority = priority;
+        self
+    }
+
+    /// Set the deadline (measured from submission).
+    pub fn with_deadline(mut self, deadline: Duration) -> JobSpec {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// How one job ended.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobOutcome {
+    /// Ran; here is the bit-exact result.
+    Completed(JobResult),
+    /// Deadline expired before a worker picked it up.
+    TimedOut,
+    /// Displaced from a full queue by a higher-priority submission.
+    Shed,
+    /// Cancelled via [`JobHandle::cancel`] before execution.
+    Cancelled,
+    /// The kernel panicked; the worker survived.
+    Failed(String),
+}
+
+struct Shared {
+    outcome: Mutex<Option<JobOutcome>>,
+    cv: Condvar,
+    cancelled: AtomicBool,
+}
+
+/// The submitter's side of one accepted job.
+pub struct JobHandle {
+    shared: Arc<Shared>,
+}
+
+impl JobHandle {
+    /// Block until the job ends, consuming the handle.
+    pub fn wait(self) -> JobOutcome {
+        let mut slot = self.shared.outcome.lock().expect("job outcome poisoned");
+        loop {
+            if let Some(outcome) = slot.take() {
+                return outcome;
+            }
+            slot = self.shared.cv.wait(slot).expect("job outcome poisoned");
+        }
+    }
+
+    /// Has the job ended (in any way)?
+    pub fn is_done(&self) -> bool {
+        self.shared
+            .outcome
+            .lock()
+            .expect("job outcome poisoned")
+            .is_some()
+    }
+
+    /// Ask the pool not to run this job. Takes effect if a worker has
+    /// not picked it up yet; the outcome becomes
+    /// [`JobOutcome::Cancelled`].
+    pub fn cancel(&self) {
+        self.shared.cancelled.store(true, Ordering::Relaxed);
+    }
+}
+
+/// What [`ServePool::submit`] returns — acceptance is explicit, and a
+/// full queue answers immediately instead of blocking.
+pub enum Submit {
+    /// Queued; await the handle.
+    Accepted(JobHandle),
+    /// The shard's queue is full and nothing lower-priority could be
+    /// shed. Retry later or scale out.
+    Rejected {
+        /// Depth of the refusing queue at rejection time.
+        queue_depth: usize,
+    },
+    /// The payload failed kernel precondition checks; never queued.
+    Invalid(String),
+}
+
+impl Submit {
+    /// Unwrap an accepted submission (panics otherwise) — for tests
+    /// and closed-loop drivers that sized the queue to their load.
+    pub fn expect_accepted(self) -> JobHandle {
+        match self {
+            Submit::Accepted(h) => h,
+            Submit::Rejected { queue_depth } => {
+                panic!("submission rejected at queue depth {queue_depth}")
+            }
+            Submit::Invalid(reason) => panic!("invalid job: {reason}"),
+        }
+    }
+}
+
+/// Pool construction parameters.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker (= shard) count, ≥ 1.
+    pub workers: usize,
+    /// Bounded capacity of each shard's queue.
+    pub queue_capacity: usize,
+    /// Max coalescible jobs folded into one `run_batch` call.
+    pub coalesce_window: usize,
+    /// Per-shard sweep-cache bound (`None` = unbounded).
+    pub cache_capacity: Option<usize>,
+    /// Device model used by [`Job::Sweep`].
+    pub tech: Tech,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 256,
+            coalesce_window: 16,
+            cache_capacity: Some(128),
+            tech: Tech::virtex2pro(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The default config at a given worker count.
+    pub fn with_workers(workers: usize) -> ServeConfig {
+        ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        }
+    }
+}
+
+struct Entry {
+    job: Job,
+    priority: Priority,
+    submitted: Instant,
+    deadline: Option<Instant>,
+    work_items: u64,
+    shared: Arc<Shared>,
+}
+
+struct ShardState {
+    queue: VecDeque<Entry>,
+    open: bool,
+    paused: bool,
+}
+
+struct Shard {
+    state: Mutex<ShardState>,
+    cv: Condvar,
+}
+
+/// The serving engine: submit [`JobSpec`]s, await [`JobHandle`]s,
+/// observe [`MetricsSnapshot`]s. Dropping the pool drains the queues
+/// and joins the workers.
+pub struct ServePool {
+    shards: Vec<Arc<Shard>>,
+    caches: Vec<SweepCache>,
+    metrics: Arc<Metrics>,
+    workers: Vec<JoinHandle<()>>,
+    queue_capacity: usize,
+}
+
+impl ServePool {
+    /// Spawn the pool.
+    pub fn new(config: ServeConfig) -> ServePool {
+        assert!(config.workers >= 1, "pool needs at least one worker");
+        assert!(config.queue_capacity >= 1, "queue capacity must be ≥ 1");
+        assert!(config.coalesce_window >= 1, "coalesce window must be ≥ 1");
+        let metrics = Arc::new(Metrics::new());
+        let mut shards = Vec::with_capacity(config.workers);
+        let mut caches = Vec::with_capacity(config.workers);
+        let mut workers = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            let shard = Arc::new(Shard {
+                state: Mutex::new(ShardState {
+                    queue: VecDeque::new(),
+                    open: true,
+                    paused: false,
+                }),
+                cv: Condvar::new(),
+            });
+            let cache = match config.cache_capacity {
+                Some(cap) => SweepCache::with_capacity(cap),
+                None => SweepCache::new(),
+            };
+            shards.push(shard);
+            caches.push(cache);
+        }
+        for i in 0..config.workers {
+            let ctx = WorkerCtx {
+                shards: shards.clone(),
+                caches: caches.clone(),
+                me: i,
+                metrics: metrics.clone(),
+                tech: config.tech.clone(),
+                coalesce_window: config.coalesce_window,
+            };
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("fpserve-{i}"))
+                    .spawn(move || ctx.run())
+                    .expect("spawn worker"),
+            );
+        }
+        ServePool {
+            shards,
+            caches,
+            metrics,
+            workers,
+            queue_capacity: config.queue_capacity,
+        }
+    }
+
+    /// Worker (= shard) count.
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Submit a job. Returns immediately: `Accepted` with a handle,
+    /// `Rejected` on a full queue (backpressure — never blocks, never
+    /// drops silently), or `Invalid` on a precondition failure.
+    pub fn submit(&self, spec: impl Into<JobSpec>) -> Submit {
+        let spec = spec.into();
+        if let Err(reason) = spec.job.validate() {
+            self.metrics.on_failed();
+            return Submit::Invalid(reason);
+        }
+        let shard = &self.shards[(spec.job.class_hash() % self.shards.len() as u64) as usize];
+        let now = Instant::now();
+        let shared = Arc::new(Shared {
+            outcome: Mutex::new(None),
+            cv: Condvar::new(),
+            cancelled: AtomicBool::new(false),
+        });
+        let entry = Entry {
+            work_items: spec.job.work_items(),
+            job: spec.job,
+            priority: spec.priority,
+            submitted: now,
+            deadline: spec.deadline.map(|d| now + d),
+            shared: shared.clone(),
+        };
+
+        let mut st = shard.state.lock().expect("shard poisoned");
+        if !st.open {
+            self.metrics.on_rejected();
+            return Submit::Rejected {
+                queue_depth: st.queue.len(),
+            };
+        }
+        if st.queue.len() >= self.queue_capacity {
+            // Graceful degradation: shed the lowest-priority queued job
+            // (latest-submitted among equals) for a strictly
+            // higher-priority submission; otherwise refuse.
+            let victim = st
+                .queue
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, e)| (e.priority, std::cmp::Reverse(*i)))
+                .map(|(i, e)| (i, e.priority));
+            match victim {
+                Some((i, p)) if p < entry.priority => {
+                    let shed = st.queue.remove(i).expect("victim index in range");
+                    finish(&shed, JobOutcome::Shed);
+                    self.metrics.on_shed();
+                    self.metrics.queue_shrank(1);
+                }
+                _ => {
+                    self.metrics.on_rejected();
+                    return Submit::Rejected {
+                        queue_depth: st.queue.len(),
+                    };
+                }
+            }
+        }
+        st.queue.push_back(entry);
+        self.metrics.on_submitted();
+        self.metrics.queue_grew(1);
+        drop(st);
+        // Wake the home worker — and poke every other shard so an idle
+        // worker re-runs its steal scan now instead of on its next doze
+        // tick (each worker waits on its own shard's condvar only).
+        for s in &self.shards {
+            s.cv.notify_one();
+        }
+        Submit::Accepted(JobHandle { shared })
+    }
+
+    /// Stop workers from picking up new jobs (queues keep accepting up
+    /// to capacity). Used by drain-style maintenance and the overload
+    /// tests; pair with [`ServePool::resume`].
+    pub fn pause(&self) {
+        for shard in &self.shards {
+            shard.state.lock().expect("shard poisoned").paused = true;
+            shard.cv.notify_all();
+        }
+    }
+
+    /// Resume a paused pool.
+    pub fn resume(&self) {
+        for shard in &self.shards {
+            shard.state.lock().expect("shard poisoned").paused = false;
+            shard.cv.notify_all();
+        }
+    }
+
+    /// Metrics snapshot, including sweep-cache stats aggregated over
+    /// every worker shard.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut s = self.metrics.snapshot();
+        for c in &self.caches {
+            s.cache_hits += c.hits();
+            s.cache_misses += c.misses();
+            s.cache_evictions += c.evictions();
+        }
+        s
+    }
+
+    /// Drain every queue and join the workers. (Queued jobs still run;
+    /// new submissions are rejected.)
+    pub fn join(mut self) -> MetricsSnapshot {
+        self.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.metrics()
+    }
+
+    fn close(&self) {
+        for shard in &self.shards {
+            let mut st = shard.state.lock().expect("shard poisoned");
+            st.open = false;
+            st.paused = false;
+            shard.cv.notify_all();
+        }
+    }
+}
+
+impl Drop for ServePool {
+    fn drop(&mut self) {
+        self.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn finish(entry: &Entry, outcome: JobOutcome) {
+    let mut slot = entry.shared.outcome.lock().expect("job outcome poisoned");
+    *slot = Some(outcome);
+    entry.shared.cv.notify_all();
+}
+
+/// Pop the head of a shard queue plus every coalescible same-class
+/// entry behind it (they need not be adjacent), up to `window`.
+fn take_group(st: &mut ShardState, window: usize) -> Vec<Entry> {
+    let head = st.queue.pop_front().expect("non-empty queue");
+    let mut group = vec![head];
+    if let Some(key) = group[0].job.coalesce_key() {
+        let mut i = 0;
+        while i < st.queue.len() && group.len() < window {
+            if st.queue[i].job.coalesce_key() == Some(key) {
+                group.push(st.queue.remove(i).expect("index in range"));
+            } else {
+                i += 1;
+            }
+        }
+    }
+    group
+}
+
+struct WorkerCtx {
+    shards: Vec<Arc<Shard>>,
+    caches: Vec<SweepCache>,
+    me: usize,
+    metrics: Arc<Metrics>,
+    tech: Tech,
+    coalesce_window: usize,
+}
+
+impl WorkerCtx {
+    fn run(self) {
+        while let Some((home, group)) = self.next_group() {
+            self.metrics.queue_shrank(group.len());
+            self.execute(home, group);
+        }
+    }
+
+    /// Block until there is work: prefer the worker's own shard, then
+    /// steal a group from any other shard (class-hash sharding balances
+    /// cache affinity, not load — a run of heavy jobs can pile onto one
+    /// shard, and stealing keeps the other workers busy; jobs are pure,
+    /// so where they execute is invisible in the results). Returns the
+    /// *home* shard index with the group, so stolen sweeps still run
+    /// against their home cache. `None` means the pool is shutting down
+    /// and every queue this worker can see is empty.
+    fn next_group(&self) -> Option<(usize, Vec<Entry>)> {
+        let own = &self.shards[self.me];
+        let mut st = own.state.lock().expect("shard poisoned");
+        loop {
+            if st.paused {
+                st = own.cv.wait(st).expect("shard poisoned");
+                continue;
+            }
+            if !st.queue.is_empty() {
+                return Some((self.me, take_group(&mut st, self.coalesce_window)));
+            }
+            let open = st.open;
+            drop(st);
+            for j in (0..self.shards.len()).filter(|&j| j != self.me) {
+                let mut other = self.shards[j].state.lock().expect("shard poisoned");
+                if !other.paused && !other.queue.is_empty() {
+                    return Some((j, take_group(&mut other, self.coalesce_window)));
+                }
+            }
+            if !open {
+                return None;
+            }
+            st = own.state.lock().expect("shard poisoned");
+            if st.paused || !st.queue.is_empty() || !st.open {
+                continue;
+            }
+            // Nothing anywhere: doze briefly. The timeout bounds how
+            // long newly submitted *remote* work waits for a thief
+            // (own-shard work wakes us through the condvar).
+            let (guard, _) = own
+                .cv
+                .wait_timeout(st, Duration::from_millis(1))
+                .expect("shard poisoned");
+            st = guard;
+        }
+    }
+
+    fn execute(&self, home: usize, group: Vec<Entry>) {
+        // Deadline/cancellation triage at pickup time.
+        let now = Instant::now();
+        let mut live = Vec::with_capacity(group.len());
+        for e in group {
+            if e.shared.cancelled.load(Ordering::Relaxed) {
+                self.metrics.on_cancelled();
+                finish(&e, JobOutcome::Cancelled);
+            } else if e.deadline.is_some_and(|d| now >= d) {
+                self.metrics.on_timed_out();
+                finish(&e, JobOutcome::TimedOut);
+            } else {
+                live.push(e);
+            }
+        }
+        if live.is_empty() {
+            return;
+        }
+
+        if live.len() > 1 {
+            // A coalesced batch: one unit, one run_batch call.
+            let key = live[0].job.coalesce_key().expect("coalesced group");
+            let batches: Vec<&[(u64, u64)]> = live
+                .iter()
+                .map(|e| match &e.job {
+                    Job::Eltwise { pairs, .. } => pairs.as_slice(),
+                    _ => unreachable!("only eltwise jobs coalesce"),
+                })
+                .collect();
+            self.metrics.on_batch(live.len() as u64);
+            match catch_unwind(AssertUnwindSafe(|| run_coalesced(key, &batches))) {
+                Ok(results) => {
+                    let done = Instant::now();
+                    for (e, r) in live.iter().zip(results) {
+                        self.metrics.on_completed(done - e.submitted, e.work_items);
+                        finish(e, JobOutcome::Completed(r));
+                    }
+                }
+                Err(p) => {
+                    for e in &live {
+                        self.metrics.on_failed();
+                        finish(e, JobOutcome::Failed(panic_text(&p)));
+                    }
+                }
+            }
+        } else {
+            let e = live.pop().expect("one live entry");
+            if e.job.coalesce_key().is_some() {
+                self.metrics.on_batch(1);
+            }
+            match catch_unwind(AssertUnwindSafe(|| {
+                e.job.run(&self.tech, &self.caches[home])
+            })) {
+                Ok(result) => {
+                    self.metrics
+                        .on_completed(e.submitted.elapsed(), e.work_items);
+                    finish(&e, JobOutcome::Completed(result));
+                }
+                Err(p) => {
+                    self.metrics.on_failed();
+                    finish(&e, JobOutcome::Failed(panic_text(&p)));
+                }
+            }
+        }
+    }
+}
+
+fn panic_text(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panic".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::EltOp;
+    use fpfpga_softfp::{FpFormat, RoundMode, SoftFloat};
+
+    const FMT: FpFormat = FpFormat::SINGLE;
+    const RM: RoundMode = RoundMode::NearestEven;
+
+    fn enc(v: f64) -> u64 {
+        SoftFloat::from_f64(FMT, v).bits()
+    }
+
+    fn add_job(vals: &[(f64, f64)]) -> Job {
+        Job::Eltwise {
+            op: EltOp::Add,
+            fmt: FMT,
+            mode: RM,
+            stages: 6,
+            pairs: vals.iter().map(|&(a, b)| (enc(a), enc(b))).collect(),
+        }
+    }
+
+    #[test]
+    fn submit_and_wait_round_trip() {
+        let pool = ServePool::new(ServeConfig::with_workers(2));
+        let h = pool
+            .submit(add_job(&[(1.0, 2.0), (3.0, 4.0)]))
+            .expect_accepted();
+        match h.wait() {
+            JobOutcome::Completed(JobResult::Eltwise(rs)) => {
+                assert_eq!(SoftFloat::from_bits(FMT, rs[0].0).to_f64(), 3.0);
+                assert_eq!(SoftFloat::from_bits(FMT, rs[1].0).to_f64(), 7.0);
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+        let m = pool.join();
+        assert_eq!((m.submitted, m.completed), (1, 1));
+        assert_eq!(m.queue_depth, 0);
+    }
+
+    #[test]
+    fn full_queue_rejects_instead_of_blocking() {
+        let pool = ServePool::new(ServeConfig {
+            workers: 1,
+            queue_capacity: 2,
+            ..ServeConfig::default()
+        });
+        pool.pause();
+        let _h1 = pool.submit(add_job(&[(1.0, 1.0)])).expect_accepted();
+        let _h2 = pool.submit(add_job(&[(2.0, 2.0)])).expect_accepted();
+        match pool.submit(add_job(&[(3.0, 3.0)])) {
+            Submit::Rejected { queue_depth } => assert_eq!(queue_depth, 2),
+            _ => panic!("third submission must be rejected"),
+        }
+        assert_eq!(pool.metrics().rejected, 1);
+        pool.resume();
+        let m = pool.join();
+        assert_eq!(m.completed, 2);
+        assert_eq!(m.rejected, 1);
+    }
+
+    #[test]
+    fn shedding_respects_priority_order() {
+        let pool = ServePool::new(ServeConfig {
+            workers: 1,
+            queue_capacity: 2,
+            ..ServeConfig::default()
+        });
+        pool.pause();
+        let low = pool
+            .submit(JobSpec::new(add_job(&[(1.0, 1.0)])).with_priority(Priority::Low))
+            .expect_accepted();
+        let normal = pool
+            .submit(JobSpec::new(add_job(&[(2.0, 2.0)])).with_priority(Priority::Normal))
+            .expect_accepted();
+        // High displaces the Low job, not the Normal one.
+        let high = pool
+            .submit(JobSpec::new(add_job(&[(3.0, 3.0)])).with_priority(Priority::High))
+            .expect_accepted();
+        assert_eq!(low.wait(), JobOutcome::Shed);
+        // Nothing strictly lower than Normal is queued now, so an
+        // equal-priority submission cannot shed: rejected.
+        match pool.submit(JobSpec::new(add_job(&[(4.0, 4.0)])).with_priority(Priority::Normal)) {
+            Submit::Rejected { .. } => {}
+            _ => panic!("equal priority must not shed"),
+        }
+        pool.resume();
+        assert!(matches!(normal.wait(), JobOutcome::Completed(_)));
+        assert!(matches!(high.wait(), JobOutcome::Completed(_)));
+        let m = pool.join();
+        assert_eq!(m.shed, 1);
+        assert_eq!(m.rejected, 1);
+        assert_eq!(m.completed, 2);
+    }
+
+    #[test]
+    fn expired_deadline_is_reported_not_run() {
+        let pool = ServePool::new(ServeConfig::with_workers(1));
+        pool.pause();
+        let h = pool
+            .submit(JobSpec::new(add_job(&[(1.0, 1.0)])).with_deadline(Duration::ZERO))
+            .expect_accepted();
+        // The deadline (submission instant) is already past when the
+        // worker triages the job.
+        pool.resume();
+        assert_eq!(h.wait(), JobOutcome::TimedOut);
+        let m = pool.join();
+        assert_eq!(m.timed_out, 1);
+        assert_eq!(m.completed, 0);
+    }
+
+    #[test]
+    fn cancellation_before_pickup() {
+        let pool = ServePool::new(ServeConfig::with_workers(1));
+        pool.pause();
+        let h = pool.submit(add_job(&[(1.0, 1.0)])).expect_accepted();
+        h.cancel();
+        pool.resume();
+        assert_eq!(h.wait(), JobOutcome::Cancelled);
+        assert_eq!(pool.join().cancelled, 1);
+    }
+
+    #[test]
+    fn compatible_streams_coalesce_into_one_batch() {
+        let pool = ServePool::new(ServeConfig {
+            workers: 1,
+            queue_capacity: 64,
+            coalesce_window: 8,
+            ..ServeConfig::default()
+        });
+        pool.pause();
+        let handles: Vec<JobHandle> = (0..6)
+            .map(|i| {
+                pool.submit(add_job(&[(i as f64, 1.0), (i as f64, 2.0)]))
+                    .expect_accepted()
+            })
+            .collect();
+        pool.resume();
+        for (i, h) in handles.into_iter().enumerate() {
+            match h.wait() {
+                JobOutcome::Completed(JobResult::Eltwise(rs)) => {
+                    assert_eq!(SoftFloat::from_bits(FMT, rs[0].0).to_f64(), i as f64 + 1.0);
+                    assert_eq!(SoftFloat::from_bits(FMT, rs[1].0).to_f64(), i as f64 + 2.0);
+                }
+                other => panic!("job {i}: {other:?}"),
+            }
+        }
+        let m = pool.join();
+        assert_eq!(m.completed, 6);
+        assert_eq!(m.batched_jobs, 6);
+        assert!(
+            m.batch_occupancy() > 1.0,
+            "paused-queue streams must coalesce, occupancy = {}",
+            m.batch_occupancy()
+        );
+    }
+
+    #[test]
+    fn invalid_jobs_never_reach_a_worker() {
+        let pool = ServePool::new(ServeConfig::with_workers(1));
+        match pool.submit(Job::Dot {
+            fmt: FMT,
+            mode: RM,
+            mult_stages: 5,
+            add_stages: 5,
+            x: vec![1],
+            y: vec![],
+        }) {
+            Submit::Invalid(reason) => assert!(reason.contains("lengths differ")),
+            _ => panic!("mismatched dot must be invalid"),
+        }
+        let m = pool.join();
+        assert_eq!(m.failed, 1);
+        assert_eq!(m.submitted, 0);
+    }
+
+    #[test]
+    fn closed_pool_rejects_new_work() {
+        let pool = ServePool::new(ServeConfig::with_workers(1));
+        pool.close();
+        match pool.submit(add_job(&[(1.0, 1.0)])) {
+            Submit::Rejected { .. } => {}
+            _ => panic!("closed pool must reject"),
+        }
+    }
+}

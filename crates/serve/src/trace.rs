@@ -1,0 +1,343 @@
+//! Synthetic request traces: Poisson arrivals, mixed precisions,
+//! mixed kernels — fully determined by a seed.
+//!
+//! The generator drives everything from one [`SmallRng`], so `(seed,
+//! jobs, rate)` names the trace exactly: replaying it against any
+//! worker count must produce bit-identical
+//! [`JobResult`](crate::job::JobResult)s (the
+//! serving-equivalence property test relies on this).
+
+use std::time::Duration;
+
+use fpfpga_fabric::synthesis::SynthesisOptions;
+use fpfpga_fpu::analysis::CoreKind;
+use fpfpga_matmul::pe::UnitBackend;
+use fpfpga_matmul::{Cplx, Matrix};
+use fpfpga_softfp::{FpFormat, RoundMode, SoftFloat};
+use rand::SmallRng;
+
+use crate::job::{EltOp, Job};
+use crate::pool::{JobSpec, Priority};
+
+/// Parameters of a synthetic trace.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceConfig {
+    /// RNG seed; the whole trace is a pure function of it.
+    pub seed: u64,
+    /// Number of requests.
+    pub jobs: usize,
+    /// Mean Poisson arrival rate in requests per second.
+    pub rate_hz: f64,
+    /// Multiplier on payload sizes (vector lengths, matrix dims, FFT
+    /// points). 1 = the light default mix; throughput benches raise it
+    /// so per-job compute dominates scheduling overhead.
+    pub payload_scale: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig {
+            seed: 7,
+            jobs: 256,
+            rate_hz: 20_000.0,
+            payload_scale: 1,
+        }
+    }
+}
+
+/// One timed request of a trace.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Arrival offset from trace start.
+    pub at: Duration,
+    /// The request.
+    pub spec: JobSpec,
+}
+
+/// Scramble the user-facing seed before it reaches the xorshift state
+/// (whose own seeding collapses seeds differing only in bit 0).
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+struct Synth {
+    rng: SmallRng,
+    scale: usize,
+}
+
+impl Synth {
+    /// Uniform in (0, 1].
+    fn unit(&mut self) -> f64 {
+        (((self.rng.next_u64() >> 11) + 1) as f64) / ((1u64 << 53) as f64)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.rng.next_u64() % n
+    }
+
+    /// A well-scaled finite operand in roughly ±8.
+    fn value(&mut self) -> f64 {
+        (self.below(3200) as f64 - 1600.0) / 200.0
+    }
+
+    fn nonzero(&mut self) -> f64 {
+        (self.below(1600) as f64 + 25.0) / 200.0 * if self.below(2) == 0 { 1.0 } else { -1.0 }
+    }
+
+    fn format(&mut self) -> FpFormat {
+        FpFormat::PAPER_PRECISIONS[self.below(3) as usize]
+    }
+
+    fn priority(&mut self) -> Priority {
+        match self.below(10) {
+            0 => Priority::Low,
+            1 => Priority::High,
+            _ => Priority::Normal,
+        }
+    }
+
+    fn encode(&mut self, fmt: FpFormat, v: f64) -> u64 {
+        SoftFloat::from_f64(fmt, v).bits()
+    }
+
+    fn vector(&mut self, fmt: FpFormat, n: usize) -> Vec<u64> {
+        (0..n)
+            .map(|_| {
+                let v = self.value();
+                self.encode(fmt, v)
+            })
+            .collect()
+    }
+
+    fn matrix(&mut self, fmt: FpFormat, rows: usize, cols: usize) -> Matrix {
+        let entries: Vec<f64> = (0..rows * cols).map(|_| self.value()).collect();
+        Matrix::from_f64(fmt, rows, cols, &entries)
+    }
+
+    /// Diagonally dominant square matrix — safe for no-pivot LU.
+    fn dominant_matrix(&mut self, fmt: FpFormat, n: usize) -> Matrix {
+        let mut entries: Vec<f64> = (0..n * n).map(|_| self.value()).collect();
+        for i in 0..n {
+            let row_sum: f64 = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| entries[i * n + j].abs())
+                .sum();
+            entries[i * n + i] = row_sum + 1.0 + self.unit();
+        }
+        Matrix::from_f64(fmt, n, n, &entries)
+    }
+
+    fn job(&mut self) -> Job {
+        let fmt = self.format();
+        let mode = RoundMode::NearestEven;
+        match self.below(100) {
+            // Coalescible elementwise streams dominate the mix, drawn
+            // from a small set of depths so streams actually share
+            // classes and the pool's batching has something to win.
+            0..=44 => {
+                let op = match self.below(5) {
+                    0 => EltOp::Add,
+                    1 => EltOp::Sub,
+                    2 => EltOp::Mul,
+                    3 => EltOp::Div,
+                    _ => EltOp::Sqrt,
+                };
+                let stages = [4u32, 6, 8][self.below(3) as usize];
+                let n = (1 + self.below(8) as usize) * self.scale;
+                let pairs = (0..n)
+                    .map(|_| {
+                        let (a, b) = match op {
+                            EltOp::Div => (self.value(), self.nonzero()),
+                            EltOp::Sqrt => (self.value().abs(), 0.0),
+                            _ => (self.value(), self.value()),
+                        };
+                        (self.encode(fmt, a), self.encode(fmt, b))
+                    })
+                    .collect();
+                Job::Eltwise {
+                    op,
+                    fmt,
+                    mode,
+                    stages,
+                    pairs,
+                }
+            }
+            45..=59 => {
+                let n = (4 + self.below(13) as usize) * self.scale;
+                Job::Dot {
+                    fmt,
+                    mode,
+                    mult_stages: 4 + self.below(4) as u32,
+                    add_stages: 4 + self.below(4) as u32,
+                    x: self.vector(fmt, n),
+                    y: self.vector(fmt, n),
+                }
+            }
+            60..=69 => {
+                let rows = (3 + self.below(4) as usize) * self.scale;
+                let cols = (3 + self.below(4) as usize) * self.scale;
+                Job::Mvm {
+                    fmt,
+                    mode,
+                    mult_stages: 5,
+                    add_stages: 4,
+                    p: 1 + self.below(3) as usize,
+                    a: self.matrix(fmt, rows, cols),
+                    x: self.vector(fmt, cols),
+                }
+            }
+            70..=77 => {
+                let n = (2 + self.below(3) as usize) * self.scale;
+                Job::MatMul {
+                    fmt,
+                    mode,
+                    mult_stages: 5,
+                    add_stages: 4,
+                    a: self.matrix(fmt, n, n),
+                    b: self.matrix(fmt, n, n),
+                    backend: UnitBackend::Fast,
+                }
+            }
+            78..=85 => {
+                let n = (3 + self.below(3) as usize) * self.scale;
+                Job::Lu {
+                    fmt,
+                    mode,
+                    div_stages: 8,
+                    mac_stages: 6,
+                    p: 1 + self.below(2) as u32,
+                    a: self.dominant_matrix(fmt, n),
+                }
+            }
+            86..=93 => {
+                // FFT lengths must stay powers of two under scaling.
+                let n = [4usize, 8, 16][self.below(3) as usize] * self.scale.next_power_of_two();
+                let data = (0..n)
+                    .map(|_| {
+                        let (re, im) = (self.value(), self.value());
+                        Cplx::from_f64(fmt, re, im)
+                    })
+                    .collect();
+                Job::Fft {
+                    fmt,
+                    mode,
+                    mult_stages: 5,
+                    add_stages: 4,
+                    data,
+                    inverse: self.below(2) == 1,
+                }
+            }
+            _ => {
+                let kind = [
+                    CoreKind::Adder,
+                    CoreKind::Multiplier,
+                    CoreKind::Divider,
+                    CoreKind::Sqrt,
+                ][self.below(4) as usize];
+                let opts = if self.below(2) == 0 {
+                    SynthesisOptions::SPEED
+                } else {
+                    SynthesisOptions::AREA
+                };
+                Job::Sweep { kind, fmt, opts }
+            }
+        }
+    }
+}
+
+/// Generate the trace named by `cfg`: `jobs` requests with
+/// exponentially distributed inter-arrival gaps (a Poisson process at
+/// `rate_hz`), kernels and precisions mixed per fixed weights. Purely
+/// a function of the config.
+pub fn synth_trace(cfg: &TraceConfig) -> Vec<TraceEvent> {
+    assert!(cfg.rate_hz > 0.0, "arrival rate must be positive");
+    assert!(cfg.payload_scale >= 1, "payload scale must be at least 1");
+    let mut s = Synth {
+        rng: SmallRng::seed_from_u64(splitmix(cfg.seed)),
+        scale: cfg.payload_scale,
+    };
+    let mut at = 0.0f64;
+    (0..cfg.jobs)
+        .map(|_| {
+            at += -s.unit().ln() / cfg.rate_hz;
+            let spec = JobSpec::new(s.job()).with_priority(s.priority());
+            TraceEvent {
+                at: Duration::from_secs_f64(at),
+                spec,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_deterministic_in_the_seed() {
+        let cfg = TraceConfig {
+            seed: 42,
+            jobs: 64,
+            rate_hz: 10_000.0,
+            ..TraceConfig::default()
+        };
+        let t1 = synth_trace(&cfg);
+        let t2 = synth_trace(&cfg);
+        assert_eq!(t1.len(), 64);
+        for (a, b) in t1.iter().zip(&t2) {
+            assert_eq!(a.at, b.at);
+            assert_eq!(a.spec.job.class_hash(), b.spec.job.class_hash());
+        }
+        let t3 = synth_trace(&TraceConfig { seed: 43, ..cfg });
+        assert!(
+            t1.iter()
+                .zip(&t3)
+                .any(|(a, b)| a.spec.job.class_hash() != b.spec.job.class_hash()),
+            "different seeds must differ"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_jobs_valid() {
+        let trace = synth_trace(&TraceConfig::default());
+        let mut prev = Duration::ZERO;
+        for ev in &trace {
+            assert!(ev.at >= prev, "arrival times must be non-decreasing");
+            prev = ev.at;
+            ev.spec
+                .job
+                .validate()
+                .expect("synthetic jobs must be valid");
+        }
+    }
+
+    #[test]
+    fn the_mix_covers_every_kernel() {
+        let trace = synth_trace(&TraceConfig {
+            seed: 1,
+            jobs: 512,
+            rate_hz: 1e6,
+            ..TraceConfig::default()
+        });
+        let mut seen = [false; 7];
+        for ev in &trace {
+            let i = match ev.spec.job {
+                Job::Eltwise { .. } => 0,
+                Job::Dot { .. } => 1,
+                Job::MatMul { .. } => 2,
+                Job::Mvm { .. } => 3,
+                Job::Lu { .. } => 4,
+                Job::Fft { .. } => 5,
+                Job::Sweep { .. } => 6,
+            };
+            seen[i] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "mix must cover all kernels: {seen:?}"
+        );
+    }
+}
