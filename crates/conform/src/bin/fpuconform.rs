@@ -1,0 +1,232 @@
+//! `fpuconform` — run the differential conformance sweeps from the
+//! command line.
+//!
+//! ```text
+//! fpuconform [--ops add,mul,...] [--formats f32,f64,f48,e6f17]
+//!            [--samples N] [--seed S] [--sweeps ieee,ftz,fpu]
+//!            [--max-divergences K] [--json]
+//! ```
+//!
+//! Exit status is 0 when every sweep agrees and 1 when any divergence
+//! was found (which is what the CI step keys off). Each stored
+//! divergence is minimized and printed as a one-line reproducer ready to
+//! paste into `tests/conform_corpus/`.
+
+use fpfpga_conform::diff::{
+    self, format_name, mode_name, parse_format, Divergence, Op, SweepConfig, SweepReport,
+};
+use fpfpga_conform::host;
+use fpfpga_conform::shrink::{minimize, minimize_with, render_case};
+use serde_json::{json, Value};
+use std::process::ExitCode;
+
+struct Args {
+    config: SweepConfig,
+    sweeps: Vec<String>,
+    json: bool,
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: fpuconform [--ops add,sub,mul,div,sqrt,fma,convert,compare]\n\
+         \x20                 [--formats f32,f64,f48,e<E>f<F>] [--samples N] [--seed S]\n\
+         \x20                 [--sweeps ieee,ftz,fpu] [--max-divergences K] [--json]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut config = SweepConfig::default();
+    let mut sweeps = vec!["ieee".to_string(), "ftz".to_string(), "fpu".to_string()];
+    let mut json = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let value = |it: &mut dyn Iterator<Item = String>| {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--ops" => {
+                config.ops = value(&mut it)
+                    .split(',')
+                    .map(|t| Op::parse(t).unwrap_or_else(|| usage(&format!("unknown op `{t}`"))))
+                    .collect();
+            }
+            "--formats" => {
+                config.formats = value(&mut it)
+                    .split(',')
+                    .map(|t| {
+                        parse_format(t).unwrap_or_else(|| usage(&format!("unknown format `{t}`")))
+                    })
+                    .collect();
+            }
+            "--samples" => {
+                config.samples = value(&mut it)
+                    .parse()
+                    .unwrap_or_else(|_| usage("--samples needs an integer"));
+            }
+            "--seed" => {
+                config.seed = value(&mut it)
+                    .parse()
+                    .unwrap_or_else(|_| usage("--seed needs an integer"));
+            }
+            "--max-divergences" => {
+                config.max_divergences = value(&mut it)
+                    .parse()
+                    .unwrap_or_else(|_| usage("--max-divergences needs an integer"));
+            }
+            "--sweeps" => {
+                sweeps = value(&mut it).split(',').map(str::to_string).collect();
+                for s in &sweeps {
+                    if !matches!(s.as_str(), "ieee" | "ftz" | "fpu") {
+                        usage(&format!("unknown sweep `{s}` (ieee, ftz, fpu)"));
+                    }
+                }
+            }
+            "--json" => json = true,
+            "--help" | "-h" => usage("help requested"),
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    Args {
+        config,
+        sweeps,
+        json,
+    }
+}
+
+/// Minimize a divergence with the oracle that found it.
+fn minimized(d: &Divergence) -> String {
+    let case = match d.against {
+        "host" => minimize(&d.case),
+        "host-ftz" => minimize_with(&d.case, |c| {
+            let ours = diff::eval_ftz(c);
+            let host = diff::eval_host(c);
+            ours.0 != host.bits
+        }),
+        // fpu divergences depend on the pipeline depth, which the Case
+        // does not carry; report them unminimized.
+        _ => d.case,
+    };
+    render_case(&case)
+}
+
+fn report_json(name: &str, report: &SweepReport) -> Value {
+    let combos: Vec<Value> = report
+        .reports
+        .iter()
+        .map(|r| {
+            let examples: Vec<Value> = r
+                .examples
+                .iter()
+                .map(|d| {
+                    json!({
+                        "case": render_case(&d.case),
+                        "ours": format!("{:#x} {:?}", d.ours.0, d.ours.1),
+                        "reference": match d.reference.1 {
+                            Some(f) => format!("{:#x} {:?}", d.reference.0, f),
+                            None => format!("{:#x}", d.reference.0),
+                        },
+                        "minimized": minimized(d),
+                    })
+                })
+                .collect();
+            json!({
+                "op": r.op.name(),
+                "format": format_name(r.fmt),
+                "mode": mode_name(r.mode),
+                "cases": r.cases,
+                "skipped": r.skipped,
+                "divergences": r.divergences,
+                "examples": Value::Array(examples),
+            })
+        })
+        .collect();
+    json!({
+        "sweep": name,
+        "cases": report.total_cases(),
+        "divergences": report.total_divergences(),
+        "combinations": Value::Array(combos),
+    })
+}
+
+fn report_text(name: &str, report: &SweepReport) {
+    println!(
+        "sweep {name}: {} cases, {} divergences",
+        report.total_cases(),
+        report.total_divergences()
+    );
+    for r in &report.reports {
+        if r.divergences > 0 {
+            println!(
+                "  FAIL {} {} {}: {} divergences in {} cases",
+                r.op.name(),
+                format_name(r.fmt),
+                mode_name(r.mode),
+                r.divergences,
+                r.cases
+            );
+            for d in &r.examples {
+                println!("    case      {}", render_case(&d.case));
+                println!("    ours      {:#x} {:?}", d.ours.0, d.ours.1);
+                match d.reference.1 {
+                    Some(f) => println!("    reference {:#x} {:?}", d.reference.0, f),
+                    None => println!("    reference {:#x}", d.reference.0),
+                }
+                println!("    minimized {}", minimized(d));
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if !host::flags_supported() {
+        eprintln!(
+            "warning: host exception flags unavailable on this target; \
+             comparing results only"
+        );
+    }
+
+    let mut sections: Vec<(String, SweepReport)> = Vec::new();
+    for sweep in &args.sweeps {
+        let report = match sweep.as_str() {
+            "ieee" => diff::run_ieee_sweep(&args.config),
+            "ftz" => diff::run_ftz_sweep(&args.config),
+            _ => diff::run_fpu_sweep(&args.config),
+        };
+        sections.push((sweep.clone(), report));
+    }
+
+    let total: u64 = sections.iter().map(|(_, r)| r.total_divergences()).sum();
+    if args.json {
+        let out: Vec<Value> = sections
+            .iter()
+            .map(|(name, r)| report_json(name, r))
+            .collect();
+        let doc = json!({
+            "samples": args.config.samples,
+            "seed": args.config.seed,
+            "formats": Value::Array(
+                args.config.formats.iter().map(|f| json!(format_name(*f))).collect()
+            ),
+            "total_divergences": total,
+            "sweeps": Value::Array(out),
+        });
+        println!("{}", serde_json::to_string_pretty(&doc).unwrap());
+    } else {
+        for (name, r) in &sections {
+            report_text(name, r);
+        }
+        println!(
+            "total: {total} divergence(s) across {} case(s)",
+            sections.iter().map(|(_, r)| r.total_cases()).sum::<u64>()
+        );
+    }
+    if total == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

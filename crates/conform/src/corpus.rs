@@ -1,0 +1,314 @@
+//! Structured conformance corpus: exhaustive special values plus seeded
+//! biased random sampling.
+//!
+//! Uniform random bit patterns almost never land on the encodings where
+//! FP bugs live (rounding cliffs, the denormal boundary, NaN payloads,
+//! exact halfway cases), so the corpus is built the way hardware FP
+//! validation suites build theirs: a hand-enumerated special-value set
+//! whose cross product is checked exhaustively, and a random generator
+//! whose exponent and fraction distributions are deliberately skewed
+//! toward the boundaries.
+
+use fpfpga_softfp::FpFormat;
+
+/// The format's special-value set: every encoding class the IEEE
+/// arithmetic dispatches on, both signs, plus the boundary neighborhoods
+/// around the denormal/normal and normal/overflow cliffs and the
+/// fraction patterns that stress rounding ties.
+pub fn special_values(fmt: FpFormat) -> Vec<u64> {
+    let f = fmt.frac_bits();
+    let sign = 1u64 << fmt.sign_shift();
+    // Zeros and the denormal range.
+    let mut mags: Vec<u64> = vec![
+        0,                    // +0
+        1,                    // smallest denormal
+        2,                    //
+        fmt.frac_mask() >> 1, // mid denormal
+        fmt.frac_mask() - 1,  //
+        fmt.frac_mask(),      // largest denormal
+        1u64 << (f - 1),      // denormal with only the top fraction bit
+    ];
+
+    // The denormal/normal cliff and the bottom of the normal range.
+    mags.push(fmt.min_positive()); // smallest normal
+    mags.push(fmt.min_positive() + 1);
+    mags.push(fmt.min_positive() | fmt.frac_mask()); // last value of the first binade
+    mags.push(fmt.pack(false, 2, 0)); // second binade
+
+    // One and its rounding neighborhood (ulp cliffs around exponent 0).
+    let one = fmt.pack(false, fmt.bias() as u64, 0);
+    mags.push(one - 1); // largest value below 1
+    mags.push(one);
+    mags.push(one + 1); // 1 + ulp
+    mags.push(fmt.pack(false, fmt.bias() as u64, 1u64 << (f - 1))); // 1.5
+    mags.push(fmt.pack(false, fmt.bias() as u64 + 1, 0)); // 2.0
+    mags.push(fmt.pack(false, fmt.bias() as u64, fmt.frac_mask())); // just under 2
+
+    // Mid-range exponents with tie-prone fractions.
+    let mid = fmt.bias() as u64;
+    mags.push(fmt.pack(false, mid + f as u64, 0)); // 2^f (odd/even integer cliff)
+    mags.push(fmt.pack(false, mid + f as u64, 1));
+    mags.push(fmt.pack(false, mid + f as u64 + 1, 0)); // 2^(f+1)
+    mags.push(fmt.pack(false, mid - f as u64, 0)); // 2^-f
+    mags.push(fmt.pack(false, mid, 0b0101)); // sticky-tail pattern
+    mags.push(fmt.pack(false, mid + 3, fmt.frac_mask() & !1)); // even lsb, all ones above
+
+    // The overflow cliff.
+    mags.push(fmt.max_finite() - 1);
+    mags.push(fmt.max_finite());
+    mags.push(fmt.pack(false, fmt.max_biased_exp(), 0)); // top binade start
+    mags.push(fmt.pack(false, fmt.max_biased_exp() - 1, fmt.frac_mask()));
+
+    // Infinity.
+    mags.push(fmt.pos_inf());
+
+    // NaNs: canonical quiet, quiet with payloads, signaling payloads.
+    let quiet_bit = 1u64 << (f - 1);
+    let inf = fmt.pos_inf();
+    mags.push(inf | quiet_bit); // canonical qNaN
+    mags.push(inf | quiet_bit | 1); // qNaN, payload 1
+    mags.push(inf | fmt.frac_mask()); // qNaN, full payload
+    mags.push(inf | 1); // sNaN, payload 1
+    mags.push(inf | (quiet_bit - 1)); // sNaN, maximal payload
+    mags.push(inf | (1u64 << (f / 2))); // sNaN, mid payload
+
+    // Both signs of everything.
+    let mut out = Vec::with_capacity(mags.len() * 2);
+    for &m in &mags {
+        out.push(m);
+        out.push(m | sign);
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Deterministic splitmix64 stream.
+#[derive(Clone, Debug)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Seed the stream.
+    pub fn new(seed: u64) -> Rng64 {
+        Rng64 {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// Seeded biased case generator for one format.
+///
+/// Roughly: a quarter of draws are uniform encodings, the rest are
+/// boundary-biased — exponents clustered at the denormal and overflow
+/// cliffs, fraction patterns skewed toward all-zeros / all-ones /
+/// single-bit / low-entropy tails, and a slice of draws taken straight
+/// from the special-value list.
+#[derive(Clone, Debug)]
+pub struct CaseGen {
+    fmt: FpFormat,
+    rng: Rng64,
+    specials: Vec<u64>,
+}
+
+impl CaseGen {
+    /// A generator for `fmt` seeded with `seed`.
+    pub fn new(fmt: FpFormat, seed: u64) -> CaseGen {
+        CaseGen {
+            fmt,
+            rng: Rng64::new(seed),
+            specials: special_values(fmt),
+        }
+    }
+
+    /// One biased operand encoding.
+    pub fn value(&mut self) -> u64 {
+        let fmt = self.fmt;
+        match self.rng.below(8) {
+            0 | 1 => self.rng.next_u64() & fmt.enc_mask(), // uniform bits
+            2 => {
+                let i = self.rng.below(self.specials.len() as u64) as usize;
+                self.specials[i]
+            }
+            3 => {
+                // Deep-bottom exponents: denormals and the first binades.
+                let exp = self.rng.below(3);
+                self.pack_biased(exp)
+            }
+            4 => {
+                // Near-overflow exponents.
+                let top = fmt.max_biased_exp();
+                let exp = top - self.rng.below(3);
+                self.pack_biased(exp)
+            }
+            5 => {
+                // Exponents within ±(frac_bits+2) of the bias: the zone
+                // where add/sub alignment and cancellation live.
+                let w = (fmt.frac_bits() + 2) as u64;
+                let exp = (fmt.bias() as u64 + self.rng.below(2 * w + 1)).saturating_sub(w);
+                self.pack_biased(exp.clamp(0, fmt.max_biased_exp()))
+            }
+            _ => {
+                // Any exponent, biased fraction.
+                let exp = self.rng.below(fmt.max_biased_exp() + 1);
+                self.pack_biased(exp)
+            }
+        }
+    }
+
+    fn pack_biased(&mut self, biased_exp: u64) -> u64 {
+        let fmt = self.fmt;
+        let f = fmt.frac_bits();
+        let frac = match self.rng.below(6) {
+            0 => 0,
+            1 => fmt.frac_mask(),
+            2 => 1u64 << self.rng.below(f as u64), // single bit
+            3 => fmt.frac_mask() & !(1u64 << self.rng.below(f as u64)), // single hole
+            4 => {
+                // Low-entropy tail: mostly-zero with a short random suffix.
+                self.rng.next_u64() & ((1u64 << self.rng.below(f as u64 + 1)) - 1)
+            }
+            _ => self.rng.next_u64() & fmt.frac_mask(),
+        };
+        let sign = self.rng.below(2) == 1;
+        fmt.pack(sign, biased_exp, frac)
+    }
+
+    /// An operand pair; a slice of draws makes the second operand a
+    /// near-neighbor of the first (the cancellation/tie regime that
+    /// uniform pairs essentially never produce).
+    pub fn pair(&mut self) -> (u64, u64) {
+        let a = self.value();
+        let b = match self.rng.below(4) {
+            0 => {
+                // b within a few ulps of ±a.
+                let delta = self.rng.below(9) as i64 - 4;
+                let flip = if self.rng.below(2) == 1 {
+                    1u64 << self.fmt.sign_shift()
+                } else {
+                    0
+                };
+                (a.wrapping_add(delta as u64) & self.fmt.enc_mask()) ^ flip
+            }
+            _ => self.value(),
+        };
+        (a, b)
+    }
+
+    /// An operand triple for fused multiply-add; biased so the addend is
+    /// frequently in the product's cancellation range.
+    pub fn triple(&mut self) -> (u64, u64, u64) {
+        let (a, b) = self.pair();
+        let c = match self.rng.below(3) {
+            0 => {
+                // Aim c at ±(a·b): exponent of c ≈ exp(a)+exp(b)-bias.
+                let fmt = self.fmt;
+                let (_, ea, _) = fmt.unpack_fields(a);
+                let (_, eb, _) = fmt.unpack_fields(b);
+                let ec = (ea + eb)
+                    .saturating_sub(fmt.bias() as u64)
+                    .clamp(0, fmt.max_biased_exp());
+                let frac = self.rng.next_u64() & fmt.frac_mask();
+                fmt.pack(self.rng.below(2) == 1, ec, frac)
+            }
+            _ => self.value(),
+        };
+        (a, b, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specials_cover_all_classes() {
+        for fmt in [FpFormat::SINGLE, FpFormat::FP48, FpFormat::DOUBLE] {
+            let s = special_values(fmt);
+            assert!(s.len() > 50, "{fmt:?}: {}", s.len());
+            let has = |p: fn(FpFormat, u64) -> bool| s.iter().any(|&v| p(fmt, v));
+            // zero, denormal, normal, inf, qNaN, sNaN — both signs.
+            assert!(has(|f, v| v == 0 || v == 1u64 << f.sign_shift()));
+            assert!(has(|f, v| {
+                let (_, e, m) = f.unpack_fields(v);
+                e == 0 && m != 0
+            }));
+            assert!(has(|f, v| {
+                let (_, e, _) = f.unpack_fields(v);
+                e == f.inf_biased_exp() && v & f.frac_mask() == 0
+            }));
+            assert!(has(|f, v| {
+                let (_, e, m) = f.unpack_fields(v);
+                let quiet = 1u64 << (f.frac_bits() - 1);
+                e == f.inf_biased_exp() && m != 0 && m & quiet != 0
+            }));
+            assert!(has(|f, v| {
+                let (_, e, m) = f.unpack_fields(v);
+                let quiet = 1u64 << (f.frac_bits() - 1);
+                e == f.inf_biased_exp() && m != 0 && m & quiet == 0
+            }));
+            // all encodings are in range
+            assert!(s.iter().all(|&v| v & !fmt.enc_mask() == 0));
+        }
+    }
+
+    #[test]
+    fn casegen_is_deterministic() {
+        let mut a = CaseGen::new(FpFormat::SINGLE, 42);
+        let mut b = CaseGen::new(FpFormat::SINGLE, 42);
+        for _ in 0..100 {
+            assert_eq!(a.pair(), b.pair());
+            assert_eq!(a.triple(), b.triple());
+        }
+    }
+
+    #[test]
+    fn casegen_hits_boundary_classes() {
+        let fmt = FpFormat::SINGLE;
+        let mut g = CaseGen::new(fmt, 7);
+        let (mut denormal, mut nan, mut top) = (0, 0, 0);
+        for _ in 0..4000 {
+            let v = g.value();
+            let (_, e, m) = fmt.unpack_fields(v);
+            if e == 0 && m != 0 {
+                denormal += 1;
+            }
+            if e == fmt.inf_biased_exp() && m != 0 {
+                nan += 1;
+            }
+            if e == fmt.max_biased_exp() {
+                top += 1;
+            }
+        }
+        assert!(denormal > 50, "denormals: {denormal}");
+        assert!(nan > 10, "nans: {nan}");
+        assert!(top > 50, "top binade: {top}");
+    }
+
+    #[test]
+    fn values_stay_in_encoding_range() {
+        for fmt in [FpFormat::SINGLE, FpFormat::new(6, 17)] {
+            let mut g = CaseGen::new(fmt, 3);
+            for _ in 0..2000 {
+                let (a, b, c) = g.triple();
+                for v in [a, b, c] {
+                    assert_eq!(v & !fmt.enc_mask(), 0, "{v:#x} out of range");
+                }
+            }
+        }
+    }
+}

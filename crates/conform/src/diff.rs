@@ -1,0 +1,732 @@
+//! The differential comparisons: softfp (IEEE and flush-to-zero modes)
+//! against the host hardware, and the staged `fpfpga-fpu` pipelines
+//! against softfp.
+//!
+//! Comparison policy:
+//!
+//! * Non-NaN results must match **bit for bit**; NaN results are
+//!   compared by NaN-ness only (payload placement is ISA-specific —
+//!   softfp's own §6.2 payload rules are pinned by unit tests in
+//!   `fpfpga_softfp::ieee` instead).
+//! * Exception flags must match exactly wherever the host can deliver
+//!   them ([`crate::host::HostEval::flags`] is `Some`); the fpu-vs-softfp
+//!   sweep always compares flags.
+//! * The flush-to-zero sweep restricts itself to the semantic domain the
+//!   paper's cores define: no NaN or denormal operands, and any case
+//!   where either side underflows or the host produces a NaN/denormal is
+//!   skipped (those are the documented, deliberate deviations).
+
+use crate::corpus::{special_values, CaseGen, Rng64};
+use crate::host::{self, HostEval};
+use fpfpga_softfp::ieee;
+use fpfpga_softfp::{Flags, FpFormat, RoundMode};
+
+/// An operation under test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Square root (unary).
+    Sqrt,
+    /// Fused multiply-add (ternary).
+    Fma,
+    /// Format conversion: single widens to double, double narrows to
+    /// single (unary).
+    Convert,
+    /// Ordered comparison (result is an ordering code, not an encoding).
+    Compare,
+}
+
+impl Op {
+    /// Every op, in canonical order.
+    pub const ALL: [Op; 8] = [
+        Op::Add,
+        Op::Sub,
+        Op::Mul,
+        Op::Div,
+        Op::Sqrt,
+        Op::Fma,
+        Op::Convert,
+        Op::Compare,
+    ];
+
+    /// Canonical lower-case name (CLI token).
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Add => "add",
+            Op::Sub => "sub",
+            Op::Mul => "mul",
+            Op::Div => "div",
+            Op::Sqrt => "sqrt",
+            Op::Fma => "fma",
+            Op::Convert => "convert",
+            Op::Compare => "compare",
+        }
+    }
+
+    /// Parse a CLI token.
+    pub fn parse(s: &str) -> Option<Op> {
+        Op::ALL.into_iter().find(|o| o.name() == s)
+    }
+
+    /// Number of operands.
+    pub fn arity(self) -> usize {
+        match self {
+            Op::Sqrt | Op::Convert => 1,
+            Op::Fma => 3,
+            _ => 2,
+        }
+    }
+}
+
+/// Canonical short name for a format (CLI token / corpus token).
+pub fn format_name(fmt: FpFormat) -> String {
+    if fmt == FpFormat::SINGLE {
+        "f32".into()
+    } else if fmt == FpFormat::FP48 {
+        "f48".into()
+    } else if fmt == FpFormat::DOUBLE {
+        "f64".into()
+    } else {
+        format!("e{}f{}", fmt.exp_bits(), fmt.frac_bits())
+    }
+}
+
+/// Parse a format token produced by [`format_name`].
+pub fn parse_format(s: &str) -> Option<FpFormat> {
+    match s {
+        "f32" | "single" => Some(FpFormat::SINGLE),
+        "f48" => Some(FpFormat::FP48),
+        "f64" | "double" => Some(FpFormat::DOUBLE),
+        _ => {
+            let rest = s.strip_prefix('e')?;
+            let (e, f) = rest.split_once('f')?;
+            FpFormat::try_new(e.parse().ok()?, f.parse().ok()?)
+        }
+    }
+}
+
+/// Mode token.
+pub fn mode_name(mode: RoundMode) -> &'static str {
+    match mode {
+        RoundMode::NearestEven => "rne",
+        RoundMode::Truncate => "rtz",
+    }
+}
+
+/// Parse a mode token.
+pub fn parse_mode(s: &str) -> Option<RoundMode> {
+    match s {
+        "rne" => Some(RoundMode::NearestEven),
+        "rtz" => Some(RoundMode::Truncate),
+        _ => None,
+    }
+}
+
+/// One concrete test case: an op with its format, rounding mode and
+/// operand encodings (unused operands are zero).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Case {
+    /// Operation.
+    pub op: Op,
+    /// Operand (and, except for `Convert`, result) format.
+    pub fmt: FpFormat,
+    /// Rounding mode.
+    pub mode: RoundMode,
+    /// First operand.
+    pub a: u64,
+    /// Second operand (binary and ternary ops).
+    pub b: u64,
+    /// Third operand (fma).
+    pub c: u64,
+}
+
+/// Ordering code used to report `Compare` results through the same
+/// `u64` channel as encodings: 0 = less, 1 = equal, 2 = greater,
+/// 3 = unordered.
+pub fn ordering_code(ord: Option<core::cmp::Ordering>) -> u64 {
+    match ord {
+        Some(core::cmp::Ordering::Less) => 0,
+        Some(core::cmp::Ordering::Equal) => 1,
+        Some(core::cmp::Ordering::Greater) => 2,
+        None => 3,
+    }
+}
+
+/// A detected divergence: the case, what we computed, what the
+/// reference computed.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// The failing case.
+    pub case: Case,
+    /// Our result bits (or ordering code) and flags.
+    pub ours: (u64, Flags),
+    /// Reference result bits (or ordering code) and flags (when
+    /// available).
+    pub reference: (u64, Option<Flags>),
+    /// Which sweep produced it.
+    pub against: &'static str,
+}
+
+/// The result format of a case (differs from the operand format only
+/// for `Convert`).
+pub fn result_format(case: &Case) -> FpFormat {
+    if case.op == Op::Convert {
+        if case.fmt == FpFormat::DOUBLE {
+            FpFormat::SINGLE
+        } else {
+            FpFormat::DOUBLE
+        }
+    } else {
+        case.fmt
+    }
+}
+
+/// Evaluate a case in softfp's full-IEEE mode.
+pub fn eval_ieee(case: &Case) -> (u64, Flags) {
+    let Case {
+        op,
+        fmt,
+        mode,
+        a,
+        b,
+        c,
+    } = *case;
+    match op {
+        Op::Add => ieee::ieee_add(fmt, a, b, mode),
+        Op::Sub => ieee::ieee_sub(fmt, a, b, mode),
+        Op::Mul => ieee::ieee_mul(fmt, a, b, mode),
+        Op::Div => ieee::ieee_div(fmt, a, b, mode),
+        Op::Sqrt => ieee::ieee_sqrt(fmt, a, mode),
+        Op::Fma => ieee::ieee_fma(fmt, a, b, c, mode),
+        Op::Convert => ieee::ieee_convert(fmt, a, result_format(case), mode),
+        Op::Compare => {
+            let (ord, flags) = ieee::ieee_compare(fmt, a, b);
+            (ordering_code(ord), flags)
+        }
+    }
+}
+
+/// Evaluate a case on the host hardware. Only meaningful for the two
+/// native formats.
+pub fn eval_host(case: &Case) -> HostEval {
+    let Case {
+        op, mode, a, b, c, ..
+    } = *case;
+    let single = case.fmt == FpFormat::SINGLE;
+    match op {
+        Op::Add if single => host::add_f32(a, b, mode),
+        Op::Add => host::add_f64(a, b, mode),
+        Op::Sub if single => host::sub_f32(a, b, mode),
+        Op::Sub => host::sub_f64(a, b, mode),
+        Op::Mul if single => host::mul_f32(a, b, mode),
+        Op::Mul => host::mul_f64(a, b, mode),
+        Op::Div if single => host::div_f32(a, b, mode),
+        Op::Div => host::div_f64(a, b, mode),
+        Op::Sqrt if single => host::sqrt_f32(a, mode),
+        Op::Sqrt => host::sqrt_f64(a, mode),
+        Op::Fma if single => host::fma_f32(a, b, c, mode),
+        Op::Fma => host::fma_f64(a, b, c, mode),
+        Op::Convert if single => host::widen_f32_f64(a),
+        Op::Convert => host::narrow_f64_f32(a, mode),
+        Op::Compare => {
+            let ord = if single {
+                host::compare_f32(a, b)
+            } else {
+                host::compare_f64(a, b)
+            };
+            HostEval {
+                bits: ordering_code(ord),
+                flags: None,
+            }
+        }
+    }
+}
+
+/// Bit-exact result comparison with the NaN-ness exemption.
+pub fn results_match(res_fmt: FpFormat, op: Op, got: u64, want: u64) -> bool {
+    got == want || (op != Op::Compare && ieee::is_nan(res_fmt, got) && ieee::is_nan(res_fmt, want))
+}
+
+/// Check one case in IEEE mode against the host. `None` means agreement.
+pub fn check_case(case: &Case) -> Option<Divergence> {
+    let ours = eval_ieee(case);
+    let reference = eval_host(case);
+    let res_fmt = result_format(case);
+    let bits_ok = results_match(res_fmt, case.op, ours.0, reference.bits);
+    let flags_ok = match reference.flags {
+        Some(h) => ours.1 == h,
+        None => true,
+    };
+    if bits_ok && flags_ok {
+        None
+    } else {
+        Some(Divergence {
+            case: *case,
+            ours,
+            reference: (reference.bits, reference.flags),
+            against: "host",
+        })
+    }
+}
+
+/// Sweep parameters.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Ops to sweep.
+    pub ops: Vec<Op>,
+    /// Formats to sweep (host sweeps silently keep only f32/f64).
+    pub formats: Vec<FpFormat>,
+    /// Random samples per (op, format, mode) combination, on top of the
+    /// exhaustive special-value cross product.
+    pub samples: u64,
+    /// Seed for the random corpus.
+    pub seed: u64,
+    /// At most this many divergences are *stored* per combination
+    /// (all are counted).
+    pub max_divergences: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> SweepConfig {
+        SweepConfig {
+            ops: Op::ALL.to_vec(),
+            formats: vec![FpFormat::SINGLE, FpFormat::FP48, FpFormat::DOUBLE],
+            samples: 20_000,
+            seed: 1,
+            max_divergences: 8,
+        }
+    }
+}
+
+/// Outcome of one (op, format, mode) combination.
+#[derive(Clone, Debug)]
+pub struct OpReport {
+    /// Operation.
+    pub op: Op,
+    /// Operand format.
+    pub fmt: FpFormat,
+    /// Rounding mode.
+    pub mode: RoundMode,
+    /// Cases evaluated (after domain masking).
+    pub cases: u64,
+    /// Cases skipped by domain masking (flush-to-zero sweep only).
+    pub skipped: u64,
+    /// Total divergences counted.
+    pub divergences: u64,
+    /// First few divergences, for reporting/shrinking.
+    pub examples: Vec<Divergence>,
+}
+
+/// Aggregated sweep outcome.
+#[derive(Clone, Debug, Default)]
+pub struct SweepReport {
+    /// Per-combination reports.
+    pub reports: Vec<OpReport>,
+}
+
+impl SweepReport {
+    /// Total cases across the sweep.
+    pub fn total_cases(&self) -> u64 {
+        self.reports.iter().map(|r| r.cases).sum()
+    }
+
+    /// Total divergences across the sweep.
+    pub fn total_divergences(&self) -> u64 {
+        self.reports.iter().map(|r| r.divergences).sum()
+    }
+
+    /// All stored example divergences.
+    pub fn examples(&self) -> impl Iterator<Item = &Divergence> {
+        self.reports.iter().flat_map(|r| r.examples.iter())
+    }
+}
+
+const MODES: [RoundMode; 2] = [RoundMode::NearestEven, RoundMode::Truncate];
+
+fn derived_seed(base: u64, op: Op, fmt: FpFormat, mode: RoundMode) -> u64 {
+    let mut h = Rng64::new(base ^ ((op as u64) << 8) ^ ((fmt.exp_bits() as u64) << 16));
+    h.next_u64() ^ ((fmt.frac_bits() as u64) << 32) ^ (mode == RoundMode::Truncate) as u64
+}
+
+/// Generate the case stream for one combination: the exhaustive
+/// special-value cross product (squared for binary ops; the special
+/// square × specials diagonal slices for ternary) followed by `samples`
+/// biased random draws.
+fn cases_for(
+    op: Op,
+    fmt: FpFormat,
+    mode: RoundMode,
+    samples: u64,
+    seed: u64,
+    mut visit: impl FnMut(Case),
+) {
+    let specials = special_values(fmt);
+    let case = |a, b, c| Case {
+        op,
+        fmt,
+        mode,
+        a,
+        b,
+        c,
+    };
+    match op.arity() {
+        1 => {
+            for &a in &specials {
+                visit(case(a, 0, 0));
+            }
+        }
+        2 => {
+            for &a in &specials {
+                for &b in &specials {
+                    visit(case(a, b, 0));
+                }
+            }
+        }
+        _ => {
+            // Full cube is ~70³ ≈ 350k per combination — run the three
+            // axis-aligned squares through zero/one/inf anchors plus the
+            // rotated diagonal cube instead.
+            let n = specials.len();
+            let anchors = [0u64, fmt.pack(false, fmt.bias() as u64, 0), fmt.pos_inf()];
+            for &a in &specials {
+                for &b in &specials {
+                    for c in anchors {
+                        visit(case(a, b, c));
+                    }
+                }
+            }
+            for i in 0..n {
+                for j in 0..n {
+                    visit(case(specials[i], specials[j], specials[(i + j) % n]));
+                }
+            }
+        }
+    }
+    let mut gen = CaseGen::new(fmt, derived_seed(seed, op, fmt, mode));
+    for _ in 0..samples {
+        let (a, b, c) = match op.arity() {
+            1 => (gen.value(), 0, 0),
+            2 => {
+                let (a, b) = gen.pair();
+                (a, b, 0)
+            }
+            _ => gen.triple(),
+        };
+        visit(case(a, b, c));
+    }
+}
+
+/// Sweep softfp's IEEE mode against the host for every requested op ×
+/// native format × rounding mode.
+pub fn run_ieee_sweep(config: &SweepConfig) -> SweepReport {
+    let mut report = SweepReport::default();
+    for &op in &config.ops {
+        for &fmt in &config.formats {
+            if fmt != FpFormat::SINGLE && fmt != FpFormat::DOUBLE {
+                continue; // the host has no hardware for custom formats
+            }
+            for mode in MODES {
+                let mut r = OpReport {
+                    op,
+                    fmt,
+                    mode,
+                    cases: 0,
+                    skipped: 0,
+                    divergences: 0,
+                    examples: Vec::new(),
+                };
+                cases_for(op, fmt, mode, config.samples, config.seed, |case| {
+                    r.cases += 1;
+                    if let Some(d) = check_case(&case) {
+                        r.divergences += 1;
+                        if r.examples.len() < config.max_divergences {
+                            r.examples.push(d);
+                        }
+                    }
+                });
+                report.reports.push(r);
+            }
+        }
+    }
+    report
+}
+
+/// True when `bits` is a NaN or denormal encoding in `fmt` — outside the
+/// flush-to-zero cores' input domain.
+fn outside_ftz_domain(fmt: FpFormat, bits: u64) -> bool {
+    let (_, e, m) = fmt.unpack_fields(bits);
+    m != 0 && (e == fmt.inf_biased_exp() || e == 0)
+}
+
+/// Evaluate a case with the paper-faithful flush-to-zero ops.
+pub fn eval_ftz(case: &Case) -> (u64, Flags) {
+    let Case {
+        op,
+        fmt,
+        mode,
+        a,
+        b,
+        c,
+    } = *case;
+    match op {
+        Op::Add => fpfpga_softfp::add_bits(fmt, a, b, mode),
+        Op::Sub => fpfpga_softfp::sub_bits(fmt, a, b, mode),
+        Op::Mul => fpfpga_softfp::mul_bits(fmt, a, b, mode),
+        Op::Div => fpfpga_softfp::div_bits(fmt, a, b, mode),
+        Op::Sqrt => fpfpga_softfp::sqrt_bits(fmt, a, mode),
+        Op::Fma => fpfpga_softfp::fma_bits(fmt, a, b, c, mode),
+        Op::Convert => fpfpga_softfp::convert::convert(fmt, a, result_format(case), mode),
+        Op::Compare => {
+            let ord = fpfpga_softfp::compare::compare(fmt, a, b);
+            (ordering_code(Some(ord)), Flags::NONE)
+        }
+    }
+}
+
+/// Sweep the flush-to-zero layer against the host on the common
+/// semantic domain (no NaNs or denormals in, no NaN/denormal/underflow
+/// cases out — those deviations are deliberate and documented).
+pub fn run_ftz_sweep(config: &SweepConfig) -> SweepReport {
+    let mut report = SweepReport::default();
+    for &op in &config.ops {
+        for &fmt in &config.formats {
+            if fmt != FpFormat::SINGLE && fmt != FpFormat::DOUBLE {
+                continue;
+            }
+            for mode in MODES {
+                let mut r = OpReport {
+                    op,
+                    fmt,
+                    mode,
+                    cases: 0,
+                    skipped: 0,
+                    divergences: 0,
+                    examples: Vec::new(),
+                };
+                cases_for(op, fmt, mode, config.samples, config.seed ^ 0xf72, |case| {
+                    let operands = [case.a, case.b, case.c];
+                    if operands[..case.op.arity()]
+                        .iter()
+                        .any(|&x| outside_ftz_domain(fmt, x))
+                    {
+                        r.skipped += 1;
+                        return;
+                    }
+                    let ours = eval_ftz(&case);
+                    let reference = eval_host(&case);
+                    let res_fmt = result_format(&case);
+                    // Deliberate-deviation masking.
+                    if case.op != Op::Compare
+                        && (ieee::is_nan(res_fmt, reference.bits)
+                            || outside_ftz_domain(res_fmt, reference.bits)
+                            || ours.1.underflow
+                            || reference.flags.is_some_and(|f| f.underflow))
+                    {
+                        r.skipped += 1;
+                        return;
+                    }
+                    r.cases += 1;
+                    let flags_ok = match (case.op, reference.flags) {
+                        (Op::Compare, _) | (_, None) => true,
+                        // FTZ invalid handling substitutes values, so only
+                        // the non-invalid cases compare flags exactly.
+                        (_, Some(h)) => ours.1 == h,
+                    };
+                    if ours.0 != reference.bits || !flags_ok {
+                        r.divergences += 1;
+                        if r.examples.len() < config.max_divergences {
+                            r.examples.push(Divergence {
+                                case,
+                                ours,
+                                reference: (reference.bits, reference.flags),
+                                against: "host-ftz",
+                            });
+                        }
+                    }
+                });
+                report.reports.push(r);
+            }
+        }
+    }
+    report
+}
+
+/// Sweep the staged `fpfpga-fpu` pipeline units against softfp across
+/// **every** pipeline depth of each unit's legal range, for all
+/// requested formats (custom formats included — this sweep needs no
+/// host hardware).
+pub fn run_fpu_sweep(config: &SweepConfig) -> SweepReport {
+    use fpfpga_fpu::prelude::*;
+
+    let mut report = SweepReport::default();
+    let pipeline_ops = [Op::Add, Op::Sub, Op::Mul, Op::Div, Op::Sqrt];
+    for &op in &config.ops {
+        if !pipeline_ops.contains(&op) {
+            continue;
+        }
+        for &fmt in &config.formats {
+            for mode in MODES {
+                let stage_range: u32 = match op {
+                    Op::Div => 39,
+                    Op::Sqrt => 29,
+                    _ => 23,
+                };
+                let per_stage = (config.samples / stage_range as u64).max(8);
+                let specials = special_values(fmt);
+                let mut r = OpReport {
+                    op,
+                    fmt,
+                    mode,
+                    cases: 0,
+                    skipped: 0,
+                    divergences: 0,
+                    examples: Vec::new(),
+                };
+                let mut gen = CaseGen::new(fmt, derived_seed(config.seed ^ 0xf9a, op, fmt, mode));
+                for stages in 1..=stage_range {
+                    let mut unit = match op {
+                        Op::Add => AdderDesign {
+                            format: fmt,
+                            round: mode,
+                            force_priority_encoder: true,
+                        }
+                        .simulator(stages),
+                        Op::Sub => AdderDesign {
+                            format: fmt,
+                            round: mode,
+                            force_priority_encoder: true,
+                        }
+                        .simulator(stages)
+                        .with_subtract(true),
+                        Op::Mul => MultiplierDesign {
+                            format: fmt,
+                            round: mode,
+                        }
+                        .simulator(stages),
+                        Op::Div => DividerDesign {
+                            format: fmt,
+                            round: mode,
+                        }
+                        .simulator(stages),
+                        _ => SqrtDesign {
+                            format: fmt,
+                            round: mode,
+                        }
+                        .simulator(stages),
+                    };
+                    let mut run = |a: u64, b: u64| {
+                        let mut out = unit.clock(Some((a, b)));
+                        let mut guard = 0;
+                        while out.is_none() {
+                            out = unit.clock(None);
+                            guard += 1;
+                            assert!(guard <= unit.latency() + 1, "pipeline never produced");
+                        }
+                        let (got, gf) = out.unwrap();
+                        let case = Case {
+                            op,
+                            fmt,
+                            mode,
+                            a,
+                            b,
+                            c: 0,
+                        };
+                        let (want, wf) = eval_ftz(&case);
+                        r.cases += 1;
+                        if got != want || gf != wf {
+                            r.divergences += 1;
+                            if r.examples.len() < config.max_divergences {
+                                r.examples.push(Divergence {
+                                    case,
+                                    ours: (got, gf),
+                                    reference: (want, Some(wf)),
+                                    against: "softfp-fpu",
+                                });
+                            }
+                        }
+                    };
+                    // A rotated slice of the special-value square plus the
+                    // random tranche, at every single stage count.
+                    let n = specials.len();
+                    for (i, &a) in specials.iter().enumerate() {
+                        let b = specials[(i + stages as usize) % n];
+                        run(a, if op == Op::Sqrt { 0 } else { b });
+                    }
+                    for _ in 0..per_stage {
+                        let (a, b) = gen.pair();
+                        run(a, if op == Op::Sqrt { 0 } else { b });
+                    }
+                }
+                report.reports.push(r);
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_tokens_roundtrip() {
+        for op in Op::ALL {
+            assert_eq!(Op::parse(op.name()), Some(op));
+        }
+        assert_eq!(Op::parse("bogus"), None);
+    }
+
+    #[test]
+    fn format_tokens_roundtrip() {
+        for fmt in [
+            FpFormat::SINGLE,
+            FpFormat::FP48,
+            FpFormat::DOUBLE,
+            FpFormat::new(6, 17),
+        ] {
+            assert_eq!(parse_format(&format_name(fmt)), Some(fmt));
+        }
+    }
+
+    #[test]
+    fn specials_cross_product_is_clean_for_add() {
+        let config = SweepConfig {
+            ops: vec![Op::Add],
+            formats: vec![FpFormat::SINGLE],
+            samples: 500,
+            ..SweepConfig::default()
+        };
+        let report = run_ieee_sweep(&config);
+        assert_eq!(
+            report.total_divergences(),
+            0,
+            "{:?}",
+            report.examples().next()
+        );
+        assert!(report.total_cases() > 5_000);
+    }
+
+    #[test]
+    fn ftz_sweep_masks_its_deviations() {
+        let config = SweepConfig {
+            ops: vec![Op::Mul, Op::Compare],
+            formats: vec![FpFormat::SINGLE],
+            samples: 2_000,
+            ..SweepConfig::default()
+        };
+        let report = run_ftz_sweep(&config);
+        assert_eq!(
+            report.total_divergences(),
+            0,
+            "{:?}",
+            report.examples().next()
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! # fpfpga-conform — differential IEEE 754 conformance harness
+//!
+//! The whole repository rests on one claim: the behavioural models in
+//! `fpfpga-softfp` are bit-exact, and the cycle-accurate cores in
+//! `fpfpga-fpu` are bit-identical to them. This crate is the standing
+//! gate for that claim, in the tradition of differential FP validation
+//! (TestFloat against SoftFloat; de Fine Licht et al. and Merchant et
+//! al. validate their FPGA datapaths the same way):
+//!
+//! * **softfp (IEEE mode) vs host hardware** — every op (add/sub/mul/
+//!   div/sqrt/fma, conversions, comparisons) compared bit for bit,
+//!   result *and* exception flags, against the machine's own `f32`/`f64`
+//!   arithmetic ([`host`]).
+//! * **softfp (flush-to-zero mode) vs host hardware** — the paper-
+//!   faithful cores compared on the common semantic domain (no NaNs, no
+//!   denormals in or out).
+//! * **fpu vs softfp** — the staged pipeline units replayed across every
+//!   pipeline depth with softfp as oracle, for all paper formats.
+//!
+//! [`corpus`] generates the structured inputs (exhaustive special-value
+//! cross products plus seeded random sampling), [`diff`] runs the
+//! comparisons, and [`shrink`] minimizes any divergence to a one-line
+//! reproducer for the checked-in regression corpus
+//! (`tests/conform_corpus/` at the repository root).
+
+pub mod corpus;
+pub mod diff;
+pub mod host;
+pub mod shrink;
+
+pub use corpus::{special_values, CaseGen};
+pub use diff::{
+    check_case, run_fpu_sweep, run_ftz_sweep, run_ieee_sweep, Case, Divergence, Op, OpReport,
+    SweepConfig, SweepReport,
+};
+pub use shrink::{minimize, minimize_with, parse_case, render_case};

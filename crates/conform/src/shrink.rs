@@ -1,0 +1,216 @@
+//! Shrinking reducer and the one-line reproducer format.
+//!
+//! When a sweep finds a divergence, [`minimize`] greedily simplifies
+//! each operand — toward zero, toward one, clearing fraction bits,
+//! pulling the exponent toward the bias, clearing the sign — keeping a
+//! candidate only while the divergence survives, until a fixpoint. The
+//! minimized case renders through [`render_case`] as a single line
+//!
+//! ```text
+//! mul f32 rne 0x3f7fffff 0x00800000
+//! ```
+//!
+//! which is what gets appended to the checked-in regression corpus in
+//! `tests/conform_corpus/` and replayed by the `regression_corpus`
+//! integration test via [`parse_case`].
+
+use crate::diff::{check_case, format_name, mode_name, parse_format, parse_mode, Case, Op};
+use fpfpga_softfp::FpFormat;
+
+/// Candidate simplifications for one operand, roughly ordered from most
+/// to least aggressive.
+fn candidates(fmt: FpFormat, bits: u64) -> Vec<u64> {
+    let (sign, exp, frac) = fmt.unpack_fields(bits);
+    let one = fmt.pack(false, fmt.bias() as u64, 0);
+    let bias = fmt.bias() as u64;
+    let mut out = vec![0, one, fmt.pack(sign, exp, 0)];
+    // Clear trailing fraction bits (keep the top runs that usually carry
+    // the failure).
+    for keep in [1u32, 2, 4, 8] {
+        if keep < fmt.frac_bits() {
+            let mask = !((1u64 << (fmt.frac_bits() - keep)) - 1);
+            out.push(fmt.pack(sign, exp, frac & mask));
+        }
+    }
+    // Keep only the lowest fraction bits (denormal-ish payloads).
+    out.push(fmt.pack(sign, exp, frac & 1));
+    // Pull the exponent halfway toward the bias.
+    if exp != bias && exp != 0 && exp != fmt.inf_biased_exp() {
+        let towards = (exp + bias) / 2;
+        if towards != exp {
+            out.push(fmt.pack(sign, towards, frac));
+        }
+        out.push(fmt.pack(sign, bias, frac));
+    }
+    // Clear the sign.
+    if sign {
+        out.push(fmt.pack(false, exp, frac));
+    }
+    out.retain(|&c| c != bits);
+    out
+}
+
+/// Complexity order for operand encodings: fewer set bits first, then
+/// numerically smaller. Candidates are only accepted when they strictly
+/// decrease this measure, which both keeps the result "simple-looking"
+/// and guarantees the greedy loop terminates (the total complexity is a
+/// strictly decreasing well-founded measure).
+fn complexity(bits: u64) -> (u32, u64) {
+    (bits.count_ones(), bits)
+}
+
+/// Greedily minimize a failing case, using `still_fails` as the oracle.
+/// Each operand is shrunk in turn — a candidate replaces the operand only
+/// when the failure survives **and** the candidate is strictly simpler
+/// (fewer set bits, then numerically smaller) — until a fixpoint. The
+/// oracle is called only
+/// with candidate cases, never with the original, so `minimize` returns
+/// a case for which `still_fails` is known true only if it was true for
+/// `case` itself.
+pub fn minimize_with(case: &Case, mut still_fails: impl FnMut(&Case) -> bool) -> Case {
+    let mut best = *case;
+    let arity = case.op.arity();
+    loop {
+        let mut improved = false;
+        for slot in 0..arity {
+            let bits = [best.a, best.b, best.c][slot];
+            for cand in candidates(best.fmt, bits) {
+                if complexity(cand) >= complexity(bits) {
+                    continue;
+                }
+                let mut trial = best;
+                match slot {
+                    0 => trial.a = cand,
+                    1 => trial.b = cand,
+                    _ => trial.c = cand,
+                }
+                if still_fails(&trial) {
+                    best = trial;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+/// Minimize a divergence against the host oracle ([`check_case`]).
+pub fn minimize(case: &Case) -> Case {
+    minimize_with(case, |c| check_case(c).is_some())
+}
+
+/// Render a case as its one-line corpus form.
+pub fn render_case(case: &Case) -> String {
+    let mut line = format!(
+        "{} {} {} {:#x}",
+        case.op.name(),
+        format_name(case.fmt),
+        mode_name(case.mode),
+        case.a
+    );
+    if case.op.arity() >= 2 {
+        line.push_str(&format!(" {:#x}", case.b));
+    }
+    if case.op.arity() >= 3 {
+        line.push_str(&format!(" {:#x}", case.c));
+    }
+    line
+}
+
+/// Parse a corpus line back into a case. Blank lines and `#` comments
+/// yield `None`.
+pub fn parse_case(line: &str) -> Option<Case> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return None;
+    }
+    let mut tok = line.split_whitespace();
+    let op = Op::parse(tok.next()?)?;
+    let fmt = parse_format(tok.next()?)?;
+    let mode = parse_mode(tok.next()?)?;
+    let mut operand = || -> Option<u64> {
+        let t = tok.next()?;
+        let t = t.strip_prefix("0x").unwrap_or(t);
+        u64::from_str_radix(t, 16).ok()
+    };
+    let a = operand()?;
+    let b = if op.arity() >= 2 { operand()? } else { 0 };
+    let c = if op.arity() >= 3 { operand()? } else { 0 };
+    Some(Case {
+        op,
+        fmt,
+        mode,
+        a,
+        b,
+        c,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpfpga_softfp::RoundMode;
+
+    #[test]
+    fn corpus_lines_roundtrip() {
+        let cases = [
+            Case {
+                op: Op::Mul,
+                fmt: FpFormat::SINGLE,
+                mode: RoundMode::NearestEven,
+                a: 0x3f7f_ffff,
+                b: 0x0080_0000,
+                c: 0,
+            },
+            Case {
+                op: Op::Fma,
+                fmt: FpFormat::DOUBLE,
+                mode: RoundMode::Truncate,
+                a: 0x3ff0_0000_0000_0001,
+                b: 0xbff0_0000_0000_0000,
+                c: 0x0000_0000_0000_0001,
+            },
+            Case {
+                op: Op::Sqrt,
+                fmt: FpFormat::SINGLE,
+                mode: RoundMode::NearestEven,
+                a: 0x7f7f_ffff,
+                b: 0,
+                c: 0,
+            },
+        ];
+        for case in cases {
+            assert_eq!(parse_case(&render_case(&case)), Some(case));
+        }
+        assert_eq!(parse_case("# comment"), None);
+        assert_eq!(parse_case("   "), None);
+        assert_eq!(parse_case("bogus f32 rne 0x0"), None);
+    }
+
+    #[test]
+    fn minimizer_reaches_fixpoint_on_synthetic_oracle() {
+        // Synthetic failure: "diverges whenever a is NaN" — the minimizer
+        // must keep NaN-ness while simplifying everything else.
+        let fmt = FpFormat::SINGLE;
+        let case = Case {
+            op: Op::Add,
+            fmt,
+            mode: RoundMode::NearestEven,
+            a: 0xffff_abcd, // noisy -NaN
+            b: 0x4049_0fdb, // pi
+            c: 0,
+        };
+        let is_nan = |bits: u64| {
+            let (_, e, m) = fmt.unpack_fields(bits);
+            e == fmt.inf_biased_exp() && m != 0
+        };
+        let min = minimize_with(&case, |c| is_nan(c.a));
+        assert!(is_nan(min.a), "must preserve the failure");
+        assert_eq!(min.b, 0, "side operand fully simplified");
+        // The NaN payload itself should have been simplified too.
+        assert!(min.a.count_ones() < case.a.count_ones());
+    }
+}

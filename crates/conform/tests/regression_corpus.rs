@@ -1,0 +1,55 @@
+//! Replay the checked-in regression corpus (`tests/conform_corpus/` at
+//! the repository root) against the host. Every line is a minimized
+//! reproducer of a divergence that was once real; agreement here is
+//! what keeps each fixed bug fixed.
+
+use fpfpga_conform::{check_case, parse_case};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/conform_corpus")
+}
+
+#[test]
+fn every_corpus_case_agrees_with_the_host() {
+    let dir = corpus_dir();
+    let mut files = 0usize;
+    let mut cases = 0usize;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "txt"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        files += 1;
+        let text = std::fs::read_to_string(&path).unwrap();
+        for (ln, line) in text.lines().enumerate() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let case = parse_case(line).unwrap_or_else(|| {
+                panic!(
+                    "{}:{}: unparseable corpus line `{line}`",
+                    path.display(),
+                    ln + 1
+                )
+            });
+            cases += 1;
+            if let Some(d) = check_case(&case) {
+                panic!(
+                    "{}:{}: regressed: {line}\n  ours      {:#x} {:?}\n  reference {:#x} {:?}",
+                    path.display(),
+                    ln + 1,
+                    d.ours.0,
+                    d.ours.1,
+                    d.reference.0,
+                    d.reference.1
+                );
+            }
+        }
+    }
+    assert!(files >= 5, "corpus lost files? found {files}");
+    assert!(cases >= 30, "corpus lost cases? found {cases}");
+}

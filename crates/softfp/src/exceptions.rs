@@ -3,6 +3,32 @@
 //! The paper's cores detect exceptions at every pipeline stage and carry
 //! them forward to the output alongside the `DONE` signal. This module is
 //! the architectural definition of that side-band information.
+//!
+//! # Flag semantics (normative, checked by `fpfpga-conform`)
+//!
+//! These rules hold across **every** op in both the flush-to-zero layer
+//! (`ops::*`) and the full-IEEE layer (`ieee`):
+//!
+//! * **Overflow implies inexact.** The delivered value (±∞ under
+//!   round-to-nearest, ±max-finite under truncation) always differs from
+//!   the exact result, so `overflow` is never raised without `inexact`.
+//!   [`Flags::overflow`] encodes the pair.
+//! * **Underflow** means *tininess with precision loss*:
+//!   * In the flush-to-zero layer a result below the normal range is
+//!     replaced by ±0 — always a precision loss, so `underflow` there
+//!     also implies `inexact` ([`Flags::underflow`]).
+//!   * In the IEEE layer tininess is detected **after rounding** (the
+//!     x86-SSE convention the conformance harness compares against): a
+//!     result is tiny iff, rounded to destination precision as though
+//!     the exponent range were unbounded, it stays below the smallest
+//!     normal. `underflow` is raised only when the result is tiny *and*
+//!     the delivered (denormalized) result is inexact; an exactly
+//!     representable denormal raises nothing.
+//! * **Invalid** covers ∞−∞, 0×∞ (including inside fma), 0÷0, ∞÷∞,
+//!   √(negative) and any *signaling* NaN operand. Quiet-NaN propagation
+//!   raises nothing.
+//! * **Divide-by-zero** is raised only for finite-nonzero ÷ 0; 0÷0 is
+//!   invalid instead.
 
 use core::fmt;
 use core::ops::{BitOr, BitOrAssign};

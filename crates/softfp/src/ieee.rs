@@ -7,17 +7,27 @@
 //! numerical difference here, and the hardware cost in
 //! `fpfpga-fpu::ieee_cost`.
 //!
-//! Semantics: IEEE 754 with round-to-nearest-even or round-toward-zero,
-//! gradual underflow, quiet-NaN propagation (any NaN operand produces
-//! the canonical quiet NaN of the format — payloads are not preserved;
-//! tests against native floats therefore compare NaN-ness, not NaN
-//! bits), and tininess detected after rounding.
+//! Semantics: IEEE 754-2019 with round-to-nearest-even or
+//! round-toward-zero, gradual underflow, NaN payload propagation per
+//! §6.2 (the first NaN operand's sign and payload are preserved, the
+//! quiet bit is set, and a signaling NaN raises `invalid` — NaN *bits*
+//! are still ISA-specific, so differential tests against native floats
+//! compare NaN-ness, while payload rules are pinned by this module's own
+//! tests), and tininess detected **after rounding** in the x86-SSE
+//! sense: a result is tiny iff, rounded to destination precision with an
+//! unbounded exponent range, it stays below the smallest normal, and the
+//! `underflow` flag is raised only when the result is both tiny and
+//! inexact (see `exceptions`).
 
 use crate::exceptions::Flags;
 use crate::format::FpFormat;
 use crate::ops::add::{align_mantissa, swap_operands, GRS_BITS};
-use crate::round::{shift_right_sticky_u128, RoundMode};
+use crate::ops::div::{quotient_recurrence, DIV_GRS_BITS};
+use crate::ops::fma::{combine, FMA_GRS};
+use crate::ops::sqrt::{root_recurrence, SQRT_GRS_BITS};
+use crate::round::{round_overflow, shift_right_sticky_u128, RoundMode};
 use crate::unpacked::Unpacked;
+use core::cmp::Ordering;
 
 /// Operand classification with the two classes the flush-to-zero cores
 /// erase.
@@ -123,13 +133,41 @@ pub fn is_nan(fmt: FpFormat, bits: u64) -> bool {
     biased == fmt.inf_biased_exp() && frac != 0
 }
 
+/// True if `bits` encodes a signaling NaN (NaN with the quiet bit — the
+/// fraction MSB — clear).
+pub fn is_signaling(fmt: FpFormat, bits: u64) -> bool {
+    is_nan(fmt, bits) && bits & (1u64 << (fmt.frac_bits() - 1)) == 0
+}
+
+/// IEEE 754-2019 §6.2 NaN propagation: the result is the first NaN
+/// operand (in argument order) with its quiet bit set, sign and payload
+/// preserved; `invalid` is raised iff any operand is signaling.
+///
+/// Must be called with at least one NaN among `operands`.
+pub fn propagate_nan(fmt: FpFormat, operands: &[u64]) -> (u64, Flags) {
+    let mut flags = Flags::NONE;
+    let mut first = None;
+    for &x in operands {
+        if is_nan(fmt, x) {
+            if is_signaling(fmt, x) {
+                flags.invalid = true;
+            }
+            if first.is_none() {
+                first = Some(x);
+            }
+        }
+    }
+    let nan = first.expect("propagate_nan requires a NaN operand");
+    (nan | (1u64 << (fmt.frac_bits() - 1)), flags)
+}
+
 /// IEEE addition with gradual underflow and NaN propagation.
 pub fn ieee_add(fmt: FpFormat, a: u64, b: u64, mode: RoundMode) -> (u64, Flags) {
     let ua = IeeeUnpacked::from_bits(fmt, a);
     let ub = IeeeUnpacked::from_bits(fmt, b);
     use IeeeClass::*;
     match (ua.class, ub.class) {
-        (Nan, _) | (_, Nan) => return (quiet_nan(fmt), Flags::NONE),
+        (Nan, _) | (_, Nan) => return propagate_nan(fmt, &[a, b]),
         (Inf, Inf) => {
             return if ua.sign == ub.sign {
                 (fmt.pack(ua.sign, fmt.inf_biased_exp(), 0), Flags::NONE)
@@ -211,7 +249,7 @@ pub fn ieee_mul(fmt: FpFormat, a: u64, b: u64, mode: RoundMode) -> (u64, Flags) 
     let sign = ua.sign ^ ub.sign;
     use IeeeClass::*;
     match (ua.class, ub.class) {
-        (Nan, _) | (_, Nan) => return (quiet_nan(fmt), Flags::NONE),
+        (Nan, _) | (_, Nan) => return propagate_nan(fmt, &[a, b]),
         (Zero, Inf) | (Inf, Zero) => return (quiet_nan(fmt), Flags::invalid()),
         (Inf, _) | (_, Inf) => return (fmt.pack(sign, fmt.inf_biased_exp(), 0), Flags::NONE),
         (Zero, _) | (_, Zero) => return (fmt.pack(sign, 0, 0), Flags::NONE),
@@ -252,22 +290,29 @@ pub fn ieee_round_pack(
     );
 
     if exp > fmt.max_exp() {
-        let flags = Flags::overflow();
-        let bits = match mode {
-            RoundMode::NearestEven => fmt.pack(sign, fmt.inf_biased_exp(), 0),
-            RoundMode::Truncate => fmt.pack(sign, fmt.max_biased_exp(), fmt.frac_mask()),
-        };
-        return (bits, flags);
+        return round_overflow(fmt, sign, mode);
     }
+
+    let denormal_path = exp < fmt.min_exp();
+
+    // Tininess after rounding, judged *before* denormalization: the
+    // result is tiny iff rounding `mag` to destination precision with an
+    // unbounded exponent range leaves it below the smallest normal. On
+    // the denormal path that fails only when exp == min_exp − 1 and the
+    // unbounded rounding carries 1.111…1 up to 2.0 — which is exactly
+    // the window where the coarser denormalized rounding can promote the
+    // result to the smallest normal while the value was never tiny.
+    let tiny = denormal_path
+        && !(exp == fmt.min_exp() - 1 && unbounded_round_carries(fmt, mag, grs, mode));
 
     // Push values below the normal range down into the denormal
     // representation: the hidden position stays fixed, the value shifts.
-    let (mag, denormal_path) = if exp < fmt.min_exp() {
+    let mag = if denormal_path {
         let shift = (fmt.min_exp() - exp) as u32;
         let (m, lost) = shift_right_sticky_u128(mag, shift);
-        (m | lost as u128, true)
+        m | lost as u128
     } else {
-        (mag, false)
+        mag
     };
 
     // Round at the fixed guard boundary. The kept part's hidden bit may
@@ -289,25 +334,20 @@ pub fn ieee_round_pack(
         rounded >>= 1;
         exp += 1;
         if exp > fmt.max_exp() {
-            let bits = match mode {
-                RoundMode::NearestEven => fmt.pack(sign, fmt.inf_biased_exp(), 0),
-                RoundMode::Truncate => fmt.pack(sign, fmt.max_biased_exp(), fmt.frac_mask()),
-            };
-            return (bits, Flags::overflow());
+            return round_overflow(fmt, sign, mode);
         }
     }
 
     let mut flags = Flags::NONE;
     flags.inexact = inexact;
     if denormal_path {
-        // Tininess after rounding: if the round carried all the way up to
-        // the smallest normal, the result is not tiny.
+        flags.underflow = tiny && inexact;
+        // The denormalized rounding can still promote the result to the
+        // smallest normal (biased exponent 1); whether that counts as an
+        // underflow was decided by `tiny` above, not by the promotion.
         let bits = if rounded >> fmt.frac_bits() != 0 {
             fmt.pack(sign, 1, rounded & fmt.frac_mask())
         } else {
-            if inexact {
-                flags.underflow = true;
-            }
             fmt.pack(sign, 0, rounded)
         };
         (bits, flags)
@@ -318,6 +358,224 @@ pub fn ieee_round_pack(
             flags,
         )
     }
+}
+
+/// Would rounding `mag` (leading one at `frac_bits + grs`) at the guard
+/// boundary carry out of the significand? Used by the tininess-after-
+/// rounding check; round-toward-zero never carries.
+fn unbounded_round_carries(fmt: FpFormat, mag: u128, grs: u32, mode: RoundMode) -> bool {
+    match mode {
+        RoundMode::Truncate => false,
+        RoundMode::NearestEven => {
+            let tail = mag & ((1u128 << grs) - 1);
+            let kept = (mag >> grs) as u64;
+            let half = 1u128 << (grs - 1);
+            let up = tail > half || (tail == half && kept & 1 == 1);
+            (kept + up as u64) >> fmt.sig_bits() != 0
+        }
+    }
+}
+
+/// IEEE division with gradual underflow and NaN propagation.
+pub fn ieee_div(fmt: FpFormat, a: u64, b: u64, mode: RoundMode) -> (u64, Flags) {
+    let ua = IeeeUnpacked::from_bits(fmt, a);
+    let ub = IeeeUnpacked::from_bits(fmt, b);
+    let sign = ua.sign ^ ub.sign;
+    use IeeeClass::*;
+    match (ua.class, ub.class) {
+        (Nan, _) | (_, Nan) => return propagate_nan(fmt, &[a, b]),
+        (Zero, Zero) | (Inf, Inf) => return (quiet_nan(fmt), Flags::invalid()),
+        (Inf, _) => return (fmt.pack(sign, fmt.inf_biased_exp(), 0), Flags::NONE),
+        (_, Inf) | (Zero, _) => return (fmt.pack(sign, 0, 0), Flags::NONE),
+        (_, Zero) => {
+            return (
+                fmt.pack(sign, fmt.inf_biased_exp(), 0),
+                Flags::div_by_zero(),
+            )
+        }
+        _ => {}
+    }
+    // The pre-normalized significands satisfy the recurrence's hidden-bit
+    // contract even for denormal operands; the unbounded exponent runs
+    // through unchanged and the pack step restores the IEEE range.
+    let (q, exp) = quotient_recurrence(fmt, ua.sig, ub.sig, ua.exp - ub.exp);
+    ieee_round_pack(fmt, sign, exp, q, DIV_GRS_BITS, mode)
+}
+
+/// IEEE square root with gradual underflow and NaN propagation.
+pub fn ieee_sqrt(fmt: FpFormat, a: u64, mode: RoundMode) -> (u64, Flags) {
+    let ua = IeeeUnpacked::from_bits(fmt, a);
+    use IeeeClass::*;
+    match ua.class {
+        Nan => return propagate_nan(fmt, &[a]),
+        Zero => return (a, Flags::NONE), // √±0 = ±0
+        Inf if !ua.sign => return (a, Flags::NONE),
+        _ if ua.sign => return (quiet_nan(fmt), Flags::invalid()),
+        _ => {}
+    }
+    // √ of any in-range positive value lands strictly inside the normal
+    // range (the halved exponent of even the deepest denormal clears
+    // min_exp), so the pack step never denormalizes here.
+    let (root, exp) = root_recurrence(fmt, ua.sig, ua.exp);
+    ieee_round_pack(fmt, false, exp, root, SQRT_GRS_BITS, mode)
+}
+
+/// IEEE fused multiply-add `a·b + c` with one rounding, gradual
+/// underflow and NaN propagation.
+///
+/// NaN propagation takes precedence over the 0×∞ invalid check: `fma(0,
+/// ∞, qNaN)` returns the quiet NaN *without* raising invalid, matching
+/// the x86 FMA extension (IEEE 754-2019 makes the flag optional here).
+pub fn ieee_fma(fmt: FpFormat, a: u64, b: u64, c: u64, mode: RoundMode) -> (u64, Flags) {
+    let ua = IeeeUnpacked::from_bits(fmt, a);
+    let ub = IeeeUnpacked::from_bits(fmt, b);
+    let uc = IeeeUnpacked::from_bits(fmt, c);
+    let psign = ua.sign ^ ub.sign;
+    use IeeeClass::*;
+
+    if ua.class == Nan || ub.class == Nan || uc.class == Nan {
+        return propagate_nan(fmt, &[a, b, c]);
+    }
+    match (ua.class, ub.class) {
+        (Zero, Inf) | (Inf, Zero) => return (quiet_nan(fmt), Flags::invalid()),
+        (Inf, _) | (_, Inf) => {
+            return match uc.class {
+                Inf if uc.sign != psign => (quiet_nan(fmt), Flags::invalid()),
+                _ => (fmt.pack(psign, fmt.inf_biased_exp(), 0), Flags::NONE),
+            };
+        }
+        _ => {}
+    }
+    if uc.class == Inf {
+        return (fmt.pack(uc.sign, fmt.inf_biased_exp(), 0), Flags::NONE);
+    }
+    if ua.is_zero() || ub.is_zero() {
+        // Exact product zero: the result is c, with +0 on signed-zero
+        // cancellation (both supported modes round such sums to +0).
+        return if uc.is_zero() {
+            let sign = psign == uc.sign && psign;
+            (fmt.pack(sign, 0, 0), Flags::NONE)
+        } else {
+            (c, Flags::NONE)
+        };
+    }
+    if uc.is_zero() {
+        // Adding ±0 to the exact non-zero product changes nothing: this
+        // is a plain multiplication, already rounded exactly once.
+        return ieee_mul(fmt, a, b, mode);
+    }
+
+    // Same three-branch anchoring as the flush-to-zero fma, but on the
+    // pre-normalized IeeeUnpacked forms with unbounded exponents.
+    let f = fmt.frac_bits();
+    let product = ua.sig as u128 * ub.sig as u128;
+    let pexp = ua.exp + ub.exp;
+    let shift = (uc.exp - pexp) + f as i32;
+    let c_wide = (uc.sig as u128) << FMA_GRS;
+    let prod_wide = product << FMA_GRS;
+
+    let (mag, sign, e_lsb, is_zero) = if shift > (f + 2) as i32 {
+        let (p_aligned, lost) = shift_right_sticky_u128(prod_wide, shift as u32);
+        let (m, sg, z) = combine(c_wide, uc.sign, p_aligned | lost as u128, psign);
+        (m, sg, uc.exp - (f + FMA_GRS) as i32, z)
+    } else if shift >= 0 {
+        let c_aligned = c_wide << shift;
+        let (m, sg, z) = combine(prod_wide, psign, c_aligned, uc.sign);
+        (m, sg, pexp - (2 * f + FMA_GRS) as i32, z)
+    } else {
+        let (c_aligned, lost) = shift_right_sticky_u128(c_wide, (-shift) as u32);
+        let (m, sg, z) = combine(prod_wide, psign, c_aligned | lost as u128, uc.sign);
+        (m, sg, pexp - (2 * f + FMA_GRS) as i32, z)
+    };
+    if is_zero {
+        return (fmt.pack(false, 0, 0), Flags::NONE);
+    }
+
+    let msb = 127 - mag.leading_zeros();
+    let exp_val = e_lsb + msb as i32;
+    let (mag, grs) = if msb > f {
+        (mag, msb - f)
+    } else {
+        // Deep cancellation (necessarily exact): lift the hidden bit.
+        (mag << (f + 1 - msb), 1)
+    };
+    ieee_round_pack(fmt, sign, exp_val, mag, grs, mode)
+}
+
+/// IEEE format conversion `src → dst` with gradual underflow and NaN
+/// payload mapping.
+///
+/// NaN payloads stay left-aligned in the fraction field (low bits are
+/// zero-filled when widening and truncated when narrowing, as x86's
+/// `cvtss2sd`/`cvtsd2ss` do), the quiet bit is set, and a signaling NaN
+/// raises `invalid`.
+pub fn ieee_convert(src: FpFormat, bits: u64, dst: FpFormat, mode: RoundMode) -> (u64, Flags) {
+    let u = IeeeUnpacked::from_bits(src, bits);
+    let sf = src.frac_bits();
+    let df = dst.frac_bits();
+    use IeeeClass::*;
+    match u.class {
+        Nan => {
+            let frac = bits & src.frac_mask();
+            let mapped = if df >= sf {
+                frac << (df - sf)
+            } else {
+                frac >> (sf - df)
+            };
+            let mut flags = Flags::NONE;
+            flags.invalid = is_signaling(src, bits);
+            (
+                dst.pack(u.sign, dst.inf_biased_exp(), mapped | (1u64 << (df - 1))),
+                flags,
+            )
+        }
+        Inf => (dst.pack(u.sign, dst.inf_biased_exp(), 0), Flags::NONE),
+        Zero => (dst.pack(u.sign, 0, 0), Flags::NONE),
+        Normal | Denormal => {
+            // The pre-normalized significand (leading one at sf) moves to
+            // the destination's hidden position with at least three guard
+            // bits so ieee_round_pack can round and re-denormalize.
+            let (mag, grs) = if df >= sf {
+                ((u.sig as u128) << (df - sf + 3), 3)
+            } else {
+                ((u.sig as u128) << 3, sf - df + 3)
+            };
+            ieee_round_pack(dst, u.sign, u.exp, mag, grs, mode)
+        }
+    }
+}
+
+/// IEEE comparison: `None` for unordered (any NaN operand), with
+/// `invalid` raised iff a NaN operand is signaling (the quiet-predicate
+/// convention of `ucomiss`). ±0 compare equal; denormals order by
+/// magnitude (unlike the flush-to-zero [`crate::compare`], which flushes
+/// them).
+pub fn ieee_compare(fmt: FpFormat, a: u64, b: u64) -> (Option<Ordering>, Flags) {
+    let mut flags = Flags::NONE;
+    flags.invalid = is_signaling(fmt, a) || is_signaling(fmt, b);
+    if is_nan(fmt, a) || is_nan(fmt, b) {
+        return (None, flags);
+    }
+    // Sign-magnitude encodings order directly: compare magnitudes as
+    // integers (exponent field above fraction), reversed under a shared
+    // negative sign.
+    let mag_mask = fmt.enc_mask() >> 1;
+    let (ma, mb) = (a & mag_mask, b & mag_mask);
+    let (sa, sb) = (a & !mag_mask != 0, b & !mag_mask != 0);
+    let ord = if ma == 0 && mb == 0 {
+        Ordering::Equal
+    } else if sa != sb {
+        if sa {
+            Ordering::Less
+        } else {
+            Ordering::Greater
+        }
+    } else if sa {
+        mb.cmp(&ma)
+    } else {
+        ma.cmp(&mb)
+    };
+    (Some(ord), flags)
 }
 
 #[cfg(test)]
@@ -497,5 +755,246 @@ mod tests {
             RoundMode::NearestEven,
         );
         assert_eq!(f32::from_bits(bits as u32), 2.0);
+    }
+
+    // --- Named regressions for divergences found by fpfpga-conform. ---
+
+    #[test]
+    fn regress_snan_operand_raises_invalid_and_quiets_payload() {
+        // Found by conform: sNaN operands returned the canonical qNaN
+        // with no flags. §6.2: quiet the *operand's* payload, raise
+        // invalid.
+        let snan = 0x7f80_0012u64; // payload 0x12, quiet bit clear
+        let quieted = snan | 0x0040_0000;
+        let one = 1.0f32.to_bits() as u64;
+        for (r, f) in [
+            ieee_add(F32, snan, one, RoundMode::NearestEven),
+            ieee_mul(F32, one, snan, RoundMode::NearestEven),
+            ieee_div(F32, snan, one, RoundMode::NearestEven),
+            ieee_sqrt(F32, snan, RoundMode::NearestEven),
+            ieee_fma(F32, snan, one, one, RoundMode::NearestEven),
+        ] {
+            assert_eq!(r, quieted, "payload must survive quieting");
+            assert!(f.invalid, "sNaN must raise invalid");
+        }
+    }
+
+    #[test]
+    fn regress_qnan_payload_and_sign_preserved() {
+        // Found by conform: qNaN inputs were canonicalized, losing sign
+        // and payload. §6.2: propagate the first NaN operand unchanged.
+        let qnan = 0xffc0_0123u64; // negative, payload 0x123
+        let (r, f) = ieee_mul(F32, qnan, 2.0f32.to_bits() as u64, RoundMode::NearestEven);
+        assert_eq!(r, qnan);
+        assert!(!f.any(), "quiet propagation raises nothing");
+        // First NaN in argument order wins.
+        let qnan2 = 0x7fc0_0456u64;
+        let (r, _) = ieee_add(F32, qnan, qnan2, RoundMode::NearestEven);
+        assert_eq!(r, qnan);
+        let (r, _) = ieee_add(F32, qnan2, qnan, RoundMode::NearestEven);
+        assert_eq!(r, qnan2);
+    }
+
+    #[test]
+    fn regress_underflow_when_denormal_rounding_promotes_but_value_was_tiny() {
+        // Found by conform: (1 − 2^-24)·2^-126 rounds up to MIN_POSITIVE
+        // at denormal precision, so the old "promoted ⇒ not tiny" rule
+        // suppressed underflow — but at unbounded 24-bit precision the
+        // value is exactly 1.{23 ones}·2^-127 < min normal, so x86
+        // raises underflow + inexact.
+        let a = 0x3f7f_ffffu64; // 1 − 2^-24
+        let b = 0x0080_0000u64; // 2^-126
+        let (r, f) = ieee_mul(F32, a, b, RoundMode::NearestEven);
+        assert_eq!(r, 0x0080_0000, "rounds up to the smallest normal");
+        assert!(f.underflow && f.inexact, "{f:?}");
+        // Host agreement (tininess after rounding).
+        let native = f32::from_bits(a as u32) * f32::from_bits(b as u32);
+        assert_eq!(native.to_bits() as u64, r);
+    }
+
+    #[test]
+    fn regress_no_underflow_when_unbounded_rounding_escapes_tininess() {
+        // Counterpart: (1 + 2^-23)(1 − 2^-23)·2^-126 = (1 − 2^-46)·2^-126
+        // carries up to 2^-126 even at unbounded precision → never tiny →
+        // inexact only.
+        let a = 0x0080_0001u64; // (1 + 2^-23)·2^-126
+        let b = (1.0f32 - f32::EPSILON).to_bits() as u64; // 1 − 2^-23
+        let (r, f) = ieee_mul(F32, a, b, RoundMode::NearestEven);
+        assert_eq!(r, 0x0080_0000, "rounds up to the smallest normal");
+        assert!(!f.underflow && f.inexact, "{f:?}");
+        let native = f32::from_bits(a as u32) * f32::from_bits(b as u32);
+        assert_eq!(native.to_bits() as u64, r);
+    }
+
+    #[test]
+    fn regress_truncate_overflow_saturates_at_max_finite() {
+        // Found by audit: overflow packing is now centralized in
+        // round::round_overflow; truncation must deliver ±max-finite
+        // with overflow + inexact in every ieee op.
+        let big = f32::MAX.to_bits() as u64;
+        for (r, f) in [
+            ieee_add(F32, big, big, RoundMode::Truncate),
+            ieee_mul(F32, big, big, RoundMode::Truncate),
+            ieee_div(F32, big, F32.min_positive(), RoundMode::Truncate),
+            ieee_fma(F32, big, big, big, RoundMode::Truncate),
+        ] {
+            assert_eq!(r, F32.max_finite());
+            assert!(f.overflow && f.inexact, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn ieee_div_matches_native_with_denormals() {
+        let cases: &[(u32, u32)] = &[
+            (0x0000_0001, 0x3f80_0000), // denormal / 1
+            (0x0080_0000, 0x4000_0000), // min normal / 2 → denormal
+            (0x0000_0001, 0x0000_0001), // denormal / denormal
+            (0x007f_ffff, 0x0000_0003),
+            (0x3f80_0000, 0x7f7f_ffff), // 1 / MAX → denormal
+            (0x0123_4567, 0x7654_3210),
+        ];
+        for &(a, b) in cases {
+            let (r, _) = ieee_div(F32, a as u64, b as u64, RoundMode::NearestEven);
+            let native = f32::from_bits(a) / f32::from_bits(b);
+            assert_eq!(r, native.to_bits() as u64, "{a:#x}/{b:#x}");
+        }
+    }
+
+    #[test]
+    fn ieee_sqrt_matches_native_with_denormals() {
+        for a in [
+            0x0000_0001u32,
+            0x0000_0002,
+            0x007f_ffff,
+            0x0080_0000,
+            0x3f80_0000,
+            0x4049_0fdb,
+            0x7f7f_ffff,
+        ] {
+            let (r, _) = ieee_sqrt(F32, a as u64, RoundMode::NearestEven);
+            assert_eq!(r, f32::from_bits(a).sqrt().to_bits() as u64, "sqrt({a:#x})");
+        }
+        // √(−0) = −0; √(negative) = qNaN + invalid.
+        let (r, f) = ieee_sqrt(F32, 0x8000_0000, RoundMode::NearestEven);
+        assert_eq!(r, 0x8000_0000);
+        assert!(!f.any());
+        let (r, f) = ieee_sqrt(F32, (-4.0f32).to_bits() as u64, RoundMode::NearestEven);
+        assert!(is_nan(F32, r));
+        assert!(f.invalid);
+    }
+
+    #[test]
+    fn ieee_fma_matches_native_including_denormals() {
+        let vals: &[u32] = &[
+            0x3f80_0000, // 1.0
+            0xbfc0_0000, // -1.5
+            0x0000_0001, // smallest denormal
+            0x0080_0000, // min normal
+            0x7f7f_ffff, // max
+            0x3edb_6db7,
+            0x0040_0000, // mid denormal
+        ];
+        for &a in vals {
+            for &b in vals {
+                for &c in vals {
+                    let native = f32::from_bits(a).mul_add(f32::from_bits(b), f32::from_bits(c));
+                    let (r, _) =
+                        ieee_fma(F32, a as u64, b as u64, c as u64, RoundMode::NearestEven);
+                    assert_eq!(r, native.to_bits() as u64, "fma({a:#x},{b:#x},{c:#x})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ieee_fma_zero_times_inf_with_qnan_addend_is_quiet() {
+        // x86 FMA does not raise invalid when the addend is a quiet NaN;
+        // propagation wins over the 0×∞ check.
+        let qnan = 0x7fc0_0001u64;
+        let (r, f) = ieee_fma(F32, 0, F32.pos_inf(), qnan, RoundMode::NearestEven);
+        assert_eq!(r, qnan);
+        assert!(!f.invalid);
+        // Without a NaN addend it is invalid.
+        let (r, f) = ieee_fma(F32, 0, F32.pos_inf(), 0, RoundMode::NearestEven);
+        assert!(is_nan(F32, r));
+        assert!(f.invalid);
+    }
+
+    #[test]
+    fn ieee_convert_narrowing_matches_native_with_denormals() {
+        let f64s: &[f64] = &[
+            1.0,
+            0.1,
+            1e-40, // denormal in f32
+            1e-45, // below f32 denormal ulp
+            1e-46, // rounds to zero
+            -3.5e38,
+            1e300,                                 // overflows f32
+            f64::from_bits(0x36A0_0000_0000_0001), // just above a f32 denormal midpoint
+        ];
+        for &x in f64s {
+            let (r, _) = ieee_convert(FpFormat::DOUBLE, x.to_bits(), F32, RoundMode::NearestEven);
+            assert_eq!(r, (x as f32).to_bits() as u64, "{x:e}");
+        }
+    }
+
+    #[test]
+    fn ieee_convert_nan_payload_maps_left_aligned() {
+        // f32 qNaN payload widens with zero-fill low bits (cvtss2sd).
+        let (r, f) = ieee_convert(F32, 0x7fc0_0001, FpFormat::DOUBLE, RoundMode::NearestEven);
+        assert_eq!(r, 0x7ff8_0000_2000_0000);
+        assert!(!f.invalid);
+        // Widening an sNaN quiets it and raises invalid.
+        let (r, f) = ieee_convert(F32, 0x7f80_0001, FpFormat::DOUBLE, RoundMode::NearestEven);
+        assert_eq!(r, 0x7ff8_0000_2000_0000);
+        assert!(f.invalid);
+        // Narrowing truncates the payload (cvtsd2ss keeps the top bits).
+        let (r, _) = ieee_convert(
+            FpFormat::DOUBLE,
+            0x7ff8_0000_2000_0000,
+            F32,
+            RoundMode::NearestEven,
+        );
+        assert_eq!(r, 0x7fc0_0001);
+    }
+
+    #[test]
+    fn ieee_compare_orders_denormals_and_rejects_nan() {
+        use core::cmp::Ordering::*;
+        let (ord, f) = ieee_compare(F32, 0x0000_0001, 0x0000_0002);
+        assert_eq!(ord, Some(Less));
+        assert!(!f.any());
+        // The flush-to-zero compare cannot see this ordering.
+        let (ord, _) = ieee_compare(F32, 0x8000_0000, 0x0000_0000); // −0 vs +0
+        assert_eq!(ord, Some(Equal));
+        let (ord, f) = ieee_compare(F32, 0x7fc0_0000, 0x3f80_0000);
+        assert_eq!(ord, None);
+        assert!(!f.invalid, "quiet predicate: qNaN raises nothing");
+        let (ord, f) = ieee_compare(F32, 0x7f80_0001, 0x3f80_0000);
+        assert_eq!(ord, None);
+        assert!(f.invalid, "sNaN raises invalid even in quiet compare");
+        // Mirror the native partial order on a mixed sample.
+        let vals: &[u32] = &[
+            0x0000_0000,
+            0x8000_0000,
+            0x0000_0001,
+            0x8000_0001,
+            0x0040_0000,
+            0x3f80_0000,
+            0xbf80_0000,
+            0x7f80_0000,
+            0xff80_0000,
+            0x7f7f_ffff,
+        ];
+        for &a in vals {
+            for &b in vals {
+                let (ord, _) = ieee_compare(F32, a as u64, b as u64);
+                assert_eq!(
+                    ord,
+                    f32::from_bits(a).partial_cmp(&f32::from_bits(b)),
+                    "{a:#x} vs {b:#x}"
+                );
+            }
+        }
     }
 }

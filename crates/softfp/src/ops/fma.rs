@@ -15,7 +15,7 @@ use crate::round::{pack_with_range_check, round_sig, shift_right_sticky_u128, Ro
 use crate::unpacked::{Class, Unpacked};
 
 /// Guard bits below the product's binary alignment in the wide adder.
-const FMA_GRS: u32 = 3;
+pub const FMA_GRS: u32 = 3;
 
 /// `a·b + c` with one rounding, on raw encodings.
 pub fn fma(fmt: FpFormat, a: u64, b: u64, c: u64, mode: RoundMode) -> (u64, Flags) {
@@ -115,8 +115,10 @@ pub fn fma(fmt: FpFormat, a: u64, b: u64, c: u64, mode: RoundMode) -> (u64, Flag
     pack_with_range_check(fmt, sign, exp, rounded.sig, mode, rounded.inexact)
 }
 
-/// Signed combine of two magnitudes in the same frame.
-fn combine(p: u128, ps: bool, c: u128, cs: bool) -> (u128, bool, bool) {
+/// Signed combine of two magnitudes in the same frame: returns the
+/// result magnitude, its sign, and whether an effective subtraction
+/// cancelled exactly. Shared with the IEEE-mode fma.
+pub fn combine(p: u128, ps: bool, c: u128, cs: bool) -> (u128, bool, bool) {
     if ps == cs {
         (p + c, ps, false)
     } else if p >= c {

@@ -113,11 +113,26 @@ pub struct RoundedSig {
     pub inexact: bool,
 }
 
+/// Deliver an overflowed result under the IEEE default policy for the two
+/// supported modes.
+///
+/// Round-to-nearest rounds past max-finite to ±∞; round-toward-zero can
+/// never cross the max-finite boundary, so it saturates there with the
+/// all-ones fraction. Overflow always implies inexact — the delivered
+/// value differs from the exact one in both modes — which
+/// [`Flags::overflow`] encodes.
+pub fn round_overflow(fmt: FpFormat, sign: bool, mode: RoundMode) -> (u64, Flags) {
+    let bits = match mode {
+        RoundMode::NearestEven => fmt.pack(sign, fmt.inf_biased_exp(), 0),
+        RoundMode::Truncate => fmt.pack(sign, fmt.max_biased_exp(), fmt.frac_mask()),
+    };
+    (bits, Flags::overflow())
+}
+
 /// Final range check: pack a rounded `(sign, exp, sig)` into an encoding,
 /// applying the cores' overflow/underflow policy.
 ///
-/// * Overflow (exp > max): round-to-nearest saturates to ±∞, truncation
-///   saturates to ±max-finite (truncation never rounds away from zero).
+/// * Overflow (exp > max): [`round_overflow`].
 /// * Underflow (exp < min): flush to ±0 (no denormals).
 pub fn pack_with_range_check(
     fmt: FpFormat,
@@ -128,12 +143,7 @@ pub fn pack_with_range_check(
     inexact: bool,
 ) -> (u64, Flags) {
     if exp > fmt.max_exp() {
-        let flags = Flags::overflow();
-        let bits = match mode {
-            RoundMode::NearestEven => fmt.pack(sign, fmt.inf_biased_exp(), 0),
-            RoundMode::Truncate => fmt.pack(sign, fmt.max_biased_exp(), fmt.frac_mask()),
-        };
-        (bits, flags)
+        round_overflow(fmt, sign, mode)
     } else if exp < fmt.min_exp() {
         (fmt.pack(sign, 0, 0), Flags::underflow())
     } else {
@@ -218,6 +228,63 @@ mod tests {
         let (bits, f) = pack_with_range_check(F32, true, 200, 1 << 23, RoundMode::Truncate, true);
         assert_eq!(bits, F32.max_finite() | (1 << 31));
         assert!(f.overflow);
+    }
+
+    #[test]
+    fn regress_shift_sticky_boundary_counts() {
+        // Shift counts at and beyond the register width must not wrap
+        // (`x << (64 - n)` with n = 0 or n ≥ 64 would be UB-adjacent
+        // shifts if the guards were off by one).
+        for n in [63, 64, 65, 127, u32::MAX] {
+            assert_eq!(shift_right_sticky(u64::MAX, n.min(63)), {
+                let k = n.min(63);
+                (u64::MAX >> k, true)
+            });
+            if n >= 64 {
+                assert_eq!(shift_right_sticky(u64::MAX, n), (0, true));
+                assert_eq!(shift_right_sticky(0, n), (0, false));
+            }
+        }
+        assert_eq!(shift_right_sticky(1u64 << 63, 63), (1, false));
+        assert_eq!(shift_right_sticky(1u64 << 63, 64), (0, true));
+        for n in [127, 128, 129, u32::MAX] {
+            if n >= 128 {
+                assert_eq!(shift_right_sticky_u128(u128::MAX, n), (0, true));
+                assert_eq!(shift_right_sticky_u128(0, n), (0, false));
+            }
+        }
+        assert_eq!(shift_right_sticky_u128(1u128 << 127, 127), (1, false));
+        assert_eq!(shift_right_sticky_u128(1u128 << 127, 128), (0, true));
+        assert_eq!(shift_right_sticky_u128(3u128 << 126, 127), (1, true));
+    }
+
+    #[test]
+    fn regress_round_overflow_truncate_packs_max_finite() {
+        // Round-toward-zero overflow must deliver ±max-finite (all-ones
+        // fraction, top normal exponent), not ±∞, and must raise both
+        // overflow and inexact — for every format shape.
+        for fmt in [
+            FpFormat::SINGLE,
+            FpFormat::FP48,
+            FpFormat::DOUBLE,
+            FpFormat::new(6, 17),
+        ] {
+            for sign in [false, true] {
+                let (bits, f) = round_overflow(fmt, sign, RoundMode::Truncate);
+                let (s, e, m) = fmt.unpack_fields(bits);
+                assert_eq!(s, sign);
+                assert_eq!(e, fmt.max_biased_exp(), "{fmt:?}");
+                assert_eq!(m, fmt.frac_mask(), "{fmt:?}");
+                assert!(f.overflow && f.inexact);
+
+                let (bits, f) = round_overflow(fmt, sign, RoundMode::NearestEven);
+                let (s, e, m) = fmt.unpack_fields(bits);
+                assert_eq!(s, sign);
+                assert_eq!(e, fmt.inf_biased_exp());
+                assert_eq!(m, 0);
+                assert!(f.overflow && f.inexact);
+            }
+        }
     }
 
     #[test]
