@@ -1,0 +1,82 @@
+//! Batched-matmul thread-scaling bench: one `n×n` product on the
+//! batched streaming path, fanned out over 1, 2, 4 and 8 scoped worker
+//! threads ([`LinearArray::multiply_batched_parallel`]). Every worker
+//! count is first asserted bit-identical — matrix, flags and statistics
+//! — to the sequential batched run; the 4-thread point must then clear
+//! 1.5× the single-thread wall clock (hard assertion, CPU-gated like
+//! `serve_throughput`).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fpfpga::matmul::array::ArrayStats;
+use fpfpga::prelude::*;
+use std::hint::black_box;
+use std::time::Instant;
+
+const N: usize = 96;
+const LM: u32 = 4;
+const LA: u32 = 5;
+const F: FpFormat = FpFormat::SINGLE;
+const RM: RoundMode = RoundMode::NearestEven;
+
+fn sample(n: usize, seed: f64) -> Matrix {
+    Matrix::from_fn(F, n, n, |i, j| {
+        ((i * n + j) as f64 * 0.37 + seed).sin() * 4.0
+    })
+}
+
+fn run(a: &Matrix, b: &Matrix, threads: usize) -> (Matrix, ArrayStats) {
+    LinearArray::multiply_batched_parallel(F, RM, LM, LA, a, b, UnitBackend::Fast, threads)
+}
+
+fn bench_matmul_threads(c: &mut Criterion) {
+    let a = sample(N, 1.0);
+    let b = sample(N, 2.0);
+
+    // Equivalence gate: the PE fan-out may only change wall clock,
+    // never a result bit, a flag or a statistic.
+    let (c_seq, s_seq) = LinearArray::multiply_batched(F, RM, LM, LA, &a, &b, UnitBackend::Fast);
+    for threads in [1usize, 2, 4, 8] {
+        let (c_par, s_par) = run(&a, &b, threads);
+        assert_eq!(c_par, c_seq, "{threads}-thread matmul diverged");
+        assert_eq!(s_par, s_seq, "{threads}-thread stats diverged");
+    }
+
+    // Hard scaling assertion outside criterion's sampling (best of 3
+    // to shave scheduler noise), gated on physical core count.
+    let best = |threads: usize| -> f64 {
+        (0..3)
+            .map(|_| {
+                let t = Instant::now();
+                black_box(run(&a, &b, threads));
+                t.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let t1 = best(1);
+    let t4 = best(4);
+    let speedup = t1 / t4;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("matmul_threads: 4-thread speedup over 1 thread = {speedup:.2}x ({cores} CPU(s))");
+    if cores >= 4 {
+        assert!(
+            speedup >= 1.5,
+            "4 threads must deliver ≥1.5x the 1-thread batched matmul, got {speedup:.2}x"
+        );
+    } else {
+        println!("matmul_threads: <4 CPUs — scaling assertion skipped (measured {speedup:.2}x)");
+    }
+
+    let mut g = c.benchmark_group("matmul_threads");
+    // 2·n³ flop-equivalents per product.
+    g.throughput(Throughput::Elements(2 * (N as u64).pow(3)));
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_function(format!("threads_{threads}"), |bch| {
+            bch.iter(|| black_box(run(&a, &b, threads)).1.cycles)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_matmul_threads);
+criterion_main!(benches);

@@ -4,8 +4,15 @@
 //! ```text
 //! fpuconform [--ops add,mul,...] [--formats f32,f64,f48,e6f17]
 //!            [--samples N] [--seed S] [--sweeps ieee,ftz,fpu]
-//!            [--max-divergences K] [--json]
+//!            [--max-divergences K] [--threads N] [--fastpath] [--json]
 //! ```
+//!
+//! `--threads N` shards every sweep over `N` scoped worker threads
+//! (0 = one per CPU); the output is byte-identical for every `N`.
+//! `--fastpath` (or the `FPUCONFORM_FASTPATH` environment variable)
+//! forces the softfp reference evaluation through the monomorphized
+//! `fastpath` kernels for add/sub/mul/fma, so the sweeps conformance-
+//! check the fast lane itself.
 //!
 //! Exit status is 0 when every sweep agrees and 1 when any divergence
 //! was found (which is what the CI step keys off). Each stored
@@ -31,7 +38,8 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: fpuconform [--ops add,sub,mul,div,sqrt,fma,convert,compare]\n\
          \x20                 [--formats f32,f64,f48,e<E>f<F>] [--samples N] [--seed S]\n\
-         \x20                 [--sweeps ieee,ftz,fpu] [--max-divergences K] [--json]"
+         \x20                 [--sweeps ieee,ftz,fpu] [--max-divergences K]\n\
+         \x20                 [--threads N] [--fastpath] [--json]"
     );
     std::process::exit(2);
 }
@@ -84,6 +92,12 @@ fn parse_args() -> Args {
                     }
                 }
             }
+            "--threads" => {
+                config.threads = value(&mut it)
+                    .parse()
+                    .unwrap_or_else(|_| usage("--threads needs an integer (0 = auto)"));
+            }
+            "--fastpath" => diff::set_force_fastpath(true),
             "--json" => json = true,
             "--help" | "-h" => usage("help requested"),
             other => usage(&format!("unknown flag `{other}`")),

@@ -20,6 +20,29 @@ use crate::corpus::{special_values, CaseGen, Rng64};
 use crate::host::{self, HostEval};
 use fpfpga_softfp::ieee;
 use fpfpga_softfp::{Flags, FpFormat, RoundMode};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// Process-wide switch forcing [`eval_ftz`] through the monomorphized
+/// `softfp::fastpath` kernels for the ops that have a fast lane
+/// (add/sub/mul/fma). Settable programmatically ([`set_force_fastpath`])
+/// or via the `FPUCONFORM_FASTPATH` environment variable (any value but
+/// `0`); the sweeps must produce byte-identical reports either way —
+/// that equivalence is exactly what a forced conformance run checks.
+static FORCE_FASTPATH: AtomicBool = AtomicBool::new(false);
+static FASTPATH_ENV: OnceLock<bool> = OnceLock::new();
+
+/// Force (or stop forcing) the fast-lane kernels in [`eval_ftz`].
+pub fn set_force_fastpath(on: bool) {
+    FORCE_FASTPATH.store(on, Ordering::Relaxed);
+}
+
+/// True when the fast lane is forced, by flag or by environment.
+pub fn fastpath_forced() -> bool {
+    FORCE_FASTPATH.load(Ordering::Relaxed)
+        || *FASTPATH_ENV
+            .get_or_init(|| std::env::var_os("FPUCONFORM_FASTPATH").is_some_and(|v| v != *"0"))
+}
 
 /// An operation under test.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -291,6 +314,11 @@ pub struct SweepConfig {
     /// At most this many divergences are *stored* per combination
     /// (all are counted).
     pub max_divergences: usize,
+    /// Worker threads the sweeps shard over (0 = one per CPU). Sharding
+    /// is at (op, format, mode)-combination granularity and every
+    /// combination derives its own seed, so the report is byte-identical
+    /// for every thread count.
+    pub threads: usize,
 }
 
 impl Default for SweepConfig {
@@ -301,6 +329,7 @@ impl Default for SweepConfig {
             samples: 20_000,
             seed: 1,
             max_divergences: 8,
+            threads: 1,
         }
     }
 }
@@ -423,39 +452,51 @@ fn cases_for(
     }
 }
 
-/// Sweep softfp's IEEE mode against the host for every requested op ×
-/// native format × rounding mode.
-pub fn run_ieee_sweep(config: &SweepConfig) -> SweepReport {
-    let mut report = SweepReport::default();
+/// The (op, format, mode) combinations a sweep covers, in canonical
+/// (report) order. Each combination derives its own corpus seed, so
+/// they can be evaluated independently on any thread.
+fn combos(config: &SweepConfig, host_only: bool) -> Vec<(Op, FpFormat, RoundMode)> {
+    let mut out = Vec::new();
     for &op in &config.ops {
         for &fmt in &config.formats {
-            if fmt != FpFormat::SINGLE && fmt != FpFormat::DOUBLE {
+            if host_only && fmt != FpFormat::SINGLE && fmt != FpFormat::DOUBLE {
                 continue; // the host has no hardware for custom formats
             }
             for mode in MODES {
-                let mut r = OpReport {
-                    op,
-                    fmt,
-                    mode,
-                    cases: 0,
-                    skipped: 0,
-                    divergences: 0,
-                    examples: Vec::new(),
-                };
-                cases_for(op, fmt, mode, config.samples, config.seed, |case| {
-                    r.cases += 1;
-                    if let Some(d) = check_case(&case) {
-                        r.divergences += 1;
-                        if r.examples.len() < config.max_divergences {
-                            r.examples.push(d);
-                        }
-                    }
-                });
-                report.reports.push(r);
+                out.push((op, fmt, mode));
             }
         }
     }
-    report
+    out
+}
+
+/// Sweep softfp's IEEE mode against the host for every requested op ×
+/// native format × rounding mode, sharded over `config.threads` scoped
+/// workers (combination granularity; byte-identical at any count).
+pub fn run_ieee_sweep(config: &SweepConfig) -> SweepReport {
+    let combos = combos(config, true);
+    let reports = fpfpga_fpu::parallel_map_slice(config.threads, &combos, |_, &(op, fmt, mode)| {
+        let mut r = OpReport {
+            op,
+            fmt,
+            mode,
+            cases: 0,
+            skipped: 0,
+            divergences: 0,
+            examples: Vec::new(),
+        };
+        cases_for(op, fmt, mode, config.samples, config.seed, |case| {
+            r.cases += 1;
+            if let Some(d) = check_case(&case) {
+                r.divergences += 1;
+                if r.examples.len() < config.max_divergences {
+                    r.examples.push(d);
+                }
+            }
+        });
+        r
+    });
+    SweepReport { reports }
 }
 
 /// True when `bits` is a NaN or denormal encoding in `fmt` — outside the
@@ -465,7 +506,11 @@ fn outside_ftz_domain(fmt: FpFormat, bits: u64) -> bool {
     m != 0 && (e == fmt.inf_biased_exp() || e == 0)
 }
 
-/// Evaluate a case with the paper-faithful flush-to-zero ops.
+/// Evaluate a case with the paper-faithful flush-to-zero ops. When the
+/// fast lane is forced ([`fastpath_forced`]), add/sub/mul/fma route
+/// through the monomorphized `softfp::fastpath` dispatchers instead of
+/// the generic unpacked path; div/sqrt/convert/compare have no fast
+/// lane and always use the generic implementations.
 pub fn eval_ftz(case: &Case) -> (u64, Flags) {
     let Case {
         op,
@@ -475,6 +520,16 @@ pub fn eval_ftz(case: &Case) -> (u64, Flags) {
         b,
         c,
     } = *case;
+    if fastpath_forced() {
+        use fpfpga_softfp::fastpath;
+        match op {
+            Op::Add => return fastpath::add_bits(fmt, a, b, mode),
+            Op::Sub => return fastpath::sub_bits(fmt, a, b, mode),
+            Op::Mul => return fastpath::mul_bits(fmt, a, b, mode),
+            Op::Fma => return fastpath::fma_bits(fmt, a, b, c, mode),
+            _ => {}
+        }
+    }
     match op {
         Op::Add => fpfpga_softfp::add_bits(fmt, a, b, mode),
         Op::Sub => fpfpga_softfp::sub_bits(fmt, a, b, mode),
@@ -494,68 +549,61 @@ pub fn eval_ftz(case: &Case) -> (u64, Flags) {
 /// semantic domain (no NaNs or denormals in, no NaN/denormal/underflow
 /// cases out — those deviations are deliberate and documented).
 pub fn run_ftz_sweep(config: &SweepConfig) -> SweepReport {
-    let mut report = SweepReport::default();
-    for &op in &config.ops {
-        for &fmt in &config.formats {
-            if fmt != FpFormat::SINGLE && fmt != FpFormat::DOUBLE {
-                continue;
+    let combos = combos(config, true);
+    let reports = fpfpga_fpu::parallel_map_slice(config.threads, &combos, |_, &(op, fmt, mode)| {
+        let mut r = OpReport {
+            op,
+            fmt,
+            mode,
+            cases: 0,
+            skipped: 0,
+            divergences: 0,
+            examples: Vec::new(),
+        };
+        cases_for(op, fmt, mode, config.samples, config.seed ^ 0xf72, |case| {
+            let operands = [case.a, case.b, case.c];
+            if operands[..case.op.arity()]
+                .iter()
+                .any(|&x| outside_ftz_domain(fmt, x))
+            {
+                r.skipped += 1;
+                return;
             }
-            for mode in MODES {
-                let mut r = OpReport {
-                    op,
-                    fmt,
-                    mode,
-                    cases: 0,
-                    skipped: 0,
-                    divergences: 0,
-                    examples: Vec::new(),
-                };
-                cases_for(op, fmt, mode, config.samples, config.seed ^ 0xf72, |case| {
-                    let operands = [case.a, case.b, case.c];
-                    if operands[..case.op.arity()]
-                        .iter()
-                        .any(|&x| outside_ftz_domain(fmt, x))
-                    {
-                        r.skipped += 1;
-                        return;
-                    }
-                    let ours = eval_ftz(&case);
-                    let reference = eval_host(&case);
-                    let res_fmt = result_format(&case);
-                    // Deliberate-deviation masking.
-                    if case.op != Op::Compare
-                        && (ieee::is_nan(res_fmt, reference.bits)
-                            || outside_ftz_domain(res_fmt, reference.bits)
-                            || ours.1.underflow
-                            || reference.flags.is_some_and(|f| f.underflow))
-                    {
-                        r.skipped += 1;
-                        return;
-                    }
-                    r.cases += 1;
-                    let flags_ok = match (case.op, reference.flags) {
-                        (Op::Compare, _) | (_, None) => true,
-                        // FTZ invalid handling substitutes values, so only
-                        // the non-invalid cases compare flags exactly.
-                        (_, Some(h)) => ours.1 == h,
-                    };
-                    if ours.0 != reference.bits || !flags_ok {
-                        r.divergences += 1;
-                        if r.examples.len() < config.max_divergences {
-                            r.examples.push(Divergence {
-                                case,
-                                ours,
-                                reference: (reference.bits, reference.flags),
-                                against: "host-ftz",
-                            });
-                        }
-                    }
-                });
-                report.reports.push(r);
+            let ours = eval_ftz(&case);
+            let reference = eval_host(&case);
+            let res_fmt = result_format(&case);
+            // Deliberate-deviation masking.
+            if case.op != Op::Compare
+                && (ieee::is_nan(res_fmt, reference.bits)
+                    || outside_ftz_domain(res_fmt, reference.bits)
+                    || ours.1.underflow
+                    || reference.flags.is_some_and(|f| f.underflow))
+            {
+                r.skipped += 1;
+                return;
             }
-        }
-    }
-    report
+            r.cases += 1;
+            let flags_ok = match (case.op, reference.flags) {
+                (Op::Compare, _) | (_, None) => true,
+                // FTZ invalid handling substitutes values, so only
+                // the non-invalid cases compare flags exactly.
+                (_, Some(h)) => ours.1 == h,
+            };
+            if ours.0 != reference.bits || !flags_ok {
+                r.divergences += 1;
+                if r.examples.len() < config.max_divergences {
+                    r.examples.push(Divergence {
+                        case,
+                        ours,
+                        reference: (reference.bits, reference.flags),
+                        against: "host-ftz",
+                    });
+                }
+            }
+        });
+        r
+    });
+    SweepReport { reports }
 }
 
 /// Sweep the staged `fpfpga-fpu` pipeline units against softfp across
@@ -565,110 +613,114 @@ pub fn run_ftz_sweep(config: &SweepConfig) -> SweepReport {
 pub fn run_fpu_sweep(config: &SweepConfig) -> SweepReport {
     use fpfpga_fpu::prelude::*;
 
-    let mut report = SweepReport::default();
     let pipeline_ops = [Op::Add, Op::Sub, Op::Mul, Op::Div, Op::Sqrt];
-    for &op in &config.ops {
-        if !pipeline_ops.contains(&op) {
-            continue;
-        }
-        for &fmt in &config.formats {
-            for mode in MODES {
-                let stage_range: u32 = match op {
-                    Op::Div => 39,
-                    Op::Sqrt => 29,
-                    _ => 23,
-                };
-                let per_stage = (config.samples / stage_range as u64).max(8);
-                let specials = special_values(fmt);
-                let mut r = OpReport {
-                    op,
-                    fmt,
-                    mode,
-                    cases: 0,
-                    skipped: 0,
-                    divergences: 0,
-                    examples: Vec::new(),
-                };
-                let mut gen = CaseGen::new(fmt, derived_seed(config.seed ^ 0xf9a, op, fmt, mode));
-                for stages in 1..=stage_range {
-                    let mut unit = match op {
-                        Op::Add => AdderDesign {
-                            format: fmt,
-                            round: mode,
-                            force_priority_encoder: true,
-                        }
-                        .simulator(stages),
-                        Op::Sub => AdderDesign {
-                            format: fmt,
-                            round: mode,
-                            force_priority_encoder: true,
-                        }
-                        .simulator(stages)
-                        .with_subtract(true),
-                        Op::Mul => MultiplierDesign {
-                            format: fmt,
-                            round: mode,
-                        }
-                        .simulator(stages),
-                        Op::Div => DividerDesign {
-                            format: fmt,
-                            round: mode,
-                        }
-                        .simulator(stages),
-                        _ => SqrtDesign {
-                            format: fmt,
-                            round: mode,
-                        }
-                        .simulator(stages),
-                    };
-                    let mut run = |a: u64, b: u64| {
-                        let mut out = unit.clock(Some((a, b)));
-                        let mut guard = 0;
-                        while out.is_none() {
-                            out = unit.clock(None);
-                            guard += 1;
-                            assert!(guard <= unit.latency() + 1, "pipeline never produced");
-                        }
-                        let (got, gf) = out.unwrap();
-                        let case = Case {
-                            op,
-                            fmt,
-                            mode,
-                            a,
-                            b,
-                            c: 0,
-                        };
-                        let (want, wf) = eval_ftz(&case);
-                        r.cases += 1;
-                        if got != want || gf != wf {
-                            r.divergences += 1;
-                            if r.examples.len() < config.max_divergences {
-                                r.examples.push(Divergence {
-                                    case,
-                                    ours: (got, gf),
-                                    reference: (want, Some(wf)),
-                                    against: "softfp-fpu",
-                                });
-                            }
-                        }
-                    };
-                    // A rotated slice of the special-value square plus the
-                    // random tranche, at every single stage count.
-                    let n = specials.len();
-                    for (i, &a) in specials.iter().enumerate() {
-                        let b = specials[(i + stages as usize) % n];
-                        run(a, if op == Op::Sqrt { 0 } else { b });
+    let pipeline_config = SweepConfig {
+        ops: config
+            .ops
+            .iter()
+            .copied()
+            .filter(|op| pipeline_ops.contains(op))
+            .collect(),
+        ..config.clone()
+    };
+    let combos = combos(&pipeline_config, false);
+    let reports = fpfpga_fpu::parallel_map_slice(config.threads, &combos, |_, &(op, fmt, mode)| {
+        {
+            let stage_range: u32 = match op {
+                Op::Div => 39,
+                Op::Sqrt => 29,
+                _ => 23,
+            };
+            let per_stage = (config.samples / stage_range as u64).max(8);
+            let specials = special_values(fmt);
+            let mut r = OpReport {
+                op,
+                fmt,
+                mode,
+                cases: 0,
+                skipped: 0,
+                divergences: 0,
+                examples: Vec::new(),
+            };
+            let mut gen = CaseGen::new(fmt, derived_seed(config.seed ^ 0xf9a, op, fmt, mode));
+            for stages in 1..=stage_range {
+                let mut unit = match op {
+                    Op::Add => AdderDesign {
+                        format: fmt,
+                        round: mode,
+                        force_priority_encoder: true,
                     }
-                    for _ in 0..per_stage {
-                        let (a, b) = gen.pair();
-                        run(a, if op == Op::Sqrt { 0 } else { b });
+                    .simulator(stages),
+                    Op::Sub => AdderDesign {
+                        format: fmt,
+                        round: mode,
+                        force_priority_encoder: true,
                     }
+                    .simulator(stages)
+                    .with_subtract(true),
+                    Op::Mul => MultiplierDesign {
+                        format: fmt,
+                        round: mode,
+                    }
+                    .simulator(stages),
+                    Op::Div => DividerDesign {
+                        format: fmt,
+                        round: mode,
+                    }
+                    .simulator(stages),
+                    _ => SqrtDesign {
+                        format: fmt,
+                        round: mode,
+                    }
+                    .simulator(stages),
+                };
+                let mut run = |a: u64, b: u64| {
+                    let mut out = unit.clock(Some((a, b)));
+                    let mut guard = 0;
+                    while out.is_none() {
+                        out = unit.clock(None);
+                        guard += 1;
+                        assert!(guard <= unit.latency() + 1, "pipeline never produced");
+                    }
+                    let (got, gf) = out.unwrap();
+                    let case = Case {
+                        op,
+                        fmt,
+                        mode,
+                        a,
+                        b,
+                        c: 0,
+                    };
+                    let (want, wf) = eval_ftz(&case);
+                    r.cases += 1;
+                    if got != want || gf != wf {
+                        r.divergences += 1;
+                        if r.examples.len() < config.max_divergences {
+                            r.examples.push(Divergence {
+                                case,
+                                ours: (got, gf),
+                                reference: (want, Some(wf)),
+                                against: "softfp-fpu",
+                            });
+                        }
+                    }
+                };
+                // A rotated slice of the special-value square plus the
+                // random tranche, at every single stage count.
+                let n = specials.len();
+                for (i, &a) in specials.iter().enumerate() {
+                    let b = specials[(i + stages as usize) % n];
+                    run(a, if op == Op::Sqrt { 0 } else { b });
                 }
-                report.reports.push(r);
+                for _ in 0..per_stage {
+                    let (a, b) = gen.pair();
+                    run(a, if op == Op::Sqrt { 0 } else { b });
+                }
             }
+            r
         }
-    }
-    report
+    });
+    SweepReport { reports }
 }
 
 #[cfg(test)]
@@ -728,5 +780,66 @@ mod tests {
             "{:?}",
             report.examples().next()
         );
+    }
+
+    #[test]
+    fn host_sweeps_are_thread_count_invariant() {
+        let base = SweepConfig {
+            ops: vec![Op::Add, Op::Mul],
+            formats: vec![FpFormat::SINGLE],
+            samples: 300,
+            ..SweepConfig::default()
+        };
+        let want_ieee = format!("{:?}", run_ieee_sweep(&base));
+        let want_ftz = format!("{:?}", run_ftz_sweep(&base));
+        for threads in [2usize, 5, 0] {
+            let cfg = SweepConfig {
+                threads,
+                ..base.clone()
+            };
+            let got = format!("{:?}", run_ieee_sweep(&cfg));
+            assert_eq!(got, want_ieee, "ieee threads={threads}");
+            let got = format!("{:?}", run_ftz_sweep(&cfg));
+            assert_eq!(got, want_ftz, "ftz threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fpu_sweep_is_thread_count_invariant() {
+        let base = SweepConfig {
+            ops: vec![Op::Add, Op::Mul],
+            formats: vec![FpFormat::SINGLE],
+            samples: 100,
+            ..SweepConfig::default()
+        };
+        let want = format!("{:?}", run_fpu_sweep(&base));
+        for threads in [3usize, 0] {
+            let cfg = SweepConfig {
+                threads,
+                ..base.clone()
+            };
+            assert_eq!(
+                format!("{:?}", run_fpu_sweep(&cfg)),
+                want,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn forced_fastpath_report_is_byte_identical() {
+        // The whole point of the fast lane: forcing it through every
+        // sweep combination must not change a single byte of the report.
+        let cfg = SweepConfig {
+            ops: vec![Op::Add, Op::Sub, Op::Mul, Op::Fma],
+            formats: vec![FpFormat::SINGLE],
+            samples: 500,
+            ..SweepConfig::default()
+        };
+        let plain = format!("{:?}", run_ftz_sweep(&cfg));
+        set_force_fastpath(true);
+        let forced = format!("{:?}", run_ftz_sweep(&cfg));
+        set_force_fastpath(false);
+        assert_eq!(plain, forced);
     }
 }

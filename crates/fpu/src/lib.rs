@@ -68,6 +68,7 @@ pub mod generator;
 pub mod ieee_cost;
 pub mod mac;
 pub mod multiplier;
+pub mod parallel;
 pub mod signals;
 pub mod sim;
 pub mod stream;
@@ -82,6 +83,7 @@ pub use config::{CoreConfig, CoreConfigBuilder, OpKind};
 pub use divider::{DividerDesign, SqrtDesign};
 pub use mac::{FusedMacDesign, FusedMacUnit, MacComparison};
 pub use multiplier::MultiplierDesign;
+pub use parallel::{chunk_ranges, parallel_chunks_mut, parallel_map_slice};
 pub use sim::{DelayLineUnit, FpPipe, PipelinedUnit};
 pub use stream::StreamSession;
 pub use trace::Waveform;

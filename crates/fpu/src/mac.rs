@@ -170,7 +170,8 @@ impl FusedMacUnit {
 
     /// Advance one clock, optionally injecting `(a, b, c)`.
     pub fn clock(&mut self, input: Option<(u64, u64, u64)>) -> Option<(u64, Flags)> {
-        let computed = input.map(|(a, b, c)| fpfpga_softfp::fma_bits(self.fmt, a, b, c, self.mode));
+        let computed =
+            input.map(|(a, b, c)| fpfpga_softfp::fastpath::fma_bits(self.fmt, a, b, c, self.mode));
         self.line.push_back(computed);
         self.line.pop_front().expect("line non-empty")
     }
@@ -186,17 +187,22 @@ impl FusedMacUnit {
     /// per-cycle path because bundles in a delay line never interact.
     pub fn run_batch(&mut self, inputs: &[(u64, u64, u64)]) -> Vec<(u64, Flags)> {
         let mut out = Vec::with_capacity(self.line.len() + inputs.len());
+        self.run_batch_into(inputs, &mut out);
+        out
+    }
+
+    /// Like [`FusedMacUnit::run_batch`] but appending into a
+    /// caller-provided buffer; the batch is evaluated through the
+    /// monomorphized `softfp::fastpath` fma kernels with one format
+    /// dispatch per slice.
+    pub fn run_batch_into(&mut self, inputs: &[(u64, u64, u64)], out: &mut Vec<(u64, Flags)>) {
+        out.reserve(self.line.len() + inputs.len());
         for slot in self.line.iter_mut() {
             if let Some(r) = slot.take() {
                 out.push(r);
             }
         }
-        out.extend(
-            inputs
-                .iter()
-                .map(|&(a, b, c)| fpfpga_softfp::fma_bits(self.fmt, a, b, c, self.mode)),
-        );
-        out
+        fpfpga_softfp::fma_triples_batch(self.fmt, inputs, self.mode, out);
     }
 }
 

@@ -1,0 +1,183 @@
+//! Deterministic data-parallel fan-out over scoped threads.
+//!
+//! The batched matmul kernels and the conformance sweeps are
+//! embarrassingly parallel over independent work items, but this
+//! repository vendors no threadpool crate — and does not need one:
+//! [`std::thread::scope`] borrows the work list directly, and joining
+//! the workers in spawn order keeps the output ordering (and therefore
+//! every downstream byte) identical regardless of the worker count.
+
+use std::num::NonZeroUsize;
+
+/// Split `len` items into at most `parts` contiguous ranges of
+/// near-equal size (the first `len % parts` ranges get one extra item).
+/// Returns fewer ranges when there are fewer items than parts; never
+/// returns an empty range.
+pub fn chunk_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.max(1).min(len);
+    if parts == 0 {
+        return Vec::new();
+    }
+    let base = len / parts;
+    let extra = len % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+/// Number of worker threads to use for `requested` (0 = one per
+/// available CPU).
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Map `f` over `items` with up to `threads` scoped workers, returning
+/// results **in item order** — bit-identical output for every thread
+/// count, including 1 (which runs inline without spawning).
+///
+/// Each worker owns one contiguous chunk, so `f` sees items in the same
+/// order a sequential loop would within its chunk, and chunk results are
+/// reassembled in chunk order.
+pub fn parallel_map_slice<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = resolve_threads(threads);
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let ranges = chunk_ranges(items.len(), threads);
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|r| {
+                let r = r.clone();
+                let f = &f;
+                scope.spawn(move || {
+                    items[r.clone()]
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| f(r.start + i, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("parallel_map_slice worker panicked"));
+        }
+    });
+    out
+}
+
+/// Run `f` once per chunk of `items`, in parallel, mutating disjoint
+/// `&mut` chunks — the shape the matmul linear array needs (each PE is
+/// independent state). Chunks are contiguous and processed in spawn
+/// order; `f` receives the chunk's starting index in `items`.
+pub fn parallel_chunks_mut<T, F>(threads: usize, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let threads = resolve_threads(threads);
+    if threads <= 1 || items.len() <= 1 {
+        f(0, items);
+        return;
+    }
+    let ranges = chunk_ranges(items.len(), threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = items;
+        let mut consumed = 0;
+        for r in ranges {
+            let (chunk, tail) = rest.split_at_mut(r.len());
+            rest = tail;
+            let start = consumed;
+            consumed += r.len();
+            scope.spawn(move || f(start, chunk));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for len in [0usize, 1, 2, 7, 16, 100, 1001] {
+            for parts in [1usize, 2, 3, 4, 8, 200] {
+                let ranges = chunk_ranges(len, parts);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "len={len} parts={parts}");
+                    assert!(!r.is_empty(), "len={len} parts={parts}");
+                    next = r.end;
+                }
+                assert_eq!(next, len, "len={len} parts={parts}");
+                assert!(ranges.len() <= parts.min(len.max(1)));
+            }
+        }
+    }
+
+    #[test]
+    fn map_order_is_thread_count_invariant() {
+        let items: Vec<u64> = (0..257).collect();
+        let sequential = parallel_map_slice(1, &items, |i, &x| (i as u64) * 1000 + x * x);
+        for threads in [2, 3, 4, 7, 64] {
+            let parallel = parallel_map_slice(threads, &items, |i, &x| (i as u64) * 1000 + x * x);
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_degenerate_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map_slice(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(
+            parallel_map_slice(4, &[42u32], |i, &x| x + i as u32),
+            vec![42]
+        );
+        // 0 = auto (one per CPU); still ordered.
+        let items: Vec<u32> = (0..100).collect();
+        assert_eq!(parallel_map_slice(0, &items, |_, &x| x), items);
+    }
+
+    #[test]
+    fn chunks_mut_touches_every_item_once() {
+        let mut items: Vec<u64> = vec![0; 1003];
+        parallel_chunks_mut(5, &mut items, |start, chunk| {
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                *slot += (start + i) as u64 + 1;
+            }
+        });
+        for (i, &v) in items.iter().enumerate() {
+            assert_eq!(v, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn chunks_mut_single_thread_runs_inline() {
+        let mut items = vec![1u8, 2, 3];
+        parallel_chunks_mut(1, &mut items, |start, chunk| {
+            assert_eq!(start, 0);
+            for v in chunk {
+                *v *= 2;
+            }
+        });
+        assert_eq!(items, vec![2, 4, 6]);
+    }
+}

@@ -57,14 +57,23 @@ pub trait FpPipe {
     /// Implementations may override this with a bulk fast path; the
     /// cycle cost modelled is always `inputs.len() + latency()` clocks.
     fn run_batch(&mut self, inputs: &[(u64, u64)]) -> Vec<(u64, Flags)> {
-        let mut out = Vec::with_capacity(inputs.len());
+        let mut out = Vec::with_capacity(inputs.len() + self.latency() as usize);
+        self.run_batch_into(inputs, &mut out);
+        out
+    }
+
+    /// Like [`FpPipe::run_batch`] but **appending** results to a
+    /// caller-provided buffer, so tight kernel loops (the matmul PEs, the
+    /// serving layer's coalesced eltwise path) can reuse one allocation
+    /// across thousands of batches.
+    fn run_batch_into(&mut self, inputs: &[(u64, u64)], out: &mut Vec<(u64, Flags)>) {
+        out.reserve(inputs.len());
         for &inp in inputs {
             if let Some(r) = self.clock(Some(inp)) {
                 out.push(r);
             }
         }
         out.extend(self.drain());
-        out
     }
 }
 
@@ -80,6 +89,13 @@ pub struct PipelinedUnit {
     slots: Vec<Option<Signals>>,
     /// Fixed subtract control for bundles injected via [`FpPipe::clock`].
     subtract: bool,
+    /// The scalar operation this datapath computes, when it is one the
+    /// `softfp::fastpath` lane covers. [`FpPipe::run_batch_into`] then
+    /// evaluates whole batches through the monomorphized kernels instead
+    /// of the stage-by-stage structural walk — bit-identical by the
+    /// crate invariant (every stage placement equals softfp), which the
+    /// conform fpu sweep keeps enforcing through the per-cycle path.
+    fast_op: Option<DelayOp>,
     cycles: u64,
 }
 
@@ -102,6 +118,7 @@ impl PipelinedUnit {
             stages: piped.stages,
             slots: (0..k).map(|_| None).collect(),
             subtract: false,
+            fast_op: None,
             cycles: 0,
         }
     }
@@ -110,6 +127,18 @@ impl PipelinedUnit {
     /// add/sub select line low/high permanently).
     pub fn with_subtract(mut self, subtract: bool) -> PipelinedUnit {
         self.subtract = subtract;
+        self
+    }
+
+    /// Declare which scalar operation the datapath computes so batch
+    /// execution can take the monomorphized fast lane. Designs set this
+    /// in their `simulator()` constructors; `Div`/`Sqrt` stay on the
+    /// structural walk (no fast lane exists for them).
+    pub fn with_fast_op(mut self, op: DelayOp) -> PipelinedUnit {
+        self.fast_op = match op {
+            DelayOp::Add | DelayOp::Sub | DelayOp::Mul => Some(op),
+            DelayOp::Div | DelayOp::Sqrt => None,
+        };
         self
     }
 
@@ -187,11 +216,13 @@ impl FpPipe for PipelinedUnit {
     /// In-place slot rotation: bundles never interact (each subunit
     /// mutates only its own bundle), so instead of shifting the slot
     /// vector once per clock, finish the in-flight bundles' remaining
-    /// stages in retirement order, then run each new bundle straight
-    /// through all stages without ever parking it in a slot.
-    fn run_batch(&mut self, inputs: &[(u64, u64)]) -> Vec<(u64, Flags)> {
+    /// stages in retirement order, then evaluate the new inputs in bulk —
+    /// through the monomorphized `softfp::fastpath` batch kernels when
+    /// the datapath's operation has a fast lane, or straight through all
+    /// stages without ever parking bundles in slots otherwise.
+    fn run_batch_into(&mut self, inputs: &[(u64, u64)], out: &mut Vec<(u64, Flags)>) {
         let k = self.slots.len();
-        let mut out = Vec::with_capacity(self.in_flight() + inputs.len());
+        out.reserve(self.in_flight() + inputs.len());
         for i in (0..k).rev() {
             if let Some(mut s) = self.slots[i].take() {
                 for stage in i + 1..k {
@@ -200,18 +231,29 @@ impl FpPipe for PipelinedUnit {
                 out.push((s.result, s.flags));
             }
         }
-        let sub = self.subtract;
-        for &(a, b) in inputs {
-            let mut s = Signals::inject(a, b, sub);
-            for stage in 0..k {
-                self.run_stage(stage, &mut s);
+        let op = match (self.fast_op, self.subtract) {
+            (Some(DelayOp::Add), true) => Some(DelayOp::Sub),
+            (Some(DelayOp::Sub), true) => Some(DelayOp::Add),
+            (other, _) => other,
+        };
+        match op {
+            Some(DelayOp::Add) => fpfpga_softfp::add_pairs_batch(self.fmt, inputs, self.mode, out),
+            Some(DelayOp::Sub) => fpfpga_softfp::sub_pairs_batch(self.fmt, inputs, self.mode, out),
+            Some(DelayOp::Mul) => fpfpga_softfp::mul_pairs_batch(self.fmt, inputs, self.mode, out),
+            _ => {
+                let sub = self.subtract;
+                for &(a, b) in inputs {
+                    let mut s = Signals::inject(a, b, sub);
+                    for stage in 0..k {
+                        self.run_stage(stage, &mut s);
+                    }
+                    out.push((s.result, s.flags));
+                }
             }
-            out.push((s.result, s.flags));
         }
         // Same clock count the per-cycle path would spend: one issue
         // per input plus a full drain.
         self.cycles += inputs.len() as u64 + k as u64;
-        out
     }
 }
 
@@ -254,9 +296,9 @@ impl DelayLineUnit {
 
     fn compute(&self, a: u64, b: u64) -> (u64, Flags) {
         match self.op {
-            DelayOp::Add => fpfpga_softfp::add_bits(self.fmt, a, b, self.mode),
-            DelayOp::Sub => fpfpga_softfp::sub_bits(self.fmt, a, b, self.mode),
-            DelayOp::Mul => fpfpga_softfp::mul_bits(self.fmt, a, b, self.mode),
+            DelayOp::Add => fpfpga_softfp::fastpath::add_bits(self.fmt, a, b, self.mode),
+            DelayOp::Sub => fpfpga_softfp::fastpath::sub_bits(self.fmt, a, b, self.mode),
+            DelayOp::Mul => fpfpga_softfp::fastpath::mul_bits(self.fmt, a, b, self.mode),
             DelayOp::Div => fpfpga_softfp::div_bits(self.fmt, a, b, self.mode),
             DelayOp::Sqrt => fpfpga_softfp::sqrt_bits(self.fmt, a, self.mode),
         }
@@ -281,16 +323,23 @@ impl FpPipe for DelayLineUnit {
     /// Bulk fast path: everything already in the delay line retires
     /// first (its results were computed at injection), then the whole
     /// input slice is evaluated in one pass — no per-cycle `VecDeque`
-    /// round-trip.
-    fn run_batch(&mut self, inputs: &[(u64, u64)]) -> Vec<(u64, Flags)> {
-        let mut out = Vec::with_capacity(self.line.len() + inputs.len());
+    /// round-trip, and add/sub/mul take the monomorphized batch kernels
+    /// with the per-slice format dispatch paid exactly once.
+    fn run_batch_into(&mut self, inputs: &[(u64, u64)], out: &mut Vec<(u64, Flags)>) {
+        out.reserve(self.line.len() + inputs.len());
         for slot in self.line.iter_mut() {
             if let Some(r) = slot.take() {
                 out.push(r);
             }
         }
-        out.extend(inputs.iter().map(|&(a, b)| self.compute(a, b)));
-        out
+        match self.op {
+            DelayOp::Add => fpfpga_softfp::add_pairs_batch(self.fmt, inputs, self.mode, out),
+            DelayOp::Sub => fpfpga_softfp::sub_pairs_batch(self.fmt, inputs, self.mode, out),
+            DelayOp::Mul => fpfpga_softfp::mul_pairs_batch(self.fmt, inputs, self.mode, out),
+            DelayOp::Div | DelayOp::Sqrt => {
+                out.extend(inputs.iter().map(|&(a, b)| self.compute(a, b)));
+            }
+        }
     }
 }
 

@@ -157,6 +157,42 @@ impl LinearArray {
         total
     }
 
+    /// [`LinearArray::stream_a_batched`] fanned out over up to
+    /// `threads` scoped workers ([`fpfpga_fpu::parallel_chunks_mut`]):
+    /// every PE owns disjoint state (its `B` banks, `C` column, pipes,
+    /// flags and counters), so each worker runs the complete k-loop for
+    /// its contiguous PE chunk and the result — values, flags, stats,
+    /// cycle accounting — is bit-identical for every thread count,
+    /// including `1` (inline) and `0` (one worker per CPU).
+    pub fn stream_a_batched_parallel(&mut self, a: &Matrix, threads: usize) -> u64 {
+        let n = a.rows();
+        assert_eq!(a.cols(), n, "A must be square for this schedule");
+        assert!(
+            self.pes.iter().all(|pe| pe.n() == n),
+            "PE column height mismatch"
+        );
+        let sched = Schedule::new(n as u32, self.pl());
+        let pads_per_step = sched.padded_period() as u64 - n as u64;
+        // Hoist the column extraction once; all workers share the
+        // read-only columns.
+        let a_cols: Vec<Vec<u64>> = (0..n)
+            .map(|k| (0..n).map(|i| a.get(i, k)).collect())
+            .collect();
+        fpfpga_fpu::parallel_chunks_mut(threads, &mut self.pes, |_, chunk| {
+            for pe in chunk {
+                for (k, a_col) in a_cols.iter().enumerate() {
+                    pe.mac_step_batch(false, k, a_col, pads_per_step);
+                }
+            }
+        });
+        let total = sched.issue_cycles() + self.pes.len() as u64 + self.pl() as u64 + 1;
+        self.cycles += total;
+        for pe in &mut self.pes {
+            pe.account_batched_cycles(total, sched.issue_cycles());
+        }
+        total
+    }
+
     /// Drain the array: the last token must traverse all PEs and both
     /// pipes before `C` is complete.
     pub fn drain(&mut self) -> u64 {
@@ -219,6 +255,31 @@ impl LinearArray {
         let mut arr = LinearArray::new(fmt, mode, mult_stages, add_stages, n, n, backend);
         arr.load_b(false, b);
         arr.stream_a_batched(a);
+        let c = arr.read_c();
+        (c, arr.stats())
+    }
+
+    /// [`LinearArray::multiply_batched`] with the k-loop fanned out
+    /// over `threads` workers — same result, flags and statistics at
+    /// every thread count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn multiply_batched_parallel(
+        fmt: FpFormat,
+        mode: RoundMode,
+        mult_stages: u32,
+        add_stages: u32,
+        a: &Matrix,
+        b: &Matrix,
+        backend: UnitBackend,
+        threads: usize,
+    ) -> (Matrix, ArrayStats) {
+        let n = a.rows();
+        assert_eq!(a.cols(), n);
+        assert_eq!(b.rows(), n);
+        assert_eq!(b.cols(), n);
+        let mut arr = LinearArray::new(fmt, mode, mult_stages, add_stages, n, n, backend);
+        arr.load_b(false, b);
+        arr.stream_a_batched_parallel(a, threads);
         let c = arr.read_c();
         (c, arr.stats())
     }
@@ -363,6 +424,40 @@ mod tests {
             assert_eq!(c_seq, c_bat, "values n={n} lm={lm} la={la}");
             assert_eq!(s_seq, s_bat, "stats n={n} lm={lm} la={la}");
         }
+    }
+
+    #[test]
+    fn parallel_batched_is_thread_count_invariant() {
+        for n in [3usize, 8, 12] {
+            let a = sample(n, n as f64 + 0.25);
+            let b = sample(n, n as f64 + 0.75);
+            let (c_seq, s_seq) =
+                LinearArray::multiply_batched(F, RM, 4, 5, &a, &b, UnitBackend::Fast);
+            for threads in [0usize, 1, 2, 3, 7] {
+                let (c_par, s_par) = LinearArray::multiply_batched_parallel(
+                    F,
+                    RM,
+                    4,
+                    5,
+                    &a,
+                    &b,
+                    UnitBackend::Fast,
+                    threads,
+                );
+                assert_eq!(c_seq, c_par, "values n={n} threads={threads}");
+                assert_eq!(s_seq, s_par, "stats n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_batched_flags_match() {
+        let a = Matrix::from_f64(F, 2, 2, &[f32::MAX as f64; 4]);
+        let b = Matrix::from_f64(F, 2, 2, &[f32::MAX as f64; 4]);
+        let mut arr = LinearArray::new(F, RM, 3, 4, 2, 2, UnitBackend::Fast);
+        arr.load_b(false, &b);
+        arr.stream_a_batched_parallel(&a, 2);
+        assert!(arr.flags().overflow);
     }
 
     #[test]

@@ -143,17 +143,20 @@ impl DotProductUnit {
         self.bank.fill(0);
         let la = self.bank.len();
         let pairs: Vec<(u64, u64)> = x.iter().zip(y).map(|(&a, &b)| (a, b)).collect();
-        let products = self.mult.run_batch(&pairs);
+        let mut products = Vec::with_capacity(pairs.len());
+        self.mult.run_batch_into(&pairs, &mut products);
+        // Round buffers are reused across all `n / La` accumulation
+        // rounds — the inner loop allocates nothing.
+        let mut add_inputs: Vec<(u64, u64)> = Vec::with_capacity(la);
+        let mut sums: Vec<(u64, Flags)> = Vec::with_capacity(la);
         for round in products.chunks(la) {
-            let add_inputs: Vec<(u64, u64)> = round
-                .iter()
-                .enumerate()
-                .map(|(s, &(p, pf))| {
-                    self.flags |= pf;
-                    (p, self.bank[s])
-                })
-                .collect();
-            let sums = self.add.run_batch(&add_inputs);
+            add_inputs.clear();
+            add_inputs.extend(round.iter().enumerate().map(|(s, &(p, pf))| {
+                self.flags |= pf;
+                (p, self.bank[s])
+            }));
+            sums.clear();
+            self.add.run_batch_into(&add_inputs, &mut sums);
             for (s, &(v, sf)) in sums.iter().enumerate() {
                 self.flags |= sf;
                 self.bank[s] = v;
@@ -169,7 +172,10 @@ impl DotProductUnit {
             let mut next = Vec::with_capacity(live.len().div_ceil(2));
             let mut i = 0;
             while i + 1 < live.len() {
-                let (s, sf) = self.add.run_batch(&[(live[i], live[i + 1])])[0];
+                sums.clear();
+                self.add
+                    .run_batch_into(&[(live[i], live[i + 1])], &mut sums);
+                let (s, sf) = sums[0];
                 self.flags |= sf;
                 self.cycles += self.add.latency() as u64 + 1;
                 next.push(s);

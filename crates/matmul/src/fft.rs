@@ -61,33 +61,29 @@ pub fn butterfly_softfp(
     y: Cplx,
     w: Cplx,
 ) -> (Cplx, Cplx, Flags) {
-    let v = |b: u64| SoftFloat::from_bits(fmt, b);
+    use fpfpga_softfp::fastpath;
     let mut flags = Flags::NONE;
-    let mut op = |r: (SoftFloat, Flags)| {
+    let mut op = |r: (u64, Flags)| {
         flags |= r.1;
         r.0
     };
-    // t = w * y
-    let ac = op(v(w.re).mul(&v(y.re), mode));
-    let bd = op(v(w.im).mul(&v(y.im), mode));
-    let ad = op(v(w.re).mul(&v(y.im), mode));
-    let bc = op(v(w.im).mul(&v(y.re), mode));
-    let t_re = op(ac.sub(&bd, mode));
-    let t_im = op(ad.add(&bc, mode));
+    // t = w * y — the 10 scalar ops go through the monomorphized
+    // fast-lane dispatchers, which are bit-identical to the generic
+    // `SoftFloat` path on every input.
+    let ac = op(fastpath::mul_bits(fmt, w.re, y.re, mode));
+    let bd = op(fastpath::mul_bits(fmt, w.im, y.im, mode));
+    let ad = op(fastpath::mul_bits(fmt, w.re, y.im, mode));
+    let bc = op(fastpath::mul_bits(fmt, w.im, y.re, mode));
+    let t_re = op(fastpath::sub_bits(fmt, ac, bd, mode));
+    let t_im = op(fastpath::add_bits(fmt, ad, bc, mode));
     // outputs
-    let x_re = op(v(x.re).add(&t_re, mode));
-    let x_im = op(v(x.im).add(&t_im, mode));
-    let y_re = op(v(x.re).sub(&t_re, mode));
-    let y_im = op(v(x.im).sub(&t_im, mode));
+    let x_re = op(fastpath::add_bits(fmt, x.re, t_re, mode));
+    let x_im = op(fastpath::add_bits(fmt, x.im, t_im, mode));
+    let y_re = op(fastpath::sub_bits(fmt, x.re, t_re, mode));
+    let y_im = op(fastpath::sub_bits(fmt, x.im, t_im, mode));
     (
-        Cplx {
-            re: x_re.bits(),
-            im: x_im.bits(),
-        },
-        Cplx {
-            re: y_re.bits(),
-            im: y_im.bits(),
-        },
+        Cplx { re: x_re, im: x_im },
+        Cplx { re: y_re, im: y_im },
         flags,
     )
 }
@@ -302,21 +298,22 @@ impl FftEngine {
         let mut data = input.to_vec();
         bit_reverse_permute(&mut data);
 
+        // Stage buffers reused across all log₂n stages.
+        let mut jobs: Vec<(usize, usize)> = Vec::with_capacity(n / 2);
+        let mut inputs: Vec<(Cplx, Cplx, Cplx)> = Vec::with_capacity(n / 2);
         let mut len = 2;
         while len <= n {
-            let mut jobs: Vec<(usize, usize)> = Vec::with_capacity(n / 2);
+            jobs.clear();
             for start in (0..n).step_by(len) {
                 for k in 0..len / 2 {
                     jobs.push((start + k, start + k + len / 2));
                 }
             }
-            let inputs: Vec<(Cplx, Cplx, Cplx)> = jobs
-                .iter()
-                .map(|&(i, j)| {
-                    let w = twiddle(self.fmt, i % len, len, inverse);
-                    (data[i], data[j], w)
-                })
-                .collect();
+            inputs.clear();
+            inputs.extend(jobs.iter().map(|&(i, j)| {
+                let w = twiddle(self.fmt, i % len, len, inverse);
+                (data[i], data[j], w)
+            }));
             let results = unit.run_batch(&inputs);
             for (&(i, j), &(nx, ny, _)) in jobs.iter().zip(&results) {
                 data[i] = nx;

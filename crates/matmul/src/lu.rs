@@ -184,6 +184,18 @@ impl LuEngine {
             round: self.mode,
         };
 
+        // One divider and one MAC shared by every step (a drained delay
+        // line carries no state between batches), and per-step buffers
+        // hoisted so the loop allocates nothing after the first pass.
+        let mut div = DelayLineUnit::new(self.fmt, self.mode, DelayOp::Div, self.div_stages);
+        let mut mac = mac_design.unit(self.mac_stages);
+        let mut pairs: Vec<(u64, u64)> = Vec::new();
+        let mut quotients: Vec<(u64, Flags)> = Vec::new();
+        let mut ls: Vec<u64> = Vec::new();
+        let mut jobs: Vec<(usize, usize)> = Vec::new();
+        let mut inputs: Vec<(u64, u64, u64)> = Vec::new();
+        let mut updates: Vec<(u64, Flags)> = Vec::new();
+
         for k in 0..n {
             let pivot = m.get(k, k);
             assert!(
@@ -197,10 +209,11 @@ impl LuEngine {
             let r = rows.len() as u64;
 
             // --- Phase 1: the column through the divider, in bulk.
-            let mut div = DelayLineUnit::new(self.fmt, self.mode, DelayOp::Div, self.div_stages);
-            let pairs: Vec<(u64, u64)> = rows.iter().map(|&i| (m.get(i, k), pivot)).collect();
-            let quotients = div.run_batch(&pairs);
-            let mut ls: Vec<u64> = Vec::with_capacity(rows.len());
+            pairs.clear();
+            pairs.extend(rows.iter().map(|&i| (m.get(i, k), pivot)));
+            quotients.clear();
+            div.run_batch_into(&pairs, &mut quotients);
+            ls.clear();
             for &(q, f) in &quotients {
                 flags |= f;
                 ls.push(q);
@@ -212,20 +225,17 @@ impl LuEngine {
             cycles += r + self.div_stages as u64;
 
             // --- Phase 2: the whole rank-1 update in one bulk call.
-            let jobs: Vec<(usize, usize)> = rows
-                .iter()
-                .flat_map(|&i| (k + 1..n).map(move |j| (i, j)))
-                .collect();
-            let mut mac = mac_design.unit(self.mac_stages);
-            let inputs: Vec<(u64, u64, u64)> = jobs
-                .iter()
-                .map(|&(i, j)| {
-                    let row_i = rows.iter().position(|&row| row == i).expect("row in step");
-                    let neg_l = ls[row_i] ^ (1u64 << self.fmt.sign_shift());
-                    (neg_l, m.get(k, j), m.get(i, j))
-                })
-                .collect();
-            let updates = mac.run_batch(&inputs);
+            jobs.clear();
+            jobs.extend(rows.iter().flat_map(|&i| (k + 1..n).map(move |j| (i, j))));
+            inputs.clear();
+            inputs.extend(jobs.iter().map(|&(i, j)| {
+                // `rows` is the contiguous range k+1..n, so row i sits
+                // at index i - (k + 1) — no linear search needed.
+                let neg_l = ls[i - (k + 1)] ^ (1u64 << self.fmt.sign_shift());
+                (neg_l, m.get(k, j), m.get(i, j))
+            }));
+            updates.clear();
+            mac.run_batch_into(&inputs, &mut updates);
             for (&(i, j), &(v, f)) in jobs.iter().zip(&updates) {
                 flags |= f;
                 m.set(i, j, v);

@@ -58,6 +58,11 @@ pub struct ProcessingElement {
     pub flags: Flags,
     /// Activity counters.
     pub stats: PeStats,
+    /// Scratch buffers reused across [`ProcessingElement::mac_step_batch`]
+    /// calls so the batched kernel allocates nothing per step.
+    scratch_pairs: Vec<(u64, u64)>,
+    scratch_mul: Vec<(u64, Flags)>,
+    scratch_add: Vec<(u64, Flags)>,
 }
 
 impl ProcessingElement {
@@ -104,6 +109,9 @@ impl ProcessingElement {
             token_out: None,
             flags: Flags::NONE,
             stats: PeStats::default(),
+            scratch_pairs: Vec::new(),
+            scratch_mul: Vec::new(),
+            scratch_add: Vec::new(),
         }
     }
 
@@ -226,20 +234,30 @@ impl ProcessingElement {
     /// padding issues for the energy model.
     pub fn mac_step_batch(&mut self, bank: bool, k: usize, a_col: &[u64], pads: u64) {
         let bk = self.b_banks[bank as usize][k];
-        let pairs: Vec<(u64, u64)> = a_col.iter().map(|&a| (a, bk)).collect();
-        let products = self.mult.run_batch(&pairs);
-        debug_assert_eq!(products.len(), a_col.len(), "mult pipe was not empty");
-        let add_inputs: Vec<(u64, u64)> = products
-            .iter()
-            .enumerate()
-            .map(|(i, &(p, pf))| {
-                self.flags |= pf;
-                (p, self.c_col[i])
-            })
-            .collect();
-        let sums = self.add.run_batch(&add_inputs);
-        debug_assert_eq!(sums.len(), a_col.len(), "add pipe was not empty");
-        for (i, &(s, sf)) in sums.iter().enumerate() {
+        self.scratch_pairs.clear();
+        self.scratch_pairs.extend(a_col.iter().map(|&a| (a, bk)));
+        self.scratch_mul.clear();
+        self.mult
+            .run_batch_into(&self.scratch_pairs, &mut self.scratch_mul);
+        debug_assert_eq!(
+            self.scratch_mul.len(),
+            a_col.len(),
+            "mult pipe was not empty"
+        );
+        self.scratch_pairs.clear();
+        for (i, &(p, pf)) in self.scratch_mul.iter().enumerate() {
+            self.flags |= pf;
+            self.scratch_pairs.push((p, self.c_col[i]));
+        }
+        self.scratch_add.clear();
+        self.add
+            .run_batch_into(&self.scratch_pairs, &mut self.scratch_add);
+        debug_assert_eq!(
+            self.scratch_add.len(),
+            a_col.len(),
+            "add pipe was not empty"
+        );
+        for (i, &(s, sf)) in self.scratch_add.iter().enumerate() {
             self.flags |= sf;
             self.c_col[i] = s;
         }

@@ -508,21 +508,22 @@ impl Job {
 }
 
 /// Run a coalesced batch of [`Job::Eltwise`] streams of one
-/// [`CoalesceKey`] through a single unit, one `run_batch` call, and
-/// split the concatenated results back per job. Each element's value
-/// depends only on its own operands, so this is bit-identical to
-/// running the jobs one by one (property-tested).
+/// [`CoalesceKey`] through a single shared unit, one bulk
+/// [`FpPipe::run_batch_into`] call per job straight into that job's
+/// result vector — no concatenation, no re-splitting, no intermediate
+/// allocation. Each element's value depends only on its own operands
+/// (and the delay line is empty between bulk calls), so this is
+/// bit-identical to running the jobs one by one (property-tested).
 pub fn run_coalesced(key: CoalesceKey, batches: &[&[(u64, u64)]]) -> Vec<JobResult> {
     let mut unit = DelayLineUnit::new(key.fmt, key.mode, key.op.delay_op(), key.stages);
-    let all: Vec<(u64, u64)> = batches.iter().flat_map(|b| b.iter().copied()).collect();
-    let mut results = unit.run_batch(&all);
-    let mut out = Vec::with_capacity(batches.len());
-    for b in batches {
-        let rest = results.split_off(b.len());
-        out.push(JobResult::Eltwise(results));
-        results = rest;
-    }
-    out
+    batches
+        .iter()
+        .map(|b| {
+            let mut results = Vec::with_capacity(b.len());
+            unit.run_batch_into(b, &mut results);
+            JobResult::Eltwise(results)
+        })
+        .collect()
 }
 
 #[cfg(test)]

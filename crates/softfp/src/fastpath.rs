@@ -1,0 +1,967 @@
+//! Monomorphized fast-lane kernels.
+//!
+//! The generic ops in [`crate::ops`] read the field widths out of an
+//! [`FpFormat`] value on every operation and route everything through the
+//! [`crate::unpacked`] representation. That is the right shape for a
+//! hardware reference model, but it leaves throughput on the floor: every
+//! shift amount and mask is a runtime value and every operand pays the
+//! classify/unpack cost even when it is an ordinary normal number — which
+//! in the paper's workloads (matmul streams, sweeps) is almost always.
+//!
+//! This module adds a second lane with the *same* bit-exact semantics:
+//!
+//! * **Const-generic kernels** ([`add`], [`sub`], [`mul`], [`fma`]) take
+//!   the exponent/fraction widths as compile-time constants `E`/`F`, so
+//!   masks, shifts and the u64-vs-u128 datapath choice all constant-fold.
+//!   [`FpFormat::SINGLE`], [`FpFormat::W48`] and [`FpFormat::DOUBLE`] get
+//!   dedicated monomorphizations.
+//! * **A both-operands-normal fast lane**: one branch-free normality test
+//!   on the raw encodings selects either the inlined normal-path
+//!   arithmetic or a fallback into the existing generic `unpacked` path
+//!   (zeros, infinities, flush/overflow corner cases all land there).
+//! * **Batch entry points** ([`add_bits_batch`], [`mul_bits_batch`],
+//!   [`add_pairs_batch`], …) that dispatch on the format **once per
+//!   slice** and append results to a caller-provided buffer instead of
+//!   allocating per element.
+//!
+//! Equivalence with the generic path — results *and* exception flags — is
+//! enforced by proptests over random formats (not just the three named
+//! precisions) and by the `fpfpga-conform` differential harness, which CI
+//! runs once with the fast lane force-enabled.
+
+use crate::exceptions::Flags;
+use crate::format::FpFormat;
+use crate::ops;
+use crate::ops::add::GRS_BITS;
+use crate::ops::fma::FMA_GRS;
+use crate::round::{shift_right_sticky_u128, RoundMode};
+
+/// Panic message used by every batch entry point on length mismatch.
+pub const LEN_MISMATCH: &str = "batch operand slices must have equal lengths";
+
+// ---------------------------------------------------------------------------
+// Normality test
+// ---------------------------------------------------------------------------
+
+/// True when the biased exponent field of `bits` is neither all-zeros
+/// (zero/flushed-denormal) nor all-ones (infinity): a *normal* operand.
+#[inline(always)]
+const fn is_normal(e: u32, f: u32, bits: u64) -> bool {
+    let em = (1u64 << e) - 1;
+    let biased = (bits >> f) & em;
+    // `biased - 1 < em - 1` covers 1..=em-1 in one unsigned compare
+    // (biased = 0 wraps to u64::MAX). Branch-free on both operands.
+    biased.wrapping_sub(1) < em - 1
+}
+
+/// Branch-free check that both operands take the fast lane.
+#[inline(always)]
+const fn both_normal(e: u32, f: u32, a: u64, b: u64) -> bool {
+    is_normal(e, f, a) & is_normal(e, f, b)
+}
+
+/// Branch-free sticky right shift for the fast lane's u64 datapath.
+///
+/// The significands here carry at most `f + 1 + GRS_BITS <= 60` bits, so
+/// clamping the shift to 63 is exact: every bit that would shift out of a
+/// wider register shifts out of bit 62..0 too. The sticky bit is jammed
+/// into bit 0 of the result (the only place the callers want it).
+#[inline(always)]
+const fn align_sticky(sig: u64, n: u32) -> u64 {
+    let sh = if n > 63 { 63 } else { n };
+    let lost = sig & ((1u64 << sh) - 1);
+    (sig >> sh) | (lost != 0) as u64
+}
+
+// ---------------------------------------------------------------------------
+// Shared round + range-check tail (mirrors round::round_sig +
+// round::pack_with_range_check bit-for-bit)
+// ---------------------------------------------------------------------------
+
+/// Pack a rounded significand, applying the cores' overflow/underflow
+/// policy exactly as [`crate::round::pack_with_range_check`] does.
+#[inline(always)]
+fn finish_pack(
+    e: u32,
+    f: u32,
+    sign: u64,
+    exp: i32,
+    sig: u64,
+    inexact: bool,
+    mode: RoundMode,
+) -> (u64, Flags) {
+    let bias = (1i32 << (e - 1)) - 1;
+    let max_exp = ((1i32 << e) - 2) - bias;
+    let min_exp = 1 - bias;
+    let sign_shift = e + f;
+    debug_assert!(sig >> f == 1);
+
+    // Overflow and underflow fire on a quarter of random-exponent
+    // products, so a three-way branch here mispredicts constantly on the
+    // sweep/bench workloads. Compute all three payloads (a handful of ALU
+    // ops) and let the selects become conditional moves:
+    //   overflow  → ±∞ under round-to-nearest, ±max-finite under truncate
+    //   underflow → flush to ±0 (no denormals)
+    // Both imply inexact, matching Flags::overflow()/Flags::underflow().
+    let over = exp > max_exp;
+    let under = exp < min_exp;
+    let over_mag = match mode {
+        RoundMode::NearestEven => ((1u64 << e) - 1) << f,
+        RoundMode::Truncate => (((1u64 << e) - 2) << f) | ((1u64 << f) - 1),
+    };
+    // Garbage when out of range (the cast wraps), but the select below
+    // only keeps it in the in-range case.
+    let norm_mag = (((exp + bias) as u64) << f) | (sig & ((1u64 << f) - 1));
+    let mag = if over {
+        over_mag
+    } else if under {
+        0
+    } else {
+        norm_mag
+    };
+    let flags = Flags {
+        overflow: over,
+        underflow: under,
+        invalid: false,
+        inexact: inexact | over | under,
+        div_by_zero: false,
+    };
+    ((sign << sign_shift) | mag, flags)
+}
+
+/// Round a normalized `kept`+`tail` pair (the u64 twin of
+/// [`crate::round::round_sig`]) and pack with range check.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn round_pack(
+    e: u32,
+    f: u32,
+    sign: u64,
+    mut exp: i32,
+    kept: u64,
+    tail: u64,
+    grs: u32,
+    mode: RoundMode,
+) -> (u64, Flags) {
+    debug_assert!(kept >> f == 1, "round_pack input not normalized");
+    let inexact = tail != 0;
+    // `|`/`&` instead of `||`/`&&`: the tail comparisons are data-random,
+    // so short-circuit jumps would mispredict half the time.
+    let round_up = match mode {
+        RoundMode::Truncate => false,
+        RoundMode::NearestEven => {
+            let half = 1u64 << (grs - 1);
+            (tail > half) | ((tail == half) & (kept & 1 == 1))
+        }
+    };
+    let mut rounded = kept + round_up as u64;
+    // Rounding carries out of the hidden position at most once; fold the
+    // correction in branch-free (the carry is data-dependent).
+    let carry = (rounded >> (f + 1)) as u32;
+    rounded >>= carry;
+    exp += carry as i32;
+    finish_pack(e, f, sign, exp, rounded, inexact, mode)
+}
+
+// ---------------------------------------------------------------------------
+// Normal-lane kernels (preconditions: operands normal)
+// ---------------------------------------------------------------------------
+
+/// Add/sub fast lane. Requires both operands normal. The whole datapath
+/// fits in a `u64`: `f + 1 + GRS_BITS + 1 <= 61` bits.
+#[inline(always)]
+fn add_normal(e: u32, f: u32, a: u64, b: u64, mode: RoundMode) -> (u64, Flags) {
+    let sign_shift = e + f;
+    let frac_mask = (1u64 << f) - 1;
+    let mag_mask = (1u64 << sign_shift) - 1;
+    let hidden = 1u64 << f;
+    let bias = (1i32 << (e - 1)) - 1;
+
+    // The encoding of normal magnitudes is monotone, so comparing the
+    // sign-stripped bits is the generic path's `(exp, sig)` swap. The
+    // selects compile to conditional moves; an explicit swap branch would
+    // mispredict half the time on random operands.
+    let (ma, mb) = (a & mag_mask, b & mag_mask);
+    let hi = if ma >= mb { ma } else { mb };
+    let lo = if ma >= mb { mb } else { ma };
+    let hi_sign = (if ma >= mb { a } else { b }) >> sign_shift & 1;
+
+    // Stage 1: align the smaller significand, sticky-compressing the tail
+    // (branch-free: the shift clamp in `align_sticky` is exact here).
+    let diff = ((hi >> f) - (lo >> f)) as u32;
+    let hi_sig = ((hi & frac_mask) | hidden) << GRS_BITS;
+    let lo_full = align_sticky(((lo & frac_mask) | hidden) << GRS_BITS, diff);
+
+    // Stage 2: effective add or subtract; `hi` has the larger magnitude so
+    // the subtraction never goes negative. The sign pair is data-random,
+    // so fold the subtract in as a branch-free conditional negate.
+    let effective_sub = (a ^ b) >> sign_shift & 1;
+    let mut exp = ((hi >> f) & ((1u64 << e) - 1)) as i32 - bias;
+    let mut mag =
+        hi_sig.wrapping_add((lo_full ^ effective_sub.wrapping_neg()).wrapping_add(effective_sub));
+    if mag == 0 {
+        // Exact cancellation: +0 under both supported modes.
+        return (0, Flags::NONE);
+    }
+
+    // Stage 2b/3: pre-normalize a carry-out (sticky-preserving jam, at
+    // most one position so the top bit *is* the carry count), then shift
+    // the leading one up to the hidden position. After the jam
+    // `msb <= hidden_pos`, so the left shift is unconditional.
+    let hidden_pos = f + GRS_BITS;
+    let carry = mag >> (hidden_pos + 1);
+    mag = (mag >> carry) | (mag & carry);
+    exp += carry as i32;
+    let msb = 63 - mag.leading_zeros();
+    let shift = hidden_pos - msb;
+    mag <<= shift;
+    exp -= shift as i32;
+    round_pack(
+        e,
+        f,
+        hi_sign,
+        exp,
+        mag >> GRS_BITS,
+        mag & ((1u64 << GRS_BITS) - 1),
+        GRS_BITS,
+        mode,
+    )
+}
+
+/// Multiply fast lane. Requires both operands normal. For `F <= 31` the
+/// significand product fits a `u64` (constant-folded choice under the
+/// const-generic wrappers, so `SINGLE` never touches `u128`).
+#[inline(always)]
+fn mul_normal(e: u32, f: u32, a: u64, b: u64, mode: RoundMode) -> (u64, Flags) {
+    let sign_shift = e + f;
+    let frac_mask = (1u64 << f) - 1;
+    let hidden = 1u64 << f;
+    let bias = (1i32 << (e - 1)) - 1;
+    let em = (1u64 << e) - 1;
+
+    let sign = (a ^ b) >> sign_shift & 1;
+    let mut exp = (((a >> f) & em) as i32 - bias) + (((b >> f) & em) as i32 - bias);
+    let sa = (a & frac_mask) | hidden;
+    let sb = (b & frac_mask) | hidden;
+
+    // The product's top bit (2f+2 vs 2f+1 significant bits) is a coin
+    // flip on random significands; fold the normalization in branch-free.
+    // The narrow datapath shifts the product up (one cheap u64 shift, so
+    // the kept/tail split stays compile-time constant); the wide datapath
+    // instead keeps the product in place and moves the split point — a
+    // variable u128 shift is several instructions, and `round_pack`'s
+    // rounding decision is invariant under the common scale.
+    let (kept, tail, grs);
+    if f <= 31 {
+        let mut p = sa * sb;
+        let top = ((p >> (2 * f + 1)) & 1) as u32;
+        exp += top as i32;
+        p <<= top ^ 1;
+        grs = f + 1;
+        kept = p >> grs;
+        tail = p & ((1u64 << grs) - 1);
+    } else {
+        let p = sa as u128 * sb as u128;
+        let top = (p >> (2 * f + 1)) as u32 & 1;
+        exp += top as i32;
+        grs = f + top;
+        kept = (p >> grs) as u64;
+        tail = (p as u64) & ((1u64 << grs) - 1);
+    }
+    round_pack(e, f, sign, exp, kept, tail, grs, mode)
+}
+
+/// Fused multiply-add fast lane. Requires all three operands normal.
+/// Mirrors the exact-product path of [`crate::ops::fma::fma`].
+#[inline(always)]
+fn fma_normal(e: u32, f: u32, a: u64, b: u64, c: u64, mode: RoundMode) -> (u64, Flags) {
+    let sign_shift = e + f;
+    let frac_mask = (1u64 << f) - 1;
+    let hidden = 1u64 << f;
+    let bias = (1i32 << (e - 1)) - 1;
+    let em = (1u64 << e) - 1;
+
+    let psign = (a ^ b) >> sign_shift & 1 == 1;
+    let csign = c >> sign_shift & 1 == 1;
+    let pexp = (((a >> f) & em) as i32 - bias) + (((b >> f) & em) as i32 - bias);
+    let cexp = ((c >> f) & em) as i32 - bias;
+
+    let product = ((a & frac_mask) | hidden) as u128 * ((b & frac_mask) | hidden) as u128;
+    let shift = (cexp - pexp) + f as i32;
+    let c_wide = (((c & frac_mask) | hidden) as u128) << FMA_GRS;
+    let prod_wide = product << FMA_GRS;
+
+    let (mag, sign, e_lsb, is_zero) = if shift > (f + 2) as i32 {
+        let (p_aligned, lost) = shift_right_sticky_u128(prod_wide, shift as u32);
+        let (m, sg, z) = ops::fma::combine(c_wide, csign, p_aligned | lost as u128, psign);
+        (m, sg, cexp - (f + FMA_GRS) as i32, z)
+    } else if shift >= 0 {
+        let c_aligned = c_wide << shift;
+        let (m, sg, z) = ops::fma::combine(prod_wide, psign, c_aligned, csign);
+        (m, sg, pexp - (2 * f + FMA_GRS) as i32, z)
+    } else {
+        let (c_aligned, lost) = shift_right_sticky_u128(c_wide, (-shift) as u32);
+        let (m, sg, z) = ops::fma::combine(prod_wide, psign, c_aligned | lost as u128, csign);
+        (m, sg, pexp - (2 * f + FMA_GRS) as i32, z)
+    };
+    if is_zero {
+        return (0, Flags::NONE);
+    }
+
+    let msb = 127 - mag.leading_zeros();
+    let mut exp = e_lsb + msb as i32;
+    let (mag, grs) = if msb > f {
+        (mag, msb - f)
+    } else {
+        (mag << (f + 1 - msb), 1)
+    };
+    // The tail can exceed 64 bits here, so round in u128 (the kept
+    // significand still fits u64: exactly f + 1 bits).
+    let kept = (mag >> grs) as u64;
+    let tail = mag & ((1u128 << grs) - 1);
+    let inexact = tail != 0;
+    let round_up = match mode {
+        RoundMode::Truncate => false,
+        RoundMode::NearestEven => {
+            let half = 1u128 << (grs - 1);
+            tail > half || (tail == half && kept & 1 == 1)
+        }
+    };
+    let mut rounded = kept + round_up as u64;
+    if rounded >> (f + 1) != 0 {
+        rounded >>= 1;
+        exp += 1;
+    }
+    finish_pack(e, f, sign as u64, exp, rounded, inexact, mode)
+}
+
+// ---------------------------------------------------------------------------
+// Const-generic public kernels
+// ---------------------------------------------------------------------------
+
+/// Monomorphized `a + b`; falls back to the generic path for specials.
+///
+/// `inline(always)`: under plain `#[inline]` LLVM leaves this outlined
+/// and the batch loops pay a call + sret round-trip per element — about
+/// a third of the whole add budget. The fallback call inside still
+/// keeps the auto-vectorizer away from the loop (which is what the
+/// add/sub datapath needs on baseline x86-64, see `dispatch_binary!`).
+#[inline(always)]
+pub fn add<const E: u32, const F: u32>(a: u64, b: u64, mode: RoundMode) -> (u64, Flags) {
+    if both_normal(E, F, a, b) {
+        add_normal(E, F, a, b, mode)
+    } else {
+        ops::add::add(FpFormat::new(E, F), a, b, mode)
+    }
+}
+
+/// Monomorphized `a - b` (sign-flip of `b` in the fast lane, generic
+/// `sub` in the fallback so special-case semantics match exactly).
+#[inline(always)]
+pub fn sub<const E: u32, const F: u32>(a: u64, b: u64, mode: RoundMode) -> (u64, Flags) {
+    if both_normal(E, F, a, b) {
+        add_normal(E, F, a, b ^ (1u64 << (E + F)), mode)
+    } else {
+        ops::add::sub(FpFormat::new(E, F), a, b, mode)
+    }
+}
+
+/// Monomorphized `a * b`; falls back to the generic path for specials.
+#[inline]
+pub fn mul<const E: u32, const F: u32>(a: u64, b: u64, mode: RoundMode) -> (u64, Flags) {
+    if both_normal(E, F, a, b) {
+        mul_normal(E, F, a, b, mode)
+    } else {
+        ops::mul::mul(FpFormat::new(E, F), a, b, mode)
+    }
+}
+
+/// Monomorphized `a·b + c` with a single rounding; falls back to the
+/// generic path when any operand is special.
+#[inline(always)]
+pub fn fma<const E: u32, const F: u32>(a: u64, b: u64, c: u64, mode: RoundMode) -> (u64, Flags) {
+    if both_normal(E, F, a, b) & is_normal(E, F, c) {
+        fma_normal(E, F, a, b, c, mode)
+    } else {
+        ops::fma::fma(FpFormat::new(E, F), a, b, c, mode)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime-width scalar dispatchers
+// ---------------------------------------------------------------------------
+
+/// Which monomorphization a format maps to.
+#[derive(Clone, Copy)]
+enum Lane {
+    Single,
+    W48,
+    Double,
+    Dyn,
+}
+
+#[inline(always)]
+fn lane_of(fmt: FpFormat) -> Lane {
+    if fmt == FpFormat::SINGLE {
+        Lane::Single
+    } else if fmt == FpFormat::FP48 {
+        Lane::W48
+    } else if fmt == FpFormat::DOUBLE {
+        Lane::Double
+    } else {
+        Lane::Dyn
+    }
+}
+
+/// Fast scalar `a + b` for any format (named formats take the
+/// monomorphized kernels; everything else runs the same fast lane with
+/// runtime widths).
+#[inline]
+pub fn add_bits(fmt: FpFormat, a: u64, b: u64, mode: RoundMode) -> (u64, Flags) {
+    match lane_of(fmt) {
+        Lane::Single => add::<8, 23>(a, b, mode),
+        Lane::W48 => add::<11, 36>(a, b, mode),
+        Lane::Double => add::<11, 52>(a, b, mode),
+        Lane::Dyn => add_dyn(fmt, a, b, mode),
+    }
+}
+
+/// Fast scalar `a - b` for any format.
+#[inline]
+pub fn sub_bits(fmt: FpFormat, a: u64, b: u64, mode: RoundMode) -> (u64, Flags) {
+    match lane_of(fmt) {
+        Lane::Single => sub::<8, 23>(a, b, mode),
+        Lane::W48 => sub::<11, 36>(a, b, mode),
+        Lane::Double => sub::<11, 52>(a, b, mode),
+        Lane::Dyn => sub_dyn(fmt, a, b, mode),
+    }
+}
+
+/// Fast scalar `a * b` for any format.
+#[inline]
+pub fn mul_bits(fmt: FpFormat, a: u64, b: u64, mode: RoundMode) -> (u64, Flags) {
+    match lane_of(fmt) {
+        Lane::Single => mul::<8, 23>(a, b, mode),
+        Lane::W48 => mul::<11, 36>(a, b, mode),
+        Lane::Double => mul::<11, 52>(a, b, mode),
+        Lane::Dyn => mul_dyn(fmt, a, b, mode),
+    }
+}
+
+/// Fast scalar `a·b + c` for any format.
+#[inline]
+pub fn fma_bits(fmt: FpFormat, a: u64, b: u64, c: u64, mode: RoundMode) -> (u64, Flags) {
+    match lane_of(fmt) {
+        Lane::Single => fma::<8, 23>(a, b, c, mode),
+        Lane::W48 => fma::<11, 36>(a, b, c, mode),
+        Lane::Double => fma::<11, 52>(a, b, c, mode),
+        Lane::Dyn => fma_dyn(fmt, a, b, c, mode),
+    }
+}
+
+#[inline]
+fn add_dyn(fmt: FpFormat, a: u64, b: u64, mode: RoundMode) -> (u64, Flags) {
+    let (e, f) = (fmt.exp_bits(), fmt.frac_bits());
+    if both_normal(e, f, a, b) {
+        add_normal(e, f, a, b, mode)
+    } else {
+        ops::add::add(fmt, a, b, mode)
+    }
+}
+
+#[inline]
+fn sub_dyn(fmt: FpFormat, a: u64, b: u64, mode: RoundMode) -> (u64, Flags) {
+    let (e, f) = (fmt.exp_bits(), fmt.frac_bits());
+    if both_normal(e, f, a, b) {
+        add_normal(e, f, a, b ^ (1u64 << (e + f)), mode)
+    } else {
+        ops::add::sub(fmt, a, b, mode)
+    }
+}
+
+#[inline]
+fn mul_dyn(fmt: FpFormat, a: u64, b: u64, mode: RoundMode) -> (u64, Flags) {
+    let (e, f) = (fmt.exp_bits(), fmt.frac_bits());
+    if both_normal(e, f, a, b) {
+        mul_normal(e, f, a, b, mode)
+    } else {
+        ops::mul::mul(fmt, a, b, mode)
+    }
+}
+
+#[inline]
+fn fma_dyn(fmt: FpFormat, a: u64, b: u64, c: u64, mode: RoundMode) -> (u64, Flags) {
+    let (e, f) = (fmt.exp_bits(), fmt.frac_bits());
+    if both_normal(e, f, a, b) & is_normal(e, f, c) {
+        fma_normal(e, f, a, b, c, mode)
+    } else {
+        ops::fma::fma(fmt, a, b, c, mode)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batch entry points
+// ---------------------------------------------------------------------------
+
+/// Run one named-format binary batch in two passes: a call-free fast-lane
+/// pass over every element, then a fixup scan that routes the rare
+/// specials (a percent or two of random operands, none at all in most
+/// kernel streams) through the generic path.
+///
+/// Keeping the non-inlined generic call out of the hot loop is worth more
+/// than the second scan costs: with the call inside, the compiler must
+/// keep ABI state live across every iteration, which blocks unrolling and
+/// spills the datapath registers.
+#[inline(always)]
+fn bin_lane<const E: u32, const F: u32, I, N, G>(
+    iter: I,
+    out: &mut Vec<(u64, Flags)>,
+    mode: RoundMode,
+    normal: N,
+    generic: G,
+) where
+    I: Iterator<Item = (u64, u64)> + Clone,
+    N: Fn(u32, u32, u64, u64, RoundMode) -> (u64, Flags),
+    G: Fn(FpFormat, u64, u64, RoundMode) -> (u64, Flags),
+{
+    let start = out.len();
+    // `extend` over a `TrustedLen` iterator writes straight into the
+    // reserved tail — no per-element capacity check like `push`.
+    out.extend(iter.clone().map(|(x, y)| {
+        if both_normal(E, F, x, y) {
+            normal(E, F, x, y, mode)
+        } else {
+            (0, Flags::NONE) // placeholder, patched by the fixup pass
+        }
+    }));
+    let fmt = FpFormat::new(E, F);
+    for (i, (x, y)) in iter.enumerate() {
+        if !both_normal(E, F, x, y) {
+            out[start + i] = generic(fmt, x, y, mode);
+        }
+    }
+}
+
+/// Expand an iterator of operand tuples through a monomorphized lane,
+/// dispatching on the format once for the whole batch. Each arm is a
+/// distinct monomorphization, so the named formats get fully inlined
+/// width-constant code. The first token picks the loop shape:
+/// `two_pass` (call-free hot loop + rare-special fixup scan, for the mul
+/// datapath the auto-vectorizer handles well) or `single_pass` (fallback
+/// call kept in-loop — the add/sub datapath, which baseline x86-64 SIMD
+/// can only vectorize by emulating per-lane variable shifts and
+/// leading-zero counts at several times the scalar cost; measured A/B,
+/// the in-loop call beats both the vectorized form and a
+/// `black_box`-fenced scalar two-pass).
+macro_rules! dispatch_binary {
+    (two_pass, $fmt:expr, $mode:expr, $iter:expr, $out:expr, $normal:expr, $generic:expr,
+     $dynk:ident) => {{
+        let (fmt, mode) = ($fmt, $mode);
+        match lane_of(fmt) {
+            Lane::Single => bin_lane::<8, 23, _, _, _>($iter, $out, mode, $normal, $generic),
+            Lane::W48 => bin_lane::<11, 36, _, _, _>($iter, $out, mode, $normal, $generic),
+            Lane::Double => bin_lane::<11, 52, _, _, _>($iter, $out, mode, $normal, $generic),
+            Lane::Dyn => $out.extend($iter.map(|(x, y)| $dynk(fmt, x, y, mode))),
+        }
+    }};
+    (single_pass, $fmt:expr, $mode:expr, $iter:expr, $out:expr, $kernel:ident, $dynk:ident) => {{
+        let (fmt, mode) = ($fmt, $mode);
+        match lane_of(fmt) {
+            Lane::Single => $out.extend($iter.map(|(x, y)| $kernel::<8, 23>(x, y, mode))),
+            Lane::W48 => $out.extend($iter.map(|(x, y)| $kernel::<11, 36>(x, y, mode))),
+            Lane::Double => $out.extend($iter.map(|(x, y)| $kernel::<11, 52>(x, y, mode))),
+            Lane::Dyn => $out.extend($iter.map(|(x, y)| $dynk(fmt, x, y, mode))),
+        }
+    }};
+}
+
+macro_rules! dispatch_ternary {
+    ($fmt:expr, $mode:expr, $iter:expr, $out:expr, $kernel:ident, $dynk:ident) => {{
+        let (fmt, mode) = ($fmt, $mode);
+        match lane_of(fmt) {
+            Lane::Single => $out.extend($iter.map(|(x, y, z)| $kernel::<8, 23>(x, y, z, mode))),
+            Lane::W48 => $out.extend($iter.map(|(x, y, z)| $kernel::<11, 36>(x, y, z, mode))),
+            Lane::Double => $out.extend($iter.map(|(x, y, z)| $kernel::<11, 52>(x, y, z, mode))),
+            Lane::Dyn => $out.extend($iter.map(|(x, y, z)| $dynk(fmt, x, y, z, mode))),
+        }
+    }};
+}
+
+/// Batched `a[i] + b[i]`, appended to `out`.
+///
+/// Dispatches on `fmt` once for the whole slice; `out` is reused across
+/// calls by the batch consumers (clear it first if you want only this
+/// batch's results).
+///
+/// # Panics
+/// Panics if `a.len() != b.len()`.
+pub fn add_bits_batch(
+    fmt: FpFormat,
+    a: &[u64],
+    b: &[u64],
+    mode: RoundMode,
+    out: &mut Vec<(u64, Flags)>,
+) {
+    assert_eq!(a.len(), b.len(), "{}", LEN_MISMATCH);
+    out.reserve(a.len());
+    dispatch_binary!(
+        single_pass,
+        fmt,
+        mode,
+        a.iter().copied().zip(b.iter().copied()),
+        out,
+        add,
+        add_dyn
+    );
+}
+
+/// Batched `a[i] - b[i]`, appended to `out`.
+///
+/// # Panics
+/// Panics if `a.len() != b.len()`.
+pub fn sub_bits_batch(
+    fmt: FpFormat,
+    a: &[u64],
+    b: &[u64],
+    mode: RoundMode,
+    out: &mut Vec<(u64, Flags)>,
+) {
+    assert_eq!(a.len(), b.len(), "{}", LEN_MISMATCH);
+    out.reserve(a.len());
+    dispatch_binary!(
+        single_pass,
+        fmt,
+        mode,
+        a.iter().copied().zip(b.iter().copied()),
+        out,
+        sub,
+        sub_dyn
+    );
+}
+
+/// Batched `a[i] * b[i]`, appended to `out`.
+///
+/// # Panics
+/// Panics if `a.len() != b.len()`.
+pub fn mul_bits_batch(
+    fmt: FpFormat,
+    a: &[u64],
+    b: &[u64],
+    mode: RoundMode,
+    out: &mut Vec<(u64, Flags)>,
+) {
+    assert_eq!(a.len(), b.len(), "{}", LEN_MISMATCH);
+    out.reserve(a.len());
+    dispatch_binary!(
+        two_pass,
+        fmt,
+        mode,
+        a.iter().copied().zip(b.iter().copied()),
+        out,
+        mul_normal,
+        ops::mul::mul,
+        mul_dyn
+    );
+}
+
+/// Batched `a[i]·b[i] + c[i]` with one rounding each, appended to `out`.
+///
+/// # Panics
+/// Panics if the slice lengths differ.
+pub fn fma_bits_batch(
+    fmt: FpFormat,
+    a: &[u64],
+    b: &[u64],
+    c: &[u64],
+    mode: RoundMode,
+    out: &mut Vec<(u64, Flags)>,
+) {
+    assert_eq!(a.len(), b.len(), "{}", LEN_MISMATCH);
+    assert_eq!(a.len(), c.len(), "{}", LEN_MISMATCH);
+    out.reserve(a.len());
+    let iter = a
+        .iter()
+        .zip(b.iter().zip(c.iter()))
+        .map(|(&x, (&y, &z))| (x, y, z));
+    dispatch_ternary!(fmt, mode, iter, out, fma, fma_dyn);
+}
+
+/// Batched `x + y` over `(x, y)` pairs — the shape the pipeline units'
+/// `run_batch` feeds — appended to `out`.
+pub fn add_pairs_batch(
+    fmt: FpFormat,
+    pairs: &[(u64, u64)],
+    mode: RoundMode,
+    out: &mut Vec<(u64, Flags)>,
+) {
+    out.reserve(pairs.len());
+    dispatch_binary!(
+        single_pass,
+        fmt,
+        mode,
+        pairs.iter().copied(),
+        out,
+        add,
+        add_dyn
+    );
+}
+
+/// Batched `x - y` over `(x, y)` pairs, appended to `out`.
+pub fn sub_pairs_batch(
+    fmt: FpFormat,
+    pairs: &[(u64, u64)],
+    mode: RoundMode,
+    out: &mut Vec<(u64, Flags)>,
+) {
+    out.reserve(pairs.len());
+    dispatch_binary!(
+        single_pass,
+        fmt,
+        mode,
+        pairs.iter().copied(),
+        out,
+        sub,
+        sub_dyn
+    );
+}
+
+/// Batched `x * y` over `(x, y)` pairs, appended to `out`.
+pub fn mul_pairs_batch(
+    fmt: FpFormat,
+    pairs: &[(u64, u64)],
+    mode: RoundMode,
+    out: &mut Vec<(u64, Flags)>,
+) {
+    out.reserve(pairs.len());
+    dispatch_binary!(
+        two_pass,
+        fmt,
+        mode,
+        pairs.iter().copied(),
+        out,
+        mul_normal,
+        ops::mul::mul,
+        mul_dyn
+    );
+}
+
+/// Batched `x·y + z` over `(x, y, z)` triples, appended to `out`.
+pub fn fma_triples_batch(
+    fmt: FpFormat,
+    triples: &[(u64, u64, u64)],
+    mode: RoundMode,
+    out: &mut Vec<(u64, Flags)>,
+) {
+    out.reserve(triples.len());
+    dispatch_ternary!(fmt, mode, triples.iter().copied(), out, fma, fma_dyn);
+}
+
+/// Batched `a[i] * b` against one broadcast operand (a matmul column
+/// against a stationary B element), appended to `out`.
+pub fn mul_bcast_batch(
+    fmt: FpFormat,
+    a: &[u64],
+    b: u64,
+    mode: RoundMode,
+    out: &mut Vec<(u64, Flags)>,
+) {
+    out.reserve(a.len());
+    dispatch_binary!(
+        two_pass,
+        fmt,
+        mode,
+        a.iter().map(|&x| (x, b)),
+        out,
+        mul_normal,
+        ops::mul::mul,
+        mul_dyn
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MODES: [RoundMode; 2] = [RoundMode::NearestEven, RoundMode::Truncate];
+
+    /// A mix of specials and normals for each format.
+    fn probe_values(fmt: FpFormat) -> Vec<u64> {
+        let sign = 1u64 << fmt.sign_shift();
+        let mut v = vec![
+            0,
+            sign,
+            fmt.pos_inf(),
+            fmt.neg_inf(),
+            fmt.min_positive(),
+            fmt.min_positive() | sign,
+            fmt.max_finite(),
+            fmt.max_finite() | sign,
+            fmt.pack(false, fmt.bias() as u64, 0), // 1.0
+            fmt.pack(true, fmt.bias() as u64, 1),  // just under -1
+            fmt.pack(false, fmt.bias() as u64 + 1, fmt.frac_mask()), // just under 4
+            fmt.pack(false, 1, fmt.frac_mask()),   // near the flush cliff
+            fmt.pack(true, fmt.max_biased_exp(), fmt.frac_mask() >> 1),
+            fmt.pack(false, 3, 5),              // denormal-ish tiny normal
+            fmt.pack(false, 0, 7),              // denormal encoding (flushes)
+            fmt.pack(true, 0, fmt.frac_mask()), // largest denormal encoding
+            fmt.pack(false, fmt.inf_biased_exp(), 1), // NaN-pattern (classed Inf)
+        ];
+        // A deterministic scattering of random-ish normals.
+        let mut s = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..64 {
+            s = s
+                .wrapping_mul(0xd129_42e2_96fe_94e3)
+                .wrapping_add(0x2545_f491_4f6c_dd1d);
+            v.push(s & fmt.enc_mask());
+        }
+        v
+    }
+
+    fn formats() -> Vec<FpFormat> {
+        vec![
+            FpFormat::SINGLE,
+            FpFormat::FP48,
+            FpFormat::DOUBLE,
+            FpFormat::new(5, 10),
+            FpFormat::new(2, 2),
+            FpFormat::new(15, 48),
+            FpFormat::new(4, 56),
+        ]
+    }
+
+    #[test]
+    fn scalar_fast_matches_generic_add_sub_mul() {
+        for fmt in formats() {
+            let vals = probe_values(fmt);
+            for mode in MODES {
+                for &a in &vals {
+                    for &b in &vals {
+                        assert_eq!(
+                            add_bits(fmt, a, b, mode),
+                            ops::add::add(fmt, a, b, mode),
+                            "add {fmt:?} {a:#x} {b:#x} {mode:?}"
+                        );
+                        assert_eq!(
+                            sub_bits(fmt, a, b, mode),
+                            ops::add::sub(fmt, a, b, mode),
+                            "sub {fmt:?} {a:#x} {b:#x} {mode:?}"
+                        );
+                        assert_eq!(
+                            mul_bits(fmt, a, b, mode),
+                            ops::mul::mul(fmt, a, b, mode),
+                            "mul {fmt:?} {a:#x} {b:#x} {mode:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_fast_matches_generic_fma() {
+        for fmt in formats() {
+            let vals = probe_values(fmt);
+            // Cube over a thinned value set to keep runtime sane.
+            let thin: Vec<u64> = vals.iter().step_by(3).copied().collect();
+            for mode in MODES {
+                for &a in &thin {
+                    for &b in &thin {
+                        for &c in &thin {
+                            assert_eq!(
+                                fma_bits(fmt, a, b, c, mode),
+                                ops::fma::fma(fmt, a, b, c, mode),
+                                "fma {fmt:?} {a:#x} {b:#x} {c:#x} {mode:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar_and_appends() {
+        let fmt = FpFormat::SINGLE;
+        let vals = probe_values(fmt);
+        let a: Vec<u64> = vals.to_vec();
+        let b: Vec<u64> = vals.iter().rev().copied().collect();
+        let mut out = vec![(0xdead, Flags::NONE)]; // pre-existing element survives
+        add_bits_batch(fmt, &a, &b, RoundMode::NearestEven, &mut out);
+        assert_eq!(out.len(), 1 + a.len());
+        for i in 0..a.len() {
+            assert_eq!(
+                out[1 + i],
+                add_bits(fmt, a[i], b[i], RoundMode::NearestEven)
+            );
+        }
+    }
+
+    #[test]
+    fn batch_empty_slices_are_noops() {
+        let fmt = FpFormat::FP48;
+        let mut out = Vec::new();
+        add_bits_batch(fmt, &[], &[], RoundMode::NearestEven, &mut out);
+        sub_bits_batch(fmt, &[], &[], RoundMode::Truncate, &mut out);
+        mul_bits_batch(fmt, &[], &[], RoundMode::NearestEven, &mut out);
+        fma_bits_batch(fmt, &[], &[], &[], RoundMode::NearestEven, &mut out);
+        add_pairs_batch(fmt, &[], RoundMode::NearestEven, &mut out);
+        sub_pairs_batch(fmt, &[], RoundMode::NearestEven, &mut out);
+        mul_pairs_batch(fmt, &[], RoundMode::NearestEven, &mut out);
+        fma_triples_batch(fmt, &[], RoundMode::NearestEven, &mut out);
+        mul_bcast_batch(fmt, &[], 0, RoundMode::NearestEven, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn add_batch_length_mismatch_panics() {
+        let mut out = Vec::new();
+        add_bits_batch(
+            FpFormat::SINGLE,
+            &[0],
+            &[],
+            RoundMode::NearestEven,
+            &mut out,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn mul_batch_length_mismatch_panics() {
+        let mut out = Vec::new();
+        mul_bits_batch(
+            FpFormat::SINGLE,
+            &[0, 1],
+            &[0],
+            RoundMode::Truncate,
+            &mut out,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn fma_batch_length_mismatch_panics() {
+        let mut out = Vec::new();
+        fma_bits_batch(
+            FpFormat::DOUBLE,
+            &[0],
+            &[0],
+            &[0, 1],
+            RoundMode::NearestEven,
+            &mut out,
+        );
+    }
+
+    #[test]
+    fn bcast_matches_pairs() {
+        let fmt = FpFormat::DOUBLE;
+        let a: Vec<u64> = probe_values(fmt);
+        let b = 0x4008_0000_0000_0000u64; // 3.0
+        let pairs: Vec<(u64, u64)> = a.iter().map(|&x| (x, b)).collect();
+        let mut out1 = Vec::new();
+        let mut out2 = Vec::new();
+        mul_bcast_batch(fmt, &a, b, RoundMode::NearestEven, &mut out1);
+        mul_pairs_batch(fmt, &pairs, RoundMode::NearestEven, &mut out2);
+        assert_eq!(out1, out2);
+    }
+}

@@ -38,6 +38,8 @@ impl FpFormat {
         exp_bits: 11,
         frac_bits: 52,
     };
+    /// Alias for [`FpFormat::FP48`] under the paper's "48-bit word" name.
+    pub const W48: FpFormat = Self::FP48;
 
     /// The three precisions evaluated throughout the paper.
     pub const PAPER_PRECISIONS: [FpFormat; 3] = [Self::SINGLE, Self::FP48, Self::DOUBLE];

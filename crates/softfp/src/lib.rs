@@ -42,6 +42,7 @@
 pub mod compare;
 pub mod convert;
 pub mod exceptions;
+pub mod fastpath;
 pub mod format;
 pub mod ieee;
 pub mod intconv;
@@ -51,6 +52,10 @@ pub mod unpacked;
 pub mod value;
 
 pub use exceptions::Flags;
+pub use fastpath::{
+    add_bits_batch, add_pairs_batch, fma_bits_batch, fma_triples_batch, mul_bcast_batch,
+    mul_bits_batch, mul_pairs_batch, sub_bits_batch, sub_pairs_batch,
+};
 pub use format::FpFormat;
 pub use round::RoundMode;
 pub use unpacked::{Class, Unpacked};
