@@ -40,7 +40,7 @@ fn replay(specs: &[JobSpec], cfg: ServeConfig) -> Vec<JobResult> {
     let pool = ServePool::new(cfg);
     let handles: Vec<JobHandle> = specs
         .iter()
-        .map(|s| pool.submit(JobSpec::new(s.job.clone())).expect_accepted())
+        .map(|s| pool.submit(s.clone()).expect("bench job accepted"))
         .collect();
     handles
         .into_iter()

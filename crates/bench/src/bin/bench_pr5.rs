@@ -221,7 +221,7 @@ fn serve_section() -> Value {
     let t = Instant::now();
     let handles: Vec<JobHandle> = specs
         .iter()
-        .map(|s| pool.submit(JobSpec::new(s.job.clone())).expect_accepted())
+        .map(|s| pool.submit(s.clone()).expect("bench job accepted"))
         .collect();
     for h in handles {
         match h.wait() {

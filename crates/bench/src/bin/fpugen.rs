@@ -19,8 +19,9 @@
 //!   --verbose                         print the generated netlist table
 //! ```
 
-use fpfpga::fpu::generator::{generate, Metric, Request, UnitOp};
+use fpfpga::fpu::generator::{Generation, Metric, Request, UnitOp};
 use fpfpga::prelude::*;
+use fpfpga_bench::cli::{bad_flag, parse_format, parse_num};
 
 const HELP: &str = "fpugen — generate a floating-point unit from constraints
 
@@ -28,7 +29,8 @@ Usage: fpugen --op <op> [options]
 
 Options:
   --op <add|mul|div|sqrt|mac>       operation (required)
-  --bits <32|48|64>                 precision (default 32)
+  --format <f32|f48|f64|e<E>f<F>>   precision, canonical grammar (default f32)
+  --bits <32|48|64>                 precision, legacy spelling
   --exp <n> --frac <n>              custom format (overrides --bits)
   --target-mhz <f>                  required clock
   --max-slices <n>                  slice budget
@@ -38,23 +40,11 @@ Options:
   --verbose                         print the generated netlist table
   -h, --help                        print this help and exit";
 
-/// Reject a flag's value: name the flag, echo the value, list what was
-/// expected, exit 2 (usage error).
-fn bad_flag(flag: &str, value: &str, expected: &str) -> ! {
-    eprintln!("error: invalid value '{value}' for {flag}: expected {expected}");
-    std::process::exit(2);
-}
-
-fn parse_num<T: std::str::FromStr>(flag: &str, value: &str, expected: &str) -> T {
-    value
-        .parse()
-        .unwrap_or_else(|_| bad_flag(flag, value, expected))
-}
-
 /// Flags that consume a value; anything else on the command line must be
 /// `--verbose` or it is rejected up front.
 const VALUE_FLAGS: &[&str] = &[
     "--op",
+    "--format",
     "--bits",
     "--exp",
     "--frac",
@@ -117,6 +107,8 @@ fn main() {
             );
             std::process::exit(2);
         })
+    } else if let Some(v) = get("--format") {
+        parse_format("--format", &v)
     } else {
         let v = get("--bits").unwrap_or_else(|| "32".to_string());
         match v.as_str() {
@@ -126,7 +118,7 @@ fn main() {
             _ => bad_flag(
                 "--bits",
                 &v,
-                "32, 48 or 64 (use --exp/--frac for custom formats)",
+                "32, 48 or 64 (use --format or --exp/--frac for other formats)",
             ),
         }
     };
@@ -168,7 +160,7 @@ fn main() {
         metric,
     };
 
-    match generate(&req, &tech, opts) {
+    match Generation::of(req).run(&tech, opts) {
         Ok(g) => {
             println!("generated {:?} unit, {format}:", op);
             println!("  {}", g.report);

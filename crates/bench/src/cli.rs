@@ -1,0 +1,106 @@
+//! Shared command-line plumbing for the bench binaries.
+//!
+//! Every binary parses flags the same way (`--flag value`, strict
+//! rejection of unknown flags) and speaks the same canonical grammars:
+//! formats as `f32`/`f48`/`f64`/`e<E>f<F>` ([`FpFormat`]'s `FromStr`),
+//! policies as `compute[/accumulate[/storage]]`
+//! ([`PrecisionPolicy`]'s `FromStr`), budgets as `<n>ulp` / `rel<x>`
+//! ([`ErrorBudget`]'s `FromStr`). This module is also the **single**
+//! place where a serving-layer [`SubmitError`] maps to a process exit
+//! code, so `fpuserve`, `fpupolicy` and scripts wrapping them agree on
+//! what each code means.
+
+use fpfpga::prelude::*;
+
+/// Exit code for usage errors: unknown flag, missing value, value that
+/// does not parse.
+pub const EXIT_USAGE: i32 = 2;
+/// Exit code for an unsatisfiable error budget ([`SubmitError::Budget`]).
+pub const EXIT_BUDGET: i32 = 3;
+/// Exit code for backpressure ([`SubmitError::Rejected`]) — transient,
+/// retry with a larger queue or later.
+pub const EXIT_REJECTED: i32 = 4;
+/// Exit code for submitting to a closed pool ([`SubmitError::Closed`]).
+pub const EXIT_CLOSED: i32 = 5;
+
+/// The one [`SubmitError`] → exit-code mapping. Invalid payloads are
+/// usage errors (the caller constructed a bad request); the rest get
+/// distinct codes so wrappers can tell "tighten the budget" from
+/// "retry later".
+pub fn submit_exit_code(e: &SubmitError) -> i32 {
+    match e {
+        SubmitError::Invalid(_) => EXIT_USAGE,
+        SubmitError::Budget { .. } => EXIT_BUDGET,
+        SubmitError::Rejected { .. } => EXIT_REJECTED,
+        SubmitError::Closed => EXIT_CLOSED,
+    }
+}
+
+/// Print `error: <context>: <e>` and exit with [`submit_exit_code`].
+pub fn die_submit(context: &str, e: SubmitError) -> ! {
+    eprintln!("error: {context}: {e}");
+    std::process::exit(submit_exit_code(&e));
+}
+
+/// Reject a flag's value: name the flag, echo the value, list what was
+/// expected, exit [`EXIT_USAGE`].
+pub fn bad_flag(flag: &str, value: &str, expected: &str) -> ! {
+    eprintln!("error: invalid value '{value}' for {flag}: expected {expected}");
+    std::process::exit(EXIT_USAGE);
+}
+
+/// Parse a flag value with `FromStr`, dying via [`bad_flag`] on error.
+pub fn parse_num<T: std::str::FromStr>(flag: &str, value: &str, expected: &str) -> T {
+    value
+        .parse()
+        .unwrap_or_else(|_| bad_flag(flag, value, expected))
+}
+
+/// Parse a format name (`f32`, `f48`, `f64`, `single`, `double`,
+/// `w48`, or `e<E>f<F>`).
+pub fn parse_format(flag: &str, value: &str) -> FpFormat {
+    value
+        .parse()
+        .unwrap_or_else(|_| bad_flag(flag, value, "a format like f32, f64 or e11f36"))
+}
+
+/// Parse a precision policy (`compute[/accumulate[/storage]]`, e.g.
+/// `f32/f64`).
+pub fn parse_policy(flag: &str, value: &str) -> PrecisionPolicy {
+    value.parse().unwrap_or_else(|_| {
+        bad_flag(
+            flag,
+            value,
+            "a policy like f32, f32/f64 or f32/f64/f32 (compute[/accumulate[/storage]])",
+        )
+    })
+}
+
+/// Parse an error budget (`<n>ulp` or `rel<x>`, e.g. `4ulp`,
+/// `rel1e-6`).
+pub fn parse_budget(flag: &str, value: &str) -> ErrorBudget {
+    value
+        .parse()
+        .unwrap_or_else(|_: String| bad_flag(flag, value, "a budget like 4ulp or rel1e-6"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_submit_error_has_a_distinct_nonzero_code() {
+        let codes = [
+            submit_exit_code(&SubmitError::Invalid("x".into())),
+            submit_exit_code(&SubmitError::Budget { detail: "x".into() }),
+            submit_exit_code(&SubmitError::Rejected { queue_depth: 1 }),
+            submit_exit_code(&SubmitError::Closed),
+        ];
+        for (i, &a) in codes.iter().enumerate() {
+            assert_ne!(a, 0, "refusals must not exit 0");
+            for &b in codes.iter().skip(i + 1) {
+                assert_ne!(a, b, "codes must be distinguishable");
+            }
+        }
+    }
+}

@@ -145,6 +145,8 @@ pub fn metrics_json(m: &MetricsSnapshot) -> Value {
         "batched_jobs": m.batched_jobs,
         "batch_occupancy": m.batch_occupancy(),
         "work_items": m.work_items,
+        "mixed_jobs": m.mixed_jobs,
+        "auto_tuned": m.auto_tuned,
         "latency_p50_us": m.latency_quantile_us(0.50),
         "latency_p90_us": m.latency_quantile_us(0.90),
         "latency_p99_us": m.latency_quantile_us(0.99),
@@ -202,12 +204,15 @@ mod tests {
     fn metrics_json_reports_counters_and_rates() {
         let pool = ServePool::new(ServeConfig::with_workers(1));
         let h = pool
-            .submit(Job::Sweep {
-                kind: CoreKind::Adder,
-                fmt: FpFormat::SINGLE,
-                opts: SynthesisOptions::SPEED,
-            })
-            .expect_accepted();
+            .submit(Job::uniform(
+                Kernel::Sweep {
+                    kind: CoreKind::Adder,
+                    opts: SynthesisOptions::SPEED,
+                },
+                FpFormat::SINGLE,
+                RoundMode::NearestEven,
+            ))
+            .expect("accepted");
         assert!(matches!(h.wait(), JobOutcome::Completed(_)));
         let v = metrics_json(&pool.join());
         assert_eq!(v["completed"].as_u64().unwrap(), 1);

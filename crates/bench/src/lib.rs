@@ -3,6 +3,7 @@
 //! `fpfpga::repro` computes the data; this crate formats it the way the
 //! paper lays it out, for the `repro` binary and the integration tests.
 
+pub mod cli;
 pub mod json;
 
 use fpfpga::prelude::*;

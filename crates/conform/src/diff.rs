@@ -109,30 +109,18 @@ impl Op {
 }
 
 /// Canonical short name for a format (CLI token / corpus token).
+///
+/// Thin wrapper over [`FpFormat::canonical_name`] — the single grammar
+/// shared by the `fpuconform`, `fpuserve` and `fpugen` CLIs.
 pub fn format_name(fmt: FpFormat) -> String {
-    if fmt == FpFormat::SINGLE {
-        "f32".into()
-    } else if fmt == FpFormat::FP48 {
-        "f48".into()
-    } else if fmt == FpFormat::DOUBLE {
-        "f64".into()
-    } else {
-        format!("e{}f{}", fmt.exp_bits(), fmt.frac_bits())
-    }
+    fmt.canonical_name()
 }
 
 /// Parse a format token produced by [`format_name`].
+///
+/// Thin wrapper over `FpFormat`'s [`FromStr`](core::str::FromStr) impl.
 pub fn parse_format(s: &str) -> Option<FpFormat> {
-    match s {
-        "f32" | "single" => Some(FpFormat::SINGLE),
-        "f48" => Some(FpFormat::FP48),
-        "f64" | "double" => Some(FpFormat::DOUBLE),
-        _ => {
-            let rest = s.strip_prefix('e')?;
-            let (e, f) = rest.split_once('f')?;
-            FpFormat::try_new(e.parse().ok()?, f.parse().ok()?)
-        }
-    }
+    s.parse().ok()
 }
 
 /// Mode token.

@@ -37,7 +37,8 @@
 //! // Sweep any core kind's pipeline depth and pick the
 //! // highest-throughput/area implementation (the paper's "opt"):
 //! let tech = Tech::virtex2pro();
-//! let sweep = CoreSweep::new(CoreKind::Adder, FpFormat::SINGLE, &tech, SynthesisOptions::SPEED);
+//! let sweep = CoreSweep::builder(CoreKind::Adder, FpFormat::SINGLE)
+//!     .run(&tech, SynthesisOptions::SPEED);
 //! let opt = sweep.opt();
 //! println!("opt: {} stages, {} slices, {:.0} MHz", opt.stages, opt.slices, opt.clock_mhz);
 //!
@@ -86,10 +87,12 @@ pub mod prelude {
         ArchitectureEnergy, BlockMatMul, Candidate, Constraints, DeviceFill, DotProductUnit,
         Explorer, LinearArray, Matrix, MvmEngine, PeResources, PipeliningLevel, Schedule, UnitSet,
     };
+    pub use fpfpga_matmul::{ErrorBudget, ErrorMeter, ErrorStats};
     pub use fpfpga_power::{ComponentClass, EnergyBill, PowerBreakdown, PowerModel};
     pub use fpfpga_serve::{
-        run_serial, synth_trace, Job, JobHandle, JobOutcome, JobResult, JobSpec, MetricsSnapshot,
-        Priority, ServeConfig, ServePool, Submit, TraceConfig,
+        run_serial, run_serial_with, synth_trace, Job, JobHandle, JobOutcome, JobResult, JobSpec,
+        Kernel, MetricsSnapshot, PolicyBook, PolicySel, Priority, ServeConfig, ServePool,
+        SubmitError, TraceConfig,
     };
-    pub use fpfpga_softfp::{Flags, FpFormat, RoundMode, SoftFloat};
+    pub use fpfpga_softfp::{Flags, FpFormat, PrecisionPolicy, RoundMode, SoftFloat};
 }

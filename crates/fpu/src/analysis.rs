@@ -54,27 +54,87 @@ pub struct CoreSweep {
     pub reports: Vec<ImplementationReport>,
 }
 
+/// Staged configuration for a [`CoreSweep`]: pick the core and format,
+/// optionally attach a [`SweepCache`], then [`run`](CoreSweepBuilder::run).
+///
+/// This is the single entry point that replaced the
+/// `CoreSweep::new` / `CoreSweep::new_cached` pair.
+#[derive(Clone, Copy)]
+pub struct CoreSweepBuilder<'a> {
+    kind: CoreKind,
+    format: FpFormat,
+    cache: Option<&'a SweepCache>,
+}
+
+impl<'a> CoreSweepBuilder<'a> {
+    /// Memoize the depth sweep through `cache`: a warm cache returns the
+    /// stored reports without re-synthesizing.
+    pub fn cached<'b>(self, cache: &'b SweepCache) -> CoreSweepBuilder<'b> {
+        CoreSweepBuilder {
+            kind: self.kind,
+            format: self.format,
+            cache: Some(cache),
+        }
+    }
+
+    /// Run the sweep against a technology and synthesis flow.
+    pub fn run(self, tech: &Tech, opts: SynthesisOptions) -> CoreSweep {
+        let reports = match self.cache {
+            Some(cache) => cache
+                .sweep(self.kind.unit_op(), self.format, tech, opts)
+                .to_vec(),
+            None => sweep_for(self.kind.unit_op(), self.format, tech, opts),
+        };
+        CoreSweep {
+            kind: self.kind,
+            format: self.format,
+            reports,
+        }
+    }
+}
+
 impl CoreSweep {
-    /// Sweep any core kind — the unified constructor.
+    /// Start configuring a sweep — the unified entry point for cached
+    /// and uncached construction.
     ///
     /// ```
     /// use fpfpga_fpu::analysis::{CoreKind, CoreSweep};
     /// use fpfpga_fpu::prelude::*;
     ///
     /// let tech = Tech::virtex2pro();
-    /// let sweep = CoreSweep::new(CoreKind::Divider, FpFormat::SINGLE, &tech, SynthesisOptions::SPEED);
+    /// let sweep = CoreSweep::builder(CoreKind::Divider, FpFormat::SINGLE)
+    ///     .run(&tech, SynthesisOptions::SPEED);
     /// assert!(sweep.opt().clock_mhz > 100.0);
+    ///
+    /// // Memoized through a cache:
+    /// let cache = fpfpga_fpu::cache::SweepCache::new();
+    /// let warmed = CoreSweep::builder(CoreKind::Divider, FpFormat::SINGLE)
+    ///     .cached(&cache)
+    ///     .run(&tech, SynthesisOptions::SPEED);
+    /// assert_eq!(warmed.reports, sweep.reports);
     /// ```
-    pub fn new(kind: CoreKind, format: FpFormat, tech: &Tech, opts: SynthesisOptions) -> CoreSweep {
-        CoreSweep {
+    pub fn builder(kind: CoreKind, format: FpFormat) -> CoreSweepBuilder<'static> {
+        CoreSweepBuilder {
             kind,
             format,
-            reports: sweep_for(kind.unit_op(), format, tech, opts),
+            cache: None,
         }
     }
 
-    /// [`CoreSweep::new`] through a [`SweepCache`]: a warm cache returns
-    /// the memoized reports without re-synthesizing.
+    /// Sweep any core kind without a cache.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `CoreSweep::builder(kind, format).run(tech, opts)`"
+    )]
+    pub fn new(kind: CoreKind, format: FpFormat, tech: &Tech, opts: SynthesisOptions) -> CoreSweep {
+        CoreSweep::builder(kind, format).run(tech, opts)
+    }
+
+    /// Sweep through a [`SweepCache`].
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `CoreSweep::builder(kind, format).cached(cache).run(tech, opts)`"
+    )]
     pub fn new_cached(
         kind: CoreKind,
         format: FpFormat,
@@ -82,21 +142,19 @@ impl CoreSweep {
         opts: SynthesisOptions,
         cache: &SweepCache,
     ) -> CoreSweep {
-        CoreSweep {
-            kind,
-            format,
-            reports: cache.sweep(kind.unit_op(), format, tech, opts).to_vec(),
-        }
+        CoreSweep::builder(kind, format)
+            .cached(cache)
+            .run(tech, opts)
     }
 
-    /// Sweep an adder (shorthand for [`CoreSweep::new`]).
+    /// Sweep an adder (shorthand for [`CoreSweep::builder`]).
     pub fn adder(format: FpFormat, tech: &Tech, opts: SynthesisOptions) -> CoreSweep {
-        CoreSweep::new(CoreKind::Adder, format, tech, opts)
+        CoreSweep::builder(CoreKind::Adder, format).run(tech, opts)
     }
 
-    /// Sweep a multiplier (shorthand for [`CoreSweep::new`]).
+    /// Sweep a multiplier (shorthand for [`CoreSweep::builder`]).
     pub fn multiplier(format: FpFormat, tech: &Tech, opts: SynthesisOptions) -> CoreSweep {
-        CoreSweep::new(CoreKind::Multiplier, format, tech, opts)
+        CoreSweep::builder(CoreKind::Multiplier, format).run(tech, opts)
     }
 
     /// The least-pipelined implementation.
@@ -177,11 +235,19 @@ impl PrecisionAnalysis {
         PrecisionAnalysis {
             adders: FpFormat::PAPER_PRECISIONS
                 .iter()
-                .map(|&f| CoreSweep::new_cached(CoreKind::Adder, f, tech, opts, cache))
+                .map(|&f| {
+                    CoreSweep::builder(CoreKind::Adder, f)
+                        .cached(cache)
+                        .run(tech, opts)
+                })
                 .collect(),
             multipliers: FpFormat::PAPER_PRECISIONS
                 .iter()
-                .map(|&f| CoreSweep::new_cached(CoreKind::Multiplier, f, tech, opts, cache))
+                .map(|&f| {
+                    CoreSweep::builder(CoreKind::Multiplier, f)
+                        .cached(cache)
+                        .run(tech, opts)
+                })
                 .collect(),
         }
     }
@@ -226,7 +292,9 @@ impl PrecisionAnalysis {
                 .map(|&f| {
                     let cache = cache.clone();
                     scope.spawn(move || {
-                        CoreSweep::new_cached(CoreKind::Adder, f, tech, opts, &cache)
+                        CoreSweep::builder(CoreKind::Adder, f)
+                            .cached(&cache)
+                            .run(tech, opts)
                     })
                 })
                 .collect();
@@ -235,7 +303,9 @@ impl PrecisionAnalysis {
                 .map(|&f| {
                     let cache = cache.clone();
                     scope.spawn(move || {
-                        CoreSweep::new_cached(CoreKind::Multiplier, f, tech, opts, &cache)
+                        CoreSweep::builder(CoreKind::Multiplier, f)
+                            .cached(&cache)
+                            .run(tech, opts)
                     })
                 })
                 .collect();
@@ -259,7 +329,7 @@ impl PrecisionAnalysis {
             CoreKind::Multiplier => &self.multipliers,
             other => panic!(
                 "PrecisionAnalysis covers the paper's adder/multiplier study; \
-                 sweep {other:?} directly via CoreSweep::new"
+                 sweep {other:?} directly via CoreSweep::builder"
             ),
         };
         list.iter()
@@ -372,15 +442,30 @@ mod tests {
     fn unified_constructor_matches_wrappers_and_covers_new_kinds() {
         let tech = Tech::virtex2pro();
         let opts = SynthesisOptions::SPEED;
-        let via_new = CoreSweep::new(CoreKind::Adder, FpFormat::SINGLE, &tech, opts);
+        let via_builder = CoreSweep::builder(CoreKind::Adder, FpFormat::SINGLE).run(&tech, opts);
         let via_wrapper = CoreSweep::adder(FpFormat::SINGLE, &tech, opts);
-        assert_eq!(via_new.reports, via_wrapper.reports);
+        assert_eq!(via_builder.reports, via_wrapper.reports);
         for kind in [CoreKind::Divider, CoreKind::Sqrt] {
-            let sweep = CoreSweep::new(kind, FpFormat::SINGLE, &tech, opts);
+            let sweep = CoreSweep::builder(kind, FpFormat::SINGLE).run(&tech, opts);
             assert_eq!(sweep.kind, kind);
             assert!(!sweep.reports.is_empty());
             assert!(sweep.opt().clock_mhz > 0.0);
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_builder() {
+        let tech = Tech::virtex2pro();
+        let opts = SynthesisOptions::SPEED;
+        let cache = crate::cache::SweepCache::new();
+        let built = CoreSweep::builder(CoreKind::Adder, FpFormat::SINGLE).run(&tech, opts);
+        let legacy = CoreSweep::new(CoreKind::Adder, FpFormat::SINGLE, &tech, opts);
+        assert_eq!(built.reports, legacy.reports);
+        let legacy_cached =
+            CoreSweep::new_cached(CoreKind::Adder, FpFormat::SINGLE, &tech, opts, &cache);
+        assert_eq!(built.reports, legacy_cached.reports);
+        assert_eq!(cache.misses(), 1);
     }
 
     #[test]

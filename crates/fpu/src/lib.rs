@@ -32,10 +32,11 @@
 //! use fpfpga_fpu::prelude::*;
 //!
 //! // Design-space sweep for a single-precision adder, through the
-//! // unified constructor ([`CoreSweep::new`] covers adder, multiplier,
-//! // divider and square root):
+//! // builder entry point ([`CoreSweep::builder`] covers adder,
+//! // multiplier, divider and square root):
 //! let tech = Tech::virtex2pro();
-//! let sweep = CoreSweep::new(CoreKind::Adder, FpFormat::SINGLE, &tech, SynthesisOptions::SPEED);
+//! let sweep = CoreSweep::builder(CoreKind::Adder, FpFormat::SINGLE)
+//!     .run(&tech, SynthesisOptions::SPEED);
 //! let opt = sweep.opt();
 //! assert!(opt.clock_mhz > 150.0); // peak rate is higher still (> 240 MHz)
 //!
@@ -52,11 +53,12 @@
 //! ```
 //!
 //! Repeated sweeps of the same design space can share a memoizing
-//! [`cache::SweepCache`] (see [`CoreSweep::new_cached`],
-//! [`PrecisionAnalysis::run_parallel_cached`] and
-//! [`generator::generate_cached`]): the first sweep synthesizes, warm
-//! sweeps are pure cache reads, and hit/miss counters make redundant
-//! synthesis observable.
+//! [`cache::SweepCache`] (attach one with
+//! [`CoreSweepBuilder::cached`](analysis::CoreSweepBuilder::cached) or
+//! [`Generation::cached`](generator::Generation::cached); see also
+//! [`PrecisionAnalysis::run_parallel_cached`]): the first sweep
+//! synthesizes, warm sweeps are pure cache reads, and hit/miss counters
+//! make redundant synthesis observable.
 
 pub mod accumulator;
 pub mod adder;
@@ -77,10 +79,11 @@ pub mod trace;
 
 pub use accumulator::{AccumulatorDesign, StreamingAccumulator};
 pub use adder::AdderDesign;
-pub use analysis::{CoreKind, CoreSweep, PrecisionAnalysis};
+pub use analysis::{CoreKind, CoreSweep, CoreSweepBuilder, PrecisionAnalysis};
 pub use cache::SweepCache;
 pub use config::{CoreConfig, CoreConfigBuilder, OpKind};
 pub use divider::{DividerDesign, SqrtDesign};
+pub use generator::Generation;
 pub use mac::{FusedMacDesign, FusedMacUnit, MacComparison};
 pub use multiplier::MultiplierDesign;
 pub use parallel::{chunk_ranges, parallel_chunks_mut, parallel_map_slice};
@@ -91,7 +94,7 @@ pub use trace::Waveform;
 /// Convenient re-exports for downstream crates and examples.
 pub mod prelude {
     pub use crate::adder::AdderDesign;
-    pub use crate::analysis::{CoreKind, CoreSweep, PrecisionAnalysis};
+    pub use crate::analysis::{CoreKind, CoreSweep, CoreSweepBuilder, PrecisionAnalysis};
     pub use crate::cache::SweepCache;
     pub use crate::config::{CoreConfig, CoreConfigBuilder, OpKind};
     pub use crate::divider::{DividerDesign, SqrtDesign};

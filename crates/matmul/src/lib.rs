@@ -50,6 +50,7 @@ pub mod fft;
 pub mod fir;
 pub mod lu;
 pub mod matrix;
+pub mod mixed;
 pub mod mvm;
 pub mod pe;
 pub mod perf;
@@ -69,6 +70,7 @@ pub use fft::{ButterflyUnit, Cplx, FftEngine};
 pub use fir::FirFilter;
 pub use lu::LuEngine;
 pub use matrix::Matrix;
+pub use mixed::{mixed_dot, mixed_matmul, mixed_matmul_parallel, mixed_mvm, ErrorBudget, MixedDot};
 pub use mvm::MvmEngine;
 pub use perf::{DeviceFill, PeResources};
 pub use schedule::Schedule;

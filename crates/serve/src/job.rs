@@ -1,13 +1,17 @@
 //! The serving layer's unit of work: one [`Job`] per request.
 //!
-//! Every variant wraps one of the library's kernels with its own
-//! per-job format and stage-count configuration — the run-time
-//! mixed-precision job stream the multi-precision-core literature
-//! serves from one device. Execution is a pure function of the job
-//! payload: [`Job::run`] on any thread, against any (warm or cold)
-//! [`SweepCache`], returns bit-identical [`JobResult`]s, which is what
-//! lets the pool schedule freely while the property tests pin the
-//! numerics.
+//! A job is a [`Kernel`] payload plus the run-time [`PrecisionPolicy`]
+//! and rounding mode it executes under. The policy names three
+//! formats — compute, accumulate, storage — so one request can, say,
+//! store single-precision operands, multiply in single and accumulate
+//! in double (the classic mixed-precision dot product). Uniform
+//! policies take the exact code paths the crate always had; mixed
+//! policies dispatch to the `fpfpga-matmul` mixed kernels.
+//!
+//! Execution is a pure function of the job payload: [`Job::run`] on
+//! any thread, against any (warm or cold) [`SweepCache`], returns
+//! bit-identical [`JobResult`]s, which is what lets the pool schedule
+//! freely while the property tests pin the numerics.
 
 use std::hash::{Hash, Hasher};
 
@@ -19,11 +23,12 @@ use fpfpga_fpu::sim::{DelayLineUnit, DelayOp, FpPipe};
 use fpfpga_fpu::SweepCache;
 use fpfpga_matmul::pe::UnitBackend;
 use fpfpga_matmul::{
-    array::ArrayStats, Cplx, DotProductUnit, FftEngine, LinearArray, LuEngine, Matrix, MvmEngine,
+    array::ArrayStats, mixed, Cplx, DotProductUnit, FftEngine, LinearArray, LuEngine, Matrix,
+    MvmEngine,
 };
-use fpfpga_softfp::{Flags, FpFormat, RoundMode, SoftFloat};
+use fpfpga_softfp::{convert, Flags, FpFormat, PrecisionPolicy, RoundMode, SoftFloat};
 
-/// Elementwise operation of a coalescible [`Job::Eltwise`] stream.
+/// Elementwise operation of a coalescible eltwise stream.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum EltOp {
     /// a + b
@@ -51,45 +56,40 @@ impl EltOp {
 }
 
 /// The class of jobs that may share one [`FpPipe::run_batch`] call:
-/// same operation, format, rounding mode and pipeline depth. Streams
-/// of the same class concatenate without changing any element's result
-/// (each element's value is independent of its batch position —
-/// property-tested).
+/// same operation, precision policy, rounding mode and pipeline depth.
+/// Streams of the same class concatenate without changing any
+/// element's result (each element's value is independent of its batch
+/// position — property-tested).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CoalesceKey {
     /// Elementwise operation.
     pub op: EltOp,
-    /// Operand format.
-    pub fmt: FpFormat,
+    /// Precision policy (the unit runs in `policy.compute`; operands
+    /// and results live in `policy.storage`).
+    pub policy: PrecisionPolicy,
     /// Rounding mode.
     pub mode: RoundMode,
     /// Pipeline depth of the serving unit.
     pub stages: u32,
 }
 
-/// One request against the serving layer.
+/// A kernel payload: *what* to run, with its pipeline configuration,
+/// but without the numeric formats — those come from the enclosing
+/// [`Job`]'s [`PrecisionPolicy`] and rounding mode.
 #[derive(Clone, Debug)]
-pub enum Job {
+pub enum Kernel {
     /// A coalescible elementwise stream: `op(a, b)` per pair, through
     /// one pipelined unit at initiation interval 1.
     Eltwise {
         /// Elementwise operation.
         op: EltOp,
-        /// Operand format.
-        fmt: FpFormat,
-        /// Rounding mode.
-        mode: RoundMode,
         /// Pipeline depth of the unit.
         stages: u32,
-        /// Operand pairs (raw encodings in `fmt`).
+        /// Operand pairs (raw encodings in the policy's storage format).
         pairs: Vec<(u64, u64)>,
     },
     /// Dot product on the round-robin accumulator-bank unit.
     Dot {
-        /// Operand format.
-        fmt: FpFormat,
-        /// Rounding mode.
-        mode: RoundMode,
         /// Multiplier pipeline depth.
         mult_stages: u32,
         /// Adder pipeline depth (= accumulator bank size).
@@ -101,10 +101,6 @@ pub enum Job {
     },
     /// Square matrix multiply on the linear PE array.
     MatMul {
-        /// Operand format.
-        fmt: FpFormat,
-        /// Rounding mode.
-        mode: RoundMode,
         /// Multiplier pipeline depth.
         mult_stages: u32,
         /// Adder pipeline depth.
@@ -118,10 +114,6 @@ pub enum Job {
     },
     /// Matrix-vector multiply on a `p`-PE engine.
     Mvm {
-        /// Operand format.
-        fmt: FpFormat,
-        /// Rounding mode.
-        mode: RoundMode,
         /// Multiplier pipeline depth.
         mult_stages: u32,
         /// Adder pipeline depth.
@@ -133,12 +125,8 @@ pub enum Job {
         /// The vector.
         x: Vec<u64>,
     },
-    /// LU factorization (no pivoting).
+    /// LU factorization (no pivoting). Uniform policies only.
     Lu {
-        /// Operand format.
-        fmt: FpFormat,
-        /// Rounding mode.
-        mode: RoundMode,
         /// Divider pipeline depth.
         div_stages: u32,
         /// Fused-MAC pipeline depth.
@@ -148,12 +136,8 @@ pub enum Job {
         /// The matrix to factor.
         a: Matrix,
     },
-    /// Radix-2 FFT on one butterfly unit.
+    /// Radix-2 FFT on one butterfly unit. Uniform policies only.
     Fft {
-        /// Operand format.
-        fmt: FpFormat,
-        /// Rounding mode.
-        mode: RoundMode,
         /// Multiplier pipeline depth.
         mult_stages: u32,
         /// Adder pipeline depth.
@@ -163,16 +147,27 @@ pub enum Job {
         /// Inverse transform?
         inverse: bool,
     },
-    /// A design-space depth sweep (served from the worker's
-    /// [`SweepCache`] shard; repeats of the same key are cache hits).
+    /// A design-space depth sweep of the policy's compute format
+    /// (served from the worker's [`SweepCache`] shard; repeats of the
+    /// same key are cache hits). Uniform policies only.
     Sweep {
         /// Which core.
         kind: CoreKind,
-        /// Operand format.
-        fmt: FpFormat,
         /// Tool objective.
         opts: SynthesisOptions,
     },
+}
+
+/// One request against the serving layer: a [`Kernel`] under a
+/// [`PrecisionPolicy`] and rounding mode.
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// The kernel payload.
+    pub kernel: Kernel,
+    /// Compute/accumulate/storage formats for this request.
+    pub policy: PrecisionPolicy,
+    /// Rounding mode.
+    pub mode: RoundMode,
 }
 
 /// The result of one [`Job`], bit-exact.
@@ -182,7 +177,7 @@ pub enum JobResult {
     Eltwise(Vec<(u64, Flags)>),
     /// Dot product value, accumulated flags, cycles consumed.
     Dot {
-        /// Result encoding.
+        /// Result encoding (in the policy's storage format).
         value: u64,
         /// Accumulated exception flags.
         flags: Flags,
@@ -193,7 +188,9 @@ pub enum JobResult {
     MatMul {
         /// C = A·B.
         c: Matrix,
-        /// Cycle/MAC statistics of the run.
+        /// Cycle/MAC statistics of the run. The mixed-precision path
+        /// counts useful MACs but does not model array cycles
+        /// (`cycles` = 0 there).
         stats: ArrayStats,
     },
     /// Result vector and cycles.
@@ -233,120 +230,149 @@ pub enum JobResult {
 }
 
 impl Job {
+    /// A job running `kernel` under `policy`.
+    pub fn new(kernel: Kernel, policy: PrecisionPolicy, mode: RoundMode) -> Job {
+        Job {
+            kernel,
+            policy,
+            mode,
+        }
+    }
+
+    /// A job whose compute, accumulate and storage formats are all
+    /// `fmt` — exactly the pre-policy behaviour of every kernel.
+    pub fn uniform(kernel: Kernel, fmt: FpFormat, mode: RoundMode) -> Job {
+        Job::new(kernel, PrecisionPolicy::uniform(fmt), mode)
+    }
+
     /// The flop-ish size of the job — used for throughput accounting,
     /// never for scheduling decisions.
     pub fn work_items(&self) -> u64 {
-        match self {
-            Job::Eltwise { pairs, .. } => pairs.len() as u64,
-            Job::Dot { x, .. } => 2 * x.len() as u64,
-            Job::MatMul { a, .. } => {
+        match &self.kernel {
+            Kernel::Eltwise { pairs, .. } => pairs.len() as u64,
+            Kernel::Dot { x, .. } => 2 * x.len() as u64,
+            Kernel::MatMul { a, .. } => {
                 let n = a.rows() as u64;
                 2 * n * n * n
             }
-            Job::Mvm { a, .. } => 2 * (a.rows() * a.cols()) as u64,
-            Job::Lu { a, .. } => {
+            Kernel::Mvm { a, .. } => 2 * (a.rows() * a.cols()) as u64,
+            Kernel::Lu { a, .. } => {
                 let n = a.rows() as u64;
                 2 * n * n * n / 3
             }
-            Job::Fft { data, .. } => {
+            Kernel::Fft { data, .. } => {
                 let n = data.len() as u64;
                 5 * n * (n.max(2).ilog2() as u64)
             }
-            Job::Sweep { .. } => 1,
+            Kernel::Sweep { .. } => 1,
         }
     }
 
     /// The job's *class* — everything about its configuration except
-    /// the payload data. Jobs of one class route to one worker shard,
-    /// so repeated sweeps hit a warm cache and coalescible streams
-    /// meet in one queue.
+    /// the payload data: kernel kind and stage counts, precision
+    /// policy, rounding mode. Jobs of one class route to one worker
+    /// shard, so repeated sweeps hit a warm cache and coalescible
+    /// streams meet in one queue.
     pub fn class_hash(&self) -> u64 {
         let mut h = std::collections::hash_map::DefaultHasher::new();
-        std::mem::discriminant(self).hash(&mut h);
-        match self {
-            Job::Eltwise {
-                op,
-                fmt,
-                mode,
-                stages,
-                ..
-            } => (op, fmt, mode, stages).hash(&mut h),
-            Job::Dot {
-                fmt,
-                mode,
+        std::mem::discriminant(&self.kernel).hash(&mut h);
+        (self.policy, self.mode).hash(&mut h);
+        match &self.kernel {
+            Kernel::Eltwise { op, stages, .. } => (op, stages).hash(&mut h),
+            Kernel::Dot {
                 mult_stages,
                 add_stages,
                 ..
-            } => (fmt, mode, mult_stages, add_stages).hash(&mut h),
-            Job::MatMul {
-                fmt,
-                mode,
+            } => (mult_stages, add_stages).hash(&mut h),
+            Kernel::MatMul {
                 mult_stages,
                 add_stages,
                 backend,
                 ..
             } => {
                 let fast = matches!(backend, UnitBackend::Fast);
-                (fmt, mode, mult_stages, add_stages, fast).hash(&mut h);
+                (mult_stages, add_stages, fast).hash(&mut h);
             }
-            Job::Mvm {
-                fmt,
-                mode,
+            Kernel::Mvm {
                 mult_stages,
                 add_stages,
                 p,
                 ..
-            } => (fmt, mode, mult_stages, add_stages, p).hash(&mut h),
-            Job::Lu {
-                fmt,
-                mode,
+            } => (mult_stages, add_stages, p).hash(&mut h),
+            Kernel::Lu {
                 div_stages,
                 mac_stages,
                 p,
                 ..
-            } => (fmt, mode, div_stages, mac_stages, p).hash(&mut h),
-            Job::Fft {
-                fmt,
-                mode,
+            } => (div_stages, mac_stages, p).hash(&mut h),
+            Kernel::Fft {
                 mult_stages,
                 add_stages,
                 inverse,
                 ..
-            } => (fmt, mode, mult_stages, add_stages, inverse).hash(&mut h),
-            Job::Sweep { kind, fmt, opts } => (kind, fmt, opts).hash(&mut h),
+            } => (mult_stages, add_stages, inverse).hash(&mut h),
+            Kernel::Sweep { kind, opts } => (kind, opts).hash(&mut h),
         }
         h.finish()
     }
 
     /// The coalescing class, for jobs that may share one `run_batch`.
     pub fn coalesce_key(&self) -> Option<CoalesceKey> {
-        match *self {
-            Job::Eltwise {
+        match self.kernel {
+            Kernel::Eltwise { op, stages, .. } => Some(CoalesceKey {
                 op,
-                fmt,
-                mode,
-                stages,
-                ..
-            } => Some(CoalesceKey {
-                op,
-                fmt,
-                mode,
+                policy: self.policy,
+                mode: self.mode,
                 stages,
             }),
             _ => None,
         }
     }
 
-    /// Check the payload against the kernel's preconditions, so a bad
-    /// request is refused at submission instead of killing a worker.
+    /// Check the payload against the kernel's preconditions — and the
+    /// policy against the kernel's capabilities — so a bad request is
+    /// refused at submission instead of killing a worker.
     pub fn validate(&self) -> Result<(), String> {
-        match self {
-            Job::Eltwise { stages, .. } => {
+        let p = self.policy;
+        let uniform_only = |what: &str| -> Result<(), String> {
+            if p.is_uniform() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{what} requires a uniform precision policy, got {p}"
+                ))
+            }
+        };
+        let storage_matrix = |name: &str, m: &Matrix| -> Result<(), String> {
+            if m.format() == p.storage {
+                Ok(())
+            } else {
+                Err(format!(
+                    "matrix {name} is in format {}, policy stores {}",
+                    m.format().canonical_name(),
+                    p.storage.canonical_name()
+                ))
+            }
+        };
+        let covering = || -> Result<(), String> {
+            if p.accumulate_covers_compute() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "accumulate format {} does not cover compute format {}",
+                    p.accumulate.canonical_name(),
+                    p.compute.canonical_name()
+                ))
+            }
+        };
+        match &self.kernel {
+            Kernel::Eltwise { stages, .. } => {
                 if *stages == 0 {
                     return Err("eltwise unit needs at least 1 stage".into());
                 }
             }
-            Job::Dot { x, y, .. } => {
+            Kernel::Dot { x, y, .. } => {
+                covering()?;
                 if x.len() != y.len() {
                     return Err(format!(
                         "dot vector lengths differ: {} vs {}",
@@ -355,13 +381,18 @@ impl Job {
                     ));
                 }
             }
-            Job::MatMul { a, b, .. } => {
+            Kernel::MatMul { a, b, .. } => {
+                covering()?;
+                storage_matrix("a", a)?;
+                storage_matrix("b", b)?;
                 let n = a.rows();
                 if a.cols() != n || b.rows() != n || b.cols() != n {
                     return Err("matmul needs square matrices of one size".into());
                 }
             }
-            Job::Mvm { a, x, p, .. } => {
+            Kernel::Mvm { a, x, p: pes, .. } => {
+                covering()?;
+                storage_matrix("a", a)?;
                 if a.cols() != x.len() {
                     return Err(format!(
                         "mvm dimension mismatch: {}×{} · {}",
@@ -370,24 +401,27 @@ impl Job {
                         x.len()
                     ));
                 }
-                if *p == 0 {
+                if *pes == 0 {
                     return Err("mvm needs at least 1 PE".into());
                 }
             }
-            Job::Lu { a, fmt, p, .. } => {
+            Kernel::Lu { a, p: pes, .. } => {
+                uniform_only("LU")?;
+                storage_matrix("a", a)?;
                 if a.rows() != a.cols() {
                     return Err("LU needs a square matrix".into());
                 }
-                if *p == 0 {
+                if *pes == 0 {
                     return Err("LU needs at least 1 update PE".into());
                 }
                 for k in 0..a.rows() {
-                    if SoftFloat::from_bits(*fmt, a.get(k, k)).is_zero() {
+                    if SoftFloat::from_bits(p.compute, a.get(k, k)).is_zero() {
                         return Err(format!("zero pivot at row {k} (no pivoting)"));
                     }
                 }
             }
-            Job::Fft { data, .. } => {
+            Kernel::Fft { data, .. } => {
+                uniform_only("FFT")?;
                 if !data.len().is_power_of_two() || data.len() < 2 {
                     return Err(format!(
                         "FFT length {} is not a power of two ≥ 2",
@@ -395,86 +429,106 @@ impl Job {
                     ));
                 }
             }
-            Job::Sweep { .. } => {}
+            Kernel::Sweep { .. } => uniform_only("a depth sweep")?,
         }
         Ok(())
     }
 
     /// Execute the job. Pure in the payload: the `cache` only memoizes
-    /// [`Job::Sweep`] synthesis (identical results warm or cold), and
-    /// every kernel starts from freshly built, empty pipelines, so the
-    /// result is bit-identical no matter which thread, worker count or
-    /// batch the job ran in.
+    /// [`Kernel::Sweep`] synthesis (identical results warm or cold),
+    /// and every kernel starts from freshly built, empty pipelines, so
+    /// the result is bit-identical no matter which thread, worker count
+    /// or batch the job ran in. Uniform policies take the crate's
+    /// original kernel paths; mixed policies take the
+    /// [`fpfpga_matmul::mixed`] kernels (whose uniform degeneration is
+    /// itself property-tested).
     pub fn run(&self, tech: &Tech, cache: &SweepCache) -> JobResult {
-        match self {
-            Job::Eltwise {
-                op,
-                fmt,
-                mode,
-                stages,
-                pairs,
-            } => {
-                let mut unit = DelayLineUnit::new(*fmt, *mode, op.delay_op(), *stages);
-                JobResult::Eltwise(unit.run_batch(pairs))
+        let p = self.policy;
+        let mode = self.mode;
+        match &self.kernel {
+            Kernel::Eltwise { op, stages, pairs } => {
+                let mut unit = DelayLineUnit::new(p.compute, mode, op.delay_op(), *stages);
+                let mut results = Vec::with_capacity(pairs.len());
+                eltwise_batch_into(&mut unit, p, mode, pairs, &mut results);
+                JobResult::Eltwise(results)
             }
-            Job::Dot {
-                fmt,
-                mode,
+            Kernel::Dot {
                 mult_stages,
                 add_stages,
                 x,
                 y,
             } => {
-                let mut unit = DotProductUnit::new(*fmt, *mode, *mult_stages, *add_stages);
-                let (value, cycles) = unit.dot_batched(x, y);
-                JobResult::Dot {
-                    value,
-                    flags: unit.flags,
-                    cycles,
+                if p.is_uniform() {
+                    let mut unit = DotProductUnit::new(p.compute, mode, *mult_stages, *add_stages);
+                    let (value, cycles) = unit.dot_batched(x, y);
+                    JobResult::Dot {
+                        value,
+                        flags: unit.flags,
+                        cycles,
+                    }
+                } else {
+                    let d = mixed::mixed_dot(p, mode, x, y, *mult_stages, *add_stages);
+                    JobResult::Dot {
+                        value: d.bits,
+                        flags: d.flags,
+                        cycles: d.cycles,
+                    }
                 }
             }
-            Job::MatMul {
-                fmt,
-                mode,
+            Kernel::MatMul {
                 mult_stages,
                 add_stages,
                 a,
                 b,
                 backend,
             } => {
-                let (c, stats) = LinearArray::multiply_batched(
-                    *fmt,
-                    *mode,
-                    *mult_stages,
-                    *add_stages,
-                    a,
-                    b,
-                    *backend,
-                );
-                JobResult::MatMul { c, stats }
+                if p.is_uniform() {
+                    let (c, stats) = LinearArray::multiply_batched(
+                        p.compute,
+                        mode,
+                        *mult_stages,
+                        *add_stages,
+                        a,
+                        b,
+                        *backend,
+                    );
+                    JobResult::MatMul { c, stats }
+                } else {
+                    let (c, _flags) = mixed::mixed_matmul(p, mode, a, b);
+                    let (n, m, cols) = (a.rows() as u64, a.cols() as u64, b.cols() as u64);
+                    // The mixed path has no array-cycle model; report
+                    // MAC counts only.
+                    let stats = ArrayStats {
+                        useful_macs: n * m * cols,
+                        ..ArrayStats::default()
+                    };
+                    JobResult::MatMul { c, stats }
+                }
             }
-            Job::Mvm {
-                fmt,
-                mode,
+            Kernel::Mvm {
                 mult_stages,
                 add_stages,
-                p,
+                p: pes,
                 a,
                 x,
             } => {
-                let engine = MvmEngine::new(*fmt, *mode, *mult_stages, *add_stages, *p);
-                let (y, cycles) = engine.multiply_batched(a, x);
-                JobResult::Mvm { y, cycles }
+                if p.is_uniform() {
+                    let engine = MvmEngine::new(p.compute, mode, *mult_stages, *add_stages, *pes);
+                    let (y, cycles) = engine.multiply_batched(a, x);
+                    JobResult::Mvm { y, cycles }
+                } else {
+                    let (y, _flags, cycles) =
+                        mixed::mixed_mvm(p, mode, a, x, *mult_stages, *add_stages);
+                    JobResult::Mvm { y, cycles }
+                }
             }
-            Job::Lu {
-                fmt,
-                mode,
+            Kernel::Lu {
                 div_stages,
                 mac_stages,
-                p,
+                p: pes,
                 a,
             } => {
-                let engine = LuEngine::new(*fmt, *mode, *div_stages, *mac_stages, *p);
+                let engine = LuEngine::new(p.compute, mode, *div_stages, *mac_stages, *pes);
                 let r = engine.factor_batched(a);
                 JobResult::Lu {
                     lu: r.lu,
@@ -484,20 +538,20 @@ impl Job {
                     flags: r.flags,
                 }
             }
-            Job::Fft {
-                fmt,
-                mode,
+            Kernel::Fft {
                 mult_stages,
                 add_stages,
                 data,
                 inverse,
             } => {
-                let engine = FftEngine::new(*fmt, *mode, *mult_stages, *add_stages);
+                let engine = FftEngine::new(p.compute, mode, *mult_stages, *add_stages);
                 let (out, cycles) = engine.run_batched(data, *inverse);
                 JobResult::Fft { data: out, cycles }
             }
-            Job::Sweep { kind, fmt, opts } => {
-                let sweep = CoreSweep::new_cached(*kind, *fmt, tech, *opts, cache);
+            Kernel::Sweep { kind, opts } => {
+                let sweep = CoreSweep::builder(*kind, p.compute)
+                    .cached(cache)
+                    .run(tech, *opts);
                 JobResult::Sweep {
                     opt: sweep.opt().clone(),
                     depths: sweep.reports.len(),
@@ -507,20 +561,57 @@ impl Job {
     }
 }
 
-/// Run a coalesced batch of [`Job::Eltwise`] streams of one
-/// [`CoalesceKey`] through a single shared unit, one bulk
-/// [`FpPipe::run_batch_into`] call per job straight into that job's
-/// result vector — no concatenation, no re-splitting, no intermediate
-/// allocation. Each element's value depends only on its own operands
-/// (and the delay line is empty between bulk calls), so this is
-/// bit-identical to running the jobs one by one (property-tested).
+/// Stream one eltwise payload through `unit` (which must be built in
+/// `policy.compute`), converting operands in from `policy.storage` and
+/// results back out, accumulating the conversion flags per element.
+/// With `storage == compute` this is exactly the unit's own
+/// `run_batch_into`, untouched bits and all. The unit drains fully per
+/// call, so results are independent of batching.
+fn eltwise_batch_into(
+    unit: &mut DelayLineUnit,
+    policy: PrecisionPolicy,
+    mode: RoundMode,
+    pairs: &[(u64, u64)],
+    out: &mut Vec<(u64, Flags)>,
+) {
+    if policy.storage == policy.compute {
+        unit.run_batch_into(pairs, out);
+        return;
+    }
+    let mut in_flags = Vec::with_capacity(pairs.len());
+    let converted: Vec<(u64, u64)> = pairs
+        .iter()
+        .map(|&(a, b)| {
+            let (ca, fa) = convert::convert(policy.storage, a, policy.compute, mode);
+            let (cb, fb) = convert::convert(policy.storage, b, policy.compute, mode);
+            in_flags.push(fa | fb);
+            (ca, cb)
+        })
+        .collect();
+    let mut computed = Vec::with_capacity(converted.len());
+    unit.run_batch_into(&converted, &mut computed);
+    out.reserve(computed.len());
+    for ((bits, f), inf) in computed.into_iter().zip(in_flags) {
+        let (sb, nf) = convert::convert(policy.compute, bits, policy.storage, mode);
+        out.push((sb, inf | f | nf));
+    }
+}
+
+/// Run a coalesced batch of eltwise streams of one [`CoalesceKey`]
+/// through a single shared unit, one bulk call per job straight into
+/// that job's result vector — no concatenation, no re-splitting, no
+/// intermediate allocation. Each element's value depends only on its
+/// own operands (and the delay line is empty between bulk calls), so
+/// this is bit-identical to running the jobs one by one
+/// (property-tested) — for mixed policies too, since the format
+/// converters are stateless.
 pub fn run_coalesced(key: CoalesceKey, batches: &[&[(u64, u64)]]) -> Vec<JobResult> {
-    let mut unit = DelayLineUnit::new(key.fmt, key.mode, key.op.delay_op(), key.stages);
+    let mut unit = DelayLineUnit::new(key.policy.compute, key.mode, key.op.delay_op(), key.stages);
     batches
         .iter()
         .map(|b| {
             let mut results = Vec::with_capacity(b.len());
-            unit.run_batch_into(b, &mut results);
+            eltwise_batch_into(&mut unit, key.policy, key.mode, b, &mut results);
             JobResult::Eltwise(results)
         })
         .collect()
@@ -530,6 +621,8 @@ pub fn run_coalesced(key: CoalesceKey, batches: &[&[(u64, u64)]]) -> Vec<JobResu
 mod tests {
     use super::*;
 
+    const RM: RoundMode = RoundMode::NearestEven;
+
     fn enc(fmt: FpFormat, v: f64) -> u64 {
         SoftFloat::from_f64(fmt, v).bits()
     }
@@ -537,16 +630,18 @@ mod tests {
     #[test]
     fn eltwise_runs_and_flags() {
         let fmt = FpFormat::SINGLE;
-        let job = Job::Eltwise {
-            op: EltOp::Add,
+        let job = Job::uniform(
+            Kernel::Eltwise {
+                op: EltOp::Add,
+                stages: 6,
+                pairs: vec![
+                    (enc(fmt, 1.5), enc(fmt, 2.25)),
+                    (enc(fmt, -1.0), enc(fmt, 1.0)),
+                ],
+            },
             fmt,
-            mode: RoundMode::NearestEven,
-            stages: 6,
-            pairs: vec![
-                (enc(fmt, 1.5), enc(fmt, 2.25)),
-                (enc(fmt, -1.0), enc(fmt, 1.0)),
-            ],
-        };
+            RM,
+        );
         let cache = SweepCache::new();
         match job.run(&Tech::virtex2pro(), &cache) {
             JobResult::Eltwise(rs) => {
@@ -559,112 +654,246 @@ mod tests {
     }
 
     #[test]
-    fn coalesced_matches_individual_runs() {
-        let fmt = FpFormat::FP48;
-        let key = CoalesceKey {
-            op: EltOp::Mul,
-            fmt,
-            mode: RoundMode::NearestEven,
-            stages: 9,
-        };
-        let mk = |vals: &[(f64, f64)]| -> Vec<(u64, u64)> {
-            vals.iter()
-                .map(|&(a, b)| (enc(fmt, a), enc(fmt, b)))
-                .collect()
-        };
-        let b1 = mk(&[(1.5, 2.0), (3.0, -0.25)]);
-        let b2 = mk(&[(1e10, 1e-10)]);
-        let b3 = mk(&[]);
-        let coalesced = run_coalesced(key, &[&b1, &b2, &b3]);
-        let tech = Tech::virtex2pro();
+    fn eltwise_narrow_compute_rounds_through_the_compute_format() {
+        // Storage f64, compute f32: the small addend must vanish in the
+        // compute format even though storage could represent the sum.
+        let policy = PrecisionPolicy::new(FpFormat::SINGLE, FpFormat::SINGLE, FpFormat::DOUBLE);
+        let st = FpFormat::DOUBLE;
+        let tiny = 2f64.powi(-30);
+        let job = Job::new(
+            Kernel::Eltwise {
+                op: EltOp::Add,
+                stages: 4,
+                pairs: vec![(enc(st, 1.0), enc(st, tiny))],
+            },
+            policy,
+            RM,
+        );
         let cache = SweepCache::new();
-        for (got, pairs) in coalesced.iter().zip([&b1, &b2, &b3]) {
-            let solo = Job::Eltwise {
-                op: key.op,
-                fmt: key.fmt,
-                mode: key.mode,
-                stages: key.stages,
-                pairs: pairs.clone(),
+        match job.run(&Tech::virtex2pro(), &cache) {
+            JobResult::Eltwise(rs) => {
+                assert_eq!(SoftFloat::from_bits(st, rs[0].0).to_f64(), 1.0);
+                assert!(rs[0].1.inexact, "losing the addend must raise inexact");
             }
-            .run(&tech, &cache);
-            assert_eq!(*got, solo);
+            other => panic!("wrong result kind: {other:?}"),
+        }
+        // The uniform job at storage precision keeps the addend.
+        let job64 = Job::uniform(
+            Kernel::Eltwise {
+                op: EltOp::Add,
+                stages: 4,
+                pairs: vec![(enc(st, 1.0), enc(st, tiny))],
+            },
+            st,
+            RM,
+        );
+        match job64.run(&Tech::virtex2pro(), &cache) {
+            JobResult::Eltwise(rs) => {
+                assert_eq!(SoftFloat::from_bits(st, rs[0].0).to_f64(), 1.0 + tiny);
+            }
+            other => panic!("wrong result kind: {other:?}"),
         }
     }
 
     #[test]
-    fn class_hash_ignores_payload_but_not_config() {
+    fn mixed_dot_job_matches_the_mixed_kernel() {
+        let policy = PrecisionPolicy::mixed(FpFormat::SINGLE, FpFormat::DOUBLE);
+        let fmt = policy.storage;
+        let x: Vec<u64> = (0..37).map(|i| enc(fmt, (i as f64 * 0.31).sin())).collect();
+        let y: Vec<u64> = (0..37).map(|i| enc(fmt, (i as f64 * 0.17).cos())).collect();
+        let job = Job::new(
+            Kernel::Dot {
+                mult_stages: 5,
+                add_stages: 4,
+                x: x.clone(),
+                y: y.clone(),
+            },
+            policy,
+            RM,
+        );
+        let want = mixed::mixed_dot(policy, RM, &x, &y, 5, 4);
+        let cache = SweepCache::new();
+        match job.run(&Tech::virtex2pro(), &cache) {
+            JobResult::Dot {
+                value,
+                flags,
+                cycles,
+            } => {
+                assert_eq!(value, want.bits);
+                assert_eq!(flags, want.flags);
+                assert_eq!(cycles, want.cycles);
+            }
+            other => panic!("wrong result kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn coalesced_matches_individual_runs() {
+        // One uniform and one mixed key: the shared-unit path must be
+        // bit-identical to solo runs for both.
+        for policy in [
+            PrecisionPolicy::uniform(FpFormat::FP48),
+            PrecisionPolicy::new(FpFormat::DOUBLE, FpFormat::DOUBLE, FpFormat::FP48),
+        ] {
+            let st = policy.storage;
+            let key = CoalesceKey {
+                op: EltOp::Mul,
+                policy,
+                mode: RM,
+                stages: 9,
+            };
+            let mk = |vals: &[(f64, f64)]| -> Vec<(u64, u64)> {
+                vals.iter()
+                    .map(|&(a, b)| (enc(st, a), enc(st, b)))
+                    .collect()
+            };
+            let b1 = mk(&[(1.5, 2.0), (3.0, -0.25)]);
+            let b2 = mk(&[(1e10, 1e-10)]);
+            let b3 = mk(&[]);
+            let coalesced = run_coalesced(key, &[&b1, &b2, &b3]);
+            let tech = Tech::virtex2pro();
+            let cache = SweepCache::new();
+            for (got, pairs) in coalesced.iter().zip([&b1, &b2, &b3]) {
+                let solo = Job::new(
+                    Kernel::Eltwise {
+                        op: key.op,
+                        stages: key.stages,
+                        pairs: pairs.clone(),
+                    },
+                    policy,
+                    key.mode,
+                )
+                .run(&tech, &cache);
+                assert_eq!(*got, solo);
+            }
+        }
+    }
+
+    #[test]
+    fn class_hash_ignores_payload_but_not_config_or_policy() {
         let fmt = FpFormat::SINGLE;
-        let j1 = Job::Eltwise {
+        let elt = |stages: u32, pairs: Vec<(u64, u64)>| Kernel::Eltwise {
             op: EltOp::Add,
-            fmt,
-            mode: RoundMode::NearestEven,
-            stages: 6,
-            pairs: vec![(1, 2)],
+            stages,
+            pairs,
         };
-        let j2 = Job::Eltwise {
-            op: EltOp::Add,
-            fmt,
-            mode: RoundMode::NearestEven,
-            stages: 6,
-            pairs: vec![(3, 4), (5, 6)],
-        };
-        let j3 = Job::Eltwise {
-            op: EltOp::Add,
-            fmt,
-            mode: RoundMode::NearestEven,
-            stages: 7,
-            pairs: vec![(1, 2)],
-        };
+        let j1 = Job::uniform(elt(6, vec![(1, 2)]), fmt, RM);
+        let j2 = Job::uniform(elt(6, vec![(3, 4), (5, 6)]), fmt, RM);
+        let j3 = Job::uniform(elt(7, vec![(1, 2)]), fmt, RM);
+        let j4 = Job::new(
+            elt(6, vec![(1, 2)]),
+            PrecisionPolicy::new(FpFormat::DOUBLE, FpFormat::DOUBLE, fmt),
+            RM,
+        );
         assert_eq!(j1.class_hash(), j2.class_hash());
         assert_ne!(j1.class_hash(), j3.class_hash());
+        assert_ne!(
+            j1.class_hash(),
+            j4.class_hash(),
+            "policy is part of the class"
+        );
     }
 
     #[test]
     fn validate_catches_bad_payloads() {
         let fmt = FpFormat::SINGLE;
-        assert!(Job::Dot {
+        assert!(Job::uniform(
+            Kernel::Dot {
+                mult_stages: 5,
+                add_stages: 5,
+                x: vec![1, 2],
+                y: vec![1],
+            },
             fmt,
-            mode: RoundMode::NearestEven,
-            mult_stages: 5,
-            add_stages: 5,
-            x: vec![1, 2],
-            y: vec![1],
-        }
+            RM,
+        )
         .validate()
         .is_err());
-        assert!(Job::Fft {
+        assert!(Job::uniform(
+            Kernel::Fft {
+                mult_stages: 5,
+                add_stages: 5,
+                data: vec![Cplx::zero(); 3],
+                inverse: false,
+            },
             fmt,
-            mode: RoundMode::NearestEven,
-            mult_stages: 5,
-            add_stages: 5,
-            data: vec![Cplx::zero(); 3],
-            inverse: false,
-        }
+            RM,
+        )
         .validate()
         .is_err());
         // Zero diagonal → refused up front instead of a worker panic.
         let a = Matrix::zero(fmt, 3, 3);
-        assert!(Job::Lu {
+        assert!(Job::uniform(
+            Kernel::Lu {
+                div_stages: 8,
+                mac_stages: 6,
+                p: 2,
+                a,
+            },
             fmt,
-            mode: RoundMode::NearestEven,
-            div_stages: 8,
-            mac_stages: 6,
-            p: 2,
-            a,
-        }
+            RM,
+        )
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn validate_enforces_policy_capabilities() {
+        let fmt = FpFormat::SINGLE;
+        // LU under a mixed policy is refused.
+        let lu = Kernel::Lu {
+            div_stages: 8,
+            mac_stages: 6,
+            p: 1,
+            a: Matrix::identity(fmt, 2),
+        };
+        let mixed_policy = PrecisionPolicy::mixed(fmt, FpFormat::DOUBLE);
+        let err = Job::new(lu, mixed_policy, RM).validate().unwrap_err();
+        assert!(err.contains("uniform"), "{err}");
+        // A narrowing accumulate format is refused for dot products.
+        let narrow = PrecisionPolicy::new(FpFormat::DOUBLE, FpFormat::SINGLE, FpFormat::DOUBLE);
+        let err = Job::new(
+            Kernel::Dot {
+                mult_stages: 5,
+                add_stages: 4,
+                x: vec![0],
+                y: vec![0],
+            },
+            narrow,
+            RM,
+        )
+        .validate()
+        .unwrap_err();
+        assert!(err.contains("does not cover"), "{err}");
+        // A matrix in the wrong storage format is refused.
+        let err = Job::new(
+            Kernel::MatMul {
+                mult_stages: 5,
+                add_stages: 4,
+                a: Matrix::identity(FpFormat::DOUBLE, 2),
+                b: Matrix::identity(FpFormat::DOUBLE, 2),
+                backend: UnitBackend::Fast,
+            },
+            PrecisionPolicy::mixed(fmt, FpFormat::DOUBLE),
+            RM,
+        )
+        .validate()
+        .unwrap_err();
+        assert!(err.contains("policy stores"), "{err}");
     }
 
     #[test]
     fn sweep_job_uses_the_shard_cache() {
         let cache = SweepCache::new();
         let tech = Tech::virtex2pro();
-        let job = Job::Sweep {
-            kind: CoreKind::Adder,
-            fmt: FpFormat::SINGLE,
-            opts: SynthesisOptions::SPEED,
-        };
+        let job = Job::uniform(
+            Kernel::Sweep {
+                kind: CoreKind::Adder,
+                opts: SynthesisOptions::SPEED,
+            },
+            FpFormat::SINGLE,
+            RM,
+        );
         let r1 = job.run(&tech, &cache);
         assert_eq!(cache.misses(), 1);
         let r2 = job.run(&tech, &cache);

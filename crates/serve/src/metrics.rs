@@ -30,6 +30,8 @@ pub struct Metrics {
     batches: AtomicU64,
     batched_jobs: AtomicU64,
     work_items: AtomicU64,
+    mixed_jobs: AtomicU64,
+    auto_tuned: AtomicU64,
     latency: [AtomicU64; LATENCY_BUCKETS],
 }
 
@@ -74,6 +76,16 @@ impl Metrics {
         self.latency[bucket_of(latency)].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A job accepted with a non-uniform (mixed-precision) policy.
+    pub(crate) fn on_mixed(&self) {
+        self.mixed_jobs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A submission whose policy was chosen by the auto-tuner.
+    pub(crate) fn on_auto_tuned(&self) {
+        self.auto_tuned.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// One executed batch that served `jobs` coalesced jobs.
     pub(crate) fn on_batch(&self, jobs: u64) {
         self.batches.fetch_add(1, Ordering::Relaxed);
@@ -105,6 +117,8 @@ impl Metrics {
             batches: self.batches.load(Ordering::Relaxed),
             batched_jobs: self.batched_jobs.load(Ordering::Relaxed),
             work_items: self.work_items.load(Ordering::Relaxed),
+            mixed_jobs: self.mixed_jobs.load(Ordering::Relaxed),
+            auto_tuned: self.auto_tuned.load(Ordering::Relaxed),
             latency_buckets: std::array::from_fn(|i| self.latency[i].load(Ordering::Relaxed)),
             cache_hits: 0,
             cache_misses: 0,
@@ -141,6 +155,11 @@ pub struct MetricsSnapshot {
     pub batched_jobs: u64,
     /// Work items (flop-ish) completed, for throughput accounting.
     pub work_items: u64,
+    /// Jobs accepted with a non-uniform (mixed-precision) policy.
+    pub mixed_jobs: u64,
+    /// Submissions whose policy was chosen by the ULP-budget
+    /// auto-tuner ([`crate::pool::PolicySel::Auto`]).
+    pub auto_tuned: u64,
     /// Power-of-two latency histogram: bucket `i` counts completions
     /// in `[2^i, 2^(i+1))` µs.
     pub latency_buckets: [u64; LATENCY_BUCKETS],

@@ -1,5 +1,6 @@
 //! The sharded worker pool: bounded queues, explicit backpressure,
-//! deadlines, priority shedding, and coalesced batch execution.
+//! deadlines, priority shedding, coalesced batch execution, and
+//! run-time precision-policy resolution.
 //!
 //! Layout: `N` workers, each owning one shard — a bounded FIFO queue
 //! plus a private [`SweepCache`]. A job routes to the shard named by
@@ -8,12 +9,21 @@
 //! up to `coalesce_window` of them into a single
 //! [`run_batch`](fpfpga_fpu::sim::FpPipe::run_batch) call.
 //!
+//! Submission takes a [`JobSpec`]: a [`Kernel`] plus a *policy
+//! selector*. The precision policy is resolved **at submission time**
+//! — pinned by the caller ([`PolicySel::Fixed`]), looked up in the
+//! pool's per-tenant [`PolicyBook`] ([`PolicySel::Default`]), or
+//! chosen by the [ULP-budget auto-tuner](crate::tuner)
+//! ([`PolicySel::Auto`]) — so workers only ever see fully resolved
+//! [`Job`]s and the replay oracle stays trivial.
+//!
 //! Overload policy, in order:
 //! 1. a full shard queue **sheds** its lowest-priority queued job when
 //!    a strictly higher-priority submission arrives (the shed job's
 //!    handle reports [`JobOutcome::Shed`] — never a silent drop);
-//! 2. otherwise the submission is refused with [`Submit::Rejected`] —
-//!    the caller sees backpressure immediately, nothing blocks.
+//! 2. otherwise the submission is refused with
+//!    [`SubmitError::Rejected`] — the caller sees backpressure
+//!    immediately, nothing blocks.
 //!
 //! Deadlines are checked when a worker picks the job up: an expired
 //! job is reported as [`JobOutcome::TimedOut`] (and counted) instead
@@ -21,7 +31,7 @@
 //! same way. Workers never die: a panicking kernel is caught and
 //! reported as [`JobOutcome::Failed`].
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -30,9 +40,12 @@ use std::time::{Duration, Instant};
 
 use fpfpga_fabric::tech::Tech;
 use fpfpga_fpu::SweepCache;
+use fpfpga_matmul::ErrorBudget;
+use fpfpga_softfp::{FpFormat, PrecisionPolicy, RoundMode};
 
-use crate::job::{run_coalesced, Job, JobResult};
+use crate::job::{run_coalesced, Job, JobResult, Kernel};
 use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::tuner;
 
 /// Scheduling priority. Shedding removes `Low` before `Normal` before
 /// `High`; a submission can only displace strictly lower priorities.
@@ -46,11 +59,79 @@ pub enum Priority {
     High,
 }
 
-/// A job plus its scheduling envelope.
+/// How a [`JobSpec`] names its precision policy.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PolicySel {
+    /// Use the pool's [`PolicyBook`]: the submitting tenant's policy,
+    /// or the book's default.
+    Default,
+    /// Exactly this policy.
+    Fixed(PrecisionPolicy),
+    /// Let the [auto-tuner](crate::tuner) pick the cheapest policy
+    /// (by the fabric area model) that keeps the probe error within
+    /// `budget`, with operands stored in `storage`.
+    Auto {
+        /// Storage format of the job's operands and results.
+        storage: FpFormat,
+        /// The accuracy the caller requires.
+        budget: ErrorBudget,
+    },
+}
+
+/// Per-tenant precision policies, consulted for
+/// [`PolicySel::Default`] submissions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PolicyBook {
+    default: PrecisionPolicy,
+    tenants: HashMap<String, PrecisionPolicy>,
+}
+
+impl Default for PolicyBook {
+    /// Uniform single precision for everyone — the pre-policy
+    /// behaviour of the serving layer.
+    fn default() -> PolicyBook {
+        PolicyBook::new(PrecisionPolicy::uniform(FpFormat::SINGLE))
+    }
+}
+
+impl PolicyBook {
+    /// A book with the given default and no tenant overrides.
+    pub fn new(default: PrecisionPolicy) -> PolicyBook {
+        PolicyBook {
+            default,
+            tenants: HashMap::new(),
+        }
+    }
+
+    /// Add (or replace) one tenant's policy.
+    pub fn with_tenant(mut self, tenant: impl Into<String>, policy: PrecisionPolicy) -> PolicyBook {
+        self.tenants.insert(tenant.into(), policy);
+        self
+    }
+
+    /// The policy for `tenant` (the default for `None` or unknown
+    /// tenants).
+    pub fn policy_for(&self, tenant: Option<&str>) -> PrecisionPolicy {
+        tenant
+            .and_then(|t| self.tenants.get(t).copied())
+            .unwrap_or(self.default)
+    }
+}
+
+/// A kernel plus everything needed to schedule and resolve it: policy
+/// selector, rounding mode, tenant, priority and deadline. Built
+/// fluently from [`JobSpec::of`], or from a fully resolved [`Job`]
+/// via `From`/[`JobSpec::new`].
 #[derive(Clone, Debug)]
 pub struct JobSpec {
     /// The work.
-    pub job: Job,
+    pub kernel: Kernel,
+    /// How to pick the precision policy.
+    pub policy: PolicySel,
+    /// Rounding mode.
+    pub mode: RoundMode,
+    /// Submitting tenant, for [`PolicyBook`] lookup and accounting.
+    pub tenant: Option<String>,
     /// Scheduling priority.
     pub priority: Priority,
     /// Time budget from submission; expired jobs are not run.
@@ -60,7 +141,10 @@ pub struct JobSpec {
 impl From<Job> for JobSpec {
     fn from(job: Job) -> JobSpec {
         JobSpec {
-            job,
+            kernel: job.kernel,
+            policy: PolicySel::Fixed(job.policy),
+            mode: job.mode,
+            tenant: None,
             priority: Priority::Normal,
             deadline: None,
         }
@@ -68,9 +152,54 @@ impl From<Job> for JobSpec {
 }
 
 impl JobSpec {
-    /// A normal-priority spec with no deadline.
+    /// A spec for `kernel` with the book-default policy, nearest-even
+    /// rounding, normal priority and no deadline.
+    pub fn of(kernel: Kernel) -> JobSpec {
+        JobSpec {
+            kernel,
+            policy: PolicySel::Default,
+            mode: RoundMode::NearestEven,
+            tenant: None,
+            priority: Priority::Normal,
+            deadline: None,
+        }
+    }
+
+    /// A normal-priority spec with no deadline, policy pinned to the
+    /// job's.
     pub fn new(job: Job) -> JobSpec {
         JobSpec::from(job)
+    }
+
+    /// Pin the precision policy.
+    pub fn with_policy(mut self, policy: PrecisionPolicy) -> JobSpec {
+        self.policy = PolicySel::Fixed(policy);
+        self
+    }
+
+    /// Pin a *uniform* policy — every format is `fmt`.
+    pub fn with_format(self, fmt: FpFormat) -> JobSpec {
+        self.with_policy(PrecisionPolicy::uniform(fmt))
+    }
+
+    /// Let the auto-tuner pick the cheapest policy meeting `budget`,
+    /// with operands stored in `storage`.
+    pub fn auto_policy(mut self, storage: FpFormat, budget: ErrorBudget) -> JobSpec {
+        self.policy = PolicySel::Auto { storage, budget };
+        self
+    }
+
+    /// Set the rounding mode.
+    pub fn with_mode(mut self, mode: RoundMode) -> JobSpec {
+        self.mode = mode;
+        self
+    }
+
+    /// Name the submitting tenant (selects its [`PolicyBook`] entry
+    /// under [`PolicySel::Default`]).
+    pub fn for_tenant(mut self, tenant: impl Into<String>) -> JobSpec {
+        self.tenant = Some(tenant.into());
+        self
     }
 
     /// Set the priority.
@@ -83,6 +212,44 @@ impl JobSpec {
     pub fn with_deadline(mut self, deadline: Duration) -> JobSpec {
         self.deadline = Some(deadline);
         self
+    }
+
+    /// The job this spec names, if its policy is pinned — traces and
+    /// tests use this to inspect a spec without a pool.
+    pub fn fixed_job(&self) -> Option<Job> {
+        match self.policy {
+            PolicySel::Fixed(policy) => Some(Job {
+                kernel: self.kernel.clone(),
+                policy,
+                mode: self.mode,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Resolve the policy selector into a concrete [`Job`]: pinned
+    /// policies pass through, defaults consult `book`, auto policies
+    /// run the [`tuner`] against `tech` through `cache`.
+    pub fn resolve(
+        self,
+        book: &PolicyBook,
+        tech: &Tech,
+        cache: &SweepCache,
+    ) -> Result<Job, SubmitError> {
+        let policy = match &self.policy {
+            PolicySel::Fixed(p) => *p,
+            PolicySel::Default => book.policy_for(self.tenant.as_deref()),
+            PolicySel::Auto { storage, budget } => {
+                tuner::autotune(*storage, budget, tech, cache)
+                    .map_err(|detail| SubmitError::Budget { detail })?
+                    .policy
+            }
+        };
+        Ok(Job {
+            kernel: self.kernel,
+            policy,
+            mode: self.mode,
+        })
     }
 }
 
@@ -110,6 +277,14 @@ struct Shared {
 /// The submitter's side of one accepted job.
 pub struct JobHandle {
     shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("done", &self.is_done())
+            .finish()
+    }
 }
 
 impl JobHandle {
@@ -141,34 +316,45 @@ impl JobHandle {
     }
 }
 
-/// What [`ServePool::submit`] returns — acceptance is explicit, and a
-/// full queue answers immediately instead of blocking.
-pub enum Submit {
-    /// Queued; await the handle.
-    Accepted(JobHandle),
+/// Why [`ServePool::submit`] refused a spec. Acceptance is a plain
+/// `Ok(JobHandle)`; every refusal is immediate — a full queue answers
+/// with backpressure instead of blocking, and nothing is ever dropped
+/// silently.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SubmitError {
+    /// The payload failed kernel precondition checks (or the resolved
+    /// policy is outside the kernel's capabilities); never queued.
+    Invalid(String),
     /// The shard's queue is full and nothing lower-priority could be
     /// shed. Retry later or scale out.
     Rejected {
         /// Depth of the refusing queue at rejection time.
         queue_depth: usize,
     },
-    /// The payload failed kernel precondition checks; never queued.
-    Invalid(String),
+    /// The pool is shutting down and accepts no new work.
+    Closed,
+    /// No candidate policy meets the requested
+    /// [`ErrorBudget`] ([`PolicySel::Auto`] only).
+    Budget {
+        /// Human-readable diagnosis, naming the best achievable error.
+        detail: String,
+    },
 }
 
-impl Submit {
-    /// Unwrap an accepted submission (panics otherwise) — for tests
-    /// and closed-loop drivers that sized the queue to their load.
-    pub fn expect_accepted(self) -> JobHandle {
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Submit::Accepted(h) => h,
-            Submit::Rejected { queue_depth } => {
-                panic!("submission rejected at queue depth {queue_depth}")
+            SubmitError::Invalid(reason) => write!(f, "invalid job: {reason}"),
+            SubmitError::Rejected { queue_depth } => {
+                write!(f, "queue full at depth {queue_depth}, submission rejected")
             }
-            Submit::Invalid(reason) => panic!("invalid job: {reason}"),
+            SubmitError::Closed => write!(f, "pool is closed to new work"),
+            SubmitError::Budget { detail } => write!(f, "error budget unsatisfiable: {detail}"),
         }
     }
 }
+
+impl std::error::Error for SubmitError {}
 
 /// Pool construction parameters.
 #[derive(Clone, Debug)]
@@ -181,7 +367,10 @@ pub struct ServeConfig {
     pub coalesce_window: usize,
     /// Per-shard sweep-cache bound (`None` = unbounded).
     pub cache_capacity: Option<usize>,
-    /// Device model used by [`Job::Sweep`].
+    /// Per-tenant precision policies for [`PolicySel::Default`]
+    /// submissions.
+    pub policies: PolicyBook,
+    /// Device model used by [`Kernel::Sweep`] and the auto-tuner.
     pub tech: Tech,
 }
 
@@ -192,6 +381,7 @@ impl Default for ServeConfig {
             queue_capacity: 256,
             coalesce_window: 16,
             cache_capacity: Some(128),
+            policies: PolicyBook::default(),
             tech: Tech::virtex2pro(),
         }
     }
@@ -236,6 +426,11 @@ pub struct ServePool {
     metrics: Arc<Metrics>,
     workers: Vec<JoinHandle<()>>,
     queue_capacity: usize,
+    policies: PolicyBook,
+    tech: Tech,
+    /// Submission-side cache for the auto-tuner's core sweeps (the
+    /// shard caches belong to the workers).
+    tuner_cache: SweepCache,
 }
 
 impl ServePool {
@@ -286,6 +481,9 @@ impl ServePool {
             metrics,
             workers,
             queue_capacity: config.queue_capacity,
+            policies: config.policies,
+            tech: config.tech,
+            tuner_cache: SweepCache::new(),
         }
     }
 
@@ -294,16 +492,34 @@ impl ServePool {
         self.shards.len()
     }
 
-    /// Submit a job. Returns immediately: `Accepted` with a handle,
-    /// `Rejected` on a full queue (backpressure — never blocks, never
-    /// drops silently), or `Invalid` on a precondition failure.
-    pub fn submit(&self, spec: impl Into<JobSpec>) -> Submit {
+    /// Submit a spec. Resolves the precision policy (book lookup or
+    /// auto-tuning), validates the resulting job, and queues it on its
+    /// class shard. Returns immediately: `Ok` with a handle, or a
+    /// [`SubmitError`] explaining the refusal (full queue, invalid
+    /// payload, unsatisfiable budget, closed pool).
+    pub fn submit(&self, spec: impl Into<JobSpec>) -> Result<JobHandle, SubmitError> {
         let spec = spec.into();
-        if let Err(reason) = spec.job.validate() {
-            self.metrics.on_failed();
-            return Submit::Invalid(reason);
+        let priority = spec.priority;
+        let deadline = spec.deadline;
+        let auto = matches!(spec.policy, PolicySel::Auto { .. });
+        let job = match spec.resolve(&self.policies, &self.tech, &self.tuner_cache) {
+            Ok(job) => job,
+            Err(e) => {
+                self.metrics.on_failed();
+                return Err(e);
+            }
+        };
+        if auto {
+            self.metrics.on_auto_tuned();
         }
-        let shard = &self.shards[(spec.job.class_hash() % self.shards.len() as u64) as usize];
+        if let Err(reason) = job.validate() {
+            self.metrics.on_failed();
+            return Err(SubmitError::Invalid(reason));
+        }
+        if !job.policy.is_uniform() {
+            self.metrics.on_mixed();
+        }
+        let shard = &self.shards[(job.class_hash() % self.shards.len() as u64) as usize];
         let now = Instant::now();
         let shared = Arc::new(Shared {
             outcome: Mutex::new(None),
@@ -311,20 +527,18 @@ impl ServePool {
             cancelled: AtomicBool::new(false),
         });
         let entry = Entry {
-            work_items: spec.job.work_items(),
-            job: spec.job,
-            priority: spec.priority,
+            work_items: job.work_items(),
+            job,
+            priority,
             submitted: now,
-            deadline: spec.deadline.map(|d| now + d),
+            deadline: deadline.map(|d| now + d),
             shared: shared.clone(),
         };
 
         let mut st = shard.state.lock().expect("shard poisoned");
         if !st.open {
             self.metrics.on_rejected();
-            return Submit::Rejected {
-                queue_depth: st.queue.len(),
-            };
+            return Err(SubmitError::Closed);
         }
         if st.queue.len() >= self.queue_capacity {
             // Graceful degradation: shed the lowest-priority queued job
@@ -345,9 +559,9 @@ impl ServePool {
                 }
                 _ => {
                     self.metrics.on_rejected();
-                    return Submit::Rejected {
+                    return Err(SubmitError::Rejected {
                         queue_depth: st.queue.len(),
-                    };
+                    });
                 }
             }
         }
@@ -361,7 +575,7 @@ impl ServePool {
         for s in &self.shards {
             s.cv.notify_one();
         }
-        Submit::Accepted(JobHandle { shared })
+        Ok(JobHandle { shared })
     }
 
     /// Stop workers from picking up new jobs (queues keep accepting up
@@ -383,10 +597,10 @@ impl ServePool {
     }
 
     /// Metrics snapshot, including sweep-cache stats aggregated over
-    /// every worker shard.
+    /// every worker shard plus the submission-side tuner cache.
     pub fn metrics(&self) -> MetricsSnapshot {
         let mut s = self.metrics.snapshot();
-        for c in &self.caches {
+        for c in self.caches.iter().chain([&self.tuner_cache]) {
             s.cache_hits += c.hits();
             s.cache_misses += c.misses();
             s.cache_evictions += c.evictions();
@@ -533,8 +747,8 @@ impl WorkerCtx {
             let key = live[0].job.coalesce_key().expect("coalesced group");
             let batches: Vec<&[(u64, u64)]> = live
                 .iter()
-                .map(|e| match &e.job {
-                    Job::Eltwise { pairs, .. } => pairs.as_slice(),
+                .map(|e| match &e.job.kernel {
+                    Kernel::Eltwise { pairs, .. } => pairs.as_slice(),
                     _ => unreachable!("only eltwise jobs coalesce"),
                 })
                 .collect();
@@ -599,14 +813,16 @@ mod tests {
         SoftFloat::from_f64(FMT, v).bits()
     }
 
-    fn add_job(vals: &[(f64, f64)]) -> Job {
-        Job::Eltwise {
+    fn add_kernel(vals: &[(f64, f64)]) -> Kernel {
+        Kernel::Eltwise {
             op: EltOp::Add,
-            fmt: FMT,
-            mode: RM,
             stages: 6,
             pairs: vals.iter().map(|&(a, b)| (enc(a), enc(b))).collect(),
         }
+    }
+
+    fn add_job(vals: &[(f64, f64)]) -> Job {
+        Job::uniform(add_kernel(vals), FMT, RM)
     }
 
     #[test]
@@ -614,7 +830,7 @@ mod tests {
         let pool = ServePool::new(ServeConfig::with_workers(2));
         let h = pool
             .submit(add_job(&[(1.0, 2.0), (3.0, 4.0)]))
-            .expect_accepted();
+            .expect("accepted");
         match h.wait() {
             JobOutcome::Completed(JobResult::Eltwise(rs)) => {
                 assert_eq!(SoftFloat::from_bits(FMT, rs[0].0).to_f64(), 3.0);
@@ -635,11 +851,11 @@ mod tests {
             ..ServeConfig::default()
         });
         pool.pause();
-        let _h1 = pool.submit(add_job(&[(1.0, 1.0)])).expect_accepted();
-        let _h2 = pool.submit(add_job(&[(2.0, 2.0)])).expect_accepted();
+        let _h1 = pool.submit(add_job(&[(1.0, 1.0)])).expect("accepted");
+        let _h2 = pool.submit(add_job(&[(2.0, 2.0)])).expect("accepted");
         match pool.submit(add_job(&[(3.0, 3.0)])) {
-            Submit::Rejected { queue_depth } => assert_eq!(queue_depth, 2),
-            _ => panic!("third submission must be rejected"),
+            Err(SubmitError::Rejected { queue_depth }) => assert_eq!(queue_depth, 2),
+            other => panic!("third submission must be rejected, got {other:?}"),
         }
         assert_eq!(pool.metrics().rejected, 1);
         pool.resume();
@@ -658,20 +874,20 @@ mod tests {
         pool.pause();
         let low = pool
             .submit(JobSpec::new(add_job(&[(1.0, 1.0)])).with_priority(Priority::Low))
-            .expect_accepted();
+            .expect("accepted");
         let normal = pool
             .submit(JobSpec::new(add_job(&[(2.0, 2.0)])).with_priority(Priority::Normal))
-            .expect_accepted();
+            .expect("accepted");
         // High displaces the Low job, not the Normal one.
         let high = pool
             .submit(JobSpec::new(add_job(&[(3.0, 3.0)])).with_priority(Priority::High))
-            .expect_accepted();
+            .expect("accepted");
         assert_eq!(low.wait(), JobOutcome::Shed);
         // Nothing strictly lower than Normal is queued now, so an
         // equal-priority submission cannot shed: rejected.
         match pool.submit(JobSpec::new(add_job(&[(4.0, 4.0)])).with_priority(Priority::Normal)) {
-            Submit::Rejected { .. } => {}
-            _ => panic!("equal priority must not shed"),
+            Err(SubmitError::Rejected { .. }) => {}
+            other => panic!("equal priority must not shed, got {other:?}"),
         }
         pool.resume();
         assert!(matches!(normal.wait(), JobOutcome::Completed(_)));
@@ -688,7 +904,7 @@ mod tests {
         pool.pause();
         let h = pool
             .submit(JobSpec::new(add_job(&[(1.0, 1.0)])).with_deadline(Duration::ZERO))
-            .expect_accepted();
+            .expect("accepted");
         // The deadline (submission instant) is already past when the
         // worker triages the job.
         pool.resume();
@@ -702,7 +918,7 @@ mod tests {
     fn cancellation_before_pickup() {
         let pool = ServePool::new(ServeConfig::with_workers(1));
         pool.pause();
-        let h = pool.submit(add_job(&[(1.0, 1.0)])).expect_accepted();
+        let h = pool.submit(add_job(&[(1.0, 1.0)])).expect("accepted");
         h.cancel();
         pool.resume();
         assert_eq!(h.wait(), JobOutcome::Cancelled);
@@ -721,7 +937,7 @@ mod tests {
         let handles: Vec<JobHandle> = (0..6)
             .map(|i| {
                 pool.submit(add_job(&[(i as f64, 1.0), (i as f64, 2.0)]))
-                    .expect_accepted()
+                    .expect("accepted")
             })
             .collect();
         pool.resume();
@@ -747,16 +963,18 @@ mod tests {
     #[test]
     fn invalid_jobs_never_reach_a_worker() {
         let pool = ServePool::new(ServeConfig::with_workers(1));
-        match pool.submit(Job::Dot {
-            fmt: FMT,
-            mode: RM,
-            mult_stages: 5,
-            add_stages: 5,
-            x: vec![1],
-            y: vec![],
-        }) {
-            Submit::Invalid(reason) => assert!(reason.contains("lengths differ")),
-            _ => panic!("mismatched dot must be invalid"),
+        match pool.submit(Job::uniform(
+            Kernel::Dot {
+                mult_stages: 5,
+                add_stages: 5,
+                x: vec![1],
+                y: vec![],
+            },
+            FMT,
+            RM,
+        )) {
+            Err(SubmitError::Invalid(reason)) => assert!(reason.contains("lengths differ")),
+            other => panic!("mismatched dot must be invalid, got {other:?}"),
         }
         let m = pool.join();
         assert_eq!(m.failed, 1);
@@ -764,12 +982,115 @@ mod tests {
     }
 
     #[test]
-    fn closed_pool_rejects_new_work() {
+    fn closed_pool_refuses_new_work() {
         let pool = ServePool::new(ServeConfig::with_workers(1));
         pool.close();
         match pool.submit(add_job(&[(1.0, 1.0)])) {
-            Submit::Rejected { .. } => {}
-            _ => panic!("closed pool must reject"),
+            Err(SubmitError::Closed) => {}
+            other => panic!("closed pool must refuse, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn tenant_policies_resolve_from_the_book() {
+        let book = PolicyBook::default()
+            .with_tenant("hft", PrecisionPolicy::uniform(FpFormat::FP48))
+            .with_tenant(
+                "science",
+                PrecisionPolicy::mixed(FpFormat::SINGLE, FpFormat::DOUBLE),
+            );
+        let pool = ServePool::new(ServeConfig {
+            workers: 1,
+            policies: book,
+            ..ServeConfig::default()
+        });
+        // The FP48 tenant's eltwise job computes (and stores) in f48.
+        let f48 = FpFormat::FP48;
+        let pairs = vec![(
+            SoftFloat::from_f64(f48, 1.5).bits(),
+            SoftFloat::from_f64(f48, 2.25).bits(),
+        )];
+        let h = pool
+            .submit(
+                JobSpec::of(Kernel::Eltwise {
+                    op: EltOp::Add,
+                    stages: 6,
+                    pairs,
+                })
+                .for_tenant("hft"),
+            )
+            .expect("accepted");
+        match h.wait() {
+            JobOutcome::Completed(JobResult::Eltwise(rs)) => {
+                assert_eq!(SoftFloat::from_bits(f48, rs[0].0).to_f64(), 3.75);
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+        // The mixed tenant's dot product runs the mixed kernel and is
+        // counted in the mixed-jobs metric; unknown tenants get the
+        // default (uniform single — not mixed).
+        let x: Vec<u64> = (0..9).map(|i| enc(i as f64 * 0.5)).collect();
+        let dot = |x: Vec<u64>| Kernel::Dot {
+            mult_stages: 5,
+            add_stages: 4,
+            y: x.clone(),
+            x,
+        };
+        let h = pool
+            .submit(JobSpec::of(dot(x.clone())).for_tenant("science"))
+            .expect("accepted");
+        assert!(matches!(
+            h.wait(),
+            JobOutcome::Completed(JobResult::Dot { .. })
+        ));
+        let h = pool
+            .submit(JobSpec::of(dot(x)).for_tenant("unknown"))
+            .expect("accepted");
+        assert!(matches!(
+            h.wait(),
+            JobOutcome::Completed(JobResult::Dot { .. })
+        ));
+        let m = pool.join();
+        assert_eq!(m.mixed_jobs, 1, "exactly the science job is mixed");
+        assert_eq!(m.completed, 3);
+    }
+
+    #[test]
+    fn auto_policies_resolve_at_submission() {
+        let pool = ServePool::new(ServeConfig::with_workers(1));
+        let x: Vec<u64> = (0..17).map(|i| enc(1.0 + i as f64 * 0.25)).collect();
+        let h = pool
+            .submit(
+                JobSpec::of(Kernel::Dot {
+                    mult_stages: 5,
+                    add_stages: 4,
+                    x: x.clone(),
+                    y: x,
+                })
+                .auto_policy(FMT, ErrorBudget::MaxUlp(1e9)),
+            )
+            .expect("a sky-high budget must be satisfiable");
+        assert!(matches!(
+            h.wait(),
+            JobOutcome::Completed(JobResult::Dot { .. })
+        ));
+        // An impossible budget is refused up front, never queued.
+        let y: Vec<u64> = vec![enc(1.0)];
+        match pool.submit(
+            JobSpec::of(Kernel::Dot {
+                mult_stages: 5,
+                add_stages: 4,
+                x: y.clone(),
+                y,
+            })
+            .auto_policy(FMT, ErrorBudget::MaxRelative(0.0)),
+        ) {
+            Err(SubmitError::Budget { detail }) => assert!(detail.contains("no policy")),
+            other => panic!("impossible budget must be refused, got {other:?}"),
+        }
+        let m = pool.join();
+        assert_eq!(m.auto_tuned, 1);
+        assert_eq!(m.completed, 1);
+        assert_eq!(m.failed, 1);
     }
 }

@@ -13,10 +13,10 @@ use fpfpga_fabric::synthesis::SynthesisOptions;
 use fpfpga_fpu::analysis::CoreKind;
 use fpfpga_matmul::pe::UnitBackend;
 use fpfpga_matmul::{Cplx, Matrix};
-use fpfpga_softfp::{FpFormat, RoundMode, SoftFloat};
+use fpfpga_softfp::{FpFormat, PrecisionPolicy, RoundMode, SoftFloat};
 use rand::SmallRng;
 
-use crate::job::{EltOp, Job};
+use crate::job::{EltOp, Job, Kernel};
 use crate::pool::{JobSpec, Priority};
 
 /// Parameters of a synthetic trace.
@@ -130,6 +130,27 @@ impl Synth {
         Matrix::from_f64(fmt, n, n, &entries)
     }
 
+    /// A policy for an accumulating kernel stored in `fmt`: uniform
+    /// two times in three, f64-accumulate mixed otherwise — so the
+    /// equivalence proptests exercise the mixed kernels routinely.
+    fn accum_policy(&mut self, fmt: FpFormat) -> PrecisionPolicy {
+        if self.below(3) == 0 {
+            PrecisionPolicy::mixed(fmt, FpFormat::DOUBLE)
+        } else {
+            PrecisionPolicy::uniform(fmt)
+        }
+    }
+
+    /// A policy for an elementwise kernel stored in `fmt`: uniform
+    /// three times in four, wide (f64) compute otherwise.
+    fn eltwise_policy(&mut self, fmt: FpFormat) -> PrecisionPolicy {
+        if self.below(4) == 0 {
+            PrecisionPolicy::new(FpFormat::DOUBLE, FpFormat::DOUBLE, fmt)
+        } else {
+            PrecisionPolicy::uniform(fmt)
+        }
+    }
+
     fn job(&mut self) -> Job {
         let fmt = self.format();
         let mode = RoundMode::NearestEven;
@@ -157,60 +178,54 @@ impl Synth {
                         (self.encode(fmt, a), self.encode(fmt, b))
                     })
                     .collect();
-                Job::Eltwise {
-                    op,
-                    fmt,
-                    mode,
-                    stages,
-                    pairs,
-                }
+                let policy = self.eltwise_policy(fmt);
+                Job::new(Kernel::Eltwise { op, stages, pairs }, policy, mode)
             }
             45..=59 => {
                 let n = (4 + self.below(13) as usize) * self.scale;
-                Job::Dot {
-                    fmt,
-                    mode,
+                let kernel = Kernel::Dot {
                     mult_stages: 4 + self.below(4) as u32,
                     add_stages: 4 + self.below(4) as u32,
                     x: self.vector(fmt, n),
                     y: self.vector(fmt, n),
-                }
+                };
+                let policy = self.accum_policy(fmt);
+                Job::new(kernel, policy, mode)
             }
             60..=69 => {
                 let rows = (3 + self.below(4) as usize) * self.scale;
                 let cols = (3 + self.below(4) as usize) * self.scale;
-                Job::Mvm {
-                    fmt,
-                    mode,
+                let kernel = Kernel::Mvm {
                     mult_stages: 5,
                     add_stages: 4,
                     p: 1 + self.below(3) as usize,
                     a: self.matrix(fmt, rows, cols),
                     x: self.vector(fmt, cols),
-                }
+                };
+                let policy = self.accum_policy(fmt);
+                Job::new(kernel, policy, mode)
             }
             70..=77 => {
                 let n = (2 + self.below(3) as usize) * self.scale;
-                Job::MatMul {
-                    fmt,
-                    mode,
+                let kernel = Kernel::MatMul {
                     mult_stages: 5,
                     add_stages: 4,
                     a: self.matrix(fmt, n, n),
                     b: self.matrix(fmt, n, n),
                     backend: UnitBackend::Fast,
-                }
+                };
+                let policy = self.accum_policy(fmt);
+                Job::new(kernel, policy, mode)
             }
             78..=85 => {
                 let n = (3 + self.below(3) as usize) * self.scale;
-                Job::Lu {
-                    fmt,
-                    mode,
+                let kernel = Kernel::Lu {
                     div_stages: 8,
                     mac_stages: 6,
                     p: 1 + self.below(2) as u32,
                     a: self.dominant_matrix(fmt, n),
-                }
+                };
+                Job::uniform(kernel, fmt, mode)
             }
             86..=93 => {
                 // FFT lengths must stay powers of two under scaling.
@@ -221,14 +236,13 @@ impl Synth {
                         Cplx::from_f64(fmt, re, im)
                     })
                     .collect();
-                Job::Fft {
-                    fmt,
-                    mode,
+                let kernel = Kernel::Fft {
                     mult_stages: 5,
                     add_stages: 4,
                     data,
                     inverse: self.below(2) == 1,
-                }
+                };
+                Job::uniform(kernel, fmt, mode)
             }
             _ => {
                 let kind = [
@@ -242,7 +256,7 @@ impl Synth {
                 } else {
                     SynthesisOptions::AREA
                 };
-                Job::Sweep { kind, fmt, opts }
+                Job::uniform(Kernel::Sweep { kind, opts }, fmt, mode)
             }
         }
     }
@@ -287,15 +301,14 @@ mod tests {
         let t1 = synth_trace(&cfg);
         let t2 = synth_trace(&cfg);
         assert_eq!(t1.len(), 64);
+        let hash = |ev: &TraceEvent| ev.spec.fixed_job().expect("pinned policy").class_hash();
         for (a, b) in t1.iter().zip(&t2) {
             assert_eq!(a.at, b.at);
-            assert_eq!(a.spec.job.class_hash(), b.spec.job.class_hash());
+            assert_eq!(hash(a), hash(b));
         }
         let t3 = synth_trace(&TraceConfig { seed: 43, ..cfg });
         assert!(
-            t1.iter()
-                .zip(&t3)
-                .any(|(a, b)| a.spec.job.class_hash() != b.spec.job.class_hash()),
+            t1.iter().zip(&t3).any(|(a, b)| hash(a) != hash(b)),
             "different seeds must differ"
         );
     }
@@ -308,7 +321,8 @@ mod tests {
             assert!(ev.at >= prev, "arrival times must be non-decreasing");
             prev = ev.at;
             ev.spec
-                .job
+                .fixed_job()
+                .expect("trace policies are pinned")
                 .validate()
                 .expect("synthetic jobs must be valid");
         }
@@ -323,21 +337,31 @@ mod tests {
             ..TraceConfig::default()
         });
         let mut seen = [false; 7];
+        let mut mixed = 0usize;
         for ev in &trace {
-            let i = match ev.spec.job {
-                Job::Eltwise { .. } => 0,
-                Job::Dot { .. } => 1,
-                Job::MatMul { .. } => 2,
-                Job::Mvm { .. } => 3,
-                Job::Lu { .. } => 4,
-                Job::Fft { .. } => 5,
-                Job::Sweep { .. } => 6,
+            let i = match ev.spec.kernel {
+                Kernel::Eltwise { .. } => 0,
+                Kernel::Dot { .. } => 1,
+                Kernel::MatMul { .. } => 2,
+                Kernel::Mvm { .. } => 3,
+                Kernel::Lu { .. } => 4,
+                Kernel::Fft { .. } => 5,
+                Kernel::Sweep { .. } => 6,
             };
             seen[i] = true;
+            let job = ev.spec.fixed_job().expect("pinned policy");
+            if !job.policy.is_uniform() {
+                mixed += 1;
+            }
         }
         assert!(
             seen.iter().all(|&s| s),
             "mix must cover all kernels: {seen:?}"
+        );
+        assert!(
+            mixed > 0,
+            "the mix must include mixed-precision policies so the \
+             equivalence proptests exercise the mixed kernels"
         );
     }
 }

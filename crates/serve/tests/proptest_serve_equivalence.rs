@@ -8,7 +8,8 @@
 
 use fpfpga_fabric::tech::Tech;
 use fpfpga_serve::{
-    run_serial, synth_trace, JobOutcome, JobResult, JobSpec, ServeConfig, ServePool, TraceConfig,
+    run_serial, synth_trace, JobOutcome, JobResult, JobSpec, Priority, ServeConfig, ServePool,
+    TraceConfig,
 };
 use proptest::prelude::*;
 
@@ -24,8 +25,14 @@ fn replay(config: ServeConfig, specs: &[JobSpec], pause_first: bool) -> Vec<JobR
         .iter()
         .map(|s| {
             // Equivalence runs strip the scheduling envelope: ample
-            // queues, no deadlines, so every job completes.
-            pool.submit(JobSpec::new(s.job.clone())).expect_accepted()
+            // queues, normal priority, no deadlines, so every job
+            // completes.
+            let spec = JobSpec {
+                priority: Priority::Normal,
+                deadline: None,
+                ..s.clone()
+            };
+            pool.submit(spec).expect("equivalence job accepted")
         })
         .collect();
     if pause_first {

@@ -205,6 +205,80 @@ impl FpFormat {
     }
 }
 
+impl FpFormat {
+    /// The canonical flag/config token for this format.
+    ///
+    /// The paper's three precisions get short names — `"f32"`, `"f48"`,
+    /// `"f64"` — and any other format spells out its field widths as
+    /// `"e<exp_bits>f<frac_bits>"`. The token round-trips through
+    /// [`FpFormat::from_str`](core::str::FromStr), and every CLI flag in the
+    /// workspace (`fpuserve --policy`, `fpugen --format`, `fpuconform
+    /// --formats`) speaks exactly this grammar.
+    pub fn canonical_name(self) -> String {
+        match self {
+            FpFormat::SINGLE => "f32".to_string(),
+            FpFormat::FP48 => "f48".to_string(),
+            FpFormat::DOUBLE => "f64".to_string(),
+            other => format!("e{}f{}", other.exp_bits, other.frac_bits),
+        }
+    }
+}
+
+/// Error returned when a format token fails to parse.
+///
+/// Produced by the [`FromStr`](core::str::FromStr) impl on [`FpFormat`];
+/// carries the offending token for diagnostics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseFormatError {
+    token: String,
+}
+
+impl ParseFormatError {
+    /// The token that failed to parse.
+    pub fn token(&self) -> &str {
+        &self.token
+    }
+}
+
+impl fmt::Display for ParseFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown format {:?} (expected f32, f48, f64 or e<exp>f<frac> within \
+             2..=15 exponent and 2..=56 fraction bits, total <= 64)",
+            self.token
+        )
+    }
+}
+
+impl std::error::Error for ParseFormatError {}
+
+impl core::str::FromStr for FpFormat {
+    type Err = ParseFormatError;
+
+    /// Parse the canonical token grammar emitted by
+    /// [`FpFormat::canonical_name`]: `"f32"`, `"f48"`, `"f64"` (with the
+    /// legacy aliases `"single"` and `"double"`), or `"e<exp>f<frac>"` for
+    /// custom field widths.
+    fn from_str(s: &str) -> Result<FpFormat, ParseFormatError> {
+        let err = || ParseFormatError {
+            token: s.to_string(),
+        };
+        match s {
+            "f32" | "single" => Ok(FpFormat::SINGLE),
+            "f48" | "w48" => Ok(FpFormat::FP48),
+            "f64" | "double" => Ok(FpFormat::DOUBLE),
+            _ => {
+                let rest = s.strip_prefix('e').ok_or_else(err)?;
+                let (e, f) = rest.split_once('f').ok_or_else(err)?;
+                let exp: u32 = e.parse().map_err(|_| err())?;
+                let frac: u32 = f.parse().map_err(|_| err())?;
+                FpFormat::try_new(exp, frac).ok_or_else(err)
+            }
+        }
+    }
+}
+
 impl fmt::Debug for FpFormat {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -284,5 +358,43 @@ mod tests {
         assert_eq!(f.sign_shift(), 31);
         assert_eq!(f.frac_mask(), 0x007f_ffff);
         assert_eq!(f.enc_mask(), 0xffff_ffff);
+    }
+
+    #[test]
+    fn canonical_name_round_trips() {
+        for fmt in [
+            FpFormat::SINGLE,
+            FpFormat::FP48,
+            FpFormat::DOUBLE,
+            FpFormat::new(6, 9),
+            FpFormat::new(7, 12),
+            FpFormat::new(15, 48),
+        ] {
+            let token = fmt.canonical_name();
+            assert_eq!(token.parse::<FpFormat>().unwrap(), fmt, "token {token}");
+        }
+        assert_eq!(FpFormat::SINGLE.canonical_name(), "f32");
+        assert_eq!(FpFormat::FP48.canonical_name(), "f48");
+        assert_eq!(FpFormat::DOUBLE.canonical_name(), "f64");
+        assert_eq!(FpFormat::new(6, 9).canonical_name(), "e6f9");
+    }
+
+    #[test]
+    fn parse_accepts_aliases() {
+        assert_eq!("single".parse::<FpFormat>().unwrap(), FpFormat::SINGLE);
+        assert_eq!("double".parse::<FpFormat>().unwrap(), FpFormat::DOUBLE);
+        assert_eq!("w48".parse::<FpFormat>().unwrap(), FpFormat::FP48);
+    }
+
+    #[test]
+    fn parse_rejects_bad_tokens() {
+        for bad in [
+            "", "f", "f31", "fp32", "e8", "e8f", "ef23", "e1f23", "e16f23", "e8f1", "e15f56",
+            "e8f23x", "F32", " f32", "f32 ", "e-8f23", "e8f-23",
+        ] {
+            let err = bad.parse::<FpFormat>().unwrap_err();
+            assert_eq!(err.token(), bad);
+            assert!(err.to_string().contains("unknown format"), "{bad}");
+        }
     }
 }

@@ -47,6 +47,7 @@ pub mod format;
 pub mod ieee;
 pub mod intconv;
 pub mod ops;
+pub mod policy;
 pub mod round;
 pub mod unpacked;
 pub mod value;
@@ -56,7 +57,8 @@ pub use fastpath::{
     add_bits_batch, add_pairs_batch, fma_bits_batch, fma_triples_batch, mul_bcast_batch,
     mul_bits_batch, mul_pairs_batch, sub_bits_batch, sub_pairs_batch,
 };
-pub use format::FpFormat;
+pub use format::{FpFormat, ParseFormatError};
+pub use policy::{ParsePolicyError, PrecisionPolicy};
 pub use round::RoundMode;
 pub use unpacked::{Class, Unpacked};
 pub use value::SoftFloat;

@@ -1,0 +1,232 @@
+//! Run-time precision policies.
+//!
+//! The paper treats precision as a design-time axis: a core is generated
+//! for one format and the whole kernel runs in it. Follow-up work
+//! (Arish & Sharma's run-time multi-precision IP core; Merchant et al.'s
+//! mixed-precision BLAS) makes precision a *serving-time* knob instead —
+//! multiply in a cheap narrow format, accumulate in a wider one, store in
+//! whatever the caller's data layout uses. A [`PrecisionPolicy`] names that
+//! triple and is carried per job (and per tenant) through the serving
+//! layer.
+//!
+//! Policies have one canonical textual form shared by every CLI in the
+//! workspace: slash-separated [`FpFormat`] tokens in
+//! `compute/accumulate/storage` order, with trailing components elided
+//! when redundant. `"f32"` is a uniform single-precision policy,
+//! `"f32/f64"` multiplies in single and accumulates in double (storage =
+//! compute), and `"f32/f64/f48"` spells out all three.
+
+use core::fmt;
+use core::str::FromStr;
+
+use crate::format::{FpFormat, ParseFormatError};
+
+/// The formats a kernel runs in: multiply in `compute`, accumulate in
+/// `accumulate`, read inputs and write results in `storage`.
+///
+/// Uniform policies (all three equal) reproduce the paper's single-format
+/// kernels bit for bit; mixed policies widen every product from `compute`
+/// to `accumulate` (exact whenever `accumulate` covers `compute`'s field
+/// widths) before adding it into the running sum, then round the final
+/// value back to `storage`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PrecisionPolicy {
+    /// Format products (and elementwise ops) are computed in.
+    pub compute: FpFormat,
+    /// Format running sums are kept in.
+    pub accumulate: FpFormat,
+    /// Format of inputs and results at rest.
+    pub storage: FpFormat,
+}
+
+impl PrecisionPolicy {
+    /// Policy with all three formats spelled out.
+    pub const fn new(compute: FpFormat, accumulate: FpFormat, storage: FpFormat) -> Self {
+        PrecisionPolicy {
+            compute,
+            accumulate,
+            storage,
+        }
+    }
+
+    /// Single-format policy: the paper's classic configuration.
+    pub const fn uniform(fmt: FpFormat) -> Self {
+        PrecisionPolicy {
+            compute: fmt,
+            accumulate: fmt,
+            storage: fmt,
+        }
+    }
+
+    /// Narrow multiply, wide accumulate, storage in the compute format —
+    /// the Merchant-style mixed-precision BLAS configuration.
+    pub const fn mixed(compute: FpFormat, accumulate: FpFormat) -> Self {
+        PrecisionPolicy {
+            compute,
+            accumulate,
+            storage: compute,
+        }
+    }
+
+    /// True when all three formats coincide (the kernel can take the
+    /// single-format fast path and stay bit-identical to the paper's
+    /// cores).
+    pub fn is_uniform(&self) -> bool {
+        self.compute == self.accumulate && self.compute == self.storage
+    }
+
+    /// True when widening a product from `compute` to `accumulate` is
+    /// exact, i.e. the accumulate format has at least as many exponent and
+    /// fraction bits as the compute format.
+    pub fn accumulate_covers_compute(&self) -> bool {
+        self.accumulate.exp_bits() >= self.compute.exp_bits()
+            && self.accumulate.frac_bits() >= self.compute.frac_bits()
+    }
+
+    /// Shortest canonical token for the policy: `"f32"`, `"f32/f64"` or
+    /// `"f32/f64/f48"`. Round-trips through [`FromStr`].
+    pub fn canonical_name(&self) -> String {
+        if self.is_uniform() {
+            self.compute.canonical_name()
+        } else if self.storage == self.compute {
+            format!(
+                "{}/{}",
+                self.compute.canonical_name(),
+                self.accumulate.canonical_name()
+            )
+        } else {
+            format!(
+                "{}/{}/{}",
+                self.compute.canonical_name(),
+                self.accumulate.canonical_name(),
+                self.storage.canonical_name()
+            )
+        }
+    }
+}
+
+impl fmt::Display for PrecisionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.canonical_name())
+    }
+}
+
+/// Error returned when a policy string fails to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParsePolicyError {
+    /// One of the slash-separated components was not a valid format token.
+    Format(ParseFormatError),
+    /// The string had zero or more than three components.
+    Arity {
+        /// Number of slash-separated components found.
+        found: usize,
+    },
+}
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParsePolicyError::Format(e) => write!(f, "bad policy component: {e}"),
+            ParsePolicyError::Arity { found } => write!(
+                f,
+                "policy must be 1-3 slash-separated formats \
+                 (compute[/accumulate[/storage]]), got {found} components"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParsePolicyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParsePolicyError::Format(e) => Some(e),
+            ParsePolicyError::Arity { .. } => None,
+        }
+    }
+}
+
+impl From<ParseFormatError> for ParsePolicyError {
+    fn from(e: ParseFormatError) -> Self {
+        ParsePolicyError::Format(e)
+    }
+}
+
+impl FromStr for PrecisionPolicy {
+    type Err = ParsePolicyError;
+
+    /// Parse `compute[/accumulate[/storage]]` where each component is an
+    /// [`FpFormat`] token. Omitted `accumulate` defaults to `compute`;
+    /// omitted `storage` defaults to `compute`.
+    fn from_str(s: &str) -> Result<PrecisionPolicy, ParsePolicyError> {
+        let parts: Vec<&str> = s.split('/').collect();
+        match parts.as_slice() {
+            [c] => Ok(PrecisionPolicy::uniform(c.parse()?)),
+            [c, a] => Ok(PrecisionPolicy::mixed(c.parse()?, a.parse()?)),
+            [c, a, st] => Ok(PrecisionPolicy::new(c.parse()?, a.parse()?, st.parse()?)),
+            other => Err(ParsePolicyError::Arity { found: other.len() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_uniformity() {
+        let u = PrecisionPolicy::uniform(FpFormat::FP48);
+        assert!(u.is_uniform());
+        let m = PrecisionPolicy::mixed(FpFormat::SINGLE, FpFormat::DOUBLE);
+        assert!(!m.is_uniform());
+        assert_eq!(m.storage, FpFormat::SINGLE);
+        assert!(m.accumulate_covers_compute());
+        let bad = PrecisionPolicy::mixed(FpFormat::DOUBLE, FpFormat::SINGLE);
+        assert!(!bad.accumulate_covers_compute());
+    }
+
+    #[test]
+    fn canonical_name_elides_redundant_components() {
+        let u = PrecisionPolicy::uniform(FpFormat::SINGLE);
+        assert_eq!(u.canonical_name(), "f32");
+        let m = PrecisionPolicy::mixed(FpFormat::SINGLE, FpFormat::DOUBLE);
+        assert_eq!(m.canonical_name(), "f32/f64");
+        let full = PrecisionPolicy::new(FpFormat::SINGLE, FpFormat::DOUBLE, FpFormat::FP48);
+        assert_eq!(full.canonical_name(), "f32/f64/f48");
+        // storage == accumulate != compute still needs all three spelled out
+        let sa = PrecisionPolicy::new(FpFormat::SINGLE, FpFormat::DOUBLE, FpFormat::DOUBLE);
+        assert_eq!(sa.canonical_name(), "f32/f64/f64");
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for s in ["f32", "f48/f64", "f32/f64/f48", "e6f9/f64", "f32/f64/f64"] {
+            let p: PrecisionPolicy = s.parse().unwrap();
+            assert_eq!(p.canonical_name(), s, "round trip of {s}");
+            assert_eq!(p.canonical_name().parse::<PrecisionPolicy>().unwrap(), p);
+        }
+        // aliases normalize to the canonical tokens
+        let p: PrecisionPolicy = "single/double".parse().unwrap();
+        assert_eq!(p.canonical_name(), "f32/f64");
+    }
+
+    #[test]
+    fn parse_rejects_bad_policies() {
+        for bad in ["", "f32//f64", "f32/f64/f48/f32", "g32", "f32/", "/f64"] {
+            assert!(bad.parse::<PrecisionPolicy>().is_err(), "{bad:?} must fail");
+        }
+        match "f32/f64/f48/f32".parse::<PrecisionPolicy>() {
+            Err(ParsePolicyError::Arity { found: 4 }) => {}
+            other => panic!("expected arity error, got {other:?}"),
+        }
+        match "g32".parse::<PrecisionPolicy>() {
+            Err(ParsePolicyError::Format(e)) => assert_eq!(e.token(), "g32"),
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_matches_canonical_name() {
+        let p = PrecisionPolicy::new(FpFormat::SINGLE, FpFormat::DOUBLE, FpFormat::FP48);
+        assert_eq!(p.to_string(), p.canonical_name());
+    }
+}

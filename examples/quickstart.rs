@@ -13,16 +13,12 @@ fn main() {
     let tech = Tech::virtex2pro();
 
     // --- 1. Design-space sweep for a single-precision adder, through
-    // the unified constructor and a memoizing cache (a second sweep of
+    // the builder entry point and a memoizing cache (a second sweep of
     // the same space would be a pure cache hit).
     let cache = SweepCache::new();
-    let sweep = CoreSweep::new_cached(
-        CoreKind::Adder,
-        FpFormat::SINGLE,
-        &tech,
-        SynthesisOptions::SPEED,
-        &cache,
-    );
+    let sweep = CoreSweep::builder(CoreKind::Adder, FpFormat::SINGLE)
+        .cached(&cache)
+        .run(&tech, SynthesisOptions::SPEED);
     println!("single-precision adder, pipeline-depth sweep:");
     println!("  min: {}", sweep.min());
     println!("  opt: {}", sweep.opt());

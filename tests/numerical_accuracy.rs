@@ -7,6 +7,7 @@ use fpfpga::matmul::accuracy::{matmul_error, ulp_at, ErrorMeter};
 use fpfpga::matmul::fft::{Cplx, FftEngine};
 use fpfpga::matmul::pe::UnitBackend;
 use fpfpga::matmul::reference::f64_matmul;
+use fpfpga::matmul::{mixed_dot, mixed_matmul};
 use fpfpga::prelude::*;
 
 fn test_matrices(fmt: FpFormat, n: usize) -> (Matrix, Matrix) {
@@ -197,4 +198,229 @@ fn dot_interleave_order_does_not_degrade_accuracy() {
         banked_err <= seq_err * 2.0,
         "banked {banked_err} vs sequential {seq_err}"
     );
+}
+
+/// Deterministic positive operands in [1, 2) with full-width mantissas
+/// (dyadic values would sum exactly in any format and hide the
+/// accumulator) — a growing sum, the regime where the accumulator's
+/// precision is the whole story.
+fn probe_vectors(fmt: FpFormat, n: usize) -> (Vec<u64>, Vec<u64>) {
+    let enc = |v: f64| SoftFloat::from_f64(fmt, v).bits();
+    let xs = (0..n)
+        .map(|i| enc(1.0 + (i as f64 * 0.37).sin().abs()))
+        .collect();
+    let ys = (0..n)
+        .map(|i| enc(1.0 + (i as f64 * 0.53).cos().abs()))
+        .collect();
+    (xs, ys)
+}
+
+/// f64 reference for a dot product of storage-encoded vectors: exact
+/// products of the decoded values, summed in f64.
+fn dot_reference(fmt: FpFormat, xs: &[u64], ys: &[u64]) -> f64 {
+    xs.iter()
+        .zip(ys)
+        .map(|(&a, &b)| {
+            SoftFloat::from_bits(fmt, a).to_f64() * SoftFloat::from_bits(fmt, b).to_f64()
+        })
+        .sum()
+}
+
+/// The tentpole's numerical claim, measured end to end: a dot product
+/// that multiplies in f32 but accumulates in f64 tracks the
+/// high-precision reference across every depth, while the uniform-f32
+/// accumulator's error grows with depth — by the deepest probe the
+/// mixed policy is a decisive win.
+#[test]
+fn wide_accumulation_tightens_dot_error_across_depths() {
+    let fmt = FpFormat::SINGLE;
+    let mode = RoundMode::NearestEven;
+    let uniform = PrecisionPolicy::uniform(fmt);
+    let mixed = PrecisionPolicy::mixed(fmt, FpFormat::DOUBLE);
+    let (xs, ys) = probe_vectors(fmt, 4096);
+    let mut last_ratio = 0.0;
+    for depth in [64usize, 512, 4096] {
+        let base = dot_reference(fmt, &xs[..depth], &ys[..depth]);
+        let err_of = |p: PrecisionPolicy| {
+            let r = mixed_dot(p, mode, &xs[..depth], &ys[..depth], 5, 4);
+            let mut m = ErrorMeter::new(fmt, 1e-30);
+            m.record(r.bits, base);
+            m.stats().max_ulp
+        };
+        let u = err_of(uniform);
+        let w = err_of(mixed);
+        assert!(
+            w <= u,
+            "depth {depth}: wide accumulate ({w} ulp) must not lose to uniform ({u} ulp)"
+        );
+        last_ratio = u / w.max(0.5);
+    }
+    assert!(
+        last_ratio >= 4.0,
+        "at depth 4096 the f64 accumulator must win clearly (ratio {last_ratio})"
+    );
+}
+
+/// Ill-conditioned summation: a huge head absorbs a long tail of small
+/// addends and is then cancelled away, so only the tail survives. The
+/// f32 accumulator flushes the tail into the big value's ulp gap and
+/// blows a 0.1% relative-error budget; the f64 accumulator keeps every
+/// tail bit and passes the same budget.
+#[test]
+fn ill_conditioned_sum_needs_the_wide_accumulator() {
+    let fmt = FpFormat::SINGLE;
+    let mode = RoundMode::NearestEven;
+    let n = 1024;
+    let enc = |v: f64| SoftFloat::from_f64(fmt, v).bits();
+    let mut xs = vec![enc(1.0); n];
+    xs[0] = enc(1.0e8);
+    xs[n - 1] = enc(-1.0e8);
+    let ys = vec![enc(1.0); n];
+    let base = dot_reference(fmt, &xs, &ys); // = n - 2 exactly
+
+    let budget = ErrorBudget::MaxRelative(1e-3);
+    let stats_of = |p: PrecisionPolicy| {
+        let r = mixed_dot(p, mode, &xs, &ys, 5, 4);
+        let mut m = ErrorMeter::new(fmt, 1e-30);
+        m.record(r.bits, base);
+        m.stats()
+    };
+    let narrow = stats_of(PrecisionPolicy::uniform(fmt));
+    let wide = stats_of(PrecisionPolicy::mixed(fmt, FpFormat::DOUBLE));
+    assert!(
+        !budget.accepts(&narrow),
+        "f32 accumulation must blow the budget (rel err {})",
+        narrow.max_rel
+    );
+    assert!(
+        budget.accepts(&wide),
+        "f64 accumulation must pass the budget (rel err {})",
+        wide.max_rel
+    );
+}
+
+/// Mixed-precision matmul against the f64 reference: the f64-accumulate
+/// policy stays within a tight absolute bound and never loses to the
+/// uniform-f32 array on the same operands.
+#[test]
+fn mixed_matmul_tracks_the_f64_reference() {
+    let fmt = FpFormat::SINGLE;
+    let mode = RoundMode::NearestEven;
+    let n = 12;
+    let (a, b) = test_matrices(fmt, n);
+    let base = f64_matmul(&a, &b);
+
+    let (uniform_c, _) = mixed_matmul(PrecisionPolicy::uniform(fmt), mode, &a, &b);
+    let (mixed_c, _) = mixed_matmul(PrecisionPolicy::mixed(fmt, FpFormat::DOUBLE), mode, &a, &b);
+    let stats_of = |c: &Matrix| {
+        let mut m = ErrorMeter::new(fmt, 1e-30);
+        m.record_matrix(c, &base);
+        m.stats()
+    };
+    let u = stats_of(&uniform_c);
+    let w = stats_of(&mixed_c);
+    assert!(
+        w.max_abs <= u.max_abs,
+        "mixed {} vs uniform {}",
+        w.max_abs,
+        u.max_abs
+    );
+    // With exact f64 accumulation the only errors are the per-product
+    // f32 roundings and the final narrowing: ~n/2 + 1 half-ulps at the
+    // accumulation magnitude.
+    assert!(
+        w.max_abs <= (n as f64 / 2.0 + 1.0) * ulp_at(fmt, n as f64),
+        "mixed matmul abs error {} exceeds its rounding budget",
+        w.max_abs
+    );
+}
+
+/// Tightening the error budget provably changes the policy the
+/// auto-tuner selects: a budget the uniform-f32 policy meets buys the
+/// cheapest fabric, halving it below uniform's measured error forces a
+/// wider (more expensive) accumulator.
+#[test]
+fn tightening_the_budget_changes_the_served_policy() {
+    use fpfpga::serve::tuner::probe_stats;
+    let storage = FpFormat::SINGLE;
+    let tech = Tech::virtex2pro();
+    let cache = SweepCache::new();
+    let uniform_err =
+        probe_stats(PrecisionPolicy::uniform(storage), RoundMode::NearestEven).max_ulp;
+
+    let loose = fpfpga::serve::autotune(
+        storage,
+        &ErrorBudget::MaxUlp(uniform_err * 2.0),
+        &tech,
+        &cache,
+    )
+    .expect("loose budget is satisfiable");
+    let tight = fpfpga::serve::autotune(
+        storage,
+        &ErrorBudget::MaxUlp(uniform_err / 2.0),
+        &tech,
+        &cache,
+    )
+    .expect("a wider accumulator can halve uniform error");
+
+    assert_eq!(loose.policy, PrecisionPolicy::uniform(storage));
+    assert_ne!(
+        tight.policy, loose.policy,
+        "the tight budget must change the selection"
+    );
+    assert!(
+        tight.cost_slices > loose.cost_slices,
+        "accuracy is bought with area: {} vs {} slices",
+        tight.cost_slices,
+        loose.cost_slices
+    );
+    assert!(tight.stats.max_ulp <= uniform_err / 2.0);
+}
+
+/// The policy surface end to end through the serving API: a tenant book
+/// routes one tenant to f48, an auto-tuned submission resolves and
+/// runs, and the metrics account for both.
+#[test]
+fn serve_policies_resolve_per_tenant_and_per_budget() {
+    use fpfpga::serve::Kernel;
+    let fmt = FpFormat::SINGLE;
+    let enc = |v: f64| SoftFloat::from_f64(fmt, v).bits();
+    let book =
+        PolicyBook::default().with_tenant("science", PrecisionPolicy::mixed(fmt, FpFormat::DOUBLE));
+    let pool = ServePool::new(ServeConfig {
+        workers: 2,
+        policies: book,
+        ..ServeConfig::default()
+    });
+    let dot = |n: usize| Kernel::Dot {
+        mult_stages: 5,
+        add_stages: 4,
+        x: (0..n).map(|i| enc(1.0 + i as f64 * 0.125)).collect(),
+        y: (0..n).map(|i| enc(2.0 - i as f64 * 0.0625)).collect(),
+    };
+    let h1 = pool
+        .submit(JobSpec::of(dot(33)).for_tenant("science"))
+        .expect("tenant job accepted");
+    let h2 = pool
+        .submit(JobSpec::of(dot(33)).auto_policy(fmt, ErrorBudget::MaxUlp(1e9)))
+        .expect("auto job accepted");
+    assert!(matches!(
+        h1.wait(),
+        JobOutcome::Completed(JobResult::Dot { .. })
+    ));
+    assert!(matches!(
+        h2.wait(),
+        JobOutcome::Completed(JobResult::Dot { .. })
+    ));
+    match pool.submit(JobSpec::of(dot(9)).auto_policy(fmt, ErrorBudget::MaxRelative(0.0))) {
+        Err(SubmitError::Budget { detail }) => {
+            assert!(detail.contains("no policy"), "{detail}")
+        }
+        other => panic!("impossible budget must be refused, got {other:?}"),
+    }
+    let m = pool.join();
+    assert_eq!(m.completed, 2);
+    assert_eq!(m.mixed_jobs, 1, "the science tenant's job is mixed");
+    assert_eq!(m.auto_tuned, 1);
+    assert_eq!(m.failed, 1);
 }

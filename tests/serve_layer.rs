@@ -9,21 +9,23 @@ use fpfpga::prelude::*;
 use fpfpga::serve::job::EltOp;
 
 fn add_job(fmt: FpFormat, vals: &[(f64, f64)]) -> Job {
-    Job::Eltwise {
-        op: EltOp::Add,
+    Job::uniform(
+        Kernel::Eltwise {
+            op: EltOp::Add,
+            stages: 6,
+            pairs: vals
+                .iter()
+                .map(|&(a, b)| {
+                    (
+                        SoftFloat::from_f64(fmt, a).bits(),
+                        SoftFloat::from_f64(fmt, b).bits(),
+                    )
+                })
+                .collect(),
+        },
         fmt,
-        mode: RoundMode::NearestEven,
-        stages: 6,
-        pairs: vals
-            .iter()
-            .map(|&(a, b)| {
-                (
-                    SoftFloat::from_f64(fmt, a).bits(),
-                    SoftFloat::from_f64(fmt, b).bits(),
-                )
-            })
-            .collect(),
-    }
+        RoundMode::NearestEven,
+    )
 }
 
 /// The default synthetic trace replayed through pools of 1 and 4
@@ -51,7 +53,7 @@ fn default_trace_replay_is_bit_identical_to_serial() {
         });
         let handles: Vec<JobHandle> = specs
             .iter()
-            .map(|s| pool.submit(JobSpec::new(s.job.clone())).expect_accepted())
+            .map(|s| pool.submit(s.clone()).expect("trace job accepted"))
             .collect();
         let got: Vec<JobResult> = handles
             .into_iter()
@@ -88,13 +90,13 @@ fn backpressure_rejects_and_reports() {
     let accepted: Vec<JobHandle> = (0..3)
         .map(|i| {
             pool.submit(add_job(fmt, &[(i as f64, 1.0)]))
-                .expect_accepted()
+                .expect("accepted")
         })
         .collect();
     for _ in 0..2 {
         match pool.submit(add_job(fmt, &[(9.0, 9.0)])) {
-            Submit::Rejected { queue_depth } => assert_eq!(queue_depth, 3),
-            _ => panic!("full queue must reject"),
+            Err(SubmitError::Rejected { queue_depth }) => assert_eq!(queue_depth, 3),
+            other => panic!("full queue must reject, got {other:?}"),
         }
     }
     pool.resume();
@@ -119,13 +121,13 @@ fn overload_sheds_lowest_priority_first() {
     pool.pause();
     let low = pool
         .submit(JobSpec::new(add_job(fmt, &[(1.0, 1.0)])).with_priority(Priority::Low))
-        .expect_accepted();
+        .expect("accepted");
     let normal = pool
         .submit(JobSpec::new(add_job(fmt, &[(2.0, 2.0)])).with_priority(Priority::Normal))
-        .expect_accepted();
+        .expect("accepted");
     let high = pool
         .submit(JobSpec::new(add_job(fmt, &[(3.0, 3.0)])).with_priority(Priority::High))
-        .expect_accepted();
+        .expect("accepted");
     // The Low job went first; Normal survived a High arrival.
     assert_eq!(low.wait(), JobOutcome::Shed);
     pool.resume();
@@ -144,10 +146,10 @@ fn deadlines_time_out_and_are_counted() {
     pool.pause();
     let doomed = pool
         .submit(JobSpec::new(add_job(fmt, &[(1.0, 1.0)])).with_deadline(Duration::ZERO))
-        .expect_accepted();
+        .expect("accepted");
     let fine = pool
         .submit(JobSpec::new(add_job(fmt, &[(2.0, 2.0)])).with_deadline(Duration::from_secs(3600)))
-        .expect_accepted();
+        .expect("accepted");
     pool.resume();
     assert_eq!(doomed.wait(), JobOutcome::TimedOut);
     assert!(matches!(fine.wait(), JobOutcome::Completed(_)));
@@ -171,7 +173,7 @@ fn coalescing_raises_batch_occupancy() {
     let handles: Vec<JobHandle> = (0..8)
         .map(|i| {
             pool.submit(add_job(fmt, &[(i as f64, 0.5)]))
-                .expect_accepted()
+                .expect("accepted")
         })
         .collect();
     pool.resume();
@@ -201,17 +203,20 @@ fn coalescing_raises_batch_occupancy() {
 #[test]
 fn prelude_exposes_the_serving_surface() {
     let pool = ServePool::new(ServeConfig::default());
-    let job = Job::Sweep {
-        kind: CoreKind::Adder,
-        fmt: FpFormat::SINGLE,
-        opts: SynthesisOptions::SPEED,
-    };
-    let h1 = pool.submit(job.clone()).expect_accepted();
+    let job = Job::uniform(
+        Kernel::Sweep {
+            kind: CoreKind::Adder,
+            opts: SynthesisOptions::SPEED,
+        },
+        FpFormat::SINGLE,
+        RoundMode::NearestEven,
+    );
+    let h1 = pool.submit(job.clone()).expect("accepted");
     assert!(matches!(
         h1.wait(),
         JobOutcome::Completed(JobResult::Sweep { .. })
     ));
-    let h2 = pool.submit(job).expect_accepted();
+    let h2 = pool.submit(job).expect("accepted");
     assert!(matches!(
         h2.wait(),
         JobOutcome::Completed(JobResult::Sweep { .. })
