@@ -1,0 +1,230 @@
+//! Networked serving bench: the same trace `serve_throughput` replays
+//! in-process, pushed through a real loopback TCP socket via the
+//! `fpfpga-net` wire protocol. Before any timing, the wire replay is
+//! asserted bit-identical to the serial oracle (framing and transport
+//! may only add latency, never change a result bit), and a paced run
+//! at a sustainable arrival rate must hold the p99 latency SLO — the
+//! serving claim this PR ships. The timed section then measures
+//! pipelined wire throughput at 1 and 4 connections against the
+//! in-process pool as a framing-overhead baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fpfpga::prelude::*;
+use fpfpga::serve::run_serial;
+use fpfpga_net::{NetClient, NetConfig, NetServer, Response, StopHandle};
+use std::collections::VecDeque;
+use std::hint::black_box;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Generous bound for shared CI hosts; a healthy run on idle hardware
+/// sits well under a tenth of this.
+const SLO_P99: Duration = Duration::from_millis(250);
+const INFLIGHT: usize = 32;
+
+fn trace_specs() -> Vec<JobSpec> {
+    synth_trace(&TraceConfig {
+        seed: 40,
+        jobs: 96,
+        rate_hz: 1e6,
+        payload_scale: 4,
+    })
+    .into_iter()
+    .map(|ev| JobSpec {
+        priority: Priority::Normal,
+        deadline: None,
+        ..ev.spec
+    })
+    .collect()
+}
+
+fn spawn_server(workers: usize) -> (SocketAddr, StopHandle, std::thread::JoinHandle<()>) {
+    let config = NetConfig {
+        serve: ServeConfig {
+            workers,
+            queue_capacity: 4096,
+            tech: Tech::virtex2pro(),
+            ..ServeConfig::default()
+        },
+        ..NetConfig::default()
+    };
+    let server = NetServer::bind("127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    let stop = server.stop_handle();
+    let join = std::thread::spawn(move || {
+        server.run();
+    });
+    (addr, stop, join)
+}
+
+/// Pipelined replay of `specs` over `conns` connections; returns the
+/// results in submission order and the per-request latencies.
+fn wire_replay(
+    addr: SocketAddr,
+    specs: &[JobSpec],
+    conns: usize,
+) -> (Vec<JobResult>, Vec<Duration>) {
+    let shares: Vec<Vec<(usize, JobSpec)>> = (0..conns)
+        .map(|c| {
+            specs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % conns == c)
+                .map(|(i, s)| (i, s.clone()))
+                .collect()
+        })
+        .collect();
+    let joins: Vec<_> = shares
+        .into_iter()
+        .map(|share| {
+            std::thread::spawn(move || {
+                let mut client = NetClient::connect(addr).expect("connect");
+                let mut pending: VecDeque<(usize, u64, Instant)> = VecDeque::new();
+                let mut out = Vec::with_capacity(share.len());
+                let recv_one =
+                    |client: &mut NetClient, pending: &mut VecDeque<(usize, u64, Instant)>| {
+                        let (rid, resp) = client.recv().expect("recv");
+                        let (idx, want, sent) = pending.pop_front().expect("in flight");
+                        assert_eq!(rid, want, "responses must come back in order");
+                        match resp {
+                            Response::Completed(r) => (idx, r, sent.elapsed()),
+                            Response::Rejected(rej) => {
+                                panic!("bench job must complete, got reject {:?}", rej.code)
+                            }
+                        }
+                    };
+                for (idx, spec) in share {
+                    if pending.len() == INFLIGHT {
+                        out.push(recv_one(&mut client, &mut pending));
+                    }
+                    let rid = client.send(&spec).expect("send");
+                    pending.push_back((idx, rid, Instant::now()));
+                }
+                while !pending.is_empty() {
+                    out.push(recv_one(&mut client, &mut pending));
+                }
+                client.goodbye().ok();
+                out
+            })
+        })
+        .collect();
+    let mut tagged: Vec<(usize, JobResult, Duration)> = joins
+        .into_iter()
+        .flat_map(|j| j.join().expect("client thread"))
+        .collect();
+    tagged.sort_by_key(|(i, _, _)| *i);
+    let lats = tagged.iter().map(|(_, _, l)| *l).collect();
+    (tagged.into_iter().map(|(_, r, _)| r).collect(), lats)
+}
+
+/// Paced replay: send each request at its Poisson arrival time (rate
+/// chosen well under capacity) so the p99 measures service latency,
+/// not a saturated queue.
+fn paced_p99(addr: SocketAddr, events: &[(Duration, JobSpec)]) -> Duration {
+    let mut client = NetClient::connect(addr).expect("connect");
+    let mut pending: VecDeque<Instant> = VecDeque::new();
+    let mut lats: Vec<Duration> = Vec::with_capacity(events.len());
+    let start = Instant::now();
+    for (at, spec) in events {
+        while pending.len() == INFLIGHT {
+            client.recv().expect("recv");
+            lats.push(pending.pop_front().expect("in flight").elapsed());
+        }
+        let now = start.elapsed();
+        if *at > now {
+            std::thread::sleep(*at - now);
+        }
+        client.send(spec).expect("send");
+        pending.push_back(Instant::now());
+    }
+    while !pending.is_empty() {
+        client.recv().expect("recv");
+        lats.push(pending.pop_front().expect("in flight").elapsed());
+    }
+    client.goodbye().ok();
+    lats.sort();
+    lats[(lats.len() as f64 * 0.99) as usize - 1]
+}
+
+fn bench_serve_net(c: &mut Criterion) {
+    let specs = trace_specs();
+    let tech = Tech::virtex2pro();
+    let oracle = run_serial(&specs, &tech);
+    let (addr, stop, join) = spawn_server(4);
+
+    // Equivalence gate: wire framing and transport must be invisible
+    // in the results, at 1 and 4 connections.
+    for conns in [1usize, 4] {
+        let (got, _) = wire_replay(addr, &specs, conns);
+        assert_eq!(got, oracle, "{conns}-connection wire replay diverged");
+    }
+
+    // SLO gate: a paced light trace (own seed, modest payloads, rate
+    // far under capacity) must hold the p99 bound.
+    let paced: Vec<(Duration, JobSpec)> = synth_trace(&TraceConfig {
+        seed: 41,
+        jobs: 192,
+        rate_hz: 2_000.0,
+        payload_scale: 1,
+    })
+    .into_iter()
+    .map(|ev| {
+        (
+            ev.at,
+            JobSpec {
+                priority: Priority::Normal,
+                deadline: None,
+                ..ev.spec
+            },
+        )
+    })
+    .collect();
+    let p99 = paced_p99(addr, &paced);
+    println!("serve_net: paced p99 = {:?} (SLO {SLO_P99:?})", p99);
+    assert!(
+        p99 <= SLO_P99,
+        "paced p99 {p99:?} exceeds the {SLO_P99:?} SLO"
+    );
+
+    let mut g = c.benchmark_group("serve_net");
+    g.throughput(Throughput::Elements(specs.len() as u64));
+    g.sample_size(10);
+    for conns in [1usize, 4] {
+        g.bench_function(format!("wire_conns_{conns}"), |b| {
+            b.iter(|| black_box(wire_replay(addr, &specs, conns).0.len()))
+        });
+    }
+    // In-process baseline: what the same trace costs without framing.
+    g.bench_function("inprocess_4w", |b| {
+        b.iter_with_setup(
+            || {
+                ServePool::new(ServeConfig {
+                    workers: 4,
+                    queue_capacity: 4096,
+                    tech: tech.clone(),
+                    ..ServeConfig::default()
+                })
+            },
+            |pool| {
+                let handles: Vec<JobHandle> = specs
+                    .iter()
+                    .map(|s| pool.submit(s.clone()).expect("accepted"))
+                    .collect();
+                black_box(
+                    handles
+                        .into_iter()
+                        .map(JobHandle::wait)
+                        .filter(|o| matches!(o, JobOutcome::Completed(_)))
+                        .count(),
+                )
+            },
+        )
+    });
+    g.finish();
+
+    stop.stop();
+    join.join().expect("server thread");
+}
+
+criterion_group!(benches, bench_serve_net);
+criterion_main!(benches);

@@ -1,0 +1,547 @@
+//! `fpunet` — wire-protocol client and load generator for `fpunetd`.
+//!
+//! Replays the same synthetic traces `fpuserve` replays in-process,
+//! but over real TCP sockets: N connections, each pipelining up to
+//! `--inflight` requests, paced by one of three traffic shapes:
+//!
+//! - **poisson** — requests are sent at the trace's Poisson arrival
+//!   times (open loop up to the in-flight window, which bounds the
+//!   generator under server overload);
+//! - **bursty** — the same jobs in back-to-back bursts of `--burst`,
+//!   each burst fully drained before an idle gap sized to keep the
+//!   long-run average at `--rate`;
+//! - **adversarial** — poisson traffic plus a saboteur connection
+//!   injecting malformed frames (bad version, oversized length
+//!   prefix, undecodable request bodies) that must bounce off the
+//!   server as typed rejects without disturbing the real traffic.
+//!
+//! Latency is measured client-side per request (send → matching
+//! response) into the *same histogram type the pool uses*, and the
+//! `--json` report uses the same record shape as `fpuserve --json`
+//! (see README "Load-sweep JSON schema"), so in-process and networked
+//! artifacts are directly comparable. `--verify` additionally checks
+//! every completed result bit-for-bit against the serial in-process
+//! oracle. Deadlines are stripped from trace specs (a load harness
+//! wants completions); priorities and policies are kept.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fpfpga::prelude::*;
+use fpfpga::serve::Metrics;
+use fpfpga_bench::cli::{bad_flag, parse_num, EXIT_USAGE};
+use fpfpga_bench::json::run_record;
+use fpfpga_net::{ErrorCode, NetClient, NetError, Response};
+use serde_json::json;
+
+const HELP: &str = "fpunet — load generator / client for fpunetd
+
+Usage: fpunet [options]
+
+Target:
+  --addr <host:port>   server address (default 127.0.0.1:7070)
+
+Trace (same generator as fpuserve):
+  --seed <n>           trace RNG seed (default 7)
+  --jobs <n>           number of requests (default 256)
+  --rate <hz>          mean arrival rate in requests/s (default 20000)
+  --payload-scale <n>  multiplier on payload sizes (default 1)
+  --tenants <n>        tag requests round-robin as tenant-0..n-1
+                       (default 0: leave specs untagged)
+
+Delivery:
+  --conns <n>          parallel connections (default 1)
+  --inflight <n>       max pipelined requests per connection (default 32)
+  --traffic <shape>    poisson | bursty | adversarial (default poisson)
+  --burst <n>          burst size for bursty traffic (default 64)
+
+Checks & report:
+  --verify             compare completed results bit-for-bit against
+                       the in-process serial oracle (exit 1 on any
+                       divergence or non-completion)
+  --slo-p99-us <n>     exit 1 if client-observed p99 exceeds this
+  --shutdown           send the Shutdown frame after the run (drains
+                       the server; fpunetd exits cleanly)
+  --json               emit the report as JSON (fpuserve record shape)
+  --out <file>         also write the JSON report to a file
+  -h, --help           print this help and exit
+
+Exit codes: 0 ok, 1 runtime/SLO/verify failure, 2 usage";
+
+const VALUE_FLAGS: &[&str] = &[
+    "--addr",
+    "--seed",
+    "--jobs",
+    "--rate",
+    "--payload-scale",
+    "--tenants",
+    "--conns",
+    "--inflight",
+    "--traffic",
+    "--burst",
+    "--slo-p99-us",
+    "--out",
+];
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Traffic {
+    Poisson,
+    Bursty,
+    Adversarial,
+}
+
+/// One in-flight request: global trace index, wire id, send instant.
+struct Pending {
+    index: usize,
+    req_id: u64,
+    sent: Instant,
+}
+
+/// What one connection thread brings home.
+#[derive(Default)]
+struct ConnOutcome {
+    /// Completed results by global trace index (populated under
+    /// `--verify` only; 100k-request runs don't hoard payloads).
+    completed: Vec<(usize, JobResult)>,
+    /// Reject counts by error-code name.
+    rejects: BTreeMap<String, u64>,
+}
+
+/// Receive one response, account it, and (optionally) keep the result.
+fn recv_one(
+    client: &mut NetClient,
+    pending: &mut VecDeque<Pending>,
+    metrics: &Metrics,
+    outcome: &mut ConnOutcome,
+    keep_results: bool,
+) -> Result<(), String> {
+    let (rid, resp) = client.recv().map_err(|e| format!("recv: {e}"))?;
+    let p = pending
+        .pop_front()
+        .ok_or_else(|| format!("response {rid} with nothing in flight"))?;
+    if rid != p.req_id {
+        return Err(format!(
+            "out-of-order response: got {rid}, expected {}",
+            p.req_id
+        ));
+    }
+    match resp {
+        Response::Completed(result) => {
+            metrics.on_completed(p.sent.elapsed(), 1);
+            if keep_results {
+                outcome.completed.push((p.index, result));
+            }
+        }
+        Response::Rejected(rej) => {
+            match rej.code {
+                ErrorCode::TimedOut => metrics.on_timed_out(),
+                ErrorCode::Shed => metrics.on_shed(),
+                ErrorCode::Cancelled => metrics.on_cancelled(),
+                ErrorCode::Failed => metrics.on_failed(),
+                _ => metrics.on_rejected(),
+            }
+            *outcome
+                .rejects
+                .entry(format!("{:?}", rej.code))
+                .or_insert(0) += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Replay this connection's share of the trace. `events` is the
+/// (global index, arrival offset, spec) list assigned to it.
+#[allow(clippy::too_many_arguments)]
+fn conn_worker(
+    addr: String,
+    events: Vec<(usize, Duration, JobSpec)>,
+    start: Instant,
+    traffic: Traffic,
+    burst: usize,
+    rate_hz: f64,
+    inflight: usize,
+    metrics: Arc<Metrics>,
+    keep_results: bool,
+) -> Result<ConnOutcome, String> {
+    let mut client = NetClient::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut pending: VecDeque<Pending> = VecDeque::with_capacity(inflight);
+    let mut outcome = ConnOutcome::default();
+    let mut sent_in_burst = 0usize;
+    for (index, at, spec) in events {
+        match traffic {
+            Traffic::Poisson | Traffic::Adversarial => {
+                // Open-loop pacing against the shared trace clock; the
+                // in-flight window below bounds it under overload.
+                let now = start.elapsed();
+                if at > now {
+                    std::thread::sleep(at - now);
+                }
+            }
+            Traffic::Bursty => {
+                if sent_in_burst == burst {
+                    // Drain everything, then idle so the long-run
+                    // average rate still matches `--rate`.
+                    while !pending.is_empty() {
+                        recv_one(
+                            &mut client,
+                            &mut pending,
+                            &metrics,
+                            &mut outcome,
+                            keep_results,
+                        )?;
+                    }
+                    std::thread::sleep(Duration::from_secs_f64(burst as f64 / rate_hz));
+                    sent_in_burst = 0;
+                }
+                sent_in_burst += 1;
+            }
+        }
+        if pending.len() == inflight {
+            recv_one(
+                &mut client,
+                &mut pending,
+                &metrics,
+                &mut outcome,
+                keep_results,
+            )?;
+        }
+        metrics.on_submitted();
+        let req_id = client.send(&spec).map_err(|e| format!("send: {e}"))?;
+        pending.push_back(Pending {
+            index,
+            req_id,
+            sent: Instant::now(),
+        });
+    }
+    while !pending.is_empty() {
+        recv_one(
+            &mut client,
+            &mut pending,
+            &metrics,
+            &mut outcome,
+            keep_results,
+        )?;
+    }
+    client.goodbye().ok();
+    Ok(outcome)
+}
+
+/// The adversarial side channel: rounds of malformed bytes that must
+/// come back as typed rejects (or clean closes), never wedge the
+/// server. Returns the number of rounds that got an answer.
+fn saboteur(addr: String, rounds: usize, done: Arc<AtomicU64>) {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    for round in 0..rounds {
+        let Ok(mut raw) = TcpStream::connect(&addr) else {
+            return;
+        };
+        raw.set_read_timeout(Some(Duration::from_secs(10))).ok();
+        let garbage: Vec<u8> = match round % 3 {
+            0 => {
+                // Unsupported version byte in an otherwise fine frame.
+                let mut v = Vec::new();
+                v.extend_from_slice(&10u32.to_le_bytes());
+                v.push(0xEE); // version
+                v.push(1); // kind: request
+                v.extend_from_slice(&round.to_le_bytes());
+                v
+            }
+            1 => {
+                // Length prefix over MAX_FRAME_LEN: refused before
+                // allocation.
+                let mut v = Vec::new();
+                v.extend_from_slice(&u32::MAX.to_le_bytes());
+                v.extend_from_slice(&[0u8; 10]);
+                v
+            }
+            _ => {
+                // Well-framed request whose body does not decode: a
+                // per-request Malformed reject, connection survives.
+                let mut v = Vec::new();
+                v.extend_from_slice(&14u32.to_le_bytes());
+                v.push(fpfpga_net::WIRE_VERSION);
+                v.push(1); // kind: request
+                v.extend_from_slice(&round.to_le_bytes());
+                v.extend_from_slice(&[0xFF; 4]); // bogus kernel tag
+                v
+            }
+        };
+        if raw.write_all(&garbage).is_err() {
+            continue;
+        }
+        let mut buf = [0u8; 512];
+        if matches!(raw.read(&mut buf), Ok(n) if n > 0) {
+            done.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{HELP}");
+        return;
+    }
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a == "--verify" || a == "--shutdown" || a == "--json" {
+            i += 1;
+        } else if VALUE_FLAGS.contains(&a) {
+            match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => i += 2,
+                _ => {
+                    eprintln!("error: {a} requires a value");
+                    std::process::exit(EXIT_USAGE);
+                }
+            }
+        } else {
+            eprintln!(
+                "error: unrecognized argument '{a}' (flags: {} , --verify --shutdown --json -h)",
+                VALUE_FLAGS.join(" ")
+            );
+            std::process::exit(EXIT_USAGE);
+        }
+    }
+    let get = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let addr = get("--addr").unwrap_or_else(|| "127.0.0.1:7070".to_string());
+    let seed: u64 = get("--seed").map_or(7, |v| parse_num("--seed", &v, "a u64 seed"));
+    let jobs: usize = get("--jobs").map_or(256, |v| parse_num("--jobs", &v, "a job count"));
+    let rate_hz: f64 = get("--rate").map_or(20_000.0, |v| {
+        parse_num("--rate", &v, "an arrival rate in requests/s")
+    });
+    let payload_scale: usize = get("--payload-scale").map_or(1, |v| {
+        parse_num("--payload-scale", &v, "a payload size multiplier ≥ 1")
+    });
+    let tenants: usize =
+        get("--tenants").map_or(0, |v| parse_num("--tenants", &v, "a tenant count"));
+    let conns: usize = get("--conns").map_or(1, |v| {
+        parse_num::<usize>("--conns", &v, "a connection count").max(1)
+    });
+    let inflight: usize = get("--inflight").map_or(32, |v| {
+        parse_num::<usize>("--inflight", &v, "a pipelining window ≥ 1").max(1)
+    });
+    let burst: usize = get("--burst").map_or(64, |v| {
+        parse_num::<usize>("--burst", &v, "a burst size ≥ 1").max(1)
+    });
+    let traffic = match get("--traffic").as_deref().unwrap_or("poisson") {
+        "poisson" => Traffic::Poisson,
+        "bursty" => Traffic::Bursty,
+        "adversarial" => Traffic::Adversarial,
+        other => bad_flag("--traffic", other, "poisson, bursty or adversarial"),
+    };
+    let verify = args.iter().any(|a| a == "--verify");
+    let slo_p99_us: Option<u64> =
+        get("--slo-p99-us").map(|v| parse_num("--slo-p99-us", &v, "a latency bound in µs"));
+    let shutdown = args.iter().any(|a| a == "--shutdown");
+    let as_json = args.iter().any(|a| a == "--json");
+    let out = get("--out");
+
+    // Build the trace; strip deadlines (the harness wants completions)
+    // and apply the tenant round-robin.
+    let cfg = TraceConfig {
+        seed,
+        jobs,
+        rate_hz,
+        payload_scale,
+    };
+    let events: Vec<(usize, Duration, JobSpec)> = synth_trace(&cfg)
+        .into_iter()
+        .enumerate()
+        .map(|(i, ev)| {
+            let mut spec = ev.spec;
+            spec.deadline = None;
+            if tenants > 0 {
+                spec.tenant = Some(format!("tenant-{}", i % tenants));
+            }
+            (i, ev.at, spec)
+        })
+        .collect();
+    let oracle: Vec<JobResult> = if verify {
+        let specs: Vec<JobSpec> = events.iter().map(|(_, _, s)| s.clone()).collect();
+        run_serial(&specs, &Tech::virtex2pro())
+    } else {
+        Vec::new()
+    };
+
+    // Round-robin the trace across connections, preserving global
+    // arrival offsets so poisson pacing stays faithful.
+    let mut shares: Vec<Vec<(usize, Duration, JobSpec)>> = (0..conns).map(|_| Vec::new()).collect();
+    for (i, ev) in events.into_iter().enumerate() {
+        shares[i % conns].push(ev);
+    }
+
+    let metrics = Arc::new(Metrics::new());
+    let saboteur_rounds = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let sab_handle = (traffic == Traffic::Adversarial).then(|| {
+        let addr = addr.clone();
+        let done = saboteur_rounds.clone();
+        let rounds = (jobs / 50).clamp(3, 60);
+        std::thread::spawn(move || saboteur(addr, rounds, done))
+    });
+    let handles: Vec<_> = shares
+        .into_iter()
+        .map(|share| {
+            let addr = addr.clone();
+            let metrics = metrics.clone();
+            std::thread::spawn(move || {
+                conn_worker(
+                    addr, share, start, traffic, burst, rate_hz, inflight, metrics, verify,
+                )
+            })
+        })
+        .collect();
+    let mut outcomes = Vec::new();
+    let mut failures = Vec::new();
+    for h in handles {
+        match h.join().expect("connection thread") {
+            Ok(o) => outcomes.push(o),
+            Err(e) => failures.push(e),
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    if let Some(h) = sab_handle {
+        h.join().expect("saboteur thread");
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("error: {f}");
+        }
+        std::process::exit(1);
+    }
+
+    if verify {
+        let mut completed: Vec<(usize, JobResult)> = outcomes
+            .iter()
+            .flat_map(|o| o.completed.iter().cloned())
+            .collect();
+        completed.sort_by_key(|(i, _)| *i);
+        if completed.len() != jobs {
+            eprintln!(
+                "error: --verify requires every job to complete ({} of {jobs} did; \
+                 run without quotas/shedding)",
+                completed.len()
+            );
+            std::process::exit(1);
+        }
+        for (i, got) in &completed {
+            assert_eq!(
+                got, &oracle[*i],
+                "job {i} diverged from the serial oracle over the wire"
+            );
+        }
+    }
+
+    let mut rejects: BTreeMap<String, u64> = BTreeMap::new();
+    for o in &outcomes {
+        for (code, n) in &o.rejects {
+            *rejects.entry(code.clone()).or_insert(0) += n;
+        }
+    }
+    let snap = metrics.snapshot();
+
+    if shutdown {
+        match NetClient::connect(&addr) {
+            Ok(c) => {
+                if let Err(e) = c.shutdown_server() {
+                    // A racing drain (server already stopping) closes
+                    // the socket; that's a clean outcome too.
+                    if !matches!(e, NetError::ServerClosed) {
+                        eprintln!("warning: shutdown handshake: {e}");
+                    }
+                }
+            }
+            Err(e) => eprintln!("warning: shutdown connect: {e}"),
+        }
+    }
+
+    let doc = json!({
+        "tool": "fpunet",
+        "addr": addr,
+        "trace": json!({ "seed": seed, "jobs": jobs, "rate_hz": rate_hz }),
+        "traffic": match traffic {
+            Traffic::Poisson => "poisson",
+            Traffic::Bursty => "bursty",
+            Traffic::Adversarial => "adversarial",
+        },
+        "conns": conns,
+        "inflight": inflight,
+        "equivalence": if verify {
+            json!("bit-identical to serial oracle")
+        } else {
+            json!(null)
+        },
+        "rejects_by_code": rejects,
+        "saboteur_rounds": saboteur_rounds.load(Ordering::Relaxed),
+        "runs": [run_record(None, wall_s, jobs, &snap)],
+    });
+    if let Some(path) = &out {
+        std::fs::write(
+            path,
+            format!("{}\n", serde_json::to_string_pretty(&doc).unwrap()),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+    }
+    if as_json {
+        println!("{}", serde_json::to_string_pretty(&doc).expect("serialize"));
+    } else {
+        let q = |p: f64| {
+            snap.latency_quantile_us(p)
+                .map_or("-".to_string(), |us| format!("{us} µs"))
+        };
+        println!("fpunet — networked trace replay against {addr}");
+        println!(
+            "trace: seed={seed} jobs={jobs} rate={rate_hz:.0} Hz, {conns} conn(s) × {inflight} in flight"
+        );
+        println!(
+            "  {} completed, {} rejected ({} kinds), {} timed out, {} shed in {:.2} ms → {:.0} jobs/s",
+            snap.completed,
+            snap.rejected,
+            rejects.len(),
+            snap.timed_out,
+            snap.shed,
+            wall_s * 1e3,
+            jobs as f64 / wall_s,
+        );
+        println!(
+            "  client-observed latency: p50 ≤ {}, p90 ≤ {}, p99 ≤ {}",
+            q(0.50),
+            q(0.90),
+            q(0.99)
+        );
+        if verify {
+            println!("  equivalence: every completed result bit-identical to the serial oracle");
+        }
+        if traffic == Traffic::Adversarial {
+            println!(
+                "  saboteur: {} malformed rounds answered, server undisturbed",
+                saboteur_rounds.load(Ordering::Relaxed)
+            );
+        }
+    }
+
+    if let Some(bound) = slo_p99_us {
+        match snap.latency_quantile_us(0.99) {
+            Some(p99) if p99 <= bound => {}
+            Some(p99) => {
+                eprintln!("error: p99 {p99} µs exceeds SLO {bound} µs");
+                std::process::exit(1);
+            }
+            None => {
+                eprintln!("error: no completed requests to hold the SLO against");
+                std::process::exit(1);
+            }
+        }
+    }
+}

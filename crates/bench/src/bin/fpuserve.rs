@@ -32,7 +32,7 @@ use fpfpga_bench::cli::{
     bad_flag, die_submit, parse_budget, parse_format, parse_num, parse_policy, EXIT_BUDGET,
     EXIT_USAGE,
 };
-use fpfpga_bench::json::metrics_json;
+use fpfpga_bench::json::{metrics_json, run_record};
 use serde_json::json;
 
 const HELP: &str = "fpuserve — trace-replay driver for the fpfpga serving layer
@@ -363,14 +363,7 @@ fn main() {
     if as_json {
         let runs: Vec<serde_json::Value> = replays
             .iter()
-            .map(|(w, r)| {
-                json!({
-                    "workers": *w,
-                    "wall_s": r.wall_s,
-                    "jobs_per_s": specs.len() as f64 / r.wall_s,
-                    "metrics": metrics_json(&r.metrics),
-                })
-            })
+            .map(|(w, r)| run_record(Some(*w), r.wall_s, specs.len(), &r.metrics))
             .collect();
         let doc = json!({
             "tool": "fpuserve",

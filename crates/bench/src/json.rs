@@ -157,6 +157,25 @@ pub fn metrics_json(m: &MetricsSnapshot) -> Value {
     })
 }
 
+/// One load-sweep run record — the shared shape `fpuserve`
+/// (in-process) and `fpunet` (networked) both emit, so load-sweep
+/// artifacts are directly comparable across the two harnesses.
+///
+/// Keys: `workers` (`null` when the measuring side cannot see the pool
+/// — a network client observes the server as a black box), `wall_s`,
+/// `jobs_per_s`, and `metrics` (the [`metrics_json`] object; on the
+/// client side the counters cover what the client observed: submitted/
+/// completed/rejected and the latency histogram, with queue/cache
+/// gauges at zero).
+pub fn run_record(workers: Option<usize>, wall_s: f64, jobs: usize, m: &MetricsSnapshot) -> Value {
+    json!({
+        "workers": workers,
+        "wall_s": wall_s,
+        "jobs_per_s": jobs as f64 / wall_s,
+        "metrics": metrics_json(m),
+    })
+}
+
 /// Every artifact as one JSON document.
 pub fn all_json() -> Value {
     let t3 = repro::table3();

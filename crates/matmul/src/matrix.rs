@@ -32,6 +32,19 @@ impl Matrix {
         m
     }
 
+    /// Build from raw bit patterns already encoded in `fmt`,
+    /// row-major. The lossless constructor wire decoders need: no
+    /// `f64` round-trip, every payload bit preserved.
+    pub fn from_bits(fmt: FpFormat, rows: usize, cols: usize, data: Vec<u64>) -> Matrix {
+        assert_eq!(data.len(), rows * cols, "entry count mismatch");
+        Matrix {
+            fmt,
+            rows,
+            cols,
+            data,
+        }
+    }
+
     /// Build from `f64` entries (rounded to nearest into `fmt`).
     pub fn from_f64(fmt: FpFormat, rows: usize, cols: usize, entries: &[f64]) -> Matrix {
         assert_eq!(entries.len(), rows * cols, "entry count mismatch");

@@ -1,0 +1,243 @@
+//! Adaptive coalescing: drive the pool's live batching window from
+//! the batch-occupancy metric.
+//!
+//! A fixed `coalesce_window` is wrong at both ends of the load curve.
+//! Under light load the queue rarely holds coalescible neighbours, so
+//! a large window only adds scan cost; under heavy load a small window
+//! leaves batching (and therefore throughput) on the table. The tuner
+//! samples the pool's [`MetricsSnapshot`] at a fixed cadence, computes
+//! the *occupancy of recent batches* (batched jobs per batch over the
+//! sampling interval, relative to the current window) plus the live
+//! queue depth, and nudges [`ServePool::set_coalesce_window`]:
+//!
+//! - batches nearly full (occupancy ≥ 75 % of the window) and work
+//!   queued → grow the window (×2, capped), there is more to fold;
+//! - batches nearly empty (occupancy < 25 % of the window) → shrink
+//!   (halve, floored), the scan isn't paying for itself;
+//! - otherwise hold.
+//!
+//! The decision logic is the pure function [`next_window`] (unit
+//! tested, no clock, no threads); [`AdaptiveTuner`] is the thin
+//! sampling loop around it. Window changes are *bit-invisible* to
+//! results by the pool's coalescing property, so the tuner needs no
+//! coordination with submitters.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use fpfpga_serve::{MetricsSnapshot, ServePool};
+
+/// Bounds and thresholds for [`next_window`].
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveConfig {
+    /// Smallest window the tuner will set.
+    pub min_window: usize,
+    /// Largest window the tuner will set.
+    pub max_window: usize,
+    /// Grow when occupancy/window exceeds this (0..1).
+    pub grow_at: f64,
+    /// Shrink when occupancy/window falls below this (0..1).
+    pub shrink_at: f64,
+    /// Sampling cadence of the tuner thread.
+    pub interval: Duration,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> AdaptiveConfig {
+        AdaptiveConfig {
+            min_window: 2,
+            max_window: 256,
+            grow_at: 0.75,
+            shrink_at: 0.25,
+            interval: Duration::from_millis(20),
+        }
+    }
+}
+
+/// One sampling interval's worth of pool activity, as deltas between
+/// two metric snapshots.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IntervalSample {
+    /// Coalesced batches executed this interval.
+    pub batches: u64,
+    /// Jobs served by those batches.
+    pub batched_jobs: u64,
+    /// Queue depth at the end of the interval (gauge).
+    pub queue_depth: u64,
+}
+
+impl IntervalSample {
+    /// The delta between two snapshots (counters are monotonic).
+    pub fn between(prev: &MetricsSnapshot, cur: &MetricsSnapshot) -> IntervalSample {
+        IntervalSample {
+            batches: cur.batches.saturating_sub(prev.batches),
+            batched_jobs: cur.batched_jobs.saturating_sub(prev.batched_jobs),
+            queue_depth: cur.queue_depth,
+        }
+    }
+}
+
+/// The pure window-update rule. Given the current window and one
+/// interval's sample, return the window for the next interval.
+pub fn next_window(current: usize, sample: IntervalSample, cfg: &AdaptiveConfig) -> usize {
+    let current = current.clamp(cfg.min_window, cfg.max_window);
+    if sample.batches == 0 {
+        // No coalesced batches ran: with a deep queue the window is
+        // not the bottleneck, hold; with an idle pool shrink toward
+        // the floor so the next scan is cheap.
+        return if sample.queue_depth > 0 {
+            current
+        } else {
+            (current / 2).max(cfg.min_window)
+        };
+    }
+    let occupancy = sample.batched_jobs as f64 / sample.batches as f64;
+    let fill = occupancy / current as f64;
+    if fill >= cfg.grow_at && sample.queue_depth > 0 {
+        (current * 2).min(cfg.max_window)
+    } else if fill < cfg.shrink_at {
+        (current / 2).max(cfg.min_window)
+    } else {
+        current
+    }
+}
+
+/// A background thread adjusting one pool's window until stopped.
+pub struct AdaptiveTuner {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl AdaptiveTuner {
+    /// Start tuning `pool` (shared by `Arc`) under `cfg`.
+    pub fn start(pool: Arc<ServePool>, cfg: AdaptiveConfig) -> AdaptiveTuner {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let thread = std::thread::Builder::new()
+            .name("fpunet-tuner".into())
+            .spawn(move || {
+                let mut prev = pool.metrics();
+                while !stop2.load(Ordering::Relaxed) {
+                    std::thread::sleep(cfg.interval);
+                    let cur = pool.metrics();
+                    let sample = IntervalSample::between(&prev, &cur);
+                    let window = next_window(pool.coalesce_window(), sample, &cfg);
+                    pool.set_coalesce_window(window);
+                    prev = cur;
+                }
+            })
+            .expect("spawn tuner thread");
+        AdaptiveTuner {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Stop the tuner and wait for its thread.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for AdaptiveTuner {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CFG: AdaptiveConfig = AdaptiveConfig {
+        min_window: 2,
+        max_window: 64,
+        grow_at: 0.75,
+        shrink_at: 0.25,
+        interval: Duration::from_millis(20),
+    };
+
+    #[test]
+    fn full_batches_with_backlog_grow() {
+        let s = IntervalSample {
+            batches: 10,
+            batched_jobs: 80, // occupancy 8 per batch
+            queue_depth: 50,
+        };
+        assert_eq!(next_window(8, s, &CFG), 16);
+    }
+
+    #[test]
+    fn full_batches_without_backlog_hold() {
+        let s = IntervalSample {
+            batches: 10,
+            batched_jobs: 80,
+            queue_depth: 0,
+        };
+        assert_eq!(next_window(8, s, &CFG), 8);
+    }
+
+    #[test]
+    fn sparse_batches_shrink() {
+        let s = IntervalSample {
+            batches: 10,
+            batched_jobs: 11, // barely above 1 job per batch
+            queue_depth: 3,
+        };
+        assert_eq!(next_window(16, s, &CFG), 8);
+    }
+
+    #[test]
+    fn idle_pool_decays_to_floor() {
+        let mut w = 64;
+        let idle = IntervalSample::default();
+        for _ in 0..10 {
+            w = next_window(w, idle, &CFG);
+        }
+        assert_eq!(w, CFG.min_window);
+    }
+
+    #[test]
+    fn window_respects_bounds() {
+        let busy = IntervalSample {
+            batches: 1,
+            batched_jobs: 64,
+            queue_depth: 1000,
+        };
+        assert_eq!(next_window(64, busy, &CFG), 64, "capped at max");
+        let sparse = IntervalSample {
+            batches: 100,
+            batched_jobs: 100,
+            queue_depth: 0,
+        };
+        assert_eq!(next_window(2, sparse, &CFG), 2, "floored at min");
+    }
+
+    #[test]
+    fn tuner_thread_adjusts_a_live_pool() {
+        use fpfpga_serve::ServeConfig;
+        let pool = Arc::new(ServePool::new(ServeConfig::with_workers(1)));
+        let tuner = AdaptiveTuner::start(
+            pool.clone(),
+            AdaptiveConfig {
+                interval: Duration::from_millis(1),
+                ..AdaptiveConfig::default()
+            },
+        );
+        // Idle pool: the tuner must decay the window to the floor.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while pool.coalesce_window() > 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        tuner.stop();
+        assert_eq!(pool.coalesce_window(), 2);
+    }
+}

@@ -1,0 +1,167 @@
+//! A blocking, pipelining-friendly client for the wire protocol.
+//!
+//! [`NetClient`] numbers its requests and lets the caller keep any
+//! number in flight ([`NetClient::send`] / [`NetClient::recv`]); the
+//! server answers each connection in submission order, so `recv`
+//! returns ids in the order `send` issued them. [`NetClient::call`] is
+//! the one-shot convenience wrapper.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use fpfpga_serve::{JobResult, JobSpec};
+
+use crate::wire::{
+    control_frame, decode_reject, decode_result, encode_spec, read_frame, write_frame, Frame,
+    FrameError, FrameKind, Reject, WireError,
+};
+
+/// How one request ended, from the client's point of view.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// The job ran; the result is bit-identical to a local run.
+    Completed(JobResult),
+    /// The server refused or could not finish the request.
+    Rejected(Reject),
+}
+
+/// Client-side failures (transport or protocol, never job-level — job
+/// refusals are [`Response::Rejected`] data, not errors).
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The peer sent bytes that don't parse.
+    Wire(WireError),
+    /// The server said goodbye (drain) while we waited for a response.
+    ServerClosed,
+    /// The server sent a frame kind that makes no sense here.
+    Unexpected(FrameKind),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io error: {e}"),
+            NetError::Wire(e) => write!(f, "wire error: {e}"),
+            NetError::ServerClosed => write!(f, "server closed the connection"),
+            NetError::Unexpected(k) => write!(f, "unexpected frame kind {k:?}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> NetError {
+        NetError::Io(e)
+    }
+}
+
+impl From<FrameError> for NetError {
+    fn from(e: FrameError) -> NetError {
+        match e {
+            FrameError::Eof => NetError::ServerClosed,
+            FrameError::Io(e) => NetError::Io(e),
+            FrameError::Wire(w) => NetError::Wire(w),
+        }
+    }
+}
+
+/// One connection to an `fpunetd` server.
+pub struct NetClient {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl NetClient {
+    /// Connect (TCP_NODELAY on — frames are small and latency counts).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(NetClient { stream, next_id: 1 })
+    }
+
+    /// Send one request without waiting; returns its request id.
+    /// Responses arrive in send order on this connection.
+    pub fn send(&mut self, spec: &JobSpec) -> Result<u64, NetError> {
+        let req_id = self.next_id;
+        self.next_id += 1;
+        let frame = Frame {
+            kind: FrameKind::Request,
+            req_id,
+            body: encode_spec(spec),
+        };
+        write_frame(&mut self.stream, &frame)?;
+        Ok(req_id)
+    }
+
+    /// Block for the next response or reject.
+    pub fn recv(&mut self) -> Result<(u64, Response), NetError> {
+        loop {
+            let frame = read_frame(&mut self.stream)?;
+            match frame.kind {
+                FrameKind::Response => {
+                    let result = decode_result(&frame.body).map_err(NetError::Wire)?;
+                    return Ok((frame.req_id, Response::Completed(result)));
+                }
+                FrameKind::Reject => {
+                    let reject = decode_reject(&frame.body).map_err(NetError::Wire)?;
+                    return Ok((frame.req_id, Response::Rejected(reject)));
+                }
+                FrameKind::Goodbye => return Err(NetError::ServerClosed),
+                FrameKind::Pong => continue, // stray keepalive answer
+                other => return Err(NetError::Unexpected(other)),
+            }
+        }
+    }
+
+    /// Send one request and wait for its answer.
+    pub fn call(&mut self, spec: &JobSpec) -> Result<Response, NetError> {
+        let id = self.send(spec)?;
+        let (got, resp) = self.recv()?;
+        if got != id {
+            return Err(NetError::Unexpected(FrameKind::Response));
+        }
+        Ok(resp)
+    }
+
+    /// Liveness probe; returns the round-trip time.
+    pub fn ping(&mut self) -> Result<Duration, NetError> {
+        let req_id = self.next_id;
+        self.next_id += 1;
+        let start = Instant::now();
+        write_frame(&mut self.stream, &control_frame(FrameKind::Ping, req_id))?;
+        loop {
+            let frame = read_frame(&mut self.stream)?;
+            match frame.kind {
+                FrameKind::Pong if frame.req_id == req_id => return Ok(start.elapsed()),
+                FrameKind::Pong => continue,
+                FrameKind::Goodbye => return Err(NetError::ServerClosed),
+                other => return Err(NetError::Unexpected(other)),
+            }
+        }
+    }
+
+    /// Ask the server to drain and exit; waits for its goodbye. Any
+    /// responses still owed to this connection arrive first (the
+    /// server flushes in order).
+    pub fn shutdown_server(mut self) -> Result<(), NetError> {
+        write_frame(&mut self.stream, &control_frame(FrameKind::Shutdown, 0))?;
+        loop {
+            match read_frame(&mut self.stream) {
+                Ok(f) if f.kind == FrameKind::Goodbye => return Ok(()),
+                Ok(_) => continue, // late responses before the goodbye
+                Err(FrameError::Eof) => return Ok(()),
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Close this connection politely.
+    pub fn goodbye(mut self) -> Result<(), NetError> {
+        write_frame(&mut self.stream, &control_frame(FrameKind::Goodbye, 0))?;
+        Ok(())
+    }
+}

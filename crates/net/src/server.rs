@@ -1,0 +1,534 @@
+//! The TCP front-end: accept loop, per-connection reader/writer
+//! threads, quota admission, connection limits, timeouts and
+//! drain-on-shutdown.
+//!
+//! ## Threading model
+//!
+//! One listener thread (the caller of [`NetServer::run`]) accepts in a
+//! nonblocking loop so it can poll the stop flag. Each connection gets
+//! a *reader* thread (decodes frames, admits against quotas, submits
+//! to the pool) and a *writer* thread (serializes replies). The two
+//! are joined by an in-order channel: the reader enqueues either an
+//! immediate frame (rejects, pongs) or a pending [`JobHandle`]; the
+//! writer resolves handles in FIFO order, so every connection sees its
+//! responses in submission order even though the pool executes out of
+//! order. Backpressure is end-to-end — a slow reader of results slows
+//! its own submissions, nobody else's.
+//!
+//! ## Shutdown
+//!
+//! A [`FrameKind::Shutdown`] admin frame (or [`NetServer::stop_handle`])
+//! sets one flag. The accept loop stops taking connections; every
+//! reader notices at its next read-timeout tick, flushes pending
+//! responses, says [`FrameKind::Goodbye`] and exits; the pool then
+//! drains ([`ServePool::shutdown`] + join) so every accepted job is
+//! answered before the process exits. Nothing is dropped silently —
+//! the same invariant the pool itself maintains.
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use fpfpga_serve::{JobHandle, JobOutcome, MetricsSnapshot, ServeConfig, ServePool, SubmitError};
+
+use crate::adaptive::{AdaptiveConfig, AdaptiveTuner};
+use crate::quota::{QuotaBook, QuotaConfig, TenantUsage};
+use crate::wire::{
+    control_frame, decode_spec, encode_reject, encode_result, read_frame, write_frame, ErrorCode,
+    Frame, FrameError, FrameKind, Reject, WireError,
+};
+
+/// How often blocked readers wake to poll the stop flag.
+const POLL_TICK: Duration = Duration::from_millis(25);
+
+/// Retry hint sent with a connection-limit reject.
+const CONN_RETRY_AFTER: Duration = Duration::from_millis(25);
+
+/// Retry hint sent with a queue-full reject.
+const QUEUE_RETRY_AFTER: Duration = Duration::from_millis(1);
+
+/// Everything the front-end needs to serve.
+#[derive(Clone)]
+pub struct NetConfig {
+    /// The pool configuration (workers, queues, policies, tech).
+    pub serve: ServeConfig,
+    /// Per-tenant rate limits.
+    pub quotas: QuotaConfig,
+    /// Maximum simultaneous connections; the next one is refused with
+    /// [`ErrorCode::ConnLimit`] and a retry-after hint.
+    pub max_connections: usize,
+    /// Close a connection that sends no frame for this long.
+    pub idle_timeout: Duration,
+    /// Adaptive coalescing (None = leave the pool's window fixed).
+    pub adaptive: Option<AdaptiveConfig>,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            serve: ServeConfig::default(),
+            quotas: QuotaConfig::unlimited(),
+            max_connections: 64,
+            idle_timeout: Duration::from_secs(30),
+            adaptive: None,
+        }
+    }
+}
+
+/// Lock-free transport counters (the pool keeps its own job metrics).
+#[derive(Default)]
+struct NetStats {
+    accepted: AtomicU64,
+    refused_conns: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    requests: AtomicU64,
+    responses: AtomicU64,
+    rejects: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+/// A point-in-time copy of the transport counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStatsSnapshot {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections refused at the limit.
+    pub refused_conns: u64,
+    /// Frames read.
+    pub frames_in: u64,
+    /// Frames written.
+    pub frames_out: u64,
+    /// Request frames seen.
+    pub requests: u64,
+    /// Response frames sent (completed jobs).
+    pub responses: u64,
+    /// Reject frames sent.
+    pub rejects: u64,
+    /// Frames that failed to parse (stream then closed).
+    pub protocol_errors: u64,
+}
+
+impl NetStats {
+    fn snapshot(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            refused_conns: self.refused_conns.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            responses: self.responses.load(Ordering::Relaxed),
+            rejects: self.rejects.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// What [`NetServer::run`] returns after a clean drain.
+#[derive(Clone, Debug)]
+pub struct ServerReport {
+    /// Transport counters.
+    pub net: NetStatsSnapshot,
+    /// Final pool metrics (completions, latency histogram, …).
+    pub pool: MetricsSnapshot,
+    /// Per-tenant admitted/refused meters, sorted by tenant.
+    pub tenants: Vec<(String, TenantUsage)>,
+}
+
+/// Asks a running server to drain and exit (clonable, thread-safe).
+#[derive(Clone)]
+pub struct StopHandle {
+    stop: Arc<AtomicBool>,
+}
+
+impl StopHandle {
+    /// Trigger the drain. Idempotent.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct NetServer {
+    listener: TcpListener,
+    config: NetConfig,
+    stop: Arc<AtomicBool>,
+}
+
+impl NetServer {
+    /// Bind `addr` (use port 0 for an ephemeral port, then read
+    /// [`NetServer::local_addr`]).
+    pub fn bind(addr: impl ToSocketAddrs, config: NetConfig) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(NetServer {
+            listener,
+            config,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that asks the accept loop to drain and exit.
+    pub fn stop_handle(&self) -> StopHandle {
+        StopHandle {
+            stop: self.stop.clone(),
+        }
+    }
+
+    /// Serve until stopped (by a [`FrameKind::Shutdown`] frame or the
+    /// [`StopHandle`]), then drain the pool and report.
+    pub fn run(self) -> ServerReport {
+        let NetServer {
+            listener,
+            config,
+            stop,
+        } = self;
+        let pool = Arc::new(ServePool::new(config.serve.clone()));
+        let quotas = Arc::new(QuotaBook::new(config.quotas.clone()));
+        let stats = Arc::new(NetStats::default());
+        let active = Arc::new(AtomicUsize::new(0));
+        let tuner = config
+            .adaptive
+            .map(|cfg| AdaptiveTuner::start(pool.clone(), cfg));
+
+        listener
+            .set_nonblocking(true)
+            .expect("nonblocking listener");
+        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !stop.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if active.load(Ordering::Relaxed) >= config.max_connections {
+                        stats.refused_conns.fetch_add(1, Ordering::Relaxed);
+                        refuse_connection(stream);
+                        continue;
+                    }
+                    stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    active.fetch_add(1, Ordering::Relaxed);
+                    let ctx = ConnCtx {
+                        pool: pool.clone(),
+                        quotas: quotas.clone(),
+                        stats: stats.clone(),
+                        stop: stop.clone(),
+                        active: active.clone(),
+                        idle_timeout: config.idle_timeout,
+                    };
+                    conns.push(
+                        std::thread::Builder::new()
+                            .name("fpunet-conn".into())
+                            .spawn(move || ctx.serve(stream))
+                            .expect("spawn connection thread"),
+                    );
+                    // Reap finished connection threads so a long-lived
+                    // server doesn't accumulate handles.
+                    conns.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+        drop(listener);
+        for h in conns {
+            let _ = h.join();
+        }
+        if let Some(t) = tuner {
+            t.stop();
+        }
+        // Every connection thread is joined and the tuner is stopped,
+        // so this is the last Arc: drain the pool properly (join waits
+        // for queued jobs to resolve).
+        pool.shutdown();
+        let pool_metrics = match Arc::try_unwrap(pool) {
+            Ok(p) => p.join(),
+            Err(p) => p.metrics(),
+        };
+        ServerReport {
+            net: stats.snapshot(),
+            pool: pool_metrics,
+            tenants: quotas.all_usage(),
+        }
+    }
+}
+
+/// Tell a surplus connection to go away, with a retry hint.
+fn refuse_connection(mut stream: TcpStream) {
+    let reject = Frame {
+        kind: FrameKind::Reject,
+        req_id: 0,
+        body: encode_reject(&Reject {
+            code: ErrorCode::ConnLimit,
+            retry_after: CONN_RETRY_AFTER,
+            detail: "connection limit reached".into(),
+        }),
+    };
+    let _ = write_frame(&mut stream, &reject);
+    let _ = write_frame(&mut stream, &control_frame(FrameKind::Goodbye, 0));
+    let _ = stream.flush();
+}
+
+/// What the reader hands the writer, in order.
+enum Reply {
+    /// Write this frame now.
+    Now(Frame),
+    /// Wait for the job, then write its response/reject.
+    Job { req_id: u64, handle: JobHandle },
+    /// Write the frame (if any) and close the connection.
+    Close(Option<Frame>),
+}
+
+/// Everything one connection's reader needs.
+struct ConnCtx {
+    pool: Arc<ServePool>,
+    quotas: Arc<QuotaBook>,
+    stats: Arc<NetStats>,
+    stop: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    idle_timeout: Duration,
+}
+
+impl ConnCtx {
+    fn serve(self, stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(POLL_TICK));
+        let write_half = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => {
+                self.active.fetch_sub(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        let (tx, rx) = mpsc::channel::<Reply>();
+        let wstats = self.stats.clone();
+        let writer = std::thread::Builder::new()
+            .name("fpunet-writer".into())
+            .spawn(move || writer_loop(write_half, rx, wstats))
+            .expect("spawn writer thread");
+
+        self.reader_loop(stream, &tx);
+
+        drop(tx); // writer drains pending replies, then exits
+        let _ = writer.join();
+        self.active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn reader_loop(&self, mut stream: TcpStream, tx: &mpsc::Sender<Reply>) {
+        let mut last_activity = Instant::now();
+        loop {
+            match read_frame(&mut stream) {
+                Ok(frame) => {
+                    self.stats.frames_in.fetch_add(1, Ordering::Relaxed);
+                    last_activity = Instant::now();
+                    match frame.kind {
+                        FrameKind::Request => {
+                            self.stats.requests.fetch_add(1, Ordering::Relaxed);
+                            let reply = self.handle_request(frame);
+                            if tx.send(reply).is_err() {
+                                return; // writer died; nothing to do
+                            }
+                        }
+                        FrameKind::Ping => {
+                            let pong = control_frame(FrameKind::Pong, frame.req_id);
+                            if tx.send(Reply::Now(pong)).is_err() {
+                                return;
+                            }
+                        }
+                        FrameKind::Shutdown => {
+                            // Admin drain: flag the whole server, then
+                            // flush this connection's pending replies
+                            // (FIFO) and say goodbye.
+                            self.stop.store(true, Ordering::Relaxed);
+                            let bye = control_frame(FrameKind::Goodbye, frame.req_id);
+                            let _ = tx.send(Reply::Close(Some(bye)));
+                            return;
+                        }
+                        FrameKind::Goodbye => {
+                            let _ = tx.send(Reply::Close(None));
+                            return;
+                        }
+                        // Server-only frames from a client are a
+                        // protocol violation.
+                        FrameKind::Response | FrameKind::Reject | FrameKind::Pong => {
+                            self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            let reject = reject_frame(
+                                frame.req_id,
+                                ErrorCode::Malformed,
+                                Duration::ZERO,
+                                format!("unexpected {:?} frame from client", frame.kind),
+                            );
+                            let _ = tx.send(Reply::Close(Some(reject)));
+                            return;
+                        }
+                    }
+                }
+                Err(FrameError::Eof) => {
+                    let _ = tx.send(Reply::Close(None));
+                    return;
+                }
+                Err(FrameError::Io(e))
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if self.stop.load(Ordering::Relaxed) {
+                        let bye = control_frame(FrameKind::Goodbye, 0);
+                        let _ = tx.send(Reply::Close(Some(bye)));
+                        return;
+                    }
+                    if last_activity.elapsed() >= self.idle_timeout {
+                        let bye = control_frame(FrameKind::Goodbye, 0);
+                        let _ = tx.send(Reply::Close(Some(bye)));
+                        return;
+                    }
+                }
+                Err(FrameError::Io(_)) => {
+                    let _ = tx.send(Reply::Close(None));
+                    return;
+                }
+                Err(FrameError::Wire(we)) => {
+                    // After a framing error the byte stream is
+                    // unsynchronized; reject and close.
+                    self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    let code = match we {
+                        WireError::TooLarge(_) => ErrorCode::TooLarge,
+                        WireError::BadVersion(_) => ErrorCode::BadVersion,
+                        _ => ErrorCode::Malformed,
+                    };
+                    let reject = reject_frame(0, code, Duration::ZERO, we.to_string());
+                    let _ = tx.send(Reply::Close(Some(reject)));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Decode, meter, submit. Any refusal becomes an immediate typed
+    /// reject; acceptance becomes a pending handle.
+    fn handle_request(&self, frame: Frame) -> Reply {
+        let req_id = frame.req_id;
+        let body_len = frame.body.len() as u64;
+        let spec = match decode_spec(&frame.body) {
+            Ok(s) => s,
+            Err(e) => {
+                // A per-request decode error leaves the stream
+                // synchronized (the frame was well-delimited), so the
+                // connection survives.
+                self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return Reply::Now(reject_frame(
+                    req_id,
+                    ErrorCode::Malformed,
+                    Duration::ZERO,
+                    e.to_string(),
+                ));
+            }
+        };
+        if let Err(denied) = self
+            .quotas
+            .admit(spec.tenant.as_deref(), body_len, Instant::now())
+        {
+            return Reply::Now(reject_frame(
+                req_id,
+                denied.code,
+                denied.retry_after,
+                format!(
+                    "tenant {:?} over {} budget",
+                    spec.tenant.as_deref().unwrap_or(""),
+                    if denied.code == ErrorCode::QuotaOps {
+                        "request-rate"
+                    } else {
+                        "byte-rate"
+                    }
+                ),
+            ));
+        }
+        match self.pool.submit(spec) {
+            Ok(handle) => Reply::Job { req_id, handle },
+            Err(e) => {
+                let (code, retry_after) = match &e {
+                    SubmitError::Invalid(_) => (ErrorCode::Invalid, Duration::ZERO),
+                    SubmitError::Rejected { .. } => (ErrorCode::Rejected, QUEUE_RETRY_AFTER),
+                    SubmitError::Closed => (ErrorCode::Closed, Duration::ZERO),
+                    SubmitError::Budget { .. } => (ErrorCode::Budget, Duration::ZERO),
+                };
+                Reply::Now(reject_frame(req_id, code, retry_after, e.to_string()))
+            }
+        }
+    }
+}
+
+fn reject_frame(req_id: u64, code: ErrorCode, retry_after: Duration, detail: String) -> Frame {
+    Frame {
+        kind: FrameKind::Reject,
+        req_id,
+        body: encode_reject(&Reject {
+            code,
+            retry_after,
+            detail,
+        }),
+    }
+}
+
+/// Drain the reply channel in order, resolving job handles as they
+/// come due. FIFO delivery is the per-connection ordering guarantee.
+fn writer_loop(mut stream: TcpStream, rx: mpsc::Receiver<Reply>, stats: Arc<NetStats>) {
+    for reply in rx {
+        let (frame, close) = match reply {
+            Reply::Now(f) => (Some(f), false),
+            Reply::Job { req_id, handle } => {
+                let frame = match handle.wait() {
+                    JobOutcome::Completed(result) => {
+                        stats.responses.fetch_add(1, Ordering::Relaxed);
+                        Frame {
+                            kind: FrameKind::Response,
+                            req_id,
+                            body: encode_result(&result),
+                        }
+                    }
+                    JobOutcome::TimedOut => reject_frame(
+                        req_id,
+                        ErrorCode::TimedOut,
+                        Duration::ZERO,
+                        "deadline expired before execution".into(),
+                    ),
+                    JobOutcome::Shed => reject_frame(
+                        req_id,
+                        ErrorCode::Shed,
+                        QUEUE_RETRY_AFTER,
+                        "displaced by higher-priority work".into(),
+                    ),
+                    JobOutcome::Cancelled => reject_frame(
+                        req_id,
+                        ErrorCode::Cancelled,
+                        Duration::ZERO,
+                        "cancelled before execution".into(),
+                    ),
+                    JobOutcome::Failed(detail) => {
+                        reject_frame(req_id, ErrorCode::Failed, Duration::ZERO, detail)
+                    }
+                };
+                (Some(frame), false)
+            }
+            Reply::Close(f) => (f, true),
+        };
+        if let Some(f) = &frame {
+            if f.kind == FrameKind::Reject {
+                stats.rejects.fetch_add(1, Ordering::Relaxed);
+            }
+            if write_frame(&mut stream, f).is_err() {
+                return; // peer gone; pending handles resolve unobserved
+            }
+            stats.frames_out.fetch_add(1, Ordering::Relaxed);
+        }
+        if close {
+            let _ = stream.flush();
+            return;
+        }
+    }
+}

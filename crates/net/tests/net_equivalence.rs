@@ -1,0 +1,289 @@
+//! The tentpole property, over real sockets: for any synthetic trace,
+//! worker count and quota configuration, results returned over the
+//! wire are **bit-identical** — values, cycles and exception flags —
+//! to running the same jobs serially in-process ([`run_serial`]).
+//! Plus the tenancy and robustness contracts: an over-budget tenant
+//! gets a typed rejection with an honest retry hint while other
+//! tenants are unaffected, garbage bytes get a typed reject instead of
+//! a wedged server, and a drain answers every accepted job.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use fpfpga_fabric::tech::Tech;
+use fpfpga_net::{
+    ErrorCode, NetClient, NetConfig, NetServer, QuotaConfig, QuotaLimits, Response, ServerReport,
+    StopHandle,
+};
+use fpfpga_serve::{
+    run_serial, synth_trace, JobResult, JobSpec, Priority, ServeConfig, TraceConfig,
+};
+use proptest::prelude::*;
+
+/// Spin up a server on an ephemeral loopback port in a background
+/// thread. Returns the address, the stop handle and the join handle
+/// yielding the server's final report.
+fn spawn_server(
+    config: NetConfig,
+) -> (
+    std::net::SocketAddr,
+    StopHandle,
+    std::thread::JoinHandle<ServerReport>,
+) {
+    let server = NetServer::bind("127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    let stop = server.stop_handle();
+    let join = std::thread::spawn(move || server.run());
+    (addr, stop, join)
+}
+
+/// Strip the scheduling envelope (ample queues elsewhere, normal
+/// priority, no deadline) so every job completes and the comparison is
+/// total.
+fn plain(specs: Vec<JobSpec>) -> Vec<JobSpec> {
+    specs
+        .into_iter()
+        .map(|s| JobSpec {
+            priority: Priority::Normal,
+            deadline: None,
+            ..s
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// seed × workers × quota config → pipelined wire results equal
+    /// the serial oracle bit for bit.
+    #[test]
+    fn wire_results_match_run_serial(
+        seed in any::<u64>(),
+        jobs in 4usize..=14,
+        workers in 1usize..=4,
+        metered_quota in any::<bool>(),
+    ) {
+        let trace = synth_trace(&TraceConfig { seed, jobs, rate_hz: 1e6, ..TraceConfig::default() });
+        let specs = plain(trace.into_iter().map(|ev| ev.spec).collect());
+        let tech = Tech::virtex2pro();
+        let want = run_serial(&specs, &tech);
+
+        // Quotas must be *present or absent* without changing results:
+        // the metered config is generous enough to admit everything.
+        let quotas = if metered_quota {
+            QuotaConfig::unlimited().with_default(QuotaLimits {
+                ops_per_s: Some(1e9),
+                bytes_per_s: Some(1e12),
+            })
+        } else {
+            QuotaConfig::unlimited()
+        };
+        let config = NetConfig {
+            serve: ServeConfig {
+                workers,
+                queue_capacity: specs.len().max(1),
+                tech,
+                ..ServeConfig::default()
+            },
+            quotas,
+            ..NetConfig::default()
+        };
+        let (addr, stop, join) = spawn_server(config);
+        let mut client = NetClient::connect(addr).expect("connect");
+        // Pipeline: fire every request, then collect in order.
+        let ids: Vec<u64> = specs
+            .iter()
+            .map(|s| client.send(s).expect("send"))
+            .collect();
+        let mut got: Vec<JobResult> = Vec::with_capacity(ids.len());
+        for &id in &ids {
+            let (rid, resp) = client.recv().expect("recv");
+            prop_assert_eq!(rid, id, "responses arrive in submission order");
+            match resp {
+                Response::Completed(r) => got.push(r),
+                Response::Rejected(rej) => {
+                    prop_assert!(false, "unexpected reject: {:?}", rej);
+                }
+            }
+        }
+        client.goodbye().ok();
+        stop.stop();
+        let report = join.join().expect("server thread");
+        prop_assert_eq!(&got, &want, "seed={} workers={}", seed, workers);
+        prop_assert_eq!(report.net.protocol_errors, 0);
+        prop_assert_eq!(report.pool.completed, specs.len() as u64);
+    }
+}
+
+#[test]
+fn over_budget_tenant_rejected_others_unaffected() {
+    let quotas = QuotaConfig::unlimited().with_tenant(
+        "noisy",
+        QuotaLimits {
+            ops_per_s: Some(2.0),
+            bytes_per_s: None,
+        },
+    );
+    let config = NetConfig {
+        serve: ServeConfig::with_workers(2),
+        quotas,
+        ..NetConfig::default()
+    };
+    let (addr, stop, join) = spawn_server(config);
+
+    let spec = |tenant: &str| {
+        let trace = synth_trace(&TraceConfig {
+            seed: 11,
+            jobs: 1,
+            rate_hz: 1e6,
+            ..TraceConfig::default()
+        });
+        let mut s = plain(trace.into_iter().map(|ev| ev.spec).collect()).remove(0);
+        s.tenant = Some(tenant.to_string());
+        s
+    };
+
+    // The noisy tenant bursts 6 requests; its bucket holds 2.
+    let mut noisy = NetClient::connect(addr).expect("connect noisy");
+    let mut completed = 0;
+    let mut quota_rejects = 0;
+    for _ in 0..6 {
+        match noisy.call(&spec("noisy")).expect("call") {
+            Response::Completed(_) => completed += 1,
+            Response::Rejected(rej) => {
+                assert_eq!(rej.code, ErrorCode::QuotaOps, "typed rejection: {rej:?}");
+                assert!(rej.retry_after > Duration::ZERO, "honest retry hint");
+                assert!(rej.code.is_retryable());
+                quota_rejects += 1;
+            }
+        }
+    }
+    assert!(completed >= 2, "burst capacity admitted, got {completed}");
+    assert!(quota_rejects >= 1, "over-budget requests refused");
+
+    // A quiet tenant on its own connection is completely unaffected.
+    let mut quiet = NetClient::connect(addr).expect("connect quiet");
+    for _ in 0..6 {
+        match quiet.call(&spec("quiet")).expect("call") {
+            Response::Completed(_) => {}
+            Response::Rejected(rej) => panic!("quiet tenant rejected: {rej:?}"),
+        }
+    }
+
+    noisy.goodbye().ok();
+    quiet.goodbye().ok();
+    stop.stop();
+    let report = join.join().expect("server thread");
+    let noisy_usage = report
+        .tenants
+        .iter()
+        .find(|(t, _)| t == "noisy")
+        .map(|(_, u)| u.clone())
+        .expect("noisy metered");
+    assert_eq!(noisy_usage.rejected_ops, quota_rejects as u64);
+    assert_eq!(noisy_usage.ops, completed as u64);
+}
+
+#[test]
+fn garbage_bytes_get_typed_reject_and_server_survives() {
+    let (addr, stop, join) = spawn_server(NetConfig {
+        serve: ServeConfig::with_workers(1),
+        ..NetConfig::default()
+    });
+
+    // An adversarial peer writes a complete frame with a bogus
+    // version byte: the server must answer with a typed reject +
+    // goodbye, not wedge or crash.
+    {
+        use std::io::Write;
+        let mut raw = TcpStream::connect(addr).expect("connect raw");
+        let mut junk = Vec::new();
+        junk.extend_from_slice(&10u32.to_le_bytes()); // len: header only
+        junk.push(99); // version — unsupported
+        junk.push(1); // kind
+        junk.extend_from_slice(&7u64.to_le_bytes()); // req id
+        raw.write_all(&junk).expect("write junk");
+        // Read whatever comes back until the server closes on us.
+        use std::io::Read;
+        let mut buf = Vec::new();
+        raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let _ = raw.read_to_end(&mut buf);
+        assert!(!buf.is_empty(), "server answered the garbage");
+    }
+
+    // The next well-behaved client is served normally.
+    let trace = synth_trace(&TraceConfig {
+        seed: 5,
+        jobs: 3,
+        rate_hz: 1e6,
+        ..TraceConfig::default()
+    });
+    let specs = plain(trace.into_iter().map(|ev| ev.spec).collect());
+    let mut client = NetClient::connect(addr).expect("connect clean");
+    for s in &specs {
+        match client.call(s).expect("call") {
+            Response::Completed(_) => {}
+            Response::Rejected(rej) => panic!("clean client rejected: {rej:?}"),
+        }
+    }
+    client.goodbye().ok();
+    stop.stop();
+    let report = join.join().expect("server thread");
+    assert!(report.net.protocol_errors >= 1, "the junk was counted");
+    assert_eq!(report.pool.completed, specs.len() as u64);
+}
+
+#[test]
+fn shutdown_frame_drains_and_answers_everything() {
+    let (addr, _stop, join) = spawn_server(NetConfig {
+        serve: ServeConfig::with_workers(2),
+        ..NetConfig::default()
+    });
+    let trace = synth_trace(&TraceConfig {
+        seed: 23,
+        jobs: 8,
+        rate_hz: 1e6,
+        ..TraceConfig::default()
+    });
+    let specs = plain(trace.into_iter().map(|ev| ev.spec).collect());
+    let mut client = NetClient::connect(addr).expect("connect");
+    let ids: Vec<u64> = specs
+        .iter()
+        .map(|s| client.send(s).expect("send"))
+        .collect();
+    for &id in &ids {
+        let (rid, resp) = client.recv().expect("recv");
+        assert_eq!(rid, id);
+        assert!(matches!(resp, Response::Completed(_)));
+    }
+    // The admin drain: server answers with goodbye and run() returns.
+    client.shutdown_server().expect("shutdown handshake");
+    let report = join.join().expect("server thread");
+    assert_eq!(report.pool.completed, specs.len() as u64);
+    assert_eq!(report.net.protocol_errors, 0);
+}
+
+#[test]
+fn connection_limit_refuses_with_retry_hint() {
+    let (addr, stop, join) = spawn_server(NetConfig {
+        serve: ServeConfig::with_workers(1),
+        max_connections: 1,
+        ..NetConfig::default()
+    });
+    // First connection occupies the only slot.
+    let mut first = NetClient::connect(addr).expect("connect first");
+    first.ping().expect("first connection lives");
+    // The second is refused with ConnLimit + retry hint.
+    let mut second = NetClient::connect(addr).expect("tcp connect still accepted");
+    match second.recv() {
+        Ok((_, Response::Rejected(rej))) => {
+            assert_eq!(rej.code, ErrorCode::ConnLimit);
+            assert!(rej.retry_after > Duration::ZERO);
+        }
+        other => panic!("expected ConnLimit reject, got {other:?}"),
+    }
+    first.goodbye().ok();
+    stop.stop();
+    let report = join.join().expect("server thread");
+    assert_eq!(report.net.refused_conns, 1);
+}

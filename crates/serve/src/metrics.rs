@@ -46,31 +46,43 @@ impl Metrics {
         Metrics::default()
     }
 
-    pub(crate) fn on_submitted(&self) {
+    /// Record one accepted submission.
+    pub fn on_submitted(&self) {
         self.submitted.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn on_rejected(&self) {
+    /// Record one refused submission (backpressure or closed pool).
+    pub fn on_rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn on_timed_out(&self) {
+    /// Record one job whose deadline expired before execution.
+    pub fn on_timed_out(&self) {
         self.timed_out.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn on_shed(&self) {
+    /// Record one queued job displaced by a higher-priority submission.
+    pub fn on_shed(&self) {
         self.shed.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn on_cancelled(&self) {
+    /// Record one job cancelled before execution.
+    pub fn on_cancelled(&self) {
         self.cancelled.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn on_failed(&self) {
+    /// Record one failed job (panic or precondition refusal).
+    pub fn on_failed(&self) {
         self.failed.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn on_completed(&self, latency: Duration, work_items: u64) {
+    /// Record one completion with its latency and flop-ish size.
+    ///
+    /// Public so out-of-process observers (the `fpfpga-net` load
+    /// generator) can account request latencies in the exact same
+    /// histogram the pool uses, making client-side and in-process
+    /// reports directly comparable.
+    pub fn on_completed(&self, latency: Duration, work_items: u64) {
         self.completed.fetch_add(1, Ordering::Relaxed);
         self.work_items.fetch_add(work_items, Ordering::Relaxed);
         self.latency[bucket_of(latency)].fetch_add(1, Ordering::Relaxed);

@@ -33,7 +33,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -428,6 +428,9 @@ pub struct ServePool {
     queue_capacity: usize,
     policies: PolicyBook,
     tech: Tech,
+    /// Live coalescing window, shared with every worker. Adaptive
+    /// tuners (see `fpfpga-net`) adjust it while the pool runs.
+    coalesce: Arc<AtomicUsize>,
     /// Submission-side cache for the auto-tuner's core sweeps (the
     /// shard caches belong to the workers).
     tuner_cache: SweepCache,
@@ -459,6 +462,7 @@ impl ServePool {
             shards.push(shard);
             caches.push(cache);
         }
+        let coalesce = Arc::new(AtomicUsize::new(config.coalesce_window));
         for i in 0..config.workers {
             let ctx = WorkerCtx {
                 shards: shards.clone(),
@@ -466,7 +470,7 @@ impl ServePool {
                 me: i,
                 metrics: metrics.clone(),
                 tech: config.tech.clone(),
-                coalesce_window: config.coalesce_window,
+                coalesce: coalesce.clone(),
             };
             workers.push(
                 std::thread::Builder::new()
@@ -483,6 +487,7 @@ impl ServePool {
             queue_capacity: config.queue_capacity,
             policies: config.policies,
             tech: config.tech,
+            coalesce,
             tuner_cache: SweepCache::new(),
         }
     }
@@ -490,6 +495,20 @@ impl ServePool {
     /// Worker (= shard) count.
     pub fn workers(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The live coalescing window: the max number of compatible jobs a
+    /// worker folds into one `run_batch` call.
+    pub fn coalesce_window(&self) -> usize {
+        self.coalesce.load(Ordering::Relaxed)
+    }
+
+    /// Adjust the coalescing window at run time (clamped to ≥ 1).
+    /// Workers read the window when they pick up a group, so the new
+    /// value applies from the next group on; results are unaffected
+    /// (coalescing is bit-invisible by construction — property-tested).
+    pub fn set_coalesce_window(&self, window: usize) {
+        self.coalesce.store(window.max(1), Ordering::Relaxed);
     }
 
     /// Submit a spec. Resolves the precision policy (book lookup or
@@ -618,6 +637,17 @@ impl ServePool {
         self.metrics()
     }
 
+    /// Begin a drain without consuming the pool: new submissions are
+    /// refused with [`SubmitError::Closed`] from this call on, while
+    /// already-queued jobs still run to completion (a paused pool is
+    /// implicitly resumed so the drain makes progress). Every
+    /// outstanding [`JobHandle`] resolves — nothing hangs, nothing is
+    /// silently dropped. Call [`ServePool::join`] (or drop the pool) to
+    /// wait for the drain to finish.
+    pub fn shutdown(&self) {
+        self.close();
+    }
+
     fn close(&self) {
         for shard in &self.shards {
             let mut st = shard.state.lock().expect("shard poisoned");
@@ -667,7 +697,7 @@ struct WorkerCtx {
     me: usize,
     metrics: Arc<Metrics>,
     tech: Tech,
-    coalesce_window: usize,
+    coalesce: Arc<AtomicUsize>,
 }
 
 impl WorkerCtx {
@@ -690,19 +720,22 @@ impl WorkerCtx {
         let own = &self.shards[self.me];
         let mut st = own.state.lock().expect("shard poisoned");
         loop {
+            // Re-read the live window per group so run-time adjustments
+            // (adaptive coalescing) apply from the very next batch.
+            let window = self.coalesce.load(Ordering::Relaxed).max(1);
             if st.paused {
                 st = own.cv.wait(st).expect("shard poisoned");
                 continue;
             }
             if !st.queue.is_empty() {
-                return Some((self.me, take_group(&mut st, self.coalesce_window)));
+                return Some((self.me, take_group(&mut st, window)));
             }
             let open = st.open;
             drop(st);
             for j in (0..self.shards.len()).filter(|&j| j != self.me) {
                 let mut other = self.shards[j].state.lock().expect("shard poisoned");
                 if !other.paused && !other.queue.is_empty() {
-                    return Some((j, take_group(&mut other, self.coalesce_window)));
+                    return Some((j, take_group(&mut other, window)));
                 }
             }
             if !open {

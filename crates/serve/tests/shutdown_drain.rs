@@ -1,0 +1,130 @@
+//! Shutdown/drain edge cases for [`ServePool`], property-tested over
+//! worker counts:
+//!
+//! - a job submitted after [`ServePool::shutdown`] is refused with
+//!   [`SubmitError::Closed`] — never accepted, never hung;
+//! - every job accepted *before* shutdown still resolves (the drain
+//!   runs the queue dry rather than dropping handles);
+//! - a paused pool drains on shutdown (close implies resume, so no
+//!   handle waits forever on a parked worker);
+//! - jobs whose deadline has already expired when a worker picks them
+//!   up resolve as [`JobOutcome::TimedOut`] and are counted in the
+//!   metrics snapshot, not silently completed or lost.
+
+use std::time::Duration;
+
+use fpfpga_serve::{EltOp, JobOutcome, JobSpec, Kernel, ServeConfig, ServePool, SubmitError};
+use proptest::prelude::*;
+
+/// A tiny eltwise add spec (two pairs) under the default policy.
+fn tiny_spec() -> JobSpec {
+    JobSpec::of(Kernel::Eltwise {
+        op: EltOp::Add,
+        stages: 4,
+        pairs: vec![(1.0f64.to_bits(), 2.0f64.to_bits()); 2],
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Submissions racing a drain: everything accepted before
+    /// `shutdown()` resolves, everything after is `Closed`.
+    #[test]
+    fn drain_resolves_accepted_jobs_and_refuses_late_ones(
+        workers in 1usize..=8,
+        jobs in 1usize..=24,
+    ) {
+        let pool = ServePool::new(ServeConfig {
+            workers,
+            queue_capacity: jobs.max(1),
+            ..ServeConfig::default()
+        });
+        // Pause so the queue genuinely holds work when shutdown lands
+        // (otherwise fast workers may drain each job as it arrives and
+        // the test degenerates to the empty-queue case).
+        pool.pause();
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| pool.submit(tiny_spec()).expect("accepted before shutdown"))
+            .collect();
+        pool.shutdown();
+        match pool.submit(tiny_spec()) {
+            Err(SubmitError::Closed) => {}
+            other => prop_assert!(false, "post-shutdown submit must be Closed, got {other:?}"),
+        }
+        // Shutdown implies resume: every pre-shutdown handle resolves
+        // (this would hang forever if drain left the pool paused).
+        for h in handles {
+            match h.wait() {
+                JobOutcome::Completed(_) => {}
+                other => prop_assert!(false, "queued job must complete during drain, got {other:?}"),
+            }
+        }
+        let snap = pool.join();
+        prop_assert_eq!(snap.submitted, jobs as u64);
+        prop_assert_eq!(snap.completed, jobs as u64);
+        prop_assert_eq!(snap.rejected, 1, "the post-shutdown submit is counted");
+    }
+
+    /// Deadline-expired jobs shed during a drain resolve as
+    /// `TimedOut` and land in the metrics, while their unexpired
+    /// neighbours still complete.
+    #[test]
+    fn expired_deadlines_time_out_with_metrics_counted(
+        workers in 1usize..=8,
+        live in 1usize..=8,
+        dead in 1usize..=8,
+    ) {
+        let pool = ServePool::new(ServeConfig {
+            workers,
+            queue_capacity: live + dead,
+            ..ServeConfig::default()
+        });
+        pool.pause();
+        let mut live_handles = Vec::new();
+        let mut dead_handles = Vec::new();
+        for i in 0..live.max(dead) {
+            if i < live {
+                live_handles.push(pool.submit(tiny_spec()).expect("accepted"));
+            }
+            if i < dead {
+                let spec = tiny_spec().with_deadline(Duration::ZERO);
+                dead_handles.push(pool.submit(spec).expect("accepted"));
+            }
+        }
+        // Zero deadlines are expired by the time any worker wakes; the
+        // drain must report them as TimedOut, not run or drop them.
+        pool.shutdown();
+        for h in live_handles {
+            match h.wait() {
+                JobOutcome::Completed(_) => {}
+                other => prop_assert!(false, "live job must complete, got {other:?}"),
+            }
+        }
+        for h in dead_handles {
+            match h.wait() {
+                JobOutcome::TimedOut => {}
+                other => prop_assert!(false, "expired job must time out, got {other:?}"),
+            }
+        }
+        let snap = pool.join();
+        prop_assert_eq!(snap.completed, live as u64);
+        prop_assert_eq!(snap.timed_out, dead as u64);
+    }
+}
+
+/// Shutdown is idempotent and safe on an idle pool; `join` after an
+/// explicit `shutdown` still returns a coherent snapshot.
+#[test]
+fn shutdown_is_idempotent_on_idle_pool() {
+    let pool = ServePool::new(ServeConfig::with_workers(2));
+    pool.shutdown();
+    pool.shutdown();
+    match pool.submit(tiny_spec()) {
+        Err(SubmitError::Closed) => {}
+        other => panic!("idle closed pool must refuse, got {other:?}"),
+    }
+    let snap = pool.join();
+    assert_eq!(snap.submitted, 0);
+    assert_eq!(snap.completed, 0);
+}

@@ -34,7 +34,7 @@ use crate::format::FpFormat;
 use crate::ops;
 use crate::ops::add::GRS_BITS;
 use crate::ops::fma::FMA_GRS;
-use crate::round::{shift_right_sticky_u128, RoundMode};
+use crate::round::{shift_right_sticky, shift_right_sticky_u128, RoundMode};
 
 /// Panic message used by every batch entry point on length mismatch.
 pub const LEN_MISMATCH: &str = "batch operand slices must have equal lengths";
@@ -273,8 +273,105 @@ fn mul_normal(e: u32, f: u32, a: u64, b: u64, mode: RoundMode) -> (u64, Flags) {
 
 /// Fused multiply-add fast lane. Requires all three operands normal.
 /// Mirrors the exact-product path of [`crate::ops::fma::fma`].
+///
+/// Two datapaths, chosen by width (a compile-time constant under the
+/// const-generic wrappers): when the widest aligned sum fits a `u64`
+/// (`2f + FMA_GRS + 4 ≤ 64`, so `f ≤ 28` — SINGLE and anything
+/// narrower), the whole kernel runs in 64-bit registers. On x86-64
+/// every `u128` operation the wide path leans on — variable shifts,
+/// compares, `leading_zeros` — is a multi-instruction sequence, and
+/// they were the entire fma throughput gap (BENCH_PR5: ~34 Mop/s for
+/// f32 fma vs 85+ for add, barely ahead of the generic path).
 #[inline(always)]
 fn fma_normal(e: u32, f: u32, a: u64, b: u64, c: u64, mode: RoundMode) -> (u64, Flags) {
+    if 2 * f + FMA_GRS + 4 <= 64 {
+        fma_normal_narrow(e, f, a, b, c, mode)
+    } else {
+        fma_normal_wide(e, f, a, b, c, mode)
+    }
+}
+
+/// Signed combine of two magnitudes in the same frame — the `u64` twin
+/// of [`ops::fma::combine`]: result magnitude, its sign, and whether an
+/// effective subtraction cancelled exactly.
+#[inline(always)]
+fn combine_u64(p: u64, ps: bool, c: u64, cs: bool) -> (u64, bool, bool) {
+    if ps == cs {
+        (p + c, ps, false)
+    } else if p >= c {
+        let d = p - c;
+        (d, ps, d == 0)
+    } else {
+        (c - p, cs, false)
+    }
+}
+
+/// The narrow (all-`u64`) fma datapath. Precondition:
+/// `2f + FMA_GRS + 4 ≤ 64`, so the exact product (`2f+2` bits), the
+/// guard window and the alignment carry all fit one register. Mirrors
+/// [`fma_normal_wide`] case for case; only the integer width differs.
+#[inline(always)]
+fn fma_normal_narrow(e: u32, f: u32, a: u64, b: u64, c: u64, mode: RoundMode) -> (u64, Flags) {
+    let sign_shift = e + f;
+    let frac_mask = (1u64 << f) - 1;
+    let hidden = 1u64 << f;
+    let bias = (1i32 << (e - 1)) - 1;
+    let em = (1u64 << e) - 1;
+
+    let psign = (a ^ b) >> sign_shift & 1 == 1;
+    let csign = c >> sign_shift & 1 == 1;
+    let pexp = (((a >> f) & em) as i32 - bias) + (((b >> f) & em) as i32 - bias);
+    let cexp = ((c >> f) & em) as i32 - bias;
+
+    let product = ((a & frac_mask) | hidden) * ((b & frac_mask) | hidden);
+    let shift = (cexp - pexp) + f as i32;
+    let c_wide = ((c & frac_mask) | hidden) << FMA_GRS;
+    let prod_wide = product << FMA_GRS;
+
+    let (mag, sign, e_lsb, is_zero) = if shift > (f + 2) as i32 {
+        // c dominates: sticky-shift the product into c's guard window.
+        let (p_aligned, lost) = shift_right_sticky(prod_wide, shift as u32);
+        let (m, sg, z) = combine_u64(c_wide, csign, p_aligned | lost as u64, psign);
+        (m, sg, cexp - (f + FMA_GRS) as i32, z)
+    } else if shift >= 0 {
+        // Product dominates or ties: align c up by at most f+2, total
+        // width ≤ 2f + FMA_GRS + 4 bits — in range by precondition.
+        let c_aligned = c_wide << shift;
+        let (m, sg, z) = combine_u64(prod_wide, psign, c_aligned, csign);
+        (m, sg, pexp - (2 * f + FMA_GRS) as i32, z)
+    } else {
+        let (c_aligned, lost) = shift_right_sticky(c_wide, (-shift) as u32);
+        let (m, sg, z) = combine_u64(prod_wide, psign, c_aligned | lost as u64, csign);
+        (m, sg, pexp - (2 * f + FMA_GRS) as i32, z)
+    };
+    if is_zero {
+        return (0, Flags::NONE);
+    }
+
+    let msb = 63 - mag.leading_zeros();
+    let exp = e_lsb + msb as i32;
+    let (mag, grs) = if msb > f {
+        (mag, msb - f)
+    } else {
+        // Deep cancellation (necessarily exact): lift the hidden bit.
+        (mag << (f + 1 - msb), 1)
+    };
+    round_pack(
+        e,
+        f,
+        sign as u64,
+        exp,
+        mag >> grs,
+        mag & ((1u64 << grs) - 1),
+        grs,
+        mode,
+    )
+}
+
+/// The wide (`u128`) fma datapath, for formats whose aligned sum can
+/// exceed 64 bits (FP48, DOUBLE).
+#[inline(always)]
+fn fma_normal_wide(e: u32, f: u32, a: u64, b: u64, c: u64, mode: RoundMode) -> (u64, Flags) {
     let sign_shift = e + f;
     let frac_mask = (1u64 << f) - 1;
     let hidden = 1u64 << f;
