@@ -25,7 +25,9 @@ use std::time::Duration;
 use fpfpga::prelude::*;
 use fpfpga_bench::cli::{bad_flag, parse_num, EXIT_USAGE};
 use fpfpga_bench::json::metrics_json;
-use fpfpga_net::{AdaptiveConfig, NetConfig, NetServer, QuotaConfig, QuotaLimits, ServerReport};
+use fpfpga_net::{
+    AdaptiveConfig, NetConfig, NetServer, QuotaConfig, QuotaLimits, ServerReport, ShutdownPolicy,
+};
 use serde_json::json;
 
 const HELP: &str = "fpunetd — TCP front-end for the fpfpga serving pool
@@ -39,6 +41,9 @@ Transport:
   --idle-timeout-s <s> close connections idle this long (default 30)
   --max-seconds <s>    stop serving after this long (default: until a
                        Shutdown frame arrives)
+  --shutdown-from <p>  who may drain the server with a Shutdown frame:
+                       loopback (default) | any | none — excluded
+                       peers get a typed Denied reject
 
 Pool:
   --workers <n>        worker (= shard) count (default 4)
@@ -65,6 +70,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--max-conns",
     "--idle-timeout-s",
     "--max-seconds",
+    "--shutdown-from",
     "--workers",
     "--queue",
     "--window",
@@ -125,6 +131,12 @@ fn report_text(r: &ServerReport) {
             u.ops, u.bytes, u.rejected_ops, u.rejected_bytes
         );
     }
+    if r.evicted_tenants > 0 {
+        println!(
+            "  {} idle tenant meters evicted at the tracking cap",
+            r.evicted_tenants
+        );
+    }
 }
 
 fn main() {
@@ -174,6 +186,12 @@ fn main() {
     });
     let max_seconds: Option<f64> = get("--max-seconds")
         .map(|v| parse_num("--max-seconds", &v, "a serving duration in seconds"));
+    let shutdown_policy = match get("--shutdown-from").as_deref().unwrap_or("loopback") {
+        "loopback" => ShutdownPolicy::LoopbackOnly,
+        "any" => ShutdownPolicy::Any,
+        "none" => ShutdownPolicy::Deny,
+        other => bad_flag("--shutdown-from", other, "loopback, any or none"),
+    };
 
     let mut quotas = QuotaConfig::unlimited().with_default(QuotaLimits {
         ops_per_s: get("--quota-ops").map(|v| parse_num("--quota-ops", &v, "an ops/s rate")),
@@ -201,6 +219,7 @@ fn main() {
             .iter()
             .any(|a| a == "--adaptive")
             .then(AdaptiveConfig::default),
+        shutdown_policy,
     };
 
     let server = match NetServer::bind(&addr, config) {
@@ -248,6 +267,7 @@ fn main() {
                 "rejected_ops": u.rejected_ops,
                 "rejected_bytes": u.rejected_bytes,
             })).collect::<Vec<_>>(),
+            "evicted_tenants": report.evicted_tenants,
         });
         println!("{}", serde_json::to_string_pretty(&doc).expect("serialize"));
     } else {

@@ -6,6 +6,7 @@
 //! returns ids in the order `send` issued them. [`NetClient::call`] is
 //! the one-shot convenience wrapper.
 
+use std::collections::VecDeque;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
@@ -13,8 +14,8 @@ use std::time::{Duration, Instant};
 use fpfpga_serve::{JobResult, JobSpec};
 
 use crate::wire::{
-    control_frame, decode_reject, decode_result, encode_spec, read_frame, write_frame, Frame,
-    FrameError, FrameKind, Reject, WireError,
+    control_frame, decode_reject, decode_result, encode_spec, read_frame, write_frame, ErrorCode,
+    Frame, FrameError, FrameKind, Reject, WireError,
 };
 
 /// How one request ended, from the client's point of view.
@@ -36,6 +37,9 @@ pub enum NetError {
     Wire(WireError),
     /// The server said goodbye (drain) while we waited for a response.
     ServerClosed,
+    /// The server refused an administrative request (e.g. a Shutdown
+    /// frame from a peer its policy excludes).
+    Denied(Reject),
     /// The server sent a frame kind that makes no sense here.
     Unexpected(FrameKind),
 }
@@ -46,6 +50,7 @@ impl std::fmt::Display for NetError {
             NetError::Io(e) => write!(f, "io error: {e}"),
             NetError::Wire(e) => write!(f, "wire error: {e}"),
             NetError::ServerClosed => write!(f, "server closed the connection"),
+            NetError::Denied(rej) => write!(f, "server refused: {}", rej.detail),
             NetError::Unexpected(k) => write!(f, "unexpected frame kind {k:?}"),
         }
     }
@@ -73,6 +78,11 @@ impl From<FrameError> for NetError {
 pub struct NetClient {
     stream: TcpStream,
     next_id: u64,
+    /// Request answers that arrived while waiting for something else
+    /// (a pong, say); [`NetClient::recv`] drains these first, so a
+    /// [`NetClient::ping`] issued with requests in flight never eats
+    /// or chokes on their responses.
+    pending: VecDeque<(u64, Response)>,
 }
 
 impl NetClient {
@@ -80,7 +90,11 @@ impl NetClient {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<NetClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(NetClient { stream, next_id: 1 })
+        Ok(NetClient {
+            stream,
+            next_id: 1,
+            pending: VecDeque::new(),
+        })
     }
 
     /// Send one request without waiting; returns its request id.
@@ -97,19 +111,31 @@ impl NetClient {
         Ok(req_id)
     }
 
-    /// Block for the next response or reject.
+    /// Decode a Response/Reject frame into the answer pair.
+    fn answer(frame: Frame) -> Result<(u64, Response), NetError> {
+        match frame.kind {
+            FrameKind::Response => {
+                let result = decode_result(&frame.body).map_err(NetError::Wire)?;
+                Ok((frame.req_id, Response::Completed(result)))
+            }
+            FrameKind::Reject => {
+                let reject = decode_reject(&frame.body).map_err(NetError::Wire)?;
+                Ok((frame.req_id, Response::Rejected(reject)))
+            }
+            other => Err(NetError::Unexpected(other)),
+        }
+    }
+
+    /// Block for the next response or reject (answers buffered while
+    /// waiting for a pong come first, in arrival order).
     pub fn recv(&mut self) -> Result<(u64, Response), NetError> {
+        if let Some(buffered) = self.pending.pop_front() {
+            return Ok(buffered);
+        }
         loop {
             let frame = read_frame(&mut self.stream)?;
             match frame.kind {
-                FrameKind::Response => {
-                    let result = decode_result(&frame.body).map_err(NetError::Wire)?;
-                    return Ok((frame.req_id, Response::Completed(result)));
-                }
-                FrameKind::Reject => {
-                    let reject = decode_reject(&frame.body).map_err(NetError::Wire)?;
-                    return Ok((frame.req_id, Response::Rejected(reject)));
-                }
+                FrameKind::Response | FrameKind::Reject => return Self::answer(frame),
                 FrameKind::Goodbye => return Err(NetError::ServerClosed),
                 FrameKind::Pong => continue, // stray keepalive answer
                 other => return Err(NetError::Unexpected(other)),
@@ -127,7 +153,11 @@ impl NetClient {
         Ok(resp)
     }
 
-    /// Liveness probe; returns the round-trip time.
+    /// Liveness probe; returns the round-trip time. Safe to call with
+    /// requests in flight: their responses and rejects are buffered in
+    /// arrival order for later [`NetClient::recv`] calls, never lost.
+    /// (The server answers FIFO, so the measured round trip includes
+    /// any queued work ahead of the ping.)
     pub fn ping(&mut self) -> Result<Duration, NetError> {
         let req_id = self.next_id;
         self.next_id += 1;
@@ -138,6 +168,9 @@ impl NetClient {
             match frame.kind {
                 FrameKind::Pong if frame.req_id == req_id => return Ok(start.elapsed()),
                 FrameKind::Pong => continue,
+                FrameKind::Response | FrameKind::Reject => {
+                    self.pending.push_back(Self::answer(frame)?);
+                }
                 FrameKind::Goodbye => return Err(NetError::ServerClosed),
                 other => return Err(NetError::Unexpected(other)),
             }
@@ -146,12 +179,23 @@ impl NetClient {
 
     /// Ask the server to drain and exit; waits for its goodbye. Any
     /// responses still owed to this connection arrive first (the
-    /// server flushes in order).
+    /// server flushes in order). If this peer is not allowed to drain
+    /// the server (see `ShutdownPolicy`), returns
+    /// [`NetError::Denied`] with the server's typed reject.
     pub fn shutdown_server(mut self) -> Result<(), NetError> {
         write_frame(&mut self.stream, &control_frame(FrameKind::Shutdown, 0))?;
         loop {
             match read_frame(&mut self.stream) {
                 Ok(f) if f.kind == FrameKind::Goodbye => return Ok(()),
+                Ok(f) if f.kind == FrameKind::Reject => {
+                    // Rejects to earlier pipelined requests drain
+                    // through here too; only a Denied-coded reject
+                    // answers the shutdown itself.
+                    let reject = decode_reject(&f.body).map_err(NetError::Wire)?;
+                    if reject.code == ErrorCode::Denied {
+                        return Err(NetError::Denied(reject));
+                    }
+                }
                 Ok(_) => continue, // late responses before the goodbye
                 Err(FrameError::Eof) => return Ok(()),
                 Err(e) => return Err(e.into()),

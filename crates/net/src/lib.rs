@@ -40,7 +40,10 @@ pub mod wire;
 pub use adaptive::{next_window, AdaptiveConfig, AdaptiveTuner, IntervalSample};
 pub use client::{NetClient, NetError, Response};
 pub use quota::{QuotaBook, QuotaConfig, QuotaDenied, QuotaLimits, TenantUsage, TokenBucket};
-pub use server::{NetConfig, NetServer, NetStatsSnapshot, ServerReport, StopHandle};
+pub use server::{
+    NetConfig, NetServer, NetStatsSnapshot, ServerReport, ShutdownPolicy, StopHandle,
+};
 pub use wire::{
-    ErrorCode, Frame, FrameError, FrameKind, Reject, WireError, MAX_FRAME_LEN, WIRE_VERSION,
+    ErrorCode, Frame, FrameError, FrameKind, Reject, WireError, MAX_BODY_LEN, MAX_FRAME_LEN,
+    WIRE_VERSION,
 };

@@ -88,12 +88,30 @@ impl QuotaLimits {
 
 /// The quota configuration: a default for unnamed tenants plus
 /// per-tenant overrides.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct QuotaConfig {
     /// Limits applied to tenants without an override.
     pub default: QuotaLimits,
     /// Named overrides.
     pub tenants: HashMap<String, QuotaLimits>,
+    /// Ceiling on the number of tenants metered at once. Tenant names
+    /// are attacker-controlled wire data, so the meter map must not
+    /// grow without bound: past the cap, admitting a new tenant evicts
+    /// the longest-idle meter *without a named override* (named
+    /// tenants are config-bounded and never evicted). An evicted
+    /// tenant that returns simply starts a fresh bucket — at worst it
+    /// regains one burst, it never gains standing quota.
+    pub max_tracked_tenants: usize,
+}
+
+impl Default for QuotaConfig {
+    fn default() -> QuotaConfig {
+        QuotaConfig {
+            default: QuotaLimits::default(),
+            tenants: HashMap::new(),
+            max_tracked_tenants: 1024,
+        }
+    }
 }
 
 impl QuotaConfig {
@@ -114,6 +132,13 @@ impl QuotaConfig {
         self
     }
 
+    /// Bound the live meter map (see
+    /// [`QuotaConfig::max_tracked_tenants`]).
+    pub fn with_max_tracked_tenants(mut self, cap: usize) -> QuotaConfig {
+        self.max_tracked_tenants = cap;
+        self
+    }
+
     fn limits_for(&self, tenant: &str) -> QuotaLimits {
         self.tenants.get(tenant).copied().unwrap_or(self.default)
     }
@@ -127,6 +152,8 @@ struct TenantMeter {
     bytes_total: u64,
     rejected_ops: u64,
     rejected_bytes: u64,
+    /// Last admission attempt — the eviction ordering.
+    last_seen: Instant,
 }
 
 /// A typed quota refusal.
@@ -152,11 +179,20 @@ pub struct TenantUsage {
     pub rejected_bytes: u64,
 }
 
+/// The meter map plus its eviction counter, under one lock.
+struct BookState {
+    tenants: HashMap<String, TenantMeter>,
+    evicted: u64,
+}
+
 /// The server's live quota state: config plus per-tenant buckets and
-/// meters, safe to share across connection threads.
+/// meters, safe to share across connection threads. The meter map is
+/// bounded by [`QuotaConfig::max_tracked_tenants`]: a client cycling
+/// unique tenant names recycles meter slots instead of growing the map
+/// (and the server's memory) without bound.
 pub struct QuotaBook {
     config: QuotaConfig,
-    tenants: Mutex<HashMap<String, TenantMeter>>,
+    state: Mutex<BookState>,
 }
 
 impl QuotaBook {
@@ -164,7 +200,10 @@ impl QuotaBook {
     pub fn new(config: QuotaConfig) -> QuotaBook {
         QuotaBook {
             config,
-            tenants: Mutex::new(HashMap::new()),
+            state: Mutex::new(BookState {
+                tenants: HashMap::new(),
+                evicted: 0,
+            }),
         }
     }
 
@@ -174,19 +213,47 @@ impl QuotaBook {
     pub fn admit(&self, tenant: Option<&str>, bytes: u64, now: Instant) -> Result<(), QuotaDenied> {
         let key = tenant.unwrap_or("");
         let limits = self.config.limits_for(key);
-        let mut map = self.tenants.lock().expect("quota book poisoned");
-        let meter = map.entry(key.to_string()).or_insert_with(|| TenantMeter {
-            ops: limits
-                .ops_per_s
-                .map(|r| TokenBucket::new(r, r.max(1.0), now)),
-            bytes: limits
-                .bytes_per_s
-                .map(|r| TokenBucket::new(r, r.max(1.0), now)),
-            ops_total: 0,
-            bytes_total: 0,
-            rejected_ops: 0,
-            rejected_bytes: 0,
-        });
+        let mut state = self.state.lock().expect("quota book poisoned");
+        let state = &mut *state;
+        if !state.tenants.contains_key(key) {
+            // Named overrides always get a slot (their count is fixed
+            // by the config); unknown names compete for the rest and
+            // displace the longest-idle unconfigured meter at the cap.
+            let cap = self.config.max_tracked_tenants.max(1);
+            if state.tenants.len() >= cap && !self.config.tenants.contains_key(key) {
+                let victim = state
+                    .tenants
+                    .iter()
+                    .filter(|(k, _)| !self.config.tenants.contains_key(k.as_str()))
+                    .min_by_key(|(_, m)| m.last_seen)
+                    .map(|(k, _)| k.clone());
+                // No victim means every slot is a named override (the
+                // config alone overflows the cap); meter the newcomer
+                // anyway rather than lose enforcement for it.
+                if let Some(v) = victim {
+                    state.tenants.remove(&v);
+                    state.evicted += 1;
+                }
+            }
+            state.tenants.insert(
+                key.to_string(),
+                TenantMeter {
+                    ops: limits
+                        .ops_per_s
+                        .map(|r| TokenBucket::new(r, r.max(1.0), now)),
+                    bytes: limits
+                        .bytes_per_s
+                        .map(|r| TokenBucket::new(r, r.max(1.0), now)),
+                    ops_total: 0,
+                    bytes_total: 0,
+                    rejected_ops: 0,
+                    rejected_bytes: 0,
+                    last_seen: now,
+                },
+            );
+        }
+        let meter = state.tenants.get_mut(key).expect("meter just ensured");
+        meter.last_seen = now;
         // Probe the ops bucket first but only commit both at once.
         if let Some(ops) = &mut meter.ops {
             ops.refill(now);
@@ -216,11 +283,15 @@ impl QuotaBook {
         Ok(())
     }
 
-    /// Lifetime usage for `tenant` (anonymous = `None`).
+    /// Lifetime usage for `tenant` (anonymous = `None`). A tenant
+    /// whose meter was evicted at the cap reads as zero until it is
+    /// seen again.
     pub fn usage(&self, tenant: Option<&str>) -> TenantUsage {
         let key = tenant.unwrap_or("");
-        let map = self.tenants.lock().expect("quota book poisoned");
-        map.get(key)
+        let state = self.state.lock().expect("quota book poisoned");
+        state
+            .tenants
+            .get(key)
             .map(|m| TenantUsage {
                 ops: m.ops_total,
                 bytes: m.bytes_total,
@@ -230,10 +301,18 @@ impl QuotaBook {
             .unwrap_or_default()
     }
 
-    /// Usage for every tenant seen so far, sorted by tenant name.
+    /// How many tenant meters were evicted at the
+    /// [`QuotaConfig::max_tracked_tenants`] cap.
+    pub fn evicted(&self) -> u64 {
+        self.state.lock().expect("quota book poisoned").evicted
+    }
+
+    /// Usage for every currently tracked tenant, sorted by tenant
+    /// name (evicted meters are gone; see [`QuotaBook::evicted`]).
     pub fn all_usage(&self) -> Vec<(String, TenantUsage)> {
-        let map = self.tenants.lock().expect("quota book poisoned");
-        let mut v: Vec<(String, TenantUsage)> = map
+        let state = self.state.lock().expect("quota book poisoned");
+        let mut v: Vec<(String, TenantUsage)> = state
+            .tenants
             .iter()
             .map(|(k, m)| {
                 (
@@ -316,6 +395,59 @@ mod tests {
         assert_eq!(u.ops, 2);
         assert_eq!(u.bytes, 950);
         assert_eq!(u.rejected_bytes, 1);
+    }
+
+    #[test]
+    fn tenant_map_is_bounded_under_name_cycling() {
+        let t0 = Instant::now();
+        let cfg = QuotaConfig::unlimited()
+            .with_default(QuotaLimits {
+                ops_per_s: Some(100.0),
+                bytes_per_s: None,
+            })
+            .with_max_tracked_tenants(4);
+        let book = QuotaBook::new(cfg);
+        // An adversary cycling unique tenant names: the map must stay
+        // at the cap, not grow by one meter per name.
+        for i in 0..100 {
+            let name = format!("attacker-{i}");
+            let now = t0 + Duration::from_millis(i);
+            assert!(book.admit(Some(&name), 1, now).is_ok());
+        }
+        assert!(book.all_usage().len() <= 4, "map grew past the cap");
+        assert!(book.evicted() >= 96, "idle meters were recycled");
+    }
+
+    #[test]
+    fn configured_tenants_survive_name_cycling() {
+        let t0 = Instant::now();
+        let cfg = QuotaConfig::unlimited()
+            .with_tenant(
+                "vip",
+                QuotaLimits {
+                    ops_per_s: Some(2.0),
+                    bytes_per_s: None,
+                },
+            )
+            .with_max_tracked_tenants(3);
+        let book = QuotaBook::new(cfg);
+        assert!(book.admit(Some("vip"), 1, t0).is_ok());
+        assert!(book.admit(Some("vip"), 1, t0).is_ok());
+        // 50 unique names arrive later; "vip" is the oldest meter but
+        // has a named override, so it is never the eviction victim —
+        // its exhausted bucket (and its lifetime meters) survive.
+        for i in 0..50 {
+            let name = format!("noise-{i}");
+            let now = t0 + Duration::from_millis(i + 1);
+            assert!(book.admit(Some(&name), 1, now).is_ok());
+        }
+        let denied = book
+            .admit(Some("vip"), 1, t0 + Duration::from_millis(60))
+            .unwrap_err();
+        assert_eq!(denied.code, ErrorCode::QuotaOps, "bucket state kept");
+        let u = book.usage(Some("vip"));
+        assert_eq!(u.ops, 2);
+        assert_eq!(u.rejected_ops, 1);
     }
 
     #[test]

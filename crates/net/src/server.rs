@@ -24,6 +24,12 @@
 //! drains ([`ServePool::shutdown`] + join) so every accepted job is
 //! answered before the process exits. Nothing is dropped silently —
 //! the same invariant the pool itself maintains.
+//!
+//! The wire shutdown is gated by [`ShutdownPolicy`] (loopback-only by
+//! default): the data port is multi-tenant, and an ungated Shutdown
+//! would let any one tenant drain the server for everyone. A peer the
+//! policy excludes gets a typed [`ErrorCode::Denied`] reject and its
+//! connection keeps serving.
 
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -36,18 +42,46 @@ use fpfpga_serve::{JobHandle, JobOutcome, MetricsSnapshot, ServeConfig, ServePoo
 use crate::adaptive::{AdaptiveConfig, AdaptiveTuner};
 use crate::quota::{QuotaBook, QuotaConfig, TenantUsage};
 use crate::wire::{
-    control_frame, decode_spec, encode_reject, encode_result, read_frame, write_frame, ErrorCode,
-    Frame, FrameError, FrameKind, Reject, WireError,
+    control_frame, decode_spec, encode_reject, encode_result, encoded_result_len,
+    read_frame_polled, write_frame, ErrorCode, Frame, FrameError, FrameKind, Polled, Reject,
+    WireError, MAX_BODY_LEN,
 };
 
-/// How often blocked readers wake to poll the stop flag.
+/// How often blocked readers wake to poll the stop flag. Applies only
+/// *between* frames: once a frame's first byte has arrived,
+/// [`read_frame_polled`] retries partial reads across timeouts, so a
+/// TCP retransmit longer than one tick cannot desynchronize the
+/// stream.
 const POLL_TICK: Duration = Duration::from_millis(25);
+
+/// How long a peer may stall *mid-frame* before the connection is
+/// dropped. Generous enough for several TCP retransmission timeouts on
+/// a congested real-network path; a peer that cannot finish a ≤ 16 MiB
+/// frame in this long is gone or hostile.
+const FRAME_STALL_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Retry hint sent with a connection-limit reject.
 const CONN_RETRY_AFTER: Duration = Duration::from_millis(25);
 
 /// Retry hint sent with a queue-full reject.
 const QUEUE_RETRY_AFTER: Duration = Duration::from_millis(1);
+
+/// Who may drain the server with a [`FrameKind::Shutdown`] frame. The
+/// data port is multi-tenant: without gating, any client could deny
+/// service to every other tenant with one frame.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShutdownPolicy {
+    /// Never honor a wire shutdown; only [`StopHandle`] stops the
+    /// server. A Shutdown frame gets an [`ErrorCode::Denied`] reject
+    /// and the connection keeps serving.
+    Deny,
+    /// Honor shutdown only from loopback peers (the default): local
+    /// operators can drain, remote tenants cannot.
+    #[default]
+    LoopbackOnly,
+    /// Honor shutdown from any peer — single-tenant/lab use only.
+    Any,
+}
 
 /// Everything the front-end needs to serve.
 #[derive(Clone)]
@@ -63,6 +97,8 @@ pub struct NetConfig {
     pub idle_timeout: Duration,
     /// Adaptive coalescing (None = leave the pool's window fixed).
     pub adaptive: Option<AdaptiveConfig>,
+    /// Which peers may drain the server over the wire.
+    pub shutdown_policy: ShutdownPolicy,
 }
 
 impl Default for NetConfig {
@@ -73,6 +109,7 @@ impl Default for NetConfig {
             max_connections: 64,
             idle_timeout: Duration::from_secs(30),
             adaptive: None,
+            shutdown_policy: ShutdownPolicy::default(),
         }
     }
 }
@@ -133,8 +170,12 @@ pub struct ServerReport {
     pub net: NetStatsSnapshot,
     /// Final pool metrics (completions, latency histogram, …).
     pub pool: MetricsSnapshot,
-    /// Per-tenant admitted/refused meters, sorted by tenant.
+    /// Per-tenant admitted/refused meters, sorted by tenant (meters
+    /// evicted at the tracking cap are not listed).
     pub tenants: Vec<(String, TenantUsage)>,
+    /// Tenant meters evicted at the
+    /// [`QuotaConfig::max_tracked_tenants`] cap.
+    pub evicted_tenants: u64,
 }
 
 /// Asks a running server to drain and exit (clonable, thread-safe).
@@ -218,6 +259,7 @@ impl NetServer {
                         stop: stop.clone(),
                         active: active.clone(),
                         idle_timeout: config.idle_timeout,
+                        shutdown_policy: config.shutdown_policy,
                     };
                     conns.push(
                         std::thread::Builder::new()
@@ -255,6 +297,7 @@ impl NetServer {
             net: stats.snapshot(),
             pool: pool_metrics,
             tenants: quotas.all_usage(),
+            evicted_tenants: quotas.evicted(),
         }
     }
 }
@@ -293,12 +336,21 @@ struct ConnCtx {
     stop: Arc<AtomicBool>,
     active: Arc<AtomicUsize>,
     idle_timeout: Duration,
+    shutdown_policy: ShutdownPolicy,
 }
 
 impl ConnCtx {
     fn serve(self, stream: TcpStream) {
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(Some(POLL_TICK));
+        let allow_shutdown = match self.shutdown_policy {
+            ShutdownPolicy::Deny => false,
+            ShutdownPolicy::Any => true,
+            ShutdownPolicy::LoopbackOnly => stream
+                .peer_addr()
+                .map(|a| a.ip().is_loopback())
+                .unwrap_or(false),
+        };
         let write_half = match stream.try_clone() {
             Ok(s) => s,
             Err(_) => {
@@ -313,18 +365,18 @@ impl ConnCtx {
             .spawn(move || writer_loop(write_half, rx, wstats))
             .expect("spawn writer thread");
 
-        self.reader_loop(stream, &tx);
+        self.reader_loop(stream, &tx, allow_shutdown);
 
         drop(tx); // writer drains pending replies, then exits
         let _ = writer.join();
         self.active.fetch_sub(1, Ordering::Relaxed);
     }
 
-    fn reader_loop(&self, mut stream: TcpStream, tx: &mpsc::Sender<Reply>) {
+    fn reader_loop(&self, mut stream: TcpStream, tx: &mpsc::Sender<Reply>, allow_shutdown: bool) {
         let mut last_activity = Instant::now();
         loop {
-            match read_frame(&mut stream) {
-                Ok(frame) => {
+            match read_frame_polled(&mut stream, FRAME_STALL_TIMEOUT) {
+                Ok(Polled::Frame(frame)) => {
                     self.stats.frames_in.fetch_add(1, Ordering::Relaxed);
                     last_activity = Instant::now();
                     match frame.kind {
@@ -338,6 +390,21 @@ impl ConnCtx {
                         FrameKind::Ping => {
                             let pong = control_frame(FrameKind::Pong, frame.req_id);
                             if tx.send(Reply::Now(pong)).is_err() {
+                                return;
+                            }
+                        }
+                        FrameKind::Shutdown if !allow_shutdown => {
+                            // An unprivileged peer must not drain a
+                            // shared server; refuse with a typed
+                            // reject and keep serving (the frame was
+                            // well-delimited, the stream is synced).
+                            let reject = reject_frame(
+                                frame.req_id,
+                                ErrorCode::Denied,
+                                Duration::ZERO,
+                                "shutdown not permitted for this peer".into(),
+                            );
+                            if tx.send(Reply::Now(reject)).is_err() {
                                 return;
                             }
                         }
@@ -369,14 +436,11 @@ impl ConnCtx {
                         }
                     }
                 }
-                Err(FrameError::Eof) => {
-                    let _ = tx.send(Reply::Close(None));
-                    return;
-                }
-                Err(FrameError::Io(e))
-                    if e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut =>
-                {
+                // The tick between frames: poll the stop flag and the
+                // idle clock, then wait again. (Mid-frame timeouts are
+                // retried inside read_frame_polled and never get
+                // here.)
+                Ok(Polled::Idle) => {
                     if self.stop.load(Ordering::Relaxed) {
                         let bye = control_frame(FrameKind::Goodbye, 0);
                         let _ = tx.send(Reply::Close(Some(bye)));
@@ -387,6 +451,10 @@ impl ConnCtx {
                         let _ = tx.send(Reply::Close(Some(bye)));
                         return;
                     }
+                }
+                Err(FrameError::Eof) => {
+                    let _ = tx.send(Reply::Close(None));
+                    return;
                 }
                 Err(FrameError::Io(_)) => {
                     let _ = tx.send(Reply::Close(None));
@@ -475,6 +543,58 @@ fn reject_frame(req_id: u64, code: ErrorCode, retry_after: Duration, detail: Str
     }
 }
 
+/// The frame a resolved job outcome becomes. A completed result too
+/// big for one frame (a small matmul request can legally produce a
+/// result matrix far over 16 MiB) is turned into a typed
+/// [`ErrorCode::TooLarge`] reject *before* encoding — never an
+/// unsendable buffer, a desynced client, or (past 4 GiB) a wrapped
+/// length prefix.
+fn outcome_frame(req_id: u64, outcome: JobOutcome, stats: &NetStats) -> Frame {
+    match outcome {
+        JobOutcome::Completed(result) => {
+            if encoded_result_len(&result) > u64::from(MAX_BODY_LEN) {
+                return reject_frame(
+                    req_id,
+                    ErrorCode::TooLarge,
+                    Duration::ZERO,
+                    format!(
+                        "result of {} bytes exceeds the {} byte frame cap; shrink the request",
+                        encoded_result_len(&result),
+                        MAX_BODY_LEN
+                    ),
+                );
+            }
+            stats.responses.fetch_add(1, Ordering::Relaxed);
+            Frame {
+                kind: FrameKind::Response,
+                req_id,
+                body: encode_result(&result),
+            }
+        }
+        JobOutcome::TimedOut => reject_frame(
+            req_id,
+            ErrorCode::TimedOut,
+            Duration::ZERO,
+            "deadline expired before execution".into(),
+        ),
+        JobOutcome::Shed => reject_frame(
+            req_id,
+            ErrorCode::Shed,
+            QUEUE_RETRY_AFTER,
+            "displaced by higher-priority work".into(),
+        ),
+        JobOutcome::Cancelled => reject_frame(
+            req_id,
+            ErrorCode::Cancelled,
+            Duration::ZERO,
+            "cancelled before execution".into(),
+        ),
+        JobOutcome::Failed(detail) => {
+            reject_frame(req_id, ErrorCode::Failed, Duration::ZERO, detail)
+        }
+    }
+}
+
 /// Drain the reply channel in order, resolving job handles as they
 /// come due. FIFO delivery is the per-connection ordering guarantee.
 fn writer_loop(mut stream: TcpStream, rx: mpsc::Receiver<Reply>, stats: Arc<NetStats>) {
@@ -482,38 +602,7 @@ fn writer_loop(mut stream: TcpStream, rx: mpsc::Receiver<Reply>, stats: Arc<NetS
         let (frame, close) = match reply {
             Reply::Now(f) => (Some(f), false),
             Reply::Job { req_id, handle } => {
-                let frame = match handle.wait() {
-                    JobOutcome::Completed(result) => {
-                        stats.responses.fetch_add(1, Ordering::Relaxed);
-                        Frame {
-                            kind: FrameKind::Response,
-                            req_id,
-                            body: encode_result(&result),
-                        }
-                    }
-                    JobOutcome::TimedOut => reject_frame(
-                        req_id,
-                        ErrorCode::TimedOut,
-                        Duration::ZERO,
-                        "deadline expired before execution".into(),
-                    ),
-                    JobOutcome::Shed => reject_frame(
-                        req_id,
-                        ErrorCode::Shed,
-                        QUEUE_RETRY_AFTER,
-                        "displaced by higher-priority work".into(),
-                    ),
-                    JobOutcome::Cancelled => reject_frame(
-                        req_id,
-                        ErrorCode::Cancelled,
-                        Duration::ZERO,
-                        "cancelled before execution".into(),
-                    ),
-                    JobOutcome::Failed(detail) => {
-                        reject_frame(req_id, ErrorCode::Failed, Duration::ZERO, detail)
-                    }
-                };
-                (Some(frame), false)
+                (Some(outcome_frame(req_id, handle.wait(), &stats)), false)
             }
             Reply::Close(f) => (f, true),
         };
@@ -530,5 +619,45 @@ fn writer_loop(mut stream: TcpStream, rx: mpsc::Receiver<Reply>, stats: Arc<NetS
             let _ = stream.flush();
             return;
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::decode_reject;
+    use fpfpga_serve::JobResult;
+
+    #[test]
+    fn oversized_result_becomes_typed_toolarge_reject() {
+        // A result bigger than one frame can carry (here ~24 MiB of
+        // MVM output) must come back as a typed reject, not desync the
+        // client with an oversized length prefix.
+        let stats = NetStats::default();
+        let big = JobOutcome::Completed(JobResult::Mvm {
+            y: vec![0u64; 3 << 20],
+            cycles: 1,
+        });
+        let frame = outcome_frame(7, big, &stats);
+        assert_eq!(frame.kind, FrameKind::Reject);
+        assert_eq!(frame.req_id, 7);
+        let reject = decode_reject(&frame.body).expect("typed reject body");
+        assert_eq!(reject.code, ErrorCode::TooLarge);
+        assert_eq!(stats.responses.load(Ordering::Relaxed), 0);
+        // The reject itself fits a frame.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).expect("reject is sendable");
+    }
+
+    #[test]
+    fn normal_result_still_encodes_as_response() {
+        let stats = NetStats::default();
+        let ok = JobOutcome::Completed(JobResult::Mvm {
+            y: vec![1, 2, 3],
+            cycles: 9,
+        });
+        let frame = outcome_frame(3, ok, &stats);
+        assert_eq!(frame.kind, FrameKind::Response);
+        assert_eq!(stats.responses.load(Ordering::Relaxed), 1);
     }
 }

@@ -23,7 +23,7 @@
 //! truncated buffer yields [`WireError::Truncated`].
 
 use std::io::{self, Read, Write};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use fpfpga_fabric::report::ImplementationReport;
 use fpfpga_fabric::synthesis::{Objective, SynthesisOptions};
@@ -44,6 +44,12 @@ pub const MAX_FRAME_LEN: u32 = 16 << 20;
 
 /// Bytes of header counted by `len` (version + kind + request id).
 const HEADER_AFTER_LEN: u32 = 1 + 1 + 8;
+
+/// Largest body one frame can carry. [`write_frame`] refuses anything
+/// bigger, so an oversized payload becomes a typed error at the sender
+/// instead of a `TooLarge`/desync at the receiver (or, past 4 GiB, a
+/// silently wrapped length prefix).
+pub const MAX_BODY_LEN: u32 = MAX_FRAME_LEN - HEADER_AFTER_LEN;
 
 /// What a frame is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -119,6 +125,9 @@ pub enum ErrorCode {
     Cancelled = 13,
     /// The kernel failed while running.
     Failed = 14,
+    /// An administrative frame (e.g. [`FrameKind::Shutdown`]) was
+    /// refused — the peer is not allowed to issue it.
+    Denied = 15,
 }
 
 impl ErrorCode {
@@ -138,6 +147,7 @@ impl ErrorCode {
             12 => ErrorCode::Shed,
             13 => ErrorCode::Cancelled,
             14 => ErrorCode::Failed,
+            15 => ErrorCode::Denied,
             _ => return None,
         })
     }
@@ -817,6 +827,27 @@ pub fn encode_result(r: &JobResult) -> Vec<u8> {
     e.buf
 }
 
+/// The exact length [`encode_result`] would produce for `r`, computed
+/// without allocating. The server checks this against [`MAX_BODY_LEN`]
+/// before encoding, so a result too big for one frame (a small matmul
+/// request can legally produce a huge result matrix) becomes a typed
+/// [`ErrorCode::TooLarge`] reject instead of an unsendable buffer.
+pub fn encoded_result_len(r: &JobResult) -> u64 {
+    fn matrix_len(m: &Matrix) -> u64 {
+        // format (2) + rows (4) + cols (4) + 8 bytes per element.
+        10 + 8 * (m.rows() as u64) * (m.cols() as u64)
+    }
+    match r {
+        JobResult::Eltwise(rs) => 5 + 9 * rs.len() as u64,
+        JobResult::Dot { .. } => 18,
+        JobResult::MatMul { c, .. } => 41 + matrix_len(c),
+        JobResult::Mvm { y, .. } => 13 + 8 * y.len() as u64,
+        JobResult::Lu { lu, .. } => 26 + matrix_len(lu),
+        JobResult::Fft { data, .. } => 13 + 16 * data.len() as u64,
+        JobResult::Sweep { opt, .. } => 53 + opt.name.len() as u64,
+    }
+}
+
 /// Decode a response body back into a [`JobResult`]. Rejects trailing
 /// garbage.
 pub fn decode_result(body: &[u8]) -> Result<JobResult, WireError> {
@@ -947,8 +978,21 @@ impl From<WireError> for FrameError {
 }
 
 /// Serialize one frame to `w` (single `write_all`; the length prefix
-/// makes the stream self-delimiting).
+/// makes the stream self-delimiting). A body over [`MAX_BODY_LEN`] is
+/// refused with `InvalidInput` — sending it would either desync the
+/// receiver (which must reject the oversized length) or, past 4 GiB,
+/// silently wrap the `u32` prefix and corrupt the framing.
 pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    if frame.body.len() > MAX_BODY_LEN as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "frame body of {} bytes exceeds the {} byte cap",
+                frame.body.len(),
+                MAX_BODY_LEN
+            ),
+        ));
+    }
     let len = HEADER_AFTER_LEN + frame.body.len() as u32;
     let mut out = Vec::with_capacity(4 + len as usize);
     out.extend_from_slice(&len.to_le_bytes());
@@ -959,8 +1003,43 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
     w.write_all(&out)
 }
 
+fn check_frame_len(len: u32) -> Result<(), FrameError> {
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Wire(WireError::TooLarge(len)));
+    }
+    if len < HEADER_AFTER_LEN {
+        return Err(FrameError::Wire(bad(format!(
+            "frame length {len} too short"
+        ))));
+    }
+    Ok(())
+}
+
+/// Parse the bytes after the length prefix (version, kind, request id,
+/// body). `rest.len()` is the already-validated `len`, ≥ 10.
+fn parse_frame_tail(rest: Vec<u8>) -> Result<Frame, FrameError> {
+    let ver = rest[0];
+    if ver != WIRE_VERSION {
+        return Err(FrameError::Wire(WireError::BadVersion(ver)));
+    }
+    let kind = FrameKind::from_u8(rest[1])
+        .ok_or_else(|| FrameError::Wire(bad(format!("frame kind {}", rest[1]))))?;
+    let req_id = u64::from_le_bytes(rest[2..10].try_into().unwrap());
+    Ok(Frame {
+        kind,
+        req_id,
+        body: rest[10..].to_vec(),
+    })
+}
+
 /// Read one frame from `r`. A clean EOF *before any byte* of a frame
 /// is [`FrameError::Eof`]; EOF mid-frame is a truncation error.
+///
+/// Meant for blocking streams with no read timeout (the client side).
+/// A stream whose read timeout doubles as a poll tick must use
+/// [`read_frame_polled`] instead: here a timeout mid-frame would
+/// surface as an error after `read_exact` has already consumed part of
+/// the frame, and restarting would desynchronize the stream.
 pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
     let mut len_buf = [0u8; 4];
     // First byte by hand so "peer hung up between frames" and "peer
@@ -977,28 +1056,95 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
     len_buf[0] = first[0];
     r.read_exact(&mut len_buf[1..])?;
     let len = u32::from_le_bytes(len_buf);
-    if len > MAX_FRAME_LEN {
-        return Err(FrameError::Wire(WireError::TooLarge(len)));
-    }
-    if len < HEADER_AFTER_LEN {
-        return Err(FrameError::Wire(bad(format!(
-            "frame length {len} too short"
-        ))));
-    }
+    check_frame_len(len)?;
     let mut rest = vec![0u8; len as usize];
     r.read_exact(&mut rest)?;
-    let ver = rest[0];
-    if ver != WIRE_VERSION {
-        return Err(FrameError::Wire(WireError::BadVersion(ver)));
+    parse_frame_tail(rest)
+}
+
+/// What [`read_frame_polled`] produced.
+#[derive(Debug)]
+pub enum Polled {
+    /// A complete frame arrived.
+    Frame(Frame),
+    /// The read timed out before the first byte of a frame: the
+    /// connection is idle and the stream is still synchronized. Poll
+    /// whatever needs polling and call again.
+    Idle,
+}
+
+/// Fill `buf` from `r`, retrying `WouldBlock`/`TimedOut` until
+/// `deadline`. Unlike `read_exact`, a timeout does not lose the bytes
+/// already consumed — the next attempt continues the same fill.
+fn read_full(r: &mut impl Read, buf: &mut [u8], deadline: Instant) -> Result<(), FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-frame",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if Instant::now() >= deadline {
+                    return Err(FrameError::Io(io::Error::other(
+                        "mid-frame read stalled past the stall timeout",
+                    )));
+                }
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
     }
-    let kind = FrameKind::from_u8(rest[1])
-        .ok_or_else(|| FrameError::Wire(bad(format!("frame kind {}", rest[1]))))?;
-    let req_id = u64::from_le_bytes(rest[2..10].try_into().unwrap());
-    Ok(Frame {
-        kind,
-        req_id,
-        body: rest[10..].to_vec(),
-    })
+    Ok(())
+}
+
+/// Read one frame from a stream whose read timeout doubles as an idle
+/// poll tick (the server side sets a short socket timeout so blocked
+/// readers can poll the stop flag).
+///
+/// A timeout *before any byte* of a frame returns [`Polled::Idle`] —
+/// the caller polls and retries. Once the first byte has arrived the
+/// frame is read to completion, retrying the same partial read across
+/// timeouts (one TCP retransmit easily outlasts a 25 ms tick) for up
+/// to `stall_timeout`; only a peer that stalls mid-frame longer than
+/// that is an error. This is what keeps a slow-but-healthy network
+/// link from desynchronizing the stream: a mid-frame timeout never
+/// discards consumed bytes and never reparses mid-frame bytes as a new
+/// length prefix.
+///
+/// The deadline is only enforced when the underlying reads time out,
+/// so it relies on the stream's read timeout to wake up; `r` should be
+/// a blocking stream with a short read timeout, not a nonblocking
+/// socket (which would spin).
+pub fn read_frame_polled(r: &mut impl Read, stall_timeout: Duration) -> Result<Polled, FrameError> {
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Err(FrameError::Eof),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Ok(Polled::Idle)
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let deadline = Instant::now() + stall_timeout;
+    let mut len_buf = [0u8; 4];
+    len_buf[0] = first[0];
+    read_full(r, &mut len_buf[1..], deadline)?;
+    let len = u32::from_le_bytes(len_buf);
+    check_frame_len(len)?;
+    let mut rest = vec![0u8; len as usize];
+    read_full(r, &mut rest, deadline)?;
+    parse_frame_tail(rest).map(Polled::Frame)
 }
 
 /// A bodyless frame of the given kind.
@@ -1101,5 +1247,167 @@ mod tests {
             detail: "tenant a over ops budget".into(),
         };
         assert_eq!(decode_reject(&encode_reject(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn oversized_body_is_refused_at_the_writer() {
+        let frame = Frame {
+            kind: FrameKind::Response,
+            req_id: 1,
+            body: vec![0u8; MAX_BODY_LEN as usize + 1],
+        };
+        let mut buf = Vec::new();
+        let err = write_frame(&mut buf, &frame).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(buf.is_empty(), "nothing hit the wire");
+        // Exactly at the cap is fine.
+        let frame = Frame {
+            body: vec![0u8; MAX_BODY_LEN as usize],
+            ..frame
+        };
+        write_frame(&mut buf, &frame).unwrap();
+        assert_eq!(read_frame(&mut buf.as_slice()).unwrap(), frame);
+    }
+
+    #[test]
+    fn encoded_result_len_matches_the_encoder() {
+        let fmt = FpFormat::try_new(8, 23).unwrap();
+        let m = |r: usize, c: usize| Matrix::from_bits(fmt, r, c, vec![0u64; r * c]);
+        let results = vec![
+            JobResult::Eltwise(vec![(1, Flags::from_bits(0)), (2, Flags::from_bits(1))]),
+            JobResult::Dot {
+                value: 9,
+                flags: Flags::from_bits(0),
+                cycles: 3,
+            },
+            JobResult::MatMul {
+                c: m(3, 5),
+                stats: ArrayStats {
+                    cycles: 1,
+                    useful_macs: 2,
+                    pad_macs: 3,
+                    idle_cycles: 4,
+                    bram_accesses: 5,
+                },
+            },
+            JobResult::Mvm {
+                y: vec![1, 2, 3],
+                cycles: 7,
+            },
+            JobResult::Lu {
+                lu: m(4, 4),
+                cycles: 1,
+                divs: 2,
+                macs: 3,
+                flags: Flags::from_bits(0),
+            },
+            JobResult::Fft {
+                data: vec![Cplx { re: 1, im: 2 }; 8],
+                cycles: 5,
+            },
+            JobResult::Sweep {
+                opt: ImplementationReport {
+                    name: "adder-s3".into(),
+                    stages: 3,
+                    slices: 10,
+                    luts: 20,
+                    ffs: 30,
+                    bmults: 0,
+                    brams: 0,
+                    clock_mhz: 123.4,
+                    worst_stage_ns: 5.6,
+                },
+                depths: 4,
+            },
+        ];
+        for r in &results {
+            assert_eq!(
+                encoded_result_len(r),
+                encode_result(r).len() as u64,
+                "predictor diverged for {r:?}"
+            );
+        }
+    }
+
+    /// A reader delivering one byte per call with a `WouldBlock` before
+    /// each — the worst-case stall pattern for a framed stream.
+    struct Stutter {
+        data: Vec<u8>,
+        pos: usize,
+        hiccup: bool,
+    }
+
+    impl io::Read for Stutter {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            if self.hiccup {
+                self.hiccup = false;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "stall"));
+            }
+            self.hiccup = true;
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn polled_read_survives_mid_frame_stalls() {
+        let frame = Frame {
+            kind: FrameKind::Request,
+            req_id: 42,
+            body: vec![7; 33],
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).unwrap();
+        let mut r = Stutter {
+            data: buf,
+            pos: 0,
+            hiccup: true, // stall even before the first byte
+        };
+        // The pre-frame stall is an idle tick; after that, every
+        // mid-frame stall is retried and the frame arrives intact —
+        // this is exactly where `read_frame` would desynchronize.
+        let got = loop {
+            match read_frame_polled(&mut r, Duration::from_secs(5)).unwrap() {
+                Polled::Idle => continue,
+                Polled::Frame(f) => break f,
+            }
+        };
+        assert_eq!(got, frame);
+        assert!(matches!(
+            read_frame_polled(&mut r, Duration::from_secs(5)),
+            Err(FrameError::Eof)
+        ));
+    }
+
+    /// A reader that produces one byte, then stalls forever.
+    struct Wedge {
+        sent: bool,
+    }
+
+    impl io::Read for Wedge {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.sent {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "wedged"));
+            }
+            self.sent = true;
+            buf[0] = 10;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn polled_read_gives_up_on_a_wedged_peer() {
+        let mut r = Wedge { sent: false };
+        match read_frame_polled(&mut r, Duration::from_millis(5)) {
+            Err(FrameError::Io(e)) => {
+                assert_ne!(e.kind(), io::ErrorKind::WouldBlock);
+                assert_ne!(e.kind(), io::ErrorKind::TimedOut);
+            }
+            other => panic!("expected a stall error, got {other:?}"),
+        }
     }
 }

@@ -12,8 +12,8 @@ use std::time::Duration;
 
 use fpfpga_fabric::tech::Tech;
 use fpfpga_net::{
-    ErrorCode, NetClient, NetConfig, NetServer, QuotaConfig, QuotaLimits, Response, ServerReport,
-    StopHandle,
+    ErrorCode, NetClient, NetConfig, NetError, NetServer, QuotaConfig, QuotaLimits, Response,
+    ServerReport, ShutdownPolicy, StopHandle,
 };
 use fpfpga_serve::{
     run_serial, synth_trace, JobResult, JobSpec, Priority, ServeConfig, TraceConfig,
@@ -261,6 +261,77 @@ fn shutdown_frame_drains_and_answers_everything() {
     let report = join.join().expect("server thread");
     assert_eq!(report.pool.completed, specs.len() as u64);
     assert_eq!(report.net.protocol_errors, 0);
+}
+
+#[test]
+fn ping_with_requests_in_flight_buffers_their_answers() {
+    let (addr, stop, join) = spawn_server(NetConfig {
+        serve: ServeConfig::with_workers(2),
+        ..NetConfig::default()
+    });
+    let trace = synth_trace(&TraceConfig {
+        seed: 31,
+        jobs: 3,
+        rate_hz: 1e6,
+        ..TraceConfig::default()
+    });
+    let specs = plain(trace.into_iter().map(|ev| ev.spec).collect());
+    let mut client = NetClient::connect(addr).expect("connect");
+    // Pipeline every request, then ping while they are in flight: the
+    // ping must succeed (not choke on Response/Reject frames) and the
+    // answers it reads past must still come out of recv, in order.
+    let ids: Vec<u64> = specs
+        .iter()
+        .map(|s| client.send(s).expect("send"))
+        .collect();
+    client.ping().expect("ping with requests outstanding");
+    for &id in &ids {
+        let (rid, resp) = client.recv().expect("recv");
+        assert_eq!(rid, id, "buffered answers keep submission order");
+        assert!(matches!(resp, Response::Completed(_)));
+    }
+    client.goodbye().ok();
+    stop.stop();
+    let report = join.join().expect("server thread");
+    assert_eq!(report.pool.completed, specs.len() as u64);
+    assert_eq!(report.net.protocol_errors, 0);
+}
+
+#[test]
+fn shutdown_is_denied_by_policy_and_server_keeps_serving() {
+    let (addr, stop, join) = spawn_server(NetConfig {
+        serve: ServeConfig::with_workers(1),
+        shutdown_policy: ShutdownPolicy::Deny,
+        ..NetConfig::default()
+    });
+    // The drain request bounces off with a typed Denied reject…
+    let saboteur = NetClient::connect(addr).expect("connect saboteur");
+    match saboteur.shutdown_server() {
+        Err(NetError::Denied(rej)) => {
+            assert_eq!(rej.code, ErrorCode::Denied);
+            assert!(!rej.code.is_retryable());
+        }
+        other => panic!("expected Denied, got {other:?}"),
+    }
+    // …and the server is still serving everyone else.
+    let trace = synth_trace(&TraceConfig {
+        seed: 13,
+        jobs: 2,
+        rate_hz: 1e6,
+        ..TraceConfig::default()
+    });
+    let specs = plain(trace.into_iter().map(|ev| ev.spec).collect());
+    let mut client = NetClient::connect(addr).expect("connect clean");
+    for s in &specs {
+        match client.call(s).expect("call") {
+            Response::Completed(_) => {}
+            Response::Rejected(rej) => panic!("rejected after denied shutdown: {rej:?}"),
+        }
+    }
+    client.goodbye().ok();
+    stop.stop();
+    let report = join.join().expect("server thread");
+    assert_eq!(report.pool.completed, specs.len() as u64);
 }
 
 #[test]
