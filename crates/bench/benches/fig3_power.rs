@@ -40,7 +40,7 @@ fn bench_power(c: &mut Criterion) {
         b.iter(|| black_box(arch.charge_flat(32, &tech).total_nj()))
     });
     g.bench_function("blocked_energy_report_n160_b16", |b| {
-        let plan = BlockMatMul::new(160, 16, units.pl());
+        let plan = BlockMatMul::square(160, 16, units.pl()).unwrap();
         let arch = ArchitectureEnergy::new(units.clone(), 16, 16, &tech);
         b.iter(|| black_box(arch.charge_blocked(&plan, &tech).total_nj()))
     });

@@ -72,17 +72,19 @@ fn bench_matmul(c: &mut Criterion) {
         let n = 32usize;
         let am = Matrix::from_fn(fmt, n, n, |i, j| ((i * n + j) as f64 * 0.07).sin());
         let bm = Matrix::from_fn(fmt, n, n, |i, j| ((i ^ j) as f64 * 0.05).cos());
-        let plan = BlockMatMul::new(n as u32, 8, 16);
+        let plan = BlockMatMul::square(n as u32, 8, 16).unwrap();
         bch.iter(|| {
-            let (c, _) = plan.run(
-                fmt,
-                RoundMode::NearestEven,
-                7,
-                9,
-                &am,
-                &bm,
-                UnitBackend::Fast,
-            );
+            let (c, _, _) = plan
+                .run(
+                    fmt,
+                    RoundMode::NearestEven,
+                    7,
+                    9,
+                    &am,
+                    &bm,
+                    UnitBackend::Fast,
+                )
+                .unwrap();
             black_box(c.get(0, 0))
         })
     });

@@ -85,7 +85,8 @@ pub mod prelude {
     pub use fpfpga_matmul::pe::UnitBackend;
     pub use fpfpga_matmul::{
         ArchitectureEnergy, BlockMatMul, Candidate, Constraints, DeviceFill, DotProductUnit,
-        Explorer, LinearArray, Matrix, MvmEngine, PeResources, PipeliningLevel, Schedule, UnitSet,
+        Explorer, FnTiles, LinearArray, Matrix, MatrixTiles, MultiMatMul, MultiStats, MvmEngine,
+        PeResources, PipeliningLevel, PlanError, Schedule, TileSource, UnitSet,
     };
     pub use fpfpga_matmul::{ErrorBudget, ErrorMeter, ErrorStats};
     pub use fpfpga_power::{ComponentClass, EnergyBill, PowerBreakdown, PowerModel};

@@ -297,7 +297,7 @@ pub fn fig6(n: u32, block_sizes: &[u32]) -> Vec<ArchPoint> {
         let units =
             UnitSet::for_level_cached(FpFormat::SINGLE, level, &tech, opts, &shared_cache());
         for &b in block_sizes {
-            let plan = BlockMatMul::new(n, b, level.pl());
+            let plan = BlockMatMul::square(n, b, level.pl()).expect("figure grid is positive");
             let arch = ArchitectureEnergy::new(units.clone(), b, b, &tech);
             let rep = arch.charge_blocked(&plan, &tech);
             out.push(ArchPoint {

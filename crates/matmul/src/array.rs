@@ -32,6 +32,18 @@ pub struct ArrayStats {
     pub bram_accesses: u64,
 }
 
+impl ArrayStats {
+    /// Accumulate another run's counters into this one (used when a
+    /// blocked plan sums the stats of its per-tile arrays).
+    pub fn merge(&mut self, other: ArrayStats) {
+        self.cycles += other.cycles;
+        self.useful_macs += other.useful_macs;
+        self.pad_macs += other.pad_macs;
+        self.idle_cycles += other.idle_cycles;
+        self.bram_accesses += other.bram_accesses;
+    }
+}
+
 impl LinearArray {
     /// An array of `p` PEs holding `n`-row columns.
     pub fn new(
@@ -74,6 +86,117 @@ impl LinearArray {
             let col: Vec<u64> = (0..n).map(|k| b.get(k, j)).collect();
             pe.load_b_column(bank, &col);
         }
+    }
+
+    /// Load the first `cols` columns of a zero-padded `b×b` tile of `B`
+    /// into `bank` — ragged edge tiles instantiate only their real
+    /// columns as PEs (`p = cols`), so the zero-padded columns beyond
+    /// `cols` never exist in hardware and can never pollute the
+    /// exception flags.
+    pub fn load_b_tile(&mut self, bank: bool, b: &Matrix, cols: usize) {
+        assert_eq!(cols, self.pes.len(), "tile columns must match PE count");
+        assert!(b.cols() >= cols, "tile narrower than its real columns");
+        let n = b.rows();
+        for (j, pe) in self.pes.iter_mut().enumerate() {
+            let col: Vec<u64> = (0..n).map(|k| b.get(k, j)).collect();
+            pe.load_b_column(bank, &col);
+        }
+    }
+
+    /// Issue one zero-padded `b×b` `A` tile against `bank`, cycle by
+    /// cycle, where only the first `rows` rows and `steps` k-steps carry
+    /// real data. Every other slot of the `b·max(b,PL)` issue window is
+    /// a [`Token::pad`] zero-operation: it burns the pipes (charged by
+    /// the energy model) but never reads `B`, writes `C` or raises
+    /// flags. No drain — block products chain, as in
+    /// [`LinearArray::stream_a_from_bank`].
+    pub fn stream_a_tile_from_bank(
+        &mut self,
+        a: &Matrix,
+        rows: usize,
+        steps: usize,
+        bank: bool,
+    ) -> u64 {
+        let b = a.rows();
+        assert_eq!(a.cols(), b, "A tile must be square (zero-padded)");
+        assert!(
+            self.pes.iter().all(|pe| pe.n() == b),
+            "PE column height mismatch"
+        );
+        assert!((1..=b).contains(&rows) && (1..=b).contains(&steps));
+        let start = self.cycles;
+        let period = (b as u32).max(self.pl()) as usize;
+        for k in 0..b {
+            for slot in 0..period {
+                let real = slot < rows && k < steps;
+                let token = Token {
+                    a: if real { a.get(slot, k) } else { 0 },
+                    i: slot.min(rows - 1) as u32,
+                    k: k as u32,
+                    pad: !real,
+                    bank,
+                };
+                self.clock(Some(token));
+            }
+        }
+        self.cycles - start
+    }
+
+    /// Batched twin of [`LinearArray::stream_a_tile_from_bank`]: the
+    /// real MACs run through the pipes' bulk fast path, the pad slots
+    /// are charged to the counters without simulating them (a zero
+    /// operation touches no architectural state), and the cycle/idle
+    /// accounting equals the per-cycle run's — so `C`, flags and stats
+    /// are bit-identical.
+    pub fn stream_a_tile_batched(
+        &mut self,
+        a: &Matrix,
+        rows: usize,
+        steps: usize,
+        bank: bool,
+    ) -> u64 {
+        let b = a.rows();
+        assert_eq!(a.cols(), b, "A tile must be square (zero-padded)");
+        assert!(
+            self.pes.iter().all(|pe| pe.n() == b),
+            "PE column height mismatch"
+        );
+        assert!((1..=b).contains(&rows) && (1..=b).contains(&steps));
+        let period = (b as u32).max(self.pl()) as u64;
+        let pads_per_real_step = period - rows as u64;
+        let mut a_col: Vec<u64> = Vec::with_capacity(rows);
+        for k in 0..steps {
+            a_col.clear();
+            a_col.extend((0..rows).map(|i| a.get(i, k)));
+            for pe in &mut self.pes {
+                pe.mac_step_batch(bank, k, &a_col, pads_per_real_step);
+            }
+        }
+        let all_pad_slots = (b - steps) as u64 * period;
+        if all_pad_slots > 0 {
+            for pe in &mut self.pes {
+                pe.account_pad_issues(all_pad_slots);
+            }
+        }
+        let issue = b as u64 * period;
+        self.cycles += issue;
+        for pe in &mut self.pes {
+            pe.account_batched_cycles(issue, issue);
+        }
+        issue
+    }
+
+    /// Charge the drain a batched tile run needs (`p + PL + 1` cycles,
+    /// no issues) without clocking — the batched pipes are already
+    /// empty. Pairs with [`LinearArray::stream_a_tile_batched`] the way
+    /// [`LinearArray::drain`] pairs with the per-cycle streams.
+    pub fn drain_batched(&mut self) -> u64 {
+        let drain = self.pes.len() as u64 + self.pl() as u64 + 1;
+        self.cycles += drain;
+        for pe in &mut self.pes {
+            pe.account_batched_cycles(drain, 0);
+        }
+        drain
     }
 
     /// Zero all accumulators.

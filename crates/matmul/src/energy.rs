@@ -171,7 +171,7 @@ impl ArchitectureEnergy {
         let issue = plan.block_products() * plan.block_schedule().issue_cycles();
         let active_per_pe = issue;
         let idle_per_pe = total - issue;
-        let pad_macs = plan.pad_cycles() * plan.b as u64;
+        let pad_macs = plan.pad_macs();
         let useful_macs = plan.useful_macs();
         let io_words = plan.io_words();
         self.charge(
@@ -334,7 +334,7 @@ mod tests {
         let level = PipeliningLevel::Maximum; // PL = 25
         let mut waste_fracs = Vec::new();
         for b in [4u32, 8, 16, 32] {
-            let plan = BlockMatMul::new(n, b, level.pl());
+            let plan = BlockMatMul::square(n, b, level.pl()).unwrap();
             let a = arch(level, b, b);
             let rep = a.charge_blocked(&plan, &tech);
             waste_fracs.push(rep.padding_energy_nj() / rep.total_nj());

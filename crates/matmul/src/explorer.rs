@@ -119,7 +119,8 @@ impl Explorer {
         self.block_sizes
             .iter()
             .map(|&b| {
-                let plan = BlockMatMul::new(self.n, b, units.pl());
+                let plan = BlockMatMul::square(self.n, b, units.pl())
+                    .expect("explorer grid uses positive n, b, pl");
                 let arch = ArchitectureEnergy::new(units.clone(), b, b, tech);
                 let rep = arch.charge_blocked(&plan, tech);
                 Candidate {

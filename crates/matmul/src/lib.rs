@@ -32,7 +32,10 @@
 //! * [`schedule`] — token streams, padded periods, and cycle counting;
 //! * [`pe`] / [`array`](mod@crate::array) — the cycle-accurate PE and linear array;
 //! * [`block`] — block matrix multiplication for problem sizes larger
-//!   than the array (block size `b` is the design parameter of Fig. 6);
+//!   than the array (block size `b` is the design parameter of Fig. 6),
+//!   generalized to rectangular problems with zero-padded ragged edges;
+//! * [`multi`] — the blocked plan fanned out across several linear
+//!   arrays with streamed ([`multi::TileSource`]) operands;
 //! * [`units`] — selection of the FP unit pair (min/moderate/max
 //!   pipelining — the paper's PL = 10/19/25 sets);
 //! * [`perf`] — whole-device performance: PE resources, device fill,
@@ -51,6 +54,7 @@ pub mod fir;
 pub mod lu;
 pub mod matrix;
 pub mod mixed;
+pub mod multi;
 pub mod mvm;
 pub mod pe;
 pub mod perf;
@@ -61,7 +65,7 @@ pub mod vector;
 
 pub use accuracy::{ErrorMeter, ErrorStats};
 pub use array::LinearArray;
-pub use block::BlockMatMul;
+pub use block::{BlockMatMul, PlanError};
 pub use conv2d::Conv2dEngine;
 pub use dot::DotProductUnit;
 pub use energy::{ArchitectureEnergy, EnergyReport};
@@ -71,6 +75,7 @@ pub use fir::FirFilter;
 pub use lu::LuEngine;
 pub use matrix::Matrix;
 pub use mixed::{mixed_dot, mixed_matmul, mixed_matmul_parallel, mixed_mvm, ErrorBudget, MixedDot};
+pub use multi::{FnTiles, MatrixTiles, MultiMatMul, MultiStats, TileSource};
 pub use mvm::MvmEngine;
 pub use perf::{DeviceFill, PeResources};
 pub use schedule::Schedule;

@@ -267,6 +267,14 @@ impl ProcessingElement {
         self.stats.bram_accesses += 3 * n; // B read + C read + C write per MAC
     }
 
+    /// Charge `pads` padding issues without running the pipes: a
+    /// padding slot computes `0·0 + 0` — exact, flag-free, and with no
+    /// architectural effect — so a batched run only has to count it for
+    /// the energy model.
+    pub fn account_pad_issues(&mut self, pads: u64) {
+        self.stats.pad_macs += pads;
+    }
+
     /// Charge the clock/idle counters a batched run would have spent
     /// per-cycle: `total` clocks, of which `issues` carried a token.
     pub fn account_batched_cycles(&mut self, total: u64, issues: u64) {

@@ -6,27 +6,36 @@
 //! variant measures the numerical error of reduced-precision formats.
 
 use crate::matrix::Matrix;
-use fpfpga_softfp::{RoundMode, SoftFloat};
+use fpfpga_softfp::{Flags, RoundMode, SoftFloat};
 
 /// `C = A·B` with the array's accumulation order and rounding.
 pub fn reference_matmul(a: &Matrix, b: &Matrix, mode: RoundMode) -> Matrix {
+    reference_matmul_flags(a, b, mode).0
+}
+
+/// [`reference_matmul`] that also returns the OR of every MAC's
+/// exception flags — the oracle the array's exception side-band (and
+/// the multi-array executor's) is property-tested against.
+pub fn reference_matmul_flags(a: &Matrix, b: &Matrix, mode: RoundMode) -> (Matrix, Flags) {
     let fmt = a.format();
     let (n, m, p) = (a.rows(), a.cols(), b.cols());
     assert_eq!(b.rows(), m, "inner dimensions must agree");
     let mut c = Matrix::zero(fmt, n, p);
+    let mut flags = Flags::NONE;
     for i in 0..n {
         for j in 0..p {
             let mut acc = SoftFloat::zero(fmt);
             for k in 0..m {
                 let x = SoftFloat::from_bits(fmt, a.get(i, k));
                 let y = SoftFloat::from_bits(fmt, b.get(k, j));
-                let (r, _) = acc.mac(&x, &y, mode);
+                let (r, f) = acc.mac(&x, &y, mode);
+                flags |= f;
                 acc = r;
             }
             c.set(i, j, acc.bits());
         }
     }
-    c
+    (c, flags)
 }
 
 /// `C = A·B` in native `f64` (error baseline).

@@ -35,10 +35,24 @@ pub struct Schedule {
 }
 
 impl Schedule {
-    /// Create a schedule.
+    /// Create a schedule. Panics on zero parameters — use
+    /// [`Schedule::try_new`] where the inputs are not already validated
+    /// (the serving layer goes through a checked
+    /// [`BlockMatMul`](crate::block::BlockMatMul) plan).
     pub fn new(n: u32, pl: u32) -> Schedule {
-        assert!(n >= 1 && pl >= 1);
-        Schedule { n, pl }
+        Schedule::try_new(n, pl).expect("invalid schedule parameters")
+    }
+
+    /// Checked constructor: zero `n` or `pl` is a typed
+    /// [`PlanError`](crate::block::PlanError), not a panic.
+    pub fn try_new(n: u32, pl: u32) -> Result<Schedule, crate::block::PlanError> {
+        if n == 0 {
+            return Err(crate::block::PlanError::ZeroDim("n"));
+        }
+        if pl == 0 {
+            return Err(crate::block::PlanError::ZeroLatency);
+        }
+        Ok(Schedule { n, pl })
     }
 
     /// The padded inner period: `max(n, PL)` — "for smaller problem
@@ -135,6 +149,14 @@ mod tests {
         // second period starts at k=1
         assert_eq!(tokens[5].k, 1);
         assert!(!tokens[5].pad);
+    }
+
+    #[test]
+    fn zero_parameters_are_typed_errors() {
+        use crate::block::PlanError;
+        assert_eq!(Schedule::try_new(0, 9), Err(PlanError::ZeroDim("n")));
+        assert_eq!(Schedule::try_new(4, 0), Err(PlanError::ZeroLatency));
+        assert!(Schedule::try_new(1, 1).is_ok());
     }
 
     #[test]

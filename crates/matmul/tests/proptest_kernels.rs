@@ -65,8 +65,8 @@ proptest! {
         let m = Matrix::from_fn(F, n, n, |i, j| {
             (((seed.wrapping_add((j * n + i) as u64 * 13)) % 991) as f64 - 495.0) / 59.0
         });
-        let plan = BlockMatMul::new(n as u32, b, lm + la);
-        let (blocked, stats) = plan.run(F, RM, lm, la, &a, &m, UnitBackend::Fast);
+        let plan = BlockMatMul::square(n as u32, b, lm + la).unwrap();
+        let (blocked, stats, _) = plan.run(F, RM, lm, la, &a, &m, UnitBackend::Fast).unwrap();
         let (flat, _) = LinearArray::multiply(F, RM, lm, la, &a, &m, UnitBackend::Fast);
         prop_assert_eq!(blocked, flat, "n={} b={}", n, b);
         prop_assert_eq!(stats.cycles, plan.total_cycles());

@@ -23,10 +23,54 @@ use fpfpga_fpu::sim::{DelayLineUnit, DelayOp, FpPipe};
 use fpfpga_fpu::SweepCache;
 use fpfpga_matmul::pe::UnitBackend;
 use fpfpga_matmul::{
-    array::ArrayStats, mixed, Cplx, DotProductUnit, FftEngine, LinearArray, LuEngine, Matrix,
-    MvmEngine,
+    array::ArrayStats, mixed, BlockMatMul, Cplx, DotProductUnit, FftEngine, LinearArray, LuEngine,
+    Matrix, MultiMatMul, MvmEngine, PlanError,
 };
 use fpfpga_softfp::{convert, Flags, FpFormat, PrecisionPolicy, RoundMode, SoftFloat};
+
+/// Uniform square matmuls up to this size run on the classic single
+/// n-PE array; anything larger — or any non-square problem, which the
+/// square array cannot run at all — routes to the multi-array blocked
+/// planner ([`MultiMatMul`]).
+pub const MULTI_ARRAY_THRESHOLD: usize = 64;
+
+/// Block (and per-array PE count) the serving layer tiles multi-array
+/// problems with. 32 keeps the padded period at the array size for
+/// every unit set in the paper (PL ≤ 25 < 32).
+pub const MULTI_ARRAY_BLOCK: u32 = 32;
+
+/// Cap on simulated arrays per job: enough to cover
+/// [`MULTI_ARRAY_THRESHOLD`]-busting problems without letting one job
+/// fan out unboundedly.
+pub const MULTI_ARRAY_MAX_ARRAYS: u32 = 8;
+
+/// Does this (uniform-policy) matmul take the multi-array path?
+pub fn matmul_routes_to_multi(a: &Matrix, b: &Matrix) -> bool {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    !(m == k && k == n) || m > MULTI_ARRAY_THRESHOLD
+}
+
+/// The multi-array plan the serving layer would run this problem with:
+/// block size [`MULTI_ARRAY_BLOCK`], one array per output tile up to
+/// [`MULTI_ARRAY_MAX_ARRAYS`]. Zero dimensions or zero combined stage
+/// count are typed [`PlanError`]s — `validate` maps them to
+/// `SubmitError::Invalid` so they can never panic a worker.
+pub fn matmul_multi_plan(
+    mult_stages: u32,
+    add_stages: u32,
+    a: &Matrix,
+    b: &Matrix,
+) -> Result<MultiMatMul, PlanError> {
+    let plan = BlockMatMul::new(
+        a.rows() as u32,
+        a.cols() as u32,
+        b.cols() as u32,
+        MULTI_ARRAY_BLOCK,
+        mult_stages + add_stages,
+    )?;
+    let arrays = plan.output_tiles().min(MULTI_ARRAY_MAX_ARRAYS as u64) as u32;
+    Ok(MultiMatMul { plan, arrays })
+}
 
 /// Elementwise operation of a coalescible eltwise stream.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -251,10 +295,7 @@ impl Job {
         match &self.kernel {
             Kernel::Eltwise { pairs, .. } => pairs.len() as u64,
             Kernel::Dot { x, .. } => 2 * x.len() as u64,
-            Kernel::MatMul { a, .. } => {
-                let n = a.rows() as u64;
-                2 * n * n * n
-            }
+            Kernel::MatMul { a, b, .. } => 2 * a.rows() as u64 * a.cols() as u64 * b.cols() as u64,
             Kernel::Mvm { a, .. } => 2 * (a.rows() * a.cols()) as u64,
             Kernel::Lu { a, .. } => {
                 let n = a.rows() as u64;
@@ -381,13 +422,36 @@ impl Job {
                     ));
                 }
             }
-            Kernel::MatMul { a, b, .. } => {
+            Kernel::MatMul {
+                mult_stages,
+                add_stages,
+                a,
+                b,
+                ..
+            } => {
                 covering()?;
                 storage_matrix("a", a)?;
                 storage_matrix("b", b)?;
-                let n = a.rows();
-                if a.cols() != n || b.rows() != n || b.cols() != n {
-                    return Err("matmul needs square matrices of one size".into());
+                if a.cols() != b.rows() {
+                    return Err(format!(
+                        "matmul inner dimensions differ: {}×{} · {}×{}",
+                        a.rows(),
+                        a.cols(),
+                        b.rows(),
+                        b.cols()
+                    ));
+                }
+                if a.rows() == 0 || a.cols() == 0 || b.cols() == 0 {
+                    return Err("matmul needs nonzero dimensions".into());
+                }
+                if mult_stages + add_stages == 0 {
+                    return Err("matmul needs at least 1 pipeline stage".into());
+                }
+                if self.policy.is_uniform() && matmul_routes_to_multi(a, b) {
+                    // Surface any remaining planner refusal as a typed
+                    // submission error, never a worker panic.
+                    matmul_multi_plan(*mult_stages, *add_stages, a, b)
+                        .map_err(|e| e.to_string())?;
                 }
             }
             Kernel::Mvm { a, x, p: pes, .. } => {
@@ -483,16 +547,31 @@ impl Job {
                 backend,
             } => {
                 if p.is_uniform() {
-                    let (c, stats) = LinearArray::multiply_batched(
-                        p.compute,
-                        mode,
-                        *mult_stages,
-                        *add_stages,
-                        a,
-                        b,
-                        *backend,
-                    );
-                    JobResult::MatMul { c, stats }
+                    if matmul_routes_to_multi(a, b) {
+                        // Over-threshold or non-square: blocked multi-array
+                        // path. The job itself stays single-threaded
+                        // (threads = 1) — the pool's workers are the
+                        // parallelism — and the result is thread-count
+                        // invariant anyway, so run_serial agrees bit for
+                        // bit. Stats are summed across arrays.
+                        let mm = matmul_multi_plan(*mult_stages, *add_stages, a, b)
+                            .expect("matmul plan was validated at submission");
+                        let (c, ms) = mm
+                            .run(mode, *mult_stages, *add_stages, a, b, *backend, 1)
+                            .expect("operands match the plan built from them");
+                        JobResult::MatMul { c, stats: ms.total }
+                    } else {
+                        let (c, stats) = LinearArray::multiply_batched(
+                            p.compute,
+                            mode,
+                            *mult_stages,
+                            *add_stages,
+                            a,
+                            b,
+                            *backend,
+                        );
+                        JobResult::MatMul { c, stats }
+                    }
                 } else {
                     let (c, _flags) = mixed::mixed_matmul(p, mode, a, b);
                     let (n, m, cols) = (a.rows() as u64, a.cols() as u64, b.cols() as u64);
@@ -880,6 +959,124 @@ mod tests {
         .validate()
         .unwrap_err();
         assert!(err.contains("policy stores"), "{err}");
+    }
+
+    #[test]
+    fn matmul_zero_and_stageless_payloads_are_refused_not_panics() {
+        let fmt = FpFormat::SINGLE;
+        // 0×0 operands used to pass the square check and then panic in
+        // the worker at `pes[0]`.
+        let err = Job::uniform(
+            Kernel::MatMul {
+                mult_stages: 5,
+                add_stages: 4,
+                a: Matrix::zero(fmt, 0, 0),
+                b: Matrix::zero(fmt, 0, 0),
+                backend: UnitBackend::Fast,
+            },
+            fmt,
+            RM,
+        )
+        .validate()
+        .unwrap_err();
+        assert!(err.contains("nonzero"), "{err}");
+        // mult+add = 0 used to trip Schedule::new's assert on a worker.
+        let err = Job::uniform(
+            Kernel::MatMul {
+                mult_stages: 0,
+                add_stages: 0,
+                a: Matrix::identity(fmt, 2),
+                b: Matrix::identity(fmt, 2),
+                backend: UnitBackend::Fast,
+            },
+            fmt,
+            RM,
+        )
+        .validate()
+        .unwrap_err();
+        assert!(err.contains("stage"), "{err}");
+        // Mismatched inner dimensions are a typed refusal.
+        let err = Job::uniform(
+            Kernel::MatMul {
+                mult_stages: 5,
+                add_stages: 4,
+                a: Matrix::zero(fmt, 2, 3),
+                b: Matrix::zero(fmt, 2, 2),
+                backend: UnitBackend::Fast,
+            },
+            fmt,
+            RM,
+        )
+        .validate()
+        .unwrap_err();
+        assert!(err.contains("inner dimensions"), "{err}");
+    }
+
+    #[test]
+    fn rectangular_uniform_matmul_routes_to_multi_and_matches_reference() {
+        let fmt = FpFormat::SINGLE;
+        let a = Matrix::from_fn(fmt, 7, 3, |i, j| ((i * 3 + j) as f64 * 0.2).sin());
+        let b = Matrix::from_fn(fmt, 3, 5, |i, j| ((i + 2 * j) as f64 * 0.3).cos());
+        assert!(matmul_routes_to_multi(&a, &b));
+        let job = Job::uniform(
+            Kernel::MatMul {
+                mult_stages: 5,
+                add_stages: 4,
+                a: a.clone(),
+                b: b.clone(),
+                backend: UnitBackend::Fast,
+            },
+            fmt,
+            RM,
+        );
+        job.validate().expect("rectangular matmul is now valid");
+        let cache = SweepCache::new();
+        match job.run(&Tech::virtex2pro(), &cache) {
+            JobResult::MatMul { c, stats } => {
+                let want = fpfpga_matmul::reference::reference_matmul(&a, &b, RM);
+                assert_eq!(c, want);
+                assert_eq!(stats.useful_macs, 7 * 3 * 5);
+                assert!(stats.cycles > 0, "multi path models array cycles");
+            }
+            other => panic!("wrong result kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn over_threshold_square_matmul_matches_the_legacy_array() {
+        // A 80×80 uniform matmul routes to the multi-array path; the
+        // product must still be bit-identical (flags too, via stats
+        // equivalence tests in fpfpga-matmul) to the single flat array.
+        let fmt = FpFormat::SINGLE;
+        let n = MULTI_ARRAY_THRESHOLD + 16;
+        let a = Matrix::from_fn(fmt, n, n, |i, j| ((i * n + j) as f64 * 0.001).sin());
+        let b = Matrix::from_fn(fmt, n, n, |i, j| ((i + 3 * j) as f64 * 0.002).cos());
+        assert!(matmul_routes_to_multi(&a, &b));
+        assert!(!matmul_routes_to_multi(
+            &Matrix::identity(fmt, MULTI_ARRAY_THRESHOLD),
+            &Matrix::identity(fmt, MULTI_ARRAY_THRESHOLD)
+        ));
+        let job = Job::uniform(
+            Kernel::MatMul {
+                mult_stages: 5,
+                add_stages: 4,
+                a: a.clone(),
+                b: b.clone(),
+                backend: UnitBackend::Fast,
+            },
+            fmt,
+            RM,
+        );
+        job.validate().unwrap();
+        let cache = SweepCache::new();
+        match job.run(&Tech::virtex2pro(), &cache) {
+            JobResult::MatMul { c, .. } => {
+                let (want, _) =
+                    LinearArray::multiply_batched(fmt, RM, 5, 4, &a, &b, UnitBackend::Fast);
+                assert_eq!(c, want);
+            }
+            other => panic!("wrong result kind: {other:?}"),
+        }
     }
 
     #[test]

@@ -77,7 +77,10 @@ pub mod pool;
 pub mod trace;
 pub mod tuner;
 
-pub use job::{CoalesceKey, EltOp, Job, JobResult, Kernel};
+pub use job::{
+    matmul_multi_plan, matmul_routes_to_multi, CoalesceKey, EltOp, Job, JobResult, Kernel,
+    MULTI_ARRAY_BLOCK, MULTI_ARRAY_MAX_ARRAYS, MULTI_ARRAY_THRESHOLD,
+};
 pub use metrics::{Metrics, MetricsSnapshot, LATENCY_BUCKETS};
 pub use pool::{
     JobHandle, JobOutcome, JobSpec, PolicyBook, PolicySel, Priority, ServeConfig, ServePool,

@@ -206,12 +206,25 @@ impl Synth {
                 Job::new(kernel, policy, mode)
             }
             70..=77 => {
-                let n = (2 + self.below(3) as usize) * self.scale;
+                // One matmul in three is rectangular/ragged, so uniform
+                // draws exercise the serving layer's multi-array path
+                // (any non-square problem routes there) and mixed draws
+                // exercise the rectangular mixed kernel — at every
+                // worker count, via the equivalence proptests.
+                let m = (2 + self.below(3) as usize) * self.scale;
+                let (k, n) = if self.below(3) == 0 {
+                    (
+                        (1 + self.below(5) as usize) * self.scale,
+                        (2 + self.below(4) as usize) * self.scale,
+                    )
+                } else {
+                    (m, m)
+                };
                 let kernel = Kernel::MatMul {
                     mult_stages: 5,
                     add_stages: 4,
-                    a: self.matrix(fmt, n, n),
-                    b: self.matrix(fmt, n, n),
+                    a: self.matrix(fmt, m, k),
+                    b: self.matrix(fmt, k, n),
                     backend: UnitBackend::Fast,
                 };
                 let policy = self.accum_policy(fmt);

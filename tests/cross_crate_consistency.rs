@@ -43,19 +43,21 @@ fn block_model_matches_block_simulation() {
         let bm = Matrix::from_fn(fmt, n as usize, n as usize, |i, j| {
             ((i + j * 2) as f64).cos()
         });
-        let plan = BlockMatMul::new(n, b, ms + asl);
-        let (_, stats) = plan.run(
-            fmt,
-            RoundMode::NearestEven,
-            ms,
-            asl,
-            &am,
-            &bm,
-            UnitBackend::Fast,
-        );
+        let plan = BlockMatMul::square(n, b, ms + asl).unwrap();
+        let (_, stats, _) = plan
+            .run(
+                fmt,
+                RoundMode::NearestEven,
+                ms,
+                asl,
+                &am,
+                &bm,
+                UnitBackend::Fast,
+            )
+            .unwrap();
         assert_eq!(stats.cycles, plan.total_cycles(), "n={n} b={b}");
         assert_eq!(stats.useful_macs, plan.useful_macs(), "n={n} b={b}");
-        assert_eq!(stats.pad_macs, plan.pad_cycles() * b as u64, "n={n} b={b}");
+        assert_eq!(stats.pad_macs, plan.pad_macs(), "n={n} b={b}");
     }
 }
 

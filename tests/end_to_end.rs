@@ -80,8 +80,10 @@ fn blocked_and_flat_agree_bitwise() {
     let (flat, _) =
         LinearArray::multiply(fmt, RoundMode::NearestEven, 7, 9, &a, &b, UnitBackend::Fast);
     for bs in [4u32, 8, 16] {
-        let plan = BlockMatMul::new(n, bs, 16);
-        let (blocked, _) = plan.run(fmt, RoundMode::NearestEven, 7, 9, &a, &b, UnitBackend::Fast);
+        let plan = BlockMatMul::square(n, bs, 16).unwrap();
+        let (blocked, _, _) = plan
+            .run(fmt, RoundMode::NearestEven, 7, 9, &a, &b, UnitBackend::Fast)
+            .unwrap();
         assert_eq!(blocked, flat, "b = {bs}");
     }
 }
