@@ -1,0 +1,138 @@
+//! `fpulimb` — one-shot snapshot of the arbitrary-precision datapath:
+//! software limb-kernel throughput as the format widens (1, 2, 4 and 8
+//! limbs), and the fabric model's BMULT bill and pipeline depth needed
+//! to hold a 100 MHz clock at the same widths. Prints the numbers as
+//! JSON so EXPERIMENTS.md has a machine-readable source.
+//!
+//! ```text
+//! cargo run --release -p fpfpga-bench --bin fpulimb
+//! ```
+
+use fpfpga::prelude::*;
+use serde_json::{json, Value};
+use std::hint::black_box;
+use std::time::Instant;
+
+const MODE: RoundMode = RoundMode::NearestEven;
+
+/// The width ladder: double precision (one limb, the scalar baseline),
+/// f128, f256 and an 8-limb stress format.
+fn ladder() -> Vec<(LimbFormat, ApFormat)> {
+    vec![
+        (LimbFormat::from_fp(FpFormat::DOUBLE), ApFormat::new(11, 52)),
+        (LimbFormat::F128, ApFormat::F128),
+        (LimbFormat::F256, ApFormat::F256),
+        (LimbFormat::new(23, 488), ApFormat::new(23, 488)),
+    ]
+}
+
+fn splitmix(z: &mut u64) -> u64 {
+    *z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut x = *z;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Canonical finite operands with exponents clustered around the bias,
+/// so add/sub do real alignment work instead of fast-pathing.
+fn operands(fmt: LimbFormat, n: usize, seed: u64) -> Vec<Vec<u64>> {
+    let mut s = seed;
+    (0..n)
+        .map(|_| {
+            let sign = splitmix(&mut s) & 1 == 1;
+            let exp = (fmt.bias() + (splitmix(&mut s) % 41) as i64 - 20) as u64;
+            let frac: Vec<u64> = (0..fmt.limbs()).map(|_| splitmix(&mut s)).collect();
+            fmt.pack_parts(sign, exp, &frac)
+        })
+        .collect()
+}
+
+fn best_of<F: FnMut() -> u64>(runs: usize, mut f: F) -> f64 {
+    (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Throughput of one kernel over `n` precomputed operand tuples.
+fn throughput_mops(ops: usize, secs: f64) -> f64 {
+    ops as f64 / secs / 1e6
+}
+
+fn software_section() -> Value {
+    const N: usize = 20_000;
+    const RUNS: usize = 5;
+    let mut rows = Vec::new();
+    for (fmt, _) in ladder() {
+        let a = operands(fmt, N, 11);
+        let b = operands(fmt, N, 23);
+        let c = operands(fmt, N, 37);
+        let time = |f: &dyn Fn(usize) -> (Vec<u64>, Flags)| {
+            best_of(RUNS, || {
+                let mut acc = 0u64;
+                for i in 0..N {
+                    let (bits, _) = f(i);
+                    acc = acc.wrapping_add(bits[0]);
+                }
+                acc
+            })
+        };
+        let add_s = time(&|i| limb_add(fmt, &a[i], &b[i], MODE));
+        let mul_s = time(&|i| limb_mul(fmt, &a[i], &b[i], MODE));
+        let fma_s = time(&|i| limb_fma(fmt, &a[i], &b[i], &c[i], MODE));
+        rows.push(json!({
+            "format": fmt.canonical_name(),
+            "limbs": fmt.limbs(),
+            "add_mops": throughput_mops(N, add_s),
+            "mul_mops": throughput_mops(N, mul_s),
+            "fma_mops": throughput_mops(N, fma_s),
+        }));
+    }
+    Value::Array(rows)
+}
+
+fn fabric_section() -> Value {
+    let tech = Tech::virtex2pro();
+    let opts = SynthesisOptions::SPEED;
+    let target_mhz = 100.0;
+    let mut rows = Vec::new();
+    for (_, ap) in ladder() {
+        let adder = ap.adder_netlist(&tech);
+        let mult = ap.multiplier_netlist(&tech);
+        let depth = |nl: &Netlist| -> Value {
+            match ap.depth_for_clock(nl, opts, &tech, target_mhz) {
+                Some(r) => json!({ "stages": r.stages, "clock_mhz": r.clock_mhz }),
+                None => Value::Null,
+            }
+        };
+        let best = |nl: &Netlist| -> f64 {
+            ap.sweep(nl, opts, &tech)
+                .iter()
+                .map(|r| r.clock_mhz)
+                .fold(0.0, f64::max)
+        };
+        rows.push(json!({
+            "format": format!("e{}f{}", ap.exp_bits, ap.frac_bits),
+            "limbs": ap.limbs(),
+            "bmults": ap.bmults(),
+            "adder_depth_at_100mhz": depth(&adder),
+            "adder_best_mhz": best(&adder),
+            "mult_depth_at_100mhz": depth(&mult),
+            "mult_best_mhz": best(&mult),
+        }));
+    }
+    Value::Array(rows)
+}
+
+fn main() {
+    let doc = json!({
+        "bench": "fpulimb",
+        "software_throughput": software_section(),
+        "fabric_scaling": fabric_section(),
+    });
+    println!("{}", serde_json::to_string_pretty(&doc).unwrap());
+}

@@ -3,9 +3,14 @@
 //!
 //! ```text
 //! fpuconform [--ops add,mul,...] [--formats f32,f64,f48,e6f17]
-//!            [--samples N] [--seed S] [--sweeps ieee,ftz,fpu]
+//!            [--samples N] [--seed S] [--sweeps ieee,ftz,fpu,limb]
+//!            [--limb-formats f128,f256,e19f236]
 //!            [--max-divergences K] [--threads N] [--fastpath] [--json]
 //! ```
+//!
+//! The `limb` sweep checks the wide-format (multi-limb) kernels against
+//! the exact `BigFloat` oracle instead of the host (no host hardware
+//! exists past 64 bits); `--limb-formats` picks its formats.
 //!
 //! `--threads N` shards every sweep over `N` scoped worker threads
 //! (0 = one per CPU); the output is byte-identical for every `N`.
@@ -23,12 +28,18 @@ use fpfpga_conform::diff::{
     self, format_name, mode_name, parse_format, Divergence, Op, SweepConfig, SweepReport,
 };
 use fpfpga_conform::host;
+use fpfpga_conform::limb::{
+    minimize_limb, render_limb_case, run_limb_sweep, LimbDivergence, LimbSweepConfig,
+    LimbSweepReport,
+};
 use fpfpga_conform::shrink::{minimize, minimize_with, render_case};
+use fpfpga_softfp::limb::LimbFormat;
 use serde_json::{json, Value};
 use std::process::ExitCode;
 
 struct Args {
     config: SweepConfig,
+    limb_formats: Vec<LimbFormat>,
     sweeps: Vec<String>,
     json: bool,
 }
@@ -38,7 +49,8 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: fpuconform [--ops add,sub,mul,div,sqrt,fma,convert,compare]\n\
          \x20                 [--formats f32,f64,f48,e<E>f<F>] [--samples N] [--seed S]\n\
-         \x20                 [--sweeps ieee,ftz,fpu] [--max-divergences K]\n\
+         \x20                 [--sweeps ieee,ftz,fpu,limb] [--max-divergences K]\n\
+         \x20                 [--limb-formats f128,f256,e<E>f<F>]\n\
          \x20                 [--threads N] [--fastpath] [--json]"
     );
     std::process::exit(2);
@@ -46,6 +58,7 @@ fn usage(err: &str) -> ! {
 
 fn parse_args() -> Args {
     let mut config = SweepConfig::default();
+    let mut limb_formats = vec![LimbFormat::F128, LimbFormat::F256];
     let mut sweeps = vec!["ieee".to_string(), "ftz".to_string(), "fpu".to_string()];
     let mut json = false;
     let mut it = std::env::args().skip(1);
@@ -87,10 +100,19 @@ fn parse_args() -> Args {
             "--sweeps" => {
                 sweeps = value(&mut it).split(',').map(str::to_string).collect();
                 for s in &sweeps {
-                    if !matches!(s.as_str(), "ieee" | "ftz" | "fpu") {
-                        usage(&format!("unknown sweep `{s}` (ieee, ftz, fpu)"));
+                    if !matches!(s.as_str(), "ieee" | "ftz" | "fpu" | "limb") {
+                        usage(&format!("unknown sweep `{s}` (ieee, ftz, fpu, limb)"));
                     }
                 }
+            }
+            "--limb-formats" => {
+                limb_formats = value(&mut it)
+                    .split(',')
+                    .map(|t| {
+                        t.parse()
+                            .unwrap_or_else(|_| usage(&format!("unknown wide format `{t}`")))
+                    })
+                    .collect();
             }
             "--threads" => {
                 config.threads = value(&mut it)
@@ -105,6 +127,7 @@ fn parse_args() -> Args {
     }
     Args {
         config,
+        limb_formats,
         sweeps,
         json,
     }
@@ -124,6 +147,73 @@ fn minimized(d: &Divergence) -> String {
         _ => d.case,
     };
     render_case(&case)
+}
+
+/// Minimized one-line reproducer for a wide-format divergence (the
+/// oracle that found it is the oracle that shrinks it).
+fn limb_minimized(d: &LimbDivergence) -> String {
+    render_limb_case(&minimize_limb(&d.case))
+}
+
+fn limb_report_json(report: &LimbSweepReport) -> Value {
+    let combos: Vec<Value> = report
+        .reports
+        .iter()
+        .map(|r| {
+            let examples: Vec<Value> = r
+                .examples
+                .iter()
+                .map(|d| {
+                    json!({
+                        "case": render_limb_case(&d.case),
+                        "ours": format!("{:x?} {:?}", d.ours.0, d.ours.1),
+                        "reference": format!("{:x?} {:?}", d.reference.0, d.reference.1),
+                        "minimized": limb_minimized(d),
+                    })
+                })
+                .collect();
+            json!({
+                "op": r.op.name(),
+                "format": r.fmt.canonical_name(),
+                "mode": mode_name(r.mode),
+                "cases": r.cases,
+                "divergences": r.divergences,
+                "examples": Value::Array(examples),
+            })
+        })
+        .collect();
+    json!({
+        "sweep": "limb",
+        "cases": report.total_cases(),
+        "divergences": report.total_divergences(),
+        "combinations": Value::Array(combos),
+    })
+}
+
+fn limb_report_text(report: &LimbSweepReport) {
+    println!(
+        "sweep limb: {} cases, {} divergences",
+        report.total_cases(),
+        report.total_divergences()
+    );
+    for r in &report.reports {
+        if r.divergences > 0 {
+            println!(
+                "  FAIL {} {} {}: {} divergences in {} cases",
+                r.op.name(),
+                r.fmt.canonical_name(),
+                mode_name(r.mode),
+                r.divergences,
+                r.cases
+            );
+            for d in &r.examples {
+                println!("    case      {}", render_limb_case(&d.case));
+                println!("    ours      {:x?} {:?}", d.ours.0, d.ours.1);
+                println!("    reference {:x?} {:?}", d.reference.0, d.reference.1);
+                println!("    minimized {}", limb_minimized(d));
+            }
+        }
+    }
 }
 
 fn report_json(name: &str, report: &SweepReport) -> Value {
@@ -204,26 +294,49 @@ fn main() -> ExitCode {
     }
 
     let mut sections: Vec<(String, SweepReport)> = Vec::new();
+    let mut limb_section: Option<LimbSweepReport> = None;
     for sweep in &args.sweeps {
         let report = match sweep.as_str() {
             "ieee" => diff::run_ieee_sweep(&args.config),
             "ftz" => diff::run_ftz_sweep(&args.config),
+            "limb" => {
+                let limb_config = LimbSweepConfig {
+                    ops: args.config.ops.clone(),
+                    formats: args.limb_formats.clone(),
+                    samples: args.config.samples,
+                    seed: args.config.seed,
+                    max_divergences: args.config.max_divergences,
+                    threads: args.config.threads,
+                };
+                limb_section = Some(run_limb_sweep(&limb_config));
+                continue;
+            }
             _ => diff::run_fpu_sweep(&args.config),
         };
         sections.push((sweep.clone(), report));
     }
 
-    let total: u64 = sections.iter().map(|(_, r)| r.total_divergences()).sum();
+    let total: u64 = sections
+        .iter()
+        .map(|(_, r)| r.total_divergences())
+        .sum::<u64>()
+        + limb_section.as_ref().map_or(0, |r| r.total_divergences());
     if args.json {
-        let out: Vec<Value> = sections
+        let mut out: Vec<Value> = sections
             .iter()
             .map(|(name, r)| report_json(name, r))
             .collect();
+        if let Some(r) = &limb_section {
+            out.push(limb_report_json(r));
+        }
         let doc = json!({
             "samples": args.config.samples,
             "seed": args.config.seed,
             "formats": Value::Array(
                 args.config.formats.iter().map(|f| json!(format_name(*f))).collect()
+            ),
+            "limb_formats": Value::Array(
+                args.limb_formats.iter().map(|f| json!(f.canonical_name())).collect()
             ),
             "total_divergences": total,
             "sweeps": Value::Array(out),
@@ -233,9 +346,13 @@ fn main() -> ExitCode {
         for (name, r) in &sections {
             report_text(name, r);
         }
+        if let Some(r) = &limb_section {
+            limb_report_text(r);
+        }
         println!(
             "total: {total} divergence(s) across {} case(s)",
             sections.iter().map(|(_, r)| r.total_cases()).sum::<u64>()
+                + limb_section.as_ref().map_or(0, |r| r.total_cases())
         );
     }
     if total == 0 {

@@ -16,6 +16,10 @@
 //!   denormals in or out).
 //! * **fpu vs softfp** — the staged pipeline units replayed across every
 //!   pipeline depth with softfp as oracle, for all paper formats.
+//! * **softfp limb kernels vs exact oracle** — the wide-format
+//!   (f128/f256) multi-limb datapath, where no host hardware exists,
+//!   compared against a from-scratch exact-integer + explicit-round
+//!   `BigFloat` oracle ([`limb`]).
 //!
 //! [`corpus`] generates the structured inputs (exhaustive special-value
 //! cross products plus seeded random sampling), [`diff`] runs the
@@ -26,11 +30,16 @@
 pub mod corpus;
 pub mod diff;
 pub mod host;
+pub mod limb;
 pub mod shrink;
 
 pub use corpus::{special_values, CaseGen};
 pub use diff::{
     check_case, run_fpu_sweep, run_ftz_sweep, run_ieee_sweep, Case, Divergence, Op, OpReport,
     SweepConfig, SweepReport,
+};
+pub use limb::{
+    check_limb_case, minimize_limb, minimize_limb_with, parse_limb_case, render_limb_case,
+    run_limb_sweep, LimbCase, LimbDivergence, LimbSweepConfig, LimbSweepReport,
 };
 pub use shrink::{minimize, minimize_with, parse_case, render_case};

@@ -1,0 +1,730 @@
+//! Wide-format (multi-limb) conformance sweep.
+//!
+//! The scalar sweeps in [`crate::diff`] can compare against the host
+//! because f32/f64 exist in hardware. Beyond 64 bits there is no host
+//! to defer to, so the wide sweep is differential against the
+//! `BigFloat` oracle in `fpfpga_softfp::limb::oracle` — an exact
+//! integer-arithmetic evaluator with a single explicit rounding step
+//! that shares *no* code with the kernels' align/add/normalize/round
+//! datapath. Structure mirrors the scalar harness: an exhaustive
+//! special-value cross product per (op, format, mode), then seeded
+//! boundary-biased random sampling, sharded over scoped threads with
+//! per-combination seeds so reports are byte-identical at any thread
+//! count.
+//!
+//! Divergences render as one-line reproducers in the same grammar as
+//! the scalar corpus, with each operand printed as one full-width hex
+//! encoding:
+//!
+//! ```text
+//! add f128 rne 0x3fff0000000000000000000000000001 0xbffe0000000000000000000000000000
+//! ```
+//!
+//! Checked-in wide reproducers live in `tests/conform_corpus/limb/`
+//! (a subdirectory, so the scalar corpus replay — which parses every
+//! `*.txt` with the 64-bit grammar — does not trip over them).
+
+use crate::corpus::Rng64;
+use crate::diff::{mode_name, parse_mode, Op};
+use fpfpga_softfp::limb::oracle::{oracle_add, oracle_fma, oracle_mul, oracle_sub};
+use fpfpga_softfp::limb::{limb_add, limb_fma, limb_mul, limb_sub, Big, LimbFormat};
+use fpfpga_softfp::{Flags, RoundMode};
+
+/// The ops that have limb kernels (no div/sqrt datapath yet).
+pub const LIMB_OPS: [Op; 4] = [Op::Add, Op::Sub, Op::Mul, Op::Fma];
+
+const MODES: [RoundMode; 2] = [RoundMode::NearestEven, RoundMode::Truncate];
+
+/// One wide-format test case. Operands are full encodings as
+/// little-endian limb vectors of exactly `fmt.limbs()` limbs (unused
+/// operands are all-zero vectors).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LimbCase {
+    /// Operation (one of [`LIMB_OPS`]).
+    pub op: Op,
+    /// Operand and result format.
+    pub fmt: LimbFormat,
+    /// Rounding mode.
+    pub mode: RoundMode,
+    /// First operand.
+    pub a: Vec<u64>,
+    /// Second operand.
+    pub b: Vec<u64>,
+    /// Third operand (fma only).
+    pub c: Vec<u64>,
+}
+
+/// Evaluate a case through the limb kernels.
+pub fn eval_limb(case: &LimbCase) -> (Vec<u64>, Flags) {
+    let (f, m) = (case.fmt, case.mode);
+    match case.op {
+        Op::Add => limb_add(f, &case.a, &case.b, m),
+        Op::Sub => limb_sub(f, &case.a, &case.b, m),
+        Op::Mul => limb_mul(f, &case.a, &case.b, m),
+        Op::Fma => limb_fma(f, &case.a, &case.b, &case.c, m),
+        other => unreachable!("op {other:?} has no limb kernel"),
+    }
+}
+
+/// Evaluate a case through the exact-arithmetic oracle.
+pub fn eval_limb_oracle(case: &LimbCase) -> (Vec<u64>, Flags) {
+    let (f, m) = (case.fmt, case.mode);
+    match case.op {
+        Op::Add => oracle_add(f, &case.a, &case.b, m),
+        Op::Sub => oracle_sub(f, &case.a, &case.b, m),
+        Op::Mul => oracle_mul(f, &case.a, &case.b, m),
+        Op::Fma => oracle_fma(f, &case.a, &case.b, &case.c, m),
+        other => unreachable!("op {other:?} has no limb oracle"),
+    }
+}
+
+/// A kernel/oracle disagreement.
+#[derive(Clone, Debug)]
+pub struct LimbDivergence {
+    /// The diverging case.
+    pub case: LimbCase,
+    /// Kernel result (bits, flags).
+    pub ours: (Vec<u64>, Flags),
+    /// Oracle result (bits, flags).
+    pub reference: (Vec<u64>, Flags),
+}
+
+/// Compare kernel and oracle on one case.
+pub fn check_limb_case(case: &LimbCase) -> Option<LimbDivergence> {
+    let ours = eval_limb(case);
+    let reference = eval_limb_oracle(case);
+    if ours == reference {
+        None
+    } else {
+        Some(LimbDivergence {
+            case: case.clone(),
+            ours,
+            reference,
+        })
+    }
+}
+
+/// The wide-format special-value set: the same encoding classes the
+/// scalar [`crate::corpus::special_values`] enumerates, rebuilt with
+/// multi-limb fractions (limb-boundary-straddling payloads included,
+/// which have no scalar analogue).
+pub fn limb_special_values(fmt: LimbFormat) -> Vec<Vec<u64>> {
+    let f = fmt.frac_bits() as u64;
+    let one_bit = |i: u64| Big::from_u64(1).shl(i);
+    let ones = |n: u64| Big::from_u64(1).shl(n).sub(&Big::from_u64(1));
+    let frac_mask = ones(f);
+    let bias = fmt.bias() as u64;
+
+    // (biased exponent, fraction) magnitude classes.
+    let mut fields: Vec<(u64, Big)> = vec![
+        (0, Big::zero()),                                  // +0
+        (0, Big::from_u64(1)),                             // smallest denormal
+        (0, Big::from_u64(2)),                             //
+        (0, frac_mask.shr_sticky(1).0),                    // mid denormal
+        (0, frac_mask.clone()),                            // largest denormal
+        (0, one_bit(f - 1)),                               // denormal, top fraction bit only
+        (0, one_bit(63)),                                  // denormal payload at the limb edge
+        (0, one_bit(64)),                                  // ... and just past it
+        (1, Big::zero()),                                  // smallest normal
+        (1, Big::from_u64(1)),                             //
+        (1, frac_mask.clone()),                            // last value of the first binade
+        (2, Big::zero()),                                  // second binade
+        (bias - 1, frac_mask.clone()),                     // largest value below 1
+        (bias, Big::zero()),                               // 1
+        (bias, Big::from_u64(1)),                          // 1 + ulp
+        (bias, one_bit(f - 1)),                            // 1.5
+        (bias + 1, Big::zero()),                           // 2
+        (bias, frac_mask.clone()),                         // just under 2
+        (bias + f, Big::zero()),                           // 2^f: odd/even integer cliff
+        (bias + f, Big::from_u64(1)),                      //
+        (bias + f + 1, Big::zero()),                       // 2^(f+1)
+        (bias.saturating_sub(f), Big::zero()),             // 2^-f (or deep denormal zero)
+        (bias, Big::from_u64(0b0101)),                     // sticky-tail pattern
+        (bias, one_bit(f.min(64)).sub(&Big::from_u64(1))), // low limb all ones
+        (bias + 3, frac_mask.sub(&Big::from_u64(1))),      // even lsb, ones above
+        (fmt.max_biased_exp(), frac_mask.clone()),         // max finite
+        (fmt.max_biased_exp(), frac_mask.sub(&Big::from_u64(1))),
+        (fmt.max_biased_exp(), Big::zero()), // top binade start
+        (fmt.max_biased_exp() - 1, frac_mask.clone()),
+        (fmt.inf_biased_exp(), Big::zero()), // infinity
+        // NaNs: canonical quiet, payloads at both limb extremes,
+        // signaling with low / limb-straddling / maximal payloads.
+        (fmt.inf_biased_exp(), one_bit(f - 1)),
+        (fmt.inf_biased_exp(), one_bit(f - 1).or(&Big::from_u64(1))),
+        (fmt.inf_biased_exp(), frac_mask.clone()),
+        (fmt.inf_biased_exp(), Big::from_u64(1)), // sNaN
+        (fmt.inf_biased_exp(), one_bit(f - 1).sub(&Big::from_u64(1))), // sNaN, max payload
+        (fmt.inf_biased_exp(), one_bit(64)),      // sNaN straddling limb 0/1
+    ];
+    // Mid-exponent tie patterns around the halfway fraction, and the
+    // fraction split across the high limbs only (no scalar analogue).
+    fields.push((bias + 2, one_bit(f / 2)));
+    if f > 64 {
+        fields.push((bias, frac_mask.sub(&one_bit(64).sub(&Big::from_u64(1)))));
+    }
+
+    let mut out: Vec<Vec<u64>> = Vec::with_capacity(fields.len() * 2);
+    for (e, frac) in fields.drain(..) {
+        let frac = frac.mask_low(f).to_limbs_fixed(fmt.limbs());
+        out.push(fmt.pack_parts(false, e, &frac));
+        out.push(fmt.pack_parts(true, e, &frac));
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Seeded boundary-biased generator for wide encodings, mirroring the
+/// scalar [`crate::corpus::CaseGen`] distribution: a slice of uniform
+/// raw encodings, the rest with exponents clustered at the cliffs and
+/// low-entropy fraction patterns (all-ones runs, single bits, dense
+/// low-limb noise) that stress carry chains across limb boundaries.
+pub struct LimbCaseGen {
+    fmt: LimbFormat,
+    rng: Rng64,
+    specials: Vec<Vec<u64>>,
+}
+
+impl LimbCaseGen {
+    /// New generator for `fmt` with the given stream seed.
+    pub fn new(fmt: LimbFormat, seed: u64) -> LimbCaseGen {
+        LimbCaseGen {
+            fmt,
+            rng: Rng64::new(seed),
+            specials: limb_special_values(fmt),
+        }
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.rng.next_u64() % n
+    }
+
+    fn biased_exp(&mut self) -> u64 {
+        let fmt = self.fmt;
+        match self.below(8) {
+            0 => 0,                                    // denormal
+            1 => 1 + self.below(3),                    // bottom of normals
+            2 => fmt.max_biased_exp() - self.below(3), // overflow cliff
+            3 => fmt.inf_biased_exp(),                 // inf/NaN
+            // Cluster around the bias so binary-op exponents overlap.
+            4 | 5 => (fmt.bias() as u64).saturating_sub(self.below(2 * 64)) + self.below(64),
+            _ => self.below(fmt.inf_biased_exp()),
+        }
+    }
+
+    fn biased_frac(&mut self) -> Big {
+        let f = self.fmt.frac_bits() as u64;
+        let ones = |n: u64| Big::from_u64(1).shl(n).sub(&Big::from_u64(1));
+        match self.below(8) {
+            0 => Big::zero(),
+            1 => ones(f),
+            2 => Big::from_u64(1).shl(self.below(f)), // single bit anywhere
+            3 => ones(1 + self.below(f)),             // low run of ones
+            4 => ones(f).sub(&ones(1 + self.below(f - 1))), // high run of ones
+            5 => Big::from_u64(self.rng.next_u64()),  // dense low-limb noise
+            _ => {
+                // Uniform noise across every limb.
+                let limbs: Vec<u64> = (0..self.fmt.limbs()).map(|_| self.rng.next_u64()).collect();
+                Big::from_limbs(&limbs).mask_low(f)
+            }
+        }
+    }
+
+    /// Draw one encoding.
+    pub fn value(&mut self) -> Vec<u64> {
+        if self.below(8) == 0 {
+            let i = self.below(self.specials.len() as u64) as usize;
+            return self.specials[i].clone();
+        }
+        let sign = self.below(2) == 1;
+        let exp = self.biased_exp();
+        let frac = self.biased_frac().to_limbs_fixed(self.fmt.limbs());
+        self.fmt.pack_parts(sign, exp, &frac)
+    }
+
+    /// Draw a binary-op operand pair. Half the pairs share an exponent
+    /// neighborhood so add/sub exercise alignment and cancellation
+    /// rather than the trivial dominant-operand path.
+    pub fn pair(&mut self) -> (Vec<u64>, Vec<u64>) {
+        let a = self.value();
+        if self.below(2) == 0 {
+            return (a, self.value());
+        }
+        let (sign_a, exp_a, _) = self.fmt.unpack_parts(&a);
+        let near = exp_a
+            .saturating_add(self.below(5))
+            .saturating_sub(2)
+            .clamp(0, self.fmt.inf_biased_exp() - 1);
+        let sign = if self.below(2) == 0 { sign_a } else { !sign_a };
+        let frac = self.biased_frac().to_limbs_fixed(self.fmt.limbs());
+        (a, self.fmt.pack_parts(sign, near, &frac))
+    }
+
+    /// Draw an fma triple (pair plus an addend near the product scale).
+    pub fn triple(&mut self) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+        let (a, b) = self.pair();
+        if self.below(2) == 0 {
+            return (a, b, self.value());
+        }
+        // Addend near a·b's exponent, for catastrophic-cancellation fmas.
+        let (sa, ea, _) = self.fmt.unpack_parts(&a);
+        let (sb, eb, _) = self.fmt.unpack_parts(&b);
+        let bias = self.fmt.bias() as u64;
+        let pe = (ea + eb)
+            .saturating_sub(bias)
+            .saturating_add(self.below(5))
+            .saturating_sub(2)
+            .clamp(0, self.fmt.inf_biased_exp() - 1);
+        let frac = self.biased_frac().to_limbs_fixed(self.fmt.limbs());
+        let sign = (sa != sb) ^ (self.below(4) != 0); // mostly cancelling
+        (a, b, self.fmt.pack_parts(sign, pe, &frac))
+    }
+}
+
+/// Render a wide case as a one-line reproducer: operands are single
+/// full-width hex encodings (most-significant nibble first).
+pub fn render_limb_case(case: &LimbCase) -> String {
+    let mut line = format!(
+        "{} {} {} {}",
+        case.op.name(),
+        case.fmt.canonical_name(),
+        mode_name(case.mode),
+        hex_encoding(case.fmt, &case.a)
+    );
+    if case.op.arity() >= 2 {
+        line.push(' ');
+        line.push_str(&hex_encoding(case.fmt, &case.b));
+    }
+    if case.op.arity() >= 3 {
+        line.push(' ');
+        line.push_str(&hex_encoding(case.fmt, &case.c));
+    }
+    line
+}
+
+fn hex_encoding(fmt: LimbFormat, bits: &[u64]) -> String {
+    let digits = (fmt.total_bits() as usize).div_ceil(4);
+    let mut s = String::with_capacity(digits + 2);
+    for &limb in bits.iter().rev() {
+        s.push_str(&format!("{limb:016x}"));
+    }
+    let s = &s[s.len() - digits..];
+    format!("0x{s}")
+}
+
+fn parse_hex_encoding(fmt: LimbFormat, token: &str) -> Option<Vec<u64>> {
+    let digits = token.strip_prefix("0x")?;
+    if digits.is_empty() || digits.len() > (fmt.total_bits() as usize).div_ceil(4) {
+        return None;
+    }
+    let padded = format!("{:0>width$}", digits, width = fmt.limbs() * 16);
+    let mut limbs = Vec::with_capacity(fmt.limbs());
+    for i in (0..fmt.limbs()).rev() {
+        limbs.push(u64::from_str_radix(&padded[i * 16..(i + 1) * 16], 16).ok()?);
+    }
+    if !fmt.is_canonical(&limbs) {
+        return None;
+    }
+    Some(limbs)
+}
+
+/// Parse a wide corpus line. Blank lines and `#` comments yield `None`.
+pub fn parse_limb_case(line: &str) -> Option<LimbCase> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return None;
+    }
+    let mut tok = line.split_whitespace();
+    let op = Op::parse(tok.next()?)?;
+    if !LIMB_OPS.contains(&op) {
+        return None;
+    }
+    let fmt: LimbFormat = tok.next()?.parse().ok()?;
+    let mode = parse_mode(tok.next()?)?;
+    let a = parse_hex_encoding(fmt, tok.next()?)?;
+    let b = if op.arity() >= 2 {
+        parse_hex_encoding(fmt, tok.next()?)?
+    } else {
+        fmt.zero()
+    };
+    let c = if op.arity() >= 3 {
+        parse_hex_encoding(fmt, tok.next()?)?
+    } else {
+        fmt.zero()
+    };
+    Some(LimbCase {
+        op,
+        fmt,
+        mode,
+        a,
+        b,
+        c,
+    })
+}
+
+/// Complexity measure for greedy shrinking: total set bits, then the
+/// numeric value (compared via `Big`).
+fn complexity(bits: &[u64]) -> (u32, Big) {
+    (
+        bits.iter().map(|l| l.count_ones()).sum(),
+        Big::from_limbs(bits),
+    )
+}
+
+/// Candidate simplifications for one wide operand — the limb analogue
+/// of the scalar shrinker's moves (toward zero/one, clear fraction
+/// tails, pull the exponent to the bias, clear the sign), plus
+/// whole-limb clearing, which is the move that matters at 4 limbs.
+fn limb_candidates(fmt: LimbFormat, bits: &[u64]) -> Vec<Vec<u64>> {
+    let (sign, exp, frac) = fmt.unpack_parts(bits);
+    let bias = fmt.bias() as u64;
+    let fb = fmt.frac_bits() as u64;
+    let frac_big = Big::from_limbs(&frac);
+    let pack = |s: bool, e: u64, f: &Big| fmt.pack_parts(s, e, &f.to_limbs_fixed(fmt.limbs()));
+
+    let mut out = vec![
+        fmt.zero(),
+        pack(false, bias, &Big::zero()), // one
+        pack(sign, exp, &Big::zero()),
+    ];
+    // Clear whole fraction limbs from the bottom up.
+    for limb in 0..fmt.limbs() {
+        let mut cleared = frac.clone();
+        for l in cleared.iter_mut().take(limb + 1) {
+            *l = 0;
+        }
+        out.push(pack(sign, exp, &Big::from_limbs(&cleared)));
+    }
+    // Keep only the top 1/2/4/8 fraction bits.
+    for keep in [1u64, 2, 4, 8] {
+        if keep < fb {
+            let (kept, _) = frac_big.shr_sticky(fb - keep);
+            out.push(pack(sign, exp, &kept.shl(fb - keep)));
+        }
+    }
+    // Keep only the fraction LSB.
+    out.push(pack(sign, exp, &frac_big.mask_low(1)));
+    // Pull the exponent halfway toward the bias, then all the way.
+    if exp != bias && exp != 0 && exp != fmt.inf_biased_exp() {
+        let towards = (exp + bias) / 2;
+        if towards != exp {
+            out.push(pack(sign, towards, &frac_big));
+        }
+        out.push(pack(sign, bias, &frac_big));
+    }
+    // Clear the sign.
+    if sign {
+        out.push(pack(false, exp, &frac_big));
+    }
+    out.retain(|c| c != bits);
+    out
+}
+
+/// Greedily minimize a failing wide case with `still_fails` as the
+/// oracle, accepting a candidate only when it strictly decreases the
+/// complexity measure (termination) and the failure survives.
+pub fn minimize_limb_with(
+    case: &LimbCase,
+    mut still_fails: impl FnMut(&LimbCase) -> bool,
+) -> LimbCase {
+    let mut best = case.clone();
+    let arity = case.op.arity();
+    loop {
+        let mut improved = false;
+        for slot in 0..arity {
+            let bits = match slot {
+                0 => best.a.clone(),
+                1 => best.b.clone(),
+                _ => best.c.clone(),
+            };
+            for cand in limb_candidates(best.fmt, &bits) {
+                if complexity(&cand) >= complexity(&bits) {
+                    continue;
+                }
+                let mut trial = best.clone();
+                match slot {
+                    0 => trial.a = cand,
+                    1 => trial.b = cand,
+                    _ => trial.c = cand,
+                }
+                if still_fails(&trial) {
+                    best = trial;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+/// Minimize a kernel/oracle divergence.
+pub fn minimize_limb(case: &LimbCase) -> LimbCase {
+    minimize_limb_with(case, |c| check_limb_case(c).is_some())
+}
+
+/// Wide-sweep parameters.
+#[derive(Clone, Debug)]
+pub struct LimbSweepConfig {
+    /// Ops to sweep (silently intersected with [`LIMB_OPS`]).
+    pub ops: Vec<Op>,
+    /// Wide formats to sweep.
+    pub formats: Vec<LimbFormat>,
+    /// Random samples per (op, format, mode) combination, on top of the
+    /// exhaustive special-value cross product.
+    pub samples: u64,
+    /// Seed for the random corpus.
+    pub seed: u64,
+    /// At most this many divergences stored per combination.
+    pub max_divergences: usize,
+    /// Worker threads (0 = one per CPU); byte-identical at any count.
+    pub threads: usize,
+}
+
+impl Default for LimbSweepConfig {
+    fn default() -> LimbSweepConfig {
+        LimbSweepConfig {
+            ops: LIMB_OPS.to_vec(),
+            formats: vec![LimbFormat::F128, LimbFormat::F256],
+            samples: 20_000,
+            seed: 1,
+            max_divergences: 8,
+            threads: 1,
+        }
+    }
+}
+
+/// Outcome of one (op, format, mode) combination.
+#[derive(Clone, Debug)]
+pub struct LimbOpReport {
+    /// Operation.
+    pub op: Op,
+    /// Format.
+    pub fmt: LimbFormat,
+    /// Rounding mode.
+    pub mode: RoundMode,
+    /// Cases evaluated.
+    pub cases: u64,
+    /// Total divergences counted.
+    pub divergences: u64,
+    /// First few divergences, for reporting/shrinking.
+    pub examples: Vec<LimbDivergence>,
+}
+
+/// Aggregated wide-sweep outcome.
+#[derive(Clone, Debug, Default)]
+pub struct LimbSweepReport {
+    /// Per-combination reports.
+    pub reports: Vec<LimbOpReport>,
+}
+
+impl LimbSweepReport {
+    /// Total cases across the sweep.
+    pub fn total_cases(&self) -> u64 {
+        self.reports.iter().map(|r| r.cases).sum()
+    }
+
+    /// Total divergences across the sweep.
+    pub fn total_divergences(&self) -> u64 {
+        self.reports.iter().map(|r| r.divergences).sum()
+    }
+
+    /// All stored example divergences.
+    pub fn examples(&self) -> impl Iterator<Item = &LimbDivergence> {
+        self.reports.iter().flat_map(|r| r.examples.iter())
+    }
+}
+
+fn derived_seed(base: u64, op: Op, fmt: LimbFormat, mode: RoundMode) -> u64 {
+    let mut h = Rng64::new(base ^ ((op as u64) << 8) ^ ((fmt.exp_bits() as u64) << 16));
+    h.next_u64() ^ ((fmt.frac_bits() as u64) << 32) ^ (mode == RoundMode::Truncate) as u64
+}
+
+/// Generate the case stream for one combination: the exhaustive
+/// special-value cross product (squared for binary ops; anchor squares
+/// plus the rotated diagonal for fma, as in the scalar sweep) followed
+/// by `samples` biased random draws.
+fn limb_cases_for(
+    op: Op,
+    fmt: LimbFormat,
+    mode: RoundMode,
+    samples: u64,
+    seed: u64,
+    mut visit: impl FnMut(LimbCase),
+) {
+    let specials = limb_special_values(fmt);
+    let case = |a: Vec<u64>, b: Vec<u64>, c: Vec<u64>| LimbCase {
+        op,
+        fmt,
+        mode,
+        a,
+        b,
+        c,
+    };
+    if op.arity() == 2 {
+        for a in &specials {
+            for b in &specials {
+                visit(case(a.clone(), b.clone(), fmt.zero()));
+            }
+        }
+    } else {
+        let n = specials.len();
+        let one = fmt.pack_parts(false, fmt.bias() as u64, &fmt.zero());
+        let anchors = [fmt.zero(), one, fmt.pos_inf()];
+        for a in &specials {
+            for b in &specials {
+                for c in &anchors {
+                    visit(case(a.clone(), b.clone(), c.clone()));
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                visit(case(
+                    specials[i].clone(),
+                    specials[j].clone(),
+                    specials[(i + j) % n].clone(),
+                ));
+            }
+        }
+    }
+    let mut gen = LimbCaseGen::new(fmt, derived_seed(seed, op, fmt, mode));
+    for _ in 0..samples {
+        if op.arity() == 2 {
+            let (a, b) = gen.pair();
+            visit(case(a, b, fmt.zero()));
+        } else {
+            let (a, b, c) = gen.triple();
+            visit(case(a, b, c));
+        }
+    }
+}
+
+/// Run the wide-format differential sweep, sharded over
+/// `config.threads` scoped workers at combination granularity.
+pub fn run_limb_sweep(config: &LimbSweepConfig) -> LimbSweepReport {
+    let mut combos: Vec<(Op, LimbFormat, RoundMode)> = Vec::new();
+    for &op in &config.ops {
+        if !LIMB_OPS.contains(&op) {
+            continue;
+        }
+        for &fmt in &config.formats {
+            for mode in MODES {
+                combos.push((op, fmt, mode));
+            }
+        }
+    }
+    let reports = fpfpga_fpu::parallel_map_slice(config.threads, &combos, |_, &(op, fmt, mode)| {
+        let mut r = LimbOpReport {
+            op,
+            fmt,
+            mode,
+            cases: 0,
+            divergences: 0,
+            examples: Vec::new(),
+        };
+        limb_cases_for(op, fmt, mode, config.samples, config.seed, |case| {
+            r.cases += 1;
+            if let Some(d) = check_limb_case(&case) {
+                r.divergences += 1;
+                if r.examples.len() < config.max_divergences {
+                    r.examples.push(d);
+                }
+            }
+        });
+        r
+    });
+    LimbSweepReport { reports }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wide_lines_roundtrip() {
+        let fmt = LimbFormat::F128;
+        let case = LimbCase {
+            op: Op::Fma,
+            fmt,
+            mode: RoundMode::Truncate,
+            a: fmt.pack_parts(false, fmt.bias() as u64, &[1, 0]),
+            b: fmt.neg_inf(),
+            c: fmt.quiet_nan(),
+        };
+        let line = render_limb_case(&case);
+        assert_eq!(parse_limb_case(&line), Some(case));
+
+        let add = LimbCase {
+            op: Op::Add,
+            fmt: LimbFormat::F256,
+            mode: RoundMode::NearestEven,
+            a: LimbFormat::F256.min_denormal(),
+            b: LimbFormat::F256.max_finite(),
+            c: LimbFormat::F256.zero(),
+        };
+        assert_eq!(parse_limb_case(&render_limb_case(&add)), Some(add));
+
+        assert_eq!(parse_limb_case("# comment"), None);
+        assert_eq!(parse_limb_case("div f128 rne 0x0 0x0"), None);
+        // Stray bits above total_bits are rejected.
+        assert_eq!(parse_limb_case("add e2f2 rne 0x40 0x0"), None);
+    }
+
+    #[test]
+    fn specials_are_canonical_and_plentiful() {
+        for fmt in [LimbFormat::F128, LimbFormat::F256, LimbFormat::new(5, 70)] {
+            let s = limb_special_values(fmt);
+            assert!(
+                s.len() >= 60,
+                "{}: only {} specials",
+                fmt.canonical_name(),
+                s.len()
+            );
+            for v in &s {
+                assert!(fmt.is_canonical(v));
+            }
+        }
+    }
+
+    #[test]
+    fn minimizer_preserves_failure_and_simplifies() {
+        // Synthetic oracle: "fails whenever a is NaN".
+        let fmt = LimbFormat::F128;
+        let noisy_nan = fmt.pack_parts(true, fmt.inf_biased_exp(), &[0xdead_beef_0123_4567, 0xabc]);
+        let case = LimbCase {
+            op: Op::Add,
+            fmt,
+            mode: RoundMode::NearestEven,
+            a: noisy_nan.clone(),
+            b: fmt.max_finite(),
+            c: fmt.zero(),
+        };
+        let is_nan = |bits: &[u64]| {
+            let (_, e, frac) = fmt.unpack_parts(bits);
+            e == fmt.inf_biased_exp() && frac.iter().any(|&l| l != 0)
+        };
+        let min = minimize_limb_with(&case, |c| is_nan(&c.a));
+        assert!(is_nan(&min.a), "must preserve the failure");
+        assert_eq!(min.b, fmt.zero(), "side operand fully simplified");
+        assert!(complexity(&min.a) < complexity(&noisy_nan));
+    }
+
+    #[test]
+    fn tiny_wide_sweep_is_clean_and_thread_invariant() {
+        let base = LimbSweepConfig {
+            formats: vec![LimbFormat::F128],
+            samples: 200,
+            ..LimbSweepConfig::default()
+        };
+        let r1 = run_limb_sweep(&base);
+        assert_eq!(r1.total_divergences(), 0, "kernel diverged from oracle");
+        let r2 = run_limb_sweep(&LimbSweepConfig { threads: 3, ..base });
+        assert_eq!(r1.total_cases(), r2.total_cases());
+        let lines1: Vec<_> = r1.examples().map(|d| render_limb_case(&d.case)).collect();
+        let lines2: Vec<_> = r2.examples().map(|d| render_limb_case(&d.case)).collect();
+        assert_eq!(lines1, lines2);
+    }
+}

@@ -1,0 +1,55 @@
+//! Replay the checked-in wide-format regression corpus
+//! (`tests/conform_corpus/limb/` at the repository root) through the
+//! limb kernels and the `BigFloat` oracle. Every line is a minimized
+//! reproducer of a bug class hit while bringing the multi-limb
+//! datapath up; kernel/oracle agreement here is what keeps each one
+//! fixed.
+
+use fpfpga_conform::limb::{check_limb_case, parse_limb_case};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/conform_corpus/limb")
+}
+
+#[test]
+fn every_wide_corpus_case_agrees_with_the_oracle() {
+    let dir = corpus_dir();
+    let mut cases = 0usize;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "txt"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "wide corpus lost its files?");
+    for path in entries {
+        let text = std::fs::read_to_string(&path).unwrap();
+        for (ln, line) in text.lines().enumerate() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let case = parse_limb_case(line).unwrap_or_else(|| {
+                panic!(
+                    "{}:{}: unparseable wide corpus line `{line}`",
+                    path.display(),
+                    ln + 1
+                )
+            });
+            cases += 1;
+            if let Some(d) = check_limb_case(&case) {
+                panic!(
+                    "{}:{}: regressed: {line}\n  kernel {:x?} {:?}\n  oracle {:x?} {:?}",
+                    path.display(),
+                    ln + 1,
+                    d.ours.0,
+                    d.ours.1,
+                    d.reference.0,
+                    d.reference.1
+                );
+            }
+        }
+    }
+    assert!(cases >= 15, "wide corpus lost cases? found {cases}");
+}

@@ -74,6 +74,7 @@ pub mod repro;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use fpfpga_baselines::{Processor, ProcessorComparison, Table3, Table4, VendorCore};
+    pub use fpfpga_fabric::ApFormat;
     pub use fpfpga_fabric::{
         timing, AreaCost, Device, Netlist, Objective, PipelineStrategy, SynthesisOptions, Tech,
     };
@@ -91,9 +92,10 @@ pub mod prelude {
     pub use fpfpga_matmul::{ErrorBudget, ErrorMeter, ErrorStats};
     pub use fpfpga_power::{ComponentClass, EnergyBill, PowerBreakdown, PowerModel};
     pub use fpfpga_serve::{
-        run_serial, run_serial_with, synth_trace, Job, JobHandle, JobOutcome, JobResult, JobSpec,
-        Kernel, MetricsSnapshot, PolicyBook, PolicySel, Priority, ServeConfig, ServePool,
+        run_serial, run_serial_with, synth_trace, ApOp, Job, JobHandle, JobOutcome, JobResult,
+        JobSpec, Kernel, MetricsSnapshot, PolicyBook, PolicySel, Priority, ServeConfig, ServePool,
         SubmitError, TraceConfig,
     };
+    pub use fpfpga_softfp::limb::{limb_add, limb_fma, limb_mul, limb_sub, LimbFormat};
     pub use fpfpga_softfp::{Flags, FpFormat, PrecisionPolicy, RoundMode, SoftFloat};
 }

@@ -1,0 +1,370 @@
+//! Arbitrary-precision (multi-limb) core models.
+//!
+//! The paper stops at double precision, but its methodology — describe
+//! each subunit as delay atoms, insert registers, re-run timing —
+//! extends mechanically to the wide formats the `softfp::limb` kernels
+//! compute (f128, f256, arbitrary `e<E>f<F>`). This module builds the
+//! same adder/multiplier/fma datapath netlists the ≤64-bit cores use,
+//! with every bus width derived from the wide significand:
+//!
+//! * the mantissa multiplier becomes a multi-BMULT tree —
+//!   `ceil(sig/17)²` embedded 18×18 blocks plus the fabric adder tree
+//!   that sums the partial products (113-bit f128 significands take 49
+//!   BMULTs, 237-bit f256 significands take 196);
+//! * the alignment/normalization barrel shifters grow to
+//!   `sig + GRS` data bits with `log2` mux levels, which is where the
+//!   achievable clock goes first;
+//! * carry chains lengthen linearly with limb count, so the pipeline
+//!   depth needed to hold a target clock grows roughly linearly in
+//!   limbs for the adder and superlinearly for the multiplier tree.
+//!
+//! [`ApFormat::depth_for_clock`] exposes that last relation directly:
+//! the minimum pipeline depth at which the core sustains a requested
+//! frequency — the number the serving layer uses to price `apfloat`
+//! jobs.
+
+use crate::netlist::Netlist;
+use crate::primitives::{log2_ceil, Primitive};
+use crate::report::ImplementationReport;
+use crate::synthesis::SynthesisOptions;
+use crate::tech::Tech;
+use crate::timing;
+use crate::PipelineStrategy;
+
+/// Guard/round/sticky bits carried through the wide adder datapath
+/// (same as the scalar cores).
+const GRS_BITS: u32 = 3;
+
+/// An arbitrary-precision floating-point geometry: `1 + exp_bits +
+/// frac_bits` total encoding bits, significand `frac_bits + 1` wide.
+/// Mirrors `fpfpga_softfp::limb::LimbFormat` without a crate
+/// dependency (the fabric model only needs the widths).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ApFormat {
+    /// Exponent field width in bits.
+    pub exp_bits: u32,
+    /// Fraction field width in bits (excluding the hidden one).
+    pub frac_bits: u32,
+}
+
+impl ApFormat {
+    /// IEEE 754 binary128: 15-bit exponent, 112-bit fraction.
+    pub const F128: ApFormat = ApFormat {
+        exp_bits: 15,
+        frac_bits: 112,
+    };
+
+    /// A binary256-style format: 19-bit exponent, 236-bit fraction.
+    pub const F256: ApFormat = ApFormat {
+        exp_bits: 19,
+        frac_bits: 236,
+    };
+
+    /// An arbitrary geometry.
+    pub const fn new(exp_bits: u32, frac_bits: u32) -> ApFormat {
+        ApFormat {
+            exp_bits,
+            frac_bits,
+        }
+    }
+
+    /// Total encoding width (sign + exponent + fraction).
+    pub const fn total_bits(self) -> u32 {
+        1 + self.exp_bits + self.frac_bits
+    }
+
+    /// Significand width including the hidden bit.
+    pub const fn sig_bits(self) -> u32 {
+        self.frac_bits + 1
+    }
+
+    /// 64-bit limbs per encoding (the software kernels' storage unit,
+    /// and the natural word granularity of the wide register files).
+    pub const fn limbs(self) -> u32 {
+        self.total_bits().div_ceil(64)
+    }
+
+    /// 18×18 embedded multiplier blocks consumed by the mantissa
+    /// multiplier tree: `ceil(sig/17)²` partial products.
+    pub const fn bmults(self) -> u32 {
+        let n = self.sig_bits().div_ceil(17);
+        n * n
+    }
+
+    /// The wide adder/subtractor netlist: the scalar adder's dataflow
+    /// (compare/swap → align → add → normalize → round) with every bus
+    /// at the wide significand width.
+    pub fn adder_netlist(self, tech: &Tech) -> Netlist {
+        let sig = self.sig_bits();
+        let wide = sig + GRS_BITS;
+        let mut n = Netlist::new(
+            &format!("apfloat e{}f{} adder", self.exp_bits, self.frac_bits),
+            self.total_bits(),
+            self.exp_bits + 6,
+        );
+        n.push(
+            "mantissa comparator",
+            &Primitive::Comparator { bits: sig },
+            tech,
+        )
+        .push_parallel(
+            "exponent comparator",
+            &Primitive::Comparator {
+                bits: self.exp_bits,
+            },
+            tech,
+        )
+        .push("swap mux", &Primitive::Mux2 { bits: sig }, tech)
+        .push(
+            "align shifter",
+            &Primitive::BarrelShifter {
+                bits: wide,
+                levels: log2_ceil(wide),
+            },
+            tech,
+        )
+        .push(
+            "mantissa adder",
+            &Primitive::FixedAdder {
+                bits: wide,
+                carry_ns_per_bit: tech.t_carry_per_bit_ns,
+            },
+            tech,
+        )
+        .push("carry shift mux", &Primitive::Mux2 { bits: wide }, tech)
+        .push(
+            "priority encoder",
+            &Primitive::PriorityEncoder {
+                bits: wide,
+                forced: true,
+            },
+            tech,
+        )
+        .push(
+            "normalize shifter",
+            &Primitive::BarrelShifter {
+                bits: wide,
+                levels: log2_ceil(wide),
+            },
+            tech,
+        )
+        .push(
+            "mantissa round adder",
+            &Primitive::ConstAdder { bits: sig },
+            tech,
+        )
+        .push_parallel(
+            "exponent adjust",
+            &Primitive::ConstAdder {
+                bits: self.exp_bits,
+            },
+            tech,
+        );
+        n
+    }
+
+    /// The wide multiplier netlist: multi-BMULT mantissa tree, exponent
+    /// add/bias-subtract in parallel, small normalize, round.
+    pub fn multiplier_netlist(self, tech: &Tech) -> Netlist {
+        let sig = self.sig_bits();
+        let mut n = Netlist::new(
+            &format!("apfloat e{}f{} multiplier", self.exp_bits, self.frac_bits),
+            self.total_bits(),
+            self.exp_bits + 6,
+        );
+        n.push(
+            "mantissa multiplier tree",
+            &Primitive::Mult18Tree { bits: sig },
+            tech,
+        )
+        .push_parallel(
+            "exponent adder",
+            &Primitive::FixedAdder {
+                bits: self.exp_bits + 1,
+                carry_ns_per_bit: tech.t_carry_per_bit_ns,
+            },
+            tech,
+        )
+        .push("normalize mux", &Primitive::Mux2 { bits: sig + 1 }, tech)
+        .push(
+            "mantissa round adder",
+            &Primitive::ConstAdder { bits: sig },
+            tech,
+        );
+        n
+    }
+
+    /// The wide fused multiply-add netlist: the multiplier tree feeding
+    /// a triple-width align/add/normalize tail (the product is `2·sig`
+    /// wide and the addend anchors up to `sig` above it).
+    pub fn fma_netlist(self, tech: &Tech) -> Netlist {
+        let sig = self.sig_bits();
+        let acc = 2 * sig + GRS_BITS;
+        let mut n = Netlist::new(
+            &format!("apfloat e{}f{} fma", self.exp_bits, self.frac_bits),
+            self.total_bits(),
+            self.exp_bits + 6,
+        );
+        n.push(
+            "mantissa multiplier tree",
+            &Primitive::Mult18Tree { bits: sig },
+            tech,
+        )
+        .push_parallel(
+            "exponent adder",
+            &Primitive::FixedAdder {
+                bits: self.exp_bits + 1,
+                carry_ns_per_bit: tech.t_carry_per_bit_ns,
+            },
+            tech,
+        )
+        .push(
+            "addend align shifter",
+            &Primitive::BarrelShifter {
+                bits: acc,
+                levels: log2_ceil(acc),
+            },
+            tech,
+        )
+        .push(
+            "accumulator adder",
+            &Primitive::FixedAdder {
+                bits: acc,
+                carry_ns_per_bit: tech.t_carry_per_bit_ns,
+            },
+            tech,
+        )
+        .push(
+            "priority encoder",
+            &Primitive::PriorityEncoder {
+                bits: acc,
+                forced: true,
+            },
+            tech,
+        )
+        .push(
+            "normalize shifter",
+            &Primitive::BarrelShifter {
+                bits: acc,
+                levels: log2_ceil(acc),
+            },
+            tech,
+        )
+        .push(
+            "mantissa round adder",
+            &Primitive::ConstAdder { bits: sig },
+            tech,
+        );
+        n
+    }
+
+    /// Pipeline-depth sweep of one wide core (the Figure-2 methodology
+    /// applied past double precision).
+    pub fn sweep(
+        self,
+        netlist: &Netlist,
+        opts: SynthesisOptions,
+        tech: &Tech,
+    ) -> Vec<ImplementationReport> {
+        timing::sweep_stages(netlist, PipelineStrategy::IterativeRefinement, opts, tech)
+    }
+
+    /// Minimum pipeline depth at which `netlist` sustains `clock_mhz`,
+    /// with its report — or `None` if no depth reaches it. This is the
+    /// "depth as a function of limb count" relation: sweep it over
+    /// formats of growing width at a fixed clock target.
+    pub fn depth_for_clock(
+        self,
+        netlist: &Netlist,
+        opts: SynthesisOptions,
+        tech: &Tech,
+        clock_mhz: f64,
+    ) -> Option<ImplementationReport> {
+        self.sweep(netlist, opts, tech)
+            .into_iter()
+            .find(|r| r.clock_mhz >= clock_mhz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Tech {
+        Tech::default()
+    }
+
+    #[test]
+    fn bmult_counts_scale_quadratically_with_width() {
+        assert_eq!(ApFormat::new(8, 23).bmults(), 4); // f32: 24-bit sig
+        assert_eq!(ApFormat::new(11, 52).bmults(), 16); // f64: 53-bit sig
+        assert_eq!(ApFormat::F128.bmults(), 49); // 113-bit sig → 7²
+        assert_eq!(ApFormat::F256.bmults(), 196); // 237-bit sig → 14²
+        assert_eq!(ApFormat::F128.limbs(), 2);
+        assert_eq!(ApFormat::F256.limbs(), 4);
+    }
+
+    #[test]
+    fn multiplier_area_reports_the_tree_bmults() {
+        let t = tech();
+        let fmt = ApFormat::F128;
+        let reports = fmt.sweep(&fmt.multiplier_netlist(&t), SynthesisOptions::default(), &t);
+        assert!(!reports.is_empty());
+        for r in &reports {
+            assert_eq!(r.bmults, fmt.bmults());
+        }
+    }
+
+    #[test]
+    fn deeper_pipelines_raise_the_clock_monotonically_enough() {
+        // The sweep's best clock at high depth must beat the 1-stage
+        // clock by a wide margin for every wide core.
+        let t = tech();
+        for fmt in [ApFormat::F128, ApFormat::F256] {
+            for nl in [
+                fmt.adder_netlist(&t),
+                fmt.multiplier_netlist(&t),
+                fmt.fma_netlist(&t),
+            ] {
+                let reports = fmt.sweep(&nl, SynthesisOptions::default(), &t);
+                let first = reports.first().unwrap().clock_mhz;
+                let best = reports.iter().map(|r| r.clock_mhz).fold(0.0, f64::max);
+                assert!(
+                    best > 2.0 * first,
+                    "{}: pipelining only {first:.1} -> {best:.1} MHz",
+                    nl.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn depth_to_hold_a_clock_grows_with_limb_count() {
+        // The headline scaling law: at a fixed clock target, wider
+        // formats need deeper adder pipelines.
+        let t = tech();
+        let opts = SynthesisOptions::default();
+        let target = 100.0;
+        let mut last_depth = 0;
+        for fmt in [
+            ApFormat::new(11, 52),
+            ApFormat::F128,
+            ApFormat::F256,
+            ApFormat::new(23, 488), // 8-limb format
+        ] {
+            let nl = fmt.adder_netlist(&t);
+            let r = fmt
+                .depth_for_clock(&nl, opts, &t, target)
+                .unwrap_or_else(|| panic!("{}: {target} MHz unreachable", nl.name));
+            assert!(
+                r.stages >= last_depth,
+                "{}: depth {} < previous {}",
+                nl.name,
+                r.stages,
+                last_depth
+            );
+            last_depth = r.stages;
+        }
+        assert!(last_depth > 1, "widest format should need real pipelining");
+    }
+}

@@ -39,6 +39,7 @@
 //! * [`device`] — the Virtex-II Pro catalog with resource counts, used to
 //!   fill a device with processing elements for the matmul kernel.
 
+pub mod apfloat;
 pub mod area;
 pub mod device;
 pub mod netlist;
@@ -49,6 +50,7 @@ pub mod synthesis;
 pub mod tech;
 pub mod timing;
 
+pub use apfloat::ApFormat;
 pub use area::AreaCost;
 pub use device::Device;
 pub use netlist::{Component, Netlist};

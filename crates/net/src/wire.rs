@@ -31,7 +31,8 @@ use fpfpga_fpu::analysis::CoreKind;
 use fpfpga_matmul::array::ArrayStats;
 use fpfpga_matmul::pe::UnitBackend;
 use fpfpga_matmul::{Cplx, ErrorBudget, Matrix};
-use fpfpga_serve::{EltOp, JobResult, JobSpec, Kernel, PolicySel, Priority};
+use fpfpga_serve::{ApOp, EltOp, JobResult, JobSpec, Kernel, PolicySel, Priority};
+use fpfpga_softfp::limb::LimbFormat;
 use fpfpga_softfp::{Flags, FpFormat, PrecisionPolicy, RoundMode};
 
 /// Protocol version carried in every frame header.
@@ -527,6 +528,22 @@ fn enc_kernel(e: &mut Enc, k: &Kernel) {
             enc_cplx_vec(e, data);
             e.boolean(*inverse);
         }
+        Kernel::Apfloat { op, fmt, a, b, c } => {
+            e.u8(7);
+            e.u8(match op {
+                ApOp::Add => 0,
+                ApOp::Sub => 1,
+                ApOp::Mul => 2,
+                ApOp::Fma => 3,
+            });
+            e.u8(fmt.exp_bits() as u8);
+            e.u32(fmt.frac_bits());
+            // Every operand is exactly `fmt.limbs()` words, so streams
+            // carry one count and raw limbs — no per-element prefixes.
+            enc_limb_stream(e, a);
+            enc_limb_stream(e, b);
+            enc_limb_stream(e, c);
+        }
         Kernel::Sweep { kind, opts } => {
             e.u8(6);
             e.u8(match kind {
@@ -539,6 +556,31 @@ fn enc_kernel(e: &mut Enc, k: &Kernel) {
             e.u8(obj_tag(opts.par));
         }
     }
+}
+
+fn enc_limb_stream(e: &mut Enc, xs: &[Vec<u64>]) {
+    e.u32(xs.len() as u32);
+    for enc in xs {
+        for &limb in enc {
+            e.u64(limb);
+        }
+    }
+}
+
+/// Decode a stream of `limbs`-word operands. The element count is
+/// bounds-checked against the remaining buffer *scaled by the operand
+/// size* before allocation.
+fn dec_limb_stream(d: &mut Dec, limbs: usize) -> Result<Vec<Vec<u64>>, WireError> {
+    let n = d.len_prefix(limbs.saturating_mul(8))?;
+    let mut xs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut enc = Vec::with_capacity(limbs);
+        for _ in 0..limbs {
+            enc.push(d.u64()?);
+        }
+        xs.push(enc);
+    }
+    Ok(xs)
 }
 
 fn obj_tag(o: Objective) -> u8 {
@@ -647,6 +689,24 @@ fn dec_kernel(d: &mut Dec) -> Result<Kernel, WireError> {
                 kind,
                 opts: SynthesisOptions { synthesis, par },
             }
+        }
+        7 => {
+            let op = match d.u8()? {
+                0 => ApOp::Add,
+                1 => ApOp::Sub,
+                2 => ApOp::Mul,
+                3 => ApOp::Fma,
+                v => return Err(bad(format!("apfloat op tag {v}"))),
+            };
+            let exp = d.u8()? as u32;
+            let frac = d.u32()?;
+            let fmt = LimbFormat::try_new(exp, frac)
+                .ok_or_else(|| bad(format!("wide format widths e={exp} f={frac}")))?;
+            let limbs = fmt.limbs();
+            let a = dec_limb_stream(d, limbs)?;
+            let b = dec_limb_stream(d, limbs)?;
+            let c = dec_limb_stream(d, limbs)?;
+            Kernel::Apfloat { op, fmt, a, b, c }
         }
         v => return Err(bad(format!("kernel tag {v}"))),
     })
@@ -810,6 +870,16 @@ pub fn encode_result(r: &JobResult) -> Vec<u8> {
             enc_cplx_vec(&mut e, data);
             e.u64(*cycles);
         }
+        JobResult::Apfloat(rs) => {
+            e.u8(7);
+            e.u32(rs.len() as u32);
+            // Unlike the request, results carry a per-element limb
+            // count: the decoder has no format to derive it from.
+            for (bits, flags) in rs {
+                e.u64_slice(bits);
+                enc_flags(&mut e, *flags);
+            }
+        }
         JobResult::Sweep { opt, depths } => {
             e.u8(6);
             e.str(&opt.name);
@@ -844,6 +914,12 @@ pub fn encoded_result_len(r: &JobResult) -> u64 {
         JobResult::Mvm { y, .. } => 13 + 8 * y.len() as u64,
         JobResult::Lu { lu, .. } => 26 + matrix_len(lu),
         JobResult::Fft { data, .. } => 13 + 16 * data.len() as u64,
+        JobResult::Apfloat(rs) => {
+            5 + rs
+                .iter()
+                .map(|(bits, _)| 5 + 8 * bits.len() as u64)
+                .sum::<u64>()
+        }
         JobResult::Sweep { opt, .. } => 53 + opt.name.len() as u64,
     }
 }
@@ -893,6 +969,16 @@ pub fn decode_result(body: &[u8]) -> Result<JobResult, WireError> {
             data: dec_cplx_vec(&mut d)?,
             cycles: d.u64()?,
         },
+        7 => {
+            let n = d.len_prefix(5)?;
+            let mut rs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let bits = d.u64_vec()?;
+                let flags = dec_flags(&mut d)?;
+                rs.push((bits, flags));
+            }
+            JobResult::Apfloat(rs)
+        }
         6 => JobResult::Sweep {
             opt: ImplementationReport {
                 name: d.str()?,
@@ -1199,6 +1285,47 @@ mod tests {
     }
 
     #[test]
+    fn apfloat_codec_round_trips_and_rejects_bad_widths() {
+        use fpfpga_serve::{ApOp, Job};
+        let fmt = LimbFormat::F128;
+        let one = fmt.pack_parts(false, fmt.bias() as u64, &[0, 0]);
+        let two = fmt.pack_parts(false, fmt.bias() as u64 + 1, &[0, 0]);
+        let spec = JobSpec::new(Job::uniform(
+            Kernel::Apfloat {
+                op: ApOp::Fma,
+                fmt,
+                a: vec![one.clone(), two.clone()],
+                b: vec![two.clone(), one.clone()],
+                c: vec![one.clone(), one.clone()],
+            },
+            FpFormat::try_new(8, 23).unwrap(),
+            RoundMode::NearestEven,
+        ));
+        let body = encode_spec(&spec);
+        let back = decode_spec(&body).expect("round trip");
+        assert_eq!(format!("{back:?}"), format!("{spec:?}"));
+        // Truncations never panic.
+        for cut in 0..body.len() {
+            assert!(decode_spec(&body[..cut]).is_err(), "prefix {cut} decoded");
+        }
+        // An impossible wide geometry is a typed refusal: frac_bits
+        // past the 4096 cap fails LimbFormat::try_new in the decoder.
+        let mut bad_fmt = body.clone();
+        // kernel tag (1) + op tag (1) + exp u8 (1), then frac u32.
+        bad_fmt[3..7].copy_from_slice(&5000u32.to_le_bytes());
+        match decode_spec(&bad_fmt) {
+            Err(WireError::Malformed(m)) => assert!(m.contains("wide format"), "{m}"),
+            other => panic!("expected malformed wide format, got {other:?}"),
+        }
+        // Results round trip too, flags included.
+        let r = JobResult::Apfloat(vec![
+            (one, Flags::from_bits(0b00011)),
+            (two, Flags::from_bits(0)),
+        ]);
+        assert_eq!(decode_result(&encode_result(&r)).unwrap(), r);
+    }
+
+    #[test]
     fn frame_round_trips_through_a_byte_stream() {
         let frame = Frame {
             kind: FrameKind::Request,
@@ -1305,6 +1432,10 @@ mod tests {
                 data: vec![Cplx { re: 1, im: 2 }; 8],
                 cycles: 5,
             },
+            JobResult::Apfloat(vec![
+                (vec![1, 2], Flags::from_bits(0b1)),
+                (vec![3, 4, 5, 6], Flags::from_bits(0)),
+            ]),
             JobResult::Sweep {
                 opt: ImplementationReport {
                     name: "adder-s3".into(),

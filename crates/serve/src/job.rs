@@ -26,6 +26,7 @@ use fpfpga_matmul::{
     array::ArrayStats, mixed, BlockMatMul, Cplx, DotProductUnit, FftEngine, LinearArray, LuEngine,
     Matrix, MultiMatMul, MvmEngine, PlanError,
 };
+use fpfpga_softfp::limb::{limb_add, limb_fma, limb_mul, limb_sub, LimbFormat};
 use fpfpga_softfp::{convert, Flags, FpFormat, PrecisionPolicy, RoundMode, SoftFloat};
 
 /// Uniform square matmuls up to this size run on the classic single
@@ -85,6 +86,20 @@ pub enum EltOp {
     Div,
     /// √a (second operand ignored)
     Sqrt,
+}
+
+/// Operation of an arbitrary-precision ([`Kernel::Apfloat`]) stream —
+/// the four multi-limb kernels the wide datapath implements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ApOp {
+    /// a + b
+    Add,
+    /// a − b
+    Sub,
+    /// a × b
+    Mul,
+    /// a × b + c, single rounding
+    Fma,
 }
 
 impl EltOp {
@@ -191,6 +206,26 @@ pub enum Kernel {
         /// Inverse transform?
         inverse: bool,
     },
+    /// An arbitrary-precision elementwise stream through the
+    /// multi-limb (`softfp::limb`) kernels. The wide format travels
+    /// with the kernel — [`LimbFormat`] reaches past the 64-bit
+    /// [`FpFormat`] cap, so the job's precision policy cannot express
+    /// it; the policy must be uniform and only the rounding mode of
+    /// the enclosing [`Job`] applies. Operands are canonical
+    /// little-endian limb arrays of exactly `fmt.limbs()` words each.
+    Apfloat {
+        /// Which wide kernel.
+        op: ApOp,
+        /// The wide format the operands and results are encoded in.
+        fmt: LimbFormat,
+        /// First operands, one limb array per element.
+        a: Vec<Vec<u64>>,
+        /// Second operands, same length as `a`.
+        b: Vec<Vec<u64>>,
+        /// Addends for [`ApOp::Fma`] (same length as `a`); must be
+        /// empty for the two-operand kernels.
+        c: Vec<Vec<u64>>,
+    },
     /// A design-space depth sweep of the policy's compute format
     /// (served from the worker's [`SweepCache`] shard; repeats of the
     /// same key are cache hits). Uniform policies only.
@@ -264,6 +299,10 @@ pub enum JobResult {
         /// Cycles consumed.
         cycles: u64,
     },
+    /// Per-element wide results with flags, in input order. Each
+    /// result is a canonical limb array of the request's
+    /// [`LimbFormat`].
+    Apfloat(Vec<(Vec<u64>, Flags)>),
     /// The sweep's opt point and the sweep depth count.
     Sweep {
         /// Highest freq/area implementation.
@@ -305,6 +344,9 @@ impl Job {
                 let n = data.len() as u64;
                 5 * n * (n.max(2).ilog2() as u64)
             }
+            // Wide elements cost roughly their limb count in 64-bit
+            // unit passes.
+            Kernel::Apfloat { fmt, a, .. } => a.len() as u64 * fmt.limbs() as u64,
             Kernel::Sweep { .. } => 1,
         }
     }
@@ -352,6 +394,7 @@ impl Job {
                 inverse,
                 ..
             } => (mult_stages, add_stages, inverse).hash(&mut h),
+            Kernel::Apfloat { op, fmt, .. } => (op, fmt).hash(&mut h),
             Kernel::Sweep { kind, opts } => (kind, opts).hash(&mut h),
         }
         h.finish()
@@ -493,6 +536,43 @@ impl Job {
                     ));
                 }
             }
+            Kernel::Apfloat { op, fmt, a, b, c } => {
+                // The ≤64-bit policy formats cannot name a wide format;
+                // refuse anything but a uniform policy so nobody
+                // mistakes the policy for the operative precision.
+                uniform_only("apfloat")?;
+                if a.len() != b.len() {
+                    return Err(format!(
+                        "apfloat operand streams differ in length: {} vs {}",
+                        a.len(),
+                        b.len()
+                    ));
+                }
+                if *op == ApOp::Fma {
+                    if c.len() != a.len() {
+                        return Err(format!(
+                            "apfloat fma addend stream has {} elements, operands have {}",
+                            c.len(),
+                            a.len()
+                        ));
+                    }
+                } else if !c.is_empty() {
+                    return Err(format!(
+                        "apfloat {op:?} takes two operands but {} addends were supplied",
+                        c.len()
+                    ));
+                }
+                for (name, stream) in [("a", a), ("b", b), ("c", c)] {
+                    for (i, enc) in stream.iter().enumerate() {
+                        if !fmt.is_canonical(enc) {
+                            return Err(format!(
+                                "apfloat operand {name}[{i}] is not a canonical {} encoding",
+                                fmt.canonical_name()
+                            ));
+                        }
+                    }
+                }
+            }
             Kernel::Sweep { .. } => uniform_only("a depth sweep")?,
         }
         Ok(())
@@ -626,6 +706,20 @@ impl Job {
                 let engine = FftEngine::new(p.compute, mode, *mult_stages, *add_stages);
                 let (out, cycles) = engine.run_batched(data, *inverse);
                 JobResult::Fft { data: out, cycles }
+            }
+            Kernel::Apfloat { op, fmt, a, b, c } => {
+                let results = a
+                    .iter()
+                    .zip(b)
+                    .enumerate()
+                    .map(|(i, (x, y))| match op {
+                        ApOp::Add => limb_add(*fmt, x, y, mode),
+                        ApOp::Sub => limb_sub(*fmt, x, y, mode),
+                        ApOp::Mul => limb_mul(*fmt, x, y, mode),
+                        ApOp::Fma => limb_fma(*fmt, x, y, &c[i], mode),
+                    })
+                    .collect();
+                JobResult::Apfloat(results)
             }
             Kernel::Sweep { kind, opts } => {
                 let sweep = CoreSweep::builder(*kind, p.compute)
@@ -1077,6 +1171,144 @@ mod tests {
             }
             other => panic!("wrong result kind: {other:?}"),
         }
+    }
+
+    #[test]
+    fn apfloat_job_matches_the_serial_limb_kernels() {
+        let fmt = LimbFormat::F128;
+        let enc = |e_off: i64, lo: u64, hi: u64| {
+            fmt.pack_parts(false, (fmt.bias() + e_off) as u64, &[lo, hi])
+        };
+        let a = vec![enc(0, 0, 0), enc(3, 0xdead_beef, 0x1234), enc(-80, 7, 0)];
+        let b = vec![enc(1, 0, 0), enc(-2, 1, 0xffff), enc(90, 0, 0x42)];
+        let c = vec![enc(2, 5, 0), enc(0, 0, 0), enc(11, 1, 1)];
+        let cache = SweepCache::new();
+        let tech = Tech::virtex2pro();
+        type BinKernel = fn(LimbFormat, &[u64], &[u64], RoundMode) -> (Vec<u64>, Flags);
+        let binaries: [(ApOp, BinKernel); 3] = [
+            (ApOp::Add, limb_add),
+            (ApOp::Sub, limb_sub),
+            (ApOp::Mul, limb_mul),
+        ];
+        for (op, kernel) in binaries {
+            let job = Job::uniform(
+                Kernel::Apfloat {
+                    op,
+                    fmt,
+                    a: a.clone(),
+                    b: b.clone(),
+                    c: vec![],
+                },
+                FpFormat::SINGLE,
+                RM,
+            );
+            job.validate().expect("canonical payload is valid");
+            match job.run(&tech, &cache) {
+                JobResult::Apfloat(rs) => {
+                    let want: Vec<_> = a
+                        .iter()
+                        .zip(&b)
+                        .map(|(x, y)| kernel(fmt, x, y, RM))
+                        .collect();
+                    assert_eq!(rs, want, "{op:?}");
+                }
+                other => panic!("wrong result kind: {other:?}"),
+            }
+        }
+        let job = Job::uniform(
+            Kernel::Apfloat {
+                op: ApOp::Fma,
+                fmt,
+                a: a.clone(),
+                b: b.clone(),
+                c: c.clone(),
+            },
+            FpFormat::SINGLE,
+            RM,
+        );
+        job.validate().unwrap();
+        match job.run(&tech, &cache) {
+            JobResult::Apfloat(rs) => {
+                let want: Vec<_> = (0..a.len())
+                    .map(|i| limb_fma(fmt, &a[i], &b[i], &c[i], RM))
+                    .collect();
+                assert_eq!(rs, want);
+            }
+            other => panic!("wrong result kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn apfloat_validate_refuses_bad_payloads_and_policies() {
+        let fmt = LimbFormat::F256;
+        let one = fmt.pack_parts(false, fmt.bias() as u64, &[0, 0, 0, 0]);
+        let base = |op, a: Vec<Vec<u64>>, b: Vec<Vec<u64>>, c: Vec<Vec<u64>>| {
+            Job::uniform(Kernel::Apfloat { op, fmt, a, b, c }, FpFormat::SINGLE, RM)
+        };
+        // Mismatched stream lengths.
+        let err = base(
+            ApOp::Add,
+            vec![one.clone(), one.clone()],
+            vec![one.clone()],
+            vec![],
+        )
+        .validate()
+        .unwrap_err();
+        assert!(err.contains("differ in length"), "{err}");
+        // Fma without addends; non-fma with addends.
+        let err = base(ApOp::Fma, vec![one.clone()], vec![one.clone()], vec![])
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("addend"), "{err}");
+        let err = base(
+            ApOp::Mul,
+            vec![one.clone()],
+            vec![one.clone()],
+            vec![one.clone()],
+        )
+        .validate()
+        .unwrap_err();
+        assert!(err.contains("two operands"), "{err}");
+        // Non-canonical operand: wrong limb count.
+        let err = base(ApOp::Add, vec![vec![0; 3]], vec![one.clone()], vec![])
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("canonical"), "{err}");
+        // Stray bits above total_bits (a format with top-limb padding;
+        // f256 is exactly 4 limbs, so it has none).
+        let pad = LimbFormat::new(19, 200);
+        let pad_one = pad.pack_parts(false, pad.bias() as u64, &[0, 0, 0, 0]);
+        let mut stray = pad_one.clone();
+        *stray.last_mut().unwrap() |= 1 << 63;
+        let err = Job::uniform(
+            Kernel::Apfloat {
+                op: ApOp::Add,
+                fmt: pad,
+                a: vec![stray],
+                b: vec![pad_one],
+                c: vec![],
+            },
+            FpFormat::SINGLE,
+            RM,
+        )
+        .validate()
+        .unwrap_err();
+        assert!(err.contains("canonical"), "{err}");
+        // Mixed policies cannot express a wide format.
+        let err = Job::new(
+            Kernel::Apfloat {
+                op: ApOp::Add,
+                fmt,
+                a: vec![one.clone()],
+                b: vec![one.clone()],
+                c: vec![],
+            },
+            PrecisionPolicy::mixed(FpFormat::SINGLE, FpFormat::DOUBLE),
+            RM,
+        )
+        .validate()
+        .unwrap_err();
+        assert!(err.contains("uniform"), "{err}");
     }
 
     #[test]

@@ -78,7 +78,7 @@ pub mod trace;
 pub mod tuner;
 
 pub use job::{
-    matmul_multi_plan, matmul_routes_to_multi, CoalesceKey, EltOp, Job, JobResult, Kernel,
+    matmul_multi_plan, matmul_routes_to_multi, ApOp, CoalesceKey, EltOp, Job, JobResult, Kernel,
     MULTI_ARRAY_BLOCK, MULTI_ARRAY_MAX_ARRAYS, MULTI_ARRAY_THRESHOLD,
 };
 pub use metrics::{Metrics, MetricsSnapshot, LATENCY_BUCKETS};

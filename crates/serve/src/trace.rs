@@ -16,7 +16,9 @@ use fpfpga_matmul::{Cplx, Matrix};
 use fpfpga_softfp::{FpFormat, PrecisionPolicy, RoundMode, SoftFloat};
 use rand::SmallRng;
 
-use crate::job::{EltOp, Job, Kernel};
+use fpfpga_softfp::limb::LimbFormat;
+
+use crate::job::{ApOp, EltOp, Job, Kernel};
 use crate::pool::{JobSpec, Priority};
 
 /// Parameters of a synthetic trace.
@@ -240,7 +242,43 @@ impl Synth {
                 };
                 Job::uniform(kernel, fmt, mode)
             }
-            86..=93 => {
+            86..=91 => {
+                // Arbitrary-precision streams: the wide format rides in
+                // the kernel (the policy stays uniform and is ignored
+                // past its rounding mode), operands are canonical limb
+                // arrays with exponents clustered around the bias so
+                // the arithmetic exercises real alignment work.
+                let wide = [LimbFormat::F128, LimbFormat::F256][self.below(2) as usize];
+                let op = match self.below(4) {
+                    0 => ApOp::Add,
+                    1 => ApOp::Sub,
+                    2 => ApOp::Mul,
+                    _ => ApOp::Fma,
+                };
+                let n = (1 + self.below(6) as usize) * self.scale;
+                let operand = |s: &mut Self| {
+                    let sign = s.below(2) == 1;
+                    let exp = (wide.bias() + s.below(41) as i64 - 20) as u64;
+                    let frac: Vec<u64> = (0..wide.limbs()).map(|_| s.rng.next_u64()).collect();
+                    wide.pack_parts(sign, exp, &frac)
+                };
+                let a: Vec<Vec<u64>> = (0..n).map(|_| operand(self)).collect();
+                let b: Vec<Vec<u64>> = (0..n).map(|_| operand(self)).collect();
+                let c: Vec<Vec<u64>> = if op == ApOp::Fma {
+                    (0..n).map(|_| operand(self)).collect()
+                } else {
+                    vec![]
+                };
+                let kernel = Kernel::Apfloat {
+                    op,
+                    fmt: wide,
+                    a,
+                    b,
+                    c,
+                };
+                Job::uniform(kernel, fmt, mode)
+            }
+            92..=95 => {
                 // FFT lengths must stay powers of two under scaling.
                 let n = [4usize, 8, 16][self.below(3) as usize] * self.scale.next_power_of_two();
                 let data = (0..n)
@@ -349,7 +387,7 @@ mod tests {
             rate_hz: 1e6,
             ..TraceConfig::default()
         });
-        let mut seen = [false; 7];
+        let mut seen = [false; 8];
         let mut mixed = 0usize;
         for ev in &trace {
             let i = match ev.spec.kernel {
@@ -360,6 +398,7 @@ mod tests {
                 Kernel::Lu { .. } => 4,
                 Kernel::Fft { .. } => 5,
                 Kernel::Sweep { .. } => 6,
+                Kernel::Apfloat { .. } => 7,
             };
             seen[i] = true;
             let job = ev.spec.fixed_job().expect("pinned policy");

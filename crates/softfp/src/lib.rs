@@ -46,6 +46,7 @@ pub mod fastpath;
 pub mod format;
 pub mod ieee;
 pub mod intconv;
+pub mod limb;
 pub mod ops;
 pub mod policy;
 pub mod round;

@@ -1,0 +1,347 @@
+//! Fixed-purpose multi-limb unsigned integers for the wide-mantissa
+//! datapath.
+//!
+//! `Big` is a little-endian vector of `u64` limbs with value semantics —
+//! just enough arithmetic for the limb kernels (schoolbook multiply,
+//! boundary-safe shifts with sticky collapse, compare/add/subtract) and
+//! nothing more. It is deliberately not a general bignum library: no
+//! signs, no division, no allocation-free fast paths. The serving-layer
+//! kernels wrap it; the `BigFloat` oracle reuses it so the two sides
+//! share only *integer* arithmetic, never rounding decisions.
+//!
+//! Invariant: the limb vector never ends in a zero limb (zero is the
+//! empty vector), so `bit_len` and comparisons are O(1) at the top.
+
+/// Little-endian multi-limb unsigned integer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Big {
+    limbs: Vec<u64>,
+}
+
+impl Big {
+    /// The value 0 (empty limb vector).
+    pub fn zero() -> Big {
+        Big { limbs: Vec::new() }
+    }
+
+    /// A single-limb value.
+    pub fn from_u64(x: u64) -> Big {
+        if x == 0 {
+            Big::zero()
+        } else {
+            Big { limbs: vec![x] }
+        }
+    }
+
+    /// From little-endian limbs (trailing zero limbs trimmed).
+    pub fn from_limbs(limbs: &[u64]) -> Big {
+        let mut v = limbs.to_vec();
+        while v.last() == Some(&0) {
+            v.pop();
+        }
+        Big { limbs: v }
+    }
+
+    /// Little-endian limbs, zero-padded or trimmed to exactly `n` limbs.
+    /// The value must fit (checked by debug assertion).
+    pub fn to_limbs_fixed(&self, n: usize) -> Vec<u64> {
+        debug_assert!(self.limbs.len() <= n, "value wider than {n} limbs");
+        let mut v = self.limbs.clone();
+        v.resize(n, 0);
+        v
+    }
+
+    /// True for the value 0.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Position of the most significant set bit plus one (0 for zero) —
+    /// the multi-limb `lzcnt` complement the normalizer uses.
+    pub fn bit_len(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() as u64) * 64 - top.leading_zeros() as u64,
+        }
+    }
+
+    /// Bit `i` (false beyond the top).
+    pub fn bit(&self, i: u64) -> bool {
+        let limb = (i / 64) as usize;
+        match self.limbs.get(limb) {
+            Some(&w) => w >> (i % 64) & 1 == 1,
+            None => false,
+        }
+    }
+
+    /// True if any bit strictly below position `n` is set.
+    pub fn low_bits_any(&self, n: u64) -> bool {
+        let full = (n / 64) as usize;
+        let rem = n % 64;
+        for &w in self.limbs.iter().take(full) {
+            if w != 0 {
+                return true;
+            }
+        }
+        if rem != 0 {
+            if let Some(&w) = self.limbs.get(full) {
+                if w & ((1u64 << rem) - 1) != 0 {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// True when bit 0 is set.
+    pub fn is_odd(&self) -> bool {
+        self.limbs.first().is_some_and(|&w| w & 1 == 1)
+    }
+
+    /// Low 64 bits (0 for zero).
+    pub fn low_u64(&self) -> u64 {
+        self.limbs.first().copied().unwrap_or(0)
+    }
+
+    /// Left shift by `n` bits.
+    pub fn shl(&self, n: u64) -> Big {
+        if self.is_zero() || n == 0 {
+            return self.clone();
+        }
+        let limb_shift = (n / 64) as usize;
+        let bit_shift = (n % 64) as u32;
+        let mut out = vec![0u64; self.limbs.len() + limb_shift + 1];
+        for (i, &w) in self.limbs.iter().enumerate() {
+            out[i + limb_shift] |= w << bit_shift;
+            if bit_shift != 0 {
+                out[i + limb_shift + 1] |= w >> (64 - bit_shift);
+            }
+        }
+        Big::from_limbs(&out)
+    }
+
+    /// Right shift by `n` bits, ORing every shifted-out bit into a sticky
+    /// flag — the multi-limb mirror of
+    /// [`crate::round::shift_right_sticky`]. Shift counts at or beyond
+    /// the value's width return `(0, self != 0)`; `n` is a `u64` so even
+    /// exponent-difference shifts near `2^32` cannot wrap.
+    pub fn shr_sticky(&self, n: u64) -> (Big, bool) {
+        if n == 0 {
+            return (self.clone(), false);
+        }
+        if n >= self.bit_len() {
+            return (Big::zero(), !self.is_zero());
+        }
+        let limb_shift = (n / 64) as usize;
+        let bit_shift = (n % 64) as u32;
+        let mut sticky = self.limbs[..limb_shift].iter().any(|&w| w != 0);
+        if bit_shift != 0 {
+            sticky |= self.limbs[limb_shift] & ((1u64 << bit_shift) - 1) != 0;
+        }
+        let mut out = vec![0u64; self.limbs.len() - limb_shift];
+        for i in limb_shift..self.limbs.len() {
+            let mut w = self.limbs[i] >> bit_shift;
+            if bit_shift != 0 && i + 1 < self.limbs.len() {
+                w |= self.limbs[i + 1] << (64 - bit_shift);
+            }
+            out[i - limb_shift] = w;
+        }
+        (Big::from_limbs(&out), sticky)
+    }
+
+    /// The low `n` bits as a value (the guard/round/sticky tail).
+    pub fn mask_low(&self, n: u64) -> Big {
+        let full = ((n / 64) as usize).min(self.limbs.len());
+        let rem = n % 64;
+        let mut out = self.limbs[..full].to_vec();
+        if rem != 0 {
+            if let Some(&w) = self.limbs.get(full) {
+                out.push(w & ((1u64 << rem) - 1));
+            }
+        }
+        Big::from_limbs(&out)
+    }
+
+    /// Set bit 0 when `jam` is true (the sticky jam of the alignment
+    /// shifter).
+    pub fn jam(&self, jam: bool) -> Big {
+        if !jam {
+            return self.clone();
+        }
+        let mut v = self.limbs.clone();
+        if v.is_empty() {
+            v.push(1);
+        } else {
+            v[0] |= 1;
+        }
+        Big { limbs: v }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Big) -> Big {
+        let n = self.limbs.len().max(other.limbs.len());
+        let mut out = Vec::with_capacity(n + 1);
+        let mut carry = 0u64;
+        for i in 0..n {
+            let a = self.limbs.get(i).copied().unwrap_or(0);
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = a.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        Big::from_limbs(&out)
+    }
+
+    /// `self + small`.
+    pub fn add_u64(&self, small: u64) -> Big {
+        self.add(&Big::from_u64(small))
+    }
+
+    /// `self − other`; requires `self ≥ other` (checked by debug
+    /// assertion, mirroring the adder's swap contract).
+    pub fn sub(&self, other: &Big) -> Big {
+        debug_assert!(
+            self.cmp(other) != core::cmp::Ordering::Less,
+            "sub underflow"
+        );
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i];
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = a.overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        Big::from_limbs(&out)
+    }
+
+    /// Schoolbook limb product — each `u64 × u64` partial product lands
+    /// in a `u128` accumulator column, exactly the BMULT partial-product
+    /// array the fabric model prices.
+    pub fn mul(&self, other: &Big) -> Big {
+        if self.is_zero() || other.is_zero() {
+            return Big::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let acc = out[i + j] as u128 + a as u128 * b as u128 + carry;
+                out[i + j] = acc as u64;
+                carry = acc >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let acc = out[k] as u128 + carry;
+                out[k] = acc as u64;
+                carry = acc >> 64;
+                k += 1;
+            }
+        }
+        Big::from_limbs(&out)
+    }
+
+    /// Bitwise OR.
+    pub fn or(&self, other: &Big) -> Big {
+        let n = self.limbs.len().max(other.limbs.len());
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(
+                self.limbs.get(i).copied().unwrap_or(0) | other.limbs.get(i).copied().unwrap_or(0),
+            );
+        }
+        Big::from_limbs(&out)
+    }
+}
+
+impl Ord for Big {
+    /// Magnitude comparison; the trimmed-limbs invariant makes the
+    /// length compare decisive before any limb is inspected.
+    fn cmp(&self, other: &Big) -> core::cmp::Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            if self.limbs[i] != other.limbs[i] {
+                return self.limbs[i].cmp(&other.limbs[i]);
+            }
+        }
+        core::cmp::Ordering::Equal
+    }
+}
+
+impl PartialOrd for Big {
+    fn partial_cmp(&self, other: &Big) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_empty_and_bit_len_zero() {
+        assert!(Big::zero().is_zero());
+        assert_eq!(Big::zero().bit_len(), 0);
+        assert_eq!(Big::from_limbs(&[0, 0, 0]), Big::zero());
+    }
+
+    #[test]
+    fn bit_len_counts_across_limbs() {
+        assert_eq!(Big::from_u64(1).bit_len(), 1);
+        assert_eq!(Big::from_u64(u64::MAX).bit_len(), 64);
+        assert_eq!(Big::from_limbs(&[0, 1]).bit_len(), 65);
+        assert_eq!(Big::from_limbs(&[u64::MAX, 1 << 10]).bit_len(), 75);
+    }
+
+    #[test]
+    fn shl_crosses_limb_boundaries() {
+        let x = Big::from_u64(0b1011);
+        assert_eq!(x.shl(62).to_limbs_fixed(2), vec![0b11 << 62, 0b10]);
+        assert_eq!(x.shl(64).to_limbs_fixed(2), vec![0, 0b1011]);
+        assert_eq!(x.shl(0), x);
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let cases = [
+            (0x1234_5678_9abc_def0u64, 0xfedc_ba98_7654_3210u64),
+            (u64::MAX, u64::MAX),
+            (1, u64::MAX),
+            (0, 12345),
+        ];
+        for (a, b) in cases {
+            let p = a as u128 * b as u128;
+            let got = Big::from_u64(a).mul(&Big::from_u64(b));
+            assert_eq!(got.to_limbs_fixed(2), vec![p as u64, (p >> 64) as u64]);
+        }
+    }
+
+    #[test]
+    fn add_sub_roundtrip_with_carries() {
+        let a = Big::from_limbs(&[u64::MAX, u64::MAX, 1]);
+        let b = Big::from_limbs(&[1, u64::MAX]);
+        let s = a.add(&b);
+        assert_eq!(s.sub(&b), a);
+        assert_eq!(s.sub(&a), b);
+        assert_eq!(Big::from_u64(u64::MAX).add_u64(1), Big::from_limbs(&[0, 1]));
+    }
+
+    #[test]
+    fn mask_and_low_bits() {
+        let x = Big::from_limbs(&[0xff00, 0b101]);
+        assert!(x.low_bits_any(9));
+        assert!(!x.low_bits_any(8));
+        assert_eq!(x.mask_low(16), Big::from_u64(0xff00));
+        assert_eq!(x.mask_low(65), Big::from_limbs(&[0xff00, 1]));
+        assert!(x.bit(64) && !x.bit(65) && x.bit(66));
+        assert!(!x.bit(1000));
+    }
+}

@@ -1,0 +1,379 @@
+//! Wide add/sub/mul/fma — the limb mirror of the full-IEEE scalar ops in
+//! [`crate::ieee`], stage for stage:
+//!
+//! 1. **Denormalize / pre-shift** — unpack with pre-normalized denormals,
+//!    swap on exponent, align the smaller significand with a sticky
+//!    collapse across limbs;
+//! 2. **Significand arithmetic** — multi-limb fixed-point add/sub, or the
+//!    schoolbook limb-product array for multiplication;
+//! 3. **Normalize / round** — multi-limb lzcnt, shift the leading one to
+//!    the hidden position, round once in `limb_round_pack`.
+//!
+//! Because each stage performs the same exact computation as its scalar
+//! counterpart (same guard-bit counts, same sticky jams, same rounding
+//! boundary), one-limb formats produce bit-identical results and flags —
+//! property-tested in `tests/limb_vs_scalar.rs` and swept exhaustively
+//! against the `BigFloat` oracle for tiny formats.
+
+use crate::exceptions::Flags;
+use crate::limb::big::Big;
+use crate::limb::format::LimbFormat;
+use crate::limb::round::limb_round_pack;
+use crate::limb::unpacked::{limb_propagate_nan, LimbClass, LimbUnpacked};
+use crate::round::RoundMode;
+
+/// Guard/round/sticky bits carried through the adder datapath (same
+/// count as the scalar adder's [`crate::ops::add::GRS_BITS`]).
+const GRS_BITS: u64 = 3;
+
+/// Guard bits below the product frame in the fused multiply-add (same
+/// count as the scalar [`crate::ops::fma::FMA_GRS`]).
+const FMA_GRS: u64 = 3;
+
+fn pack_inf(fmt: LimbFormat, sign: bool) -> Vec<u64> {
+    if sign {
+        fmt.neg_inf()
+    } else {
+        fmt.pos_inf()
+    }
+}
+
+fn pack_zero(fmt: LimbFormat, sign: bool) -> Vec<u64> {
+    fmt.pack(sign, 0, &Big::zero())
+}
+
+/// Wide IEEE addition with gradual underflow and NaN propagation.
+pub fn limb_add(fmt: LimbFormat, a: &[u64], b: &[u64], mode: RoundMode) -> (Vec<u64>, Flags) {
+    let ua = LimbUnpacked::from_bits(fmt, a);
+    let ub = LimbUnpacked::from_bits(fmt, b);
+    use LimbClass::*;
+    match (ua.class, ub.class) {
+        (Nan, _) | (_, Nan) => return limb_propagate_nan(fmt, &[a, b]),
+        (Inf, Inf) => {
+            return if ua.sign == ub.sign {
+                (pack_inf(fmt, ua.sign), Flags::NONE)
+            } else {
+                (fmt.quiet_nan(), Flags::invalid())
+            };
+        }
+        (Inf, _) => return (pack_inf(fmt, ua.sign), Flags::NONE),
+        (_, Inf) => return (pack_inf(fmt, ub.sign), Flags::NONE),
+        (Zero, Zero) => return (pack_zero(fmt, ua.sign && ub.sign), Flags::NONE),
+        (Zero, _) => return (b.to_vec(), Flags::NONE),
+        (_, Zero) => return (a.to_vec(), Flags::NONE),
+        _ => {}
+    }
+
+    // Stage 1: swap so `hi` has the larger (exp, sig), then align `lo` by
+    // the exponent difference with a sticky jam.
+    let (hi, lo) = if (ua.exp, ua.sig.cmp(&ub.sig)) >= (ub.exp, core::cmp::Ordering::Equal) {
+        (&ua, &ub)
+    } else {
+        (&ub, &ua)
+    };
+    let diff = (hi.exp - lo.exp) as u64;
+    let hi_sig = hi.sig.shl(GRS_BITS);
+    let (lo_aligned, sticky) = lo.sig.shl(GRS_BITS).shr_sticky(diff);
+    let lo_full = lo_aligned.jam(sticky);
+
+    let (mag, sign, exp) = if ua.sign == ub.sign {
+        (hi_sig.add(&lo_full), hi.sign, hi.exp)
+    } else {
+        let d = hi_sig.sub(&lo_full);
+        if d.is_zero() {
+            // Exact cancellation: +0 under both supported modes.
+            return (pack_zero(fmt, false), Flags::NONE);
+        }
+        (d, hi.sign, hi.exp)
+    };
+
+    // Stages 2b/3: pre-normalize a carry-out (sticky-preserving jam),
+    // then bring the leading one up with the multi-limb lzcnt.
+    let hidden = fmt.frac_bits() as u64 + GRS_BITS;
+    let (mut mag, mut exp) = (mag, exp);
+    if mag.bit_len() > hidden + 1 {
+        let lsb = mag.is_odd();
+        let (m, _) = mag.shr_sticky(1);
+        mag = m.jam(lsb);
+        exp += 1;
+    }
+    let msb = mag.bit_len() - 1;
+    if msb < hidden {
+        let shift = hidden - msb;
+        mag = mag.shl(shift);
+        exp -= shift as i64;
+    }
+    limb_round_pack(fmt, sign, exp, mag, GRS_BITS, mode)
+}
+
+/// Wide IEEE subtraction (sign-flip of the second operand).
+pub fn limb_sub(fmt: LimbFormat, a: &[u64], b: &[u64], mode: RoundMode) -> (Vec<u64>, Flags) {
+    let mut nb = b.to_vec();
+    let top = fmt.total_bits() as u64 - 1;
+    nb[(top / 64) as usize] ^= 1u64 << (top % 64);
+    limb_add(fmt, a, &nb, mode)
+}
+
+/// Wide IEEE multiplication: schoolbook limb products, then one rounding.
+pub fn limb_mul(fmt: LimbFormat, a: &[u64], b: &[u64], mode: RoundMode) -> (Vec<u64>, Flags) {
+    let ua = LimbUnpacked::from_bits(fmt, a);
+    let ub = LimbUnpacked::from_bits(fmt, b);
+    let sign = ua.sign ^ ub.sign;
+    use LimbClass::*;
+    match (ua.class, ub.class) {
+        (Nan, _) | (_, Nan) => return limb_propagate_nan(fmt, &[a, b]),
+        (Zero, Inf) | (Inf, Zero) => return (fmt.quiet_nan(), Flags::invalid()),
+        (Inf, _) | (_, Inf) => return (pack_inf(fmt, sign), Flags::NONE),
+        (Zero, _) | (_, Zero) => return (pack_zero(fmt, sign), Flags::NONE),
+        _ => {}
+    }
+
+    let product = ua.sig.mul(&ub.sig);
+    let exp = ua.exp + ub.exp;
+    let f = fmt.frac_bits() as u64;
+    let (aligned, exp) = if product.bit_len() > 2 * f + 1 {
+        (product, exp + 1)
+    } else {
+        (product.shl(1), exp)
+    };
+    limb_round_pack(fmt, sign, exp, aligned, f + 1, mode)
+}
+
+/// Wide IEEE fused multiply-add `a·b + c` with a single rounding.
+///
+/// NaN propagation takes precedence over the 0×∞ invalid check, matching
+/// the scalar [`crate::ieee::ieee_fma`].
+pub fn limb_fma(
+    fmt: LimbFormat,
+    a: &[u64],
+    b: &[u64],
+    c: &[u64],
+    mode: RoundMode,
+) -> (Vec<u64>, Flags) {
+    let ua = LimbUnpacked::from_bits(fmt, a);
+    let ub = LimbUnpacked::from_bits(fmt, b);
+    let uc = LimbUnpacked::from_bits(fmt, c);
+    let psign = ua.sign ^ ub.sign;
+    use LimbClass::*;
+
+    if ua.class == Nan || ub.class == Nan || uc.class == Nan {
+        return limb_propagate_nan(fmt, &[a, b, c]);
+    }
+    match (ua.class, ub.class) {
+        (Zero, Inf) | (Inf, Zero) => return (fmt.quiet_nan(), Flags::invalid()),
+        (Inf, _) | (_, Inf) => {
+            return match uc.class {
+                Inf if uc.sign != psign => (fmt.quiet_nan(), Flags::invalid()),
+                _ => (pack_inf(fmt, psign), Flags::NONE),
+            };
+        }
+        _ => {}
+    }
+    if uc.class == Inf {
+        return (pack_inf(fmt, uc.sign), Flags::NONE);
+    }
+    if ua.is_zero() || ub.is_zero() {
+        // Exact product zero: the result is c, with +0 on signed-zero
+        // cancellation.
+        return if uc.is_zero() {
+            (pack_zero(fmt, psign && uc.sign), Flags::NONE)
+        } else {
+            (c.to_vec(), Flags::NONE)
+        };
+    }
+    if uc.is_zero() {
+        // Adding ±0 to the exact non-zero product changes nothing.
+        return limb_mul(fmt, a, b, mode);
+    }
+
+    // Same three-branch anchoring as the scalar fma, on arbitrary-width
+    // frames.
+    let f = fmt.frac_bits() as u64;
+    let product = ua.sig.mul(&ub.sig);
+    let pexp = ua.exp + ub.exp;
+    let shift = (uc.exp - pexp) + f as i64;
+    let c_wide = uc.sig.shl(FMA_GRS);
+    let prod_wide = product.shl(FMA_GRS);
+
+    let (mag, sign, e_lsb, is_zero) = if shift > (f + 2) as i64 {
+        // c dominates: anchor on c and shift the product down with a
+        // sticky jam.
+        let (p_aligned, lost) = prod_wide.shr_sticky(shift as u64);
+        let (m, sg, z) = combine(c_wide, uc.sign, p_aligned.jam(lost), psign);
+        (m, sg, uc.exp - (f + FMA_GRS) as i64, z)
+    } else if shift >= 0 {
+        // Overlap: c fits in the product-anchored frame.
+        let c_aligned = c_wide.shl(shift as u64);
+        let (m, sg, z) = combine(prod_wide, psign, c_aligned, uc.sign);
+        (m, sg, pexp - (2 * f + FMA_GRS) as i64, z)
+    } else {
+        // Product dominates: c shifts down with a sticky jam.
+        let (c_aligned, lost) = c_wide.shr_sticky((-shift) as u64);
+        let (m, sg, z) = combine(prod_wide, psign, c_aligned.jam(lost), uc.sign);
+        (m, sg, pexp - (2 * f + FMA_GRS) as i64, z)
+    };
+    if is_zero {
+        return (pack_zero(fmt, false), Flags::NONE);
+    }
+
+    let msb = mag.bit_len() - 1;
+    let exp_val = e_lsb + msb as i64;
+    let (mag, grs) = if msb > f {
+        (mag, msb - f)
+    } else {
+        // Deep cancellation (necessarily exact): lift the hidden bit.
+        (mag.shl(f + 1 - msb), 1)
+    };
+    limb_round_pack(fmt, sign, exp_val, mag, grs, mode)
+}
+
+/// Signed combine of two magnitudes in the same frame: the result
+/// magnitude, its sign, and whether an effective subtraction cancelled
+/// exactly.
+fn combine(p: Big, ps: bool, c: Big, cs: bool) -> (Big, bool, bool) {
+    if ps == cs {
+        (p.add(&c), ps, false)
+    } else {
+        match p.cmp(&c) {
+            core::cmp::Ordering::Less => (c.sub(&p), cs, false),
+            _ => {
+                let d = p.sub(&c);
+                let z = d.is_zero();
+                (d, ps, z)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::limb::unpacked::limb_is_nan;
+
+    const F128: LimbFormat = LimbFormat::F128;
+
+    /// Encode a small integer value exactly in f128.
+    fn enc_int(fmt: LimbFormat, n: i64) -> Vec<u64> {
+        if n == 0 {
+            return fmt.zero();
+        }
+        let sign = n < 0;
+        let mag = n.unsigned_abs();
+        let msb = 63 - mag.leading_zeros() as u64;
+        let frac = Big::from_u64(mag)
+            .shl(fmt.frac_bits() as u64)
+            .shr_sticky(msb)
+            .0
+            .mask_low(fmt.frac_bits() as u64);
+        fmt.pack(sign, (msb as i64 + fmt.bias()) as u64, &frac)
+    }
+
+    #[test]
+    fn small_integer_arithmetic_is_exact() {
+        for (a, b, sum, prod) in [(2i64, 3i64, 5i64, 6i64), (7, -5, 2, -35), (-4, -4, -8, 16)] {
+            let (s, f) = limb_add(
+                F128,
+                &enc_int(F128, a),
+                &enc_int(F128, b),
+                RoundMode::NearestEven,
+            );
+            assert_eq!(s, enc_int(F128, sum), "{a}+{b}");
+            assert!(!f.any());
+            let (p, f) = limb_mul(
+                F128,
+                &enc_int(F128, a),
+                &enc_int(F128, b),
+                RoundMode::NearestEven,
+            );
+            assert_eq!(p, enc_int(F128, prod), "{a}*{b}");
+            assert!(!f.any());
+        }
+        let (d, f) = limb_sub(
+            F128,
+            &enc_int(F128, 10),
+            &enc_int(F128, 14),
+            RoundMode::Truncate,
+        );
+        assert_eq!(d, enc_int(F128, -4));
+        assert!(!f.any());
+    }
+
+    #[test]
+    fn fma_fuses_a_single_rounding() {
+        // (1 + 2^-112)·(1 − 2^-113) − 1 = 2^-113 − 2^-225: exactly
+        // representable at f128, but a mul-then-add loses it entirely
+        // (the product rounds to 1, the sum to 0).
+        let a = F128.pack(false, F128.bias() as u64, &Big::from_u64(1)); // 1 + 2^-112
+        let b = F128.pack(
+            false,
+            (F128.bias() - 1) as u64,
+            &Big::from_limbs(&{
+                // 1 − 2^-113 = 1.111…1 × 2^-1: all-ones fraction.
+                let ones = Big::from_u64(1).shl(112).sub(&Big::from_u64(1));
+                ones.to_limbs_fixed(2)
+            }),
+        );
+        let neg_one = enc_int(F128, -1);
+        let (fused, flags) = limb_fma(F128, &a, &b, &neg_one, RoundMode::NearestEven);
+        let u = LimbUnpacked::from_bits(F128, &fused);
+        assert!(!u.sign, "residual 2^-113 − 2^-225 is positive");
+        assert_eq!(u.exp, -114, "leading bit at 2^-114 after normalization");
+        assert!(!flags.any(), "the residual is exactly representable");
+        // Two-step version loses it entirely: the product rounds to 1.
+        let (p, _) = limb_mul(F128, &a, &b, RoundMode::NearestEven);
+        let (two_step, _) = limb_add(F128, &p, &neg_one, RoundMode::NearestEven);
+        assert_eq!(two_step, F128.zero(), "two roundings collapse to 0");
+        assert_ne!(two_step, fused, "fusion must be observable");
+    }
+
+    #[test]
+    fn specials_mirror_scalar_rules() {
+        let inf = F128.pos_inf();
+        let ninf = F128.neg_inf();
+        let zero = F128.zero();
+        let one = enc_int(F128, 1);
+        let (r, f) = limb_add(F128, &inf, &ninf, RoundMode::NearestEven);
+        assert!(limb_is_nan(F128, &r));
+        assert!(f.invalid);
+        let (r, f) = limb_mul(F128, &zero, &inf, RoundMode::NearestEven);
+        assert!(limb_is_nan(F128, &r));
+        assert!(f.invalid);
+        let (r, f) = limb_fma(F128, &zero, &inf, &F128.quiet_nan(), RoundMode::NearestEven);
+        assert!(limb_is_nan(F128, &r));
+        assert!(!f.invalid, "NaN propagation precedes the 0×∞ check");
+        let (r, f) = limb_fma(F128, &one, &inf, &ninf, RoundMode::NearestEven);
+        assert!(limb_is_nan(F128, &r));
+        assert!(f.invalid, "∞ − ∞ through fma is invalid");
+    }
+
+    #[test]
+    fn overflow_and_gradual_underflow_paths() {
+        let max = F128.max_finite();
+        let two = enc_int(F128, 2);
+        let (r, f) = limb_mul(F128, &max, &two, RoundMode::NearestEven);
+        assert_eq!(r, F128.pos_inf());
+        assert!(f.overflow && f.inexact);
+        let (r, f) = limb_mul(F128, &max, &two, RoundMode::Truncate);
+        assert_eq!(r, max, "truncate saturates at max-finite");
+        assert!(f.overflow);
+        // min_positive / 2 → the top denormal region, exact.
+        let half = F128.pack(false, (F128.bias() - 1) as u64, &Big::zero());
+        let (r, f) = limb_mul(F128, &F128.min_positive(), &half, RoundMode::NearestEven);
+        let u = LimbUnpacked::from_bits(F128, &r);
+        assert_eq!(u.class, LimbClass::Denormal);
+        assert!(!f.any(), "exact denormal result raises nothing");
+    }
+
+    #[test]
+    fn gradual_underflow_keeps_tiny_differences() {
+        // Two adjacent small normals: the difference is a denormal the
+        // flush-to-zero cores would lose.
+        let a = F128.pack(false, 1, &Big::from_u64(0x10));
+        let b = F128.pack(false, 1, &Big::from_u64(0x01));
+        let (r, f) = limb_sub(F128, &a, &b, RoundMode::NearestEven);
+        let u = LimbUnpacked::from_bits(F128, &r);
+        assert_eq!(u.class, LimbClass::Denormal);
+        assert_eq!(u.sig, Big::from_u64(0xf).shl(112 - 3)); // pre-normalized
+        assert!(!f.any());
+    }
+}

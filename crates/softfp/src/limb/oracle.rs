@@ -1,0 +1,499 @@
+//! `BigFloat`: the exact reference oracle for the limb kernels.
+//!
+//! A finite non-zero value is held *exactly* as `(-1)^sign · mag · 2^exp2`
+//! with an arbitrary-size integer magnitude — no hidden bits, no guard
+//! bits, no sticky compression. Every operation computes the exact
+//! integer result (full alignment shift for addition, full product for
+//! multiplication, both for fma) and then performs **one explicit round
+//! step** into the destination format.
+//!
+//! This is deliberately a different code path from the limb kernels in
+//! [`crate::limb`]: the kernels mirror the hardware datapath (fixed guard
+//! windows, sticky jams, pre-normalization), while the oracle never
+//! approximates until the final round. The only shared code is raw
+//! integer arithmetic and field packing. Differential sweeps
+//! (`fpuconform --sweeps limb`, the exhaustive tiny-format suite) compare
+//! the two bit-for-bit, flags included.
+
+use crate::exceptions::Flags;
+use crate::limb::big::Big;
+use crate::limb::format::LimbFormat;
+use crate::round::RoundMode;
+
+/// An exact value decoded from a wide encoding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BigFloat {
+    /// ±0.
+    Zero {
+        /// Sign bit of the encoding.
+        sign: bool,
+    },
+    /// A finite non-zero value `(-1)^sign · mag · 2^exp2`, exactly.
+    Finite {
+        /// Sign.
+        sign: bool,
+        /// Integer magnitude (non-zero, not necessarily normalized).
+        mag: Big,
+        /// Power-of-two scale of the magnitude's LSB.
+        exp2: i64,
+    },
+    /// ±∞.
+    Inf {
+        /// Sign bit.
+        sign: bool,
+    },
+    /// Any NaN encoding (payload kept in the original bits).
+    Nan,
+}
+
+impl BigFloat {
+    /// Decode an encoding exactly. Denormals decode with their true
+    /// scale (`2^(min_exp − frac_bits)` per fraction ULP) — no
+    /// pre-normalization, unlike the kernels.
+    pub fn from_encoding(fmt: LimbFormat, bits: &[u64]) -> BigFloat {
+        let (sign, biased, frac) = fmt.unpack_fields(bits);
+        let f = fmt.frac_bits() as i64;
+        if biased == fmt.inf_biased_exp() {
+            if frac.is_zero() {
+                BigFloat::Inf { sign }
+            } else {
+                BigFloat::Nan
+            }
+        } else if biased == 0 {
+            if frac.is_zero() {
+                BigFloat::Zero { sign }
+            } else {
+                BigFloat::Finite {
+                    sign,
+                    mag: frac,
+                    exp2: fmt.min_exp() - f,
+                }
+            }
+        } else {
+            BigFloat::Finite {
+                sign,
+                mag: frac.or(&Big::from_u64(1).shl(fmt.frac_bits() as u64)),
+                exp2: biased as i64 - fmt.bias() - f,
+            }
+        }
+    }
+}
+
+/// Round the exact value `(-1)^sign · mag · 2^exp2` (mag non-zero) into
+/// `fmt` — the oracle's single explicit round step. Returns the packed
+/// encoding and the overflow/underflow/inexact flags, with tininess
+/// judged after rounding (round once at full precision with an unbounded
+/// exponent range; tiny iff that stays below the smallest normal).
+pub(crate) fn round_exact(
+    fmt: LimbFormat,
+    sign: bool,
+    mag: &Big,
+    exp2: i64,
+    mode: RoundMode,
+) -> (Vec<u64>, Flags) {
+    debug_assert!(!mag.is_zero());
+    let p = fmt.sig_bits() as i64;
+    let bl = mag.bit_len() as i64;
+    let msb_exp = exp2 + bl - 1; // exponent of the leading bit
+
+    if msb_exp >= fmt.min_exp() {
+        // Normal-range rounding: keep the top p bits.
+        let (kept, carried, inexact) = round_at(mag, bl - p, mode);
+        let exp = msb_exp + carried as i64;
+        if exp > fmt.max_exp() {
+            return overflow_result(fmt, sign, mode);
+        }
+        let mut flags = Flags::NONE;
+        flags.inexact = inexact;
+        let frac = kept.mask_low(fmt.frac_bits() as u64);
+        (fmt.pack(sign, (exp + fmt.bias()) as u64, &frac), flags)
+    } else {
+        // Subnormal-range rounding: quantize at the fraction-ULP weight
+        // 2^(min_exp − frac_bits).
+        let drop = (fmt.min_exp() - fmt.frac_bits() as i64) - exp2;
+        let (kept, _, inexact) = round_at(mag, drop, mode);
+        // Tininess after rounding, judged at unbounded exponent range.
+        let (_, ucarry, _) = round_at(mag, bl - p, mode);
+        let tiny = msb_exp + (ucarry as i64) < fmt.min_exp();
+        let mut flags = Flags::NONE;
+        flags.inexact = inexact;
+        flags.underflow = tiny && inexact;
+        let bits = if kept.bit(fmt.frac_bits() as u64) {
+            // Promoted to the smallest normal by the coarser rounding.
+            fmt.pack(sign, 1, &kept.mask_low(fmt.frac_bits() as u64))
+        } else {
+            fmt.pack(sign, 0, &kept)
+        };
+        (bits, flags)
+    }
+}
+
+/// Round `mag` by dropping its low `drop` bits (half-even under
+/// `NearestEven`, toward zero under `Truncate`); a negative `drop`
+/// scales up exactly. Returns `(kept, carried_out_of_msb, inexact)`.
+fn round_at(mag: &Big, drop: i64, mode: RoundMode) -> (Big, bool, bool) {
+    if drop <= 0 {
+        return (mag.shl((-drop) as u64), false, false);
+    }
+    let drop = drop as u64;
+    let round_bit = mag.bit(drop - 1);
+    let sticky = drop > 1 && mag.low_bits_any(drop - 1);
+    let (kept, _) = mag.shr_sticky(drop);
+    let inexact = round_bit || sticky;
+    let up = match mode {
+        RoundMode::Truncate => false,
+        RoundMode::NearestEven => round_bit && (sticky || kept.is_odd()),
+    };
+    let rounded = if up { kept.add_u64(1) } else { kept };
+    let carried = rounded.bit_len() > mag.bit_len().saturating_sub(drop);
+    (rounded, carried, inexact)
+}
+
+fn overflow_result(fmt: LimbFormat, sign: bool, mode: RoundMode) -> (Vec<u64>, Flags) {
+    let bits = match mode {
+        RoundMode::NearestEven => {
+            if sign {
+                fmt.neg_inf()
+            } else {
+                fmt.pos_inf()
+            }
+        }
+        RoundMode::Truncate => {
+            let max = fmt.max_finite();
+            if sign {
+                let mut b = max;
+                let top = fmt.total_bits() as u64 - 1;
+                b[(top / 64) as usize] |= 1u64 << (top % 64);
+                b
+            } else {
+                max
+            }
+        }
+    };
+    (bits, Flags::overflow())
+}
+
+/// §6.2 NaN handling, restated independently from the kernels: the first
+/// NaN operand (argument order) propagates with its quiet bit (fraction
+/// MSB) set, sign and payload preserved; `invalid` iff any operand's
+/// quiet bit is clear.
+fn nan_result(fmt: LimbFormat, operands: &[&[u64]]) -> Option<(Vec<u64>, Flags)> {
+    let qbit = fmt.frac_bits() as u64 - 1;
+    let mut invalid = false;
+    let mut first = None;
+    for &x in operands {
+        let (_, biased, frac) = fmt.unpack_fields(x);
+        if biased == fmt.inf_biased_exp() && !frac.is_zero() {
+            if !frac.bit(qbit) {
+                invalid = true;
+            }
+            if first.is_none() {
+                first = Some(x);
+            }
+        }
+    }
+    first.map(|n| {
+        let quieted = Big::from_limbs(n).or(&Big::from_u64(1).shl(qbit));
+        let mut flags = Flags::NONE;
+        flags.invalid = invalid;
+        (quieted.to_limbs_fixed(fmt.limbs()), flags)
+    })
+}
+
+fn inf_bits(fmt: LimbFormat, sign: bool) -> Vec<u64> {
+    if sign {
+        fmt.neg_inf()
+    } else {
+        fmt.pos_inf()
+    }
+}
+
+fn zero_bits(fmt: LimbFormat, sign: bool) -> Vec<u64> {
+    fmt.pack(sign, 0, &Big::zero())
+}
+
+/// Exact signed sum of two finite values; `None` encodes exact zero.
+fn exact_add(sa: bool, ma: &Big, ea: i64, sb: bool, mb: &Big, eb: i64) -> Option<(bool, Big, i64)> {
+    let e = ea.min(eb);
+    let a = ma.shl((ea - e) as u64);
+    let b = mb.shl((eb - e) as u64);
+    if sa == sb {
+        return Some((sa, a.add(&b), e));
+    }
+    match a.cmp(&b) {
+        core::cmp::Ordering::Equal => None,
+        core::cmp::Ordering::Greater => Some((sa, a.sub(&b), e)),
+        core::cmp::Ordering::Less => Some((sb, b.sub(&a), e)),
+    }
+}
+
+/// Oracle addition: exact sum, one round step.
+pub fn oracle_add(fmt: LimbFormat, a: &[u64], b: &[u64], mode: RoundMode) -> (Vec<u64>, Flags) {
+    if let Some(r) = nan_result(fmt, &[a, b]) {
+        return r;
+    }
+    use BigFloat::*;
+    let ua = BigFloat::from_encoding(fmt, a);
+    let ub = BigFloat::from_encoding(fmt, b);
+    match (&ua, &ub) {
+        (Inf { sign: s1 }, Inf { sign: s2 }) => {
+            return if s1 == s2 {
+                (inf_bits(fmt, *s1), Flags::NONE)
+            } else {
+                (fmt.quiet_nan(), Flags::invalid())
+            };
+        }
+        (Inf { sign }, _) | (_, Inf { sign }) => return (inf_bits(fmt, *sign), Flags::NONE),
+        (Zero { sign: s1 }, Zero { sign: s2 }) => return (zero_bits(fmt, *s1 && *s2), Flags::NONE),
+        (Zero { .. }, Finite { sign, mag, exp2 }) | (Finite { sign, mag, exp2 }, Zero { .. }) => {
+            return round_exact(fmt, *sign, mag, *exp2, mode);
+        }
+        _ => {}
+    }
+    let (
+        Finite {
+            sign: sa,
+            mag: ma,
+            exp2: ea,
+        },
+        Finite {
+            sign: sb,
+            mag: mb,
+            exp2: eb,
+        },
+    ) = (&ua, &ub)
+    else {
+        unreachable!("specials handled above");
+    };
+    match exact_add(*sa, ma, *ea, *sb, mb, *eb) {
+        None => (zero_bits(fmt, false), Flags::NONE), // exact cancellation → +0
+        Some((sign, mag, exp2)) => round_exact(fmt, sign, &mag, exp2, mode),
+    }
+}
+
+/// Oracle subtraction (sign-flip of the second operand).
+pub fn oracle_sub(fmt: LimbFormat, a: &[u64], b: &[u64], mode: RoundMode) -> (Vec<u64>, Flags) {
+    let mut nb = b.to_vec();
+    let top = fmt.total_bits() as u64 - 1;
+    nb[(top / 64) as usize] ^= 1u64 << (top % 64);
+    oracle_add(fmt, a, &nb, mode)
+}
+
+/// Oracle multiplication: exact product, one round step.
+pub fn oracle_mul(fmt: LimbFormat, a: &[u64], b: &[u64], mode: RoundMode) -> (Vec<u64>, Flags) {
+    if let Some(r) = nan_result(fmt, &[a, b]) {
+        return r;
+    }
+    use BigFloat::*;
+    let ua = BigFloat::from_encoding(fmt, a);
+    let ub = BigFloat::from_encoding(fmt, b);
+    let sign = match (&ua, &ub) {
+        (
+            Zero { sign: s1 } | Finite { sign: s1, .. } | Inf { sign: s1 },
+            Zero { sign: s2 } | Finite { sign: s2, .. } | Inf { sign: s2 },
+        ) => s1 ^ s2,
+        _ => unreachable!("NaNs handled above"),
+    };
+    match (&ua, &ub) {
+        (Zero { .. }, Inf { .. }) | (Inf { .. }, Zero { .. }) => {
+            return (fmt.quiet_nan(), Flags::invalid())
+        }
+        (Inf { .. }, _) | (_, Inf { .. }) => return (inf_bits(fmt, sign), Flags::NONE),
+        (Zero { .. }, _) | (_, Zero { .. }) => return (zero_bits(fmt, sign), Flags::NONE),
+        _ => {}
+    }
+    let (
+        Finite {
+            mag: ma, exp2: ea, ..
+        },
+        Finite {
+            mag: mb, exp2: eb, ..
+        },
+    ) = (&ua, &ub)
+    else {
+        unreachable!("specials handled above");
+    };
+    round_exact(fmt, sign, &ma.mul(mb), ea + eb, mode)
+}
+
+/// Oracle fused multiply-add: exact product, exact sum, one round step.
+/// NaN propagation precedes the 0×∞ invalid check, as in the kernels.
+pub fn oracle_fma(
+    fmt: LimbFormat,
+    a: &[u64],
+    b: &[u64],
+    c: &[u64],
+    mode: RoundMode,
+) -> (Vec<u64>, Flags) {
+    if let Some(r) = nan_result(fmt, &[a, b, c]) {
+        return r;
+    }
+    use BigFloat::*;
+    let ua = BigFloat::from_encoding(fmt, a);
+    let ub = BigFloat::from_encoding(fmt, b);
+    let uc = BigFloat::from_encoding(fmt, c);
+    let psign = match (&ua, &ub) {
+        (
+            Zero { sign: s1 } | Finite { sign: s1, .. } | Inf { sign: s1 },
+            Zero { sign: s2 } | Finite { sign: s2, .. } | Inf { sign: s2 },
+        ) => s1 ^ s2,
+        _ => unreachable!("NaNs handled above"),
+    };
+    match (&ua, &ub) {
+        (Zero { .. }, Inf { .. }) | (Inf { .. }, Zero { .. }) => {
+            return (fmt.quiet_nan(), Flags::invalid())
+        }
+        (Inf { .. }, _) | (_, Inf { .. }) => {
+            return match &uc {
+                Inf { sign } if *sign != psign => (fmt.quiet_nan(), Flags::invalid()),
+                _ => (inf_bits(fmt, psign), Flags::NONE),
+            };
+        }
+        _ => {}
+    }
+    if let Inf { sign } = &uc {
+        return (inf_bits(fmt, *sign), Flags::NONE);
+    }
+
+    // Exact product (possibly zero), exact sum, single round.
+    let prod = match (&ua, &ub) {
+        (
+            Finite {
+                mag: ma, exp2: ea, ..
+            },
+            Finite {
+                mag: mb, exp2: eb, ..
+            },
+        ) => Some((ma.mul(mb), ea + eb)),
+        _ => None,
+    };
+    match (prod, &uc) {
+        (None, Zero { sign: cs }) => (zero_bits(fmt, psign && *cs), Flags::NONE),
+        (None, Finite { sign, mag, exp2 }) => round_exact(fmt, *sign, mag, *exp2, mode),
+        (Some((pm, pe)), Zero { .. }) => round_exact(fmt, psign, &pm, pe, mode),
+        (
+            Some((pm, pe)),
+            Finite {
+                sign: cs,
+                mag: cm,
+                exp2: ce,
+            },
+        ) => match exact_add(psign, &pm, pe, *cs, cm, *ce) {
+            None => (zero_bits(fmt, false), Flags::NONE),
+            Some((sign, mag, exp2)) => round_exact(fmt, sign, &mag, exp2, mode),
+        },
+        _ => unreachable!("specials handled above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F128: LimbFormat = LimbFormat::F128;
+
+    #[test]
+    fn round_exact_identity_on_representable_values() {
+        // 1.5 = 3 × 2^-1 at any precision.
+        let (bits, flags) = round_exact(F128, false, &Big::from_u64(3), -1, RoundMode::NearestEven);
+        let (s, e, m) = F128.unpack_fields(&bits);
+        assert!(!s);
+        assert_eq!(e, F128.bias() as u64);
+        assert_eq!(m, Big::from_u64(1).shl(111));
+        assert!(!flags.any());
+    }
+
+    #[test]
+    fn round_exact_half_even_at_the_ulp() {
+        // A p+1-bit integer ending in …01|1 (tie) rounds to even.
+        let p = F128.sig_bits() as u64;
+        let mag = Big::from_u64(1).shl(p).or(&Big::from_u64(0b11));
+        let (bits, flags) = round_exact(F128, false, &mag, 0, RoundMode::NearestEven);
+        let (_, e, m) = F128.unpack_fields(&bits);
+        assert_eq!(e, F128.bias() as u64 + p);
+        assert_eq!(m, Big::from_u64(2), "…01 + tie → …10");
+        assert!(flags.inexact);
+    }
+
+    #[test]
+    fn overflow_and_subnormal_edges() {
+        // 2 × max_finite overflows; half of min_positive is an exact
+        // denormal.
+        let two_pmax = Big::from_u64(1);
+        let (bits, f) = round_exact(
+            F128,
+            false,
+            &two_pmax,
+            F128.max_exp() + 1,
+            RoundMode::NearestEven,
+        );
+        assert_eq!(bits, F128.pos_inf());
+        assert!(f.overflow);
+        let (bits, f) = round_exact(
+            F128,
+            true,
+            &two_pmax,
+            F128.max_exp() + 1,
+            RoundMode::Truncate,
+        );
+        let (s, e, _) = F128.unpack_fields(&bits);
+        assert!(s);
+        assert_eq!(e, F128.max_biased_exp());
+        assert!(f.overflow);
+        let (bits, f) = round_exact(
+            F128,
+            false,
+            &Big::from_u64(1),
+            F128.min_exp() - 1,
+            RoundMode::NearestEven,
+        );
+        let (_, e, m) = F128.unpack_fields(&bits);
+        assert_eq!(e, 0);
+        assert_eq!(m, Big::from_u64(1).shl(111));
+        assert!(!f.any(), "exact denormal raises nothing");
+    }
+
+    #[test]
+    fn tiny_value_rounds_to_zero_with_underflow() {
+        // 1 × 2^(min_exp − frac_bits − 2): a quarter of the smallest
+        // denormal → ±0, underflow + inexact.
+        let e = F128.min_exp() - F128.frac_bits() as i64 - 2;
+        let (bits, f) = round_exact(F128, true, &Big::from_u64(1), e, RoundMode::NearestEven);
+        assert_eq!(bits, zero_bits(F128, true));
+        assert!(f.underflow && f.inexact);
+    }
+
+    #[test]
+    fn oracle_add_exact_cancellation_is_positive_zero() {
+        let one = F128.pack(false, F128.bias() as u64, &Big::zero());
+        let neg_one = F128.pack(true, F128.bias() as u64, &Big::zero());
+        let (bits, f) = oracle_add(F128, &one, &neg_one, RoundMode::NearestEven);
+        assert_eq!(bits, F128.zero());
+        assert!(!f.any());
+        // −0 + −0 keeps the sign.
+        let nz = zero_bits(F128, true);
+        let (bits, _) = oracle_add(F128, &nz, &nz, RoundMode::NearestEven);
+        assert_eq!(bits, nz);
+    }
+
+    #[test]
+    fn oracle_fma_is_exact_to_the_last_bit() {
+        // (1 + 2^-112)² = 1 + 2^-111 + 2^-224: the 2^-224 term is below
+        // the ulp and must show up only as inexact (round-down keeps
+        // 1 + 2^-111).
+        let a = F128.pack(false, F128.bias() as u64, &Big::from_u64(1));
+        let zero = F128.zero();
+        let (bits, f) = oracle_fma(F128, &a, &a, &zero, RoundMode::NearestEven);
+        let (_, e, m) = F128.unpack_fields(&bits);
+        assert_eq!(e, F128.bias() as u64);
+        assert_eq!(m, Big::from_u64(2));
+        assert!(f.inexact);
+        // With the −(1 + 2^-111) addend the residual 2^-224 is exact.
+        let residual_addend = F128.pack(true, F128.bias() as u64, &Big::from_u64(2));
+        let (bits, f) = oracle_fma(F128, &a, &a, &residual_addend, RoundMode::NearestEven);
+        let (s, e, _) = F128.unpack_fields(&bits);
+        assert!(!s);
+        assert_eq!(e as i64 - F128.bias(), -224);
+        assert!(!f.any());
+    }
+}

@@ -1,0 +1,288 @@
+//! Rounding for wide significands — the limb mirror of [`crate::round`]
+//! and [`crate::ieee::ieee_round_pack`].
+//!
+//! The scalar sticky shifters guard the `n ≥ 64` / `n ≥ 128` boundary
+//! explicitly (`regress_shift_sticky_boundary_counts`); the multi-limb
+//! equivalents here take the shift count as a `u64` and early-out at
+//! `n ≥ bit width`, so alignment shifts derived from wide-exponent
+//! differences (up to 2^24 for the largest supported exponent field)
+//! can never wrap or index out of range.
+
+use crate::exceptions::Flags;
+use crate::limb::big::Big;
+use crate::limb::format::LimbFormat;
+use crate::round::RoundMode;
+
+/// Shift a little-endian limb significand right by `n` bits, ORing all
+/// shifted-out bits into a sticky bit — the multi-limb mirror of
+/// [`crate::round::shift_right_sticky`]. Shifts at or beyond the total
+/// limb width return `(zeros, sig != 0)`.
+pub fn shift_right_sticky_limbs(sig: &[u64], n: u64) -> (Vec<u64>, bool) {
+    let (shifted, sticky) = Big::from_limbs(sig).shr_sticky(n);
+    (shifted.to_limbs_fixed(sig.len()), sticky)
+}
+
+/// Deliver an overflowed wide result under the IEEE default policy:
+/// round-to-nearest rounds past max-finite to ±∞; round-toward-zero
+/// saturates at ±max-finite. Overflow always implies inexact.
+pub fn limb_round_overflow(fmt: LimbFormat, sign: bool, mode: RoundMode) -> (Vec<u64>, Flags) {
+    let bits = match mode {
+        RoundMode::NearestEven => {
+            if sign {
+                fmt.neg_inf()
+            } else {
+                fmt.pos_inf()
+            }
+        }
+        RoundMode::Truncate => {
+            let mut b = fmt.max_finite();
+            if sign {
+                let top = fmt.total_bits() as u64 - 1;
+                b[(top / 64) as usize] |= 1u64 << (top % 64);
+            }
+            b
+        }
+    };
+    (bits, Flags::overflow())
+}
+
+/// Round and pack a wide magnitude with gradual underflow — the limb
+/// mirror of [`crate::ieee::ieee_round_pack`], bit-identical to it for
+/// one-limb formats.
+///
+/// `mag` is non-zero and normalized (leading one at `frac_bits + grs`);
+/// `exp` is unbounded. Handles overflow (→ ±∞ or ±max-finite by mode),
+/// the denormal range (right-shift with sticky collapse before rounding)
+/// and tininess detected after rounding.
+pub(crate) fn limb_round_pack(
+    fmt: LimbFormat,
+    sign: bool,
+    exp: i64,
+    mag: Big,
+    grs: u64,
+    mode: RoundMode,
+) -> (Vec<u64>, Flags) {
+    debug_assert!(!mag.is_zero());
+    debug_assert_eq!(
+        mag.bit_len() - 1,
+        fmt.frac_bits() as u64 + grs,
+        "not normalized"
+    );
+
+    if exp > fmt.max_exp() {
+        return limb_round_overflow(fmt, sign, mode);
+    }
+
+    let denormal_path = exp < fmt.min_exp();
+
+    // Tininess after rounding, judged *before* denormalization (see
+    // `ieee_round_pack`): the only escape window is exp == min_exp − 1
+    // with the unbounded rounding carrying 1.111…1 up to 2.0.
+    let tiny = denormal_path
+        && !(exp == fmt.min_exp() - 1 && unbounded_round_carries(fmt, &mag, grs, mode));
+
+    // Push values below the normal range down into the denormal
+    // representation; the shift can exceed the magnitude's width for
+    // deeply tiny results, which the sticky shifter collapses to
+    // (0, sticky).
+    let mag = if denormal_path {
+        let shift = (fmt.min_exp() - exp) as u64;
+        let (m, lost) = mag.shr_sticky(shift);
+        m.jam(lost)
+    } else {
+        mag
+    };
+
+    // Round at the fixed guard boundary. The kept part's hidden bit may
+    // be clear on the denormal path. `tail > half` ⇔ round bit set with
+    // a non-empty lower tail; `tail == half` ⇔ round bit set, lower
+    // tail empty.
+    let round_bit = mag.bit(grs - 1);
+    let sticky_low = grs > 1 && mag.low_bits_any(grs - 1);
+    let (kept, _) = mag.shr_sticky(grs);
+    let inexact = round_bit || sticky_low;
+    let round_up = match mode {
+        RoundMode::Truncate => false,
+        RoundMode::NearestEven => round_bit && (sticky_low || kept.is_odd()),
+    };
+    let mut rounded = if round_up { kept.add_u64(1) } else { kept };
+    let mut exp = exp;
+    if !denormal_path && rounded.bit(fmt.sig_bits() as u64) {
+        let (r, _) = rounded.shr_sticky(1);
+        rounded = r;
+        exp += 1;
+        if exp > fmt.max_exp() {
+            return limb_round_overflow(fmt, sign, mode);
+        }
+    }
+
+    let mut flags = Flags::NONE;
+    flags.inexact = inexact;
+    if denormal_path {
+        flags.underflow = tiny && inexact;
+        // Denormalized rounding can still promote the result to the
+        // smallest normal (biased exponent 1); whether that counts as
+        // an underflow was decided by `tiny` above.
+        let bits = if rounded.bit(fmt.frac_bits() as u64) {
+            fmt.pack(sign, 1, &rounded.mask_low(fmt.frac_bits() as u64))
+        } else {
+            fmt.pack(sign, 0, &rounded)
+        };
+        (bits, flags)
+    } else {
+        debug_assert!(rounded.bit(fmt.frac_bits() as u64));
+        (
+            fmt.pack(
+                sign,
+                (exp + fmt.bias()) as u64,
+                &rounded.mask_low(fmt.frac_bits() as u64),
+            ),
+            flags,
+        )
+    }
+}
+
+/// Would rounding `mag` (leading one at `frac_bits + grs`) at the guard
+/// boundary carry out of the significand? Round-toward-zero never
+/// carries.
+fn unbounded_round_carries(fmt: LimbFormat, mag: &Big, grs: u64, mode: RoundMode) -> bool {
+    match mode {
+        RoundMode::Truncate => false,
+        RoundMode::NearestEven => {
+            let round_bit = mag.bit(grs - 1);
+            let sticky_low = grs > 1 && mag.low_bits_any(grs - 1);
+            let (kept, _) = mag.shr_sticky(grs);
+            let up = round_bit && (sticky_low || kept.is_odd());
+            if !up {
+                return false;
+            }
+            kept.add_u64(1).bit(fmt.sig_bits() as u64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::round::shift_right_sticky;
+
+    #[test]
+    fn sticky_shift_matches_scalar_within_one_limb() {
+        for sig in [0u64, 1, 0b1011, 1 << 63, u64::MAX, 0xdead_beef_0123_4567] {
+            for n in [0u32, 1, 2, 13, 62, 63, 64, 65, 127, 1000] {
+                let (want, wsticky) = shift_right_sticky(sig, n);
+                let (got, gsticky) = shift_right_sticky_limbs(&[sig], n as u64);
+                assert_eq!((got, gsticky), (vec![want], wsticky), "sig={sig:#x} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn regress_limb_shift_sticky_at_and_beyond_total_width() {
+        // The multi-limb mirror of `regress_shift_sticky_boundary_counts`:
+        // shift counts at the limb boundary, at the total width, one past
+        // it, and absurdly past it (including counts that would wrap a
+        // u32 shifter) must neither panic nor lose the sticky.
+        let x = vec![u64::MAX, u64::MAX, u64::MAX]; // 192 bits, all ones
+        for n in [191u64, 192, 193, 256, u32::MAX as u64, u64::MAX / 2] {
+            let (got, sticky) = shift_right_sticky_limbs(&x, n);
+            if n >= 192 {
+                assert_eq!(got, vec![0, 0, 0], "n={n}");
+                assert!(sticky, "n={n}");
+            } else {
+                assert_eq!(got, vec![1, 0, 0], "n={n}");
+                assert!(sticky, "n={n}");
+            }
+        }
+        let (got, sticky) = shift_right_sticky_limbs(&[0, 0, 0], u64::MAX);
+        assert_eq!(got, vec![0, 0, 0]);
+        assert!(!sticky, "zero has nothing to lose");
+        // Exactly one bit at the top: width−1 keeps it, width loses it.
+        let top = vec![0u64, 0, 1 << 63];
+        assert_eq!(shift_right_sticky_limbs(&top, 191), (vec![1, 0, 0], false));
+        assert_eq!(shift_right_sticky_limbs(&top, 192), (vec![0, 0, 0], true));
+        // Limb-boundary counts keep whole-limb moves exact.
+        let two = vec![0b11u64, 0, 1];
+        assert_eq!(
+            shift_right_sticky_limbs(&two, 64),
+            (vec![0, 1, 0], true),
+            "low limb collapses to sticky"
+        );
+        assert_eq!(shift_right_sticky_limbs(&two, 128), (vec![1, 0, 0], true));
+    }
+
+    #[test]
+    fn regress_limb_round_overflow_truncate_packs_max_finite() {
+        // ±max-finite under truncation, ±∞ under nearest — for wide
+        // formats whose sign bit sits mid-limb as well as at a limb edge.
+        for fmt in [
+            LimbFormat::F128,
+            LimbFormat::F256,
+            LimbFormat::new(15, 84), // 100 bits: sign at bit 35 of limb 1
+        ] {
+            for sign in [false, true] {
+                let (bits, f) = limb_round_overflow(fmt, sign, RoundMode::Truncate);
+                let (s, e, m) = fmt.unpack_fields(&bits);
+                assert_eq!(s, sign, "{fmt:?}");
+                assert_eq!(e, fmt.max_biased_exp());
+                assert_eq!(m.bit_len(), fmt.frac_bits() as u64, "all-ones fraction");
+                assert!(m.low_bits_any(fmt.frac_bits() as u64 - 1));
+                assert!(f.overflow && f.inexact);
+
+                let (bits, f) = limb_round_overflow(fmt, sign, RoundMode::NearestEven);
+                let want = if sign { fmt.neg_inf() } else { fmt.pos_inf() };
+                assert_eq!(bits, want);
+                assert!(f.overflow && f.inexact);
+            }
+        }
+    }
+
+    #[test]
+    fn deep_denormal_shift_collapses_to_sticky_zero() {
+        // A result so far below the denormal range that the
+        // denormalization shift exceeds the magnitude's entire width must
+        // round to ±0 (Truncate) or the smallest denormal boundary rules
+        // (NearestEven), with underflow + inexact — not panic.
+        let fmt = LimbFormat::F128;
+        let mag = Big::from_u64(1).shl(fmt.frac_bits() as u64 + 3); // 1.000… with grs=3
+        let exp = fmt.min_exp() - 200_000; // far beyond min_exp − frac_bits
+        let (bits, f) = limb_round_pack(fmt, false, exp, mag.clone(), 3, RoundMode::Truncate);
+        assert_eq!(bits, fmt.zero());
+        assert!(f.underflow && f.inexact);
+        let (bits, f) = limb_round_pack(fmt, true, exp, mag, 3, RoundMode::NearestEven);
+        assert_eq!(bits, fmt.pack(true, 0, &Big::zero()));
+        assert!(f.underflow && f.inexact);
+    }
+
+    #[test]
+    fn wide_tie_rounds_to_even() {
+        let fmt = LimbFormat::F128;
+        let f = fmt.frac_bits() as u64;
+        // 1.000…01 (odd LSB) + exactly half an ulp → rounds up to even.
+        let mag = Big::from_u64(1).shl(f + 3).or(&Big::from_u64(0b1100)); // sig…01 | tail=100
+        let (bits, flags) = limb_round_pack(fmt, false, 0, mag, 3, RoundMode::NearestEven);
+        let (_, e, m) = fmt.unpack_fields(&bits);
+        assert_eq!(e, fmt.bias() as u64);
+        assert_eq!(m, Big::from_u64(2));
+        assert!(flags.inexact);
+        // Even LSB + exactly half → stays.
+        let mag = Big::from_u64(1).shl(f + 3).or(&Big::from_u64(0b10100));
+        let (bits, _) = limb_round_pack(fmt, false, 0, mag, 3, RoundMode::NearestEven);
+        let (_, _, m) = fmt.unpack_fields(&bits);
+        assert_eq!(m, Big::from_u64(2));
+    }
+
+    #[test]
+    fn carry_out_of_all_ones_significand_bumps_exponent() {
+        let fmt = LimbFormat::F256;
+        let f = fmt.frac_bits() as u64;
+        // 1.111…1 with tail > half: rounds up to 10.000…0.
+        let all_ones = Big::from_u64(1).shl(f + 1).sub(&Big::from_u64(1));
+        let mag = all_ones.shl(3).or(&Big::from_u64(0b101));
+        let (bits, flags) = limb_round_pack(fmt, false, 0, mag, 3, RoundMode::NearestEven);
+        let (_, e, m) = fmt.unpack_fields(&bits);
+        assert_eq!(e, fmt.bias() as u64 + 1);
+        assert!(m.is_zero());
+        assert!(flags.inexact && !flags.overflow);
+    }
+}

@@ -1,0 +1,192 @@
+//! Wide operands unpacked with full IEEE semantics.
+//!
+//! The limb mirror of [`crate::ieee::IeeeUnpacked`]: denormals are
+//! *pre-normalized* (leading one lifted to the hidden position, the
+//! unbounded exponent absorbing the shift via a multi-limb lzcnt) so the
+//! arithmetic core handles normals and denormals uniformly.
+
+use crate::exceptions::Flags;
+use crate::limb::big::Big;
+use crate::limb::format::LimbFormat;
+
+/// Operand classification (same classes as [`crate::ieee::IeeeClass`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LimbClass {
+    /// ±0.
+    Zero,
+    /// A denormal (kept, not flushed).
+    Denormal,
+    /// A normal number.
+    Normal,
+    /// ±∞.
+    Inf,
+    /// Any NaN encoding.
+    Nan,
+}
+
+/// A wide operand unpacked with gradual-underflow and NaN awareness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LimbUnpacked {
+    /// Sign bit.
+    pub sign: bool,
+    /// Unbiased exponent; for denormals this lies below `fmt.min_exp()`.
+    pub exp: i64,
+    /// Significand with the leading one at `fmt.frac_bits()` (zero for
+    /// zeros/specials).
+    pub sig: Big,
+    /// Classification.
+    pub class: LimbClass,
+}
+
+impl LimbUnpacked {
+    /// Decode a limb encoding.
+    pub fn from_bits(fmt: LimbFormat, bits: &[u64]) -> LimbUnpacked {
+        let (sign, biased, frac) = fmt.unpack_fields(bits);
+        if biased == fmt.inf_biased_exp() {
+            let class = if frac.is_zero() {
+                LimbClass::Inf
+            } else {
+                LimbClass::Nan
+            };
+            LimbUnpacked {
+                sign,
+                exp: 0,
+                sig: Big::zero(),
+                class,
+            }
+        } else if biased == 0 {
+            if frac.is_zero() {
+                LimbUnpacked {
+                    sign,
+                    exp: 0,
+                    sig: Big::zero(),
+                    class: LimbClass::Zero,
+                }
+            } else {
+                // Denormal: value = frac · 2^(min_exp − frac_bits).
+                // Normalize so the arithmetic sees a hidden-bit form.
+                let shift = fmt.frac_bits() as u64 + 1 - frac.bit_len();
+                LimbUnpacked {
+                    sign,
+                    exp: fmt.min_exp() - shift as i64,
+                    sig: frac.shl(shift),
+                    class: LimbClass::Denormal,
+                }
+            }
+        } else {
+            LimbUnpacked {
+                sign,
+                exp: biased as i64 - fmt.bias(),
+                sig: frac.or(&Big::from_u64(1).shl(fmt.frac_bits() as u64)),
+                class: LimbClass::Normal,
+            }
+        }
+    }
+
+    /// True for zero.
+    pub fn is_zero(&self) -> bool {
+        self.class == LimbClass::Zero
+    }
+
+    /// True for a finite non-zero number (normal or denormal).
+    pub fn is_finite_nonzero(&self) -> bool {
+        matches!(self.class, LimbClass::Normal | LimbClass::Denormal)
+    }
+}
+
+/// True if `bits` encodes any NaN.
+pub fn limb_is_nan(fmt: LimbFormat, bits: &[u64]) -> bool {
+    let (_, biased, frac) = fmt.unpack_fields(bits);
+    biased == fmt.inf_biased_exp() && !frac.is_zero()
+}
+
+/// True if `bits` encodes a signaling NaN (NaN with the quiet bit — the
+/// fraction MSB — clear).
+pub fn limb_is_signaling(fmt: LimbFormat, bits: &[u64]) -> bool {
+    limb_is_nan(fmt, bits) && !Big::from_limbs(bits).bit(fmt.frac_bits() as u64 - 1)
+}
+
+/// IEEE 754-2019 §6.2 NaN propagation: the result is the first NaN
+/// operand (in argument order) with its quiet bit set, sign and payload
+/// preserved; `invalid` is raised iff any operand is signaling.
+///
+/// Must be called with at least one NaN among `operands`.
+pub fn limb_propagate_nan(fmt: LimbFormat, operands: &[&[u64]]) -> (Vec<u64>, Flags) {
+    let mut flags = Flags::NONE;
+    let mut first = None;
+    for &x in operands {
+        if limb_is_nan(fmt, x) {
+            if limb_is_signaling(fmt, x) {
+                flags.invalid = true;
+            }
+            if first.is_none() {
+                first = Some(x);
+            }
+        }
+    }
+    let nan = first.expect("limb_propagate_nan requires a NaN operand");
+    let quieted = Big::from_limbs(nan).or(&Big::from_u64(1).shl(fmt.frac_bits() as u64 - 1));
+    (quieted.to_limbs_fixed(fmt.limbs()), flags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unpack_wide_denormal_is_normalized() {
+        let f = LimbFormat::F128;
+        // Smallest f128 denormal = 2^(−16382 − 112).
+        let u = LimbUnpacked::from_bits(f, &f.min_denormal());
+        assert_eq!(u.class, LimbClass::Denormal);
+        assert_eq!(u.exp, -16382 - 112);
+        assert_eq!(u.sig, Big::from_u64(1).shl(112));
+    }
+
+    #[test]
+    fn unpack_wide_normal_sets_hidden_bit() {
+        let f = LimbFormat::F128;
+        let one = f.pack(false, f.bias() as u64, &Big::zero());
+        let u = LimbUnpacked::from_bits(f, &one);
+        assert_eq!(u.class, LimbClass::Normal);
+        assert_eq!(u.exp, 0);
+        assert_eq!(u.sig, Big::from_u64(1).shl(112));
+    }
+
+    #[test]
+    fn nan_classification_and_quieting() {
+        let f = LimbFormat::F256;
+        assert!(limb_is_nan(f, &f.quiet_nan()));
+        assert!(!limb_is_signaling(f, &f.quiet_nan()));
+        assert!(!limb_is_nan(f, &f.pos_inf()));
+        // Signaling NaN: payload below the quiet bit.
+        let snan = f.pack(true, f.inf_biased_exp(), &Big::from_u64(0x17));
+        assert!(limb_is_signaling(f, &snan));
+        let (q, flags) = limb_propagate_nan(f, &[&snan]);
+        assert!(flags.invalid);
+        assert!(limb_is_nan(f, &q) && !limb_is_signaling(f, &q));
+        // Sign and payload survive quieting.
+        let (sg, e, frac) = f.unpack_fields(&q);
+        assert!(sg);
+        assert_eq!(e, f.inf_biased_exp());
+        assert_eq!(
+            frac,
+            Big::from_u64(0x17).or(&Big::from_u64(1).shl(f.frac_bits() as u64 - 1))
+        );
+    }
+
+    #[test]
+    fn first_nan_operand_wins() {
+        let f = LimbFormat::F128;
+        let qnan_a = f.pack(
+            true,
+            f.inf_biased_exp(),
+            &Big::from_limbs(&[0x123, 1 << 47]),
+        );
+        let qnan_b = f.quiet_nan();
+        let inf = f.pos_inf();
+        let (r, flags) = limb_propagate_nan(f, &[&inf, &qnan_a, &qnan_b]);
+        assert_eq!(r, qnan_a);
+        assert!(!flags.any(), "quiet propagation raises nothing");
+    }
+}

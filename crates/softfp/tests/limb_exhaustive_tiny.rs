@@ -1,0 +1,152 @@
+//! Exhaustive tiny-format sweeps of the limb kernels against the
+//! `BigFloat` oracle (satellite of the `softfp::limb` tentpole).
+//!
+//! Every `(a, b)` encoding pair of a small format is pushed through
+//! `limb_add` / `limb_mul` in both rounding modes and compared —
+//! result bits AND exception flags — against the exact-integer oracle
+//! in `softfp::limb::oracle`. Because the format is tiny the sweep
+//! covers every special-value collision (NaN×∞, denormal cancellation,
+//! overflow at every rounding boundary) with no sampling gaps.
+//!
+//! Scale tiers:
+//!
+//! * default run: exhaustive e4f3 (8-bit, 65 536 pairs) + a strided
+//!   fma sweep — fast enough for the debug-mode tier-1 suite;
+//! * `#[ignore]`d: exhaustive e5f6 (12-bit, ~16.8 M pairs) and a
+//!   denser fma grid, run in release by the CI `limb-tests` job via
+//!   `--include-ignored`.
+
+use fpfpga_softfp::limb::oracle::{oracle_add, oracle_fma, oracle_mul, oracle_sub};
+use fpfpga_softfp::limb::{limb_add, limb_fma, limb_mul, limb_sub, LimbFormat};
+use fpfpga_softfp::RoundMode;
+
+const MODES: [RoundMode; 2] = [RoundMode::NearestEven, RoundMode::Truncate];
+
+fn mode_tag(mode: RoundMode) -> &'static str {
+    match mode {
+        RoundMode::NearestEven => "rne",
+        RoundMode::Truncate => "rtz",
+    }
+}
+
+/// A two-operand limb kernel or oracle entry point.
+type BinFn = fn(LimbFormat, &[u64], &[u64], RoundMode) -> (Vec<u64>, fpfpga_softfp::Flags);
+
+/// Compare one binary-op case: limb kernel vs oracle, bits and flags.
+fn check_binary(
+    name: &str,
+    kernel: BinFn,
+    oracle: BinFn,
+    fmt: LimbFormat,
+    a: u64,
+    b: u64,
+    mode: RoundMode,
+) {
+    let got = kernel(fmt, &[a], &[b], mode);
+    let want = oracle(fmt, &[a], &[b], mode);
+    assert_eq!(
+        got,
+        want,
+        "{name} {} {} {a:#x} {b:#x}: limb kernel diverged from oracle",
+        fmt.canonical_name(),
+        mode_tag(mode),
+    );
+}
+
+/// Every (a, b) pair of `fmt` through add/sub/mul, both modes.
+fn exhaustive_pairs(fmt: LimbFormat) {
+    assert!(fmt.total_bits() <= 16, "sweep would not terminate usefully");
+    let n = 1u64 << fmt.total_bits();
+    for a in 0..n {
+        for b in 0..n {
+            for mode in MODES {
+                check_binary("add", limb_add, oracle_add, fmt, a, b, mode);
+                check_binary("mul", limb_mul, oracle_mul, fmt, a, b, mode);
+            }
+        }
+    }
+}
+
+/// Strided (a, b, c) fma triples: `a` walks the full encoding space,
+/// `b`/`c` are derived by a splitmix-style hash so every region of the
+/// space (specials, denormals, both signs) gets hit without the cubic
+/// blowup of a true exhaustive triple sweep.
+fn strided_fma(fmt: LimbFormat, per_a: u64) {
+    let n = 1u64 << fmt.total_bits();
+    let mask = n - 1;
+    for a in 0..n {
+        for k in 0..per_a {
+            let mut z = a
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(k.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+            z ^= z >> 30;
+            z = z.wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 27;
+            let b = z & mask;
+            let c = (z >> 32) & mask;
+            for mode in MODES {
+                let got = limb_fma(fmt, &[a], &[b], &[c], mode);
+                let want = oracle_fma(fmt, &[a], &[b], &[c], mode);
+                assert_eq!(
+                    got,
+                    want,
+                    "fma {} {} {a:#x} {b:#x} {c:#x}: limb kernel diverged from oracle",
+                    fmt.canonical_name(),
+                    mode_tag(mode),
+                );
+            }
+        }
+    }
+}
+
+/// Exhaustive e4f3 (8-bit) add/sub/mul: all 65 536 pairs, both modes.
+#[test]
+fn exhaustive_e4f3_add_mul_vs_oracle() {
+    exhaustive_pairs(LimbFormat::new(4, 3));
+}
+
+/// Sub is add with a flipped sign bit, but sweep it explicitly so the
+/// wrapper (and the oracle's sub path) can never drift.
+#[test]
+fn exhaustive_e4f3_sub_vs_oracle() {
+    let fmt = LimbFormat::new(4, 3);
+    let n = 1u64 << fmt.total_bits();
+    for a in 0..n {
+        for b in 0..n {
+            for mode in MODES {
+                check_binary("sub", limb_sub, oracle_sub, fmt, a, b, mode);
+            }
+        }
+    }
+}
+
+/// Strided fma at e4f3: every `a`, 32 derived (b, c) pairs each —
+/// 8 192 triples, both modes.
+#[test]
+fn strided_e4f3_fma_vs_oracle() {
+    strided_fma(LimbFormat::new(4, 3), 32);
+}
+
+/// A second tiny geometry (wider exponent, narrower fraction) so the
+/// sweep is not blind to exp/frac split effects: exhaustive e6f2.
+#[test]
+fn exhaustive_e6f2_add_mul_vs_oracle() {
+    exhaustive_pairs(LimbFormat::new(6, 2));
+}
+
+/// Exhaustive 12-bit e5f6 sweep — ~16.8 M pairs × 2 ops × 2 modes.
+/// Too slow for the debug tier-1 run; the CI `limb-tests` job runs it
+/// in release with `--include-ignored`.
+#[test]
+#[ignore = "release-mode CI sweep (~67M kernel evals); run via limb-tests job"]
+fn exhaustive_e5f6_add_mul_vs_oracle() {
+    exhaustive_pairs(LimbFormat::new(5, 6));
+}
+
+/// Dense fma grid at e5f6 for the CI release job: every `a`, 64
+/// derived (b, c) pairs each — ~260 k triples, both modes.
+#[test]
+#[ignore = "release-mode CI sweep; run via limb-tests job"]
+fn strided_e5f6_fma_vs_oracle() {
+    strided_fma(LimbFormat::new(5, 6), 64);
+}
