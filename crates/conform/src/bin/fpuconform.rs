@@ -5,7 +5,8 @@
 //! fpuconform [--ops add,mul,...] [--formats f32,f64,f48,e6f17]
 //!            [--samples N] [--seed S] [--sweeps ieee,ftz,fpu,limb]
 //!            [--limb-formats f128,f256,e19f236]
-//!            [--max-divergences K] [--threads N] [--fastpath] [--json]
+//!            [--max-divergences K] [--threads N] [--fastpath]
+//!            [--simd scalar|wide|auto] [--json]
 //! ```
 //!
 //! The `limb` sweep checks the wide-format (multi-limb) kernels against
@@ -17,7 +18,10 @@
 //! `--fastpath` (or the `FPUCONFORM_FASTPATH` environment variable)
 //! forces the softfp reference evaluation through the monomorphized
 //! `fastpath` kernels for add/sub/mul/fma, so the sweeps conformance-
-//! check the fast lane itself.
+//! check the fast lane itself. `--simd scalar|wide|auto` (or
+//! `FPUCONFORM_SIMD` plus `FPFPGA_SIMD`) goes one layer further and
+//! routes those ops through the `softfp::simd` dispatchers under the
+//! chosen policy — `wide` sweeps the vector engines case by case.
 //!
 //! Exit status is 0 when every sweep agrees and 1 when any divergence
 //! was found (which is what the CI step keys off). Each stored
@@ -34,6 +38,7 @@ use fpfpga_conform::limb::{
 };
 use fpfpga_conform::shrink::{minimize, minimize_with, render_case};
 use fpfpga_softfp::limb::LimbFormat;
+use fpfpga_softfp::simd::SimdPolicy;
 use serde_json::{json, Value};
 use std::process::ExitCode;
 
@@ -51,7 +56,7 @@ fn usage(err: &str) -> ! {
          \x20                 [--formats f32,f64,f48,e<E>f<F>] [--samples N] [--seed S]\n\
          \x20                 [--sweeps ieee,ftz,fpu,limb] [--max-divergences K]\n\
          \x20                 [--limb-formats f128,f256,e<E>f<F>]\n\
-         \x20                 [--threads N] [--fastpath] [--json]"
+         \x20                 [--threads N] [--fastpath] [--simd scalar|wide|auto] [--json]"
     );
     std::process::exit(2);
 }
@@ -120,6 +125,16 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|_| usage("--threads needs an integer (0 = auto)"));
             }
             "--fastpath" => diff::set_force_fastpath(true),
+            "--simd" => {
+                let policy = match value(&mut it).as_str() {
+                    "scalar" => SimdPolicy::ForceScalar,
+                    "wide" => SimdPolicy::ForceWide,
+                    "auto" => SimdPolicy::Auto,
+                    other => usage(&format!("unknown simd mode `{other}` (scalar, wide, auto)")),
+                };
+                fpfpga_softfp::simd::set_simd_policy(policy);
+                diff::set_force_simd(true);
+            }
             "--json" => json = true,
             "--help" | "-h" => usage("help requested"),
             other => usage(&format!("unknown flag `{other}`")),

@@ -44,6 +44,28 @@ pub fn fastpath_forced() -> bool {
             .get_or_init(|| std::env::var_os("FPUCONFORM_FASTPATH").is_some_and(|v| v != *"0"))
 }
 
+/// Process-wide switch routing [`eval_ftz`] add/sub/mul/fma through the
+/// `softfp::simd` one-shot dispatchers, which honor the active
+/// [`SimdPolicy`](fpfpga_softfp::simd::SimdPolicy) — so a sweep under
+/// `--simd wide` exercises the real vector datapath (broadcast batch,
+/// classify-then-partition fixup) case by case. Settable
+/// programmatically ([`set_force_simd`]) or via the `FPUCONFORM_SIMD`
+/// environment variable (any value but `0`). Takes precedence over the
+/// fast-lane switch; sweeps must stay byte-identical in every mode.
+static FORCE_SIMD: AtomicBool = AtomicBool::new(false);
+static SIMD_ENV: OnceLock<bool> = OnceLock::new();
+
+/// Force (or stop forcing) the SIMD dispatchers in [`eval_ftz`].
+pub fn set_force_simd(on: bool) {
+    FORCE_SIMD.store(on, Ordering::Relaxed);
+}
+
+/// True when the SIMD dispatchers are forced, by flag or by environment.
+pub fn simd_forced() -> bool {
+    FORCE_SIMD.load(Ordering::Relaxed)
+        || *SIMD_ENV.get_or_init(|| std::env::var_os("FPUCONFORM_SIMD").is_some_and(|v| v != *"0"))
+}
+
 /// An operation under test.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Op {
@@ -495,10 +517,13 @@ fn outside_ftz_domain(fmt: FpFormat, bits: u64) -> bool {
 }
 
 /// Evaluate a case with the paper-faithful flush-to-zero ops. When the
-/// fast lane is forced ([`fastpath_forced`]), add/sub/mul/fma route
-/// through the monomorphized `softfp::fastpath` dispatchers instead of
-/// the generic unpacked path; div/sqrt/convert/compare have no fast
-/// lane and always use the generic implementations.
+/// SIMD dispatch is forced ([`simd_forced`]), add/sub/mul/fma route
+/// through the `softfp::simd` one-shot dispatchers under the active
+/// policy; otherwise, when the fast lane is forced
+/// ([`fastpath_forced`]), they route through the monomorphized
+/// `softfp::fastpath` dispatchers instead of the generic unpacked path.
+/// div/sqrt/convert/compare have no fast or vector lane and always use
+/// the generic implementations.
 pub fn eval_ftz(case: &Case) -> (u64, Flags) {
     let Case {
         op,
@@ -508,6 +533,16 @@ pub fn eval_ftz(case: &Case) -> (u64, Flags) {
         b,
         c,
     } = *case;
+    if simd_forced() {
+        use fpfpga_softfp::simd;
+        match op {
+            Op::Add => return simd::add_bits(fmt, a, b, mode),
+            Op::Sub => return simd::sub_bits(fmt, a, b, mode),
+            Op::Mul => return simd::mul_bits(fmt, a, b, mode),
+            Op::Fma => return simd::fma_bits(fmt, a, b, c, mode),
+            _ => {}
+        }
+    }
     if fastpath_forced() {
         use fpfpga_softfp::fastpath;
         match op {
@@ -829,5 +864,32 @@ mod tests {
         let forced = format!("{:?}", run_ftz_sweep(&cfg));
         set_force_fastpath(false);
         assert_eq!(plain, forced);
+    }
+
+    #[test]
+    fn forced_simd_report_is_byte_identical_in_every_policy() {
+        use fpfpga_softfp::simd::{set_simd_policy, SimdPolicy};
+        // Divergence-free dispatch: every SIMD policy must reproduce the
+        // plain sweep report byte for byte.
+        let cfg = SweepConfig {
+            ops: vec![Op::Add, Op::Sub, Op::Mul, Op::Fma],
+            formats: vec![FpFormat::SINGLE, FpFormat::DOUBLE],
+            samples: 500,
+            ..SweepConfig::default()
+        };
+        let plain = format!("{:?}", run_ftz_sweep(&cfg));
+        set_force_simd(true);
+        for policy in [
+            SimdPolicy::ForceScalar,
+            SimdPolicy::ForceWide,
+            SimdPolicy::Auto,
+        ] {
+            set_simd_policy(policy);
+            let forced = format!("{:?}", run_ftz_sweep(&cfg));
+            assert_eq!(plain, forced, "policy {policy:?}");
+        }
+        set_simd_policy(SimdPolicy::Auto);
+        set_force_simd(false);
+        assert_eq!(plain, format!("{:?}", run_ftz_sweep(&cfg)));
     }
 }

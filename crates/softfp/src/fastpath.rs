@@ -34,7 +34,8 @@ use crate::format::FpFormat;
 use crate::ops;
 use crate::ops::add::GRS_BITS;
 use crate::ops::fma::FMA_GRS;
-use crate::round::{shift_right_sticky, shift_right_sticky_u128, RoundMode};
+use crate::round::{shift_right_sticky, RoundMode};
+use crate::simd;
 
 /// Panic message used by every batch entry point on length mismatch.
 pub const LEN_MISMATCH: &str = "batch operand slices must have equal lengths";
@@ -46,7 +47,7 @@ pub const LEN_MISMATCH: &str = "batch operand slices must have equal lengths";
 /// True when the biased exponent field of `bits` is neither all-zeros
 /// (zero/flushed-denormal) nor all-ones (infinity): a *normal* operand.
 #[inline(always)]
-const fn is_normal(e: u32, f: u32, bits: u64) -> bool {
+pub(crate) const fn is_normal(e: u32, f: u32, bits: u64) -> bool {
     let em = (1u64 << e) - 1;
     let biased = (bits >> f) & em;
     // `biased - 1 < em - 1` covers 1..=em-1 in one unsigned compare
@@ -56,7 +57,7 @@ const fn is_normal(e: u32, f: u32, bits: u64) -> bool {
 
 /// Branch-free check that both operands take the fast lane.
 #[inline(always)]
-const fn both_normal(e: u32, f: u32, a: u64, b: u64) -> bool {
+pub(crate) const fn both_normal(e: u32, f: u32, a: u64, b: u64) -> bool {
     is_normal(e, f, a) & is_normal(e, f, b)
 }
 
@@ -277,17 +278,18 @@ fn mul_normal(e: u32, f: u32, a: u64, b: u64, mode: RoundMode) -> (u64, Flags) {
 /// Two datapaths, chosen by width (a compile-time constant under the
 /// const-generic wrappers): when the widest aligned sum fits a `u64`
 /// (`2f + FMA_GRS + 4 ≤ 64`, so `f ≤ 28` — SINGLE and anything
-/// narrower), the whole kernel runs in 64-bit registers. On x86-64
-/// every `u128` operation the wide path leans on — variable shifts,
-/// compares, `leading_zeros` — is a multi-instruction sequence, and
-/// they were the entire fma throughput gap (BENCH_PR5: ~34 Mop/s for
-/// f32 fma vs 85+ for add, barely ahead of the generic path).
+/// narrower), the whole kernel runs in 64-bit registers. Wider formats
+/// (FP48, DOUBLE) run [`simd::fma_wide_scalar`], the `(hi, lo)` u64-pair
+/// limb datapath: on x86-64 every `u128` operation the old wide path
+/// leaned on — variable shifts, compares, `leading_zeros` — was a
+/// multi-instruction sequence, the same throughput gap the narrow split
+/// closed for f32 (BENCH_PR5: ~34 Mop/s for f32 fma before the fix).
 #[inline(always)]
 fn fma_normal(e: u32, f: u32, a: u64, b: u64, c: u64, mode: RoundMode) -> (u64, Flags) {
     if 2 * f + FMA_GRS + 4 <= 64 {
         fma_normal_narrow(e, f, a, b, c, mode)
     } else {
-        fma_normal_wide(e, f, a, b, c, mode)
+        simd::fma_wide_scalar(e, f, a, b, c, mode)
     }
 }
 
@@ -368,70 +370,6 @@ fn fma_normal_narrow(e: u32, f: u32, a: u64, b: u64, c: u64, mode: RoundMode) ->
     )
 }
 
-/// The wide (`u128`) fma datapath, for formats whose aligned sum can
-/// exceed 64 bits (FP48, DOUBLE).
-#[inline(always)]
-fn fma_normal_wide(e: u32, f: u32, a: u64, b: u64, c: u64, mode: RoundMode) -> (u64, Flags) {
-    let sign_shift = e + f;
-    let frac_mask = (1u64 << f) - 1;
-    let hidden = 1u64 << f;
-    let bias = (1i32 << (e - 1)) - 1;
-    let em = (1u64 << e) - 1;
-
-    let psign = (a ^ b) >> sign_shift & 1 == 1;
-    let csign = c >> sign_shift & 1 == 1;
-    let pexp = (((a >> f) & em) as i32 - bias) + (((b >> f) & em) as i32 - bias);
-    let cexp = ((c >> f) & em) as i32 - bias;
-
-    let product = ((a & frac_mask) | hidden) as u128 * ((b & frac_mask) | hidden) as u128;
-    let shift = (cexp - pexp) + f as i32;
-    let c_wide = (((c & frac_mask) | hidden) as u128) << FMA_GRS;
-    let prod_wide = product << FMA_GRS;
-
-    let (mag, sign, e_lsb, is_zero) = if shift > (f + 2) as i32 {
-        let (p_aligned, lost) = shift_right_sticky_u128(prod_wide, shift as u32);
-        let (m, sg, z) = ops::fma::combine(c_wide, csign, p_aligned | lost as u128, psign);
-        (m, sg, cexp - (f + FMA_GRS) as i32, z)
-    } else if shift >= 0 {
-        let c_aligned = c_wide << shift;
-        let (m, sg, z) = ops::fma::combine(prod_wide, psign, c_aligned, csign);
-        (m, sg, pexp - (2 * f + FMA_GRS) as i32, z)
-    } else {
-        let (c_aligned, lost) = shift_right_sticky_u128(c_wide, (-shift) as u32);
-        let (m, sg, z) = ops::fma::combine(prod_wide, psign, c_aligned | lost as u128, csign);
-        (m, sg, pexp - (2 * f + FMA_GRS) as i32, z)
-    };
-    if is_zero {
-        return (0, Flags::NONE);
-    }
-
-    let msb = 127 - mag.leading_zeros();
-    let mut exp = e_lsb + msb as i32;
-    let (mag, grs) = if msb > f {
-        (mag, msb - f)
-    } else {
-        (mag << (f + 1 - msb), 1)
-    };
-    // The tail can exceed 64 bits here, so round in u128 (the kept
-    // significand still fits u64: exactly f + 1 bits).
-    let kept = (mag >> grs) as u64;
-    let tail = mag & ((1u128 << grs) - 1);
-    let inexact = tail != 0;
-    let round_up = match mode {
-        RoundMode::Truncate => false,
-        RoundMode::NearestEven => {
-            let half = 1u128 << (grs - 1);
-            tail > half || (tail == half && kept & 1 == 1)
-        }
-    };
-    let mut rounded = kept + round_up as u64;
-    if rounded >> (f + 1) != 0 {
-        rounded >>= 1;
-        exp += 1;
-    }
-    finish_pack(e, f, sign as u64, exp, rounded, inexact, mode)
-}
-
 // ---------------------------------------------------------------------------
 // Const-generic public kernels
 // ---------------------------------------------------------------------------
@@ -490,7 +428,7 @@ pub fn fma<const E: u32, const F: u32>(a: u64, b: u64, c: u64, mode: RoundMode) 
 
 /// Which monomorphization a format maps to.
 #[derive(Clone, Copy)]
-enum Lane {
+pub(crate) enum Lane {
     Single,
     W48,
     Double,
@@ -498,7 +436,7 @@ enum Lane {
 }
 
 #[inline(always)]
-fn lane_of(fmt: FpFormat) -> Lane {
+pub(crate) fn lane_of(fmt: FpFormat) -> Lane {
     if fmt == FpFormat::SINGLE {
         Lane::Single
     } else if fmt == FpFormat::FP48 {
@@ -701,6 +639,9 @@ pub fn add_bits_batch(
 ) {
     assert_eq!(a.len(), b.len(), "{}", LEN_MISMATCH);
     out.reserve(a.len());
+    if simd::try_add_bits_batch(fmt, a, b, mode, out) {
+        return;
+    }
     dispatch_binary!(
         single_pass,
         fmt,
@@ -725,6 +666,9 @@ pub fn sub_bits_batch(
 ) {
     assert_eq!(a.len(), b.len(), "{}", LEN_MISMATCH);
     out.reserve(a.len());
+    if simd::try_sub_bits_batch(fmt, a, b, mode, out) {
+        return;
+    }
     dispatch_binary!(
         single_pass,
         fmt,
@@ -749,6 +693,9 @@ pub fn mul_bits_batch(
 ) {
     assert_eq!(a.len(), b.len(), "{}", LEN_MISMATCH);
     out.reserve(a.len());
+    if simd::try_mul_bits_batch(fmt, a, b, mode, out) {
+        return;
+    }
     dispatch_binary!(
         two_pass,
         fmt,
@@ -776,6 +723,9 @@ pub fn fma_bits_batch(
     assert_eq!(a.len(), b.len(), "{}", LEN_MISMATCH);
     assert_eq!(a.len(), c.len(), "{}", LEN_MISMATCH);
     out.reserve(a.len());
+    if simd::try_fma_bits_batch(fmt, a, b, c, mode, out) {
+        return;
+    }
     let iter = a
         .iter()
         .zip(b.iter().zip(c.iter()))
@@ -792,6 +742,9 @@ pub fn add_pairs_batch(
     out: &mut Vec<(u64, Flags)>,
 ) {
     out.reserve(pairs.len());
+    if simd::try_add_pairs_batch(fmt, pairs, mode, out) {
+        return;
+    }
     dispatch_binary!(
         single_pass,
         fmt,
@@ -811,6 +764,9 @@ pub fn sub_pairs_batch(
     out: &mut Vec<(u64, Flags)>,
 ) {
     out.reserve(pairs.len());
+    if simd::try_sub_pairs_batch(fmt, pairs, mode, out) {
+        return;
+    }
     dispatch_binary!(
         single_pass,
         fmt,
@@ -830,6 +786,9 @@ pub fn mul_pairs_batch(
     out: &mut Vec<(u64, Flags)>,
 ) {
     out.reserve(pairs.len());
+    if simd::try_mul_pairs_batch(fmt, pairs, mode, out) {
+        return;
+    }
     dispatch_binary!(
         two_pass,
         fmt,
@@ -850,6 +809,9 @@ pub fn fma_triples_batch(
     out: &mut Vec<(u64, Flags)>,
 ) {
     out.reserve(triples.len());
+    if simd::try_fma_triples_batch(fmt, triples, mode, out) {
+        return;
+    }
     dispatch_ternary!(fmt, mode, triples.iter().copied(), out, fma, fma_dyn);
 }
 
@@ -863,6 +825,9 @@ pub fn mul_bcast_batch(
     out: &mut Vec<(u64, Flags)>,
 ) {
     out.reserve(a.len());
+    if simd::try_mul_bcast_batch(fmt, a, b, mode, out) {
+        return;
+    }
     dispatch_binary!(
         two_pass,
         fmt,

@@ -50,6 +50,7 @@ pub mod limb;
 pub mod ops;
 pub mod policy;
 pub mod round;
+pub mod simd;
 pub mod unpacked;
 pub mod value;
 
@@ -61,6 +62,7 @@ pub use fastpath::{
 pub use format::{FpFormat, ParseFormatError};
 pub use policy::{ParsePolicyError, PrecisionPolicy};
 pub use round::RoundMode;
+pub use simd::{set_simd_policy, simd_policy, SimdEngine, SimdPolicy};
 pub use unpacked::{Class, Unpacked};
 pub use value::SoftFloat;
 
